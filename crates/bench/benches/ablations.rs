@@ -1,0 +1,185 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. index-free adjacency (native store) vs index-based adjacency
+//!    (graph API over the relational store);
+//! 2. row vs column layout under point inserts (the Postgres/Virtuoso
+//!    write gap);
+//! 3. number of triple-store permutation indexes vs write cost (the
+//!    SPARQL index-maintenance claim);
+//! 4. Gremlin embedded vs through the Gremlin Server (wire overhead);
+//! 5. checkpoint frequency vs write cost in the native store (the
+//!    Figure 3 throughput dips).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use snb_core::{Direction, EdgeLabel, GraphBackend, PropKey, Value, VertexLabel, Vid};
+use snb_datagen::{generate, GeneratorConfig};
+use snb_gremlin::{GremlinServer, ServerConfig, Traversal};
+use snb_rdf::{IndexConfig, TripleStore};
+use snb_relational::{Database, Layout};
+use std::sync::Arc;
+
+fn small_data() -> snb_datagen::GeneratedData {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 120;
+    generate(&cfg)
+}
+
+/// 1. Index-free vs index-based adjacency.
+fn ablation_adjacency(c: &mut Criterion) {
+    let data = small_data();
+    let native = snb_graph_native::NativeGraphStore::new();
+    let sqlg = snb_driver::sqlg::SqlgBackend::new(Database::new_snb(Layout::Row));
+    for backend in [&native as &dyn GraphBackend, &sqlg as &dyn GraphBackend] {
+        for v in &data.snapshot.vertices {
+            backend.add_vertex(v.label, v.id, &v.props).unwrap();
+        }
+        for e in &data.snapshot.edges {
+            backend.add_edge(e.label, e.src, e.dst, &e.props).unwrap();
+        }
+    }
+    let person = data.snapshot.vertices_of(VertexLabel::Person).next().unwrap().vid();
+    let mut group = c.benchmark_group("adjacency");
+    group.sample_size(30);
+    group.bench_function("index_free_native", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            native.neighbors(person, Direction::Both, Some(EdgeLabel::Knows), &mut buf).unwrap();
+        })
+    });
+    group.bench_function("index_based_sqlg", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            sqlg.neighbors(person, Direction::Both, Some(EdgeLabel::Knows), &mut buf).unwrap();
+        })
+    });
+    group.finish();
+}
+
+/// 2. Row vs column layout point-insert cost.
+fn ablation_layout_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_insert");
+    group.sample_size(20);
+    for (name, layout) in [("row", Layout::Row), ("column", Layout::Column)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Database::new_snb(layout),
+                |db| {
+                    for i in 0..2000i64 {
+                        db.insert_row(
+                            "comment",
+                            vec![
+                                Value::Int(i),
+                                Value::Date(i),
+                                Value::str("1.2.3.4"),
+                                Value::str("Chrome"),
+                                Value::str("hello world"),
+                                Value::Int(11),
+                            ],
+                        )
+                        .unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// 3. Triple-store write cost vs number of permutation indexes.
+fn ablation_triple_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triple_indexes");
+    group.sample_size(20);
+    for (name, cfg) in
+        [("spo_only", IndexConfig::Spo), ("three", IndexConfig::Three), ("six", IndexConfig::Six)]
+    {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || TripleStore::with_indexes(cfg),
+                |store| {
+                    for i in 0..1000 {
+                        store.insert_vertex(
+                            VertexLabel::Comment,
+                            i,
+                            &[
+                                (PropKey::CreationDate, Value::Date(i as i64)),
+                                (PropKey::Content, Value::str("hello world")),
+                                (PropKey::Length, Value::Int(11)),
+                            ],
+                        );
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// 4. Gremlin embedded vs via the server (wire + queue overhead).
+fn ablation_gremlin_server(c: &mut Criterion) {
+    let data = small_data();
+    let store: Arc<dyn GraphBackend> = Arc::new(snb_graph_native::NativeGraphStore::new());
+    for v in &data.snapshot.vertices {
+        store.add_vertex(v.label, v.id, &v.props).unwrap();
+    }
+    for e in &data.snapshot.edges {
+        store.add_edge(e.label, e.src, e.dst, &e.props).unwrap();
+    }
+    let person = data.snapshot.vertices_of(VertexLabel::Person).next().unwrap().id;
+    let t = Traversal::v(Vid::new(VertexLabel::Person, person))
+        .both(EdgeLabel::Knows)
+        .dedup()
+        .values(PropKey::Id);
+    let server = GremlinServer::start(Arc::clone(&store), ServerConfig::default());
+    let client = server.client();
+    let mut group = c.benchmark_group("gremlin_path");
+    group.sample_size(30);
+    group.bench_function("embedded", |b| {
+        b.iter(|| snb_gremlin::exec::execute(&store.as_ref(), &t).unwrap())
+    });
+    group.bench_function("via_server", |b| b.iter(|| client.submit(&t).unwrap()));
+    group.finish();
+}
+
+/// 5. Checkpoint frequency vs write cost in the native store.
+fn ablation_checkpointing(c: &mut Criterion) {
+    use snb_graph_native::{CheckpointConfig, NativeGraphStore};
+    let mut group = c.benchmark_group("checkpointing");
+    group.sample_size(20);
+    for (name, every) in [("off", 0usize), ("every_4096", 4096), ("every_512", 512)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || NativeGraphStore::with_checkpoint(CheckpointConfig { every_writes: every }),
+                |store| {
+                    for i in 0..2000u64 {
+                        store
+                            .add_vertex(
+                                VertexLabel::Comment,
+                                i,
+                                &[
+                                    (PropKey::CreationDate, Value::Date(i as i64)),
+                                    (PropKey::Content, Value::str("hello world")),
+                                ],
+                            )
+                            .unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_adjacency,
+    ablation_layout_writes,
+    ablation_triple_indexes,
+    ablation_gremlin_server,
+    ablation_checkpointing
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks backing the per-operation costs in
+//! Tables 2/3: one group per engine, point lookup + 1-hop on a small
+//! generated graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_core::{Direction, EdgeLabel, GraphBackend, Value, VertexLabel};
+use snb_datagen::{generate, GeneratorConfig};
+use snb_driver::adapter::{build_adapter, SutKind};
+use snb_driver::ops::{ParamGen, ReadOp};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 150;
+    let data = generate(&cfg);
+
+    for kind in [
+        SutKind::NativeCypher,
+        SutKind::NativeGremlin,
+        SutKind::TitanC,
+        SutKind::TitanB,
+        SutKind::Sqlg,
+        SutKind::PostgresSql,
+        SutKind::VirtuosoSql,
+        SutKind::VirtuosoSparql,
+    ] {
+        let adapter = build_adapter(kind);
+        adapter.load(&data.snapshot).expect("load");
+        let mut group = c.benchmark_group(kind.display().replace(' ', "_"));
+        group.sample_size(20);
+        let mut params = ParamGen::new(&data, 0xbe9c);
+        let person = params.person();
+        group.bench_function("point_lookup", |b| {
+            b.iter(|| adapter.execute_read(&ReadOp::PointLookup { person }).unwrap())
+        });
+        group.bench_function("one_hop", |b| {
+            b.iter(|| adapter.execute_read(&ReadOp::OneHop { person }).unwrap())
+        });
+        group.finish();
+    }
+}
+
+fn bench_structure_api(c: &mut Criterion) {
+    // Raw structure-API adjacency: the native store's pointer chase.
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 150;
+    let data = generate(&cfg);
+    let store = snb_graph_native::NativeGraphStore::new();
+    for v in &data.snapshot.vertices {
+        store.add_vertex(v.label, v.id, &v.props).unwrap();
+    }
+    for e in &data.snapshot.edges {
+        store.add_edge(e.label, e.src, e.dst, &e.props).unwrap();
+    }
+    let person = data
+        .snapshot
+        .vertices_of(VertexLabel::Person)
+        .next()
+        .unwrap()
+        .vid();
+    let mut group = c.benchmark_group("structure_api");
+    group.sample_size(50);
+    group.bench_function("native_neighbors", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            store.neighbors(person, Direction::Both, Some(EdgeLabel::Knows), &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    group.bench_function("native_vertex_prop", |b| {
+        b.iter(|| store.vertex_prop(person, snb_core::PropKey::FirstName).unwrap())
+    });
+    group.finish();
+    let _ = Value::Null;
+}
+
+criterion_group!(benches, bench_engines, bench_structure_api);
+criterion_main!(benches);

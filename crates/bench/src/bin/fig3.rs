@@ -1,0 +1,67 @@
+//! Figure 3: read and write throughput under the real-time interactive
+//! workload (SF3, 32 concurrent readers, one Kafka-fed writer).
+//!
+//! The paper withdrew Titan-B from this experiment because of its
+//! degradation under concurrent reads and writes; we keep it in the run
+//! so the degradation itself is visible (filter with `SNB_SYSTEMS`).
+
+use snb_bench::{dataset, env_u64, loaded_adapter, print_table, selected_kinds, series};
+use snb_core::metrics::TextTable;
+use snb_driver::interactive::{run_interactive, InteractiveConfig};
+use std::time::Duration;
+
+fn main() {
+    let data = dataset(3);
+    let config = InteractiveConfig {
+        readers: env_u64("SNB_READERS", 32) as usize,
+        duration: Duration::from_secs(env_u64("SNB_DURATION_SECS", 10)),
+        seed: env_u64("SNB_SEED", 0xf16_3),
+    };
+    let mut table = TextTable::new([
+        "System",
+        "reads/s (mean)",
+        "writes/s (mean)",
+        "reads total",
+        "writes total",
+        "read errors",
+        "write errors",
+    ]);
+    let mut all_series: Vec<(String, Vec<u64>, Vec<u64>)> = Vec::new();
+    let mut latency_breakdown: Vec<(String, Vec<(String, f64, f64, usize)>)> = Vec::new();
+    for kind in selected_kinds() {
+        let adapter = loaded_adapter(kind, &data);
+        let report = run_interactive(adapter.as_ref(), &data, &config);
+        latency_breakdown.push((report.system.clone(), report.read_latency.clone()));
+        table.row([
+            report.system.clone(),
+            format!("{:.0}", report.mean_reads_per_sec()),
+            format!("{:.0}", report.mean_writes_per_sec()),
+            report.total_reads.to_string(),
+            report.total_writes.to_string(),
+            report.read_errors.to_string(),
+            report.write_errors.to_string(),
+        ]);
+        all_series.push((report.system.clone(), report.reads_per_sec, report.writes_per_sec));
+        eprintln!("[done] {}", report.system);
+    }
+    print_table(
+        &format!(
+            "Figure 3: interactive throughput (SF3, {} readers, {}s)",
+            config.readers,
+            config.duration.as_secs()
+        ),
+        &table,
+    );
+    println!("Per-second series (read | write):");
+    for (name, reads, writes) in &all_series {
+        println!("  {name:<20} R: {}", series(reads));
+        println!("  {:<20} W: {}", "", series(writes));
+    }
+    println!("\nPer-operation read latency (mean ms / p99 ms / samples):");
+    for (system, lat) in &latency_breakdown {
+        println!("  {system}");
+        for (op, mean, p99, n) in lat {
+            println!("    {op:<24} {mean:>9.3} {p99:>9.3} {n:>8}");
+        }
+    }
+}

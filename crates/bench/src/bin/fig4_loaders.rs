@@ -1,0 +1,31 @@
+//! Appendix A: aggregate ingestion rate versus number of concurrent
+//! loaders (1..16) for Titan-C, Titan-B, and Sqlg. Neo4j-via-Gremlin is
+//! omitted, as in the paper (it does not support concurrent loading).
+
+use snb_bench::{dataset, print_table};
+use snb_core::metrics::TextTable;
+use snb_driver::adapter::{build_adapter, SutKind};
+use snb_driver::loading::load_concurrent;
+
+fn main() {
+    let data = dataset(3);
+    let kinds = [SutKind::TitanC, SutKind::TitanB, SutKind::Sqlg];
+    let mut table = TextTable::new(["System", "Loaders", "Vertex / second", "Edge / second"]);
+    for kind in kinds {
+        for loaders in [1usize, 2, 4, 8, 16] {
+            // Fresh store per run: ingestion must start from empty.
+            let adapter = build_adapter(kind);
+            let backend = adapter.graph_backend().expect("TinkerPop systems expose a backend");
+            let report = load_concurrent(backend.as_ref(), &data.snapshot, loaders)
+                .unwrap_or_else(|e| panic!("{}: load failed: {e}", kind.display()));
+            table.row([
+                kind.display().to_string(),
+                loaders.to_string(),
+                format!("{:.0}", report.vertices_per_sec),
+                format!("{:.0}", report.edges_per_sec),
+            ]);
+            eprintln!("[done] {} x{loaders}", kind.display());
+        }
+    }
+    print_table("Appendix A: ingestion rate vs concurrent loaders — SF3", &table);
+}

@@ -1,0 +1,93 @@
+//! §4.4: the Gremlin Server under many concurrent complex queries.
+//!
+//! The paper found the server "unable to handle complex queries under a
+//! large number of concurrent clients", hanging and eventually
+//! crashing; our server surfaces the same condition as `Overloaded`
+//! rejections/timeouts. This binary sweeps the client count and reports
+//! the success/failure split.
+
+use snb_bench::{dataset, env_u64, print_table};
+use snb_core::{EdgeLabel, GraphBackend, SnbError, VertexLabel, Vid};
+use snb_core::metrics::TextTable;
+use snb_gremlin::{GremlinServer, ServerConfig, Traversal};
+use snb_graph_native::NativeGraphStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let data = dataset(3);
+    let store: Arc<dyn GraphBackend> = Arc::new(NativeGraphStore::new());
+    for v in &data.snapshot.vertices {
+        store.add_vertex(v.label, v.id, &v.props).unwrap();
+    }
+    for e in &data.snapshot.edges {
+        store.add_edge(e.label, e.src, e.dst, &e.props).unwrap();
+    }
+    let persons: Vec<u64> = data
+        .snapshot
+        .vertices_of(VertexLabel::Person)
+        .map(|v| v.id)
+        .collect();
+
+    // Paper-era server defaults: small worker pool, bounded queue.
+    let server = GremlinServer::start(
+        Arc::clone(&store),
+        ServerConfig { workers: 8, queue_capacity: 64, request_timeout: Duration::from_secs(5) },
+    );
+    let per_client = env_u64("SNB_STRESS_REQUESTS", 10);
+    let mut table = TextTable::new(["Clients", "OK", "Overloaded", "Other errors"]);
+    for clients in [8usize, 16, 32, 64] {
+        let ok = AtomicU64::new(0);
+        let overloaded = AtomicU64::new(0);
+        let other = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let client = server.client();
+                let persons = &persons;
+                let (ok, overloaded, other) = (&ok, &overloaded, &other);
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        // The full complex mix the paper could not run:
+                        // short 2-hop scans interleaved with genuinely
+                        // long-running traversals (a shortest-path search
+                        // to a person outside the component explores the
+                        // whole path space, like LDBC's worst complex
+                        // reads did on the real Gremlin Server).
+                        let a = persons[(c as u64 * 31 + i * 7) as usize % persons.len()];
+                        let unreachable = Vid::new(VertexLabel::Person, u32::MAX as u64);
+                        let t = if i % 2 == 0 {
+                            // Bounded so one query costs a few hundred ms of CPU:
+                            // fine at low concurrency, queue-filling at 64
+                            // clients on the paper-era worker pool.
+                            Traversal::v(Vid::new(VertexLabel::Person, a))
+                                .repeat_both_until(EdgeLabel::Knows, unreachable, 5)
+                                .path_len()
+                        } else {
+                            Traversal::v(Vid::new(VertexLabel::Person, a))
+                                .both(EdgeLabel::Knows)
+                                .both(EdgeLabel::Knows)
+                                .dedup()
+                                .value_map()
+                        };
+                        match client.submit(&t) {
+                            Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                            Err(SnbError::Overloaded(_)) => {
+                                overloaded.fetch_add(1, Ordering::Relaxed)
+                            }
+                            Err(_) => other.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                });
+            }
+        });
+        table.row([
+            clients.to_string(),
+            ok.load(Ordering::Relaxed).to_string(),
+            overloaded.load(Ordering::Relaxed).to_string(),
+            other.load(Ordering::Relaxed).to_string(),
+        ]);
+        eprintln!("[done] {clients} clients");
+    }
+    print_table("Gremlin Server stress (§4.4): concurrent complex queries", &table);
+}

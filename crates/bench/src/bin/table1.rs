@@ -1,0 +1,30 @@
+//! Table 1: dataset statistics and loaded database sizes for the SF3
+//! and SF10 datasets across every system.
+
+use snb_bench::{dataset, loaded_adapter, print_table, selected_kinds};
+use snb_core::metrics::{fmt_mib, TextTable};
+use snb_datagen::csv::csv_size_bytes;
+
+fn main() {
+    let mut table = TextTable::new(["Dataset", "# of vertices", "# of edges", "Raw files (MiB)"]);
+    let mut sizes = TextTable::new(["Dataset", "System", "DB size (MiB)"]);
+    for sf in [3u32, 10] {
+        let data = dataset(sf);
+        table.row([
+            format!("SNB scale factor {sf}"),
+            data.snapshot.vertices.len().to_string(),
+            data.snapshot.edges.len().to_string(),
+            fmt_mib(csv_size_bytes(&data.snapshot)),
+        ]);
+        for kind in selected_kinds() {
+            let adapter = loaded_adapter(kind, &data);
+            sizes.row([
+                format!("SF{sf}"),
+                adapter.name().to_string(),
+                fmt_mib(adapter.storage_bytes()),
+            ]);
+        }
+    }
+    print_table("Table 1a: dataset statistics", &table);
+    print_table("Table 1b: loaded database sizes", &sizes);
+}

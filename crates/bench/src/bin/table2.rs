@@ -1,0 +1,5 @@
+//! Table 2: read-only query latencies (ms) on the SF3 dataset.
+
+fn main() {
+    snb_bench::tables::run(3, "Table 2: query latencies in ms — scale factor 3");
+}

@@ -1,0 +1,5 @@
+//! Table 3: read-only query latencies (ms) on the SF10 dataset.
+
+fn main() {
+    snb_bench::tables::run(10, "Table 3: query latencies in ms — scale factor 10");
+}

@@ -1,0 +1,28 @@
+//! Table 4: single-loader data-loading performance for the
+//! TinkerPop-loaded systems (SF3, through the structure API).
+
+use snb_bench::{dataset, print_table};
+use snb_core::metrics::TextTable;
+use snb_driver::adapter::{build_adapter, SutKind};
+use snb_driver::loading::load_concurrent;
+
+fn main() {
+    let data = dataset(3);
+    let kinds = [SutKind::NativeGremlin, SutKind::TitanC, SutKind::TitanB, SutKind::Sqlg];
+    let mut table =
+        TextTable::new(["System", "Total time (s)", "Vertex / second", "Edge / second"]);
+    for kind in kinds {
+        let adapter = build_adapter(kind);
+        let backend = adapter.graph_backend().expect("TinkerPop systems expose a backend");
+        let report = load_concurrent(backend.as_ref(), &data.snapshot, 1)
+            .unwrap_or_else(|e| panic!("{}: load failed: {e}", kind.display()));
+        table.row([
+            kind.display().to_string(),
+            format!("{:.1}", report.total_secs),
+            format!("{:.0}", report.vertices_per_sec),
+            format!("{:.0}", report.edges_per_sec),
+        ]);
+        eprintln!("[done] {}", kind.display());
+    }
+    print_table("Table 4: data loading performance — SF3, single loader", &table);
+}

@@ -1,0 +1,112 @@
+//! Shared harness for the experiment binaries (one per paper
+//! table/figure — see DESIGN.md §3).
+//!
+//! All binaries are configured through environment variables so the
+//! whole suite can run unattended:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `SNB_SF3_PERSONS` | 900 | persons in the "SF3" dataset |
+//! | `SNB_SF10_PERSONS` | 3000 | persons in the "SF10" dataset |
+//! | `SNB_SAMPLES` | 100 | executions per query class (Tables 2/3) |
+//! | `SNB_BUDGET_SECS` | 60 | per-class time budget before "-" |
+//! | `SNB_READERS` | 32 | concurrent readers (Figure 3) |
+//! | `SNB_DURATION_SECS` | 10 | measured window (Figure 3) |
+//! | `SNB_SYSTEMS` | all | comma-separated substring filter |
+//! | `SNB_SEED` | fixed | data/parameter seed |
+
+use snb_core::metrics::TextTable;
+use snb_datagen::{generate, GeneratedData, GeneratorConfig};
+use snb_driver::adapter::{build_adapter, SutAdapter, SutKind, ALL_SUT_KINDS};
+
+/// Read an environment variable with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The scaled-down dataset standing in for a paper scale factor (see
+/// DESIGN.md §1 "Scale-factor substitution").
+pub fn sf_config(sf: u32) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::scale_factor(sf);
+    cfg.persons = match sf {
+        3 => env_u64("SNB_SF3_PERSONS", cfg.persons as u64) as usize,
+        10 => env_u64("SNB_SF10_PERSONS", cfg.persons as u64) as usize,
+        _ => cfg.persons,
+    };
+    cfg.seed = env_u64("SNB_SEED", cfg.seed);
+    cfg
+}
+
+/// Generate (and time) a dataset for a scale factor.
+pub fn dataset(sf: u32) -> GeneratedData {
+    let cfg = sf_config(sf);
+    let t0 = std::time::Instant::now();
+    let data = generate(&cfg);
+    eprintln!(
+        "[gen] SF{sf}: {} snapshot vertices, {} snapshot edges, {} update ops ({:.1}s)",
+        data.snapshot.vertices.len(),
+        data.snapshot.edges.len(),
+        data.updates.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    data
+}
+
+/// The systems selected by `SNB_SYSTEMS` (substring match on the
+/// display name), in paper order.
+pub fn selected_kinds() -> Vec<SutKind> {
+    let filter = std::env::var("SNB_SYSTEMS").unwrap_or_default();
+    ALL_SUT_KINDS
+        .iter()
+        .copied()
+        .filter(|k| {
+            filter.is_empty()
+                || filter
+                    .split(',')
+                    .any(|f| k.display().to_lowercase().contains(&f.trim().to_lowercase()))
+        })
+        .collect()
+}
+
+/// Build and bulk-load one adapter, reporting the load time.
+pub fn loaded_adapter(kind: SutKind, data: &GeneratedData) -> Box<dyn SutAdapter> {
+    let adapter = build_adapter(kind);
+    let t0 = std::time::Instant::now();
+    adapter.load(&data.snapshot).unwrap_or_else(|e| panic!("{}: load failed: {e}", kind.display()));
+    eprintln!("[load] {}: {:.1}s", adapter.name(), t0.elapsed().as_secs_f64());
+    adapter
+}
+
+/// Print a table with a heading, paper-style.
+pub fn print_table(title: &str, table: &TextTable) {
+    println!("\n=== {title} ===");
+    println!("{}", table.render());
+}
+
+/// Render a per-second series compactly (`v0 v1 v2 ...`).
+pub fn series(xs: &[u64]) -> String {
+    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_default_applies() {
+        assert_eq!(env_u64("SNB_DOES_NOT_EXIST", 7), 7);
+    }
+
+    #[test]
+    fn sf_config_scales() {
+        assert!(sf_config(10).persons > sf_config(3).persons);
+    }
+
+    #[test]
+    fn all_kinds_selected_by_default() {
+        assert_eq!(selected_kinds().len(), ALL_SUT_KINDS.len());
+    }
+}
+
+/// Tables 2/3 implementation.
+pub mod tables;

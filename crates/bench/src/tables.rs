@@ -1,0 +1,41 @@
+//! Shared implementation of the Tables 2/3 latency experiment.
+
+use crate::{dataset, env_u64, loaded_adapter, print_table, selected_kinds};
+use snb_core::metrics::{fmt_ms, TextTable};
+use snb_driver::micro::{run_micro, MICRO_KINDS};
+use snb_driver::ParamGen;
+use std::time::Duration;
+
+/// Run the latency experiment at one scale factor and print the table.
+pub fn run(sf: u32, title: &str) {
+    let data = dataset(sf);
+    let samples = env_u64("SNB_SAMPLES", 100) as usize;
+    let budget = Duration::from_secs(env_u64("SNB_BUDGET_SECS", 60));
+    let seed = env_u64("SNB_SEED", 0x9a9a);
+
+    let mut headers = vec!["Query".to_string()];
+    let kinds = selected_kinds();
+    headers.extend(kinds.iter().map(|k| k.display().to_string()));
+    let mut cells: Vec<Vec<String>> =
+        MICRO_KINDS.iter().map(|k| vec![k.to_string()]).collect();
+
+    for kind in &kinds {
+        let adapter = loaded_adapter(*kind, &data);
+        // Identical parameter stream for every system.
+        let mut params = ParamGen::new(&data, seed);
+        let results = run_micro(adapter.as_ref(), &mut params, samples, budget);
+        for (row, cell) in cells.iter_mut().zip(&results) {
+            row.push(match cell.mean_ms {
+                Some(ms) => fmt_ms(ms),
+                None => "-".to_string(),
+            });
+        }
+        eprintln!("[done] {}", adapter.name());
+    }
+
+    let mut table = TextTable::new(headers);
+    for row in cells {
+        table.row(row);
+    }
+    print_table(title, &table);
+}

@@ -1,0 +1,132 @@
+//! The TinkerPop-structure-like backend trait.
+//!
+//! [`GraphBackend`] is this suite's analogue of the Gremlin Structure
+//! API: a common set of fine-grained vertex/edge/property operations
+//! that any store can expose. The Gremlin traversal executor and the
+//! bulk-loading utilities are written purely against this trait, exactly
+//! as TinkerPop code runs unchanged on Neo4j, TitanDB, or Sqlg.
+//!
+//! Note the deliberate granularity: one call retrieves *one* vertex's
+//! neighbours, one property, etc. This is the architectural property the
+//! paper blames for TinkerPop's overhead — a complex graph operation is
+//! translated into many small requests — and implementing the trait on
+//! top of a relational store (à la Sqlg) reproduces it faithfully.
+
+use crate::error::Result;
+use crate::graph::Direction;
+use crate::ids::{EdgeLabel, VertexLabel, Vid};
+use crate::schema::PropKey;
+use crate::value::Value;
+
+/// Fine-grained structure API implemented by every store that can be
+/// driven through the Gremlin layer.
+///
+/// All methods take `&self`: engines handle their own interior
+/// mutability / locking, as the benchmark drives them from many threads.
+pub trait GraphBackend: Send + Sync {
+    /// Human-readable engine name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Insert a vertex. Fails with `Conflict` if the id already exists.
+    fn add_vertex(&self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<Vid>;
+
+    /// Insert an edge between existing vertices. Fails with `NotFound`
+    /// if either endpoint is missing and `Plan` if the combination is
+    /// not in the SNB schema.
+    fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()>;
+
+    /// True if the vertex exists.
+    fn vertex_exists(&self, v: Vid) -> bool;
+
+    /// Read one property of one vertex.
+    fn vertex_prop(&self, v: Vid, key: PropKey) -> Result<Option<Value>>;
+
+    /// Read all properties of one vertex.
+    fn vertex_props(&self, v: Vid) -> Result<Vec<(PropKey, Value)>>;
+
+    /// Set (insert or overwrite) one property of one vertex.
+    fn set_vertex_prop(&self, v: Vid, key: PropKey, value: Value) -> Result<()>;
+
+    /// Append the neighbours of `v` along `label` (any label if `None`)
+    /// in direction `dir` to `out`. `Both` must not deduplicate: a
+    /// vertex reachable by both an in- and an out-edge appears twice,
+    /// matching Gremlin `both()` semantics.
+    fn neighbors(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<Vid>) -> Result<()>;
+
+    /// Read one property of the edge `src -[label]-> dst`.
+    fn edge_prop(&self, src: Vid, label: EdgeLabel, dst: Vid, key: PropKey) -> Result<Option<Value>>;
+
+    /// True if the directed edge exists.
+    fn edge_exists(&self, src: Vid, label: EdgeLabel, dst: Vid) -> Result<bool>;
+
+    /// All vertices with the given label (scan; used by label-scan steps
+    /// and by tests, not by indexed lookups).
+    fn vertices_by_label(&self, label: VertexLabel) -> Result<Vec<Vid>>;
+
+    /// Total vertex count.
+    fn vertex_count(&self) -> usize;
+
+    /// Total directed-edge count.
+    fn edge_count(&self) -> usize;
+
+    /// Approximate resident bytes of the store (Table 1's "database size").
+    fn storage_bytes(&self) -> usize;
+
+    /// Degree of a vertex; the default routes through [`Self::neighbors`],
+    /// engines with cheaper degree bookkeeping may override.
+    fn degree(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>) -> Result<usize> {
+        let mut buf = Vec::new();
+        self.neighbors(v, dir, label, &mut buf)?;
+        Ok(buf.len())
+    }
+}
+
+/// Blanket impl so `Arc<dyn GraphBackend>`/`&T` can be passed where a
+/// backend is expected.
+impl<T: GraphBackend + ?Sized> GraphBackend for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn add_vertex(&self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<Vid> {
+        (**self).add_vertex(label, local_id, props)
+    }
+    fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()> {
+        (**self).add_edge(label, src, dst, props)
+    }
+    fn vertex_exists(&self, v: Vid) -> bool {
+        (**self).vertex_exists(v)
+    }
+    fn vertex_prop(&self, v: Vid, key: PropKey) -> Result<Option<Value>> {
+        (**self).vertex_prop(v, key)
+    }
+    fn vertex_props(&self, v: Vid) -> Result<Vec<(PropKey, Value)>> {
+        (**self).vertex_props(v)
+    }
+    fn set_vertex_prop(&self, v: Vid, key: PropKey, value: Value) -> Result<()> {
+        (**self).set_vertex_prop(v, key, value)
+    }
+    fn neighbors(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<Vid>) -> Result<()> {
+        (**self).neighbors(v, dir, label, out)
+    }
+    fn edge_prop(&self, src: Vid, label: EdgeLabel, dst: Vid, key: PropKey) -> Result<Option<Value>> {
+        (**self).edge_prop(src, label, dst, key)
+    }
+    fn edge_exists(&self, src: Vid, label: EdgeLabel, dst: Vid) -> Result<bool> {
+        (**self).edge_exists(src, label, dst)
+    }
+    fn vertices_by_label(&self, label: VertexLabel) -> Result<Vec<Vid>> {
+        (**self).vertices_by_label(label)
+    }
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+    fn storage_bytes(&self) -> usize {
+        (**self).storage_bytes()
+    }
+    fn degree(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>) -> Result<usize> {
+        (**self).degree(v, dir, label)
+    }
+}

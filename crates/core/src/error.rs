@@ -1,0 +1,75 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Unified error type for parsing, planning, execution, and storage
+/// failures across all engines and the benchmark harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnbError {
+    /// An entity (vertex, edge, table, topic, ...) was not found.
+    NotFound(String),
+    /// A uniqueness or transactional conflict (e.g. duplicate vertex id).
+    Conflict(String),
+    /// A query-language parse error.
+    Parse(String),
+    /// A planning error (unknown table, unbound variable, ...).
+    Plan(String),
+    /// A runtime execution error.
+    Exec(String),
+    /// A storage-backend error.
+    Backend(String),
+    /// The server/queue rejected the request due to overload. The Gremlin
+    /// Server analogue returns this where the paper observed hangs/crashes.
+    Overloaded(String),
+    /// Serialization / wire-format error.
+    Codec(String),
+    /// Filesystem error (CSV import/export).
+    Io(String),
+}
+
+impl fmt::Display for SnbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnbError::NotFound(m) => write!(f, "not found: {m}"),
+            SnbError::Conflict(m) => write!(f, "conflict: {m}"),
+            SnbError::Parse(m) => write!(f, "parse error: {m}"),
+            SnbError::Plan(m) => write!(f, "plan error: {m}"),
+            SnbError::Exec(m) => write!(f, "execution error: {m}"),
+            SnbError::Backend(m) => write!(f, "backend error: {m}"),
+            SnbError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            SnbError::Codec(m) => write!(f, "codec error: {m}"),
+            SnbError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnbError {}
+
+impl From<std::io::Error> for SnbError {
+    fn from(e: std::io::Error) -> Self {
+        SnbError::Io(e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, SnbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = SnbError::NotFound("person 42".into());
+        assert_eq!(e.to_string(), "not found: person 42");
+        let e = SnbError::Overloaded("queue full".into());
+        assert!(e.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: SnbError = io.into();
+        assert!(matches!(e, SnbError::Io(_)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-map and direction primitives shared by all graph engines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::PropKey;
+use crate::value::Value;
+
+/// Traversal / adjacency direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    Out,
+    In,
+    Both,
+}
+
+impl Direction {
+    /// The opposite direction (`Both` is its own reverse).
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+            Direction::Both => Direction::Both,
+        }
+    }
+}
+
+/// A small ordered association list of properties.
+///
+/// SNB entities carry at most ~8 properties, so a sorted `Vec` beats a
+/// hash map in both space and lookup time (see the workspace perf notes).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropertyMap {
+    entries: Vec<(PropKey, Value)>,
+}
+
+impl PropertyMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        PropertyMap { entries: Vec::new() }
+    }
+
+    /// Build from key/value pairs (later duplicates overwrite earlier ones).
+    pub fn from_pairs(pairs: &[(PropKey, Value)]) -> Self {
+        let mut m = PropertyMap { entries: Vec::with_capacity(pairs.len()) };
+        for (k, v) in pairs {
+            m.set(*k, v.clone());
+        }
+        m
+    }
+
+    /// Get a property value.
+    pub fn get(&self, key: PropKey) -> Option<&Value> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Insert or overwrite a property; returns the previous value if any.
+    pub fn set(&mut self, key: PropKey, value: Value) -> Option<Value> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Remove a property.
+    pub fn remove(&mut self, key: PropKey) -> Option<Value> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no properties.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (PropKey, &Value)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Clone the entries into a plain vector (for trait-object friendly APIs).
+    pub fn to_pairs(&self) -> Vec<(PropKey, Value)> {
+        self.entries.clone()
+    }
+
+    /// Approximate heap footprint in bytes (for Table 1 database sizes).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(PropKey, Value)>()
+            + self.entries.iter().map(|(_, v)| v.heap_bytes()).sum::<usize>()
+    }
+}
+
+impl FromIterator<(PropKey, Value)> for PropertyMap {
+    fn from_iter<I: IntoIterator<Item = (PropKey, Value)>>(iter: I) -> Self {
+        let mut m = PropertyMap::new();
+        for (k, v) in iter {
+            m.set(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+        assert_eq!(Direction::Both.reverse(), Direction::Both);
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = PropertyMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.set(PropKey::FirstName, Value::str("Ada")), None);
+        assert_eq!(m.get(PropKey::FirstName), Some(&Value::str("Ada")));
+        assert_eq!(
+            m.set(PropKey::FirstName, Value::str("Grace")),
+            Some(Value::str("Ada"))
+        );
+        assert_eq!(m.remove(PropKey::FirstName), Some(Value::str("Grace")));
+        assert_eq!(m.remove(PropKey::FirstName), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn entries_stay_sorted_by_key() {
+        let m: PropertyMap = [
+            (PropKey::LastName, Value::str("b")),
+            (PropKey::Id, Value::Int(1)),
+            (PropKey::FirstName, Value::str("a")),
+        ]
+        .into_iter()
+        .collect();
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn from_pairs_last_duplicate_wins() {
+        let m = PropertyMap::from_pairs(&[
+            (PropKey::Gender, Value::str("male")),
+            (PropKey::Gender, Value::str("female")),
+        ]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(PropKey::Gender), Some(&Value::str("female")));
+    }
+}

@@ -1,0 +1,297 @@
+//! Vertex/edge labels and the global vertex identifier.
+//!
+//! LDBC SNB identifiers are only unique *per entity type* (Person 0 and
+//! Post 0 coexist), so all engines address vertices by a [`Vid`] that
+//! packs the label into the top byte of a `u64`, mirroring how real
+//! systems (Neo4j record ids, Titan long ids) assign a single id space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{Result, SnbError};
+
+/// Vertex types of the LDBC SNB schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum VertexLabel {
+    Person = 0,
+    Forum = 1,
+    Post = 2,
+    Comment = 3,
+    Tag = 4,
+    TagClass = 5,
+    Place = 6,
+    Organisation = 7,
+}
+
+/// All vertex labels in stable order.
+pub const VERTEX_LABELS: [VertexLabel; 8] = [
+    VertexLabel::Person,
+    VertexLabel::Forum,
+    VertexLabel::Post,
+    VertexLabel::Comment,
+    VertexLabel::Tag,
+    VertexLabel::TagClass,
+    VertexLabel::Place,
+    VertexLabel::Organisation,
+];
+
+impl VertexLabel {
+    /// Lower-case table-style name (used by the relational catalog and CSV files).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VertexLabel::Person => "person",
+            VertexLabel::Forum => "forum",
+            VertexLabel::Post => "post",
+            VertexLabel::Comment => "comment",
+            VertexLabel::Tag => "tag",
+            VertexLabel::TagClass => "tagclass",
+            VertexLabel::Place => "place",
+            VertexLabel::Organisation => "organisation",
+        }
+    }
+
+    /// Parse from the table-style name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self> {
+        let lower = s.to_ascii_lowercase();
+        VERTEX_LABELS
+            .iter()
+            .copied()
+            .find(|l| l.as_str() == lower)
+            .ok_or_else(|| SnbError::Parse(format!("unknown vertex label `{s}`")))
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        VERTEX_LABELS
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| SnbError::Codec(format!("invalid vertex label tag {tag}")))
+    }
+}
+
+impl fmt::Display for VertexLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Edge types of the LDBC SNB schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum EdgeLabel {
+    /// Person ↔ Person friendship (stored directed, queried both ways).
+    Knows = 0,
+    /// Person → Post/Comment.
+    Likes = 1,
+    /// Post/Comment → Person.
+    HasCreator = 2,
+    /// Forum → Person.
+    HasMember = 3,
+    /// Forum → Person.
+    HasModerator = 4,
+    /// Forum → Post.
+    ContainerOf = 5,
+    /// Comment → Post/Comment.
+    ReplyOf = 6,
+    /// Post/Comment/Forum → Tag.
+    HasTag = 7,
+    /// Person → Tag.
+    HasInterest = 8,
+    /// Person/Post/Comment/Organisation → Place.
+    IsLocatedIn = 9,
+    /// Person → Organisation (university).
+    StudyAt = 10,
+    /// Person → Organisation (company).
+    WorkAt = 11,
+    /// Tag → TagClass.
+    HasType = 12,
+    /// TagClass → TagClass.
+    IsSubclassOf = 13,
+    /// Place → Place.
+    IsPartOf = 14,
+}
+
+/// All edge labels in stable order.
+pub const EDGE_LABELS: [EdgeLabel; 15] = [
+    EdgeLabel::Knows,
+    EdgeLabel::Likes,
+    EdgeLabel::HasCreator,
+    EdgeLabel::HasMember,
+    EdgeLabel::HasModerator,
+    EdgeLabel::ContainerOf,
+    EdgeLabel::ReplyOf,
+    EdgeLabel::HasTag,
+    EdgeLabel::HasInterest,
+    EdgeLabel::IsLocatedIn,
+    EdgeLabel::StudyAt,
+    EdgeLabel::WorkAt,
+    EdgeLabel::HasType,
+    EdgeLabel::IsSubclassOf,
+    EdgeLabel::IsPartOf,
+];
+
+impl EdgeLabel {
+    /// Lower-case snake-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeLabel::Knows => "knows",
+            EdgeLabel::Likes => "likes",
+            EdgeLabel::HasCreator => "has_creator",
+            EdgeLabel::HasMember => "has_member",
+            EdgeLabel::HasModerator => "has_moderator",
+            EdgeLabel::ContainerOf => "container_of",
+            EdgeLabel::ReplyOf => "reply_of",
+            EdgeLabel::HasTag => "has_tag",
+            EdgeLabel::HasInterest => "has_interest",
+            EdgeLabel::IsLocatedIn => "is_located_in",
+            EdgeLabel::StudyAt => "study_at",
+            EdgeLabel::WorkAt => "work_at",
+            EdgeLabel::HasType => "has_type",
+            EdgeLabel::IsSubclassOf => "is_subclass_of",
+            EdgeLabel::IsPartOf => "is_part_of",
+        }
+    }
+
+    /// Parse from the snake-case name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self> {
+        let lower = s.to_ascii_lowercase();
+        EDGE_LABELS
+            .iter()
+            .copied()
+            .find(|l| l.as_str() == lower)
+            .ok_or_else(|| SnbError::Parse(format!("unknown edge label `{s}`")))
+    }
+
+    /// Decode from the `u8` discriminant.
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        EDGE_LABELS
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| SnbError::Codec(format!("invalid edge label tag {tag}")))
+    }
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Global vertex identifier: label tag in the top byte, the entity-local
+/// LDBC id in the low 56 bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vid(u64);
+
+impl Vid {
+    const LOCAL_BITS: u32 = 56;
+    const LOCAL_MASK: u64 = (1 << Self::LOCAL_BITS) - 1;
+
+    /// Build a global id from a label and entity-local id.
+    ///
+    /// # Panics
+    /// Panics if `local` does not fit in 56 bits (cannot happen for any
+    /// dataset this suite generates).
+    pub fn new(label: VertexLabel, local: u64) -> Self {
+        assert!(local <= Self::LOCAL_MASK, "local id {local} overflows 56 bits");
+        Vid(((label as u64) << Self::LOCAL_BITS) | local)
+    }
+
+    /// The vertex label encoded in this id.
+    pub fn label(self) -> VertexLabel {
+        VertexLabel::from_tag((self.0 >> Self::LOCAL_BITS) as u8)
+            .expect("Vid constructed with valid label")
+    }
+
+    /// The entity-local (per-label) id.
+    pub fn local(self) -> u64 {
+        self.0 & Self::LOCAL_MASK
+    }
+
+    /// The raw packed representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw packed representation (validates the label tag).
+    pub fn from_raw(raw: u64) -> Result<Self> {
+        VertexLabel::from_tag((raw >> Self::LOCAL_BITS) as u8)?;
+        Ok(Vid(raw))
+    }
+}
+
+impl fmt::Debug for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.label(), self.local())
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.label(), self.local())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vid_roundtrips_label_and_local() {
+        for label in VERTEX_LABELS {
+            for local in [0u64, 1, 42, Vid::LOCAL_MASK] {
+                let v = Vid::new(label, local);
+                assert_eq!(v.label(), label);
+                assert_eq!(v.local(), local);
+                assert_eq!(Vid::from_raw(v.raw()).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn vid_distinguishes_same_local_across_labels() {
+        let p = Vid::new(VertexLabel::Person, 7);
+        let q = Vid::new(VertexLabel::Post, 7);
+        assert_ne!(p, q);
+        assert_eq!(p.local(), q.local());
+    }
+
+    #[test]
+    #[should_panic]
+    fn vid_rejects_oversized_local() {
+        let _ = Vid::new(VertexLabel::Person, 1 << 56);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_tag() {
+        let raw = (200u64) << 56;
+        assert!(Vid::from_raw(raw).is_err());
+    }
+
+    #[test]
+    fn label_parse_roundtrip() {
+        for l in VERTEX_LABELS {
+            assert_eq!(VertexLabel::parse(l.as_str()).unwrap(), l);
+            assert_eq!(VertexLabel::parse(&l.as_str().to_uppercase()).unwrap(), l);
+        }
+        for l in EDGE_LABELS {
+            assert_eq!(EdgeLabel::parse(l.as_str()).unwrap(), l);
+        }
+        assert!(VertexLabel::parse("nope").is_err());
+        assert!(EdgeLabel::parse("nope").is_err());
+    }
+
+    #[test]
+    fn edge_label_tag_roundtrip() {
+        for l in EDGE_LABELS {
+            assert_eq!(EdgeLabel::from_tag(l as u8).unwrap(), l);
+        }
+        assert!(EdgeLabel::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn vid_ordering_groups_by_label() {
+        let a = Vid::new(VertexLabel::Person, 999);
+        let b = Vid::new(VertexLabel::Forum, 0);
+        assert!(a < b, "person ids sort before forum ids");
+    }
+}

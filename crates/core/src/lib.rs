@@ -1,0 +1,24 @@
+//! Core types shared by every engine and harness in the benchmark suite.
+//!
+//! This crate defines the property-graph data model of the LDBC Social
+//! Network Benchmark (vertex/edge labels, property keys, values, global
+//! vertex identifiers), the [`backend::GraphBackend`] trait — a
+//! TinkerPop-structure-like API implemented by every store that can be
+//! driven through the Gremlin layer — and the measurement utilities
+//! (latency recorders, throughput series, text tables) used by the
+//! experiment harness.
+
+pub mod backend;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod schema;
+pub mod value;
+
+pub use backend::GraphBackend;
+pub use error::{Result, SnbError};
+pub use graph::{Direction, PropertyMap};
+pub use ids::{EdgeLabel, VertexLabel, Vid};
+pub use schema::PropKey;
+pub use value::Value;

@@ -1,0 +1,262 @@
+//! Measurement utilities for the experiment harness: latency recording,
+//! per-second throughput series, and plain-text table rendering in the
+//! style of the paper's Tables 1–4.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A set of latency samples (nanoseconds) with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        LatencyStats { samples: Vec::new() }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d.as_nanos() as u64);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples.iter().map(|&n| n as u128).sum();
+        (sum as f64 / self.samples.len() as f64) / 1e6
+    }
+
+    /// Percentile (0.0..=100.0) in milliseconds via nearest-rank.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)] as f64 / 1e6
+    }
+
+    /// Minimum in ms.
+    pub fn min_ms(&self) -> f64 {
+        self.samples.iter().min().map_or(0.0, |&n| n as f64 / 1e6)
+    }
+
+    /// Maximum in ms.
+    pub fn max_ms(&self) -> f64 {
+        self.samples.iter().max().map_or(0.0, |&n| n as f64 / 1e6)
+    }
+
+    /// Merge another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Thread-safe per-second operation counter producing a throughput time
+/// series — the data behind Figure 3.
+pub struct ThroughputSeries {
+    start: Instant,
+    buckets: Mutex<Vec<u64>>,
+}
+
+impl ThroughputSeries {
+    /// Start counting now.
+    pub fn new() -> Self {
+        ThroughputSeries { start: Instant::now(), buckets: Mutex::new(Vec::new()) }
+    }
+
+    /// Record one completed operation at the current time.
+    pub fn record(&self) {
+        let sec = self.start.elapsed().as_secs() as usize;
+        let mut buckets = self.buckets.lock();
+        if buckets.len() <= sec {
+            buckets.resize(sec + 1, 0);
+        }
+        buckets[sec] += 1;
+    }
+
+    /// Snapshot of per-second counts.
+    pub fn per_second(&self) -> Vec<u64> {
+        self.buckets.lock().clone()
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.lock().iter().sum()
+    }
+
+    /// Mean ops/sec over the observed window (0 when empty).
+    pub fn mean_per_sec(&self) -> f64 {
+        let buckets = self.buckets.lock();
+        if buckets.is_empty() {
+            return 0.0;
+        }
+        buckets.iter().sum::<u64>() as f64 / buckets.len() as f64
+    }
+}
+
+impl Default for ThroughputSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed-width text table renderer for experiment output.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a latency in milliseconds the way the paper's tables do:
+/// sub-millisecond values keep two decimals, larger values fewer.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{ms:.3}")
+    } else if ms < 100.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.0}")
+    }
+}
+
+/// Format a byte count as mebibytes with one decimal.
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Time a closure, returning its result and the elapsed duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_summaries() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean_ms(), 0.0);
+        for ms in [1u64, 2, 3, 4, 5] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.len(), 5);
+        assert!((s.mean_ms() - 3.0).abs() < 1e-9);
+        assert!((s.min_ms() - 1.0).abs() < 1e-9);
+        assert!((s.max_ms() - 5.0).abs() < 1e-9);
+        assert!((s.percentile_ms(50.0) - 3.0).abs() < 1e-9);
+        assert!((s.percentile_ms(100.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_merge() {
+        let mut a = LatencyStats::new();
+        a.record(Duration::from_millis(1));
+        let mut b = LatencyStats::new();
+        b.record(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_counts() {
+        let t = ThroughputSeries::new();
+        for _ in 0..10 {
+            t.record();
+        }
+        assert_eq!(t.total(), 10);
+        assert!(t.mean_per_sec() >= 10.0);
+        assert_eq!(t.per_second().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["System", "ms"]);
+        t.row(["Neo4j (Cypher-like)", "9.08"]);
+        t.row(["Postgres-like"]);
+        let out = t.render();
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("System"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("9.08"));
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_ms(0.25), "0.250");
+        assert_eq!(fmt_ms(9.078), "9.08");
+        assert_eq!(fmt_ms(368.2), "368");
+        assert_eq!(fmt_mib(1024 * 1024), "1.0");
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

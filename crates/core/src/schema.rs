@@ -1,0 +1,265 @@
+//! The LDBC SNB schema: property keys and edge-type definitions.
+//!
+//! Property keys are interned as an enum so hot property lookups never
+//! hash strings. Edge definitions enumerate the legal
+//! `(source label, edge label, destination label)` combinations; the
+//! relational catalog derives one table per combination (the paper's
+//! "each vertex and edge type is represented by a separate table"), and
+//! the stores use them to validate inserts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{Result, SnbError};
+use crate::ids::{EdgeLabel, VertexLabel};
+
+/// Interned property key. Covers every property the SNB schema attaches
+/// to vertices or edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PropKey {
+    Id = 0,
+    FirstName = 1,
+    LastName = 2,
+    Gender = 3,
+    Birthday = 4,
+    CreationDate = 5,
+    LocationIp = 6,
+    BrowserUsed = 7,
+    Content = 8,
+    ImageFile = 9,
+    Language = 10,
+    Length = 11,
+    Name = 12,
+    Url = 13,
+    Title = 14,
+    ClassYear = 15,
+    WorkFrom = 16,
+    JoinDate = 17,
+    Email = 18,
+    Speaks = 19,
+    OrgType = 20,
+    PlaceType = 21,
+}
+
+/// All property keys in stable order.
+pub const PROP_KEYS: [PropKey; 22] = [
+    PropKey::Id,
+    PropKey::FirstName,
+    PropKey::LastName,
+    PropKey::Gender,
+    PropKey::Birthday,
+    PropKey::CreationDate,
+    PropKey::LocationIp,
+    PropKey::BrowserUsed,
+    PropKey::Content,
+    PropKey::ImageFile,
+    PropKey::Language,
+    PropKey::Length,
+    PropKey::Name,
+    PropKey::Url,
+    PropKey::Title,
+    PropKey::ClassYear,
+    PropKey::WorkFrom,
+    PropKey::JoinDate,
+    PropKey::Email,
+    PropKey::Speaks,
+    PropKey::OrgType,
+    PropKey::PlaceType,
+];
+
+impl PropKey {
+    /// Camel-case name as used by LDBC (`firstName`, `creationDate`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PropKey::Id => "id",
+            PropKey::FirstName => "firstName",
+            PropKey::LastName => "lastName",
+            PropKey::Gender => "gender",
+            PropKey::Birthday => "birthday",
+            PropKey::CreationDate => "creationDate",
+            PropKey::LocationIp => "locationIP",
+            PropKey::BrowserUsed => "browserUsed",
+            PropKey::Content => "content",
+            PropKey::ImageFile => "imageFile",
+            PropKey::Language => "language",
+            PropKey::Length => "length",
+            PropKey::Name => "name",
+            PropKey::Url => "url",
+            PropKey::Title => "title",
+            PropKey::ClassYear => "classYear",
+            PropKey::WorkFrom => "workFrom",
+            PropKey::JoinDate => "joinDate",
+            PropKey::Email => "email",
+            PropKey::Speaks => "speaks",
+            PropKey::OrgType => "orgType",
+            PropKey::PlaceType => "placeType",
+        }
+    }
+
+    /// Parse a property-key name (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self> {
+        PROP_KEYS
+            .iter()
+            .copied()
+            .find(|k| k.as_str().eq_ignore_ascii_case(s))
+            .ok_or_else(|| SnbError::Parse(format!("unknown property key `{s}`")))
+    }
+
+    /// Decode from the `u8` discriminant.
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        PROP_KEYS
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| SnbError::Codec(format!("invalid property key tag {tag}")))
+    }
+}
+
+impl fmt::Display for PropKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Properties each vertex label carries (beyond the implicit `id`).
+pub fn vertex_props(label: VertexLabel) -> &'static [PropKey] {
+    match label {
+        VertexLabel::Person => &[
+            PropKey::FirstName,
+            PropKey::LastName,
+            PropKey::Gender,
+            PropKey::Birthday,
+            PropKey::CreationDate,
+            PropKey::LocationIp,
+            PropKey::BrowserUsed,
+            PropKey::Email,
+            PropKey::Speaks,
+        ],
+        VertexLabel::Forum => &[PropKey::Title, PropKey::CreationDate],
+        VertexLabel::Post => &[
+            PropKey::ImageFile,
+            PropKey::CreationDate,
+            PropKey::LocationIp,
+            PropKey::BrowserUsed,
+            PropKey::Language,
+            PropKey::Content,
+            PropKey::Length,
+        ],
+        VertexLabel::Comment => &[
+            PropKey::CreationDate,
+            PropKey::LocationIp,
+            PropKey::BrowserUsed,
+            PropKey::Content,
+            PropKey::Length,
+        ],
+        VertexLabel::Tag => &[PropKey::Name, PropKey::Url],
+        VertexLabel::TagClass => &[PropKey::Name, PropKey::Url],
+        VertexLabel::Place => &[PropKey::Name, PropKey::Url, PropKey::PlaceType],
+        VertexLabel::Organisation => &[PropKey::Name, PropKey::Url, PropKey::OrgType],
+    }
+}
+
+/// A legal `(src, edge, dst)` combination plus the edge's own properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeDef {
+    pub src: VertexLabel,
+    pub label: EdgeLabel,
+    pub dst: VertexLabel,
+    pub props: &'static [PropKey],
+}
+
+impl EdgeDef {
+    /// Relational table name for this combination,
+    /// e.g. `person_knows_person`, `comment_reply_of_post`.
+    pub fn table_name(&self) -> String {
+        format!("{}_{}_{}", self.src, self.label, self.dst)
+    }
+}
+
+/// Every edge-type combination in the SNB schema, in stable order.
+pub const EDGE_DEFS: &[EdgeDef] = &[
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::Knows, dst: VertexLabel::Person, props: &[PropKey::CreationDate] },
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::Likes, dst: VertexLabel::Post, props: &[PropKey::CreationDate] },
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::Likes, dst: VertexLabel::Comment, props: &[PropKey::CreationDate] },
+    EdgeDef { src: VertexLabel::Post, label: EdgeLabel::HasCreator, dst: VertexLabel::Person, props: &[] },
+    EdgeDef { src: VertexLabel::Comment, label: EdgeLabel::HasCreator, dst: VertexLabel::Person, props: &[] },
+    EdgeDef { src: VertexLabel::Forum, label: EdgeLabel::HasMember, dst: VertexLabel::Person, props: &[PropKey::JoinDate] },
+    EdgeDef { src: VertexLabel::Forum, label: EdgeLabel::HasModerator, dst: VertexLabel::Person, props: &[] },
+    EdgeDef { src: VertexLabel::Forum, label: EdgeLabel::ContainerOf, dst: VertexLabel::Post, props: &[] },
+    EdgeDef { src: VertexLabel::Comment, label: EdgeLabel::ReplyOf, dst: VertexLabel::Post, props: &[] },
+    EdgeDef { src: VertexLabel::Comment, label: EdgeLabel::ReplyOf, dst: VertexLabel::Comment, props: &[] },
+    EdgeDef { src: VertexLabel::Post, label: EdgeLabel::HasTag, dst: VertexLabel::Tag, props: &[] },
+    EdgeDef { src: VertexLabel::Comment, label: EdgeLabel::HasTag, dst: VertexLabel::Tag, props: &[] },
+    EdgeDef { src: VertexLabel::Forum, label: EdgeLabel::HasTag, dst: VertexLabel::Tag, props: &[] },
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::HasInterest, dst: VertexLabel::Tag, props: &[] },
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::IsLocatedIn, dst: VertexLabel::Place, props: &[] },
+    EdgeDef { src: VertexLabel::Post, label: EdgeLabel::IsLocatedIn, dst: VertexLabel::Place, props: &[] },
+    EdgeDef { src: VertexLabel::Comment, label: EdgeLabel::IsLocatedIn, dst: VertexLabel::Place, props: &[] },
+    EdgeDef { src: VertexLabel::Organisation, label: EdgeLabel::IsLocatedIn, dst: VertexLabel::Place, props: &[] },
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::StudyAt, dst: VertexLabel::Organisation, props: &[PropKey::ClassYear] },
+    EdgeDef { src: VertexLabel::Person, label: EdgeLabel::WorkAt, dst: VertexLabel::Organisation, props: &[PropKey::WorkFrom] },
+    EdgeDef { src: VertexLabel::Tag, label: EdgeLabel::HasType, dst: VertexLabel::TagClass, props: &[] },
+    EdgeDef { src: VertexLabel::TagClass, label: EdgeLabel::IsSubclassOf, dst: VertexLabel::TagClass, props: &[] },
+    EdgeDef { src: VertexLabel::Place, label: EdgeLabel::IsPartOf, dst: VertexLabel::Place, props: &[] },
+];
+
+/// Look up the edge definition for a `(src, label, dst)` combination.
+pub fn edge_def(src: VertexLabel, label: EdgeLabel, dst: VertexLabel) -> Result<&'static EdgeDef> {
+    EDGE_DEFS
+        .iter()
+        .find(|d| d.src == src && d.label == label && d.dst == dst)
+        .ok_or_else(|| {
+            SnbError::Plan(format!("no edge type ({src})-[:{label}]->({dst}) in the SNB schema"))
+        })
+}
+
+/// All edge definitions with the given label (e.g. both `likes` variants).
+pub fn edge_defs_for(label: EdgeLabel) -> impl Iterator<Item = &'static EdgeDef> {
+    EDGE_DEFS.iter().filter(move |d| d.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_key_parse_roundtrip() {
+        for k in PROP_KEYS {
+            assert_eq!(PropKey::parse(k.as_str()).unwrap(), k);
+            assert_eq!(PropKey::from_tag(k as u8).unwrap(), k);
+        }
+        assert!(PropKey::parse("bogus").is_err());
+        assert!(PropKey::from_tag(200).is_err());
+    }
+
+    #[test]
+    fn every_vertex_label_has_props() {
+        use crate::ids::VERTEX_LABELS;
+        for l in VERTEX_LABELS {
+            assert!(!vertex_props(l).is_empty(), "{l} should define properties");
+        }
+    }
+
+    #[test]
+    fn edge_def_lookup() {
+        let d = edge_def(VertexLabel::Person, EdgeLabel::Knows, VertexLabel::Person).unwrap();
+        assert_eq!(d.props, &[PropKey::CreationDate]);
+        assert_eq!(d.table_name(), "person_knows_person");
+        assert!(edge_def(VertexLabel::Tag, EdgeLabel::Knows, VertexLabel::Tag).is_err());
+    }
+
+    #[test]
+    fn likes_has_two_variants() {
+        let variants: Vec<_> = edge_defs_for(EdgeLabel::Likes).collect();
+        assert_eq!(variants.len(), 2);
+        assert!(variants.iter().any(|d| d.dst == VertexLabel::Post));
+        assert!(variants.iter().any(|d| d.dst == VertexLabel::Comment));
+    }
+
+    #[test]
+    fn edge_table_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = EDGE_DEFS.iter().map(|d| d.table_name()).collect();
+        assert_eq!(names.len(), EDGE_DEFS.len());
+    }
+}

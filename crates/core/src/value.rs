@@ -1,0 +1,280 @@
+//! Property values.
+//!
+//! A single dynamically-typed value type is shared by every engine: the
+//! relational stores use it for column values, the triple store for
+//! literals, and the graph stores for vertex/edge properties. `Value`
+//! implements *total* equality, hashing, and ordering (NaN-aware for
+//! floats) so it can be used directly as a dictionary/index key.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::ids::Vid;
+
+/// A dynamically-typed property / column / literal value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    /// Interned string — cheap to clone, which matters in executor hot paths.
+    Str(Arc<str>),
+    /// Milliseconds since the Unix epoch (LDBC `creationDate`, `birthday`, ...).
+    Date(i64),
+    /// Packed global vertex id (used when query results reference vertices).
+    Vertex(Vid),
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Convenience constructor from an owned `String`.
+    pub fn string(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+
+    /// Integer accessor (also accepts dates, which are stored as i64).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) | Value::Date(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Vertex-id accessor.
+    pub fn as_vid(&self) -> Option<Vid> {
+        match self {
+            Value::Vertex(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Type tag used for cross-type ordering (and index key prefixes).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Date(_) => 4,
+            Value::Str(_) => 5,
+            Value::Vertex(_) => 6,
+            Value::List(_) => 7,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used for the "database
+    /// size" column of Table 1.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            Value::List(vs) => vs.iter().map(|v| 16 + v.heap_bytes()).sum(),
+            _ => 0,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) | (Date(a), Date(b)) => a.cmp(b),
+            // Numeric comparisons across Int/Float compare by value so SQL
+            // predicates like `length > 100` work on either representation.
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Vertex(a), Vertex(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    // Total order: NaN sorts last, matching how index keys must behave.
+    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        _ => unreachable!(),
+    })
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) | Value::Date(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Vertex(v) => v.hash(state),
+            Value::List(vs) => vs.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Vertex(v) => write!(f, "{v}"),
+            Value::List(vs) => {
+                f.write_str("[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<Vid> for Value {
+    fn from(v: Vid) -> Self {
+        Value::Vertex(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexLabel;
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+        assert_ne!(Value::Int(1), Value::Int(2));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn nan_sorts_last_among_floats() {
+        let mut vs = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Float(-1.0));
+        assert_eq!(vs[1], Value::Float(1.0));
+        assert!(matches!(vs[2], Value::Float(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn cross_type_order_is_total_and_stable() {
+        let mut vs = vec![
+            Value::str("z"),
+            Value::Int(0),
+            Value::Null,
+            Value::Bool(true),
+            Value::Date(5),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert!(matches!(vs[1], Value::Bool(true)));
+        assert!(matches!(vs[4], Value::Str(_)));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_dates_and_ints() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(7));
+        // Date(7) != Int(7) per type_rank ordering, so both may coexist.
+        assert!(set.insert(Value::Date(7)));
+        assert!(!set.insert(Value::Int(7)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Date(4).as_int(), Some(4));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        let v = Vid::new(VertexLabel::Person, 1);
+        assert_eq!(Value::Vertex(v).as_vid(), Some(v));
+    }
+
+    #[test]
+    fn heap_bytes_counts_strings() {
+        assert_eq!(Value::str("abcd").heap_bytes(), 4);
+        assert_eq!(Value::Int(1).heap_bytes(), 0);
+        assert!(Value::List(vec![Value::str("ab")]).heap_bytes() >= 18);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::List(vec![Value::Int(1), Value::str("a")]).to_string(), "[1, a]");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

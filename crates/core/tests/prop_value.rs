@@ -1,0 +1,94 @@
+//! Property tests for `Value` (total order, hash/eq agreement) and
+//! `PropertyMap` (map semantics against a BTreeMap model).
+
+use proptest::prelude::*;
+use snb_core::schema::PROP_KEYS;
+use snb_core::{PropKey, PropertyMap, Value};
+use std::collections::BTreeMap;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Date),
+        // Finite floats only: NaN breaks antisymmetry *of the inputs*,
+        // handled by a dedicated test below.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(|s| Value::str(&s)),
+        proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..4).prop_map(Value::List),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ordering_is_total_and_antisymmetric(a in value_strategy(), b in value_strategy()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => {
+                prop_assert_eq!(b.cmp(&a), Equal);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_transitive(mut xs in proptest::collection::vec(value_strategy(), 3..10)) {
+        xs.sort();
+        for w in xs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn eq_implies_same_hash(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn property_map_behaves_like_btreemap(
+        ops in proptest::collection::vec(
+            (0..PROP_KEYS.len(), value_strategy(), any::<bool>()),
+            0..40
+        )
+    ) {
+        let mut map = PropertyMap::new();
+        let mut model: BTreeMap<PropKey, Value> = BTreeMap::new();
+        for (kix, v, remove) in ops {
+            let k = PROP_KEYS[kix];
+            if remove {
+                prop_assert_eq!(map.remove(k), model.remove(&k));
+            } else {
+                prop_assert_eq!(map.set(k, v.clone()), model.insert(k, v));
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+        let got: Vec<_> = map.iter().map(|(k, v)| (k, v.clone())).collect();
+        let want: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(got, want, "iteration order and contents match");
+    }
+}
+
+#[test]
+fn nan_total_order_is_consistent() {
+    let mut xs = vec![
+        Value::Float(f64::NAN),
+        Value::Float(1.0),
+        Value::Float(f64::NAN),
+        Value::Float(-1.0),
+    ];
+    xs.sort();
+    assert!(matches!(xs[2], Value::Float(x) if x.is_nan()));
+    assert!(matches!(xs[3], Value::Float(x) if x.is_nan()));
+    assert_eq!(xs[2].cmp(&xs[3]), std::cmp::Ordering::Equal);
+}

@@ -1,0 +1,88 @@
+//! Generator configuration.
+
+/// Milliseconds in a day.
+pub const DAY_MS: i64 = 24 * 3600 * 1000;
+
+/// Simulation start: 2010-01-01T00:00:00Z in epoch milliseconds.
+pub const SIM_START_MS: i64 = 1_262_304_000_000;
+
+/// Parameters controlling dataset size, shape, and determinism.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of persons to simulate.
+    pub persons: usize,
+    /// RNG seed — same seed, same dataset, byte for byte.
+    pub seed: u64,
+    /// Length of the simulated activity window in days.
+    pub sim_days: u32,
+    /// Fraction (0..1) of the window loaded as the static snapshot;
+    /// activity after the cut becomes the update stream.
+    pub snapshot_fraction: f64,
+    /// Mean number of friends per person (power-law distributed).
+    pub mean_degree: f64,
+    /// Probability that a friendship stays within the same interest
+    /// community (LDBC's correlated-knows dimension).
+    pub community_bias: f64,
+    /// Mean posts created per forum member over the window.
+    pub posts_per_member: f64,
+    /// Mean direct comments spawned per post (replies branch further).
+    pub comments_per_post: f64,
+    /// Probability a friend of a message's creator likes the message.
+    pub like_probability: f64,
+}
+
+impl GeneratorConfig {
+    /// The scaled-down analogue of an LDBC scale factor (see crate docs).
+    pub fn scale_factor(sf: u32) -> Self {
+        GeneratorConfig { persons: 300 * sf as usize, ..Self::default() }
+    }
+
+    /// Tiny dataset for unit tests (fast, but exercises every entity type).
+    pub fn tiny() -> Self {
+        GeneratorConfig { persons: 40, ..Self::default() }
+    }
+
+    /// Simulation end in epoch milliseconds.
+    pub fn sim_end_ms(&self) -> i64 {
+        SIM_START_MS + self.sim_days as i64 * DAY_MS
+    }
+
+    /// The snapshot cut point in epoch milliseconds.
+    pub fn cut_ms(&self) -> i64 {
+        SIM_START_MS + (self.sim_days as f64 * DAY_MS as f64 * self.snapshot_fraction) as i64
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            persons: 300,
+            seed: 0x5eed_1dbc,
+            sim_days: 1095, // three simulated years, as in LDBC
+            snapshot_fraction: 0.9,
+            mean_degree: 18.0,
+            community_bias: 0.7,
+            posts_per_member: 1.6,
+            comments_per_post: 2.0,
+            like_probability: 0.18,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_lies_inside_window() {
+        let c = GeneratorConfig::default();
+        assert!(c.cut_ms() > SIM_START_MS);
+        assert!(c.cut_ms() < c.sim_end_ms());
+    }
+
+    #[test]
+    fn scale_factor_scales_persons() {
+        assert_eq!(GeneratorConfig::scale_factor(3).persons, 900);
+        assert_eq!(GeneratorConfig::scale_factor(10).persons, 3000);
+    }
+}

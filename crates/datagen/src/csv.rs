@@ -1,0 +1,318 @@
+//! CSV export of the static snapshot.
+//!
+//! The LDBC generator materialises the static network as one
+//! pipe-separated CSV file per vertex/edge type, which vendor bulk
+//! loaders consume. We reproduce that layout both for Table 1's
+//! "raw files" size column and so external tools can inspect the data.
+
+use snb_core::schema::{vertex_props, EDGE_DEFS};
+use snb_core::{PropKey, Result, Value};
+use std::collections::HashMap;
+use std::io::Write;
+
+use crate::model::Dataset;
+
+/// Render a `Value` the way LDBC CSVs do (lists joined with `;`).
+fn csv_value(v: &Value) -> String {
+    match v {
+        Value::List(vs) => vs.iter().map(csv_value).collect::<Vec<_>>().join(";"),
+        other => other.to_string(),
+    }
+}
+
+/// Write one CSV file per vertex label and per edge type into `sink`,
+/// which receives `(file_name, file_contents)` pairs. Returns total bytes.
+pub fn export_csv(data: &Dataset, mut sink: impl FnMut(&str, &[u8]) -> Result<()>) -> Result<usize> {
+    let mut total = 0usize;
+    // Vertex files.
+    for label in snb_core::ids::VERTEX_LABELS {
+        let props = vertex_props(label);
+        let mut buf: Vec<u8> = Vec::new();
+        write_header(&mut buf, props);
+        for v in data.vertices_of(label) {
+            let _ = write!(buf, "{}", v.id);
+            for p in props {
+                let cell = v.prop(*p).map(csv_value).unwrap_or_default();
+                let _ = write!(buf, "|{cell}");
+            }
+            buf.push(b'\n');
+        }
+        total += buf.len();
+        sink(&format!("{label}.csv"), &buf)?;
+    }
+    // Edge files, one per (src, label, dst) combination.
+    let mut by_table: HashMap<String, Vec<u8>> = HashMap::new();
+    for def in EDGE_DEFS {
+        let mut buf = Vec::new();
+        let _ = write!(buf, "{}.id|{}.id", def.src, def.dst);
+        for p in def.props {
+            let _ = write!(buf, "|{p}");
+        }
+        buf.push(b'\n');
+        by_table.insert(def.table_name(), buf);
+    }
+    for e in &data.edges {
+        let name = format!("{}_{}_{}", e.src.label(), e.label, e.dst.label());
+        let buf = by_table
+            .get_mut(&name)
+            .ok_or_else(|| snb_core::SnbError::Plan(format!("edge {name} not in schema")))?;
+        let _ = write!(buf, "{}|{}", e.src.local(), e.dst.local());
+        for (_, v) in &e.props {
+            let _ = write!(buf, "|{}", csv_value(v));
+        }
+        buf.push(b'\n');
+    }
+    let mut names: Vec<_> = by_table.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let buf = &by_table[&name];
+        total += buf.len();
+        sink(&format!("{name}.csv"), buf)?;
+    }
+    Ok(total)
+}
+
+fn write_header(buf: &mut Vec<u8>, props: &[PropKey]) {
+    let _ = write!(buf, "id");
+    for p in props {
+        let _ = write!(buf, "|{p}");
+    }
+    buf.push(b'\n');
+}
+
+/// Total size in bytes of the CSV export without materialising it
+/// anywhere — Table 1's "raw files" column.
+pub fn csv_size_bytes(data: &Dataset) -> usize {
+    let mut total = 0usize;
+    export_csv(data, |_, bytes| {
+        total += bytes.len();
+        Ok(())
+    })
+    .expect("counting sink cannot fail");
+    total
+}
+
+/// Write the CSV files into a directory on disk.
+pub fn export_csv_to_dir(data: &Dataset, dir: &std::path::Path) -> Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    export_csv(data, |name, bytes| {
+        std::fs::write(dir.join(name), bytes)?;
+        Ok(())
+    })
+}
+
+/// Parse a CSV cell back into a typed value for the given property.
+fn parse_cell(key: PropKey, cell: &str) -> Value {
+    use PropKey::*;
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    match key {
+        Id | Length | ClassYear | WorkFrom => {
+            cell.parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
+        }
+        Birthday | CreationDate | JoinDate => {
+            cell.parse::<i64>().map(Value::Date).unwrap_or(Value::Null)
+        }
+        Email | Speaks => {
+            Value::List(cell.split(';').map(Value::str).collect())
+        }
+        _ => Value::str(cell),
+    }
+}
+
+/// Rebuild a [`Dataset`] from CSV files previously written by
+/// [`export_csv`] (the vendor bulk-loader ingestion path). `read` maps a
+/// file name to its contents, or `None` when absent.
+pub fn import_csv(mut read: impl FnMut(&str) -> Option<Vec<u8>>) -> Result<Dataset> {
+    use crate::model::{EdgeRec, VertexRec};
+    use snb_core::Vid;
+    let mut data = Dataset::default();
+    for label in snb_core::ids::VERTEX_LABELS {
+        let Some(bytes) = read(&format!("{label}.csv")) else { continue };
+        let text = String::from_utf8(bytes)
+            .map_err(|_| snb_core::SnbError::Io(format!("{label}.csv is not utf-8")))?;
+        let mut lines = text.lines();
+        let header: Vec<&str> = lines
+            .next()
+            .ok_or_else(|| snb_core::SnbError::Io(format!("{label}.csv is empty")))?
+            .split('|')
+            .collect();
+        for line in lines {
+            let cells: Vec<&str> = line.split('|').collect();
+            if cells.len() != header.len() {
+                return Err(snb_core::SnbError::Io(format!("{label}.csv: ragged row `{line}`")));
+            }
+            let id: u64 = cells[0]
+                .parse()
+                .map_err(|_| snb_core::SnbError::Io(format!("{label}.csv: bad id `{}`", cells[0])))?;
+            let mut props = Vec::with_capacity(cells.len() - 1);
+            let mut creation_ms = crate::config::SIM_START_MS;
+            for (name, cell) in header.iter().zip(&cells).skip(1) {
+                let key = PropKey::parse(name)?;
+                let value = parse_cell(key, cell);
+                if value.is_null() {
+                    continue;
+                }
+                if key == PropKey::CreationDate {
+                    creation_ms = value.as_int().unwrap_or(creation_ms);
+                }
+                props.push((key, value));
+            }
+            data.vertices.push(VertexRec { label, id, props, creation_ms });
+        }
+    }
+    for def in EDGE_DEFS {
+        let Some(bytes) = read(&format!("{}.csv", def.table_name())) else { continue };
+        let text = String::from_utf8(bytes)
+            .map_err(|_| snb_core::SnbError::Io(format!("{}.csv is not utf-8", def.table_name())))?;
+        let mut lines = text.lines();
+        let Some(_header) = lines.next() else { continue };
+        for line in lines {
+            let cells: Vec<&str> = line.split('|').collect();
+            if cells.len() != 2 + def.props.len() {
+                return Err(snb_core::SnbError::Io(format!(
+                    "{}.csv: ragged row `{line}`",
+                    def.table_name()
+                )));
+            }
+            let src: u64 = cells[0]
+                .parse()
+                .map_err(|_| snb_core::SnbError::Io("bad src id".into()))?;
+            let dst: u64 = cells[1]
+                .parse()
+                .map_err(|_| snb_core::SnbError::Io("bad dst id".into()))?;
+            let mut props = Vec::with_capacity(def.props.len());
+            let mut creation_ms = crate::config::SIM_START_MS;
+            for (key, cell) in def.props.iter().zip(&cells[2..]) {
+                let value = parse_cell(*key, cell);
+                if value.is_null() {
+                    continue;
+                }
+                if *key == PropKey::CreationDate {
+                    creation_ms = value.as_int().unwrap_or(creation_ms);
+                }
+                props.push((*key, value));
+            }
+            data.edges.push(EdgeRec {
+                label: def.label,
+                src: Vid::new(def.src, src),
+                dst: Vid::new(def.dst, dst),
+                props,
+                creation_ms,
+            });
+        }
+    }
+    Ok(data)
+}
+
+/// Read the CSV files of a directory back into a [`Dataset`].
+pub fn import_csv_from_dir(dir: &std::path::Path) -> Result<Dataset> {
+    import_csv(|name| std::fs::read(dir.join(name)).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+    use snb_core::{EdgeLabel, VertexLabel};
+
+    #[test]
+    fn export_produces_all_files() {
+        let d = generate(&GeneratorConfig::tiny());
+        let mut files = Vec::new();
+        let total = export_csv(&d.snapshot, |name, bytes| {
+            files.push((name.to_string(), bytes.len()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(files.len(), 8 + EDGE_DEFS.len());
+        assert_eq!(total, files.iter().map(|(_, n)| n).sum::<usize>());
+        assert_eq!(total, csv_size_bytes(&d.snapshot));
+        assert!(files.iter().any(|(n, _)| n == "person.csv"));
+        assert!(files.iter().any(|(n, _)| n == "person_knows_person.csv"));
+    }
+
+    #[test]
+    fn person_rows_have_header_arity() {
+        let d = generate(&GeneratorConfig::tiny());
+        let mut person_csv = String::new();
+        export_csv(&d.snapshot, |name, bytes| {
+            if name == "person.csv" {
+                person_csv = String::from_utf8(bytes.to_vec()).unwrap();
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut lines = person_csv.lines();
+        let header_cols = lines.next().unwrap().split('|').count();
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split('|').count(), header_cols, "row: {line}");
+            rows += 1;
+        }
+        assert_eq!(rows, d.snapshot.count_vertices(VertexLabel::Person));
+    }
+
+    #[test]
+    fn list_values_join_with_semicolons() {
+        assert_eq!(
+            csv_value(&Value::List(vec![Value::str("a"), Value::str("b")])),
+            "a;b"
+        );
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let d = generate(&GeneratorConfig::tiny());
+        let mut files = std::collections::HashMap::new();
+        export_csv(&d.snapshot, |name, bytes| {
+            files.insert(name.to_string(), bytes.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        let back = import_csv(|name| files.get(name).cloned()).unwrap();
+        assert_eq!(back.vertices.len(), d.snapshot.vertices.len());
+        assert_eq!(back.edges.len(), d.snapshot.edges.len());
+        // Every person's typed properties survive (content strings with
+        // no pipes/semicolons, dates, lists).
+        let orig: std::collections::HashMap<_, _> =
+            d.snapshot.vertices.iter().map(|v| (v.vid(), v)).collect();
+        for v in back.vertices.iter().filter(|v| v.label == VertexLabel::Person) {
+            let o = orig[&v.vid()];
+            assert_eq!(v.prop(PropKey::FirstName), o.prop(PropKey::FirstName));
+            assert_eq!(v.prop(PropKey::Birthday), o.prop(PropKey::Birthday));
+            assert_eq!(v.prop(PropKey::Email), o.prop(PropKey::Email));
+            assert_eq!(v.creation_ms, o.creation_ms);
+        }
+        // Edge properties survive too.
+        let knows_orig = d.snapshot.edges.iter().find(|e| e.label == EdgeLabel::Knows).unwrap();
+        let knows_back = back
+            .edges
+            .iter()
+            .find(|e| e.label == EdgeLabel::Knows && e.src == knows_orig.src && e.dst == knows_orig.dst)
+            .unwrap();
+        assert_eq!(knows_back.props, knows_orig.props);
+    }
+
+    #[test]
+    fn import_rejects_ragged_rows() {
+        let err = import_csv(|name| {
+            (name == "person.csv").then(|| b"id|firstName\n1|a|extra\n".to_vec())
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parse_cell_types() {
+        assert_eq!(parse_cell(PropKey::Id, "42"), Value::Int(42));
+        assert_eq!(parse_cell(PropKey::CreationDate, "-5"), Value::Date(-5));
+        assert_eq!(
+            parse_cell(PropKey::Email, "a@x;b@x"),
+            Value::List(vec![Value::str("a@x"), Value::str("b@x")])
+        );
+        assert_eq!(parse_cell(PropKey::Content, ""), Value::Null);
+        assert_eq!(parse_cell(PropKey::Gender, "male"), Value::str("male"));
+    }
+}

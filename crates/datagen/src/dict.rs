@@ -1,0 +1,107 @@
+//! Static dictionaries feeding the generator: names, places, tags,
+//! organisations, and filler words for message content.
+
+/// Given first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Jan", "Ali", "Chen", "Maria", "John", "Yang", "Hans", "Carmen", "Ken", "Abdul",
+    "Otto", "Bryn", "Jun", "Eva", "Rahul", "Wei", "Anna", "Jose", "Mehmet", "Ivan",
+    "Karl", "Aditi", "Li", "Fatima", "Peter", "Hiro", "Ingrid", "Pablo", "Amara", "Lars",
+    "Mona", "Deng", "Alice", "Bruno", "Sofia", "Emeka", "Nadia", "Joao", "Priya", "Miguel",
+    "Olga", "Kenji", "Laila", "Tomas", "Aisha", "Viktor", "Yuki", "Elena", "Omar", "Greta",
+];
+
+/// Family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Zhang", "Kumar", "Muller", "Garcia", "Sato", "Kim", "Silva", "Ivanov", "Khan",
+    "Wagner", "Chen", "Yilmaz", "Rossi", "Novak", "Kowalski", "Haddad", "Okafor", "Tanaka", "Lopez",
+    "Brown", "Wang", "Singh", "Schmidt", "Martinez", "Suzuki", "Lee", "Santos", "Petrov", "Ahmed",
+    "Becker", "Liu", "Demir", "Ferrari", "Svoboda", "Nowak", "Nassar", "Eze", "Yamamoto", "Perez",
+];
+
+/// Countries with their cities; index order is stable and the generator
+/// treats index 0 of each tuple as the country name.
+pub const COUNTRIES: &[(&str, &[&str])] = &[
+    ("China", &["Beijing", "Shanghai", "Chengdu", "Wuhan"]),
+    ("India", &["Mumbai", "Delhi", "Bangalore", "Chennai"]),
+    ("Germany", &["Berlin", "Munich", "Hamburg"]),
+    ("France", &["Paris", "Lyon", "Marseille"]),
+    ("Brazil", &["Sao_Paulo", "Rio_de_Janeiro", "Salvador"]),
+    ("Japan", &["Tokyo", "Osaka", "Kyoto"]),
+    ("Canada", &["Toronto", "Waterloo", "Vancouver", "Montreal"]),
+    ("Turkey", &["Istanbul", "Ankara", "Izmir"]),
+    ("Nigeria", &["Lagos", "Abuja", "Kano"]),
+    ("Russia", &["Moscow", "Saint_Petersburg", "Kazan"]),
+    ("Spain", &["Madrid", "Barcelona", "Valencia"]),
+    ("Mexico", &["Mexico_City", "Guadalajara", "Monterrey"]),
+    ("Poland", &["Warsaw", "Krakow", "Wroclaw"]),
+    ("Egypt", &["Cairo", "Alexandria", "Giza"]),
+    ("Vietnam", &["Hanoi", "Ho_Chi_Minh_City", "Da_Nang"]),
+    ("Italy", &["Rome", "Milan", "Naples"]),
+    ("Kenya", &["Nairobi", "Mombasa", "Kisumu"]),
+    ("Peru", &["Lima", "Arequipa", "Cusco"]),
+    ("Sweden", &["Stockholm", "Gothenburg", "Malmo"]),
+    ("Australia", &["Sydney", "Melbourne", "Brisbane"]),
+];
+
+/// Tag-class taxonomy roots.
+pub const TAG_CLASSES: &[&str] = &[
+    "Thing", "Person", "Organisation", "Place", "Work", "Event",
+    "CreativeWork", "MusicalWork", "Film", "Book", "Sport", "Politics",
+];
+
+/// Tag name stems; combined with a numeric suffix to reach the target
+/// tag count at larger scales.
+pub const TAG_STEMS: &[&str] = &[
+    "rock_music", "jazz", "photography", "football", "cricket", "philosophy",
+    "astronomy", "cooking", "travel", "cinema", "poetry", "chess",
+    "gardening", "robotics", "history", "economics", "painting", "hiking",
+    "opera", "sailing", "databases", "graphs", "distributed_systems", "compilers",
+    "anime", "baking", "cycling", "tennis", "archaeology", "linguistics",
+];
+
+/// Company name stems.
+pub const COMPANIES: &[&str] = &[
+    "Globex", "Initech", "Umbrella", "Hooli", "Vandelay", "Acme",
+    "Wayne_Enterprises", "Stark_Industries", "Wonka", "Tyrell", "Cyberdyne", "Aperture",
+];
+
+/// University name stems.
+pub const UNIVERSITIES: &[&str] = &[
+    "National_University", "Institute_of_Technology", "Polytechnic", "State_University", "City_College",
+];
+
+/// Browsers, with LDBC-style skew handled by the generator.
+pub const BROWSERS: &[&str] = &["Chrome", "Firefox", "Safari", "Internet_Explorer", "Opera"];
+
+/// Filler vocabulary for post/comment content.
+pub const WORDS: &[&str] = &[
+    "about", "maybe", "great", "photo", "right", "think", "today", "world",
+    "happy", "music", "game", "friend", "time", "place", "thanks", "good",
+    "really", "never", "always", "where", "found", "heard", "watch", "read",
+    "lovely", "weekend", "travel", "coffee", "night", "morning", "agree", "exactly",
+];
+
+/// Languages for post `language` property.
+pub const LANGUAGES: &[&str] = &["en", "zh", "de", "fr", "pt", "ja", "es", "ru", "ar", "hi"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionaries_are_nonempty_and_unique() {
+        fn unique(xs: &[&str]) -> bool {
+            let mut set = std::collections::HashSet::new();
+            xs.iter().all(|x| set.insert(*x))
+        }
+        assert!(unique(FIRST_NAMES) && FIRST_NAMES.len() >= 32);
+        assert!(unique(LAST_NAMES) && LAST_NAMES.len() >= 32);
+        assert!(unique(TAG_STEMS) && TAG_STEMS.len() >= 16);
+        assert!(unique(BROWSERS));
+        let countries: Vec<&str> = COUNTRIES.iter().map(|(c, _)| *c).collect();
+        assert!(unique(&countries) && countries.len() >= 16);
+        for (_, cities) in COUNTRIES {
+            assert!(!cities.is_empty());
+        }
+    }
+}

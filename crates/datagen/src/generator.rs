@@ -1,0 +1,918 @@
+//! The social-network simulation.
+//!
+//! Generation happens as a single stream of *events* (entity creations
+//! with their satellite edges), each stamped with an event time. The
+//! stream is then split at the configured cut: events at or before the
+//! cut form the static snapshot; later events become LDBC update
+//! operations. Because every edge's event time is ≥ the creation times
+//! of both endpoints, the split is referentially consistent by
+//! construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+use std::collections::{HashMap, HashSet};
+
+use crate::config::{GeneratorConfig, DAY_MS, SIM_START_MS};
+use crate::dict;
+use crate::model::{Dataset, EdgeRec, GeneratedData, UpdateKind, UpdateOp, VertexRec};
+
+/// One generation event: an optional new vertex plus satellite edges,
+/// all sharing the event time.
+struct Event {
+    ts: i64,
+    kind: UpdateKind,
+    vertex: Option<VertexRec>,
+    edges: Vec<EdgeRec>,
+}
+
+/// Generate a dataset from the given configuration. Deterministic: the
+/// same configuration (including seed) produces the same output.
+pub fn generate(config: &GeneratorConfig) -> GeneratedData {
+    Generator::new(config).run()
+}
+
+struct Generator<'a> {
+    cfg: &'a GeneratorConfig,
+    rng: StdRng,
+    /// Static dictionary entities (always in the snapshot).
+    static_vertices: Vec<VertexRec>,
+    static_edges: Vec<EdgeRec>,
+    /// Timeline events (persons, friendships, forums, messages, likes).
+    events: Vec<Event>,
+    /// Creation time of every vertex, for dependency timestamps.
+    created_at: HashMap<Vid, i64>,
+    // Dictionary entity ids.
+    country_place_ids: Vec<u64>,
+    city_place_ids: Vec<(u64, usize)>, // (place id, country index)
+    tag_ids: Vec<u64>,
+    university_ids: Vec<(u64, usize)>, // (org id, country index)
+    company_ids: Vec<u64>,
+    // Person state.
+    person_created: Vec<i64>,
+    person_city: Vec<u64>,
+    person_country: Vec<usize>,
+    person_interests: Vec<Vec<u64>>,
+    person_community: Vec<usize>,
+    friends: Vec<Vec<usize>>,
+    next_id: HashMap<VertexLabel, u64>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(cfg: &'a GeneratorConfig) -> Self {
+        Generator {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            static_vertices: Vec::new(),
+            static_edges: Vec::new(),
+            events: Vec::new(),
+            created_at: HashMap::new(),
+            country_place_ids: Vec::new(),
+            city_place_ids: Vec::new(),
+            tag_ids: Vec::new(),
+            university_ids: Vec::new(),
+            company_ids: Vec::new(),
+            person_created: Vec::new(),
+            person_city: Vec::new(),
+            person_country: Vec::new(),
+            person_interests: Vec::new(),
+            person_community: Vec::new(),
+            friends: Vec::new(),
+            next_id: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> GeneratedData {
+        self.gen_places();
+        self.gen_tags();
+        self.gen_organisations();
+        self.gen_persons();
+        self.gen_friendships();
+        self.gen_forums_and_messages();
+        self.split()
+    }
+
+    fn alloc_id(&mut self, label: VertexLabel) -> u64 {
+        let next = self.next_id.entry(label).or_insert(0);
+        let id = *next;
+        *next += 1;
+        id
+    }
+
+    fn add_static_vertex(&mut self, label: VertexLabel, props: Vec<(PropKey, Value)>) -> Vid {
+        let id = self.alloc_id(label);
+        let vid = Vid::new(label, id);
+        self.created_at.insert(vid, SIM_START_MS);
+        self.static_vertices.push(VertexRec { label, id, props, creation_ms: SIM_START_MS });
+        vid
+    }
+
+    fn add_static_edge(&mut self, label: EdgeLabel, src: Vid, dst: Vid) {
+        self.static_edges.push(EdgeRec {
+            label,
+            src,
+            dst,
+            props: Vec::new(),
+            creation_ms: SIM_START_MS,
+        });
+    }
+
+    fn gen_places(&mut self) {
+        for (ci, (country, cities)) in dict::COUNTRIES.iter().enumerate() {
+            let cvid = self.add_static_vertex(
+                VertexLabel::Place,
+                vec![
+                    (PropKey::Name, Value::str(country)),
+                    (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/{country}"))),
+                    (PropKey::PlaceType, Value::str("country")),
+                ],
+            );
+            self.country_place_ids.push(cvid.local());
+            for city in *cities {
+                let city_vid = self.add_static_vertex(
+                    VertexLabel::Place,
+                    vec![
+                        (PropKey::Name, Value::str(city)),
+                        (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/{city}"))),
+                        (PropKey::PlaceType, Value::str("city")),
+                    ],
+                );
+                self.city_place_ids.push((city_vid.local(), ci));
+                self.add_static_edge(EdgeLabel::IsPartOf, city_vid, cvid);
+            }
+        }
+    }
+
+    fn gen_tags(&mut self) {
+        let mut class_vids = Vec::new();
+        for (i, name) in dict::TAG_CLASSES.iter().enumerate() {
+            let vid = self.add_static_vertex(
+                VertexLabel::TagClass,
+                vec![
+                    (PropKey::Name, Value::str(name)),
+                    (PropKey::Url, Value::string(format!("http://dbpedia.org/ontology/{name}"))),
+                ],
+            );
+            class_vids.push(vid);
+            if i > 0 {
+                let parent = class_vids[self.rng.gen_range(0..i)];
+                self.add_static_edge(EdgeLabel::IsSubclassOf, vid, parent);
+            }
+        }
+        let tag_count = dict::TAG_STEMS.len().max(self.cfg.persons / 4).max(60);
+        for t in 0..tag_count {
+            let stem = dict::TAG_STEMS[t % dict::TAG_STEMS.len()];
+            let name = if t < dict::TAG_STEMS.len() {
+                stem.to_string()
+            } else {
+                format!("{stem}_{}", t / dict::TAG_STEMS.len())
+            };
+            let class = class_vids[self.rng.gen_range(0..class_vids.len())];
+            let vid = self.add_static_vertex(
+                VertexLabel::Tag,
+                vec![
+                    (PropKey::Name, Value::string(name.clone())),
+                    (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/{name}"))),
+                ],
+            );
+            self.tag_ids.push(vid.local());
+            self.add_static_edge(EdgeLabel::HasType, vid, class);
+        }
+    }
+
+    fn gen_organisations(&mut self) {
+        for ci in 0..dict::COUNTRIES.len() {
+            let uni = dict::UNIVERSITIES[ci % dict::UNIVERSITIES.len()];
+            let name = format!("{}_{uni}", dict::COUNTRIES[ci].0);
+            let vid = self.add_static_vertex(
+                VertexLabel::Organisation,
+                vec![
+                    (PropKey::Name, Value::string(name)),
+                    (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/uni_{ci}"))),
+                    (PropKey::OrgType, Value::str("university")),
+                ],
+            );
+            self.university_ids.push((vid.local(), ci));
+            // Universities sit in the first city of their country.
+            let city = self
+                .city_place_ids
+                .iter()
+                .find(|(_, c)| *c == ci)
+                .map(|(id, _)| *id)
+                .expect("every country has a city");
+            self.add_static_edge(EdgeLabel::IsLocatedIn, vid, Vid::new(VertexLabel::Place, city));
+        }
+        for (i, company) in dict::COMPANIES.iter().enumerate() {
+            let vid = self.add_static_vertex(
+                VertexLabel::Organisation,
+                vec![
+                    (PropKey::Name, Value::str(company)),
+                    (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/co_{i}"))),
+                    (PropKey::OrgType, Value::str("company")),
+                ],
+            );
+            self.company_ids.push(vid.local());
+            let ci = self.rng.gen_range(0..self.country_place_ids.len());
+            let country = self.country_place_ids[ci];
+            self.add_static_edge(EdgeLabel::IsLocatedIn, vid, Vid::new(VertexLabel::Place, country));
+        }
+    }
+
+    fn random_ip(&mut self) -> String {
+        format!(
+            "{}.{}.{}.{}",
+            self.rng.gen_range(1..224u8),
+            self.rng.gen_range(0..=255u8),
+            self.rng.gen_range(0..=255u8),
+            self.rng.gen_range(1..=254u8)
+        )
+    }
+
+    fn random_browser(&mut self) -> &'static str {
+        // Skewed browser share, as in LDBC.
+        let r: f64 = self.rng.gen();
+        let idx = if r < 0.45 {
+            0
+        } else if r < 0.75 {
+            1
+        } else if r < 0.9 {
+            2
+        } else if r < 0.97 {
+            3
+        } else {
+            4
+        };
+        dict::BROWSERS[idx]
+    }
+
+    fn random_content(&mut self, min_words: usize, max_words: usize) -> String {
+        let n = self.rng.gen_range(min_words..=max_words);
+        let mut s = String::with_capacity(n * 7);
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(dict::WORDS[self.rng.gen_range(0..dict::WORDS.len())]);
+        }
+        s
+    }
+
+    fn gen_persons(&mut self) {
+        let n = self.cfg.persons;
+        let window = self.cfg.sim_end_ms() - SIM_START_MS;
+        let communities = (n / 25).max(4);
+        for _ in 0..n {
+            // Person arrivals are front-loaded (quadratic bias towards the
+            // beginning) so the snapshot holds most of the network and the
+            // update stream still receives fresh persons.
+            let u: f64 = self.rng.gen();
+            let created = SIM_START_MS + ((u * u) * window as f64) as i64;
+            let id = self.alloc_id(VertexLabel::Person);
+            let vid = Vid::new(VertexLabel::Person, id);
+            let ci = self.rng.gen_range(0..self.city_place_ids.len());
+            let (city, country) = self.city_place_ids[ci];
+            let community = self.rng.gen_range(0..communities);
+            // Interests cluster around the community's "home" tag range.
+            let tags_per_community = (self.tag_ids.len() / communities).max(1);
+            let base = community * tags_per_community;
+            let mut interests: Vec<u64> = Vec::new();
+            let n_interests = self.rng.gen_range(3..=8usize);
+            for _ in 0..n_interests {
+                let idx = if self.rng.gen::<f64>() < 0.8 {
+                    base + self.rng.gen_range(0..tags_per_community)
+                } else {
+                    self.rng.gen_range(0..self.tag_ids.len())
+                };
+                let tag = self.tag_ids[idx % self.tag_ids.len()];
+                if !interests.contains(&tag) {
+                    interests.push(tag);
+                }
+            }
+            let first = dict::FIRST_NAMES[self.rng.gen_range(0..dict::FIRST_NAMES.len())];
+            let last = dict::LAST_NAMES[self.rng.gen_range(0..dict::LAST_NAMES.len())];
+            // Birthday: 1950..1995 as epoch ms (negative before 1970).
+            let birth_year = self.rng.gen_range(1950..1995i64);
+            let birthday = (birth_year - 1970) * 365 * DAY_MS + self.rng.gen_range(0..365) * DAY_MS;
+            let ip = self.random_ip();
+            let browser = self.random_browser();
+            let props = vec![
+                (PropKey::FirstName, Value::str(first)),
+                (PropKey::LastName, Value::str(last)),
+                (PropKey::Gender, Value::str(if self.rng.gen() { "male" } else { "female" })),
+                (PropKey::Birthday, Value::Date(birthday)),
+                (PropKey::CreationDate, Value::Date(created)),
+                (PropKey::LocationIp, Value::string(ip)),
+                (PropKey::BrowserUsed, Value::str(browser)),
+                (
+                    PropKey::Email,
+                    Value::List(vec![Value::string(format!(
+                        "{}.{}{}@example.org",
+                        first.to_lowercase(),
+                        last.to_lowercase(),
+                        id
+                    ))]),
+                ),
+                (
+                    PropKey::Speaks,
+                    Value::List(vec![Value::str(
+                        dict::LANGUAGES[self.rng.gen_range(0..dict::LANGUAGES.len())],
+                    )]),
+                ),
+            ];
+            let mut edges = vec![EdgeRec {
+                label: EdgeLabel::IsLocatedIn,
+                src: vid,
+                dst: Vid::new(VertexLabel::Place, city),
+                props: Vec::new(),
+                creation_ms: created,
+            }];
+            for &tag in &interests {
+                edges.push(EdgeRec {
+                    label: EdgeLabel::HasInterest,
+                    src: vid,
+                    dst: Vid::new(VertexLabel::Tag, tag),
+                    props: Vec::new(),
+                    creation_ms: created,
+                });
+            }
+            if self.rng.gen::<f64>() < 0.6 {
+                let (uni, _) = self.university_ids[country % self.university_ids.len()];
+                edges.push(EdgeRec {
+                    label: EdgeLabel::StudyAt,
+                    src: vid,
+                    dst: Vid::new(VertexLabel::Organisation, uni),
+                    props: vec![(PropKey::ClassYear, Value::Int(birth_year + 19))],
+                    creation_ms: created,
+                });
+            }
+            if self.rng.gen::<f64>() < 0.8 {
+                let company = self.company_ids[self.rng.gen_range(0..self.company_ids.len())];
+                edges.push(EdgeRec {
+                    label: EdgeLabel::WorkAt,
+                    src: vid,
+                    dst: Vid::new(VertexLabel::Organisation, company),
+                    props: vec![(PropKey::WorkFrom, Value::Int(birth_year + 22))],
+                    creation_ms: created,
+                });
+            }
+            self.created_at.insert(vid, created);
+            self.person_created.push(created);
+            self.person_city.push(city);
+            self.person_country.push(country);
+            self.person_interests.push(interests);
+            self.person_community.push(community);
+            self.friends.push(Vec::new());
+            self.events.push(Event {
+                ts: created,
+                kind: UpdateKind::AddPerson,
+                vertex: Some(VertexRec { label: VertexLabel::Person, id, props, creation_ms: created }),
+                edges,
+            });
+        }
+    }
+
+    /// Chung-Lu-style friendship generation: endpoint choice is
+    /// proportional to a Pareto weight (power-law degrees), biased to
+    /// stay within the same interest community.
+    fn gen_friendships(&mut self) {
+        let n = self.cfg.persons;
+        if n < 2 {
+            return;
+        }
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                let u: f64 = self.rng.gen::<f64>().max(1e-12);
+                // Pareto(alpha=2.2, xmin=1): heavy tail, finite mean.
+                u.powf(-1.0 / 2.2)
+            })
+            .collect();
+        let mut cum: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        // Per-community cumulative tables.
+        let communities = self.person_community.iter().copied().max().unwrap_or(0) + 1;
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); communities];
+        for (i, &c) in self.person_community.iter().enumerate() {
+            members[c].push(i);
+        }
+        let target_edges = (n as f64 * self.cfg.mean_degree / 2.0) as usize;
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(target_edges * 2);
+        let mut attempts = 0usize;
+        let max_attempts = target_edges * 20;
+        let sim_end = self.cfg.sim_end_ms();
+        while seen.len() < target_edges && attempts < max_attempts {
+            attempts += 1;
+            let a = sample_cum(&cum, self.rng.gen::<f64>() * acc);
+            let b = if self.rng.gen::<f64>() < self.cfg.community_bias {
+                let pool = &members[self.person_community[a]];
+                pool[self.rng.gen_range(0..pool.len())]
+            } else {
+                sample_cum(&cum, self.rng.gen::<f64>() * acc)
+            };
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue;
+            }
+            let base = self.person_created[a].max(self.person_created[b]);
+            let ts = (base + self.rng.gen_range(0..60 * DAY_MS)).min(sim_end - 1);
+            self.friends[a].push(b);
+            self.friends[b].push(a);
+            let (pa, pb) = (
+                Vid::new(VertexLabel::Person, key.0 as u64),
+                Vid::new(VertexLabel::Person, key.1 as u64),
+            );
+            self.events.push(Event {
+                ts,
+                kind: UpdateKind::AddFriendship,
+                vertex: None,
+                edges: vec![EdgeRec {
+                    label: EdgeLabel::Knows,
+                    src: pa,
+                    dst: pb,
+                    props: vec![(PropKey::CreationDate, Value::Date(ts))],
+                    creation_ms: ts,
+                }],
+            });
+        }
+    }
+
+    fn gen_forums_and_messages(&mut self) {
+        let n = self.cfg.persons;
+        let sim_end = self.cfg.sim_end_ms();
+        // Collected first to avoid borrowing issues, then turned into events.
+        for moderator in 0..n {
+            if self.friends[moderator].is_empty() {
+                continue;
+            }
+            let n_forums = if self.rng.gen::<f64>() < 0.6 { 1 } else { 2 };
+            for _ in 0..n_forums {
+                let forum_id = self.alloc_id(VertexLabel::Forum);
+                let forum = Vid::new(VertexLabel::Forum, forum_id);
+                let mod_vid = Vid::new(VertexLabel::Person, moderator as u64);
+                let created = (self.person_created[moderator]
+                    + self.rng.gen_range(0..90 * DAY_MS))
+                .min(sim_end - 1);
+                self.created_at.insert(forum, created);
+                // Forum tags come from the moderator's interests.
+                let interests = self.person_interests[moderator].clone();
+                let mut forum_tags: Vec<u64> = Vec::new();
+                for _ in 0..self.rng.gen_range(1..=3usize) {
+                    if interests.is_empty() {
+                        break;
+                    }
+                    let t = interests[self.rng.gen_range(0..interests.len())];
+                    if !forum_tags.contains(&t) {
+                        forum_tags.push(t);
+                    }
+                }
+                let title = format!(
+                    "Group for {} #{}",
+                    forum_tags
+                        .first()
+                        .map(|t| format!("tag{t}"))
+                        .unwrap_or_else(|| "everything".into()),
+                    forum_id
+                );
+                let mut edges = vec![EdgeRec {
+                    label: EdgeLabel::HasModerator,
+                    src: forum,
+                    dst: mod_vid,
+                    props: Vec::new(),
+                    creation_ms: created,
+                }];
+                for &t in &forum_tags {
+                    edges.push(EdgeRec {
+                        label: EdgeLabel::HasTag,
+                        src: forum,
+                        dst: Vid::new(VertexLabel::Tag, t),
+                        props: Vec::new(),
+                        creation_ms: created,
+                    });
+                }
+                self.events.push(Event {
+                    ts: created,
+                    kind: UpdateKind::AddForum,
+                    vertex: Some(VertexRec {
+                        label: VertexLabel::Forum,
+                        id: forum_id,
+                        props: vec![
+                            (PropKey::Title, Value::string(title)),
+                            (PropKey::CreationDate, Value::Date(created)),
+                        ],
+                        creation_ms: created,
+                    }),
+                    edges,
+                });
+                // Members: moderator + a subset of their friends.
+                let mut member_set: Vec<usize> = vec![moderator];
+                let friend_list = self.friends[moderator].clone();
+                for f in friend_list {
+                    if self.rng.gen::<f64>() < 0.6 {
+                        member_set.push(f);
+                    }
+                }
+                let mut joined: Vec<(usize, i64)> = Vec::with_capacity(member_set.len());
+                for &m in &member_set {
+                    let join = (created.max(self.person_created[m])
+                        + self.rng.gen_range(0..30 * DAY_MS))
+                    .min(sim_end - 1);
+                    joined.push((m, join));
+                    self.events.push(Event {
+                        ts: join,
+                        kind: UpdateKind::AddForumMembership,
+                        vertex: None,
+                        edges: vec![EdgeRec {
+                            label: EdgeLabel::HasMember,
+                            src: forum,
+                            dst: Vid::new(VertexLabel::Person, m as u64),
+                            props: vec![(PropKey::JoinDate, Value::Date(join))],
+                            creation_ms: join,
+                        }],
+                    });
+                }
+                // Posts by members.
+                for &(m, join) in &joined {
+                    let n_posts = poisson(&mut self.rng, self.cfg.posts_per_member);
+                    for _ in 0..n_posts {
+                        self.gen_post(forum, m, join, &forum_tags);
+                    }
+                }
+            }
+        }
+    }
+
+    fn gen_post(&mut self, forum: Vid, creator: usize, after: i64, forum_tags: &[u64]) {
+        let sim_end = self.cfg.sim_end_ms();
+        if after >= sim_end - 1 {
+            return;
+        }
+        let created = self.rng.gen_range(after..sim_end);
+        let post_id = self.alloc_id(VertexLabel::Post);
+        let post = Vid::new(VertexLabel::Post, post_id);
+        self.created_at.insert(post, created);
+        let creator_vid = Vid::new(VertexLabel::Person, creator as u64);
+        let content = self.random_content(5, 40);
+        let has_image = self.rng.gen::<f64>() < 0.15;
+        let ip = self.random_ip();
+        let browser = self.random_browser();
+        let mut props = vec![
+            (PropKey::CreationDate, Value::Date(created)),
+            (PropKey::LocationIp, Value::string(ip)),
+            (PropKey::BrowserUsed, Value::str(browser)),
+            (PropKey::Language, Value::str(dict::LANGUAGES[self.rng.gen_range(0..dict::LANGUAGES.len())])),
+            (PropKey::Length, Value::Int(content.len() as i64)),
+            (PropKey::Content, Value::string(content)),
+        ];
+        if has_image {
+            props.push((PropKey::ImageFile, Value::string(format!("photo{post_id}.jpg"))));
+        }
+        let country_place = self.country_place_ids[self.person_country[creator]];
+        let mut edges = vec![
+            EdgeRec {
+                label: EdgeLabel::ContainerOf,
+                src: forum,
+                dst: post,
+                props: Vec::new(),
+                creation_ms: created,
+            },
+            EdgeRec {
+                label: EdgeLabel::HasCreator,
+                src: post,
+                dst: creator_vid,
+                props: Vec::new(),
+                creation_ms: created,
+            },
+            EdgeRec {
+                label: EdgeLabel::IsLocatedIn,
+                src: post,
+                dst: Vid::new(VertexLabel::Place, country_place),
+                props: Vec::new(),
+                creation_ms: created,
+            },
+        ];
+        for &t in forum_tags {
+            if self.rng.gen::<f64>() < 0.7 {
+                edges.push(EdgeRec {
+                    label: EdgeLabel::HasTag,
+                    src: post,
+                    dst: Vid::new(VertexLabel::Tag, t),
+                    props: Vec::new(),
+                    creation_ms: created,
+                });
+            }
+        }
+        self.events.push(Event {
+            ts: created,
+            kind: UpdateKind::AddPost,
+            vertex: Some(VertexRec { label: VertexLabel::Post, id: post_id, props, creation_ms: created }),
+            edges,
+        });
+        self.gen_likes(post, created, creator, UpdateKind::AddLikePost);
+        // Comment cascade.
+        let n_comments = poisson(&mut self.rng, self.cfg.comments_per_post);
+        for _ in 0..n_comments {
+            self.gen_comment(post, created, creator, 0);
+        }
+    }
+
+    fn gen_comment(&mut self, parent: Vid, parent_ts: i64, thread_owner: usize, depth: u32) {
+        let sim_end = self.cfg.sim_end_ms();
+        if parent_ts >= sim_end - 1 || depth > 4 {
+            return;
+        }
+        // Commenter: a friend of the thread owner when possible.
+        let commenter = if !self.friends[thread_owner].is_empty() && self.rng.gen::<f64>() < 0.8 {
+            let fs = &self.friends[thread_owner];
+            fs[self.rng.gen_range(0..fs.len())]
+        } else {
+            self.rng.gen_range(0..self.cfg.persons)
+        };
+        let earliest = parent_ts.max(self.person_created[commenter]);
+        if earliest >= sim_end - 1 {
+            return;
+        }
+        let created = self.rng.gen_range(earliest..sim_end).min(sim_end - 1);
+        let comment_id = self.alloc_id(VertexLabel::Comment);
+        let comment = Vid::new(VertexLabel::Comment, comment_id);
+        self.created_at.insert(comment, created);
+        let content = self.random_content(2, 20);
+        let ip = self.random_ip();
+        let browser = self.random_browser();
+        let props = vec![
+            (PropKey::CreationDate, Value::Date(created)),
+            (PropKey::LocationIp, Value::string(ip)),
+            (PropKey::BrowserUsed, Value::str(browser)),
+            (PropKey::Length, Value::Int(content.len() as i64)),
+            (PropKey::Content, Value::string(content)),
+        ];
+        let country_place = self.country_place_ids[self.person_country[commenter]];
+        let edges = vec![
+            EdgeRec {
+                label: EdgeLabel::ReplyOf,
+                src: comment,
+                dst: parent,
+                props: Vec::new(),
+                creation_ms: created,
+            },
+            EdgeRec {
+                label: EdgeLabel::HasCreator,
+                src: comment,
+                dst: Vid::new(VertexLabel::Person, commenter as u64),
+                props: Vec::new(),
+                creation_ms: created,
+            },
+            EdgeRec {
+                label: EdgeLabel::IsLocatedIn,
+                src: comment,
+                dst: Vid::new(VertexLabel::Place, country_place),
+                props: Vec::new(),
+                creation_ms: created,
+            },
+        ];
+        self.events.push(Event {
+            ts: created,
+            kind: UpdateKind::AddComment,
+            vertex: Some(VertexRec {
+                label: VertexLabel::Comment,
+                id: comment_id,
+                props,
+                creation_ms: created,
+            }),
+            edges,
+        });
+        self.gen_likes(comment, created, commenter, UpdateKind::AddLikeComment);
+        // Replies to this comment, with decaying branching factor.
+        let n_replies = poisson(&mut self.rng, self.cfg.comments_per_post * 0.35);
+        for _ in 0..n_replies {
+            self.gen_comment(comment, created, commenter, depth + 1);
+        }
+    }
+
+    fn gen_likes(&mut self, message: Vid, message_ts: i64, creator: usize, kind: UpdateKind) {
+        let sim_end = self.cfg.sim_end_ms();
+        let friend_list = self.friends[creator].clone();
+        for f in friend_list {
+            if self.rng.gen::<f64>() >= self.cfg.like_probability {
+                continue;
+            }
+            let earliest = message_ts.max(self.person_created[f]);
+            if earliest >= sim_end - 1 {
+                continue;
+            }
+            let ts = (earliest + self.rng.gen_range(0..14 * DAY_MS)).min(sim_end - 1);
+            self.events.push(Event {
+                ts,
+                kind,
+                vertex: None,
+                edges: vec![EdgeRec {
+                    label: EdgeLabel::Likes,
+                    src: Vid::new(VertexLabel::Person, f as u64),
+                    dst: message,
+                    props: vec![(PropKey::CreationDate, Value::Date(ts))],
+                    creation_ms: ts,
+                }],
+            });
+        }
+    }
+
+    fn split(mut self) -> GeneratedData {
+        let cut = self.cfg.cut_ms();
+        let mut snapshot = Dataset {
+            vertices: std::mem::take(&mut self.static_vertices),
+            edges: std::mem::take(&mut self.static_edges),
+        };
+        let mut updates = Vec::new();
+        self.events.sort_by_key(|e| e.ts);
+        for ev in self.events {
+            if ev.ts <= cut {
+                if let Some(v) = ev.vertex {
+                    snapshot.vertices.push(v);
+                }
+                snapshot.edges.extend(ev.edges);
+            } else {
+                // Dependency: the newest referenced entity other than the
+                // vertex this op itself creates.
+                let own = ev.vertex.as_ref().map(|v| v.vid());
+                let mut dep = SIM_START_MS;
+                for e in &ev.edges {
+                    for end in [e.src, e.dst] {
+                        if Some(end) != own {
+                            if let Some(&t) = self.created_at.get(&end) {
+                                dep = dep.max(t);
+                            }
+                        }
+                    }
+                }
+                updates.push(UpdateOp {
+                    kind: ev.kind,
+                    ts_ms: ev.ts,
+                    dependency_ms: dep,
+                    new_vertex: ev.vertex,
+                    new_edges: ev.edges,
+                });
+            }
+        }
+        GeneratedData { snapshot, updates, cut_ms: cut }
+    }
+}
+
+/// Binary search into a cumulative-weight table.
+fn sample_cum(cum: &[f64], x: f64) -> usize {
+    match cum.binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite")) {
+        Ok(i) => i,
+        Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+/// Knuth's Poisson sampler (fine for the small lambdas used here).
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // safety valve; unreachable for benchmark lambdas
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn tiny() -> GeneratedData {
+        generate(&GeneratorConfig::tiny())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.snapshot.vertices, b.snapshot.vertices);
+        assert_eq!(a.snapshot.edges, b.snapshot.edges);
+        assert_eq!(a.updates, b.updates);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tiny();
+        let mut cfg = GeneratorConfig::tiny();
+        cfg.seed ^= 0xdead_beef;
+        let b = generate(&cfg);
+        assert_ne!(a.snapshot.edges, b.snapshot.edges);
+    }
+
+    #[test]
+    fn snapshot_is_referentially_consistent() {
+        let d = tiny();
+        let ids: std::collections::HashSet<_> =
+            d.snapshot.vertices.iter().map(|v| v.vid()).collect();
+        assert_eq!(ids.len(), d.snapshot.vertices.len(), "vertex ids unique");
+        for e in &d.snapshot.edges {
+            assert!(ids.contains(&e.src), "snapshot edge src {:?} missing", e.src);
+            assert!(ids.contains(&e.dst), "snapshot edge dst {:?} missing", e.dst);
+        }
+    }
+
+    #[test]
+    fn updates_are_sorted_and_after_cut() {
+        let d = tiny();
+        assert!(!d.updates.is_empty(), "tiny config still produces a stream");
+        let mut prev = i64::MIN;
+        for u in &d.updates {
+            assert!(u.ts_ms > d.cut_ms);
+            assert!(u.ts_ms >= prev, "stream is time-ordered");
+            assert!(u.dependency_ms <= u.ts_ms, "dependencies precede the op");
+            prev = u.ts_ms;
+        }
+    }
+
+    #[test]
+    fn update_kinds_cover_the_ldbc_set() {
+        let mut cfg = GeneratorConfig::tiny();
+        cfg.persons = 150;
+        let d = generate(&cfg);
+        let mut kinds: Map<UpdateKind, usize> = Map::new();
+        for u in &d.updates {
+            *kinds.entry(u.kind).or_default() += 1;
+        }
+        for k in [
+            UpdateKind::AddLikePost,
+            UpdateKind::AddForumMembership,
+            UpdateKind::AddPost,
+            UpdateKind::AddComment,
+            UpdateKind::AddFriendship,
+        ] {
+            assert!(kinds.contains_key(&k), "missing update kind {k:?}: {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn every_entity_type_is_generated() {
+        let d = tiny();
+        use snb_core::ids::VERTEX_LABELS;
+        for label in VERTEX_LABELS {
+            assert!(
+                d.snapshot.count_vertices(label) > 0,
+                "no {label} vertices in snapshot"
+            );
+        }
+        assert!(d.snapshot.count_edges(EdgeLabel::Knows) > 0);
+        assert!(d.snapshot.count_edges(EdgeLabel::HasCreator) > 0);
+        assert!(d.snapshot.count_edges(EdgeLabel::ReplyOf) > 0);
+        assert!(d.snapshot.count_edges(EdgeLabel::Likes) > 0);
+    }
+
+    #[test]
+    fn knows_degrees_are_skewed() {
+        let mut cfg = GeneratorConfig::tiny();
+        cfg.persons = 300;
+        let d = generate(&cfg);
+        let mut deg: Map<Vid, usize> = Map::new();
+        for e in d.snapshot.edges.iter().filter(|e| e.label == EdgeLabel::Knows) {
+            *deg.entry(e.src).or_default() += 1;
+            *deg.entry(e.dst).or_default() += 1;
+        }
+        let max = deg.values().copied().max().unwrap_or(0);
+        let mean = deg.values().sum::<usize>() as f64 / deg.len().max(1) as f64;
+        assert!(max as f64 > 3.0 * mean, "power-law tail: max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn edge_dates_follow_endpoint_dates() {
+        let d = tiny();
+        let created: Map<Vid, i64> = d
+            .snapshot
+            .vertices
+            .iter()
+            .map(|v| (v.vid(), v.creation_ms))
+            .chain(
+                d.updates
+                    .iter()
+                    .filter_map(|u| u.new_vertex.as_ref())
+                    .map(|v| (v.vid(), v.creation_ms)),
+            )
+            .collect();
+        for e in d
+            .snapshot
+            .edges
+            .iter()
+            .chain(d.updates.iter().flat_map(|u| u.new_edges.iter()))
+        {
+            assert!(e.creation_ms >= created[&e.src], "edge predates src");
+            assert!(e.creation_ms >= created[&e.dst], "edge predates dst");
+        }
+    }
+}

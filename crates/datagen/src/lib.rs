@@ -1,0 +1,35 @@
+//! Deterministic LDBC-SNB-like social network generator.
+//!
+//! The LDBC SNB data generator simulates the activity of a social
+//! network over a period of time and splits the result at a cut date:
+//! everything created before the cut becomes the **static snapshot**
+//! bulk-loaded into the system under test, everything after becomes the
+//! **update stream** replayed against it. This crate reproduces that
+//! contract with realistic structure:
+//!
+//! * power-law `knows` degrees with community (shared-interest) bias;
+//! * correlated attributes (a person's posts are located in their
+//!   country, forum tags come from the moderator's interests);
+//! * a timeline: every entity has a `creationDate`, and every edge's
+//!   date is ≥ the dates of both endpoints, so cutting at any instant
+//!   yields a referentially consistent snapshot — an invariant the test
+//!   suite checks by property testing;
+//! * update operations carrying LDBC-style *dependency timestamps* used
+//!   by the driver's dependency-tracking scheduler.
+//!
+//! Scale factors: the paper's SF3 (10 M vertices / 64 M edges) targets a
+//! 256 GB machine. [`GeneratorConfig::scale_factor`] maps SF *n* to
+//! `300 · n` persons (≈1/100 of LDBC's density) with the same SF3:SF10
+//! shape ratio; pass a custom person count to scale up.
+
+pub mod config;
+pub mod csv;
+pub mod dict;
+pub mod generator;
+pub mod model;
+pub mod stats;
+
+pub use config::GeneratorConfig;
+pub use generator::generate;
+pub use model::{Dataset, EdgeRec, GeneratedData, UpdateKind, UpdateOp, VertexRec};
+pub use stats::DatasetStats;

@@ -1,0 +1,190 @@
+//! Generated dataset records and update operations.
+//!
+//! `VertexRec`/`EdgeRec` are the loader-facing, engine-neutral
+//! representation of the generated graph. Update operations are the
+//! eight LDBC SNB interactive updates (IU1–IU8); each is a (possibly
+//! absent) new vertex plus a set of new edges, with the timestamps the
+//! driver's dependency tracker needs.
+
+use serde::{Deserialize, Serialize};
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+
+/// One vertex of the generated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexRec {
+    pub label: VertexLabel,
+    /// Entity-local LDBC id.
+    pub id: u64,
+    pub props: Vec<(PropKey, Value)>,
+    /// Event time (== `creationDate` property where present; static
+    /// dictionary entities use the simulation start).
+    pub creation_ms: i64,
+}
+
+impl VertexRec {
+    /// The packed global id of this vertex.
+    pub fn vid(&self) -> Vid {
+        Vid::new(self.label, self.id)
+    }
+
+    /// Read one of the record's properties.
+    pub fn prop(&self, key: PropKey) -> Option<&Value> {
+        self.props.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// One directed edge of the generated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRec {
+    pub label: EdgeLabel,
+    pub src: Vid,
+    pub dst: Vid,
+    pub props: Vec<(PropKey, Value)>,
+    /// Event time; ≥ the creation times of both endpoints by construction.
+    pub creation_ms: i64,
+}
+
+/// A bulk-loadable set of vertices and edges (the static snapshot).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub vertices: Vec<VertexRec>,
+    pub edges: Vec<EdgeRec>,
+}
+
+impl Dataset {
+    /// Vertices with a given label.
+    pub fn vertices_of(&self, label: VertexLabel) -> impl Iterator<Item = &VertexRec> {
+        self.vertices.iter().filter(move |v| v.label == label)
+    }
+
+    /// Count vertices with a given label.
+    pub fn count_vertices(&self, label: VertexLabel) -> usize {
+        self.vertices_of(label).count()
+    }
+
+    /// Count edges with a given label.
+    pub fn count_edges(&self, label: EdgeLabel) -> usize {
+        self.edges.iter().filter(|e| e.label == label).count()
+    }
+}
+
+/// The LDBC SNB interactive update operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// IU1: add person (with location, interests).
+    AddPerson,
+    /// IU2: add like to post.
+    AddLikePost,
+    /// IU3: add like to comment.
+    AddLikeComment,
+    /// IU4: add forum (with moderator, tags).
+    AddForum,
+    /// IU5: add forum membership.
+    AddForumMembership,
+    /// IU6: add post.
+    AddPost,
+    /// IU7: add comment.
+    AddComment,
+    /// IU8: add friendship.
+    AddFriendship,
+}
+
+impl UpdateKind {
+    /// LDBC operation name (`IU1`..`IU8`).
+    pub fn ldbc_name(self) -> &'static str {
+        match self {
+            UpdateKind::AddPerson => "IU1",
+            UpdateKind::AddLikePost => "IU2",
+            UpdateKind::AddLikeComment => "IU3",
+            UpdateKind::AddForum => "IU4",
+            UpdateKind::AddForumMembership => "IU5",
+            UpdateKind::AddPost => "IU6",
+            UpdateKind::AddComment => "IU7",
+            UpdateKind::AddFriendship => "IU8",
+        }
+    }
+}
+
+/// One update operation of the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateOp {
+    pub kind: UpdateKind,
+    /// Scheduled (event) time of this operation.
+    pub ts_ms: i64,
+    /// The latest creation time among the entities this operation
+    /// references — the driver must not execute this op before every
+    /// operation at or before `dependency_ms` has been applied.
+    pub dependency_ms: i64,
+    /// Vertex created by this op (IU1/4/6/7), if any.
+    pub new_vertex: Option<VertexRec>,
+    /// Edges created by this op (always at least one except bare IU1).
+    pub new_edges: Vec<EdgeRec>,
+}
+
+/// Full generator output: snapshot + update stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedData {
+    pub snapshot: Dataset,
+    /// Sorted by `ts_ms`.
+    pub updates: Vec<UpdateOp>,
+    /// The snapshot/stream cut point.
+    pub cut_ms: i64,
+}
+
+impl GeneratedData {
+    /// Total vertices across snapshot and stream.
+    pub fn total_vertices(&self) -> usize {
+        self.snapshot.vertices.len()
+            + self.updates.iter().filter(|u| u.new_vertex.is_some()).count()
+    }
+
+    /// Total edges across snapshot and stream.
+    pub fn total_edges(&self) -> usize {
+        self.snapshot.edges.len()
+            + self.updates.iter().map(|u| u.new_edges.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_rec_vid_and_prop() {
+        let v = VertexRec {
+            label: VertexLabel::Person,
+            id: 9,
+            props: vec![(PropKey::FirstName, Value::str("Ada"))],
+            creation_ms: 0,
+        };
+        assert_eq!(v.vid(), Vid::new(VertexLabel::Person, 9));
+        assert_eq!(v.prop(PropKey::FirstName), Some(&Value::str("Ada")));
+        assert_eq!(v.prop(PropKey::LastName), None);
+    }
+
+    #[test]
+    fn update_kind_names() {
+        assert_eq!(UpdateKind::AddPerson.ldbc_name(), "IU1");
+        assert_eq!(UpdateKind::AddFriendship.ldbc_name(), "IU8");
+    }
+
+    #[test]
+    fn update_op_roundtrips_through_json() {
+        let op = UpdateOp {
+            kind: UpdateKind::AddFriendship,
+            ts_ms: 100,
+            dependency_ms: 50,
+            new_vertex: None,
+            new_edges: vec![EdgeRec {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, 1),
+                dst: Vid::new(VertexLabel::Person, 2),
+                props: vec![(PropKey::CreationDate, Value::Date(100))],
+                creation_ms: 100,
+            }],
+        };
+        let bytes = serde_json::to_vec(&op).unwrap();
+        let back: UpdateOp = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back, op);
+    }
+}

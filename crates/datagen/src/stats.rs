@@ -1,0 +1,70 @@
+//! Dataset statistics backing Table 1.
+
+use snb_core::ids::{EDGE_LABELS, VERTEX_LABELS};
+use std::collections::HashMap;
+
+use crate::model::GeneratedData;
+
+/// Summary counts for a generated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Snapshot vertex count by label.
+    pub vertices_by_label: HashMap<&'static str, usize>,
+    /// Snapshot edge count by label.
+    pub edges_by_label: HashMap<&'static str, usize>,
+    /// Snapshot totals.
+    pub snapshot_vertices: usize,
+    pub snapshot_edges: usize,
+    /// Update-stream totals.
+    pub update_ops: usize,
+    pub update_vertices: usize,
+    pub update_edges: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a generated dataset.
+    pub fn of(data: &GeneratedData) -> Self {
+        let mut vertices_by_label = HashMap::new();
+        for l in VERTEX_LABELS {
+            vertices_by_label.insert(l.as_str(), 0usize);
+        }
+        for v in &data.snapshot.vertices {
+            *vertices_by_label.get_mut(v.label.as_str()).expect("all labels present") += 1;
+        }
+        let mut edges_by_label = HashMap::new();
+        for l in EDGE_LABELS {
+            edges_by_label.insert(l.as_str(), 0usize);
+        }
+        for e in &data.snapshot.edges {
+            *edges_by_label.get_mut(e.label.as_str()).expect("all labels present") += 1;
+        }
+        DatasetStats {
+            snapshot_vertices: data.snapshot.vertices.len(),
+            snapshot_edges: data.snapshot.edges.len(),
+            update_ops: data.updates.len(),
+            update_vertices: data.updates.iter().filter(|u| u.new_vertex.is_some()).count(),
+            update_edges: data.updates.iter().map(|u| u.new_edges.len()).sum(),
+            vertices_by_label,
+            edges_by_label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn stats_totals_match_dataset() {
+        let d = generate(&GeneratorConfig::tiny());
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.snapshot_vertices, d.snapshot.vertices.len());
+        assert_eq!(s.snapshot_edges, d.snapshot.edges.len());
+        assert_eq!(s.vertices_by_label.values().sum::<usize>(), s.snapshot_vertices);
+        assert_eq!(s.edges_by_label.values().sum::<usize>(), s.snapshot_edges);
+        assert_eq!(s.update_ops, d.updates.len());
+        assert!(s.update_edges >= s.update_vertices);
+    }
+}

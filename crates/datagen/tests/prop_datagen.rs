@@ -1,0 +1,59 @@
+//! Property tests for the generator's core invariants over random
+//! configurations: determinism, referential consistency of the cut, and
+//! dependency ordering of the update stream.
+
+use proptest::prelude::*;
+use snb_datagen::{generate, GeneratorConfig};
+use std::collections::HashSet;
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (30usize..90, any::<u64>(), 0.5f64..0.95, 4.0f64..20.0).prop_map(
+        |(persons, seed, snapshot_fraction, mean_degree)| GeneratorConfig {
+            persons,
+            seed,
+            snapshot_fraction,
+            mean_degree,
+            ..GeneratorConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generator_invariants_hold(cfg in config_strategy()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        // Determinism.
+        prop_assert_eq!(&a.snapshot.vertices, &b.snapshot.vertices);
+        prop_assert_eq!(&a.snapshot.edges, &b.snapshot.edges);
+        prop_assert_eq!(&a.updates, &b.updates);
+
+        // Unique vertex ids; snapshot edges reference snapshot vertices.
+        let ids: HashSet<_> = a.snapshot.vertices.iter().map(|v| v.vid()).collect();
+        prop_assert_eq!(ids.len(), a.snapshot.vertices.len());
+        for e in &a.snapshot.edges {
+            prop_assert!(ids.contains(&e.src));
+            prop_assert!(ids.contains(&e.dst));
+        }
+
+        // Update stream: time-ordered, after the cut, dependencies met.
+        let mut all_ids = ids;
+        let mut prev = i64::MIN;
+        for u in &a.updates {
+            prop_assert!(u.ts_ms > a.cut_ms);
+            prop_assert!(u.ts_ms >= prev);
+            prop_assert!(u.dependency_ms <= u.ts_ms);
+            prev = u.ts_ms;
+            // Replaying in order never references a missing vertex.
+            if let Some(v) = &u.new_vertex {
+                prop_assert!(all_ids.insert(v.vid()), "duplicate vertex in stream");
+            }
+            for e in &u.new_edges {
+                prop_assert!(all_ids.contains(&e.src), "dangling src in {:?}", u.kind);
+                prop_assert!(all_ids.contains(&e.dst), "dangling dst in {:?}", u.kind);
+            }
+        }
+    }
+}

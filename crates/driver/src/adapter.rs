@@ -1,0 +1,157 @@
+//! The system-under-test abstraction and the eight configurations of
+//! the paper's study.
+
+use snb_core::{Result, Value};
+use snb_datagen::{Dataset, UpdateOp};
+use std::sync::Arc;
+
+use crate::ops::ReadOp;
+
+pub mod cypher;
+pub mod gremlin;
+pub mod sparql;
+pub mod sql;
+
+/// Rows returned by a read operation, normalized so different engines'
+/// answers are comparable (dates as ints, vertices as local ids).
+pub type OpResult = Vec<Vec<Value>>;
+
+/// Normalize one value for cross-engine comparison.
+pub fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Date(d) => Value::Int(*d),
+        Value::Vertex(vid) => Value::Int(vid.local() as i64),
+        Value::List(vs) => Value::List(vs.iter().map(normalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Normalize a whole result.
+pub fn normalize_rows(rows: Vec<Vec<Value>>) -> OpResult {
+    rows.into_iter().map(|r| r.iter().map(normalize).collect()).collect()
+}
+
+/// One system configuration under test.
+pub trait SutAdapter: Send + Sync {
+    /// Display name matching the paper's column headers.
+    fn name(&self) -> &'static str;
+
+    /// Bulk-load the static snapshot (vendor-specific loading path).
+    fn load(&self, snapshot: &Dataset) -> Result<()>;
+
+    /// Execute one read operation.
+    fn execute_read(&self, op: &ReadOp) -> Result<OpResult>;
+
+    /// Execute one update operation.
+    fn execute_update(&self, op: &UpdateOp) -> Result<()>;
+
+    /// Resident bytes after loading (Table 1).
+    fn storage_bytes(&self) -> usize;
+
+    /// The TinkerPop structure API of this system, when it has one
+    /// (used by the Table 4 / Appendix A loading experiments).
+    fn graph_backend(&self) -> Option<Arc<dyn snb_core::GraphBackend>> {
+        None
+    }
+
+    /// Whether concurrent bulk loading is supported (Neo4j-via-Gremlin
+    /// is single-loader in the paper).
+    fn supports_concurrent_load(&self) -> bool {
+        true
+    }
+}
+
+/// The eight configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SutKind {
+    /// Neo4j with its native declarative language.
+    NativeCypher,
+    /// Neo4j driven through the Gremlin Server.
+    NativeGremlin,
+    /// TitanDB over the partitioned (Cassandra-like) backend, Gremlin.
+    TitanC,
+    /// TitanDB over the embedded transactional B-tree (BerkeleyDB-like), Gremlin.
+    TitanB,
+    /// Sqlg: Gremlin over the relational row store.
+    Sqlg,
+    /// Postgres-like: row store, native SQL.
+    PostgresSql,
+    /// Virtuoso-like: column store, native SQL (with TRANSITIVE).
+    VirtuosoSql,
+    /// Virtuoso-like RDF: triple store, SPARQL.
+    VirtuosoSparql,
+}
+
+/// All configurations in the paper's column order.
+pub const ALL_SUT_KINDS: [SutKind; 8] = [
+    SutKind::NativeCypher,
+    SutKind::NativeGremlin,
+    SutKind::TitanC,
+    SutKind::TitanB,
+    SutKind::Sqlg,
+    SutKind::PostgresSql,
+    SutKind::VirtuosoSql,
+    SutKind::VirtuosoSparql,
+];
+
+impl SutKind {
+    /// Paper-style display name.
+    pub fn display(self) -> &'static str {
+        match self {
+            SutKind::NativeCypher => "Native (Cypher)",
+            SutKind::NativeGremlin => "Native (Gremlin)",
+            SutKind::TitanC => "Titan-C (Gremlin)",
+            SutKind::TitanB => "Titan-B (Gremlin)",
+            SutKind::Sqlg => "Sqlg (Gremlin)",
+            SutKind::PostgresSql => "Postgres (SQL)",
+            SutKind::VirtuosoSql => "Virtuoso (SQL)",
+            SutKind::VirtuosoSparql => "Virtuoso (SPARQL)",
+        }
+    }
+}
+
+/// Construct one adapter.
+pub fn build_adapter(kind: SutKind) -> Box<dyn SutAdapter> {
+    match kind {
+        SutKind::NativeCypher => Box::new(cypher::CypherAdapter::new()),
+        SutKind::NativeGremlin => Box::new(gremlin::GremlinAdapter::native()),
+        SutKind::TitanC => Box::new(gremlin::GremlinAdapter::titan_c()),
+        SutKind::TitanB => Box::new(gremlin::GremlinAdapter::titan_b()),
+        SutKind::Sqlg => Box::new(gremlin::GremlinAdapter::sqlg()),
+        SutKind::PostgresSql => Box::new(sql::SqlAdapter::row_store()),
+        SutKind::VirtuosoSql => Box::new(sql::SqlAdapter::column_store()),
+        SutKind::VirtuosoSparql => Box::new(sparql::SparqlAdapter::new()),
+    }
+}
+
+/// Construct every configuration, in paper order.
+pub fn build_all_adapters() -> Vec<Box<dyn SutAdapter>> {
+    ALL_SUT_KINDS.iter().map(|&k| build_adapter(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::{Vid, VertexLabel};
+
+    #[test]
+    fn normalize_flattens_engine_specific_types() {
+        assert_eq!(normalize(&Value::Date(5)), Value::Int(5));
+        assert_eq!(
+            normalize(&Value::Vertex(Vid::new(VertexLabel::Person, 7))),
+            Value::Int(7)
+        );
+        assert_eq!(
+            normalize(&Value::List(vec![Value::Date(1)])),
+            Value::List(vec![Value::Int(1)])
+        );
+        assert_eq!(normalize(&Value::str("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn kinds_have_unique_display_names() {
+        let names: std::collections::HashSet<_> =
+            ALL_SUT_KINDS.iter().map(|k| k.display()).collect();
+        assert_eq!(names.len(), ALL_SUT_KINDS.len());
+    }
+}

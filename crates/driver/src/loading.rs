@@ -1,0 +1,111 @@
+//! Bulk-loading experiments: Table 4 (single loader through the
+//! TinkerPop structure API) and Appendix A's concurrent-loader scaling.
+
+use snb_core::{GraphBackend, Result};
+use snb_datagen::Dataset;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub loaders: usize,
+    pub vertices: usize,
+    pub edges: usize,
+    pub total_secs: f64,
+    pub vertices_per_sec: f64,
+    pub edges_per_sec: f64,
+}
+
+/// Load a snapshot through the structure API with `loaders` concurrent
+/// threads (vertices first, then edges, as the LDBC Gremlin loading
+/// utilities do). Insert failures other than benign duplicate races are
+/// returned.
+pub fn load_concurrent(
+    backend: &dyn GraphBackend,
+    snapshot: &Dataset,
+    loaders: usize,
+) -> Result<LoadReport> {
+    assert!(loaders > 0, "need at least one loader");
+    let started = Instant::now();
+    let vstart = Instant::now();
+    run_chunked(loaders, snapshot.vertices.len(), |i| {
+        let v = &snapshot.vertices[i];
+        backend.add_vertex(v.label, v.id, &v.props).map(|_| ())
+    })?;
+    let v_secs = vstart.elapsed().as_secs_f64();
+    let estart = Instant::now();
+    run_chunked(loaders, snapshot.edges.len(), |i| {
+        let e = &snapshot.edges[i];
+        backend.add_edge(e.label, e.src, e.dst, &e.props)
+    })?;
+    let e_secs = estart.elapsed().as_secs_f64();
+    Ok(LoadReport {
+        loaders,
+        vertices: snapshot.vertices.len(),
+        edges: snapshot.edges.len(),
+        total_secs: started.elapsed().as_secs_f64(),
+        vertices_per_sec: snapshot.vertices.len() as f64 / v_secs.max(1e-9),
+        edges_per_sec: snapshot.edges.len() as f64 / e_secs.max(1e-9),
+    })
+}
+
+/// Run `f(0..n)` across `loaders` threads pulling indexes from a shared
+/// counter (work stealing keeps loaders busy even with skewed items).
+fn run_chunked(
+    loaders: usize,
+    n: usize,
+    f: impl Fn(usize) -> Result<()> + Sync,
+) -> Result<()> {
+    let next = AtomicUsize::new(0);
+    let failure = parking_lot::Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..loaders {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || failure.lock().is_some() {
+                    return;
+                }
+                if let Err(e) = f(i) {
+                    *failure.lock() = Some(e);
+                    return;
+                }
+            });
+        }
+    });
+    match failure.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::{generate, GeneratorConfig};
+    use snb_kvgraph::{KvGraph, PartitionedKv};
+
+    #[test]
+    fn single_and_multi_loader_load_everything() {
+        let data = generate(&GeneratorConfig::tiny());
+        for loaders in [1, 4] {
+            let g = KvGraph::new(PartitionedKv::new());
+            let report = load_concurrent(&g, &data.snapshot, loaders).unwrap();
+            assert_eq!(report.vertices, data.snapshot.vertices.len());
+            assert_eq!(report.edges, data.snapshot.edges.len());
+            assert_eq!(g.vertex_count(), report.vertices);
+            assert_eq!(g.edge_count(), report.edges);
+            assert!(report.vertices_per_sec > 0.0);
+            assert!(report.edges_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let data = generate(&GeneratorConfig::tiny());
+        let g = KvGraph::new(PartitionedKv::new());
+        load_concurrent(&g, &data.snapshot, 2).unwrap();
+        // Loading the same snapshot again must fail on duplicates.
+        assert!(load_concurrent(&g, &data.snapshot, 2).is_err());
+    }
+}

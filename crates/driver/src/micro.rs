@@ -1,0 +1,105 @@
+//! The read-only latency experiment behind Tables 2 and 3.
+//!
+//! Each query class is executed repeatedly against the static snapshot
+//! with no concurrent activity, and the mean latency is reported — the
+//! paper's protocol (100 executions per class). A per-class time budget
+//! replaces the paper's "unable to complete in a reasonable amount of
+//! time" dashes.
+
+use snb_core::metrics::LatencyStats;
+use std::time::{Duration, Instant};
+
+use crate::adapter::SutAdapter;
+use crate::ops::ParamGen;
+
+/// The four query classes of Tables 2/3, in row order.
+pub const MICRO_KINDS: [&str; 4] = ["point_lookup", "1-hop", "2-hop", "shortest_path"];
+
+/// Result for one (system, query class) cell.
+#[derive(Debug, Clone)]
+pub struct MicroCell {
+    pub kind: &'static str,
+    /// Mean latency; `None` = unable to complete a meaningful number of
+    /// executions within the budget (the paper's "-").
+    pub mean_ms: Option<f64>,
+    pub samples: usize,
+    /// Executions aborted by the engine (traverser-budget overloads).
+    pub failures: usize,
+}
+
+/// Minimum completed executions for a cell to report a mean.
+const MIN_SAMPLES: usize = 5;
+
+/// Run the micro suite against one adapter. `seed` fixes the parameter
+/// stream so every system answers the same queries.
+///
+/// Semantics of the paper's "-": a cell reports a mean over however
+/// many executions fit in the time budget, and is marked incomplete
+/// only when fewer than [`MIN_SAMPLES`] succeeded or when most
+/// executions aborted (resource-exhausted traversals).
+pub fn run_micro(
+    adapter: &dyn SutAdapter,
+    params: &mut ParamGen,
+    samples: usize,
+    budget_per_kind: Duration,
+) -> Vec<MicroCell> {
+    let mut cells = Vec::with_capacity(MICRO_KINDS.len());
+    for kind in MICRO_KINDS {
+        let mut stats = LatencyStats::new();
+        let mut failures = 0usize;
+        let started = Instant::now();
+        for _ in 0..samples {
+            if started.elapsed() > budget_per_kind {
+                break;
+            }
+            let op = params.micro_op(kind);
+            let t0 = Instant::now();
+            let result = adapter.execute_read(&op);
+            let elapsed = t0.elapsed();
+            match result {
+                Ok(_) => stats.record(elapsed),
+                Err(snb_core::SnbError::Overloaded(_)) => failures += 1,
+                Err(e) => panic!("{}: {kind} failed: {e}", adapter.name()),
+            }
+        }
+        let enough = stats.len() >= MIN_SAMPLES.min(samples);
+        let mostly_failing = failures > stats.len();
+        cells.push(MicroCell {
+            kind,
+            mean_ms: if enough && !mostly_failing { Some(stats.mean_ms()) } else { None },
+            samples: stats.len(),
+            failures,
+        });
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::sql::SqlAdapter;
+
+    #[test]
+    fn micro_suite_runs_on_a_small_dataset() {
+        let data = snb_datagen::generate(&snb_datagen::GeneratorConfig::tiny());
+        let adapter = SqlAdapter::row_store();
+        adapter.load(&data.snapshot).unwrap();
+        let mut params = ParamGen::new(&data, 42);
+        let cells = run_micro(&adapter, &mut params, 5, Duration::from_secs(30));
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            assert!(cell.mean_ms.is_some(), "{} incomplete", cell.kind);
+            assert_eq!(cell.samples, 5);
+        }
+    }
+
+    #[test]
+    fn budget_marks_incomplete() {
+        let data = snb_datagen::generate(&snb_datagen::GeneratorConfig::tiny());
+        let adapter = SqlAdapter::row_store();
+        adapter.load(&data.snapshot).unwrap();
+        let mut params = ParamGen::new(&data, 42);
+        let cells = run_micro(&adapter, &mut params, 1000, Duration::from_nanos(1));
+        assert!(cells.iter().all(|c| c.mean_ms.is_none()));
+    }
+}

@@ -1,0 +1,242 @@
+//! Read operations and parameter generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snb_core::{PropKey, VertexLabel, Vid};
+use snb_datagen::GeneratedData;
+
+/// Read-only operations: the micro query classes of Tables 2/3, the
+/// LDBC short reads, and the reduced complex read of §4.3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadOp {
+    /// Table 2/3 "Point lookup": one person's profile properties.
+    PointLookup { person: u64 },
+    /// Table 2/3 "1-hop": distinct friend ids of a person.
+    OneHop { person: u64 },
+    /// Table 2/3 "2-hop": distinct persons within 1..2 knows-hops,
+    /// excluding the start person.
+    TwoHop { person: u64 },
+    /// Table 2/3 "Shortest path": unweighted knows-distance between two
+    /// persons.
+    ShortestPath { a: u64, b: u64 },
+    /// IS1: person profile (properties + city id).
+    Is1Profile { person: u64 },
+    /// IS2: a person's most recent messages.
+    Is2RecentMessages { person: u64, limit: usize },
+    /// IS3: friends with the friendship creation date.
+    Is3Friends { person: u64 },
+    /// IS4: message content + creation date.
+    Is4MessageContent { message: Vid },
+    /// IS5: message creator.
+    Is5MessageCreator { message: Vid },
+    /// IS6: the forum containing a post, with its moderator.
+    Is6MessageForum { post: u64 },
+    /// IS7: direct replies to a message with their authors.
+    Is7MessageReplies { message: Vid },
+    /// §4.3's complex read: persons within two hops with a given first
+    /// name (a restriction of LDBC IC1).
+    Complex2Hop { person: u64, first_name: String, limit: usize },
+    /// LDBC IC2-style complex read: the most recent messages created by
+    /// the person's friends. Part of the *full* complex mix the paper
+    /// had to drop for the Gremlin systems (§4.4).
+    RecentFriendMessages { person: u64, limit: usize },
+}
+
+impl ReadOp {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadOp::PointLookup { .. } => "point_lookup",
+            ReadOp::OneHop { .. } => "1-hop",
+            ReadOp::TwoHop { .. } => "2-hop",
+            ReadOp::ShortestPath { .. } => "shortest_path",
+            ReadOp::Is1Profile { .. } => "IS1",
+            ReadOp::Is2RecentMessages { .. } => "IS2",
+            ReadOp::Is3Friends { .. } => "IS3",
+            ReadOp::Is4MessageContent { .. } => "IS4",
+            ReadOp::Is5MessageCreator { .. } => "IS5",
+            ReadOp::Is6MessageForum { .. } => "IS6",
+            ReadOp::Is7MessageReplies { .. } => "IS7",
+            ReadOp::Complex2Hop { .. } => "complex_2hop",
+            ReadOp::RecentFriendMessages { .. } => "complex_friend_messages",
+        }
+    }
+}
+
+/// Deterministic parameter generator: draws entity ids and values from
+/// the generated snapshot (the LDBC driver's parameter curation stage).
+pub struct ParamGen {
+    rng: StdRng,
+    persons: Vec<u64>,
+    posts: Vec<u64>,
+    comments: Vec<u64>,
+    first_names: Vec<String>,
+}
+
+impl ParamGen {
+    /// Build from a generated dataset.
+    pub fn new(data: &GeneratedData, seed: u64) -> Self {
+        let persons: Vec<u64> = data
+            .snapshot
+            .vertices_of(VertexLabel::Person)
+            .map(|v| v.id)
+            .collect();
+        let posts: Vec<u64> = data.snapshot.vertices_of(VertexLabel::Post).map(|v| v.id).collect();
+        let comments: Vec<u64> =
+            data.snapshot.vertices_of(VertexLabel::Comment).map(|v| v.id).collect();
+        let mut first_names: Vec<String> = data
+            .snapshot
+            .vertices_of(VertexLabel::Person)
+            .filter_map(|v| v.prop(PropKey::FirstName))
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        first_names.sort();
+        first_names.dedup();
+        assert!(!persons.is_empty(), "snapshot contains persons");
+        ParamGen { rng: StdRng::seed_from_u64(seed), persons, posts, comments, first_names }
+    }
+
+    /// A random person id from the snapshot.
+    pub fn person(&mut self) -> u64 {
+        self.persons[self.rng.gen_range(0..self.persons.len())]
+    }
+
+    /// Two distinct person ids.
+    pub fn person_pair(&mut self) -> (u64, u64) {
+        let a = self.person();
+        loop {
+            let b = self.person();
+            if a != b || self.persons.len() == 1 {
+                return (a, b);
+            }
+        }
+    }
+
+    /// A random message vid (post or comment).
+    pub fn message(&mut self) -> Vid {
+        if !self.comments.is_empty() && self.rng.gen_bool(0.5) {
+            Vid::new(VertexLabel::Comment, self.comments[self.rng.gen_range(0..self.comments.len())])
+        } else {
+            Vid::new(VertexLabel::Post, self.posts[self.rng.gen_range(0..self.posts.len())])
+        }
+    }
+
+    /// A random post id.
+    pub fn post(&mut self) -> u64 {
+        self.posts[self.rng.gen_range(0..self.posts.len())]
+    }
+
+    /// A first name present in the data.
+    pub fn first_name(&mut self) -> String {
+        self.first_names[self.rng.gen_range(0..self.first_names.len())].clone()
+    }
+
+    /// One operation of the micro suite.
+    pub fn micro_op(&mut self, kind: &str) -> ReadOp {
+        match kind {
+            "point_lookup" => ReadOp::PointLookup { person: self.person() },
+            "1-hop" => ReadOp::OneHop { person: self.person() },
+            "2-hop" => ReadOp::TwoHop { person: self.person() },
+            "shortest_path" => {
+                let (a, b) = self.person_pair();
+                ReadOp::ShortestPath { a, b }
+            }
+            other => panic!("unknown micro op `{other}`"),
+        }
+    }
+
+    /// One operation of the *full* LDBC-style mix (short reads plus the
+    /// complex reads) — the mix the paper had to abandon because the
+    /// Gremlin systems could not sustain it (§4.4).
+    pub fn full_mix_read(&mut self) -> ReadOp {
+        match self.rng.gen_range(0..4u32) {
+            0 => ReadOp::Complex2Hop {
+                person: self.person(),
+                first_name: self.first_name(),
+                limit: 20,
+            },
+            1 => ReadOp::RecentFriendMessages { person: self.person(), limit: 20 },
+            2 => ReadOp::ShortestPath {
+                a: self.person(),
+                b: self.person(),
+            },
+            _ => self.interactive_read(),
+        }
+    }
+
+    /// One operation of §4.3's reduced interactive read mix: mostly
+    /// short reads with an occasional 2-hop complex read.
+    pub fn interactive_read(&mut self) -> ReadOp {
+        match self.rng.gen_range(0..10u32) {
+            0 => ReadOp::Complex2Hop {
+                person: self.person(),
+                first_name: self.first_name(),
+                limit: 20,
+            },
+            1 => ReadOp::Is1Profile { person: self.person() },
+            2 => ReadOp::Is2RecentMessages { person: self.person(), limit: 10 },
+            3 => ReadOp::Is3Friends { person: self.person() },
+            4 => ReadOp::Is4MessageContent { message: self.message() },
+            5 => ReadOp::Is5MessageCreator { message: self.message() },
+            6 => ReadOp::Is6MessageForum { post: self.post() },
+            7 => ReadOp::Is7MessageReplies { message: self.message() },
+            8 => ReadOp::PointLookup { person: self.person() },
+            _ => ReadOp::OneHop { person: self.person() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::{generate, GeneratorConfig};
+
+    fn data() -> GeneratedData {
+        generate(&GeneratorConfig::tiny())
+    }
+
+    #[test]
+    fn param_gen_is_deterministic() {
+        let d = data();
+        let mut a = ParamGen::new(&d, 7);
+        let mut b = ParamGen::new(&d, 7);
+        for _ in 0..20 {
+            assert_eq!(a.person(), b.person());
+            assert_eq!(a.interactive_read(), b.interactive_read());
+        }
+    }
+
+    #[test]
+    fn person_pair_is_distinct() {
+        let d = data();
+        let mut g = ParamGen::new(&d, 1);
+        for _ in 0..50 {
+            let (a, b) = g.person_pair();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn micro_ops_cover_all_kinds() {
+        let d = data();
+        let mut g = ParamGen::new(&d, 1);
+        assert!(matches!(g.micro_op("point_lookup"), ReadOp::PointLookup { .. }));
+        assert!(matches!(g.micro_op("1-hop"), ReadOp::OneHop { .. }));
+        assert!(matches!(g.micro_op("2-hop"), ReadOp::TwoHop { .. }));
+        assert!(matches!(g.micro_op("shortest_path"), ReadOp::ShortestPath { .. }));
+    }
+
+    #[test]
+    fn interactive_mix_hits_complex_and_short_reads() {
+        let d = data();
+        let mut g = ParamGen::new(&d, 3);
+        let mut names = std::collections::HashSet::new();
+        for _ in 0..300 {
+            names.insert(g.interactive_read().name());
+        }
+        assert!(names.contains("complex_2hop"));
+        assert!(names.contains("IS3"));
+        assert!(names.contains("point_lookup"));
+        assert!(names.len() >= 8);
+    }
+}

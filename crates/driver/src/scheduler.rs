@@ -1,0 +1,103 @@
+//! LDBC-style dependency tracking for the update stream.
+//!
+//! Every update carries a *dependency timestamp*: the creation time of
+//! the newest entity it references. The executor must not run an update
+//! until every operation at or before its dependency timestamp has been
+//! applied. The tracker maintains the applied watermark and lets the
+//! writer block until an operation becomes safe.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tracks the applied-operation watermark.
+pub struct DependencyTracker {
+    watermark: AtomicI64,
+    notify: (Mutex<()>, Condvar),
+}
+
+impl DependencyTracker {
+    /// Tracker whose initial watermark covers the loaded snapshot: any
+    /// dependency at or before `snapshot_cut_ms` is immediately safe.
+    pub fn new(snapshot_cut_ms: i64) -> Self {
+        DependencyTracker {
+            watermark: AtomicI64::new(snapshot_cut_ms),
+            notify: (Mutex::new(()), Condvar::new()),
+        }
+    }
+
+    /// The current watermark.
+    pub fn watermark(&self) -> i64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// True when an operation with this dependency timestamp may run.
+    pub fn ready(&self, dependency_ms: i64) -> bool {
+        dependency_ms <= self.watermark()
+    }
+
+    /// Record that the operation scheduled at `ts_ms` has been applied,
+    /// advancing the watermark monotonically.
+    pub fn mark_applied(&self, ts_ms: i64) {
+        self.watermark.fetch_max(ts_ms, Ordering::AcqRel);
+        self.notify.1.notify_all();
+    }
+
+    /// Block until `ready(dependency_ms)` or the timeout elapses;
+    /// returns whether the dependency became safe.
+    pub fn wait_until_ready(&self, dependency_ms: i64, timeout: Duration) -> bool {
+        if self.ready(dependency_ms) {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.notify.0.lock();
+        while !self.ready(dependency_ms) {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.notify.1.wait_for(&mut guard, deadline - now);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_dependencies_are_immediately_ready() {
+        let t = DependencyTracker::new(100);
+        assert!(t.ready(50));
+        assert!(t.ready(100));
+        assert!(!t.ready(101));
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let t = DependencyTracker::new(0);
+        t.mark_applied(10);
+        t.mark_applied(5);
+        assert_eq!(t.watermark(), 10);
+        t.mark_applied(20);
+        assert_eq!(t.watermark(), 20);
+    }
+
+    #[test]
+    fn wait_until_ready_times_out() {
+        let t = DependencyTracker::new(0);
+        assert!(!t.wait_until_ready(99, Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn wait_until_ready_wakes_on_progress() {
+        let t = Arc::new(DependencyTracker::new(0));
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.wait_until_ready(50, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        t.mark_applied(60);
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,188 @@
+//! Abstract syntax of the Cypher-like dialect.
+
+use snb_core::{Direction, EdgeLabel, PropKey, Value, VertexLabel};
+
+/// A full statement: `MATCH`* `CREATE`* `SET`* `RETURN`?.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Statement {
+    pub matches: Vec<MatchClause>,
+    pub creates: Vec<PatternPath>,
+    pub sets: Vec<SetItem>,
+    pub ret: Option<ReturnClause>,
+}
+
+/// One `MATCH ... [WHERE ...]` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchClause {
+    pub paths: Vec<PatternPath>,
+    pub filter: Option<Expr>,
+}
+
+/// A linear pattern or a `shortestPath` pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternPath {
+    /// `(a)-[r:T]->(b)-...`; `nodes.len() == rels.len() + 1`.
+    Chain { nodes: Vec<NodePat>, rels: Vec<RelPat> },
+    /// `p = shortestPath((a)-[:T*]-(b))`.
+    ShortestPath { path_var: String, from: NodePat, rel: RelPat, to: NodePat },
+}
+
+/// A node pattern `(var:label {key: expr, ...})`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodePat {
+    pub var: Option<String>,
+    pub label: Option<VertexLabel>,
+    pub props: Vec<(PropKey, Expr)>,
+}
+
+/// A relationship pattern `-[var:TYPE*min..max {key: expr}]->`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPat {
+    pub var: Option<String>,
+    pub label: Option<EdgeLabel>,
+    pub dir: Direction,
+    /// Variable-length range; `None` means exactly one hop.
+    pub range: Option<(u32, u32)>,
+    pub props: Vec<(PropKey, Expr)>,
+}
+
+/// `SET var.key = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetItem {
+    pub var: String,
+    pub key: PropKey,
+    pub value: Expr,
+}
+
+/// `RETURN [DISTINCT] items [ORDER BY ...] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnClause {
+    pub distinct: bool,
+    pub items: Vec<ReturnItem>,
+    pub order_by: Vec<(Expr, bool)>, // (expr, ascending)
+    pub limit: Option<usize>,
+}
+
+/// One projected item with its output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnItem {
+    pub expr: Expr,
+    pub name: String,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Expressions over bound variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Lit(Value),
+    Param(String),
+    /// `var` — a bound node (projects its id) or shortest-path length var.
+    Var(String),
+    /// `var.key` — node or relationship property.
+    Prop(String, PropKey),
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// `count(*)`.
+    CountStar,
+    /// `count([DISTINCT] expr)`.
+    Count(Box<Expr>, bool),
+    /// `length(pathVar)`.
+    Length(String),
+}
+
+impl Expr {
+    /// True if the expression contains an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        match self {
+            Expr::CountStar | Expr::Count(..) => true,
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.is_aggregate() || b.is_aggregate()
+            }
+            Expr::Not(e) => e.is_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Visit every `Prop` reference in the expression.
+    pub fn visit_props(&self, f: &mut impl FnMut(&str, PropKey)) {
+        match self {
+            Expr::Prop(v, k) => f(v, *k),
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.visit_props(f);
+                b.visit_props(f);
+            }
+            Expr::Not(e) | Expr::Count(e, _) => e.visit_props(f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Gt.eval(Greater));
+        assert!(CmpOp::Ge.eval(Equal));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(Expr::CountStar.is_aggregate());
+        assert!(Expr::Count(Box::new(Expr::Var("x".into())), true).is_aggregate());
+        assert!(!Expr::Var("x".into()).is_aggregate());
+        let nested = Expr::And(Box::new(Expr::CountStar), Box::new(Expr::Lit(Value::Bool(true))));
+        assert!(nested.is_aggregate());
+    }
+
+    #[test]
+    fn visit_props_walks_tree() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(
+                Box::new(Expr::Prop("a".into(), PropKey::Id)),
+                CmpOp::Eq,
+                Box::new(Expr::Param("x".into())),
+            )),
+            Box::new(Expr::Not(Box::new(Expr::Prop("b".into(), PropKey::Length)))),
+        );
+        let mut seen = Vec::new();
+        e.visit_props(&mut |v, k| seen.push((v.to_string(), k)));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], ("a".to_string(), PropKey::Id));
+        assert_eq!(seen[1], ("b".to_string(), PropKey::Length));
+    }
+}

@@ -1,0 +1,851 @@
+//! Whole-query execution against the native store.
+//!
+//! A statement executes in two phases: pattern matching runs under one
+//! read guard directly against the adjacency lists (start-point
+//! selection → expand / var-expand / bidirectional-BFS shortest path),
+//! then mutations (`CREATE`/`SET`) are applied through the store's
+//! write path. This mirrors how an embedded graph database executes a
+//! declarative query inside a single transaction, and is precisely the
+//! optimization opportunity the Gremlin layer forfeits.
+
+use snb_core::{
+    Direction, GraphBackend, PropKey, Result, SnbError, Value, Vid,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use super::ast::*;
+use super::{CypherResult, Params};
+use crate::store::{Inner, NativeGraphStore};
+
+type Row = Vec<Value>;
+
+/// Symbol table mapping variables (and referenced relationship
+/// properties) to row slots.
+#[derive(Default)]
+struct SymTab {
+    map: HashMap<String, usize>,
+    rel_vars: HashSet<String>,
+    rel_props: HashMap<(String, PropKey), usize>,
+    n_slots: usize,
+}
+
+impl SymTab {
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = self.n_slots;
+        self.map.insert(name.to_string(), s);
+        self.n_slots += 1;
+        s
+    }
+
+    fn rel_prop_slot(&mut self, var: &str, key: PropKey) -> usize {
+        if let Some(&s) = self.rel_props.get(&(var.to_string(), key)) {
+            return s;
+        }
+        let s = self.n_slots;
+        self.rel_props.insert((var.to_string(), key), s);
+        self.n_slots += 1;
+        s
+    }
+
+    fn lookup(&self, name: &str) -> Result<usize> {
+        self.map
+            .get(name)
+            .copied()
+            .ok_or_else(|| SnbError::Plan(format!("unbound variable `{name}`")))
+    }
+}
+
+struct Ctx<'a> {
+    inner: &'a Inner,
+    params: &'a Params,
+    sym: SymTab,
+}
+
+impl<'a> Ctx<'a> {
+    fn eval(&self, row: &Row, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Param(p) => self
+                .params
+                .get(p)
+                .cloned()
+                .ok_or_else(|| SnbError::Plan(format!("missing parameter ${p}"))),
+            Expr::Var(v) | Expr::Length(v) => {
+                let s = self.sym.lookup(v)?;
+                Ok(row[s].clone())
+            }
+            Expr::Prop(var, key) => {
+                if self.sym.rel_vars.contains(var) {
+                    let s = self
+                        .sym
+                        .rel_props
+                        .get(&(var.clone(), *key))
+                        .copied()
+                        .ok_or_else(|| SnbError::Plan(format!("unresolved rel prop {var}.{key}")))?;
+                    return Ok(row[s].clone());
+                }
+                let s = self.sym.lookup(var)?;
+                match &row[s] {
+                    Value::Vertex(vid) => {
+                        let ix = self
+                            .inner
+                            .slot_ix(*vid)
+                            .ok_or_else(|| SnbError::Exec(format!("dangling vertex {vid}")))?;
+                        Ok(self.inner.slot(ix).props.get(*key).cloned().unwrap_or(Value::Null))
+                    }
+                    Value::Null => Ok(Value::Null),
+                    other => Err(SnbError::Exec(format!("{var} is not a node: {other}"))),
+                }
+            }
+            Expr::Cmp(a, op, b) => {
+                let (a, b) = (self.eval(row, a)?, self.eval(row, b)?);
+                if a.is_null() || b.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(op.eval(cmp_vals(&a, &b))))
+            }
+            Expr::And(a, b) => {
+                Ok(Value::Bool(truthy(&self.eval(row, a)?) && truthy(&self.eval(row, b)?)))
+            }
+            Expr::Or(a, b) => {
+                Ok(Value::Bool(truthy(&self.eval(row, a)?) || truthy(&self.eval(row, b)?)))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!truthy(&self.eval(row, e)?))),
+            Expr::CountStar | Expr::Count(..) => {
+                Err(SnbError::Plan("aggregate outside RETURN".into()))
+            }
+        }
+    }
+}
+
+/// Compare values treating `Date` and `Int` as the same numeric domain.
+fn cmp_vals(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a, b) {
+        (Value::Date(x), Value::Int(y)) | (Value::Int(x), Value::Date(y)) => x.cmp(y),
+        _ => a.cmp(b),
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Give every var-less node pattern a unique anonymous variable so the
+/// executor can always address the current chain position by slot.
+fn normalize(stmt: &Statement) -> Statement {
+    let mut stmt = stmt.clone();
+    let mut counter = 0usize;
+    let mut fix_path = |path: &mut PatternPath| {
+        if let PatternPath::Chain { nodes, .. } = path {
+            for n in nodes {
+                if n.var.is_none() {
+                    n.var = Some(format!("#anon{counter}"));
+                    counter += 1;
+                }
+            }
+        }
+    };
+    for clause in &mut stmt.matches {
+        for path in &mut clause.paths {
+            fix_path(path);
+        }
+    }
+    for path in &mut stmt.creates {
+        fix_path(path);
+    }
+    stmt
+}
+
+/// Execute a parsed statement.
+pub fn execute(store: &NativeGraphStore, stmt: &Statement, params: &Params) -> Result<CypherResult> {
+    let stmt = &normalize(stmt);
+    // Phase 1: matching + projection under one read guard.
+    let (result, rows, sym) = {
+        let guard = store.inner.read();
+        let mut ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+        prebind_symbols(&mut ctx.sym, stmt)?;
+        let mut rows: Vec<Row> = vec![vec![Value::Null; ctx.sym.n_slots]];
+        for clause in &stmt.matches {
+            for path in &clause.paths {
+                rows = match_path(&ctx, rows, path)?;
+            }
+            if let Some(filter) = &clause.filter {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if truthy(&ctx.eval(&row, filter)?) {
+                        kept.push(row);
+                    }
+                }
+                rows = kept;
+            }
+        }
+        let result = match &stmt.ret {
+            Some(ret) => Some(project(&ctx, &rows, ret)?),
+            None => None,
+        };
+        (result, rows, ctx.sym)
+    };
+
+    // Phase 2: mutations through the write path.
+    let mut nodes_created = 0usize;
+    let mut rels_created = 0usize;
+    let mut props_set = 0usize;
+    if !stmt.creates.is_empty() || !stmt.sets.is_empty() {
+        for row in &rows {
+            let (n, r) = apply_creates(store, stmt, params, row, &sym)?;
+            nodes_created += n;
+            rels_created += r;
+            for set in &stmt.sets {
+                let slot = sym.lookup(&set.var)?;
+                let vid = row[slot]
+                    .as_vid()
+                    .ok_or_else(|| SnbError::Exec(format!("SET target `{}` unbound", set.var)))?;
+                let guard = store.inner.read();
+                let ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+                let value = ctx.eval(&Vec::new(), &set.value)?;
+                drop(guard);
+                store.set_vertex_prop(vid, set.key, value)?;
+                props_set += 1;
+            }
+        }
+    }
+
+    match result {
+        Some(r) => Ok(r),
+        None => Ok(CypherResult {
+            columns: vec!["nodes_created".into(), "rels_created".into(), "props_set".into()],
+            rows: vec![vec![
+                Value::Int(nodes_created as i64),
+                Value::Int(rels_created as i64),
+                Value::Int(props_set as i64),
+            ]],
+        }),
+    }
+}
+
+/// Allocate slots for every variable and referenced relationship
+/// property before execution begins.
+fn prebind_symbols(sym: &mut SymTab, stmt: &Statement) -> Result<()> {
+    let note_path = |sym: &mut SymTab, path: &PatternPath| {
+        match path {
+            PatternPath::Chain { nodes, rels } => {
+                for n in nodes {
+                    if let Some(v) = &n.var {
+                        sym.slot(v);
+                    }
+                }
+                for r in rels {
+                    if let Some(v) = &r.var {
+                        sym.rel_vars.insert(v.clone());
+                    }
+                }
+            }
+            PatternPath::ShortestPath { path_var, from, to, .. } => {
+                sym.slot(path_var);
+                for n in [from, to] {
+                    if let Some(v) = &n.var {
+                        sym.slot(v);
+                    }
+                }
+            }
+        }
+    };
+    for clause in &stmt.matches {
+        for path in &clause.paths {
+            note_path(sym, path);
+        }
+    }
+    for path in &stmt.creates {
+        note_path(sym, path);
+    }
+    // Allocate rel-prop slots for every referenced rel property.
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for clause in &stmt.matches {
+        if let Some(f) = &clause.filter {
+            exprs.push(f);
+        }
+    }
+    if let Some(ret) = &stmt.ret {
+        for item in &ret.items {
+            exprs.push(&item.expr);
+        }
+        for (e, _) in &ret.order_by {
+            exprs.push(e);
+        }
+    }
+    let rel_vars = sym.rel_vars.clone();
+    for e in exprs {
+        let mut wanted: Vec<(String, PropKey)> = Vec::new();
+        e.visit_props(&mut |v, k| {
+            if rel_vars.contains(v) {
+                wanted.push((v.to_string(), k));
+            }
+        });
+        for (v, k) in wanted {
+            sym.rel_prop_slot(&v, k);
+        }
+    }
+    Ok(())
+}
+
+/// True when this node pattern can seed the match cheaply for the given
+/// row set (already bound, or id-addressable).
+fn is_anchored(ctx: &Ctx, rows: &[Row], node: &NodePat) -> bool {
+    if let Some(var) = &node.var {
+        if let Ok(slot) = ctx.sym.lookup(var) {
+            if rows.iter().any(|r| !r[slot].is_null()) {
+                return true;
+            }
+        }
+    }
+    node.props.iter().any(|(k, _)| *k == PropKey::Id) && node.label.is_some()
+}
+
+fn match_path(ctx: &Ctx, rows: Vec<Row>, path: &PatternPath) -> Result<Vec<Row>> {
+    match path {
+        PatternPath::Chain { nodes, rels } => {
+            // Orient the chain so the anchored end comes first.
+            let forward = is_anchored(ctx, &rows, &nodes[0]) || !is_anchored(ctx, &rows, nodes.last().expect("chain has nodes"));
+            let (nodes, rels): (Vec<NodePat>, Vec<RelPat>) = if forward {
+                (nodes.clone(), rels.clone())
+            } else {
+                (
+                    nodes.iter().rev().cloned().collect(),
+                    rels.iter()
+                        .rev()
+                        .map(|r| RelPat { dir: r.dir.reverse(), ..r.clone() })
+                        .collect(),
+                )
+            };
+            let mut rows = bind_node(ctx, rows, &nodes[0])?;
+            let mut left_slot = ctx.sym.lookup(nodes[0].var.as_deref().expect("normalized"))?;
+            for (rel, node) in rels.iter().zip(nodes.iter().skip(1)) {
+                rows = expand(ctx, rows, left_slot, rel, node)?;
+                left_slot = ctx.sym.lookup(node.var.as_deref().expect("normalized"))?;
+            }
+            Ok(rows)
+        }
+        PatternPath::ShortestPath { path_var, from, rel, to } => {
+            let rows = bind_node(ctx, rows, from)?;
+            let rows = bind_node(ctx, rows, to)?;
+            let from_slot = ctx.sym.lookup(from.var.as_deref().unwrap_or_default())?;
+            let to_slot = ctx.sym.lookup(to.var.as_deref().unwrap_or_default())?;
+            let path_slot = ctx.sym.lookup(path_var)?;
+            let max = rel.range.map(|(_, hi)| hi).unwrap_or(u32::MAX);
+            let mut out = Vec::new();
+            for mut row in rows {
+                let (a, b) = match (row[from_slot].as_vid(), row[to_slot].as_vid()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => continue,
+                };
+                if let Some(len) = bidi_bfs(ctx.inner, a, b, rel.dir, rel.label, max) {
+                    row[path_slot] = Value::Int(len as i64);
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Bind a node pattern: verify an existing binding or seek candidates
+/// (id lookup → label scan → full scan).
+fn bind_node(ctx: &Ctx, rows: Vec<Row>, node: &NodePat) -> Result<Vec<Row>> {
+    let slot = node.var.as_ref().map(|v| ctx.sym.lookup(v)).transpose()?;
+    let mut out = Vec::new();
+    for row in rows {
+        if let Some(s) = slot {
+            if let Value::Vertex(vid) = row[s] {
+                if node_matches(ctx, &row, vid, node)? {
+                    out.push(row);
+                }
+                continue;
+            }
+        }
+        // Unbound: find candidates.
+        let id_expr = node.props.iter().find(|(k, _)| *k == PropKey::Id).map(|(_, e)| e);
+        let candidates: Vec<Vid> = match (id_expr, node.label) {
+            (Some(e), Some(label)) => {
+                let id = ctx
+                    .eval(&row, e)?
+                    .as_int()
+                    .ok_or_else(|| SnbError::Exec("non-integer id".into()))?;
+                let vid = Vid::new(label, id as u64);
+                if ctx.inner.slot_ix(vid).is_some() { vec![vid] } else { vec![] }
+            }
+            (_, Some(label)) => ctx.inner.by_label[label as usize]
+                .iter()
+                .map(|&ix| ctx.inner.slot(ix).vid)
+                .collect(),
+            _ => ctx.inner.slots.iter().map(|s| s.vid).collect(),
+        };
+        for vid in candidates {
+            if node_matches(ctx, &row, vid, node)? {
+                let mut new_row = row.clone();
+                if let Some(s) = slot {
+                    new_row[s] = Value::Vertex(vid);
+                }
+                out.push(new_row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn node_matches(ctx: &Ctx, row: &Row, vid: Vid, node: &NodePat) -> Result<bool> {
+    if let Some(label) = node.label {
+        if vid.label() != label {
+            return Ok(false);
+        }
+    }
+    if node.props.is_empty() {
+        return Ok(true);
+    }
+    let ix = match ctx.inner.slot_ix(vid) {
+        Some(ix) => ix,
+        None => return Ok(false),
+    };
+    let props = &ctx.inner.slot(ix).props;
+    for (key, expr) in &node.props {
+        let want = ctx.eval(row, expr)?;
+        match props.get(*key) {
+            Some(have) if cmp_vals(have, &want) == std::cmp::Ordering::Equal => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Expand one relationship pattern from the bound left node at `left_slot`.
+fn expand(ctx: &Ctx, rows: Vec<Row>, left_slot: usize, rel: &RelPat, to: &NodePat) -> Result<Vec<Row>> {
+    if let Some((min, max)) = rel.range {
+        if rel.var.is_some() {
+            return Err(SnbError::Plan("variable-length relationships cannot bind a variable".into()));
+        }
+        return var_expand(ctx, rows, left_slot, rel, to, min, max);
+    }
+    let to_slot = to.var.as_ref().map(|v| ctx.sym.lookup(v)).transpose()?;
+    // Relationship property slots referenced anywhere in the statement.
+    let rel_prop_slots: Vec<(PropKey, usize)> = match &rel.var {
+        Some(v) => ctx
+            .sym
+            .rel_props
+            .iter()
+            .filter(|((var, _), _)| var == v)
+            .map(|((_, k), s)| (*k, *s))
+            .collect(),
+        None => Vec::new(),
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let Some(left) = row[left_slot].as_vid() else { continue };
+        let Some(ix) = ctx.inner.slot_ix(left) else { continue };
+        // Walk out and in lists separately so edge properties (stored on
+        // the out side) can be recovered for reverse traversals.
+        let slot_ref = ctx.inner.slot(ix);
+        let dirs: &[(Direction, &Vec<_>)] = match rel.dir {
+            Direction::Out => &[(Direction::Out, &slot_ref.out)],
+            Direction::In => &[(Direction::In, &slot_ref.inn)],
+            Direction::Both => &[(Direction::Out, &slot_ref.out), (Direction::In, &slot_ref.inn)],
+        };
+        for (d, entries) in dirs {
+            for e in entries.iter() {
+                if let Some(l) = rel.label {
+                    if e.label != l {
+                        continue;
+                    }
+                }
+                let other = ctx.inner.slot(e.other).vid;
+                if !node_matches(ctx, &row, other, to)? {
+                    continue;
+                }
+                if let Some(s) = to_slot {
+                    if let Value::Vertex(existing) = row[s] {
+                        if existing != other {
+                            continue;
+                        }
+                    }
+                }
+                let mut new_row = row.clone();
+                if let Some(s) = to_slot {
+                    new_row[s] = Value::Vertex(other);
+                }
+                if !rel_prop_slots.is_empty() {
+                    // Edge props live on the out-going entry; for an In
+                    // traversal fetch them from the counterpart.
+                    let props = match d {
+                        Direction::Out => e.props.as_deref().cloned(),
+                        _ => ctx
+                            .inner
+                            .adj(e.other, Direction::Out, Some(e.label))
+                            .find(|back| back.other == ix)
+                            .and_then(|back| back.props.as_deref().cloned()),
+                    };
+                    for (k, s) in &rel_prop_slots {
+                        new_row[*s] = props
+                            .as_ref()
+                            .and_then(|p| p.get(*k).cloned())
+                            .unwrap_or(Value::Null);
+                    }
+                }
+                // Relationship property equality constraints in the pattern.
+                let mut ok = true;
+                for (k, expr) in &rel.props {
+                    let want = ctx.eval(&row, expr)?;
+                    let have = match d {
+                        Direction::Out => e.props.as_ref().and_then(|p| p.get(*k).cloned()),
+                        _ => ctx
+                            .inner
+                            .adj(e.other, Direction::Out, Some(e.label))
+                            .find(|back| back.other == ix)
+                            .and_then(|back| back.props.as_ref().and_then(|p| p.get(*k).cloned())),
+                    };
+                    if have.map_or(true, |h| cmp_vals(&h, &want) != std::cmp::Ordering::Equal) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    out.push(new_row);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Distinct-vertex variable-length expansion: BFS from the left vertex,
+/// emitting each distinct vertex whose minimum distance lies in
+/// `[min, max]`. (Cypher's path-multiset semantics are reduced to the
+/// DISTINCT-neighbourhood semantics every benchmark query wants; all
+/// engines implement the same reduction, so cross-engine results agree.)
+fn var_expand(
+    ctx: &Ctx,
+    rows: Vec<Row>,
+    left_slot: usize,
+    rel: &RelPat,
+    to: &NodePat,
+    min: u32,
+    max: u32,
+) -> Result<Vec<Row>> {
+    let to_slot = to.var.as_ref().map(|v| ctx.sym.lookup(v)).transpose()?;
+    let mut out = Vec::new();
+    for row in rows {
+        let Some(left) = row[left_slot].as_vid() else { continue };
+        let Some(start) = ctx.inner.slot_ix(left) else { continue };
+        let mut dist: HashMap<u32, u32> = HashMap::from([(start, 0)]);
+        let mut queue: VecDeque<(u32, u32)> = VecDeque::from([(start, 0)]);
+        while let Some((ix, d)) = queue.pop_front() {
+            if d >= max {
+                continue;
+            }
+            for e in ctx.inner.adj(ix, rel.dir, rel.label) {
+                if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(e.other) {
+                    slot.insert(d + 1);
+                    queue.push_back((e.other, d + 1));
+                }
+            }
+        }
+        for (ix, d) in dist {
+            if d < min || d > max {
+                continue;
+            }
+            let other = ctx.inner.slot(ix).vid;
+            if !node_matches(ctx, &row, other, to)? {
+                continue;
+            }
+            if let Some(s) = to_slot {
+                if let Value::Vertex(existing) = row[s] {
+                    if existing != other {
+                        continue;
+                    }
+                }
+            }
+            let mut new_row = row.clone();
+            if let Some(s) = to_slot {
+                new_row[s] = Value::Vertex(other);
+            }
+            out.push(new_row);
+        }
+    }
+    Ok(out)
+}
+
+/// Bidirectional BFS for unweighted shortest path length.
+fn bidi_bfs(
+    inner: &Inner,
+    a: Vid,
+    b: Vid,
+    dir: Direction,
+    label: Option<snb_core::EdgeLabel>,
+    max: u32,
+) -> Option<u32> {
+    if a == b {
+        return Some(0);
+    }
+    let (sa, sb) = (inner.slot_ix(a)?, inner.slot_ix(b)?);
+    let mut dist_a: HashMap<u32, u32> = HashMap::from([(sa, 0)]);
+    let mut dist_b: HashMap<u32, u32> = HashMap::from([(sb, 0)]);
+    let mut frontier_a = vec![sa];
+    let mut frontier_b = vec![sb];
+    let mut depth_a = 0u32;
+    let mut depth_b = 0u32;
+    while !frontier_a.is_empty() && !frontier_b.is_empty() {
+        if depth_a + depth_b >= max {
+            return None;
+        }
+        // Expand the smaller frontier; for the backward side reverse the
+        // direction so directed paths compose correctly.
+        let expand_a = frontier_a.len() <= frontier_b.len();
+        let (frontier, dist, other_dist, d, depth) = if expand_a {
+            depth_a += 1;
+            (&mut frontier_a, &mut dist_a, &dist_b, dir, depth_a)
+        } else {
+            depth_b += 1;
+            (&mut frontier_b, &mut dist_b, &dist_a, dir.reverse(), depth_b)
+        };
+        let mut next = Vec::new();
+        for &ix in frontier.iter() {
+            for e in inner.adj(ix, d, label) {
+                if dist.contains_key(&e.other) {
+                    continue;
+                }
+                if let Some(od) = other_dist.get(&e.other) {
+                    return Some(depth + od);
+                }
+                dist.insert(e.other, depth);
+                next.push(e.other);
+            }
+        }
+        *frontier = next;
+    }
+    None
+}
+
+fn apply_creates(
+    store: &NativeGraphStore,
+    stmt: &Statement,
+    params: &Params,
+    row: &Row,
+    sym: &SymTab,
+) -> Result<(usize, usize)> {
+    let mut nodes_created = 0;
+    let mut rels_created = 0;
+    // Vids for create-local variables (a created node referenced later
+    // in the same CREATE).
+    let mut local: HashMap<String, Vid> = HashMap::new();
+    let resolve = |var: &Option<String>,
+                   local: &HashMap<String, Vid>,
+                   row: &Row|
+     -> Result<Option<Vid>> {
+        if let Some(v) = var {
+            if let Some(&vid) = local.get(v) {
+                return Ok(Some(vid));
+            }
+            if let Ok(slot) = sym.lookup(v) {
+                if let Some(vid) = row[slot].as_vid() {
+                    return Ok(Some(vid));
+                }
+            }
+        }
+        Ok(None)
+    };
+    for path in &stmt.creates {
+        let PatternPath::Chain { nodes, rels } = path else {
+            return Err(SnbError::Plan("cannot CREATE a shortestPath".into()));
+        };
+        let mut vids: Vec<Vid> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            if let Some(vid) = resolve(&node.var, &local, row)? {
+                vids.push(vid);
+                continue;
+            }
+            // Creating a new node: label and id are mandatory.
+            let label = node
+                .label
+                .ok_or_else(|| SnbError::Plan("CREATE node needs a label".into()))?;
+            let guard = store.inner.read();
+            let ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+            let mut props: Vec<(PropKey, Value)> = Vec::with_capacity(node.props.len());
+            let mut id: Option<u64> = None;
+            for (k, e) in &node.props {
+                let v = ctx.eval(&Vec::new(), e)?;
+                if *k == PropKey::Id {
+                    id = Some(v.as_int().ok_or_else(|| SnbError::Exec("non-integer id".into()))? as u64);
+                } else {
+                    props.push((*k, v));
+                }
+            }
+            drop(guard);
+            let id = id.ok_or_else(|| SnbError::Plan("CREATE node needs an id property".into()))?;
+            let vid = store.add_vertex(label, id, &props)?;
+            nodes_created += 1;
+            if let Some(v) = &node.var {
+                local.insert(v.clone(), vid);
+            }
+            vids.push(vid);
+        }
+        for (i, rel) in rels.iter().enumerate() {
+            let label = rel
+                .label
+                .ok_or_else(|| SnbError::Plan("CREATE relationship needs a type".into()))?;
+            let (src, dst) = match rel.dir {
+                Direction::Out | Direction::Both => (vids[i], vids[i + 1]),
+                Direction::In => (vids[i + 1], vids[i]),
+            };
+            let guard = store.inner.read();
+            let ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+            let mut props = Vec::with_capacity(rel.props.len());
+            for (k, e) in &rel.props {
+                props.push((*k, ctx.eval(&Vec::new(), e)?));
+            }
+            drop(guard);
+            store.add_edge(label, src, dst, &props)?;
+            rels_created += 1;
+        }
+    }
+    Ok((nodes_created, rels_created))
+}
+
+fn project(ctx: &Ctx, rows: &[Row], ret: &ReturnClause) -> Result<CypherResult> {
+    let columns: Vec<String> = ret.items.iter().map(|i| i.name.clone()).collect();
+    let has_aggregate = ret.items.iter().any(|i| i.expr.is_aggregate());
+    let mut projected: Vec<(Vec<Value>, Vec<Value>)>; // (cells, order keys)
+
+    if has_aggregate {
+        // Group by the non-aggregate items.
+        struct Group {
+            cells: Vec<Option<Value>>,
+            count_star: Vec<u64>,
+            distinct: Vec<HashSet<Value>>,
+        }
+        let agg_positions: Vec<usize> = ret
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.expr.is_aggregate())
+            .map(|(ix, _)| ix)
+            .collect();
+        let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        for row in rows {
+            let mut key = Vec::new();
+            for item in &ret.items {
+                if !item.expr.is_aggregate() {
+                    key.push(ctx.eval(row, &item.expr)?);
+                }
+            }
+            let group = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                Group {
+                    cells: vec![None; ret.items.len()],
+                    count_star: vec![0; ret.items.len()],
+                    distinct: (0..ret.items.len()).map(|_| HashSet::new()).collect(),
+                }
+            });
+            let mut key_iter = 0usize;
+            for (ix, item) in ret.items.iter().enumerate() {
+                match &item.expr {
+                    Expr::CountStar => group.count_star[ix] += 1,
+                    Expr::Count(inner, distinct) => {
+                        let v = ctx.eval(row, inner)?;
+                        if !v.is_null() {
+                            if *distinct {
+                                group.distinct[ix].insert(v);
+                            } else {
+                                group.count_star[ix] += 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        if group.cells[ix].is_none() {
+                            group.cells[ix] = Some(key[key_iter].clone());
+                        }
+                        key_iter += 1;
+                    }
+                }
+            }
+        }
+        // Aggregates over an empty, group-less input still yield one row.
+        if groups.is_empty() && ret.items.iter().all(|i| i.expr.is_aggregate()) {
+            let cells = ret
+                .items
+                .iter()
+                .map(|_| Value::Int(0))
+                .collect::<Vec<_>>();
+            projected = vec![(cells, Vec::new())];
+        } else {
+            projected = Vec::with_capacity(groups.len());
+            for key in order {
+                let group = &groups[&key];
+                let mut cells = Vec::with_capacity(ret.items.len());
+                for (ix, item) in ret.items.iter().enumerate() {
+                    let v = match &item.expr {
+                        Expr::CountStar => Value::Int(group.count_star[ix] as i64),
+                        Expr::Count(_, distinct) => {
+                            if *distinct {
+                                Value::Int(group.distinct[ix].len() as i64)
+                            } else {
+                                Value::Int(group.count_star[ix] as i64)
+                            }
+                        }
+                        _ => group.cells[ix].clone().unwrap_or(Value::Null),
+                    };
+                    cells.push(v);
+                }
+                projected.push((cells, Vec::new()));
+            }
+        }
+        let _ = agg_positions;
+        // ORDER BY on aggregated output refers to projected columns.
+        if !ret.order_by.is_empty() {
+            for (cells, keys) in &mut projected {
+                for (expr, _) in &ret.order_by {
+                    let pos = ret
+                        .items
+                        .iter()
+                        .position(|i| &i.expr == expr)
+                        .ok_or_else(|| SnbError::Plan("ORDER BY must reference a returned item when aggregating".into()))?;
+                    keys.push(cells[pos].clone());
+                }
+            }
+        }
+    } else {
+        projected = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut cells = Vec::with_capacity(ret.items.len());
+            for item in &ret.items {
+                cells.push(ctx.eval(row, &item.expr)?);
+            }
+            let mut keys = Vec::with_capacity(ret.order_by.len());
+            for (expr, _) in &ret.order_by {
+                keys.push(ctx.eval(row, expr)?);
+            }
+            projected.push((cells, keys));
+        }
+    }
+
+    if ret.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|(cells, _)| seen.insert(cells.clone()));
+    }
+    if !ret.order_by.is_empty() {
+        let dirs: Vec<bool> = ret.order_by.iter().map(|(_, asc)| *asc).collect();
+        projected.sort_by(|(_, ka), (_, kb)| {
+            for (i, asc) in dirs.iter().enumerate() {
+                let ord = cmp_vals(&ka[i], &kb[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(limit) = ret.limit {
+        projected.truncate(limit);
+    }
+    Ok(CypherResult { columns, rows: projected.into_iter().map(|(c, _)| c).collect() })
+}

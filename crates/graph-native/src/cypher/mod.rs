@@ -1,0 +1,54 @@
+//! A Cypher-like declarative query language for the native store.
+//!
+//! The dialect covers what the LDBC SNB interactive workload needs:
+//! `MATCH` with node/relationship patterns (including variable-length
+//! expansion `*min..max` and `shortestPath`), `WHERE`, `RETURN` with
+//! `DISTINCT`, aggregation, `ORDER BY`, `LIMIT`, plus `CREATE` and `SET`
+//! for the update operations. Queries are strings parsed per execution,
+//! like any declarative interface; the executor runs whole queries
+//! inside the engine against the raw adjacency lists.
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+use std::collections::HashMap;
+
+use snb_core::{Result, Value};
+
+use crate::store::NativeGraphStore;
+
+/// Query parameters (`$name` in query text).
+pub type Params = HashMap<String, Value>;
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CypherResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl CypherResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First cell of the first row, if any (handy for count queries).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl NativeGraphStore {
+    /// Parse and execute a Cypher-like query.
+    pub fn cypher(&self, query: &str, params: &Params) -> Result<CypherResult> {
+        let stmt = parser::parse(query)?;
+        exec::execute(self, &stmt, params)
+    }
+}

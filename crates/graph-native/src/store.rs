@@ -1,0 +1,428 @@
+//! Adjacency-list storage with index-free adjacency.
+
+use parking_lot::RwLock;
+use snb_core::schema::edge_def;
+use snb_core::{
+    Direction, EdgeLabel, GraphBackend, PropKey, PropertyMap, Result, SnbError, Value,
+    VertexLabel, Vid,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Checkpoint behaviour of the write path (see crate docs).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Run a checkpoint after this many write operations (0 = disabled).
+    pub every_writes: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig { every_writes: 4096 }
+    }
+}
+
+/// One adjacency entry. `other` is a direct slot reference — following
+/// it costs one array index, no index lookup (index-free adjacency).
+#[derive(Debug, Clone)]
+pub(crate) struct AdjEntry {
+    pub label: EdgeLabel,
+    pub other: u32,
+    /// Edge properties live on the out-going side only.
+    pub props: Option<Box<PropertyMap>>,
+}
+
+/// A vertex record with embedded adjacency.
+#[derive(Debug)]
+pub(crate) struct VertexSlot {
+    pub vid: Vid,
+    pub props: PropertyMap,
+    pub out: Vec<AdjEntry>,
+    pub inn: Vec<AdjEntry>,
+}
+
+/// Store internals; guarded by one `RwLock` (single-writer, like the
+/// Neo4j embedded kernel's write path at the granularity that matters
+/// for this benchmark).
+pub(crate) struct Inner {
+    pub slots: Vec<VertexSlot>,
+    pub index: HashMap<Vid, u32>,
+    pub by_label: [Vec<u32>; 8],
+    pub edge_count: usize,
+    dirty: Vec<u32>,
+    checkpoint_buf: Vec<u8>,
+}
+
+impl Inner {
+    pub(crate) fn slot_ix(&self, v: Vid) -> Option<u32> {
+        self.index.get(&v).copied()
+    }
+
+    pub(crate) fn slot(&self, ix: u32) -> &VertexSlot {
+        &self.slots[ix as usize]
+    }
+
+    /// Iterate adjacency entries of a slot in one direction (Both
+    /// chains out then in, duplicates preserved).
+    pub(crate) fn adj<'a>(
+        &'a self,
+        ix: u32,
+        dir: Direction,
+        label: Option<EdgeLabel>,
+    ) -> impl Iterator<Item = &'a AdjEntry> + 'a {
+        let slot = self.slot(ix);
+        let (a, b): (&[AdjEntry], &[AdjEntry]) = match dir {
+            Direction::Out => (&slot.out, &[]),
+            Direction::In => (&slot.inn, &[]),
+            Direction::Both => (&slot.out, &slot.inn),
+        };
+        a.iter().chain(b.iter()).filter(move |e| label.map_or(true, |l| e.label == l))
+    }
+
+    /// Checkpoint: serialize every dirty vertex record into the page
+    /// buffer, then clear the dirty set. Runs under the write lock, so
+    /// concurrent writers stall — the Figure 3 dips.
+    fn checkpoint(&mut self) -> usize {
+        self.checkpoint_buf.clear();
+        let dirty = std::mem::take(&mut self.dirty);
+        for ix in &dirty {
+            let slot = &self.slots[*ix as usize];
+            self.checkpoint_buf.extend_from_slice(&slot.vid.raw().to_le_bytes());
+            for (k, v) in slot.props.iter() {
+                self.checkpoint_buf.push(k as u8);
+                encode_value(v, &mut self.checkpoint_buf);
+            }
+            self.checkpoint_buf.extend_from_slice(&(slot.out.len() as u32).to_le_bytes());
+            for e in &slot.out {
+                self.checkpoint_buf.push(e.label as u8);
+                self.checkpoint_buf.extend_from_slice(&e.other.to_le_bytes());
+            }
+        }
+        dirty.len()
+    }
+}
+
+fn encode_value(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) | Value::Date(i) => {
+            buf.push(2);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(3);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Vertex(vid) => {
+            buf.push(5);
+            buf.extend_from_slice(&vid.raw().to_le_bytes());
+        }
+        Value::List(vs) => {
+            buf.push(6);
+            buf.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                encode_value(v, buf);
+            }
+        }
+    }
+}
+
+/// The native graph store. Cheap to share behind `Arc`; all methods
+/// take `&self`.
+pub struct NativeGraphStore {
+    pub(crate) inner: RwLock<Inner>,
+    checkpoint: CheckpointConfig,
+    writes_since_checkpoint: AtomicU64,
+    checkpoints_taken: AtomicU64,
+}
+
+impl NativeGraphStore {
+    /// Empty store with default checkpointing.
+    pub fn new() -> Self {
+        Self::with_checkpoint(CheckpointConfig::default())
+    }
+
+    /// Empty store with explicit checkpoint behaviour.
+    pub fn with_checkpoint(checkpoint: CheckpointConfig) -> Self {
+        NativeGraphStore {
+            inner: RwLock::new(Inner {
+                slots: Vec::new(),
+                index: HashMap::new(),
+                by_label: Default::default(),
+                edge_count: 0,
+                dirty: Vec::new(),
+                checkpoint_buf: Vec::new(),
+            }),
+            checkpoint,
+            writes_since_checkpoint: AtomicU64::new(0),
+            checkpoints_taken: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of checkpoints the write path has executed.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
+    fn note_write(&self, inner: &mut Inner, touched: u32) {
+        inner.dirty.push(touched);
+        if self.checkpoint.every_writes == 0 {
+            return;
+        }
+        let n = self.writes_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+        if n as usize >= self.checkpoint.every_writes {
+            self.writes_since_checkpoint.store(0, Ordering::Relaxed);
+            inner.checkpoint();
+            self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for NativeGraphStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBackend for NativeGraphStore {
+    fn name(&self) -> &'static str {
+        "native-graph"
+    }
+
+    fn add_vertex(&self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<Vid> {
+        let vid = Vid::new(label, local_id);
+        let mut inner = self.inner.write();
+        if inner.index.contains_key(&vid) {
+            return Err(SnbError::Conflict(format!("vertex {vid} already exists")));
+        }
+        let ix = inner.slots.len() as u32;
+        let mut pm = PropertyMap::from_pairs(props);
+        pm.set(PropKey::Id, Value::Int(local_id as i64));
+        inner.slots.push(VertexSlot { vid, props: pm, out: Vec::new(), inn: Vec::new() });
+        inner.index.insert(vid, ix);
+        inner.by_label[label as usize].push(ix);
+        self.note_write(&mut inner, ix);
+        Ok(vid)
+    }
+
+    fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()> {
+        edge_def(src.label(), label, dst.label())?;
+        let mut inner = self.inner.write();
+        let s = inner.slot_ix(src).ok_or_else(|| SnbError::NotFound(format!("vertex {src}")))?;
+        let d = inner.slot_ix(dst).ok_or_else(|| SnbError::NotFound(format!("vertex {dst}")))?;
+        let eprops = if props.is_empty() { None } else { Some(Box::new(PropertyMap::from_pairs(props))) };
+        inner.slots[s as usize].out.push(AdjEntry { label, other: d, props: eprops });
+        inner.slots[d as usize].inn.push(AdjEntry { label, other: s, props: None });
+        inner.edge_count += 1;
+        self.note_write(&mut inner, s);
+        Ok(())
+    }
+
+    fn vertex_exists(&self, v: Vid) -> bool {
+        self.inner.read().index.contains_key(&v)
+    }
+
+    fn vertex_prop(&self, v: Vid, key: PropKey) -> Result<Option<Value>> {
+        let inner = self.inner.read();
+        let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
+        Ok(inner.slot(ix).props.get(key).cloned())
+    }
+
+    fn vertex_props(&self, v: Vid) -> Result<Vec<(PropKey, Value)>> {
+        let inner = self.inner.read();
+        let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
+        Ok(inner.slot(ix).props.to_pairs())
+    }
+
+    fn set_vertex_prop(&self, v: Vid, key: PropKey, value: Value) -> Result<()> {
+        let mut inner = self.inner.write();
+        let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
+        inner.slots[ix as usize].props.set(key, value);
+        self.note_write(&mut inner, ix);
+        Ok(())
+    }
+
+    fn neighbors(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<Vid>) -> Result<()> {
+        let inner = self.inner.read();
+        let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
+        for e in inner.adj(ix, dir, label) {
+            out.push(inner.slot(e.other).vid);
+        }
+        Ok(())
+    }
+
+    fn edge_prop(&self, src: Vid, label: EdgeLabel, dst: Vid, key: PropKey) -> Result<Option<Value>> {
+        let inner = self.inner.read();
+        let s = inner.slot_ix(src).ok_or_else(|| SnbError::NotFound(format!("vertex {src}")))?;
+        let d = inner.slot_ix(dst).ok_or_else(|| SnbError::NotFound(format!("vertex {dst}")))?;
+        for e in inner.adj(s, Direction::Out, Some(label)) {
+            if e.other == d {
+                return Ok(e.props.as_ref().and_then(|p| p.get(key).cloned()));
+            }
+        }
+        Err(SnbError::NotFound(format!("edge {src}-[:{label}]->{dst}")))
+    }
+
+    fn edge_exists(&self, src: Vid, label: EdgeLabel, dst: Vid) -> Result<bool> {
+        let inner = self.inner.read();
+        let (s, d) = match (inner.slot_ix(src), inner.slot_ix(dst)) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return Ok(false),
+        };
+        let exists = inner.adj(s, Direction::Out, Some(label)).any(|e| e.other == d);
+        Ok(exists)
+    }
+
+    fn vertices_by_label(&self, label: VertexLabel) -> Result<Vec<Vid>> {
+        let inner = self.inner.read();
+        Ok(inner.by_label[label as usize].iter().map(|&ix| inner.slot(ix).vid).collect())
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.inner.read().slots.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.inner.read().edge_count
+    }
+
+    fn storage_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        let mut bytes = inner.slots.capacity() * std::mem::size_of::<VertexSlot>()
+            + inner.index.len() * (std::mem::size_of::<Vid>() + 12);
+        for slot in &inner.slots {
+            bytes += slot.props.heap_bytes();
+            bytes += (slot.out.capacity() + slot.inn.capacity()) * std::mem::size_of::<AdjEntry>();
+            for e in &slot.out {
+                if let Some(p) = &e.props {
+                    bytes += p.heap_bytes();
+                }
+            }
+        }
+        bytes
+    }
+
+    fn degree(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>) -> Result<usize> {
+        let inner = self.inner.read();
+        let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
+        Ok(inner.adj(ix, dir, label).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person(store: &NativeGraphStore, id: u64) -> Vid {
+        store
+            .add_vertex(VertexLabel::Person, id, &[(PropKey::FirstName, Value::str("p"))])
+            .unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup_vertex() {
+        let s = NativeGraphStore::new();
+        let v = person(&s, 1);
+        assert!(s.vertex_exists(v));
+        assert_eq!(s.vertex_prop(v, PropKey::FirstName).unwrap(), Some(Value::str("p")));
+        assert_eq!(s.vertex_prop(v, PropKey::Id).unwrap(), Some(Value::Int(1)));
+        assert!(matches!(
+            s.add_vertex(VertexLabel::Person, 1, &[]),
+            Err(SnbError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let s = NativeGraphStore::new();
+        let a = person(&s, 1);
+        let b = person(&s, 2);
+        let c = person(&s, 3);
+        s.add_edge(EdgeLabel::Knows, a, b, &[(PropKey::CreationDate, Value::Date(7))]).unwrap();
+        s.add_edge(EdgeLabel::Knows, c, a, &[]).unwrap();
+        let mut out = Vec::new();
+        s.neighbors(a, Direction::Out, Some(EdgeLabel::Knows), &mut out).unwrap();
+        assert_eq!(out, vec![b]);
+        out.clear();
+        s.neighbors(a, Direction::In, Some(EdgeLabel::Knows), &mut out).unwrap();
+        assert_eq!(out, vec![c]);
+        out.clear();
+        s.neighbors(a, Direction::Both, None, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(s.degree(a, Direction::Both, Some(EdgeLabel::Knows)).unwrap(), 2);
+        assert_eq!(s.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_props_live_on_out_side() {
+        let s = NativeGraphStore::new();
+        let a = person(&s, 1);
+        let b = person(&s, 2);
+        s.add_edge(EdgeLabel::Knows, a, b, &[(PropKey::CreationDate, Value::Date(9))]).unwrap();
+        assert_eq!(
+            s.edge_prop(a, EdgeLabel::Knows, b, PropKey::CreationDate).unwrap(),
+            Some(Value::Date(9))
+        );
+        assert!(s.edge_prop(b, EdgeLabel::Knows, a, PropKey::CreationDate).is_err());
+        assert!(s.edge_exists(a, EdgeLabel::Knows, b).unwrap());
+        assert!(!s.edge_exists(b, EdgeLabel::Knows, a).unwrap());
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let s = NativeGraphStore::new();
+        let a = person(&s, 1);
+        let t = s.add_vertex(VertexLabel::Tag, 1, &[]).unwrap();
+        assert!(matches!(s.add_edge(EdgeLabel::Knows, a, t, &[]), Err(SnbError::Plan(_))));
+        let missing = Vid::new(VertexLabel::Person, 99);
+        assert!(matches!(
+            s.add_edge(EdgeLabel::Knows, a, missing, &[]),
+            Err(SnbError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn label_scan_and_counts() {
+        let s = NativeGraphStore::new();
+        person(&s, 1);
+        person(&s, 2);
+        s.add_vertex(VertexLabel::Tag, 1, &[]).unwrap();
+        assert_eq!(s.vertices_by_label(VertexLabel::Person).unwrap().len(), 2);
+        assert_eq!(s.vertices_by_label(VertexLabel::Forum).unwrap().len(), 0);
+        assert_eq!(s.vertex_count(), 3);
+        assert!(s.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn set_vertex_prop_overwrites() {
+        let s = NativeGraphStore::new();
+        let v = person(&s, 1);
+        s.set_vertex_prop(v, PropKey::FirstName, Value::str("q")).unwrap();
+        assert_eq!(s.vertex_prop(v, PropKey::FirstName).unwrap(), Some(Value::str("q")));
+        let missing = Vid::new(VertexLabel::Person, 9);
+        assert!(s.set_vertex_prop(missing, PropKey::FirstName, Value::Null).is_err());
+    }
+
+    #[test]
+    fn checkpoints_fire_by_write_count() {
+        let s = NativeGraphStore::with_checkpoint(CheckpointConfig { every_writes: 10 });
+        for i in 0..25 {
+            person(&s, i);
+        }
+        assert_eq!(s.checkpoints_taken(), 2);
+        let s2 = NativeGraphStore::with_checkpoint(CheckpointConfig { every_writes: 0 });
+        for i in 0..25 {
+            person(&s2, i);
+        }
+        assert_eq!(s2.checkpoints_taken(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end tests of the Cypher-like interface on a hand-built graph.
+
+use snb_core::{EdgeLabel, GraphBackend, PropKey, Value, VertexLabel, Vid};
+use snb_graph_native::{NativeGraphStore, Params};
+
+fn fixture() -> NativeGraphStore {
+    // Friendship chain 1-2-3-4-5 plus 1-3 shortcut; person 9 isolated.
+    let s = NativeGraphStore::new();
+    for (id, name) in [(1, "Ada"), (2, "Bob"), (3, "Cai"), (4, "Dee"), (5, "Eli"), (9, "Zoe")] {
+        s.add_vertex(
+            VertexLabel::Person,
+            id,
+            &[
+                (PropKey::FirstName, Value::str(name)),
+                (PropKey::CreationDate, Value::Date(id as i64 * 100)),
+            ],
+        )
+        .unwrap();
+    }
+    let p = |id| Vid::new(VertexLabel::Person, id);
+    for (a, b, d) in [(1u64, 2u64, 10i64), (2, 3, 20), (3, 4, 30), (4, 5, 40), (1, 3, 50)] {
+        s.add_edge(EdgeLabel::Knows, p(a), p(b), &[(PropKey::CreationDate, Value::Date(d))])
+            .unwrap();
+    }
+    // A post by person 2 with two likes and a comment by person 3.
+    s.add_vertex(
+        VertexLabel::Post,
+        100,
+        &[
+            (PropKey::Content, Value::str("hello world")),
+            (PropKey::CreationDate, Value::Date(500)),
+            (PropKey::Length, Value::Int(11)),
+        ],
+    )
+    .unwrap();
+    let post = Vid::new(VertexLabel::Post, 100);
+    s.add_edge(EdgeLabel::HasCreator, post, p(2), &[]).unwrap();
+    s.add_edge(EdgeLabel::Likes, p(1), post, &[(PropKey::CreationDate, Value::Date(501))]).unwrap();
+    s.add_edge(EdgeLabel::Likes, p(3), post, &[(PropKey::CreationDate, Value::Date(502))]).unwrap();
+    s.add_vertex(
+        VertexLabel::Comment,
+        200,
+        &[(PropKey::Content, Value::str("nice")), (PropKey::CreationDate, Value::Date(600))],
+    )
+    .unwrap();
+    let comment = Vid::new(VertexLabel::Comment, 200);
+    s.add_edge(EdgeLabel::ReplyOf, comment, post, &[]).unwrap();
+    s.add_edge(EdgeLabel::HasCreator, comment, p(3), &[]).unwrap();
+    s
+}
+
+fn params(pairs: &[(&str, Value)]) -> Params {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+#[test]
+fn point_lookup_returns_properties() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (p:person {id: $id}) RETURN p.firstName, p.creationDate",
+            &params(&[("id", Value::Int(3))]),
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["p.firstName", "p.creationDate"]);
+    assert_eq!(r.rows, vec![vec![Value::str("Cai"), Value::Date(300)]]);
+}
+
+#[test]
+fn point_lookup_missing_returns_empty() {
+    let s = fixture();
+    let r = s
+        .cypher("MATCH (p:person {id: $id}) RETURN p.firstName", &params(&[("id", Value::Int(77))]))
+        .unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn one_hop_undirected_friends() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (p:person {id: $id})-[:knows]-(f) RETURN f.id ORDER BY f.id",
+            &params(&[("id", Value::Int(3))]),
+        )
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![1, 2, 4]);
+}
+
+#[test]
+fn two_hop_distinct_excludes_start() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (p:person {id: $id})-[:knows*1..2]-(f) WHERE f.id <> $id \
+             RETURN DISTINCT f.id ORDER BY f.id",
+            &params(&[("id", Value::Int(1))]),
+        )
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![2, 3, 4], "friends {{2,3}} plus friends-of-friends {{4}}");
+}
+
+#[test]
+fn shortest_path_lengths() {
+    let s = fixture();
+    let q = "MATCH p = shortestPath((a:person {id:$a})-[:knows*]-(b:person {id:$b})) RETURN length(p)";
+    let r = s.cypher(q, &params(&[("a", Value::Int(1)), ("b", Value::Int(5))])).unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(3)), "1-3-4-5");
+    let r = s.cypher(q, &params(&[("a", Value::Int(2)), ("b", Value::Int(2))])).unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    let r = s.cypher(q, &params(&[("a", Value::Int(1)), ("b", Value::Int(9))])).unwrap();
+    assert!(r.is_empty(), "no path to the isolated person");
+}
+
+#[test]
+fn reversed_anchor_traversal() {
+    // The anchored node is on the right: planner must reverse the chain.
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (m)-[:has_creator]->(p:person {id:$id}) RETURN m.content ORDER BY m.content",
+            &params(&[("id", Value::Int(3))]),
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("nice")]]);
+}
+
+#[test]
+fn multi_path_join_via_shared_variable() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (c:comment {id:$id})-[:reply_of]->(m:post), (m)-[:has_creator]->(p) \
+             RETURN m.id, p.firstName",
+            &params(&[("id", Value::Int(200))]),
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(100), Value::str("Bob")]]);
+}
+
+#[test]
+fn relationship_property_projection_and_order() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (p:person {id:$id})-[k:knows]-(f) \
+             RETURN f.id, k.creationDate ORDER BY k.creationDate DESC",
+            &params(&[("id", Value::Int(1))]),
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![
+            vec![Value::Int(3), Value::Date(50)],
+            vec![Value::Int(2), Value::Date(10)],
+        ]
+    );
+}
+
+#[test]
+fn count_star_and_count_distinct() {
+    let s = fixture();
+    let r = s
+        .cypher("MATCH (p:person {id:$id})-[:knows*1..2]-(f) RETURN count(*)", &params(&[("id", Value::Int(1))]))
+        .unwrap();
+    // Distinct vertices within 2 hops of person 1: 2,3,4 (BFS-distinct semantics).
+    assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    let r = s
+        .cypher(
+            "MATCH (x:person)-[:likes]->(m:post {id:$m}) RETURN count(DISTINCT x)",
+            &params(&[("m", Value::Int(100))]),
+        )
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn aggregate_on_empty_input_yields_zero() {
+    let s = fixture();
+    let r = s
+        .cypher("MATCH (p:person {id:$id})-[:knows]-(f) RETURN count(*)", &params(&[("id", Value::Int(9))]))
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn grouped_count() {
+    let s = fixture();
+    // Likes per liked post grouped by post id.
+    let r = s
+        .cypher(
+            "MATCH (x:person)-[:likes]->(m) RETURN m.id, count(*)",
+            &Params::new(),
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(100), Value::Int(2)]]);
+}
+
+#[test]
+fn create_vertex_and_edge() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "CREATE (p:person {id: $id, firstName: $fn})",
+            &params(&[("id", Value::Int(42)), ("fn", Value::str("New"))]),
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1), "one node created");
+    assert!(s.vertex_exists(Vid::new(VertexLabel::Person, 42)));
+    let r = s
+        .cypher(
+            "MATCH (a:person {id:$a}), (b:person {id:$b}) CREATE (a)-[:knows {creationDate:$d}]->(b)",
+            &params(&[("a", Value::Int(42)), ("b", Value::Int(1)), ("d", Value::Date(999))]),
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][1], Value::Int(1), "one relationship created");
+    let check = s
+        .cypher(
+            "MATCH (p:person {id:$a})-[k:knows]-(f:person {id:$b}) RETURN k.creationDate",
+            &params(&[("a", Value::Int(1)), ("b", Value::Int(42))]),
+        )
+        .unwrap();
+    assert_eq!(check.scalar(), Some(&Value::Date(999)));
+}
+
+#[test]
+fn set_updates_property() {
+    let s = fixture();
+    s.cypher(
+        "MATCH (p:person {id:$id}) SET p.firstName = $v",
+        &params(&[("id", Value::Int(1)), ("v", Value::str("Renamed"))]),
+    )
+    .unwrap();
+    let r = s
+        .cypher("MATCH (p:person {id:$id}) RETURN p.firstName", &params(&[("id", Value::Int(1))]))
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::str("Renamed")));
+}
+
+#[test]
+fn where_with_and_or_not() {
+    let s = fixture();
+    let r = s
+        .cypher(
+            "MATCH (p:person) WHERE p.id > 1 AND NOT p.id >= 5 OR p.firstName = 'Zoe' \
+             RETURN p.id ORDER BY p.id",
+            &Params::new(),
+        )
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![2, 3, 4, 9]);
+}
+
+#[test]
+fn limit_truncates() {
+    let s = fixture();
+    let r = s
+        .cypher("MATCH (p:person) RETURN p.id ORDER BY p.id LIMIT 2", &Params::new())
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn missing_param_is_an_error() {
+    let s = fixture();
+    assert!(s.cypher("MATCH (p:person {id:$nope}) RETURN p.id", &Params::new()).is_err());
+}
+
+#[test]
+fn directed_vs_undirected_expansion() {
+    let s = fixture();
+    let out = s
+        .cypher("MATCH (p:person {id:$id})-[:knows]->(f) RETURN f.id ORDER BY f.id", &params(&[("id", Value::Int(3))]))
+        .unwrap();
+    let ids: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![4], "only out-edges");
+    let inn = s
+        .cypher("MATCH (p:person {id:$id})<-[:knows]-(f) RETURN f.id ORDER BY f.id", &params(&[("id", Value::Int(3))]))
+        .unwrap();
+    let ids: Vec<i64> = inn.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![1, 2], "only in-edges");
+}

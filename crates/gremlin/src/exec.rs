@@ -1,0 +1,513 @@
+//! The step-at-a-time traversal executor.
+//!
+//! Each step transforms the traverser set by issuing *individual*
+//! backend calls per traverser — the TinkerPop execution model. There is
+//! deliberately no cross-step planning: a 2-hop over 400 friends is 401
+//! `neighbors` calls, and `repeat().until()` shortest path is an
+//! exponential simple-path search bounded by a traverser budget.
+
+use snb_core::{Direction, EdgeLabel, GraphBackend, Result, SnbError, Value, Vid};
+use std::collections::HashSet;
+
+use crate::traversal::{Step, Traversal};
+
+/// Hard cap on live traversers; exceeding it aborts the traversal with
+/// `Overloaded` (the Table 3 "unable to complete" dashes).
+pub const TRAVERSER_BUDGET: usize = 2_000_000;
+
+/// One traverser.
+#[derive(Debug, Clone, PartialEq)]
+enum Traverser {
+    Vertex(Vid),
+    /// An edge, remembering which endpoint we came from (for `otherV`).
+    Edge { src: Vid, label: EdgeLabel, dst: Vid, came_from: Vid },
+    Value(Value),
+    /// A simple path accumulated by `RepeatUntil`.
+    Path(Vec<Vid>),
+}
+
+impl Traverser {
+    fn to_value(&self) -> Value {
+        match self {
+            Traverser::Vertex(v) => Value::Vertex(*v),
+            Traverser::Value(v) => v.clone(),
+            Traverser::Edge { src, dst, .. } => {
+                Value::List(vec![Value::Vertex(*src), Value::Vertex(*dst)])
+            }
+            Traverser::Path(p) => {
+                Value::List(p.iter().map(|v| Value::Vertex(*v)).collect())
+            }
+        }
+    }
+}
+
+/// Execute a traversal against a backend, returning the final
+/// traversers as values.
+pub fn execute(backend: &(impl GraphBackend + ?Sized), t: &Traversal) -> Result<Vec<Value>> {
+    let mut set: Vec<Traverser> = Vec::new();
+    let mut started = false;
+    for step in &t.steps {
+        set = apply(backend, step, set, &mut started)?;
+        if set.len() > TRAVERSER_BUDGET {
+            return Err(SnbError::Overloaded(format!(
+                "traverser budget exceeded ({} live traversers)",
+                set.len()
+            )));
+        }
+    }
+    Ok(set.iter().map(Traverser::to_value).collect())
+}
+
+fn vertex_of(tr: &Traverser) -> Result<Vid> {
+    match tr {
+        Traverser::Vertex(v) => Ok(*v),
+        other => Err(SnbError::Exec(format!("step requires a vertex traverser, got {other:?}"))),
+    }
+}
+
+fn expand(
+    backend: &(impl GraphBackend + ?Sized),
+    set: &[Traverser],
+    dir: Direction,
+    label: Option<EdgeLabel>,
+) -> Result<Vec<Traverser>> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for tr in set {
+        let v = vertex_of(tr)?;
+        buf.clear();
+        backend.neighbors(v, dir, label, &mut buf)?;
+        out.extend(buf.iter().map(|&n| Traverser::Vertex(n)));
+    }
+    Ok(out)
+}
+
+fn expand_edges(
+    backend: &(impl GraphBackend + ?Sized),
+    set: &[Traverser],
+    dir: Direction,
+    label: EdgeLabel,
+) -> Result<Vec<Traverser>> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for tr in set {
+        let v = vertex_of(tr)?;
+        let dirs: &[Direction] = match dir {
+            Direction::Out => &[Direction::Out],
+            Direction::In => &[Direction::In],
+            Direction::Both => &[Direction::Out, Direction::In],
+        };
+        for &d in dirs {
+            buf.clear();
+            backend.neighbors(v, d, Some(label), &mut buf)?;
+            for &n in &buf {
+                let (src, dst) = if d == Direction::Out { (v, n) } else { (n, v) };
+                out.push(Traverser::Edge { src, label, dst, came_from: v });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn apply(
+    backend: &(impl GraphBackend + ?Sized),
+    step: &Step,
+    set: Vec<Traverser>,
+    started: &mut bool,
+) -> Result<Vec<Traverser>> {
+    Ok(match step {
+        Step::V(id) => {
+            *started = true;
+            if backend.vertex_exists(*id) {
+                vec![Traverser::Vertex(*id)]
+            } else {
+                Vec::new()
+            }
+        }
+        Step::VLabel(label) => {
+            *started = true;
+            backend
+                .vertices_by_label(*label)?
+                .into_iter()
+                .map(Traverser::Vertex)
+                .collect()
+        }
+        Step::Out(l) => expand(backend, &set, Direction::Out, *l)?,
+        Step::In(l) => expand(backend, &set, Direction::In, *l)?,
+        Step::Both(l) => expand(backend, &set, Direction::Both, *l)?,
+        Step::OutE(l) => expand_edges(backend, &set, Direction::Out, *l)?,
+        Step::InE(l) => expand_edges(backend, &set, Direction::In, *l)?,
+        Step::BothE(l) => expand_edges(backend, &set, Direction::Both, *l)?,
+        Step::OtherV => set
+            .into_iter()
+            .map(|tr| match tr {
+                Traverser::Edge { src, dst, came_from, .. } => {
+                    Ok(Traverser::Vertex(if came_from == src { dst } else { src }))
+                }
+                other => Err(SnbError::Exec(format!("otherV on non-edge {other:?}"))),
+            })
+            .collect::<Result<Vec<_>>>()?,
+        Step::Has(key, pred) => {
+            let mut out = Vec::with_capacity(set.len());
+            for tr in set {
+                let v = vertex_of(&tr)?;
+                // One backend call per traverser — the TinkerPop tax.
+                if let Some(val) = backend.vertex_prop(v, *key)? {
+                    if pred.test(&val) {
+                        out.push(tr);
+                    }
+                }
+            }
+            out
+        }
+        Step::HasId(id) => set
+            .into_iter()
+            .filter(|tr| matches!(tr, Traverser::Vertex(v) if v == id))
+            .collect(),
+        Step::Values(key) => {
+            let mut out = Vec::with_capacity(set.len());
+            for tr in set {
+                let v = vertex_of(&tr)?;
+                if let Some(val) = backend.vertex_prop(v, *key)? {
+                    out.push(Traverser::Value(val));
+                }
+            }
+            out
+        }
+        Step::EdgeValues(key) => {
+            let mut out = Vec::with_capacity(set.len());
+            for tr in set {
+                match tr {
+                    Traverser::Edge { src, label, dst, .. } => {
+                        if let Some(val) = backend.edge_prop(src, label, dst, *key)? {
+                            out.push(Traverser::Value(val));
+                        } else {
+                            out.push(Traverser::Value(Value::Null));
+                        }
+                    }
+                    other => {
+                        return Err(SnbError::Exec(format!("edgeValues on non-edge {other:?}")))
+                    }
+                }
+            }
+            out
+        }
+        Step::ValueMap => {
+            let mut out = Vec::with_capacity(set.len());
+            for tr in set {
+                let v = vertex_of(&tr)?;
+                let props = backend.vertex_props(v)?;
+                let mut list = Vec::with_capacity(props.len() * 2);
+                for (k, val) in props {
+                    list.push(Value::str(k.as_str()));
+                    list.push(val);
+                }
+                out.push(Traverser::Value(Value::List(list)));
+            }
+            out
+        }
+        Step::Dedup => {
+            let mut seen: HashSet<Value> = HashSet::new();
+            set.into_iter().filter(|tr| seen.insert(tr.to_value())).collect()
+        }
+        Step::Limit(n) => {
+            let mut set = set;
+            set.truncate(*n);
+            set
+        }
+        Step::Count => vec![Traverser::Value(Value::Int(set.len() as i64))],
+        Step::OrderBy(key, asc) => {
+            let mut keyed: Vec<(Value, Traverser)> = Vec::with_capacity(set.len());
+            for tr in set {
+                let k = match &tr {
+                    Traverser::Vertex(v) => backend.vertex_prop(*v, *key)?.unwrap_or(Value::Null),
+                    Traverser::Edge { src, label, dst, .. } => {
+                        backend.edge_prop(*src, *label, *dst, *key)?.unwrap_or(Value::Null)
+                    }
+                    other => {
+                        return Err(SnbError::Exec(format!("orderBy on {other:?}")))
+                    }
+                };
+                keyed.push((k, tr));
+            }
+            keyed.sort_by(|(a, _), (b, _)| {
+                let ord = match (a, b) {
+                    (Value::Date(x), Value::Int(y)) | (Value::Int(x), Value::Date(y)) => x.cmp(y),
+                    _ => a.cmp(b),
+                };
+                if *asc {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+            keyed.into_iter().map(|(_, tr)| tr).collect()
+        }
+        Step::RepeatUntil { body, until, max_loops } => {
+            repeat_until(backend, &set, body, *until, *max_loops)?
+        }
+        Step::PathLen => set
+            .into_iter()
+            .map(|tr| match tr {
+                Traverser::Path(p) => {
+                    Ok(Traverser::Value(Value::Int(p.len().saturating_sub(1) as i64)))
+                }
+                other => Err(SnbError::Exec(format!("pathLen on non-path {other:?}"))),
+            })
+            .collect::<Result<Vec<_>>>()?,
+        Step::AddV { label, id, props } => {
+            *started = true;
+            let v = backend.add_vertex(*label, *id, props)?;
+            vec![Traverser::Vertex(v)]
+        }
+        Step::AddE { label, from, to, props } => {
+            backend.add_edge(*label, *from, *to, props)?;
+            vec![Traverser::Edge { src: *from, label: *label, dst: *to, came_from: *from }]
+        }
+        Step::Property(key, value) => {
+            for tr in &set {
+                let v = vertex_of(tr)?;
+                backend.set_vertex_prop(v, *key, value.clone())?;
+            }
+            set
+        }
+    })
+}
+
+/// The `repeat(body.simplePath()).until(hasId(target))` loop. Returns
+/// path traversers that reached the target; BFS order, so the first hit
+/// is a shortest path. Terminates via `max_loops` and the traverser
+/// budget.
+fn repeat_until(
+    backend: &(impl GraphBackend + ?Sized),
+    set: &[Traverser],
+    body: &[Step],
+    until: Vid,
+    max_loops: u32,
+) -> Result<Vec<Traverser>> {
+    let mut paths: Vec<Vec<Vid>> = Vec::new();
+    for tr in set {
+        let v = vertex_of(tr)?;
+        if v == until {
+            return Ok(vec![Traverser::Path(vec![v])]);
+        }
+        paths.push(vec![v]);
+    }
+    for _ in 0..max_loops {
+        let mut next: Vec<Vec<Vid>> = Vec::new();
+        for path in &paths {
+            let head = *path.last().expect("paths are non-empty");
+            // Run the body steps from the path head.
+            let mut dummy = false;
+            let mut frontier = vec![Traverser::Vertex(head)];
+            for step in body {
+                frontier = apply(backend, step, frontier, &mut dummy)?;
+            }
+            for tr in frontier {
+                let v = vertex_of(&tr)?;
+                if path.contains(&v) {
+                    continue; // simplePath()
+                }
+                let mut new_path = path.clone();
+                new_path.push(v);
+                if v == until {
+                    return Ok(vec![Traverser::Path(new_path)]);
+                }
+                next.push(new_path);
+            }
+            if next.len() > TRAVERSER_BUDGET {
+                return Err(SnbError::Overloaded(format!(
+                    "repeat/until exceeded the traverser budget ({} paths)",
+                    next.len()
+                )));
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        paths = next;
+    }
+    Ok(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::Predicate;
+    use snb_core::{PropKey, VertexLabel};
+    use snb_graph_native::NativeGraphStore;
+
+    fn p(id: u64) -> Vid {
+        Vid::new(VertexLabel::Person, id)
+    }
+
+    fn fixture() -> NativeGraphStore {
+        let s = NativeGraphStore::new();
+        for (id, name) in [(1, "Ada"), (2, "Bob"), (3, "Cai"), (4, "Dee"), (5, "Eli"), (9, "Zoe")] {
+            s.add_vertex(
+                VertexLabel::Person,
+                id,
+                &[(PropKey::FirstName, Value::str(name))],
+            )
+            .unwrap();
+        }
+        for (a, b, d) in [(1u64, 2u64, 10i64), (2, 3, 20), (3, 4, 30), (4, 5, 40), (1, 3, 50)] {
+            s.add_edge(EdgeLabel::Knows, p(a), p(b), &[(PropKey::CreationDate, Value::Date(d))])
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn point_lookup_values() {
+        let s = fixture();
+        let r = execute(&s, &Traversal::v(p(3)).values(PropKey::FirstName)).unwrap();
+        assert_eq!(r, vec![Value::str("Cai")]);
+        let r = execute(&s, &Traversal::v(p(77)).values(PropKey::FirstName)).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn one_hop_both() {
+        let s = fixture();
+        let mut r = execute(&s, &Traversal::v(p(3)).both(EdgeLabel::Knows).values(PropKey::Id)).unwrap();
+        r.sort();
+        assert_eq!(r, vec![Value::Int(1), Value::Int(2), Value::Int(4)]);
+    }
+
+    #[test]
+    fn two_hop_dedup_count() {
+        let s = fixture();
+        let r = execute(
+            &s,
+            &Traversal::v(p(1))
+                .both(EdgeLabel::Knows)
+                .both(EdgeLabel::Knows)
+                .dedup()
+                .count(),
+        )
+        .unwrap();
+        // Distinct vertices at exactly two both-steps from 1: {1,2,3,4}.
+        assert_eq!(r, vec![Value::Int(4)]);
+    }
+
+    #[test]
+    fn has_filters_on_property() {
+        let s = fixture();
+        let r = execute(
+            &s,
+            &Traversal::v_label(VertexLabel::Person)
+                .has(PropKey::FirstName, Predicate::Eq(Value::str("Dee")))
+                .values(PropKey::Id),
+        )
+        .unwrap();
+        assert_eq!(r, vec![Value::Int(4)]);
+    }
+
+    #[test]
+    fn shortest_path_via_repeat_until() {
+        let s = fixture();
+        let r = execute(
+            &s,
+            &Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(5), 8).path_len(),
+        )
+        .unwrap();
+        assert_eq!(r, vec![Value::Int(3)]);
+        // Same vertex: zero-length path.
+        let r = execute(
+            &s,
+            &Traversal::v(p(2)).repeat_both_until(EdgeLabel::Knows, p(2), 8).path_len(),
+        )
+        .unwrap();
+        assert_eq!(r, vec![Value::Int(0)]);
+        // Unreachable: empty result.
+        let r = execute(
+            &s,
+            &Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(9), 8).path_len(),
+        )
+        .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn edges_and_edge_values() {
+        let s = fixture();
+        let r = execute(
+            &s,
+            &Traversal::v(p(1))
+                .both_e(EdgeLabel::Knows)
+                .edge_values(PropKey::CreationDate),
+        )
+        .unwrap();
+        let mut dates: Vec<i64> = r.iter().map(|v| v.as_int().unwrap()).collect();
+        dates.sort();
+        assert_eq!(dates, vec![10, 50]);
+        // otherV from person 1's knows edges.
+        let mut r = execute(
+            &s,
+            &Traversal::v(p(1)).both_e(EdgeLabel::Knows).other_v().values(PropKey::Id),
+        )
+        .unwrap();
+        r.sort();
+        assert_eq!(r, vec![Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn order_by_edge_property_desc() {
+        let s = fixture();
+        let r = execute(
+            &s,
+            &Traversal::v(p(1))
+                .both_e(EdgeLabel::Knows)
+                .order_by(PropKey::CreationDate, false)
+                .other_v()
+                .values(PropKey::Id),
+        )
+        .unwrap();
+        assert_eq!(r, vec![Value::Int(3), Value::Int(2)]);
+    }
+
+    #[test]
+    fn limit_and_value_map() {
+        let s = fixture();
+        let r = execute(&s, &Traversal::v_label(VertexLabel::Person).limit(2).count()).unwrap();
+        assert_eq!(r, vec![Value::Int(2)]);
+        let r = execute(&s, &Traversal::v(p(1)).value_map()).unwrap();
+        match &r[0] {
+            Value::List(items) => assert!(items.contains(&Value::str("firstName"))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutations() {
+        let s = fixture();
+        execute(
+            &s,
+            &Traversal::g().add_v(VertexLabel::Person, 42, vec![(PropKey::FirstName, Value::str("New"))]),
+        )
+        .unwrap();
+        execute(
+            &s,
+            &Traversal::g().add_e(EdgeLabel::Knows, p(42), p(1), vec![(PropKey::CreationDate, Value::Date(99))]),
+        )
+        .unwrap();
+        let mut r = execute(&s, &Traversal::v(p(1)).both(EdgeLabel::Knows).values(PropKey::Id)).unwrap();
+        r.sort();
+        assert_eq!(r, vec![Value::Int(2), Value::Int(3), Value::Int(42)]);
+        execute(&s, &Traversal::v(p(42)).property(PropKey::Gender, Value::str("female"))).unwrap();
+        let r = execute(&s, &Traversal::v(p(42)).values(PropKey::Gender)).unwrap();
+        assert_eq!(r, vec![Value::str("female")]);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let s = fixture();
+        let r = execute(&s, &Traversal::v(p(1)).values(PropKey::FirstName).out_any());
+        assert!(r.is_err());
+        let r = execute(&s, &Traversal::v(p(1)).other_v());
+        assert!(r.is_err());
+        let r = execute(&s, &Traversal::v(p(1)).path_len());
+        assert!(r.is_err());
+    }
+}

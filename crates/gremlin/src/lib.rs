@@ -1,0 +1,30 @@
+//! A Gremlin-like traversal language, step-at-a-time executor, and
+//! Gremlin Server analogue.
+//!
+//! TinkerPop's promise is writing one traversal that runs on any
+//! compliant store; its price — the paper's central finding — is that a
+//! complex graph operation decomposes into **many small requests**
+//! against the structure API, forfeiting whole-query optimization. Both
+//! halves are reproduced here:
+//!
+//! * [`Traversal`] is a serializable step list (`V`, `out`, `both`,
+//!   `has`, `values`, `dedup`, `repeat`/`until`, `addV`, ...) built with
+//!   a fluent API, executed by [`exec::execute`] against *any*
+//!   [`snb_core::GraphBackend`]. Each traverser advances one step at a
+//!   time via individual backend calls, exactly like the Gremlin VM.
+//!   Shortest paths can only be expressed as `repeat(both().simplePath())
+//!   .until(hasId(target))` — an exponential path search, which is why
+//!   the Gremlin columns of Tables 2/3 blow up on that query.
+//! * [`server::GremlinServer`] is the out-of-process layer: requests are
+//!   JSON-serialized, pass through a bounded queue into a fixed worker
+//!   pool, and responses are serialized back. Under many concurrent
+//!   complex traversals the queue fills and requests fail with
+//!   [`snb_core::SnbError::Overloaded`] — the paper's observed hangs and
+//!   crashes, surfaced as backpressure errors.
+
+pub mod exec;
+pub mod server;
+pub mod traversal;
+
+pub use server::{GremlinClient, GremlinServer, ServerConfig};
+pub use traversal::{Predicate, Step, Traversal};

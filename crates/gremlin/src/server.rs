@@ -1,0 +1,231 @@
+//! The Gremlin Server analogue.
+//!
+//! Clients never touch the backend directly: a traversal is serialized
+//! to JSON, pushed into a bounded request queue, picked up by one of a
+//! fixed pool of worker threads, executed step-at-a-time, and the
+//! result values are serialized back. That round-trip — encode, queue,
+//! decode, execute, encode, decode — is the real cost the paper measures
+//! between "Neo4j (Cypher)" and "Neo4j (Gremlin)". When the queue is
+//! full or a response takes too long, the client gets
+//! [`SnbError::Overloaded`]: the benchmark-visible form of the hangs and
+//! crashes the paper reports under 64 concurrent complex queries.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use snb_core::{GraphBackend, Result, SnbError, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::exec;
+use crate::traversal::Traversal;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing traversals.
+    pub workers: usize,
+    /// Bounded request-queue capacity; submissions beyond it fail fast.
+    pub queue_capacity: usize,
+    /// How long a client waits for a response before giving up.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Request {
+    payload: Vec<u8>,
+    reply: Sender<Result<Vec<u8>>>,
+}
+
+/// The server: owns the worker pool. Dropping it shuts the pool down
+/// (even if client handles are still alive).
+pub struct GremlinServer {
+    tx: Sender<Request>,
+    timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl GremlinServer {
+    /// Start a server over a shared backend.
+    pub fn start(backend: Arc<dyn GraphBackend>, config: ServerConfig) -> Self {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(config.queue_capacity);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let rx = rx.clone();
+            let backend = Arc::clone(&backend);
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(std::thread::spawn(move || loop {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(req) => {
+                        let result = handle(&*backend, &req.payload);
+                        // The client may have timed out; ignore send failures.
+                        let _ = req.reply.send(result);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }));
+        }
+        GremlinServer { tx, timeout: config.request_timeout, shutdown, handles }
+    }
+
+    /// A client handle; cheap to clone, safe to use from many threads.
+    pub fn client(&self) -> GremlinClient {
+        GremlinClient { tx: self.tx.clone(), timeout: self.timeout }
+    }
+}
+
+impl Drop for GremlinServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle(backend: &dyn GraphBackend, payload: &[u8]) -> Result<Vec<u8>> {
+    let traversal: Traversal = serde_json::from_slice(payload)
+        .map_err(|e| SnbError::Codec(format!("bad request: {e}")))?;
+    let values = exec::execute(&backend, &traversal)?;
+    serde_json::to_vec(&values).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
+}
+
+/// A connection to the server.
+#[derive(Clone)]
+pub struct GremlinClient {
+    tx: Sender<Request>,
+    timeout: Duration,
+}
+
+impl GremlinClient {
+    /// Submit a traversal and wait for its result values.
+    pub fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>> {
+        let payload = serde_json::to_vec(traversal)
+            .map_err(|e| SnbError::Codec(format!("cannot serialize traversal: {e}")))?;
+        let (reply_tx, reply_rx) = bounded(1);
+        match self.tx.try_send(Request { payload, reply: reply_tx }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                return Err(SnbError::Overloaded("gremlin server request queue is full".into()))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(SnbError::Backend("gremlin server is down".into()))
+            }
+        }
+        let bytes = reply_rx
+            .recv_timeout(self.timeout)
+            .map_err(|_| SnbError::Overloaded("gremlin server response timed out".into()))??;
+        serde_json::from_slice(&bytes).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::Traversal;
+    use snb_core::{EdgeLabel, PropKey, VertexLabel, Vid};
+    use snb_graph_native::NativeGraphStore;
+
+    fn p(id: u64) -> Vid {
+        Vid::new(VertexLabel::Person, id)
+    }
+
+    fn backend() -> Arc<dyn GraphBackend> {
+        let s = NativeGraphStore::new();
+        for id in 1..=5 {
+            s.add_vertex(VertexLabel::Person, id, &[(PropKey::FirstName, Value::str("p"))])
+                .unwrap();
+        }
+        for (a, b) in [(1u64, 2u64), (2, 3), (3, 4), (4, 5)] {
+            s.add_edge(EdgeLabel::Knows, p(a), p(b), &[]).unwrap();
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn round_trip_through_server() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let client = server.client();
+        let mut r = client.submit(&Traversal::v(p(2)).both(EdgeLabel::Knows).values(PropKey::Id)).unwrap();
+        r.sort();
+        assert_eq!(r, vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let client = server.client();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let r = client
+                        .submit(&Traversal::v(p(3)).both(EdgeLabel::Knows).count())
+                        .unwrap();
+                    assert_eq!(r, vec![Value::Int(2)]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn queue_overflow_is_overloaded() {
+        // One slow worker, tiny queue: flooding it must yield Overloaded.
+        let server = GremlinServer::start(
+            backend(),
+            ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_millis(200) },
+        );
+        // An expensive traversal to occupy the worker: full scan × repeat.
+        let heavy = Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(5), 8).path_len();
+        let mut saw_overload = false;
+        let clients: Vec<_> = (0..32).map(|_| server.client()).collect();
+        let handles: Vec<_> = clients
+            .into_iter()
+            .map(|c| {
+                let heavy = heavy.clone();
+                std::thread::spawn(move || c.submit(&heavy).is_err())
+            })
+            .collect();
+        for h in handles {
+            saw_overload |= h.join().unwrap();
+        }
+        assert!(saw_overload, "at least one request should be rejected or time out");
+    }
+
+    #[test]
+    fn execution_errors_propagate() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let client = server.client();
+        let r = client.submit(&Traversal::v(p(1)).values(PropKey::FirstName).out_any());
+        assert!(matches!(r, Err(SnbError::Exec(_))));
+    }
+
+    #[test]
+    fn mutations_through_server() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let client = server.client();
+        client
+            .submit(&Traversal::g().add_v(VertexLabel::Person, 42, vec![]))
+            .unwrap();
+        let r = client.submit(&Traversal::v(p(42)).count()).unwrap();
+        assert_eq!(r, vec![Value::Int(1)]);
+    }
+}

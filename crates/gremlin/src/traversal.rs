@@ -1,0 +1,245 @@
+//! Traversal specifications and the fluent builder.
+
+use serde::{Deserialize, Serialize};
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+
+/// A property predicate (`has(key, pred)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    Eq(Value),
+    Neq(Value),
+    Lt(Value),
+    Lte(Value),
+    Gt(Value),
+    Gte(Value),
+}
+
+impl Predicate {
+    /// Apply to a property value (missing properties never match).
+    pub fn test(&self, v: &Value) -> bool {
+        let cmp = |a: &Value, b: &Value| match (a, b) {
+            (Value::Date(x), Value::Int(y)) | (Value::Int(x), Value::Date(y)) => x.cmp(y),
+            _ => a.cmp(b),
+        };
+        match self {
+            Predicate::Eq(w) => cmp(v, w).is_eq(),
+            Predicate::Neq(w) => !cmp(v, w).is_eq(),
+            Predicate::Lt(w) => cmp(v, w).is_lt(),
+            Predicate::Lte(w) => !cmp(v, w).is_gt(),
+            Predicate::Gt(w) => cmp(v, w).is_gt(),
+            Predicate::Gte(w) => !cmp(v, w).is_lt(),
+        }
+    }
+}
+
+/// One traversal step. The executor advances every traverser through
+/// each step in order, issuing fine-grained backend calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Start: one vertex by id (`g.V(id)`), checked for existence.
+    V(Vid),
+    /// Start: all vertices with a label (`g.V().hasLabel(l)`).
+    VLabel(VertexLabel),
+    /// Move to adjacent vertices.
+    Out(Option<EdgeLabel>),
+    In(Option<EdgeLabel>),
+    Both(Option<EdgeLabel>),
+    /// Move to incident edges.
+    OutE(EdgeLabel),
+    InE(EdgeLabel),
+    BothE(EdgeLabel),
+    /// From an edge traverser to the endpoint that is not where we came from.
+    OtherV,
+    /// Filter vertices on a property.
+    Has(PropKey, Predicate),
+    /// Filter on vertex id.
+    HasId(Vid),
+    /// Map a vertex traverser to one property value.
+    Values(PropKey),
+    /// Map an edge traverser to one of its property values.
+    EdgeValues(PropKey),
+    /// Map a vertex traverser to `[key1, v1, key2, v2, ...]`.
+    ValueMap,
+    /// Distinct traversers.
+    Dedup,
+    /// Keep the first n traversers.
+    Limit(usize),
+    /// Collapse to a single count.
+    Count,
+    /// Order traversers by a vertex/edge property (true = ascending).
+    OrderBy(PropKey, bool),
+    /// `repeat(<body>).until(hasId(target)).limit(1)` with `simplePath()`
+    /// semantics inside the body — the Gremlin shortest-path idiom. The
+    /// result traverser carries the path; follow with [`Step::PathLen`].
+    RepeatUntil { body: Vec<Step>, until: Vid, max_loops: u32 },
+    /// Map a path traverser (from `RepeatUntil`) to its hop count.
+    PathLen,
+    /// Mutation: add a vertex.
+    AddV { label: VertexLabel, id: u64, props: Vec<(PropKey, Value)> },
+    /// Mutation: add an edge between two vertices by id.
+    AddE { label: EdgeLabel, from: Vid, to: Vid, props: Vec<(PropKey, Value)> },
+    /// Mutation: set a property on every incoming vertex traverser.
+    Property(PropKey, Value),
+}
+
+/// A full traversal: an ordered list of steps.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Traversal {
+    pub steps: Vec<Step>,
+}
+
+impl Traversal {
+    /// `g.V(id)`.
+    pub fn v(id: Vid) -> Self {
+        Traversal { steps: vec![Step::V(id)] }
+    }
+
+    /// `g.V().hasLabel(label)`.
+    pub fn v_label(label: VertexLabel) -> Self {
+        Traversal { steps: vec![Step::VLabel(label)] }
+    }
+
+    /// Start an empty traversal (for pure mutations).
+    pub fn g() -> Self {
+        Traversal::default()
+    }
+
+    fn push(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    pub fn out(self, label: EdgeLabel) -> Self {
+        self.push(Step::Out(Some(label)))
+    }
+
+    pub fn in_(self, label: EdgeLabel) -> Self {
+        self.push(Step::In(Some(label)))
+    }
+
+    pub fn both(self, label: EdgeLabel) -> Self {
+        self.push(Step::Both(Some(label)))
+    }
+
+    pub fn out_any(self) -> Self {
+        self.push(Step::Out(None))
+    }
+
+    pub fn both_any(self) -> Self {
+        self.push(Step::Both(None))
+    }
+
+    pub fn out_e(self, label: EdgeLabel) -> Self {
+        self.push(Step::OutE(label))
+    }
+
+    pub fn both_e(self, label: EdgeLabel) -> Self {
+        self.push(Step::BothE(label))
+    }
+
+    pub fn other_v(self) -> Self {
+        self.push(Step::OtherV)
+    }
+
+    pub fn has(self, key: PropKey, pred: Predicate) -> Self {
+        self.push(Step::Has(key, pred))
+    }
+
+    pub fn has_id(self, id: Vid) -> Self {
+        self.push(Step::HasId(id))
+    }
+
+    pub fn values(self, key: PropKey) -> Self {
+        self.push(Step::Values(key))
+    }
+
+    pub fn edge_values(self, key: PropKey) -> Self {
+        self.push(Step::EdgeValues(key))
+    }
+
+    pub fn value_map(self) -> Self {
+        self.push(Step::ValueMap)
+    }
+
+    pub fn dedup(self) -> Self {
+        self.push(Step::Dedup)
+    }
+
+    pub fn limit(self, n: usize) -> Self {
+        self.push(Step::Limit(n))
+    }
+
+    pub fn count(self) -> Self {
+        self.push(Step::Count)
+    }
+
+    pub fn order_by(self, key: PropKey, ascending: bool) -> Self {
+        self.push(Step::OrderBy(key, ascending))
+    }
+
+    /// The shortest-path idiom (see [`Step::RepeatUntil`]).
+    pub fn repeat_both_until(self, label: EdgeLabel, target: Vid, max_loops: u32) -> Self {
+        self.push(Step::RepeatUntil {
+            body: vec![Step::Both(Some(label))],
+            until: target,
+            max_loops,
+        })
+    }
+
+    pub fn path_len(self) -> Self {
+        self.push(Step::PathLen)
+    }
+
+    pub fn add_v(self, label: VertexLabel, id: u64, props: Vec<(PropKey, Value)>) -> Self {
+        self.push(Step::AddV { label, id, props })
+    }
+
+    pub fn add_e(self, label: EdgeLabel, from: Vid, to: Vid, props: Vec<(PropKey, Value)>) -> Self {
+        self.push(Step::AddE { label, from, to, props })
+    }
+
+    pub fn property(self, key: PropKey, value: Value) -> Self {
+        self.push(Step::Property(key, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::VertexLabel;
+
+    #[test]
+    fn builder_accumulates_steps() {
+        let t = Traversal::v(Vid::new(VertexLabel::Person, 1))
+            .both(EdgeLabel::Knows)
+            .dedup()
+            .values(PropKey::FirstName)
+            .limit(10);
+        assert_eq!(t.steps.len(), 5);
+        assert!(matches!(t.steps[0], Step::V(_)));
+        assert!(matches!(t.steps[4], Step::Limit(10)));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Predicate::Eq(Value::Int(3)).test(&Value::Int(3)));
+        assert!(Predicate::Neq(Value::Int(3)).test(&Value::Int(4)));
+        assert!(Predicate::Lt(Value::Int(3)).test(&Value::Int(2)));
+        assert!(Predicate::Lte(Value::Int(3)).test(&Value::Int(3)));
+        assert!(Predicate::Gt(Value::str("a")).test(&Value::str("b")));
+        assert!(Predicate::Gte(Value::Int(3)).test(&Value::Int(3)));
+        // Dates and ints compare numerically.
+        assert!(Predicate::Eq(Value::Int(5)).test(&Value::Date(5)));
+    }
+
+    #[test]
+    fn traversal_roundtrips_through_json() {
+        let t = Traversal::v(Vid::new(VertexLabel::Person, 1))
+            .repeat_both_until(EdgeLabel::Knows, Vid::new(VertexLabel::Person, 9), 6)
+            .path_len()
+            .limit(1);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Traversal = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

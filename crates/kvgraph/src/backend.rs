@@ -1,0 +1,349 @@
+//! Key-value backends: wide rows of sorted columns.
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Storage contract of the graph layer: wide rows addressed by row key,
+/// holding sorted columns. Mirrors the slice of the Cassandra/BerkeleyDB
+/// API that TitanDB actually uses.
+pub trait KvBackend: Send + Sync {
+    /// Backend name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Read one column of one row.
+    fn get(&self, row: &[u8], col: &[u8]) -> Option<Bytes>;
+
+    /// Write one column of one row.
+    fn put(&self, row: &[u8], col: &[u8], value: Bytes);
+
+    /// Atomically write a column only if absent; returns whether the
+    /// write happened. Only transactional backends implement this; the
+    /// graph layer must lock around plain `put` otherwise.
+    fn put_if_absent(&self, row: &[u8], col: &[u8], value: Bytes) -> Option<bool>;
+
+    /// All columns of `row` whose key starts with `col_prefix`, in
+    /// column order.
+    fn scan(&self, row: &[u8], col_prefix: &[u8], out: &mut Vec<(Vec<u8>, Bytes)>);
+
+    /// True when the row has at least one column.
+    fn row_exists(&self, row: &[u8]) -> bool;
+
+    /// Total stored columns.
+    fn entry_count(&self) -> usize;
+
+    /// Approximate resident bytes.
+    fn storage_bytes(&self) -> usize;
+
+    /// Whether the backend provides transactional isolation.
+    fn transactional(&self) -> bool;
+}
+
+type Row = BTreeMap<Vec<u8>, Bytes>;
+
+/// BerkeleyDB analogue: one embedded transactional B-tree behind a
+/// single coarse lock, with a write-ahead log appended under that lock.
+/// Single-threaded access is fast; concurrent readers and writers
+/// serialize on the one lock and throughput collapses.
+pub struct BTreeKv {
+    data: RwLock<BTreeMap<Vec<u8>, Row>>,
+    /// WAL buffer; appended under the write lock like a real embedded
+    /// transactional store fsyncing its log.
+    wal: Mutex<Vec<u8>>,
+    entries: std::sync::atomic::AtomicUsize,
+}
+
+impl BTreeKv {
+    /// Empty store.
+    pub fn new() -> Self {
+        BTreeKv {
+            data: RwLock::new(BTreeMap::new()),
+            wal: Mutex::new(Vec::new()),
+            entries: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently buffered in the WAL.
+    pub fn wal_bytes(&self) -> usize {
+        self.wal.lock().len()
+    }
+
+    fn log_write(&self, row: &[u8], col: &[u8], value: &Bytes) {
+        let mut wal = self.wal.lock();
+        wal.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        wal.extend_from_slice(row);
+        wal.extend_from_slice(&(col.len() as u32).to_le_bytes());
+        wal.extend_from_slice(col);
+        wal.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        wal.extend_from_slice(value);
+        // Bound the WAL like a checkpointing store would.
+        if wal.len() > 1 << 22 {
+            wal.clear();
+        }
+    }
+}
+
+impl Default for BTreeKv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvBackend for BTreeKv {
+    fn name(&self) -> &'static str {
+        "btree-kv"
+    }
+
+    fn get(&self, row: &[u8], col: &[u8]) -> Option<Bytes> {
+        self.data.read().get(row)?.get(col).cloned()
+    }
+
+    fn put(&self, row: &[u8], col: &[u8], value: Bytes) {
+        let mut data = self.data.write();
+        self.log_write(row, col, &value);
+        let fresh = data.entry(row.to_vec()).or_default().insert(col.to_vec(), value).is_none();
+        if fresh {
+            self.entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn put_if_absent(&self, row: &[u8], col: &[u8], value: Bytes) -> Option<bool> {
+        let mut data = self.data.write();
+        let r = data.entry(row.to_vec()).or_default();
+        if r.contains_key(col) {
+            return Some(false);
+        }
+        self.log_write(row, col, &value);
+        r.insert(col.to_vec(), value);
+        self.entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(true)
+    }
+
+    fn scan(&self, row: &[u8], col_prefix: &[u8], out: &mut Vec<(Vec<u8>, Bytes)>) {
+        let data = self.data.read();
+        if let Some(r) = data.get(row) {
+            for (k, v) in r.range(col_prefix.to_vec()..) {
+                if !k.starts_with(col_prefix) {
+                    break;
+                }
+                out.push((k.clone(), v.clone()));
+            }
+        }
+    }
+
+    fn row_exists(&self, row: &[u8]) -> bool {
+        self.data.read().get(row).is_some_and(|r| !r.is_empty())
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        let data = self.data.read();
+        let mut bytes = self.wal.lock().len();
+        for (rk, row) in data.iter() {
+            bytes += rk.len() + 32;
+            for (ck, v) in row {
+                bytes += ck.len() + v.len() + 48;
+            }
+        }
+        bytes
+    }
+
+    fn transactional(&self) -> bool {
+        true
+    }
+}
+
+/// Cassandra analogue: rows hash-partitioned across independently locked
+/// shards. No cross-row atomicity and no conditional writes — the graph
+/// layer supplies its own locking for uniqueness — but writers to
+/// different partitions never contend, so it scales with loaders.
+pub struct PartitionedKv {
+    partitions: Vec<Mutex<HashMap<Vec<u8>, Row>>>,
+    entries: std::sync::atomic::AtomicUsize,
+}
+
+impl PartitionedKv {
+    /// Store with the default 16 partitions.
+    pub fn new() -> Self {
+        Self::with_partitions(16)
+    }
+
+    /// Store with an explicit partition count.
+    pub fn with_partitions(n: usize) -> Self {
+        assert!(n > 0, "need at least one partition");
+        PartitionedKv {
+            partitions: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            entries: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn partition(&self, row: &[u8]) -> &Mutex<HashMap<Vec<u8>, Row>> {
+        let mut h = DefaultHasher::new();
+        row.hash(&mut h);
+        &self.partitions[(h.finish() % self.partitions.len() as u64) as usize]
+    }
+}
+
+impl Default for PartitionedKv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvBackend for PartitionedKv {
+    fn name(&self) -> &'static str {
+        "partitioned-kv"
+    }
+
+    fn get(&self, row: &[u8], col: &[u8]) -> Option<Bytes> {
+        self.partition(row).lock().get(row)?.get(col).cloned()
+    }
+
+    fn put(&self, row: &[u8], col: &[u8], value: Bytes) {
+        let mut p = self.partition(row).lock();
+        let fresh = p.entry(row.to_vec()).or_default().insert(col.to_vec(), value).is_none();
+        if fresh {
+            self.entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn put_if_absent(&self, _row: &[u8], _col: &[u8], _value: Bytes) -> Option<bool> {
+        None // no conditional writes, like Cassandra without LWT
+    }
+
+    fn scan(&self, row: &[u8], col_prefix: &[u8], out: &mut Vec<(Vec<u8>, Bytes)>) {
+        let p = self.partition(row).lock();
+        if let Some(r) = p.get(row) {
+            for (k, v) in r.range(col_prefix.to_vec()..) {
+                if !k.starts_with(col_prefix) {
+                    break;
+                }
+                out.push((k.clone(), v.clone()));
+            }
+        }
+    }
+
+    fn row_exists(&self, row: &[u8]) -> bool {
+        self.partition(row).lock().get(row).is_some_and(|r| !r.is_empty())
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for p in &self.partitions {
+            let p = p.lock();
+            for (rk, row) in p.iter() {
+                bytes += rk.len() + 48;
+                for (ck, v) in row {
+                    bytes += ck.len() + v.len() + 48;
+                }
+            }
+        }
+        bytes
+    }
+
+    fn transactional(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends() -> Vec<Box<dyn KvBackend>> {
+        vec![Box::new(BTreeKv::new()), Box::new(PartitionedKv::new())]
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        for b in backends() {
+            b.put(b"row1", b"colA", Bytes::from_static(b"v1"));
+            b.put(b"row1", b"colB", Bytes::from_static(b"v2"));
+            assert_eq!(b.get(b"row1", b"colA"), Some(Bytes::from_static(b"v1")));
+            assert_eq!(b.get(b"row1", b"colC"), None);
+            assert_eq!(b.get(b"row2", b"colA"), None);
+            assert!(b.row_exists(b"row1"));
+            assert!(!b.row_exists(b"row2"));
+            assert_eq!(b.entry_count(), 2, "{}", b.name());
+            assert!(b.storage_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_count() {
+        for b in backends() {
+            b.put(b"r", b"c", Bytes::from_static(b"1"));
+            b.put(b"r", b"c", Bytes::from_static(b"2"));
+            assert_eq!(b.entry_count(), 1);
+            assert_eq!(b.get(b"r", b"c"), Some(Bytes::from_static(b"2")));
+        }
+    }
+
+    #[test]
+    fn scan_respects_prefix_and_order() {
+        for b in backends() {
+            b.put(b"r", b"ea1", Bytes::new());
+            b.put(b"r", b"ea2", Bytes::new());
+            b.put(b"r", b"eb1", Bytes::new());
+            b.put(b"r", b"p1", Bytes::new());
+            let mut out = Vec::new();
+            b.scan(b"r", b"ea", &mut out);
+            let keys: Vec<&[u8]> = out.iter().map(|(k, _)| k.as_slice()).collect();
+            assert_eq!(keys, vec![b"ea1".as_slice(), b"ea2".as_slice()], "{}", b.name());
+            out.clear();
+            b.scan(b"r", b"e", &mut out);
+            assert_eq!(out.len(), 3);
+            out.clear();
+            b.scan(b"other", b"e", &mut out);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn conditional_put_only_on_transactional_backend() {
+        let b = BTreeKv::new();
+        assert_eq!(b.put_if_absent(b"r", b"c", Bytes::from_static(b"1")), Some(true));
+        assert_eq!(b.put_if_absent(b"r", b"c", Bytes::from_static(b"2")), Some(false));
+        assert_eq!(b.get(b"r", b"c"), Some(Bytes::from_static(b"1")));
+        assert!(b.transactional());
+
+        let p = PartitionedKv::new();
+        assert_eq!(p.put_if_absent(b"r", b"c", Bytes::new()), None);
+        assert!(!p.transactional());
+    }
+
+    #[test]
+    fn btree_wal_accumulates_and_is_bounded() {
+        let b = BTreeKv::new();
+        b.put(b"r", b"c", Bytes::from_static(b"hello"));
+        assert!(b.wal_bytes() > 0);
+    }
+
+    #[test]
+    fn partitioned_concurrent_writes() {
+        let p = std::sync::Arc::new(PartitionedKv::new());
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let p = std::sync::Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let row = [t, (i >> 8) as u8, i as u8];
+                    p.put(&row, b"c", Bytes::from_static(b"v"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.entry_count(), 8 * 200);
+    }
+}

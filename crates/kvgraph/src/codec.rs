@@ -1,0 +1,250 @@
+//! Binary codecs for property maps and column keys.
+//!
+//! Every value that crosses the storage boundary is encoded to bytes and
+//! decoded on the way back — the real (de)serialization tax a layered
+//! store pays on each access.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use snb_core::{PropKey, Result, SnbError, Value, Vid};
+
+/// Encode a property list to bytes.
+pub fn encode_props(props: &[(PropKey, Value)]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + props.len() * 12);
+    buf.put_u16(props.len() as u16);
+    for (k, v) in props {
+        buf.put_u8(*k as u8);
+        encode_value(v, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a property list.
+pub fn decode_props(mut data: &[u8]) -> Result<Vec<(PropKey, Value)>> {
+    if data.remaining() < 2 {
+        return Err(SnbError::Codec("truncated property list".into()));
+    }
+    let n = data.get_u16() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if data.remaining() < 1 {
+            return Err(SnbError::Codec("truncated property key".into()));
+        }
+        let key = PropKey::from_tag(data.get_u8())?;
+        let value = decode_value(&mut data)?;
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_f64(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.put_u8(5);
+            buf.put_i64(*d);
+        }
+        Value::Vertex(v) => {
+            buf.put_u8(6);
+            buf.put_u64(v.raw());
+        }
+        Value::List(vs) => {
+            buf.put_u8(7);
+            buf.put_u16(vs.len() as u16);
+            for v in vs {
+                encode_value(v, buf);
+            }
+        }
+    }
+}
+
+fn decode_value(data: &mut &[u8]) -> Result<Value> {
+    if data.remaining() < 1 {
+        return Err(SnbError::Codec("truncated value".into()));
+    }
+    let tag = data.get_u8();
+    let need = |data: &&[u8], n: usize| -> Result<()> {
+        if data.remaining() < n {
+            Err(SnbError::Codec("truncated value payload".into()))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match tag {
+        0 => Value::Null,
+        1 => {
+            need(data, 1)?;
+            Value::Bool(data.get_u8() != 0)
+        }
+        2 => {
+            need(data, 8)?;
+            Value::Int(data.get_i64())
+        }
+        3 => {
+            need(data, 8)?;
+            Value::Float(data.get_f64())
+        }
+        4 => {
+            need(data, 4)?;
+            let len = data.get_u32() as usize;
+            need(data, len)?;
+            let s = std::str::from_utf8(&data[..len])
+                .map_err(|_| SnbError::Codec("invalid utf-8 string".into()))?
+                .to_string();
+            data.advance(len);
+            Value::string(s)
+        }
+        5 => {
+            need(data, 8)?;
+            Value::Date(data.get_i64())
+        }
+        6 => {
+            need(data, 8)?;
+            Value::Vertex(Vid::from_raw(data.get_u64())?)
+        }
+        7 => {
+            need(data, 2)?;
+            let n = data.get_u16() as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(data)?);
+            }
+            Value::List(items)
+        }
+        other => return Err(SnbError::Codec(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Column-key namespaces within a vertex row.
+pub mod col {
+    use bytes::BufMut;
+    use snb_core::{Direction, EdgeLabel, Vid};
+
+    /// Existence/label marker column.
+    pub const EXISTS: &[u8] = b"x";
+
+    /// Property column for one key.
+    pub fn prop(key: snb_core::PropKey) -> Vec<u8> {
+        vec![b'p', key as u8]
+    }
+
+    /// Prefix of all property columns.
+    pub const PROP_PREFIX: &[u8] = b"p";
+
+    fn dir_byte(dir: Direction) -> u8 {
+        match dir {
+            Direction::Out => b'o',
+            Direction::In => b'i',
+            Direction::Both => unreachable!("adjacency columns are stored per direction"),
+        }
+    }
+
+    /// Adjacency column for one incident edge.
+    pub fn edge(dir: Direction, label: EdgeLabel, other: Vid) -> Vec<u8> {
+        let mut k = Vec::with_capacity(11);
+        k.push(b'e');
+        k.push(dir_byte(dir));
+        k.push(label as u8);
+        k.put_u64(other.raw());
+        k
+    }
+
+    /// Prefix of adjacency columns in one direction, optionally
+    /// restricted to a label.
+    pub fn edge_prefix(dir: Direction, label: Option<EdgeLabel>) -> Vec<u8> {
+        let mut k = vec![b'e', dir_byte(dir)];
+        if let Some(l) = label {
+            k.push(l as u8);
+        }
+        k
+    }
+
+    /// Decode the neighbour vid from an adjacency column key.
+    pub fn edge_other(col_key: &[u8]) -> Option<Vid> {
+        if col_key.len() != 11 || col_key[0] != b'e' {
+            return None;
+        }
+        let raw = u64::from_be_bytes(col_key[3..11].try_into().ok()?);
+        Vid::from_raw(raw).ok()
+    }
+}
+
+/// Row key of a vertex.
+pub fn vertex_row(v: Vid) -> [u8; 8] {
+    v.raw().to_be_bytes()
+}
+
+/// Row key of a label index.
+pub fn label_index_row(label: snb_core::VertexLabel) -> [u8; 2] {
+    [b'L', label as u8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::{Direction, EdgeLabel, VertexLabel};
+
+    #[test]
+    fn props_roundtrip() {
+        let props = vec![
+            (PropKey::FirstName, Value::str("Ada")),
+            (PropKey::Length, Value::Int(42)),
+            (PropKey::CreationDate, Value::Date(-5)),
+            (PropKey::Speaks, Value::List(vec![Value::str("en"), Value::str("tr")])),
+            (PropKey::Gender, Value::Null),
+            (PropKey::Id, Value::Float(1.5)),
+        ];
+        let bytes = encode_props(&props);
+        assert_eq!(decode_props(&bytes).unwrap(), props);
+    }
+
+    #[test]
+    fn empty_props_roundtrip() {
+        let bytes = encode_props(&[]);
+        assert!(decode_props(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_data_errors() {
+        assert!(decode_props(&[]).is_err());
+        let bytes = encode_props(&[(PropKey::FirstName, Value::str("Ada"))]);
+        assert!(decode_props(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn edge_column_roundtrip() {
+        let v = Vid::new(VertexLabel::Person, 12345);
+        let key = col::edge(Direction::Out, EdgeLabel::Knows, v);
+        assert!(key.starts_with(&col::edge_prefix(Direction::Out, Some(EdgeLabel::Knows))));
+        assert!(key.starts_with(&col::edge_prefix(Direction::Out, None)));
+        assert_eq!(col::edge_other(&key), Some(v));
+        assert_eq!(col::edge_other(b"bogus"), None);
+    }
+
+    #[test]
+    fn adjacency_prefixes_separate_directions_and_labels() {
+        let v = Vid::new(VertexLabel::Person, 1);
+        let out_knows = col::edge(Direction::Out, EdgeLabel::Knows, v);
+        let in_knows = col::edge(Direction::In, EdgeLabel::Knows, v);
+        let out_likes = col::edge(Direction::Out, EdgeLabel::Likes, v);
+        assert!(!in_knows.starts_with(&col::edge_prefix(Direction::Out, None)));
+        assert!(!out_likes.starts_with(&col::edge_prefix(Direction::Out, Some(EdgeLabel::Knows))));
+        assert!(out_knows.starts_with(&col::edge_prefix(Direction::Out, Some(EdgeLabel::Knows))));
+    }
+}

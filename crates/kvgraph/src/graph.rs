@@ -1,0 +1,387 @@
+//! The TitanDB-like graph layer over a [`KvBackend`].
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use snb_core::schema::edge_def;
+use snb_core::{
+    Direction, EdgeLabel, GraphBackend, PropKey, Result, SnbError, Value, VertexLabel, Vid,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::backend::KvBackend;
+use crate::codec::{self, col};
+
+/// Striped lock table the layer uses for uniqueness when the backend
+/// cannot do conditional writes (the Titan-over-Cassandra situation).
+struct LockManager {
+    stripes: Vec<Mutex<()>>,
+}
+
+impl LockManager {
+    fn new(n: usize) -> Self {
+        LockManager { stripes: (0..n).map(|_| Mutex::new(())).collect() }
+    }
+
+    fn stripe_of(&self, key: &[u8]) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.stripes.len() as u64) as usize
+    }
+
+    fn lock(&self, key: &[u8]) -> parking_lot::MutexGuard<'_, ()> {
+        self.stripes[self.stripe_of(key)].lock()
+    }
+
+    /// Lock the stripes of two keys without self- or ABBA-deadlock:
+    /// distinct stripes are taken in index order, a shared stripe once.
+    fn lock_pair(
+        &self,
+        a: &[u8],
+        b: &[u8],
+    ) -> (parking_lot::MutexGuard<'_, ()>, Option<parking_lot::MutexGuard<'_, ()>>) {
+        let (ia, ib) = (self.stripe_of(a), self.stripe_of(b));
+        if ia == ib {
+            (self.stripes[ia].lock(), None)
+        } else {
+            let (lo, hi) = (ia.min(ib), ia.max(ib));
+            (self.stripes[lo].lock(), Some(self.stripes[hi].lock()))
+        }
+    }
+}
+
+/// A property graph layered over `B`. Every access crosses the codec
+/// boundary (encode on write, decode on read).
+pub struct KvGraph<B: KvBackend> {
+    backend: B,
+    locks: LockManager,
+    vertex_count: std::sync::atomic::AtomicUsize,
+    edge_count: std::sync::atomic::AtomicUsize,
+}
+
+impl<B: KvBackend> KvGraph<B> {
+    /// Graph layer over the given backend.
+    pub fn new(backend: B) -> Self {
+        KvGraph {
+            backend,
+            locks: LockManager::new(64),
+            vertex_count: std::sync::atomic::AtomicUsize::new(0),
+            edge_count: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Access the underlying backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+impl<B: KvBackend> GraphBackend for KvGraph<B> {
+    fn name(&self) -> &'static str {
+        if self.backend.transactional() {
+            "kvgraph-btree"
+        } else {
+            "kvgraph-partitioned"
+        }
+    }
+
+    fn add_vertex(&self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<Vid> {
+        let vid = Vid::new(label, local_id);
+        let row = codec::vertex_row(vid);
+        let marker = Bytes::copy_from_slice(&[label as u8]);
+        // Uniqueness: conditional write when the backend supports it,
+        // layer-level locking plus read-before-write otherwise.
+        match self.backend.put_if_absent(&row, col::EXISTS, marker.clone()) {
+            Some(true) => {}
+            Some(false) => return Err(SnbError::Conflict(format!("vertex {vid} already exists"))),
+            None => {
+                let _guard = self.locks.lock(&row);
+                if self.backend.get(&row, col::EXISTS).is_some() {
+                    return Err(SnbError::Conflict(format!("vertex {vid} already exists")));
+                }
+                self.backend.put(&row, col::EXISTS, marker);
+            }
+        }
+        let mut id_props: Vec<(PropKey, Value)> = Vec::with_capacity(props.len() + 1);
+        id_props.push((PropKey::Id, Value::Int(local_id as i64)));
+        id_props.extend_from_slice(props);
+        for (k, v) in &id_props {
+            self.backend.put(&row, &col::prop(*k), codec::encode_props(&[(*k, v.clone())]));
+        }
+        // Label index row (Titan's composite index on labels).
+        self.backend.put(&codec::label_index_row(label), &row, Bytes::new());
+        self.vertex_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(vid)
+    }
+
+    fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()> {
+        edge_def(src.label(), label, dst.label())?;
+        let src_row = codec::vertex_row(src);
+        let dst_row = codec::vertex_row(dst);
+        // Read-before-write: both endpoints must exist.
+        if self.backend.get(&src_row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {src}")));
+        }
+        if self.backend.get(&dst_row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {dst}")));
+        }
+        let payload = codec::encode_props(props);
+        if self.backend.transactional() {
+            self.backend.put(&src_row, &col::edge(Direction::Out, label, dst), payload.clone());
+            self.backend.put(&dst_row, &col::edge(Direction::In, label, src), payload);
+        } else {
+            // Layer-level locks on both rows, stripe-ordered to avoid
+            // deadlock (Titan's locking protocol over Cassandra).
+            let _guards = self.locks.lock_pair(&src_row, &dst_row);
+            self.backend.put(&src_row, &col::edge(Direction::Out, label, dst), payload.clone());
+            self.backend.put(&dst_row, &col::edge(Direction::In, label, src), payload);
+        }
+        self.edge_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn vertex_exists(&self, v: Vid) -> bool {
+        self.backend.get(&codec::vertex_row(v), col::EXISTS).is_some()
+    }
+
+    fn vertex_prop(&self, v: Vid, key: PropKey) -> Result<Option<Value>> {
+        let row = codec::vertex_row(v);
+        if self.backend.get(&row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {v}")));
+        }
+        match self.backend.get(&row, &col::prop(key)) {
+            None => Ok(None),
+            Some(bytes) => {
+                let mut props = codec::decode_props(&bytes)?;
+                Ok(props.pop().map(|(_, v)| v))
+            }
+        }
+    }
+
+    fn vertex_props(&self, v: Vid) -> Result<Vec<(PropKey, Value)>> {
+        let row = codec::vertex_row(v);
+        if self.backend.get(&row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {v}")));
+        }
+        let mut cols = Vec::new();
+        self.backend.scan(&row, col::PROP_PREFIX, &mut cols);
+        let mut out = Vec::with_capacity(cols.len());
+        for (_, bytes) in cols {
+            out.extend(codec::decode_props(&bytes)?);
+        }
+        Ok(out)
+    }
+
+    fn set_vertex_prop(&self, v: Vid, key: PropKey, value: Value) -> Result<()> {
+        let row = codec::vertex_row(v);
+        if self.backend.get(&row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {v}")));
+        }
+        self.backend.put(&row, &col::prop(key), codec::encode_props(&[(key, value)]));
+        Ok(())
+    }
+
+    fn neighbors(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<Vid>) -> Result<()> {
+        let row = codec::vertex_row(v);
+        if self.backend.get(&row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {v}")));
+        }
+        let mut cols = Vec::new();
+        let dirs: &[Direction] = match dir {
+            Direction::Out => &[Direction::Out],
+            Direction::In => &[Direction::In],
+            Direction::Both => &[Direction::Out, Direction::In],
+        };
+        for &d in dirs {
+            cols.clear();
+            self.backend.scan(&row, &col::edge_prefix(d, label), &mut cols);
+            for (key, _) in &cols {
+                out.push(
+                    col::edge_other(key)
+                        .ok_or_else(|| SnbError::Codec("bad adjacency column".into()))?,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn edge_prop(&self, src: Vid, label: EdgeLabel, dst: Vid, key: PropKey) -> Result<Option<Value>> {
+        let row = codec::vertex_row(src);
+        match self.backend.get(&row, &col::edge(Direction::Out, label, dst)) {
+            None => Err(SnbError::NotFound(format!("edge {src}-[:{label}]->{dst}"))),
+            Some(bytes) => {
+                let props = codec::decode_props(&bytes)?;
+                Ok(props.into_iter().find(|(k, _)| *k == key).map(|(_, v)| v))
+            }
+        }
+    }
+
+    fn edge_exists(&self, src: Vid, label: EdgeLabel, dst: Vid) -> Result<bool> {
+        Ok(self
+            .backend
+            .get(&codec::vertex_row(src), &col::edge(Direction::Out, label, dst))
+            .is_some())
+    }
+
+    fn vertices_by_label(&self, label: VertexLabel) -> Result<Vec<Vid>> {
+        let mut cols = Vec::new();
+        self.backend.scan(&codec::label_index_row(label), &[], &mut cols);
+        let mut out = Vec::with_capacity(cols.len());
+        for (key, _) in cols {
+            if key.len() == 8 {
+                out.push(Vid::from_raw(u64::from_be_bytes(key[..8].try_into().expect("8 bytes")))?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.vertex_count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.backend.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BTreeKv, PartitionedKv};
+
+    fn graphs() -> (KvGraph<BTreeKv>, KvGraph<PartitionedKv>) {
+        (KvGraph::new(BTreeKv::new()), KvGraph::new(PartitionedKv::new()))
+    }
+
+    fn seed(g: &(impl GraphBackend + ?Sized)) {
+        for id in 1..=3 {
+            g.add_vertex(VertexLabel::Person, id, &[(PropKey::FirstName, Value::str("p"))])
+                .unwrap();
+        }
+        g.add_edge(
+            EdgeLabel::Knows,
+            Vid::new(VertexLabel::Person, 1),
+            Vid::new(VertexLabel::Person, 2),
+            &[(PropKey::CreationDate, Value::Date(7))],
+        )
+        .unwrap();
+        g.add_edge(
+            EdgeLabel::Knows,
+            Vid::new(VertexLabel::Person, 3),
+            Vid::new(VertexLabel::Person, 1),
+            &[],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn crud_roundtrip_both_backends() {
+        let (bt, pt) = graphs();
+        for g in [&bt as &dyn GraphBackend, &pt as &dyn GraphBackend] {
+            seed(g);
+            let v1 = Vid::new(VertexLabel::Person, 1);
+            assert!(g.vertex_exists(v1));
+            assert_eq!(g.vertex_prop(v1, PropKey::FirstName).unwrap(), Some(Value::str("p")));
+            assert_eq!(g.vertex_prop(v1, PropKey::Content).unwrap(), None);
+            let mut out = Vec::new();
+            g.neighbors(v1, Direction::Out, Some(EdgeLabel::Knows), &mut out).unwrap();
+            assert_eq!(out, vec![Vid::new(VertexLabel::Person, 2)]);
+            out.clear();
+            g.neighbors(v1, Direction::Both, None, &mut out).unwrap();
+            assert_eq!(out.len(), 2);
+            assert_eq!(
+                g.edge_prop(v1, EdgeLabel::Knows, Vid::new(VertexLabel::Person, 2), PropKey::CreationDate)
+                    .unwrap(),
+                Some(Value::Date(7))
+            );
+            assert_eq!(g.vertex_count(), 3);
+            assert_eq!(g.edge_count(), 2);
+            assert_eq!(g.vertices_by_label(VertexLabel::Person).unwrap().len(), 3);
+            assert!(g.vertices_by_label(VertexLabel::Tag).unwrap().is_empty());
+            assert!(g.storage_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_vertex_rejected_by_both_mechanisms() {
+        let (bt, pt) = graphs();
+        for g in [&bt as &dyn GraphBackend, &pt as &dyn GraphBackend] {
+            g.add_vertex(VertexLabel::Person, 7, &[]).unwrap();
+            assert!(matches!(
+                g.add_vertex(VertexLabel::Person, 7, &[]),
+                Err(SnbError::Conflict(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn edges_require_existing_endpoints_and_schema() {
+        let (bt, _) = graphs();
+        bt.add_vertex(VertexLabel::Person, 1, &[]).unwrap();
+        let missing = Vid::new(VertexLabel::Person, 9);
+        assert!(matches!(
+            bt.add_edge(EdgeLabel::Knows, Vid::new(VertexLabel::Person, 1), missing, &[]),
+            Err(SnbError::NotFound(_))
+        ));
+        bt.add_vertex(VertexLabel::Tag, 1, &[]).unwrap();
+        assert!(matches!(
+            bt.add_edge(
+                EdgeLabel::Knows,
+                Vid::new(VertexLabel::Person, 1),
+                Vid::new(VertexLabel::Tag, 1),
+                &[]
+            ),
+            Err(SnbError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn set_prop_overwrites() {
+        let (_, pt) = graphs();
+        let v = pt.add_vertex(VertexLabel::Person, 1, &[(PropKey::FirstName, Value::str("a"))]).unwrap();
+        pt.set_vertex_prop(v, PropKey::FirstName, Value::str("b")).unwrap();
+        assert_eq!(pt.vertex_prop(v, PropKey::FirstName).unwrap(), Some(Value::str("b")));
+        let props = pt.vertex_props(v).unwrap();
+        assert!(props.contains(&(PropKey::Id, Value::Int(1))));
+        assert!(props.contains(&(PropKey::FirstName, Value::str("b"))));
+    }
+
+    #[test]
+    fn edges_between_same_stripe_rows_do_not_self_deadlock() {
+        // Regression: with 64 stripes, distinct rows regularly hash to
+        // the same stripe; lock_pair must collapse to a single lock.
+        let g = KvGraph::new(PartitionedKv::new());
+        for id in 0..200 {
+            g.add_vertex(VertexLabel::Person, id, &[]).unwrap();
+        }
+        // 199 edges guarantee several same-stripe pairs across 64 stripes.
+        for id in 0..199 {
+            g.add_edge(
+                EdgeLabel::Knows,
+                Vid::new(VertexLabel::Person, id),
+                Vid::new(VertexLabel::Person, id + 1),
+                &[],
+            )
+            .unwrap();
+        }
+        assert_eq!(g.edge_count(), 199);
+    }
+
+    #[test]
+    fn concurrent_unique_inserts_one_winner() {
+        let g = std::sync::Arc::new(KvGraph::new(PartitionedKv::new()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let g = std::sync::Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                g.add_vertex(VertexLabel::Person, 42, &[]).is_ok()
+            }));
+        }
+        let wins: usize = handles.into_iter().map(|h| h.join().unwrap() as usize).sum();
+        assert_eq!(wins, 1, "exactly one concurrent insert wins");
+    }
+}

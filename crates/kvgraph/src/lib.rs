@@ -1,0 +1,27 @@
+//! A property-graph layer over pluggable key-value backends, in the
+//! style of TitanDB.
+//!
+//! TitanDB stores each vertex as a *wide row*: the row key is the vertex
+//! id and the columns hold properties and adjacency entries (one column
+//! per incident edge, sorted so a label-restricted neighbourhood is one
+//! column-range scan). Every read deserializes column values and every
+//! write serializes them — the "storage and indexing abstractions
+//! introduced by TitanDB itself" the paper blames for its update costs.
+//! This crate reproduces that design over two backends:
+//!
+//! * [`backend::BTreeKv`] — BerkeleyDB analogue: one transactional
+//!   B-tree behind a coarse lock with a write-ahead log. Fast for a
+//!   single loader, collapses under concurrent readers and writers
+//!   (which is why the paper withdrew Titan-B from Figure 3).
+//! * [`backend::PartitionedKv`] — Cassandra analogue: hash-partitioned
+//!   rows with per-partition locks and **no** cross-row transactions.
+//!   Scales with concurrent loaders, but the graph layer must impose its
+//!   own striped locking to guarantee id uniqueness, further taxing
+//!   writes — exactly the paper's explanation of Titan-C.
+
+pub mod backend;
+pub mod codec;
+pub mod graph;
+
+pub use backend::{BTreeKv, KvBackend, PartitionedKv};
+pub use graph::KvGraph;

@@ -1,0 +1,103 @@
+//! The broker: a registry of topics.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::consumer::Consumer;
+use crate::producer::Producer;
+use crate::topic::Topic;
+use crate::{MqError, Result};
+
+/// In-process broker holding all topics. Cheap to share (`Arc`).
+#[derive(Default)]
+pub struct Broker {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+}
+
+impl Broker {
+    /// Fresh broker with no topics.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Broker::default())
+    }
+
+    /// Create a topic. Fails if it already exists.
+    pub fn create_topic(&self, name: &str, partitions: u32) -> Result<Arc<Topic>> {
+        let topic = Arc::new(Topic::new(name, partitions)?);
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(MqError::TopicExists(name.to_string()));
+        }
+        topics.insert(name.to_string(), Arc::clone(&topic));
+        Ok(topic)
+    }
+
+    /// Create (or recover) a disk-backed topic whose partitions persist
+    /// to segment files under `dir`.
+    pub fn create_durable_topic(
+        &self,
+        name: &str,
+        partitions: u32,
+        dir: &std::path::Path,
+    ) -> Result<Arc<Topic>> {
+        let topic = Arc::new(Topic::durable(name, partitions, dir)?);
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(MqError::TopicExists(name.to_string()));
+        }
+        topics.insert(name.to_string(), Arc::clone(&topic));
+        Ok(topic)
+    }
+
+    /// Look up a topic.
+    pub fn topic(&self, name: &str) -> Result<Arc<Topic>> {
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MqError::UnknownTopic(name.to_string()))
+    }
+
+    /// Create a producer for a topic.
+    pub fn producer(&self, topic: &str) -> Result<Producer> {
+        Ok(Producer::new(self.topic(topic)?))
+    }
+
+    /// Create a consumer reading every partition of a topic from the
+    /// beginning.
+    pub fn consumer(&self, topic: &str) -> Result<Consumer> {
+        Ok(Consumer::new(self.topic(topic)?))
+    }
+
+    /// Names of all topics.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let b = Broker::new();
+        b.create_topic("updates", 2).unwrap();
+        assert!(b.topic("updates").is_ok());
+        assert_eq!(b.topic("updates").unwrap().partition_count(), 2);
+        assert!(matches!(b.topic("nope"), Err(MqError::UnknownTopic(_))));
+        assert!(matches!(b.create_topic("updates", 1), Err(MqError::TopicExists(_))));
+        assert_eq!(b.topic_names(), vec!["updates".to_string()]);
+    }
+
+    #[test]
+    fn producer_consumer_construction() {
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        assert!(b.producer("t").is_ok());
+        assert!(b.consumer("t").is_ok());
+        assert!(b.producer("missing").is_err());
+    }
+}

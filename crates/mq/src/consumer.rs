@@ -1,0 +1,190 @@
+//! Consumers: poll records, track positions, commit offsets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::record::Record;
+use crate::topic::Topic;
+
+/// A consumer over every partition of one topic.
+///
+/// `poll` advances the in-memory *position*; `commit` persists it. On
+/// `reset_to_committed` the position rewinds to the last commit, so a
+/// crashed consumer re-reads uncommitted records — at-least-once
+/// delivery, the same contract Kafka gives the paper's update executor.
+pub struct Consumer {
+    topic: Arc<Topic>,
+    positions: Vec<u64>,
+    committed: Vec<u64>,
+}
+
+impl Consumer {
+    /// Consumer starting at the beginning of every partition.
+    pub fn new(topic: Arc<Topic>) -> Self {
+        let n = topic.partition_count() as usize;
+        Consumer { topic, positions: vec![0; n], committed: vec![0; n] }
+    }
+
+    /// Non-blocking poll: up to `max` records across partitions, in
+    /// partition order. Advances positions past the returned records.
+    pub fn poll(&mut self, max: usize) -> Vec<(u32, Record)> {
+        let mut out = Vec::new();
+        for part in 0..self.topic.partition_count() {
+            if out.len() >= max {
+                break;
+            }
+            let pos = self.positions[part as usize];
+            let batch = self
+                .topic
+                .partition(part)
+                .expect("partition in range")
+                .fetch(pos, max - out.len());
+            if let Some(last) = batch.last() {
+                self.positions[part as usize] = last.offset + 1;
+            }
+            out.extend(batch.into_iter().map(|r| (part, r)));
+        }
+        out
+    }
+
+    /// Blocking poll: waits up to `timeout` for at least one record.
+    pub fn poll_wait(&mut self, max: usize, timeout: Duration) -> Vec<(u32, Record)> {
+        let got = self.poll(max);
+        if !got.is_empty() {
+            return got;
+        }
+        // Block on partition 0's condvar as the wakeup source, then
+        // re-check all partitions. Busy-looping across condvars is not
+        // worth it for the benchmark's single-digit partition counts.
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let got = self.poll(max);
+            if !got.is_empty() {
+                return got;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            let pos = self.positions[0];
+            self.topic
+                .partition(0)
+                .expect("partition 0 exists")
+                .wait_for(pos, (deadline - now).min(Duration::from_millis(5)));
+        }
+    }
+
+    /// Persist the current positions as the committed offsets.
+    pub fn commit(&mut self) {
+        self.committed.clone_from(&self.positions);
+    }
+
+    /// Rewind positions to the last committed offsets (crash-recovery
+    /// semantics).
+    pub fn reset_to_committed(&mut self) {
+        self.positions.clone_from(&self.committed);
+    }
+
+    /// Records appended but not yet polled, across all partitions.
+    pub fn lag(&self) -> u64 {
+        self.topic
+            .end_offsets()
+            .iter()
+            .zip(&self.positions)
+            .map(|(end, pos)| end.saturating_sub(*pos))
+            .sum()
+    }
+
+    /// Current (uncommitted) positions per partition.
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producer::Producer;
+    use bytes::Bytes;
+
+    fn setup(parts: u32) -> (Arc<Topic>, Producer) {
+        let t = Arc::new(Topic::new("t", parts).unwrap());
+        let p = Producer::new(Arc::clone(&t));
+        (t, p)
+    }
+
+    #[test]
+    fn poll_preserves_partition_order() {
+        let (t, p) = setup(1);
+        for i in 0..10i64 {
+            p.send(i, None, Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        let mut c = Consumer::new(t);
+        let records = c.poll(100);
+        let offsets: Vec<u64> = records.iter().map(|(_, r)| r.offset).collect();
+        assert_eq!(offsets, (0..10).collect::<Vec<u64>>());
+        assert!(c.poll(100).is_empty(), "second poll sees nothing new");
+    }
+
+    #[test]
+    fn poll_respects_max() {
+        let (t, p) = setup(2);
+        for i in 0..20 {
+            p.send(i, None, Bytes::new());
+        }
+        let mut c = Consumer::new(t);
+        let batch = c.poll(7);
+        assert_eq!(batch.len(), 7);
+        let rest = c.poll(100);
+        assert_eq!(rest.len(), 13);
+    }
+
+    #[test]
+    fn uncommitted_records_are_redelivered_after_reset() {
+        let (t, p) = setup(1);
+        for i in 0..5 {
+            p.send(i, None, Bytes::new());
+        }
+        let mut c = Consumer::new(t);
+        assert_eq!(c.poll(2).len(), 2);
+        c.commit();
+        assert_eq!(c.poll(2).len(), 2); // read but not committed
+        c.reset_to_committed();
+        let replay = c.poll(10);
+        assert_eq!(replay.len(), 3, "records 2..5 are redelivered");
+        assert_eq!(replay[0].1.offset, 2);
+    }
+
+    #[test]
+    fn lag_tracks_unpolled_records() {
+        let (t, p) = setup(2);
+        let mut c = Consumer::new(Arc::clone(&t));
+        assert_eq!(c.lag(), 0);
+        for i in 0..6 {
+            p.send(i, None, Bytes::new());
+        }
+        assert_eq!(c.lag(), 6);
+        c.poll(4);
+        assert_eq!(c.lag(), 2);
+    }
+
+    #[test]
+    fn poll_wait_returns_promptly_when_data_arrives() {
+        let (t, p) = setup(1);
+        let mut c = Consumer::new(Arc::clone(&t));
+        let h = std::thread::spawn(move || c.poll_wait(10, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        p.send(1, None, Bytes::from_static(b"hello"));
+        let got = h.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].1.value[..], b"hello");
+    }
+
+    #[test]
+    fn poll_wait_times_out_empty() {
+        let (t, _p) = setup(1);
+        let mut c = Consumer::new(t);
+        let got = c.poll_wait(10, Duration::from_millis(20));
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! A Kafka-like partitioned message log.
+//!
+//! The paper's benchmarking architecture feeds the LDBC update stream
+//! through a dedicated Kafka queue so that updates reach the system
+//! under test as a real-time stream rather than a pre-scheduled script.
+//! This crate is the in-process substitute: named topics split into
+//! partitions, each partition an append-only offset-addressed log,
+//! producers that route by key hash, and consumer groups with committed
+//! offsets and at-least-once delivery.
+//!
+//! What is intentionally preserved from Kafka's model:
+//! * total order *within* a partition, no order across partitions;
+//! * consumers poll (pull model) and control their own commit points;
+//! * a record is never mutated or removed once appended;
+//! * producers and consumers cross a real thread boundary — payloads are
+//!   opaque bytes, so the driver pays genuine serialize/deserialize costs.
+
+pub mod broker;
+pub mod consumer;
+pub mod producer;
+pub mod record;
+pub mod topic;
+
+pub use broker::Broker;
+pub use consumer::Consumer;
+pub use producer::Producer;
+pub use record::Record;
+pub use topic::Topic;
+
+/// Crate-local error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MqError {
+    /// Topic does not exist.
+    UnknownTopic(String),
+    /// Topic already exists.
+    TopicExists(String),
+    /// Partition index out of range.
+    UnknownPartition { topic: String, partition: u32 },
+    /// Invalid configuration (e.g. zero partitions).
+    Config(String),
+}
+
+impl std::fmt::Display for MqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MqError::UnknownTopic(t) => write!(f, "unknown topic `{t}`"),
+            MqError::TopicExists(t) => write!(f, "topic `{t}` already exists"),
+            MqError::UnknownPartition { topic, partition } => {
+                write!(f, "topic `{topic}` has no partition {partition}")
+            }
+            MqError::Config(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MqError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, MqError>;

@@ -1,0 +1,108 @@
+//! Producers: append records to a topic, routing by key hash.
+
+use bytes::Bytes;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::topic::Topic;
+
+/// Appends records to a topic. Keyed records always land in the same
+/// partition (per-key ordering, like Kafka); unkeyed records are sprayed
+/// round-robin.
+pub struct Producer {
+    topic: Arc<Topic>,
+    round_robin: AtomicU64,
+}
+
+impl Producer {
+    /// Producer over an existing topic.
+    pub fn new(topic: Arc<Topic>) -> Self {
+        Producer { topic, round_robin: AtomicU64::new(0) }
+    }
+
+    /// The topic this producer writes to.
+    pub fn topic(&self) -> &Arc<Topic> {
+        &self.topic
+    }
+
+    /// Send a record; returns `(partition, offset)`.
+    pub fn send(&self, timestamp_ms: i64, key: Option<Bytes>, value: Bytes) -> (u32, u64) {
+        let n = self.topic.partition_count();
+        let partition = match &key {
+            Some(k) => {
+                let mut h = DefaultHasher::new();
+                k.hash(&mut h);
+                (h.finish() % n as u64) as u32
+            }
+            None => (self.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as u32,
+        };
+        let offset = self
+            .topic
+            .partition(partition)
+            .expect("partition index is in range by construction")
+            .append(timestamp_ms, key, value);
+        (partition, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic(parts: u32) -> Arc<Topic> {
+        Arc::new(Topic::new("t", parts).unwrap())
+    }
+
+    #[test]
+    fn keyed_records_stay_in_one_partition() {
+        let t = topic(8);
+        let p = Producer::new(Arc::clone(&t));
+        let mut seen = None;
+        for i in 0..20 {
+            let (part, _) = p.send(i, Some(Bytes::from_static(b"person-42")), Bytes::new());
+            match seen {
+                None => seen = Some(part),
+                Some(s) => assert_eq!(s, part),
+            }
+        }
+    }
+
+    #[test]
+    fn unkeyed_records_round_robin() {
+        let t = topic(4);
+        let p = Producer::new(Arc::clone(&t));
+        let parts: Vec<u32> = (0..8).map(|i| p.send(i, None, Bytes::new()).0).collect();
+        assert_eq!(parts, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn offsets_are_per_partition() {
+        let t = topic(2);
+        let p = Producer::new(Arc::clone(&t));
+        let a = p.send(0, Some(Bytes::from_static(b"a")), Bytes::new());
+        let b = p.send(0, Some(Bytes::from_static(b"a")), Bytes::new());
+        assert_eq!(a.0, b.0);
+        assert_eq!(b.1, a.1 + 1);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let t = topic(4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t2 = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let p = Producer::new(t2);
+                for i in 0..500 {
+                    p.send(i, None, Bytes::from(vec![1u8]));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.total_records(), 2000);
+    }
+}

@@ -1,0 +1,41 @@
+//! Immutable log records.
+
+use bytes::Bytes;
+
+/// One record in a partition log. Payload and key are opaque bytes, as
+/// in Kafka: the queue never interprets what flows through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Position within the partition (dense, starting at 0).
+    pub offset: u64,
+    /// Producer-supplied event time in milliseconds.
+    pub timestamp_ms: i64,
+    /// Optional routing/identity key.
+    pub key: Option<Bytes>,
+    /// Payload.
+    pub value: Bytes,
+}
+
+impl Record {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_len() {
+        let r = Record { offset: 0, timestamp_ms: 1, key: None, value: Bytes::from_static(b"abc") };
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Topics and partitions.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::sync::Arc;
+
+use crate::record::Record;
+use crate::{MqError, Result};
+
+/// One append-only partition log. Appends take a short write lock;
+/// reads copy out the requested slice under a read lock, so consumers
+/// never block producers for long. Optionally backed by an on-disk
+/// segment file in Kafka's length-prefixed frame format.
+pub struct Partition {
+    log: RwLock<Vec<Record>>,
+    /// Signals consumers blocked in `poll_wait` that data arrived.
+    notify: (Mutex<()>, Condvar),
+    segment: Option<Mutex<BufWriter<std::fs::File>>>,
+}
+
+/// Sentinel for a missing record key in the segment frame format.
+const NO_KEY: u32 = u32::MAX;
+
+impl Partition {
+    fn new() -> Self {
+        Partition {
+            log: RwLock::new(Vec::new()),
+            notify: (Mutex::new(()), Condvar::new()),
+            segment: None,
+        }
+    }
+
+    /// A partition persisting every record to `path`, loading whatever
+    /// the file already holds (crash recovery).
+    fn durable(path: &std::path::Path) -> Result<Self> {
+        let mut records = Vec::new();
+        if let Ok(mut f) = std::fs::File::open(path) {
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf).map_err(|e| MqError::Config(e.to_string()))?;
+            let mut at = 0usize;
+            let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+                if *at + n > buf.len() {
+                    return None;
+                }
+                let s = &buf[*at..*at + n];
+                *at += n;
+                Some(s)
+            };
+            loop {
+                let Some(ts) = take(&mut at, 8) else { break };
+                let timestamp_ms = i64::from_le_bytes(ts.try_into().expect("8 bytes"));
+                let Some(klen) = take(&mut at, 4) else { break };
+                let klen = u32::from_le_bytes(klen.try_into().expect("4 bytes"));
+                let key = if klen == NO_KEY {
+                    None
+                } else {
+                    let Some(k) = take(&mut at, klen as usize) else { break };
+                    Some(Bytes::copy_from_slice(k))
+                };
+                let Some(vlen) = take(&mut at, 4) else { break };
+                let vlen = u32::from_le_bytes(vlen.try_into().expect("4 bytes"));
+                let Some(v) = take(&mut at, vlen as usize) else { break };
+                let value = Bytes::copy_from_slice(v);
+                records.push(Record {
+                    offset: records.len() as u64,
+                    timestamp_ms,
+                    key,
+                    value,
+                });
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| MqError::Config(e.to_string()))?;
+        Ok(Partition {
+            log: RwLock::new(records),
+            notify: (Mutex::new(()), Condvar::new()),
+            segment: Some(Mutex::new(BufWriter::new(file))),
+        })
+    }
+
+    /// Append a record, returning its offset.
+    pub fn append(&self, timestamp_ms: i64, key: Option<Bytes>, value: Bytes) -> u64 {
+        if let Some(segment) = &self.segment {
+            let mut w = segment.lock();
+            let _ = w.write_all(&timestamp_ms.to_le_bytes());
+            match &key {
+                Some(k) => {
+                    let _ = w.write_all(&(k.len() as u32).to_le_bytes());
+                    let _ = w.write_all(k);
+                }
+                None => {
+                    let _ = w.write_all(&NO_KEY.to_le_bytes());
+                }
+            }
+            let _ = w.write_all(&(value.len() as u32).to_le_bytes());
+            let _ = w.write_all(&value);
+        }
+        let offset = {
+            let mut log = self.log.write();
+            let offset = log.len() as u64;
+            log.push(Record { offset, timestamp_ms, key, value });
+            offset
+        };
+        self.notify.1.notify_all();
+        offset
+    }
+
+    /// Flush buffered segment writes to the OS.
+    pub fn flush(&self) {
+        if let Some(segment) = &self.segment {
+            let _ = segment.lock().flush();
+        }
+    }
+
+    /// Copy out up to `max` records starting at `from` (inclusive).
+    pub fn fetch(&self, from: u64, max: usize) -> Vec<Record> {
+        let log = self.log.read();
+        let start = (from as usize).min(log.len());
+        let end = (start + max).min(log.len());
+        log[start..end].to_vec()
+    }
+
+    /// Offset one past the last appended record.
+    pub fn end_offset(&self) -> u64 {
+        self.log.read().len() as u64
+    }
+
+    /// Block until `end_offset() > from` or the timeout elapses.
+    pub fn wait_for(&self, from: u64, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.notify.0.lock();
+        while self.end_offset() <= from {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.notify.1.wait_for(&mut guard, deadline - now);
+        }
+        true
+    }
+}
+
+/// A named topic: a fixed set of partitions.
+pub struct Topic {
+    name: String,
+    partitions: Vec<Arc<Partition>>,
+}
+
+impl Topic {
+    /// Create a topic with `partitions` partitions (must be ≥ 1).
+    pub fn new(name: &str, partitions: u32) -> Result<Self> {
+        if partitions == 0 {
+            return Err(MqError::Config("topics need at least one partition".into()));
+        }
+        Ok(Topic {
+            name: name.to_string(),
+            partitions: (0..partitions).map(|_| Arc::new(Partition::new())).collect(),
+        })
+    }
+
+    /// Create (or recover) a disk-backed topic: each partition persists
+    /// to `<dir>/<name>-<partition>.seg` and reloads it on creation.
+    pub fn durable(name: &str, partitions: u32, dir: &std::path::Path) -> Result<Self> {
+        if partitions == 0 {
+            return Err(MqError::Config("topics need at least one partition".into()));
+        }
+        std::fs::create_dir_all(dir).map_err(|e| MqError::Config(e.to_string()))?;
+        let mut parts = Vec::with_capacity(partitions as usize);
+        for p in 0..partitions {
+            parts.push(Arc::new(Partition::durable(&dir.join(format!("{name}-{p}.seg")))?));
+        }
+        Ok(Topic { name: name.to_string(), partitions: parts })
+    }
+
+    /// Flush all partitions' segment buffers.
+    pub fn flush(&self) {
+        for p in &self.partitions {
+            p.flush();
+        }
+    }
+
+    /// Topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    /// Access one partition.
+    pub fn partition(&self, idx: u32) -> Result<&Arc<Partition>> {
+        self.partitions.get(idx as usize).ok_or_else(|| MqError::UnknownPartition {
+            topic: self.name.clone(),
+            partition: idx,
+        })
+    }
+
+    /// End offsets of all partitions (for lag computation).
+    pub fn end_offsets(&self) -> Vec<u64> {
+        self.partitions.iter().map(|p| p.end_offset()).collect()
+    }
+
+    /// Total records across partitions.
+    pub fn total_records(&self) -> u64 {
+        self.end_offsets().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn append_assigns_dense_offsets() {
+        let p = Partition::new();
+        for i in 0..5u64 {
+            assert_eq!(p.append(i as i64, None, Bytes::from(vec![i as u8])), i);
+        }
+        assert_eq!(p.end_offset(), 5);
+    }
+
+    #[test]
+    fn fetch_respects_bounds() {
+        let p = Partition::new();
+        for i in 0..10u8 {
+            p.append(0, None, Bytes::from(vec![i]));
+        }
+        let r = p.fetch(7, 100);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].offset, 7);
+        assert!(p.fetch(99, 10).is_empty());
+        assert_eq!(p.fetch(0, 2).len(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_data() {
+        let p = Partition::new();
+        assert!(!p.wait_for(0, Duration::from_millis(10)));
+        p.append(0, None, Bytes::new());
+        assert!(p.wait_for(0, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wait_for_wakes_on_append() {
+        let p = Arc::new(Partition::new());
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || p2.wait_for(0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        p.append(0, None, Bytes::from_static(b"x"));
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn durable_partition_recovers_after_restart() {
+        let dir = std::env::temp_dir().join(format!("snb-mq-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let t = Topic::durable("updates", 2, &dir).unwrap();
+            t.partition(0).unwrap().append(1, Some(Bytes::from_static(b"k")), Bytes::from_static(b"v0"));
+            t.partition(0).unwrap().append(2, None, Bytes::from_static(b"v1"));
+            t.partition(1).unwrap().append(3, None, Bytes::from_static(b"v2"));
+            t.flush();
+        }
+        // "Restart": reopen from the same directory.
+        let t = Topic::durable("updates", 2, &dir).unwrap();
+        assert_eq!(t.end_offsets(), vec![2, 1]);
+        let r = t.partition(0).unwrap().fetch(0, 10);
+        assert_eq!(r[0].key, Some(Bytes::from_static(b"k")));
+        assert_eq!(&r[0].value[..], b"v0");
+        assert_eq!(r[1].key, None);
+        assert_eq!(r[1].timestamp_ms, 2);
+        // Appends continue at the recovered offset.
+        let off = t.partition(1).unwrap().append(4, None, Bytes::from_static(b"v3"));
+        assert_eq!(off, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_recovery_tolerates_truncated_tail() {
+        let dir = std::env::temp_dir().join(format!("snb-mq-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let t = Topic::durable("t", 1, &dir).unwrap();
+            t.partition(0).unwrap().append(1, None, Bytes::from_static(b"complete"));
+            t.flush();
+        }
+        // Simulate a crash mid-write: append garbage half-frame.
+        let path = dir.join("t-0.seg");
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        std::io::Write::write_all(&mut f, &[1, 2, 3]).unwrap();
+        drop(f);
+        let t = Topic::durable("t", 1, &dir).unwrap();
+        assert_eq!(t.end_offsets(), vec![1], "only the complete frame survives");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topic_rejects_zero_partitions() {
+        assert!(Topic::new("t", 0).is_err());
+        let t = Topic::new("t", 4).unwrap();
+        assert_eq!(t.partition_count(), 4);
+        assert!(t.partition(4).is_err());
+        assert_eq!(t.end_offsets(), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Abstract syntax of the SPARQL-like dialect.
+
+use snb_core::Value;
+
+use crate::term::Term;
+
+/// A query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select(SelectQuery),
+    /// `INSERT DATA { ... }` with ground triples (blank nodes allowed).
+    InsertData(Vec<(PatTerm, u64, PatTerm)>),
+    /// `SELECT TRANSITIVE(from, to, pred [, max])` — undirected BFS, the
+    /// Virtuoso transitivity extension analogue.
+    Transitive { from: Term, to: Term, pred: u64, max: u32 },
+}
+
+/// `SELECT ... WHERE { ... } [ORDER BY] [LIMIT]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    pub distinct: bool,
+    pub projection: Projection,
+    pub patterns: Vec<Pattern>,
+    pub filters: Vec<FilterExpr>,
+    /// `(var, ascending)`.
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// Projection: plain variables or one aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    Vars(Vec<String>),
+    /// `COUNT(*)` (var `None`) or `COUNT([DISTINCT] ?v)`.
+    Count { var: Option<String>, distinct: bool },
+}
+
+/// A pattern term: variable, ground term, or blank node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatTerm {
+    Var(String),
+    Ground(Term),
+    Blank(String),
+}
+
+/// One path step: predicate id, optionally inverse (`^`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    pub pred: u64,
+    pub inverse: bool,
+}
+
+/// A property path: alternation of steps with an optional quantifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    pub steps: Vec<PathStep>,
+    /// `(min, max)` hop window; `(1, 1)` is a plain predicate.
+    pub quant: (u32, u32),
+}
+
+/// One triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    pub subject: PatTerm,
+    pub path: Path,
+    pub object: PatTerm,
+}
+
+/// Comparison operators in FILTER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A FILTER expression: conjunction/disjunction of comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    Cmp(FilterAtom, FilterOp, FilterAtom),
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+}
+
+/// An operand in a FILTER comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterAtom {
+    Var(String),
+    Lit(Value),
+}
+
+impl FilterExpr {
+    /// Variables referenced by this filter.
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            FilterExpr::Cmp(a, _, b) => {
+                let mut out = Vec::new();
+                if let FilterAtom::Var(v) = a {
+                    out.push(v.as_str());
+                }
+                if let FilterAtom::Var(v) = b {
+                    out.push(v.as_str());
+                }
+                out
+            }
+            FilterExpr::And(a, b) | FilterExpr::Or(a, b) => {
+                let mut out = a.vars();
+                out.extend(b.vars());
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_vars_collects_all() {
+        let f = FilterExpr::And(
+            Box::new(FilterExpr::Cmp(
+                FilterAtom::Var("a".into()),
+                FilterOp::Ne,
+                FilterAtom::Lit(Value::Int(1)),
+            )),
+            Box::new(FilterExpr::Cmp(
+                FilterAtom::Var("b".into()),
+                FilterOp::Lt,
+                FilterAtom::Var("c".into()),
+            )),
+        );
+        assert_eq!(f.vars(), vec!["a", "b", "c"]);
+    }
+}

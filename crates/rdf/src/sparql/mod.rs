@@ -1,0 +1,59 @@
+//! SPARQL-like query language over the triple store.
+//!
+//! Supported surface (what the LDBC workload needs):
+//!
+//! ```text
+//! SELECT [DISTINCT] ?a ?b | COUNT([DISTINCT] ?v | *)
+//! WHERE { s path o . ... FILTER(expr) ... }
+//! [ORDER BY ?v | DESC(?v) ...] [LIMIT n]
+//!
+//! path  := step ('|' step)* [('+' | '{min,max}')]
+//! step  := [^]snb:pred | rdf:type
+//! term  := ?var | person:933 | _:blank | 42 | 'string'
+//!
+//! INSERT DATA { ground triples }
+//! SELECT TRANSITIVE(person:1, person:2, snb:knows [, max])
+//! ```
+//!
+//! Queries are strings; every execution pays parsing plus
+//! pattern-to-index translation — the paper's "query translation costs".
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+use snb_core::{Result, Value};
+
+use crate::store::TripleStore;
+
+/// A materialized SPARQL result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparqlResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl SparqlResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First cell of the first row.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl TripleStore {
+    /// Parse and execute a SPARQL-like query.
+    pub fn sparql(&self, query: &str) -> Result<SparqlResult> {
+        let q = parser::parse(query)?;
+        exec::execute(self, &q)
+    }
+}

@@ -1,0 +1,384 @@
+//! The triple table and its permutation indexes.
+
+use parking_lot::RwLock;
+use snb_core::{EdgeLabel, PropKey, Result, Value, VertexLabel, Vid};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::term::{
+    edge_pred, prop_pred, Dictionary, Term, TermId, PRED_DST, PRED_SRC, PRED_TYPE,
+};
+
+/// Which permutation indexes to maintain. The paper's "single table with
+/// extensive indexing"; the ablation bench varies this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexConfig {
+    /// SPO only (minimum viable).
+    Spo,
+    /// SPO + POS + OSP (the common default; used for all experiments).
+    Three,
+    /// All six permutations (Virtuoso-style extensive indexing).
+    Six,
+}
+
+impl IndexConfig {
+    /// The permutations this configuration maintains. Each entry maps
+    /// `(s, p, o)` into index key order.
+    pub fn permutations(self) -> &'static [Perm] {
+        match self {
+            IndexConfig::Spo => &[Perm::Spo],
+            IndexConfig::Three => &[Perm::Spo, Perm::Pos, Perm::Osp],
+            IndexConfig::Six => {
+                &[Perm::Spo, Perm::Pos, Perm::Osp, Perm::Pso, Perm::Ops, Perm::Sop]
+            }
+        }
+    }
+}
+
+/// A triple-component permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perm {
+    Spo,
+    Pos,
+    Osp,
+    Pso,
+    Ops,
+    Sop,
+}
+
+impl Perm {
+    fn pack(self, s: TermId, p: TermId, o: TermId) -> (TermId, TermId, TermId) {
+        match self {
+            Perm::Spo => (s, p, o),
+            Perm::Pos => (p, o, s),
+            Perm::Osp => (o, s, p),
+            Perm::Pso => (p, s, o),
+            Perm::Ops => (o, p, s),
+            Perm::Sop => (s, o, p),
+        }
+    }
+
+    fn unpack(self, k: (TermId, TermId, TermId)) -> (TermId, TermId, TermId) {
+        match self {
+            Perm::Spo => (k.0, k.1, k.2),
+            Perm::Pos => (k.2, k.0, k.1),
+            Perm::Osp => (k.1, k.2, k.0),
+            Perm::Pso => (k.1, k.0, k.2),
+            Perm::Ops => (k.2, k.1, k.0),
+            Perm::Sop => (k.0, k.2, k.1),
+        }
+    }
+}
+
+struct Inner {
+    dict: Dictionary,
+    indexes: Vec<(Perm, BTreeSet<(TermId, TermId, TermId)>)>,
+    triple_count: usize,
+}
+
+/// The triple store.
+pub struct TripleStore {
+    inner: RwLock<Inner>,
+    config: IndexConfig,
+}
+
+impl TripleStore {
+    /// Empty store with the default three permutation indexes.
+    pub fn new() -> Self {
+        Self::with_indexes(IndexConfig::Three)
+    }
+
+    /// Empty store with an explicit index configuration.
+    pub fn with_indexes(config: IndexConfig) -> Self {
+        TripleStore {
+            inner: RwLock::new(Inner {
+                dict: Dictionary::new(),
+                indexes: config
+                    .permutations()
+                    .iter()
+                    .map(|&p| (p, BTreeSet::new()))
+                    .collect(),
+                triple_count: 0,
+            }),
+            config,
+        }
+    }
+
+    /// The active index configuration.
+    pub fn index_config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// Insert one ground triple (idempotent — RDF graphs are sets).
+    pub fn insert(&self, s: &Term, p: &Term, o: &Term) {
+        let mut inner = self.inner.write();
+        let (s, p, o) = (inner.dict.encode(s), inner.dict.encode(p), inner.dict.encode(o));
+        let mut added = false;
+        for (perm, set) in &mut inner.indexes {
+            added = set.insert(perm.pack(s, p, o));
+        }
+        if added {
+            inner.triple_count += 1;
+        }
+    }
+
+    /// Insert an SNB vertex: `rdf:type` + `snb:id` + one triple per
+    /// property (list values expand to one triple per element).
+    pub fn insert_vertex(&self, label: VertexLabel, id: u64, props: &[(PropKey, Value)]) {
+        let e = Term::Entity(Vid::new(label, id));
+        self.insert(&e, &Term::Pred(PRED_TYPE), &Term::Lit(Value::str(label.as_str())));
+        self.insert(&e, &Term::Pred(prop_pred(PropKey::Id)), &Term::Lit(Value::Int(id as i64)));
+        for (k, v) in props {
+            match v {
+                Value::List(items) => {
+                    for item in items {
+                        self.insert(&e, &Term::Pred(prop_pred(*k)), &Term::Lit(item.clone()));
+                    }
+                }
+                v => self.insert(&e, &Term::Pred(prop_pred(*k)), &Term::Lit(v.clone())),
+            }
+        }
+    }
+
+    /// Insert an SNB edge. Property-less edges are a single triple;
+    /// edges with properties are additionally reified into a statement
+    /// node carrying `snb:src` / `snb:dst` / property triples. `knows`
+    /// is reified in both directions (it is queried symmetrically).
+    pub fn insert_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) {
+        let s = Term::Entity(src);
+        let d = Term::Entity(dst);
+        self.insert(&s, &Term::Pred(edge_pred(label)), &d);
+        if props.is_empty() {
+            return;
+        }
+        let reify = |from: &Term, to: &Term| {
+            let stmt = { self.inner.write().dict.fresh_stmt() };
+            self.insert(&stmt, &Term::Pred(PRED_TYPE), &Term::Lit(Value::str(label.as_str())));
+            self.insert(&stmt, &Term::Pred(PRED_SRC), from);
+            self.insert(&stmt, &Term::Pred(PRED_DST), to);
+            for (k, v) in props {
+                self.insert(&stmt, &Term::Pred(prop_pred(*k)), &Term::Lit(v.clone()));
+            }
+        };
+        reify(&s, &d);
+        if label == EdgeLabel::Knows {
+            reify(&d, &s);
+        }
+    }
+
+    /// Allocate a fresh reified-statement node (used for blank nodes in
+    /// `INSERT DATA`).
+    pub fn fresh_stmt(&self) -> Term {
+        self.inner.write().dict.fresh_stmt()
+    }
+
+    /// Number of distinct triples.
+    pub fn triple_count(&self) -> usize {
+        self.inner.read().triple_count
+    }
+
+    /// Approximate resident bytes (all indexes + dictionary).
+    pub fn storage_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        inner.triple_count * 24 * inner.indexes.len() + inner.dict.storage_bytes()
+    }
+
+    /// Match a triple pattern (None = wildcard), appending decoded
+    /// results. Chooses the best permutation index for the bound
+    /// positions, exactly as a triple store's optimizer would.
+    pub fn match_pattern(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+        out: &mut Vec<(Term, Term, Term)>,
+    ) -> Result<()> {
+        let inner = self.inner.read();
+        let enc = |t: Option<&Term>| -> Option<Option<TermId>> {
+            // Outer None = wildcard; inner None = term unknown (no match).
+            match t {
+                None => Some(None),
+                Some(t) => match inner.dict.encode_existing(t) {
+                    Some(id) => Some(Some(id)),
+                    None => None,
+                },
+            }
+        };
+        let (Some(s), Some(p), Some(o)) = (enc(s), enc(p), enc(o)) else {
+            return Ok(()); // an unknown literal matches nothing
+        };
+        // Pick the permutation with the longest bound prefix.
+        let mut best: Option<(Perm, &BTreeSet<_>, usize)> = None;
+        for (perm, set) in &inner.indexes {
+            let key = perm.pack(
+                s.map_or(0, |_| 1),
+                p.map_or(0, |_| 2),
+                o.map_or(0, |_| 3),
+            );
+            let prefix = match key {
+                (0, _, _) => 0,
+                (_, 0, _) => 1,
+                (_, _, 0) => 2,
+                _ => 3,
+            };
+            if best.as_ref().map_or(true, |(_, _, b)| prefix > *b) {
+                best = Some((*perm, set, prefix));
+            }
+        }
+        let (perm, set, _) = best.expect("at least one index");
+        let bound = perm.pack(s.unwrap_or(0), p.unwrap_or(0), o.unwrap_or(0));
+        let wild = perm.pack(
+            if s.is_some() { 0 } else { 1 },
+            if p.is_some() { 0 } else { 1 },
+            if o.is_some() { 0 } else { 1 },
+        );
+        // Range bounds: fix the bound prefix, scan the rest.
+        let (lo, hi) = match (wild.0 != 0, wild.1 != 0, wild.2 != 0) {
+            (false, false, false) => ((bound.0, bound.1, bound.2), (bound.0, bound.1, bound.2)),
+            (false, false, true) => ((bound.0, bound.1, 0), (bound.0, bound.1, u64::MAX)),
+            (false, true, true) => ((bound.0, 0, 0), (bound.0, u64::MAX, u64::MAX)),
+            _ => ((0, 0, 0), (u64::MAX, u64::MAX, u64::MAX)),
+        };
+        for &key in set.range((Bound::Included(lo), Bound::Included(hi))) {
+            let (ks, kp, ko) = perm.unpack(key);
+            // Residual checks for positions not covered by the prefix.
+            if let Some(sv) = s {
+                if ks != sv {
+                    continue;
+                }
+            }
+            if let Some(pv) = p {
+                if kp != pv {
+                    continue;
+                }
+            }
+            if let Some(ov) = o {
+                if ko != ov {
+                    continue;
+                }
+            }
+            out.push((inner.dict.decode(ks)?, inner.dict.decode(kp)?, inner.dict.decode(ko)?));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TripleStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person(id: u64) -> Term {
+        Term::Entity(Vid::new(VertexLabel::Person, id))
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let s = TripleStore::new();
+        let p = Term::Pred(edge_pred(EdgeLabel::Knows));
+        s.insert(&person(1), &p, &person(2));
+        s.insert(&person(1), &p, &person(2));
+        assert_eq!(s.triple_count(), 1);
+    }
+
+    #[test]
+    fn vertex_insertion_expands_to_triples() {
+        let s = TripleStore::new();
+        s.insert_vertex(
+            VertexLabel::Person,
+            1,
+            &[
+                (PropKey::FirstName, Value::str("Ada")),
+                (PropKey::Email, Value::List(vec![Value::str("a@x"), Value::str("b@x")])),
+            ],
+        );
+        // type + id + firstName + 2 emails
+        assert_eq!(s.triple_count(), 5);
+    }
+
+    #[test]
+    fn edge_with_props_is_reified_both_ways_for_knows() {
+        let s = TripleStore::new();
+        s.insert_vertex(VertexLabel::Person, 1, &[]);
+        s.insert_vertex(VertexLabel::Person, 2, &[]);
+        let before = s.triple_count();
+        s.insert_edge(
+            EdgeLabel::Knows,
+            Vid::new(VertexLabel::Person, 1),
+            Vid::new(VertexLabel::Person, 2),
+            &[(PropKey::CreationDate, Value::Date(9))],
+        );
+        // 1 direct + 2 × (type + src + dst + creationDate)
+        assert_eq!(s.triple_count() - before, 1 + 2 * 4);
+    }
+
+    #[test]
+    fn pattern_matching_by_every_binding_combination() {
+        let s = TripleStore::new();
+        let knows = Term::Pred(edge_pred(EdgeLabel::Knows));
+        s.insert(&person(1), &knows, &person(2));
+        s.insert(&person(1), &knows, &person(3));
+        s.insert(&person(2), &knows, &person(3));
+        let mut out = Vec::new();
+        s.match_pattern(Some(&person(1)), Some(&knows), None, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        out.clear();
+        s.match_pattern(None, Some(&knows), Some(&person(3)), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        out.clear();
+        s.match_pattern(None, Some(&knows), None, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        out.clear();
+        s.match_pattern(Some(&person(1)), Some(&knows), Some(&person(2)), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        out.clear();
+        s.match_pattern(None, None, None, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn unknown_literal_matches_nothing() {
+        let s = TripleStore::new();
+        s.insert_vertex(VertexLabel::Person, 1, &[(PropKey::FirstName, Value::str("Ada"))]);
+        let mut out = Vec::new();
+        s.match_pattern(
+            None,
+            Some(&Term::Pred(prop_pred(PropKey::FirstName))),
+            Some(&Term::Lit(Value::str("Nobody"))),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn index_configs_answer_identically() {
+        for cfg in [IndexConfig::Spo, IndexConfig::Three, IndexConfig::Six] {
+            let s = TripleStore::with_indexes(cfg);
+            let knows = Term::Pred(edge_pred(EdgeLabel::Knows));
+            s.insert(&person(1), &knows, &person(2));
+            s.insert(&person(3), &knows, &person(2));
+            let mut out = Vec::new();
+            s.match_pattern(None, Some(&knows), Some(&person(2)), &mut out).unwrap();
+            assert_eq!(out.len(), 2, "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn storage_grows_with_indexes() {
+        let mk = |cfg| {
+            let s = TripleStore::with_indexes(cfg);
+            for i in 0..100 {
+                s.insert_vertex(VertexLabel::Person, i, &[(PropKey::FirstName, Value::str("x"))]);
+            }
+            s.storage_bytes()
+        };
+        assert!(mk(IndexConfig::Six) > mk(IndexConfig::Three));
+        assert!(mk(IndexConfig::Three) > mk(IndexConfig::Spo));
+    }
+}

@@ -1,0 +1,231 @@
+//! RDF terms and dictionary encoding.
+//!
+//! All triples are stored as `(u64, u64, u64)` after dictionary
+//! encoding, as real triple stores do. Term ids carry a 2-bit tag:
+//! entities embed the packed vertex id directly, predicates embed the
+//! schema constant, and literals index an interning dictionary.
+
+use snb_core::{EdgeLabel, PropKey, Result, SnbError, Value, Vid};
+use std::collections::HashMap;
+
+/// Encoded term id.
+pub type TermId = u64;
+
+const TAG_SHIFT: u32 = 62;
+const TAG_ENTITY: u64 = 0;
+const TAG_PRED: u64 = 1;
+const TAG_LIT: u64 = 2;
+const TAG_STMT: u64 = 3;
+const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+/// Predicate id for `rdf:type`.
+pub const PRED_TYPE: u64 = 99;
+/// Predicate id for the reification subject link (`snb:src`).
+pub const PRED_SRC: u64 = 97;
+/// Predicate id for the reification object link (`snb:dst`).
+pub const PRED_DST: u64 = 98;
+
+/// A decoded term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A graph entity (`person:933`).
+    Entity(Vid),
+    /// A predicate (edge label, property key, `rdf:type`, reification links).
+    Pred(u64),
+    /// A literal value.
+    Lit(Value),
+    /// A reified statement node.
+    Stmt(u64),
+}
+
+/// Predicate id for an edge label.
+pub fn edge_pred(label: EdgeLabel) -> u64 {
+    label as u64
+}
+
+/// Predicate id for a property key.
+pub fn prop_pred(key: PropKey) -> u64 {
+    100 + key as u64
+}
+
+/// Decode a predicate id back to its name.
+pub fn pred_name(id: u64) -> String {
+    if id == PRED_TYPE {
+        "rdf:type".to_string()
+    } else if id == PRED_SRC {
+        "snb:src".to_string()
+    } else if id == PRED_DST {
+        "snb:dst".to_string()
+    } else if id >= 100 {
+        match PropKey::from_tag((id - 100) as u8) {
+            Ok(k) => format!("snb:{k}"),
+            Err(_) => format!("snb:unknown_{id}"),
+        }
+    } else {
+        match EdgeLabel::from_tag(id as u8) {
+            Ok(l) => format!("snb:{l}"),
+            Err(_) => format!("snb:unknown_{id}"),
+        }
+    }
+}
+
+/// The literal dictionary: interns `Value`s to dense ids.
+#[derive(Default)]
+pub struct Dictionary {
+    by_value: HashMap<Value, u64>,
+    values: Vec<Value>,
+    next_stmt: u64,
+}
+
+/// Dates and ints share the RDF integer literal space, so `Date(5)` and
+/// `Int(5)` must intern to the same id.
+fn normalize_lit(v: &Value) -> Value {
+    match v {
+        Value::Date(d) => Value::Int(*d),
+        other => other.clone(),
+    }
+}
+
+impl Dictionary {
+    /// Fresh dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Encode a term, interning literals as needed.
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        match term {
+            Term::Entity(v) => (TAG_ENTITY << TAG_SHIFT) | v.raw(),
+            Term::Pred(p) => (TAG_PRED << TAG_SHIFT) | p,
+            Term::Stmt(s) => (TAG_STMT << TAG_SHIFT) | s,
+            Term::Lit(v) => {
+                let v = normalize_lit(v);
+                let ix = match self.by_value.get(&v) {
+                    Some(&ix) => ix,
+                    None => {
+                        let ix = self.values.len() as u64;
+                        self.by_value.insert(v.clone(), ix);
+                        self.values.push(v);
+                        ix
+                    }
+                };
+                (TAG_LIT << TAG_SHIFT) | ix
+            }
+        }
+    }
+
+    /// Encode without interning; `None` when a literal is unknown (which
+    /// means no triple can match it).
+    pub fn encode_existing(&self, term: &Term) -> Option<TermId> {
+        match term {
+            Term::Lit(v) => self
+                .by_value
+                .get(&normalize_lit(v))
+                .map(|&ix| (TAG_LIT << TAG_SHIFT) | ix),
+            other => Some(match other {
+                Term::Entity(v) => (TAG_ENTITY << TAG_SHIFT) | v.raw(),
+                Term::Pred(p) => (TAG_PRED << TAG_SHIFT) | p,
+                Term::Stmt(s) => (TAG_STMT << TAG_SHIFT) | s,
+                Term::Lit(_) => unreachable!(),
+            }),
+        }
+    }
+
+    /// Decode a term id.
+    pub fn decode(&self, id: TermId) -> Result<Term> {
+        let payload = id & PAYLOAD_MASK;
+        match id >> TAG_SHIFT {
+            TAG_ENTITY => Ok(Term::Entity(Vid::from_raw(payload)?)),
+            TAG_PRED => Ok(Term::Pred(payload)),
+            TAG_STMT => Ok(Term::Stmt(payload)),
+            TAG_LIT => self
+                .values
+                .get(payload as usize)
+                .map(|v| Term::Lit(v.clone()))
+                .ok_or_else(|| SnbError::Codec(format!("unknown literal id {payload}"))),
+            _ => unreachable!("2-bit tag"),
+        }
+    }
+
+    /// Allocate a fresh reified-statement node.
+    pub fn fresh_stmt(&mut self) -> Term {
+        let s = self.next_stmt;
+        self.next_stmt += 1;
+        Term::Stmt(s)
+    }
+
+    /// Number of interned literals.
+    pub fn literal_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Approximate resident bytes of the dictionary.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * (std::mem::size_of::<Value>() + 24)
+            + self.values.iter().map(Value::heap_bytes).sum::<usize>() * 2
+    }
+}
+
+/// Convert a decoded term to a result `Value` (entities project their id).
+pub fn term_to_value(term: &Term) -> Value {
+    match term {
+        Term::Entity(v) => Value::Vertex(*v),
+        Term::Lit(v) => v.clone(),
+        Term::Pred(p) => Value::string(pred_name(*p)),
+        Term::Stmt(s) => Value::Int(*s as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::VertexLabel;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = [
+            Term::Entity(Vid::new(VertexLabel::Person, 933)),
+            Term::Pred(edge_pred(EdgeLabel::Knows)),
+            Term::Pred(prop_pred(PropKey::FirstName)),
+            Term::Lit(Value::str("Ada")),
+            Term::Lit(Value::Int(42)),
+            Term::Stmt(7),
+        ];
+        for t in &terms {
+            let id = d.encode(t);
+            assert_eq!(&d.decode(id).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn literals_are_interned() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::Lit(Value::str("x")));
+        let b = d.encode(&Term::Lit(Value::str("x")));
+        assert_eq!(a, b);
+        assert_eq!(d.literal_count(), 1);
+        assert_eq!(d.encode_existing(&Term::Lit(Value::str("x"))), Some(a));
+        assert_eq!(d.encode_existing(&Term::Lit(Value::str("y"))), None);
+    }
+
+    #[test]
+    fn pred_names() {
+        assert_eq!(pred_name(edge_pred(EdgeLabel::Knows)), "snb:knows");
+        assert_eq!(pred_name(prop_pred(PropKey::FirstName)), "snb:firstName");
+        assert_eq!(pred_name(PRED_TYPE), "rdf:type");
+    }
+
+    #[test]
+    fn stmt_nodes_are_fresh() {
+        let mut d = Dictionary::new();
+        assert_ne!(d.fresh_stmt(), d.fresh_stmt());
+    }
+
+    #[test]
+    fn term_values() {
+        let v = Vid::new(VertexLabel::Post, 5);
+        assert_eq!(term_to_value(&Term::Entity(v)), Value::Vertex(v));
+        assert_eq!(term_to_value(&Term::Lit(Value::Int(3))), Value::Int(3));
+    }
+}

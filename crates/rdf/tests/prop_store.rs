@@ -1,0 +1,53 @@
+//! Property tests: `match_pattern` over any index configuration must
+//! agree with a naive scan of the inserted triple set.
+
+use proptest::prelude::*;
+use snb_core::{EdgeLabel, VertexLabel, Vid};
+use snb_rdf::term::edge_pred;
+use snb_rdf::{IndexConfig, Term, TripleStore};
+
+fn person(id: u64) -> Term {
+    Term::Entity(Vid::new(VertexLabel::Person, id))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn match_pattern_agrees_with_naive_scan(
+        triples in proptest::collection::vec((0u64..8, 0usize..2, 0u64..8), 0..40),
+        qs in 0u64..8,
+        qo in 0u64..8,
+        mask in 0u8..8,
+    ) {
+        let preds = [edge_pred(EdgeLabel::Knows), edge_pred(EdgeLabel::Likes)];
+        // The reference set (deduplicated, as RDF graphs are sets).
+        let set: std::collections::BTreeSet<(u64, usize, u64)> =
+            triples.iter().copied().collect();
+        for cfg in [IndexConfig::Spo, IndexConfig::Three, IndexConfig::Six] {
+            let store = TripleStore::with_indexes(cfg);
+            for (s, p, o) in &triples {
+                store.insert(&person(*s), &Term::Pred(preds[*p]), &person(*o));
+            }
+            prop_assert_eq!(store.triple_count(), set.len());
+            // Query with each subset of bound positions (s, p, o).
+            let s_bound = mask & 1 != 0;
+            let p_bound = mask & 2 != 0;
+            let o_bound = mask & 4 != 0;
+            let s_term = person(qs);
+            let p_term = Term::Pred(preds[0]);
+            let o_term = person(qo);
+            let mut got = Vec::new();
+            store.match_pattern(
+                s_bound.then_some(&s_term),
+                p_bound.then_some(&p_term),
+                o_bound.then_some(&o_term),
+                &mut got,
+            ).unwrap();
+            let expected = set.iter().filter(|(s, p, o)| {
+                (!s_bound || *s == qs) && (!p_bound || *p == 0) && (!o_bound || *o == qo)
+            }).count();
+            prop_assert_eq!(got.len(), expected, "cfg {:?} mask {}", cfg, mask);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end SPARQL tests on the familiar 1-2-3-4-5 friendship chain.
+
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+use snb_rdf::TripleStore;
+
+fn p(id: u64) -> Vid {
+    Vid::new(VertexLabel::Person, id)
+}
+
+fn fixture() -> TripleStore {
+    let s = TripleStore::new();
+    for (id, name) in [(1, "Ada"), (2, "Bob"), (3, "Cai"), (4, "Dee"), (5, "Eli"), (9, "Zoe")] {
+        s.insert_vertex(
+            VertexLabel::Person,
+            id,
+            &[
+                (PropKey::FirstName, Value::str(name)),
+                (PropKey::CreationDate, Value::Date(id as i64 * 100)),
+            ],
+        );
+    }
+    for (a, b, d) in [(1, 2, 10), (2, 3, 20), (3, 4, 30), (4, 5, 40), (1, 3, 50)] {
+        s.insert_edge(EdgeLabel::Knows, p(a), p(b), &[(PropKey::CreationDate, Value::Date(d))]);
+    }
+    // Post 100 by Bob, comment 200 by Cai.
+    s.insert_vertex(VertexLabel::Post, 100, &[(PropKey::Content, Value::str("hello world"))]);
+    s.insert_edge(EdgeLabel::HasCreator, Vid::new(VertexLabel::Post, 100), p(2), &[]);
+    s.insert_vertex(VertexLabel::Comment, 200, &[(PropKey::Content, Value::str("nice"))]);
+    s.insert_edge(
+        EdgeLabel::ReplyOf,
+        Vid::new(VertexLabel::Comment, 200),
+        Vid::new(VertexLabel::Post, 100),
+        &[],
+    );
+    s.insert_edge(EdgeLabel::HasCreator, Vid::new(VertexLabel::Comment, 200), p(3), &[]);
+    s
+}
+
+#[test]
+fn point_lookup() {
+    let s = fixture();
+    let r = s.sparql("SELECT ?fn ?cd WHERE { person:3 snb:firstName ?fn . person:3 snb:creationDate ?cd }").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("Cai"), Value::Int(300)]]);
+    let miss = s.sparql("SELECT ?fn WHERE { person:77 snb:firstName ?fn }").unwrap();
+    assert!(miss.is_empty());
+}
+
+#[test]
+fn one_hop_with_alternation() {
+    let s = fixture();
+    let r = s
+        .sparql(
+            "SELECT DISTINCT ?id WHERE { person:3 (snb:knows|^snb:knows) ?f . ?f snb:id ?id } ORDER BY ?id",
+        )
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![1, 2, 4]);
+}
+
+#[test]
+fn two_hop_quantified_path() {
+    let s = fixture();
+    let r = s
+        .sparql(
+            "SELECT DISTINCT ?id WHERE { person:1 (snb:knows|^snb:knows){1,2} ?f . ?f snb:id ?id . FILTER(?id != 1) } ORDER BY ?id",
+        )
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![2, 3, 4]);
+}
+
+#[test]
+fn transitive_extension() {
+    let s = fixture();
+    let r = s.sparql("SELECT TRANSITIVE(person:1, person:5, snb:knows, 16)").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    let zero = s.sparql("SELECT TRANSITIVE(person:2, person:2, snb:knows)").unwrap();
+    assert_eq!(zero.scalar(), Some(&Value::Int(0)));
+    let none = s.sparql("SELECT TRANSITIVE(person:1, person:9, snb:knows)").unwrap();
+    assert!(none.is_empty());
+}
+
+#[test]
+fn reified_edge_properties() {
+    let s = fixture();
+    // knows creationDate via the reified statement nodes, both directions.
+    let r = s
+        .sparql(
+            "SELECT ?id ?d WHERE { ?k snb:src person:1 . ?k snb:dst ?f . ?k snb:creationDate ?d . ?f snb:id ?id } ORDER BY DESC(?d)",
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::Int(3), Value::Int(50)], vec![Value::Int(2), Value::Int(10)]]
+    );
+}
+
+#[test]
+fn count_and_count_distinct() {
+    let s = fixture();
+    let r = s.sparql("SELECT COUNT(*) WHERE { ?a snb:knows ?b }").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(5)));
+    let r = s.sparql("SELECT COUNT(DISTINCT ?a) WHERE { ?a snb:knows ?b }").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(4)));
+}
+
+#[test]
+fn reverse_anchor_pattern() {
+    let s = fixture();
+    let r = s
+        .sparql("SELECT ?c WHERE { ?m snb:has_creator person:3 . ?m snb:content ?c }")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("nice")]]);
+}
+
+#[test]
+fn multi_pattern_join() {
+    let s = fixture();
+    let r = s
+        .sparql(
+            "SELECT ?fn WHERE { comment:200 snb:reply_of ?m . ?m snb:has_creator ?p . ?p snb:firstName ?fn }",
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("Bob")]]);
+}
+
+#[test]
+fn insert_data_roundtrip() {
+    let s = fixture();
+    s.sparql(
+        "INSERT DATA { person:42 rdf:type 'person' . person:42 snb:id 42 . person:42 snb:firstName 'New' . \
+         person:42 snb:knows person:1 . \
+         _:k snb:src person:42 . _:k snb:dst person:1 . _:k snb:creationDate 999 }",
+    )
+    .unwrap();
+    let r = s.sparql("SELECT ?fn WHERE { person:42 snb:firstName ?fn }").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("New")]]);
+    let d = s
+        .sparql("SELECT ?d WHERE { ?k snb:src person:42 . ?k snb:creationDate ?d }")
+        .unwrap();
+    assert_eq!(d.rows, vec![vec![Value::Int(999)]]);
+}
+
+#[test]
+fn filters_with_connectives() {
+    let s = fixture();
+    let r = s
+        .sparql(
+            "SELECT ?id WHERE { ?p rdf:type 'person' . ?p snb:id ?id . FILTER(?id > 1 && ?id < 5 || ?id = 9) } ORDER BY ?id",
+        )
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![2, 3, 4, 9]);
+}
+
+#[test]
+fn limit_applies_after_order() {
+    let s = fixture();
+    let r = s
+        .sparql("SELECT ?id WHERE { ?p rdf:type 'person' . ?p snb:id ?id } ORDER BY DESC(?id) LIMIT 2")
+        .unwrap();
+    let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![9, 5]);
+}
+
+#[test]
+fn date_and_int_literals_unify() {
+    let s = fixture();
+    // creationDate was inserted as Value::Date; the query uses a plain int.
+    let r = s.sparql("SELECT ?p WHERE { ?p snb:creationDate 300 . }").unwrap();
+    assert_eq!(r.len(), 1);
+}
+
+#[test]
+fn unbound_filter_is_an_error() {
+    let s = fixture();
+    assert!(s.sparql("SELECT ?id WHERE { person:1 snb:id ?id . FILTER(?nope = 1) }").is_err());
+}

@@ -1,0 +1,105 @@
+//! Table definitions derived from the SNB schema.
+
+use snb_core::schema::{vertex_props, EDGE_DEFS};
+use snb_core::{PropKey, Result, SnbError};
+
+/// Column type (loose typing; values are checked at insert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    Int,
+    Text,
+    /// Epoch-milliseconds date.
+    Date,
+    /// Semicolon-joined list rendered as text.
+    TextList,
+}
+
+impl ColType {
+    fn of_prop(key: PropKey) -> ColType {
+        use PropKey::*;
+        match key {
+            Id | Length | ClassYear | WorkFrom => ColType::Int,
+            Birthday | CreationDate | JoinDate => ColType::Date,
+            Email | Speaks => ColType::TextList,
+            _ => ColType::Text,
+        }
+    }
+}
+
+/// A table definition: name, columns, primary key, indexed columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    pub name: String,
+    pub cols: Vec<(String, ColType)>,
+    /// Column enforced unique (vertex `id`), if any.
+    pub pk: Option<usize>,
+    /// Columns carrying a secondary index.
+    pub indexes: Vec<usize>,
+}
+
+impl TableDef {
+    /// Position of a column by name.
+    pub fn col(&self, name: &str) -> Result<usize> {
+        self.cols
+            .iter()
+            .position(|(c, _)| c == name)
+            .ok_or_else(|| SnbError::Plan(format!("table `{}` has no column `{name}`", self.name)))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// The full SNB relational catalog: one table per vertex label, one per
+/// `(src, edge, dst)` edge type. Edge tables have `src`/`dst` endpoint
+/// columns followed by the edge properties, with indexes on both
+/// endpoints.
+pub fn snb_catalog() -> Vec<TableDef> {
+    let mut defs = Vec::new();
+    for label in snb_core::ids::VERTEX_LABELS {
+        let mut cols = vec![("id".to_string(), ColType::Int)];
+        for p in vertex_props(label) {
+            cols.push((p.as_str().to_string(), ColType::of_prop(*p)));
+        }
+        defs.push(TableDef { name: label.as_str().to_string(), cols, pk: Some(0), indexes: vec![0] });
+    }
+    for def in EDGE_DEFS {
+        let mut cols = vec![("src".to_string(), ColType::Int), ("dst".to_string(), ColType::Int)];
+        for p in def.props {
+            cols.push((p.as_str().to_string(), ColType::of_prop(*p)));
+        }
+        defs.push(TableDef { name: def.table_name(), cols, pk: None, indexes: vec![0, 1] });
+    }
+    defs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_tables() {
+        let defs = snb_catalog();
+        assert_eq!(defs.len(), 8 + EDGE_DEFS.len());
+        let person = defs.iter().find(|d| d.name == "person").unwrap();
+        assert_eq!(person.pk, Some(0));
+        assert!(person.col("firstName").is_ok());
+        assert!(person.col("nope").is_err());
+        let knows = defs.iter().find(|d| d.name == "person_knows_person").unwrap();
+        assert_eq!(knows.pk, None);
+        assert_eq!(knows.indexes, vec![0, 1]);
+        assert_eq!(knows.col("creationDate").unwrap(), 2);
+    }
+
+    #[test]
+    fn col_types_are_sane() {
+        let defs = snb_catalog();
+        let person = defs.iter().find(|d| d.name == "person").unwrap();
+        let birthday = person.col("birthday").unwrap();
+        assert_eq!(person.cols[birthday].1, ColType::Date);
+        let email = person.col("email").unwrap();
+        assert_eq!(person.cols[email].1, ColType::TextList);
+    }
+}

@@ -1,0 +1,29 @@
+//! A relational engine with row- and column-store layouts and a
+//! mini-SQL front end.
+//!
+//! This crate stands in for both RDBMSes in the paper:
+//!
+//! * **Row store** (Postgres analogue): tuples stored contiguously per
+//!   row, B-tree indexes on vertex ids and edge endpoints, tuple-at-a-
+//!   time index-nested-loop joins, cheap point inserts. Recursion only
+//!   via `WITH RECURSIVE` — so shortest-path queries pay the full
+//!   row-set-semantics price, as Postgres does in the paper.
+//! * **Column store** (Virtuoso analogue): values stored per column with
+//!   a row-format delta buffer that is periodically merged (making point
+//!   updates more expensive — the paper's 1.6× write gap), batch-
+//!   oriented hash joins that win on multi-hop traversals, and a native
+//!   `TRANSITIVE` operator reproducing Virtuoso's "graph-aware engine
+//!   and optimized transitivity support".
+//!
+//! The schema follows the paper's setup: one table per vertex type and
+//! per edge type, with indexes on vertex ids (and edge endpoints, which
+//! every LDBC SQL reference schema declares as key columns).
+
+pub mod catalog;
+pub mod database;
+pub mod sql;
+pub mod table;
+
+pub use catalog::{ColType, TableDef};
+pub use database::{Database, Layout};
+pub use sql::SqlResult;

@@ -1,0 +1,172 @@
+//! Abstract syntax of the mini-SQL dialect.
+
+use snb_core::Value;
+
+/// A SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Select(SelectStmt),
+    Insert { table: String, cols: Option<Vec<String>>, values: Vec<Expr> },
+    Update { table: String, sets: Vec<(String, Expr)>, filter: Expr },
+    /// `WITH RECURSIVE name(cols) AS (body) tail`.
+    WithRecursive { name: String, cols: Vec<String>, body: SelectStmt, tail: SelectStmt },
+    /// `SELECT TRANSITIVE(edge_table, $from, $to [, max [, DIRECTED]])` —
+    /// the column-store graph extension. Yields a single `depth` row, or
+    /// nothing when unreachable.
+    Transitive { table: String, from: Expr, to: Expr, max: u32, directed: bool },
+}
+
+/// `SELECT ... (UNION [ALL] SELECT ...)* [ORDER BY ...] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub cores: Vec<SelectCore>,
+    /// `UNION ALL` (true) vs deduplicating `UNION` (false). Only
+    /// meaningful with >1 core.
+    pub union_all: bool,
+    /// `(key, ascending)`; keys are 1-based output positions or names.
+    pub order_by: Vec<(OrderKey, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// 1-based output column position.
+    Position(usize),
+    /// Output column name.
+    Name(String),
+}
+
+/// One `SELECT ... FROM ... [JOIN ... ON ...]* [WHERE ...]` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCore {
+    pub distinct: bool,
+    /// Empty means `SELECT *`.
+    pub items: Vec<(Expr, String)>,
+    pub from: TableRef,
+    pub joins: Vec<(TableRef, Expr)>,
+    pub filter: Option<Expr>,
+}
+
+/// A table reference with alias (alias defaults to the table name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: String,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    Min,
+    Max,
+    Sum,
+    Avg,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `alias.col` (alias empty for bare column names).
+    Col(String, String),
+    /// 1-based positional parameter.
+    Param(usize),
+    Lit(Value),
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    /// `COUNT(*)` is `Agg(Count, None, false)`.
+    Agg(AggKind, Option<Box<Expr>>, bool),
+}
+
+impl Expr {
+    /// True if this expression contains an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg(..) => true,
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Add(a, b) | Expr::Sub(a, b) => {
+                a.is_aggregate() || b.is_aggregate()
+            }
+            Expr::Not(e) => e.is_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Split a conjunction into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = Expr::And(
+            Box::new(Expr::And(
+                Box::new(Expr::Lit(Value::Bool(true))),
+                Box::new(Expr::Lit(Value::Bool(false))),
+            )),
+            Box::new(Expr::Param(1)),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(Expr::Agg(AggKind::Count, None, false).is_aggregate());
+        assert!(!Expr::Col(String::new(), "id".into()).is_aggregate());
+        assert!(Expr::Add(
+            Box::new(Expr::Agg(AggKind::Min, Some(Box::new(Expr::Param(1))), false)),
+            Box::new(Expr::Lit(Value::Int(1)))
+        )
+        .is_aggregate());
+    }
+
+    #[test]
+    fn cmp_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.eval(Less));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(!CmpOp::Ne.eval(Equal));
+    }
+}

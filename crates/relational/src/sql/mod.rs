@@ -1,0 +1,48 @@
+//! Mini-SQL front end: parser, planner, and executor.
+//!
+//! The dialect covers what the LDBC SNB SQL reference implementations
+//! use: `SELECT`/`JOIN`/`WHERE`/`UNION`/`ORDER BY`/`LIMIT`, aggregates,
+//! `INSERT`, `UPDATE`, `WITH RECURSIVE` (set semantics with semi-naive
+//! evaluation — the Postgres shortest-path route), and the column-store
+//! `TRANSITIVE` operator (the Virtuoso shortest-path route).
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+use snb_core::{Result, Value};
+
+use crate::database::Database;
+
+/// A materialized SQL result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl SqlResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First cell of the first row (for scalar queries).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl Database {
+    /// Parse and execute a SQL statement with positional parameters
+    /// (`$1`, `$2`, ...).
+    pub fn sql(&self, query: &str, params: &[Value]) -> Result<SqlResult> {
+        let stmt = parser::parse(query)?;
+        exec::execute(self, &stmt, params)
+    }
+}

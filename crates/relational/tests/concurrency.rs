@@ -1,0 +1,72 @@
+//! Concurrency regression tests: self-join reads must not deadlock with
+//! concurrent writers on the same table (the interactive workload's
+//! reader/writer mix does exactly this constantly).
+
+use snb_core::Value;
+use snb_relational::{Database, Layout};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn self_join_reads_do_not_deadlock_with_writers() {
+    let db = Arc::new(Database::new_snb(Layout::Row));
+    for i in 0..50i64 {
+        db.sql("INSERT INTO person (id, firstName) VALUES ($1, $2)", &[Value::Int(i), Value::str("x")])
+            .unwrap();
+    }
+    for i in 0..49i64 {
+        db.sql(
+            "INSERT INTO person_knows_person (src, dst) VALUES ($1, $2)",
+            &[Value::Int(i), Value::Int(i + 1)],
+        )
+        .unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + Duration::from_millis(800);
+    let mut handles = Vec::new();
+    // Readers: two-hop self-joins, each taking two read guards on the
+    // same table.
+    for _ in 0..4 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                db.sql(
+                    "SELECT DISTINCT k2.dst FROM person_knows_person k1 \
+                     JOIN person_knows_person k2 ON k2.src = k1.dst WHERE k1.src = $1",
+                    &[Value::Int(3)],
+                )
+                .unwrap();
+                n += 1;
+            }
+            n
+        }));
+    }
+    // Writer: inserts into the same table the readers self-join.
+    {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            let mut next = 1000i64;
+            while !stop.load(Ordering::Relaxed) {
+                db.sql(
+                    "INSERT INTO person_knows_person (src, dst) VALUES ($1, $2)",
+                    &[Value::Int(next % 50), Value::Int((next + 7) % 50)],
+                )
+                .unwrap();
+                next += 1;
+                n += 1;
+            }
+            n
+        }));
+    }
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let counts: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(counts.iter().all(|&n| n > 0), "every thread made progress: {counts:?}");
+}

@@ -1,0 +1,123 @@
+//! Property tests: both table layouts must behave identically to a
+//! simple row-vector model under arbitrary insert/update/find
+//! sequences, and the SQL layer must respect basic relational algebra
+//! identities.
+
+use proptest::prelude::*;
+use snb_core::Value;
+use snb_relational::{Database, Layout};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, name: String },
+    Update { id: i64, name: String },
+    FindById { id: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..30i64, "[a-z]{1,5}").prop_map(|(id, name)| Op::Insert { id, name }),
+        (0..30i64, "[a-z]{1,5}").prop_map(|(id, name)| Op::Update { id, name }),
+        (0..30i64).prop_map(|id| Op::FindById { id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn layouts_agree_with_model(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let row = Database::new_snb(Layout::Row);
+        let col = Database::new_snb(Layout::Column);
+        let mut model: std::collections::BTreeMap<i64, String> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Insert { id, name } => {
+                    let expect_ok = !model.contains_key(id);
+                    if expect_ok {
+                        model.insert(*id, name.clone());
+                    }
+                    for db in [&row, &col] {
+                        let r = db.sql(
+                            "INSERT INTO tag (id, name) VALUES ($1, $2)",
+                            &[Value::Int(*id), Value::str(name)],
+                        );
+                        prop_assert_eq!(r.is_ok(), expect_ok, "{:?}", db.layout());
+                    }
+                }
+                Op::Update { id, name } => {
+                    if model.contains_key(id) {
+                        model.insert(*id, name.clone());
+                    }
+                    for db in [&row, &col] {
+                        db.sql(
+                            "UPDATE tag SET name = $2 WHERE id = $1",
+                            &[Value::Int(*id), Value::str(name)],
+                        ).unwrap();
+                    }
+                }
+                Op::FindById { id } => {
+                    let expected: Vec<Vec<Value>> = model
+                        .get(id)
+                        .map(|n| vec![vec![Value::str(n)]])
+                        .unwrap_or_default();
+                    for db in [&row, &col] {
+                        let r = db.sql("SELECT name FROM tag WHERE id = $1", &[Value::Int(*id)]).unwrap();
+                        prop_assert_eq!(&r.rows, &expected, "{:?}", db.layout());
+                    }
+                }
+            }
+        }
+        // Full contents agree with the model.
+        for db in [&row, &col] {
+            let all = db.sql("SELECT id, name FROM tag ORDER BY 1", &[]).unwrap();
+            let want: Vec<Vec<Value>> = model
+                .iter()
+                .map(|(id, n)| vec![Value::Int(*id), Value::str(n)])
+                .collect();
+            prop_assert_eq!(&all.rows, &want, "{:?}", db.layout());
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_and_dedups(ids in proptest::collection::vec(0..20i64, 1..15)) {
+        let db = Database::new_snb(Layout::Row);
+        let mut unique = std::collections::BTreeSet::new();
+        for id in &ids {
+            if unique.insert(*id) {
+                db.sql("INSERT INTO tag (id, name) VALUES ($1, $2)", &[Value::Int(*id), Value::str("x")]).unwrap();
+            }
+        }
+        let half = 10i64;
+        let a = db.sql(
+            "SELECT id FROM tag WHERE id < $1 UNION SELECT id FROM tag WHERE id >= $1 ORDER BY 1",
+            &[Value::Int(half)],
+        ).unwrap();
+        let b = db.sql(
+            "SELECT id FROM tag WHERE id >= $1 UNION SELECT id FROM tag WHERE id < $1 ORDER BY 1",
+            &[Value::Int(half)],
+        ).unwrap();
+        prop_assert_eq!(&a.rows, &b.rows);
+        prop_assert_eq!(a.rows.len(), unique.len());
+        // Overlapping UNION still dedups.
+        let c = db.sql(
+            "SELECT id FROM tag UNION SELECT id FROM tag ORDER BY 1",
+            &[],
+        ).unwrap();
+        prop_assert_eq!(c.rows.len(), unique.len());
+    }
+
+    #[test]
+    fn count_matches_returned_rows(ids in proptest::collection::vec(0..50i64, 0..20), bound in 0..50i64) {
+        let db = Database::new_snb(Layout::Column);
+        let mut unique = std::collections::BTreeSet::new();
+        for id in &ids {
+            if unique.insert(*id) {
+                db.sql("INSERT INTO tag (id, name) VALUES ($1, $2)", &[Value::Int(*id), Value::str("x")]).unwrap();
+            }
+        }
+        let rows = db.sql("SELECT id FROM tag WHERE id < $1", &[Value::Int(bound)]).unwrap();
+        let count = db.sql("SELECT COUNT(*) FROM tag WHERE id < $1", &[Value::Int(bound)]).unwrap();
+        prop_assert_eq!(count.scalar().and_then(Value::as_int), Some(rows.rows.len() as i64));
+    }
+}

@@ -1,0 +1,37 @@
+//! A miniature Table 2: load the same generated graph into all eight
+//! system configurations and time the four micro query classes.
+//!
+//! Run with: `cargo run --release --example query_shootout`
+
+use snb_bench_rs::core::metrics::{fmt_ms, TextTable};
+use snb_bench_rs::datagen::{generate, GeneratorConfig};
+use snb_bench_rs::driver::adapter::build_all_adapters;
+use snb_bench_rs::driver::micro::{run_micro, MICRO_KINDS};
+use snb_bench_rs::driver::ParamGen;
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 200;
+    let data = generate(&cfg);
+    println!(
+        "Dataset: {} vertices, {} edges",
+        data.snapshot.vertices.len(),
+        data.snapshot.edges.len()
+    );
+
+    let mut table = TextTable::new(
+        std::iter::once("System".to_string())
+            .chain(MICRO_KINDS.iter().map(|k| k.to_string())),
+    );
+    for adapter in build_all_adapters() {
+        adapter.load(&data.snapshot).unwrap();
+        let mut params = ParamGen::new(&data, 0x5407);
+        let cells = run_micro(adapter.as_ref(), &mut params, 10, Duration::from_secs(30));
+        let mut row = vec![adapter.name().to_string()];
+        row.extend(cells.iter().map(|c| c.mean_ms.map(fmt_ms).unwrap_or_else(|| "-".into())));
+        table.row(row);
+        eprintln!("  done: {}", adapter.name());
+    }
+    println!("\nMean latency (ms), 10 samples each:\n\n{}", table.render());
+}

@@ -1,0 +1,84 @@
+//! A realistic social-networking scenario on the generated dataset:
+//! render a person's feed (recent posts by friends), post a comment as
+//! an update, and watch it appear — the "real-time querying and
+//! manipulation" the paper's introduction motivates.
+//!
+//! Run with: `cargo run --release --example social_feed`
+
+use snb_bench_rs::core::{PropKey, Value, VertexLabel};
+use snb_bench_rs::datagen::{generate, GeneratorConfig};
+use snb_bench_rs::driver::adapter::cypher::CypherAdapter;
+use snb_bench_rs::driver::adapter::SutAdapter;
+use snb_bench_rs::driver::ReadOp;
+
+fn main() {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 120;
+    let data = generate(&cfg);
+    let adapter = CypherAdapter::new();
+    adapter.load(&data.snapshot).unwrap();
+
+    // Pick a person with friends.
+    let me = data
+        .snapshot
+        .vertices_of(VertexLabel::Person)
+        .map(|v| v.id)
+        .find(|&id| {
+            adapter
+                .execute_read(&ReadOp::OneHop { person: id })
+                .map(|rows| rows.len() >= 3)
+                .unwrap_or(false)
+        })
+        .expect("someone has three friends");
+
+    let profile = adapter.execute_read(&ReadOp::Is1Profile { person: me }).unwrap();
+    println!("Logged in as person {me}: {} {}", profile[0][0], profile[0][1]);
+
+    let friends = adapter.execute_read(&ReadOp::Is3Friends { person: me }).unwrap();
+    println!("\nFriends ({}):", friends.len());
+    for row in friends.iter().take(5) {
+        println!("  person {} (friends since t={})", row[0], row[1]);
+    }
+
+    // The feed: recent messages from each friend.
+    println!("\nYour feed:");
+    let mut shown = 0;
+    for friend in friends.iter().take(5) {
+        let person = friend[0].as_int().unwrap() as u64;
+        let messages = adapter
+            .execute_read(&ReadOp::Is2RecentMessages { person, limit: 2 })
+            .unwrap();
+        for m in messages {
+            println!("  [{}] person {person}: {}", m[1], m[0]);
+            shown += 1;
+        }
+    }
+    println!("({shown} items)");
+
+    // Post an update: take the first post-creation op from the stream.
+    let update = data
+        .updates
+        .iter()
+        .find(|u| u.kind == snb_bench_rs::datagen::UpdateKind::AddComment)
+        .expect("stream contains comments");
+    let author = update
+        .new_edges
+        .iter()
+        .find(|e| e.label == snb_bench_rs::core::EdgeLabel::HasCreator)
+        .map(|e| e.dst.local())
+        .unwrap();
+    adapter.execute_update(update).unwrap();
+    let comment = update.new_vertex.as_ref().unwrap();
+    println!(
+        "\nperson {author} just commented: {:?}",
+        comment.prop(PropKey::Content).cloned().unwrap_or(Value::Null)
+    );
+
+    // It is immediately queryable.
+    let replies = adapter
+        .execute_read(&ReadOp::Is7MessageReplies {
+            message: update.new_edges.iter().find(|e| e.label == snb_bench_rs::core::EdgeLabel::ReplyOf).unwrap().dst,
+        })
+        .unwrap();
+    println!("The parent message now has {} replies.", replies.len());
+}

@@ -1,0 +1,146 @@
+//! `snb` — command-line front end for the benchmark suite.
+//!
+//! ```text
+//! snb generate --sf 3 --out ./sf3-csv      export a dataset as LDBC-style CSVs
+//! snb stats    --sf 3                      print dataset statistics
+//! snb query    --engine cypher 'MATCH ...' load a dataset and run one query
+//! snb query    --engine sql    'SELECT ...'
+//! snb query    --engine sparql 'SELECT ...'
+//! ```
+//!
+//! Common flags: `--sf <n>` (scale factor, default 1), `--persons <n>`
+//! (override dataset size), `--seed <n>`.
+
+use snb_bench_rs::core::metrics::TextTable;
+use snb_bench_rs::core::{GraphBackend, Value};
+use snb_bench_rs::datagen::{generate, stats::DatasetStats, GeneratorConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  snb generate --sf <n> --out <dir>");
+            eprintln!("  snb stats    --sf <n>");
+            eprintln!("  snb query    --engine <cypher|sql|sparql> [--sf <n>] '<query>'");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull `--flag value` out of the argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn config(args: &[String]) -> Result<GeneratorConfig, String> {
+    let sf: u32 = flag(args, "--sf").map(|v| v.parse()).transpose().map_err(|_| "bad --sf")?.unwrap_or(1);
+    let mut cfg = GeneratorConfig::scale_factor(sf);
+    if let Some(p) = flag(args, "--persons") {
+        cfg.persons = p.parse().map_err(|_| "bad --persons")?;
+    }
+    if let Some(s) = flag(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed")?;
+    }
+    Ok(cfg)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(args),
+        Some("stats") => cmd_stats(args),
+        Some("query") => cmd_query(args),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let cfg = config(args)?;
+    let out = flag(args, "--out").ok_or("generate needs --out <dir>")?;
+    let data = generate(&cfg);
+    let bytes = snb_bench_rs::datagen::csv::export_csv_to_dir(&data.snapshot, std::path::Path::new(&out))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} vertices, {} edges ({} bytes of CSV) to {out}",
+        data.snapshot.vertices.len(),
+        data.snapshot.edges.len(),
+        bytes
+    );
+    println!("({} update operations withheld as the stream)", data.updates.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let cfg = config(args)?;
+    let data = generate(&cfg);
+    let stats = DatasetStats::of(&data);
+    let mut t = TextTable::new(["Entity", "Snapshot count"]);
+    let mut by_label: Vec<_> = stats.vertices_by_label.iter().collect();
+    by_label.sort();
+    for (label, n) in by_label {
+        t.row([label.to_string(), n.to_string()]);
+    }
+    t.row(["(total vertices)".to_string(), stats.snapshot_vertices.to_string()]);
+    t.row(["(total edges)".to_string(), stats.snapshot_edges.to_string()]);
+    t.row(["(update ops)".to_string(), stats.update_ops.to_string()]);
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let engine = flag(args, "--engine").ok_or("query needs --engine")?;
+    let query = args.last().filter(|q| !q.starts_with("--")).ok_or("missing query text")?;
+    let cfg = config(args)?;
+    let data = generate(&cfg);
+    eprintln!(
+        "[loaded SF dataset: {} vertices, {} edges]",
+        data.snapshot.vertices.len(),
+        data.snapshot.edges.len()
+    );
+    let (columns, rows) = match engine.as_str() {
+        "cypher" => {
+            let store = snb_bench_rs::graph_native::NativeGraphStore::new();
+            for v in &data.snapshot.vertices {
+                store.add_vertex(v.label, v.id, &v.props).map_err(|e| e.to_string())?;
+            }
+            for e in &data.snapshot.edges {
+                store.add_edge(e.label, e.src, e.dst, &e.props).map_err(|e| e.to_string())?;
+            }
+            let r = store
+                .cypher(query, &snb_bench_rs::graph_native::Params::new())
+                .map_err(|e| e.to_string())?;
+            (r.columns, r.rows)
+        }
+        "sql" => {
+            let adapter = snb_bench_rs::driver::adapter::sql::SqlAdapter::row_store();
+            use snb_bench_rs::driver::adapter::SutAdapter;
+            adapter.load(&data.snapshot).map_err(|e| e.to_string())?;
+            let r = adapter.db().sql(query, &[]).map_err(|e| e.to_string())?;
+            (r.columns, r.rows)
+        }
+        "sparql" => {
+            let store = snb_bench_rs::rdf::TripleStore::new();
+            for v in &data.snapshot.vertices {
+                store.insert_vertex(v.label, v.id, &v.props);
+            }
+            for e in &data.snapshot.edges {
+                store.insert_edge(e.label, e.src, e.dst, &e.props);
+            }
+            let r = store.sparql(query).map_err(|e| e.to_string())?;
+            (r.columns, r.rows)
+        }
+        other => return Err(format!("unknown engine `{other}` (cypher|sql|sparql)")),
+    };
+    let mut t = TextTable::new(columns.iter().map(String::as_str));
+    for row in &rows {
+        t.row(row.iter().map(Value::to_string));
+    }
+    println!("{}", t.render());
+    println!("({} rows)", rows.len());
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Facade crate: re-exports the whole benchmark suite under one roof.
+//!
+//! See the README for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+
+pub use snb_core as core;
+pub use snb_datagen as datagen;
+pub use snb_driver as driver;
+pub use snb_graph_native as graph_native;
+pub use snb_gremlin as gremlin;
+pub use snb_kvgraph as kvgraph;
+pub use snb_mq as mq;
+pub use snb_rdf as rdf;
+pub use snb_relational as relational;

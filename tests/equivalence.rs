@@ -1,0 +1,130 @@
+//! Cross-engine equivalence: every system configuration must return the
+//! same logical answer to every benchmark operation. This is the
+//! correctness bedrock under the performance comparison — the paper
+//! notes that the original LDBC reference implementations returned
+//! "empty or incorrect results" in exactly this kind of mismatch.
+
+use snb_bench_rs::core::{Value, VertexLabel};
+use snb_bench_rs::datagen::{generate, GeneratorConfig};
+use snb_bench_rs::driver::adapter::{build_all_adapters, OpResult, SutAdapter};
+use snb_bench_rs::driver::{ParamGen, ReadOp};
+
+fn sorted(mut rows: OpResult) -> OpResult {
+    rows.sort();
+    rows
+}
+
+/// Load the tiny dataset into all eight configurations once.
+fn loaded_adapters() -> (snb_bench_rs::datagen::GeneratedData, Vec<Box<dyn SutAdapter>>) {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 80;
+    let data = generate(&cfg);
+    let adapters = build_all_adapters();
+    for a in &adapters {
+        a.load(&data.snapshot).unwrap_or_else(|e| panic!("{}: {e}", a.name()));
+    }
+    (data, adapters)
+}
+
+fn assert_all_agree(adapters: &[Box<dyn SutAdapter>], op: &ReadOp) {
+    let reference = sorted(adapters[0].execute_read(op).unwrap_or_else(|e| {
+        panic!("{}: {op:?} failed: {e}", adapters[0].name())
+    }));
+    for a in &adapters[1..] {
+        let got = sorted(a.execute_read(op).unwrap_or_else(|e| panic!("{}: {op:?} failed: {e}", a.name())));
+        assert_eq!(
+            got,
+            reference,
+            "{} disagrees with {} on {op:?}",
+            a.name(),
+            adapters[0].name()
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_on_the_benchmark_operations() {
+    let (data, adapters) = loaded_adapters();
+    let mut params = ParamGen::new(&data, 0xe9_51);
+    // Micro suite across several parameter draws.
+    for _ in 0..5 {
+        let person = params.person();
+        assert_all_agree(&adapters, &ReadOp::PointLookup { person });
+        assert_all_agree(&adapters, &ReadOp::OneHop { person });
+        assert_all_agree(&adapters, &ReadOp::TwoHop { person });
+    }
+    for _ in 0..3 {
+        let (a, b) = params.person_pair();
+        assert_all_agree(&adapters, &ReadOp::ShortestPath { a, b });
+    }
+    // Short reads.
+    for _ in 0..3 {
+        let person = params.person();
+        assert_all_agree(&adapters, &ReadOp::Is1Profile { person });
+        assert_all_agree(&adapters, &ReadOp::Is3Friends { person });
+        let message = params.message();
+        assert_all_agree(&adapters, &ReadOp::Is4MessageContent { message });
+        assert_all_agree(&adapters, &ReadOp::Is5MessageCreator { message });
+        assert_all_agree(&adapters, &ReadOp::Is7MessageReplies { message });
+        let post = params.post();
+        assert_all_agree(&adapters, &ReadOp::Is6MessageForum { post });
+    }
+    // IS2 and the complex reads (ordered results; compared sorted, with
+    // limits beyond the result size so tie-breaking cannot differ).
+    for _ in 0..3 {
+        let person = params.person();
+        assert_all_agree(&adapters, &ReadOp::Is2RecentMessages { person, limit: 10_000 });
+        let first_name = params.first_name();
+        assert_all_agree(&adapters, &ReadOp::Complex2Hop { person, first_name, limit: 10_000 });
+        assert_all_agree(&adapters, &ReadOp::RecentFriendMessages { person, limit: 100_000 });
+    }
+}
+
+#[test]
+fn all_engines_agree_after_applying_the_update_stream() {
+    let (data, adapters) = loaded_adapters();
+    // Apply a prefix of the stream everywhere.
+    let prefix = data.updates.len().min(120);
+    for op in &data.updates[..prefix] {
+        for a in &adapters {
+            a.execute_update(op).unwrap_or_else(|e| panic!("{}: update failed: {e}", a.name()));
+        }
+    }
+    // New entities must be visible and identical everywhere.
+    let new_person = data.updates[..prefix]
+        .iter()
+        .filter_map(|u| u.new_vertex.as_ref())
+        .find(|v| v.label == VertexLabel::Person);
+    if let Some(p) = new_person {
+        assert_all_agree(&adapters, &ReadOp::PointLookup { person: p.id });
+        assert_all_agree(&adapters, &ReadOp::OneHop { person: p.id });
+    }
+    let touched_person = data.updates[..prefix]
+        .iter()
+        .find(|u| u.kind == snb_bench_rs::datagen::UpdateKind::AddFriendship)
+        .map(|u| u.new_edges[0].src.local());
+    if let Some(person) = touched_person {
+        assert_all_agree(&adapters, &ReadOp::OneHop { person });
+        assert_all_agree(&adapters, &ReadOp::Is3Friends { person });
+    }
+}
+
+#[test]
+fn point_lookup_of_missing_person_is_empty_everywhere() {
+    let (_, adapters) = loaded_adapters();
+    for a in &adapters {
+        let rows = a.execute_read(&ReadOp::PointLookup { person: 999_999 }).unwrap();
+        assert!(rows.is_empty(), "{}", a.name());
+    }
+}
+
+#[test]
+fn shortest_path_to_self_is_zero_everywhere() {
+    let (data, adapters) = loaded_adapters();
+    let mut params = ParamGen::new(&data, 3);
+    let p = params.person();
+    for a in &adapters {
+        let rows = a.execute_read(&ReadOp::ShortestPath { a: p, b: p }).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)]], "{}", a.name());
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end benchmarking-architecture tests: the full Figure 1
+//! pipeline (generator → snapshot load → Kafka-style queue → writer with
+//! dependency tracking → concurrent readers) must run and leave every
+//! system in a consistent state.
+
+use snb_bench_rs::datagen::{generate, GeneratorConfig};
+use snb_bench_rs::driver::adapter::cypher::CypherAdapter;
+use snb_bench_rs::driver::adapter::sql::SqlAdapter;
+use snb_bench_rs::driver::adapter::SutAdapter;
+use snb_bench_rs::driver::interactive::{run_interactive, InteractiveConfig};
+use snb_bench_rs::driver::loading::load_concurrent;
+use std::time::Duration;
+
+fn tiny_data() -> snb_bench_rs::datagen::GeneratedData {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 60;
+    generate(&cfg)
+}
+
+#[test]
+fn interactive_pipeline_runs_on_relational_and_native() {
+    let data = tiny_data();
+    let config = InteractiveConfig {
+        readers: 4,
+        duration: Duration::from_millis(700),
+        seed: 11,
+    };
+    let sql = SqlAdapter::row_store();
+    sql.load(&data.snapshot).unwrap();
+    let report = run_interactive(&sql, &data, &config);
+    assert!(report.total_reads > 0);
+    assert!(report.total_writes > 0);
+    assert_eq!(report.write_errors, 0);
+
+    let cypher = CypherAdapter::new();
+    cypher.load(&data.snapshot).unwrap();
+    let report = run_interactive(&cypher, &data, &config);
+    assert!(report.total_reads > 0);
+    assert!(report.total_writes > 0);
+    assert_eq!(report.write_errors, 0);
+}
+
+#[test]
+fn interactive_pipeline_survives_a_gremlin_system() {
+    // The Gremlin path adds the server boundary: reads and writes must
+    // still flow, and overload shows up as errors, never as a wedge.
+    let data = tiny_data();
+    let adapter = snb_bench_rs::driver::adapter::gremlin::GremlinAdapter::titan_c();
+    adapter.load(&data.snapshot).unwrap();
+    let report = run_interactive(
+        &adapter,
+        &data,
+        &InteractiveConfig { readers: 4, duration: Duration::from_millis(700), seed: 5 },
+    );
+    assert!(report.total_reads > 0);
+    assert!(report.total_writes > 0);
+}
+
+#[test]
+fn full_mix_includes_complex_reads() {
+    let data = tiny_data();
+    let mut params = snb_bench_rs::driver::ParamGen::new(&data, 9);
+    let mut names = std::collections::HashSet::new();
+    for _ in 0..200 {
+        names.insert(params.full_mix_read().name());
+    }
+    assert!(names.contains("complex_2hop"));
+    assert!(names.contains("complex_friend_messages"));
+    assert!(names.contains("shortest_path"));
+}
+
+#[test]
+fn writer_applies_stream_in_dependency_order() {
+    // After a full drain, the store must contain snapshot + all updates.
+    let data = tiny_data();
+    let adapter = SqlAdapter::row_store();
+    adapter.load(&data.snapshot).unwrap();
+    for op in &data.updates {
+        adapter.execute_update(op).unwrap();
+    }
+    let persons_total = data
+        .snapshot
+        .vertices
+        .iter()
+        .filter(|v| v.label == snb_bench_rs::core::VertexLabel::Person)
+        .count()
+        + data
+            .updates
+            .iter()
+            .filter_map(|u| u.new_vertex.as_ref())
+            .filter(|v| v.label == snb_bench_rs::core::VertexLabel::Person)
+            .count();
+    assert_eq!(adapter.db().row_count("person").unwrap(), persons_total);
+}
+
+#[test]
+fn concurrent_loading_matches_single_loader_state() {
+    let data = tiny_data();
+    let single = snb_bench_rs::kvgraph::KvGraph::new(snb_bench_rs::kvgraph::PartitionedKv::new());
+    let multi = snb_bench_rs::kvgraph::KvGraph::new(snb_bench_rs::kvgraph::PartitionedKv::new());
+    load_concurrent(&single, &data.snapshot, 1).unwrap();
+    load_concurrent(&multi, &data.snapshot, 8).unwrap();
+    use snb_bench_rs::core::GraphBackend;
+    assert_eq!(single.vertex_count(), multi.vertex_count());
+    assert_eq!(single.edge_count(), multi.edge_count());
+}

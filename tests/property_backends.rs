@@ -1,0 +1,164 @@
+//! Model-based property tests: a random sequence of graph mutations and
+//! queries must produce identical results on every `GraphBackend`
+//! implementation (native adjacency store, both KV-graph backends, and
+//! the SQL-translating Sqlg layer), checked against a simple in-memory
+//! model.
+
+use proptest::prelude::*;
+use snb_bench_rs::core::{Direction, EdgeLabel, GraphBackend, PropKey, Value, VertexLabel, Vid};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddPerson { id: u64, name: String },
+    AddKnows { a: u64, b: u64, date: i64 },
+    SetName { id: u64, name: String },
+    QueryNeighbors { id: u64, dir: u8 },
+    QueryProp { id: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..12u64, "[a-z]{1,6}").prop_map(|(id, name)| Op::AddPerson { id, name }),
+        (0..12u64, 0..12u64, 0..1000i64).prop_map(|(a, b, date)| Op::AddKnows { a, b, date }),
+        (0..12u64, "[a-z]{1,6}").prop_map(|(id, name)| Op::SetName { id, name }),
+        (0..12u64, 0..3u8).prop_map(|(id, dir)| Op::QueryNeighbors { id, dir }),
+        (0..12u64).prop_map(|id| Op::QueryProp { id }),
+    ]
+}
+
+/// Reference model: sets and maps only.
+#[derive(Default)]
+struct Model {
+    persons: BTreeMap<u64, String>,
+    knows: BTreeSet<(u64, u64)>,
+}
+
+fn backends() -> Vec<Box<dyn GraphBackend>> {
+    vec![
+        Box::new(snb_bench_rs::graph_native::NativeGraphStore::new()),
+        Box::new(snb_bench_rs::kvgraph::KvGraph::new(snb_bench_rs::kvgraph::BTreeKv::new())),
+        Box::new(snb_bench_rs::kvgraph::KvGraph::new(snb_bench_rs::kvgraph::PartitionedKv::new())),
+        Box::new(snb_bench_rs::driver::sqlg::SqlgBackend::new(
+            snb_bench_rs::relational::Database::new_snb(snb_bench_rs::relational::Layout::Row),
+        )),
+    ]
+}
+
+fn vid(id: u64) -> Vid {
+    Vid::new(VertexLabel::Person, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn backends_agree_with_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut model = Model::default();
+        let backends = backends();
+        for op in &ops {
+            match op {
+                Op::AddPerson { id, name } => {
+                    let expect_ok = !model.persons.contains_key(id);
+                    if expect_ok {
+                        model.persons.insert(*id, name.clone());
+                    }
+                    for b in &backends {
+                        let r = b.add_vertex(
+                            VertexLabel::Person,
+                            *id,
+                            &[(PropKey::FirstName, Value::str(name))],
+                        );
+                        prop_assert_eq!(r.is_ok(), expect_ok, "{} add_vertex", b.name());
+                    }
+                }
+                Op::AddKnows { a, b: dst, date } => {
+                    // Skip self-loops and duplicates: backends tolerate
+                    // parallel edges, the set-based model does not.
+                    if *a == *dst || model.knows.contains(&(*a, *dst)) {
+                        continue;
+                    }
+                    let expect_ok =
+                        model.persons.contains_key(a) && model.persons.contains_key(dst);
+                    if expect_ok {
+                        model.knows.insert((*a, *dst));
+                    }
+                    for b in &backends {
+                        let r = b.add_edge(
+                            EdgeLabel::Knows,
+                            vid(*a),
+                            vid(*dst),
+                            &[(PropKey::CreationDate, Value::Date(*date))],
+                        );
+                        prop_assert_eq!(r.is_ok(), expect_ok, "{} add_edge", b.name());
+                    }
+                }
+                Op::SetName { id, name } => {
+                    let expect_ok = model.persons.contains_key(id);
+                    if expect_ok {
+                        model.persons.insert(*id, name.clone());
+                    }
+                    for b in &backends {
+                        let r = b.set_vertex_prop(vid(*id), PropKey::FirstName, Value::str(name));
+                        prop_assert_eq!(r.is_ok(), expect_ok, "{} set_prop", b.name());
+                    }
+                }
+                Op::QueryNeighbors { id, dir } => {
+                    let dir = match dir {
+                        0 => Direction::Out,
+                        1 => Direction::In,
+                        _ => Direction::Both,
+                    };
+                    let mut expected: Vec<u64> = Vec::new();
+                    if model.persons.contains_key(id) {
+                        for (a, b) in &model.knows {
+                            match dir {
+                                Direction::Out if a == id => expected.push(*b),
+                                Direction::In if b == id => expected.push(*a),
+                                Direction::Both => {
+                                    if a == id {
+                                        expected.push(*b);
+                                    }
+                                    if b == id {
+                                        expected.push(*a);
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    expected.sort_unstable();
+                    for b in &backends {
+                        let mut got = Vec::new();
+                        let r = b.neighbors(vid(*id), dir, Some(EdgeLabel::Knows), &mut got);
+                        if model.persons.contains_key(id) {
+                            prop_assert!(r.is_ok());
+                            let mut got: Vec<u64> = got.iter().map(|v| v.local()).collect();
+                            got.sort_unstable();
+                            prop_assert_eq!(&got, &expected, "{} neighbors {:?}", b.name(), dir);
+                        } else {
+                            prop_assert!(r.is_err(), "{} neighbors of missing vertex", b.name());
+                        }
+                    }
+                }
+                Op::QueryProp { id } => {
+                    let expected = model.persons.get(id);
+                    for b in &backends {
+                        match b.vertex_prop(vid(*id), PropKey::FirstName) {
+                            Ok(Some(Value::Str(s))) => {
+                                prop_assert_eq!(Some(&s.to_string()), expected, "{}", b.name())
+                            }
+                            Ok(other) => prop_assert!(false, "{}: unexpected {other:?}", b.name()),
+                            Err(_) => prop_assert!(expected.is_none(), "{}", b.name()),
+                        }
+                    }
+                }
+            }
+        }
+        // Final invariant: global counts agree everywhere.
+        for b in &backends {
+            prop_assert_eq!(b.vertex_count(), model.persons.len(), "{}", b.name());
+            prop_assert_eq!(b.edge_count(), model.knows.len(), "{}", b.name());
+        }
+    }
+}
