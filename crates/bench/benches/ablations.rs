@@ -152,7 +152,10 @@ fn ablation_checkpointing(c: &mut Criterion) {
     for (name, every) in [("off", 0usize), ("every_4096", 4096), ("every_512", 512)] {
         group.bench_function(name, |b| {
             b.iter_batched(
-                || NativeGraphStore::with_checkpoint(CheckpointConfig { every_writes: every }),
+                || NativeGraphStore::with_checkpoint(CheckpointConfig {
+                    every_writes: every,
+                    ..CheckpointConfig::default()
+                }),
                 |store| {
                     for i in 0..2000u64 {
                         store
@@ -174,12 +177,48 @@ fn ablation_checkpointing(c: &mut Criterion) {
     group.finish();
 }
 
+/// 6. Vertex-index data structure: the seed's SipHash `HashMap` vs the
+/// fxhash `FastMap` vs the dense per-label direct index now used by
+/// `NativeGraphStore::slot_ix` (the PR-1 read-path acceptance gate).
+fn ablation_vertex_index(c: &mut Criterion) {
+    use snb_core::FastMap;
+    use std::collections::HashMap;
+    const N: u64 = 100_000;
+    let vids: Vec<Vid> = (0..N).map(|i| Vid::new(VertexLabel::Person, i)).collect();
+    let sip: HashMap<Vid, u32> = vids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let fx: FastMap<Vid, u32> = vids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let direct: Vec<u32> = (0..N as u32).collect();
+    let mut group = c.benchmark_group("vertex_index");
+    group.sample_size(50);
+    let mut i = 0usize;
+    group.bench_function("siphash_map", |b| {
+        b.iter(|| {
+            i = (i + 7919) % vids.len();
+            *sip.get(&vids[i]).unwrap()
+        })
+    });
+    group.bench_function("fxhash_map", |b| {
+        b.iter(|| {
+            i = (i + 7919) % vids.len();
+            *fx.get(&vids[i]).unwrap()
+        })
+    });
+    group.bench_function("dense_direct", |b| {
+        b.iter(|| {
+            i = (i + 7919) % vids.len();
+            direct[vids[i].local() as usize]
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_adjacency,
     ablation_layout_writes,
     ablation_triple_indexes,
     ablation_gremlin_server,
-    ablation_checkpointing
+    ablation_checkpointing,
+    ablation_vertex_index
 );
 criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! A fast, non-cryptographic hasher for hot-path lookup structures.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which is
+//! DoS-resistant but costs tens of cycles per `u64` key. Every index in
+//! this workspace is keyed by trusted, internally-generated values
+//! ([`crate::Vid`]s, dictionary terms, adjacency keys), so collision
+//! attacks are not part of the threat model and the Sip rounds are pure
+//! overhead on the read path. This module provides the FxHash algorithm
+//! used by rustc: one multiply + one rotate + one xor per word of input.
+//!
+//! Use the [`FastMap`]/[`FastSet`] aliases instead of naming the hasher
+//! directly; swapping the algorithm later is then a one-line change.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier: `2^64 / phi`, rounded to odd.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// rustc's FxHash: fold each machine word into the state with
+/// `state = (state rotl 5 ^ word) * SEED`.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(chunk.try_into().unwrap()) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized, `Default`-constructible.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FastSet<T> = HashSet<T, FxBuildHasher>;
+
+/// One-shot hash of any hashable value (used for partition routing).
+#[inline]
+pub fn hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_word_sensitive() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_ne!(hash_one(&42u64), hash_one(&43u64));
+        assert_ne!(hash_one(&0u64), hash_one(&1u64));
+    }
+
+    #[test]
+    fn byte_stream_matches_any_split() {
+        // write() folds words, so differently-sized writes of the same
+        // bytes must agree with a single write of the concatenation.
+        let mut a = FxHasher::default();
+        a.write(b"hello world, graph bench");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, graph bench");
+        assert_eq!(a.finish(), b.finish());
+        // Different content must (with overwhelming probability) differ.
+        let mut c = FxHasher::default();
+        c.write(b"hello world, graph bunch");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FastMap<u64, &str> = FastMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FastSet<(u8, u64)> = FastSet::default();
+        assert!(s.insert((1, 99)));
+        assert!(!s.insert((1, 99)));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential ids (the common Vid pattern) must not collide in the
+        // low bits that HashMap uses for bucket selection.
+        let mut low_bits: FastSet<u64> = FastSet::default();
+        for i in 0..1024u64 {
+            low_bits.insert(hash_one(&i) & 0x3ff);
+        }
+        assert!(low_bits.len() > 512, "low bits too clustered: {}", low_bits.len());
+    }
+}

@@ -1,12 +1,11 @@
 //! Property-map and direction primitives shared by all graph engines.
 
-use serde::{Deserialize, Serialize};
 
 use crate::schema::PropKey;
 use crate::value::Value;
 
 /// Traversal / adjacency direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     Out,
     In,
@@ -28,7 +27,7 @@ impl Direction {
 ///
 /// SNB entities carry at most ~8 properties, so a sorted `Vec` beats a
 /// hash map in both space and lookup time (see the workspace perf notes).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PropertyMap {
     entries: Vec<(PropKey, Value)>,
 }

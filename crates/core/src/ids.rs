@@ -5,13 +5,12 @@
 //! packs the label into the top byte of a `u64`, mirroring how real
 //! systems (Neo4j record ids, Titan long ids) assign a single id space.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::{Result, SnbError};
 
 /// Vertex types of the LDBC SNB schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum VertexLabel {
     Person = 0,
@@ -76,7 +75,7 @@ impl fmt::Display for VertexLabel {
 }
 
 /// Edge types of the LDBC SNB schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum EdgeLabel {
     /// Person ↔ Person friendship (stored directed, queried both ways).
@@ -179,7 +178,7 @@ impl fmt::Display for EdgeLabel {
 
 /// Global vertex identifier: label tag in the top byte, the entity-local
 /// LDBC id in the low 56 bits.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vid(u64);
 
 impl Vid {

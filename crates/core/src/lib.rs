@@ -10,6 +10,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod fxhash;
 pub mod graph;
 pub mod ids;
 pub mod metrics;
@@ -18,6 +19,7 @@ pub mod value;
 
 pub use backend::GraphBackend;
 pub use error::{Result, SnbError};
+pub use fxhash::{FastMap, FastSet, FxBuildHasher};
 pub use graph::{Direction, PropertyMap};
 pub use ids::{EdgeLabel, VertexLabel, Vid};
 pub use schema::PropKey;

@@ -3,19 +3,27 @@
 //! style of the paper's Tables 1–4.
 
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// A set of latency samples (nanoseconds) with summary statistics.
+///
+/// Percentile queries keep a lazily-built sorted view so repeated
+/// `percentile_ms` calls (the report path asks for several percentiles
+/// per operation) sort at most once per batch of recorded samples.
+/// Samples are append-only, so the view is valid exactly while its
+/// length matches the sample count.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<u64>,
+    sorted: RefCell<Vec<u64>>,
 }
 
 impl LatencyStats {
     /// Empty recorder.
     pub fn new() -> Self {
-        LatencyStats { samples: Vec::new() }
+        LatencyStats::default()
     }
 
     /// Record one sample.
@@ -47,8 +55,12 @@ impl LatencyStats {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_unstable();
+        }
         let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
         sorted[rank.min(sorted.len() - 1)] as f64 / 1e6
     }
@@ -208,6 +220,20 @@ mod tests {
         assert!((s.max_ms() - 5.0).abs() < 1e-9);
         assert!((s.percentile_ms(50.0) - 3.0).abs() < 1e-9);
         assert!((s.percentile_ms(100.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_cache_tracks_new_samples() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_millis(1));
+        assert!((s.percentile_ms(100.0) - 1.0).abs() < 1e-9);
+        // Appending must invalidate the cached sorted view.
+        s.record(Duration::from_millis(9));
+        assert!((s.percentile_ms(100.0) - 9.0).abs() < 1e-9);
+        let mut other = LatencyStats::new();
+        other.record(Duration::from_millis(20));
+        s.merge(&other);
+        assert!((s.percentile_ms(100.0) - 20.0).abs() < 1e-9);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! "each vertex and edge type is represented by a separate table"), and
 //! the stores use them to validate inserts.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::{Result, SnbError};
@@ -15,7 +14,7 @@ use crate::ids::{EdgeLabel, VertexLabel};
 
 /// Interned property key. Covers every property the SNB schema attaches
 /// to vertices or edges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum PropKey {
     Id = 0,

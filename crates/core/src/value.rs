@@ -6,7 +6,6 @@
 //! implements *total* equality, hashing, and ordering (NaN-aware for
 //! floats) so it can be used directly as a dictionary/index key.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -15,7 +14,7 @@ use std::sync::Arc;
 use crate::ids::Vid;
 
 /// A dynamically-typed property / column / literal value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),

@@ -292,7 +292,7 @@ impl<'a> Generator<'a> {
             let last = dict::LAST_NAMES[self.rng.gen_range(0..dict::LAST_NAMES.len())];
             // Birthday: 1950..1995 as epoch ms (negative before 1970).
             let birth_year = self.rng.gen_range(1950..1995i64);
-            let birthday = (birth_year - 1970) * 365 * DAY_MS + self.rng.gen_range(0..365) * DAY_MS;
+            let birthday = (birth_year - 1970) * 365 * DAY_MS + self.rng.gen_range(0i64..365) * DAY_MS;
             let ip = self.random_ip();
             let browser = self.random_browser();
             let props = vec![

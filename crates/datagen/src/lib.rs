@@ -22,6 +22,7 @@
 //! `300 · n` persons (≈1/100 of LDBC's density) with the same SF3:SF10
 //! shape ratio; pass a custom person count to scale up.
 
+pub mod codec;
 pub mod config;
 pub mod csv;
 pub mod dict;

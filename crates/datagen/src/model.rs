@@ -6,11 +6,10 @@
 //! absent) new vertex plus a set of new edges, with the timestamps the
 //! driver's dependency tracker needs.
 
-use serde::{Deserialize, Serialize};
 use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
 
 /// One vertex of the generated network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexRec {
     pub label: VertexLabel,
     /// Entity-local LDBC id.
@@ -34,7 +33,7 @@ impl VertexRec {
 }
 
 /// One directed edge of the generated network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeRec {
     pub label: EdgeLabel,
     pub src: Vid,
@@ -45,7 +44,7 @@ pub struct EdgeRec {
 }
 
 /// A bulk-loadable set of vertices and edges (the static snapshot).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     pub vertices: Vec<VertexRec>,
     pub edges: Vec<EdgeRec>,
@@ -69,7 +68,7 @@ impl Dataset {
 }
 
 /// The LDBC SNB interactive update operation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UpdateKind {
     /// IU1: add person (with location, interests).
     AddPerson,
@@ -106,7 +105,7 @@ impl UpdateKind {
 }
 
 /// One update operation of the stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateOp {
     pub kind: UpdateKind,
     /// Scheduled (event) time of this operation.
@@ -122,7 +121,7 @@ pub struct UpdateOp {
 }
 
 /// Full generator output: snapshot + update stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratedData {
     pub snapshot: Dataset,
     /// Sorted by `ts_ms`.
@@ -169,7 +168,7 @@ mod tests {
     }
 
     #[test]
-    fn update_op_roundtrips_through_json() {
+    fn update_op_roundtrips_through_binary_codec() {
         let op = UpdateOp {
             kind: UpdateKind::AddFriendship,
             ts_ms: 100,
@@ -183,8 +182,8 @@ mod tests {
                 creation_ms: 100,
             }],
         };
-        let bytes = serde_json::to_vec(&op).unwrap();
-        let back: UpdateOp = serde_json::from_slice(&bytes).unwrap();
+        let bytes = op.encode_binary();
+        let back = UpdateOp::decode_binary(&bytes).unwrap();
         assert_eq!(back, op);
     }
 }

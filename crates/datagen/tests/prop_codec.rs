@@ -1,0 +1,110 @@
+//! Property test: the binary update-stream codec round-trips every
+//! representable [`UpdateOp`], including nested list values, negative
+//! timestamps, and ops with and without a new vertex.
+
+use proptest::prelude::*;
+use snb_core::{ids::EDGE_LABELS, ids::VERTEX_LABELS, schema::PROP_KEYS, Value, Vid};
+use snb_datagen::{EdgeRec, UpdateKind, UpdateOp, VertexRec};
+
+const KINDS: [UpdateKind; 8] = [
+    UpdateKind::AddPerson,
+    UpdateKind::AddLikePost,
+    UpdateKind::AddLikeComment,
+    UpdateKind::AddForum,
+    UpdateKind::AddForumMembership,
+    UpdateKind::AddPost,
+    UpdateKind::AddComment,
+    UpdateKind::AddFriendship,
+];
+
+fn vid_strategy() -> impl Strategy<Value = Vid> {
+    (0..VERTEX_LABELS.len(), 0..100_000u64).prop_map(|(l, id)| Vid::new(VERTEX_LABELS[l], id))
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Date),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(|s| Value::str(&s)),
+        vid_strategy().prop_map(Value::Vertex),
+        proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..4).prop_map(Value::List),
+    ]
+}
+
+fn props_strategy() -> impl Strategy<Value = Vec<(snb_core::PropKey, Value)>> {
+    proptest::collection::vec(
+        (0..PROP_KEYS.len(), value_strategy()).prop_map(|(k, v)| (PROP_KEYS[k], v)),
+        0..6,
+    )
+}
+
+fn vertex_strategy() -> impl Strategy<Value = VertexRec> {
+    (0..VERTEX_LABELS.len(), 0..100_000u64, props_strategy(), any::<i64>()).prop_map(
+        |(l, id, props, creation_ms)| VertexRec {
+            label: VERTEX_LABELS[l],
+            id,
+            props,
+            creation_ms,
+        },
+    )
+}
+
+fn edge_strategy() -> impl Strategy<Value = EdgeRec> {
+    (
+        0..EDGE_LABELS.len(),
+        vid_strategy(),
+        vid_strategy(),
+        props_strategy(),
+        any::<i64>(),
+    )
+        .prop_map(|(l, src, dst, props, creation_ms)| EdgeRec {
+            label: EDGE_LABELS[l],
+            src,
+            dst,
+            props,
+            creation_ms,
+        })
+}
+
+fn op_strategy() -> impl Strategy<Value = UpdateOp> {
+    (
+        0..KINDS.len(),
+        any::<i64>(),
+        any::<i64>(),
+        prop_oneof![Just(false), Just(true)],
+        vertex_strategy(),
+        proptest::collection::vec(edge_strategy(), 0..5),
+    )
+        .prop_map(|(k, ts_ms, dependency_ms, has_vertex, vertex, new_edges)| UpdateOp {
+            kind: KINDS[k],
+            ts_ms,
+            dependency_ms,
+            new_vertex: has_vertex.then_some(vertex),
+            new_edges,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn binary_codec_roundtrips(op in op_strategy()) {
+        let bytes = op.encode_binary();
+        let back = UpdateOp::decode_binary(&bytes).unwrap();
+        prop_assert_eq!(&back, &op);
+        // Re-encoding the decoded op must be byte-identical (canonical form).
+        prop_assert_eq!(back.encode_binary(), bytes);
+    }
+
+    #[test]
+    fn truncated_encodings_never_decode(op in op_strategy(), cut_fraction in 0.0f64..1.0) {
+        let bytes = op.encode_binary();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(UpdateOp::decode_binary(&bytes[..cut]).is_err());
+        }
+    }
+}

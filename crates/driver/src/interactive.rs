@@ -107,8 +107,7 @@ pub fn run_interactive(
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    let payload = serde_json::to_vec(op).expect("updates serialize");
-                    producer.send(op.ts_ms, None, Bytes::from(payload));
+                    producer.send(op.ts_ms, None, Bytes::from(op.encode_binary()));
                 }
             });
         }
@@ -126,7 +125,7 @@ pub fn run_interactive(
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
-                        let op: UpdateOp = match serde_json::from_slice(&record.value) {
+                        let op: UpdateOp = match UpdateOp::decode_binary(&record.value) {
                             Ok(op) => op,
                             Err(_) => {
                                 write_errors.fetch_add(1, Ordering::Relaxed);

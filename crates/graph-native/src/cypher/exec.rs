@@ -11,6 +11,7 @@
 use snb_core::{
     Direction, GraphBackend, PropKey, Result, SnbError, Value, Vid,
 };
+use snb_core::{FastMap, FastSet};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use super::ast::*;
@@ -536,7 +537,7 @@ fn var_expand(
     for row in rows {
         let Some(left) = row[left_slot].as_vid() else { continue };
         let Some(start) = ctx.inner.slot_ix(left) else { continue };
-        let mut dist: HashMap<u32, u32> = HashMap::from([(start, 0)]);
+        let mut dist: FastMap<u32, u32> = FastMap::from_iter([(start, 0)]);
         let mut queue: VecDeque<(u32, u32)> = VecDeque::from([(start, 0)]);
         while let Some((ix, d)) = queue.pop_front() {
             if d >= max {
@@ -587,8 +588,8 @@ fn bidi_bfs(
         return Some(0);
     }
     let (sa, sb) = (inner.slot_ix(a)?, inner.slot_ix(b)?);
-    let mut dist_a: HashMap<u32, u32> = HashMap::from([(sa, 0)]);
-    let mut dist_b: HashMap<u32, u32> = HashMap::from([(sb, 0)]);
+    let mut dist_a: FastMap<u32, u32> = FastMap::from_iter([(sa, 0)]);
+    let mut dist_b: FastMap<u32, u32> = FastMap::from_iter([(sb, 0)]);
     let mut frontier_a = vec![sa];
     let mut frontier_b = vec![sb];
     let mut depth_a = 0u32;
@@ -720,7 +721,7 @@ fn project(ctx: &Ctx, rows: &[Row], ret: &ReturnClause) -> Result<CypherResult> 
         struct Group {
             cells: Vec<Option<Value>>,
             count_star: Vec<u64>,
-            distinct: Vec<HashSet<Value>>,
+            distinct: Vec<FastSet<Value>>,
         }
         let agg_positions: Vec<usize> = ret
             .items
@@ -743,7 +744,7 @@ fn project(ctx: &Ctx, rows: &[Row], ret: &ReturnClause) -> Result<CypherResult> 
                 Group {
                     cells: vec![None; ret.items.len()],
                     count_star: vec![0; ret.items.len()],
-                    distinct: (0..ret.items.len()).map(|_| HashSet::new()).collect(),
+                    distinct: (0..ret.items.len()).map(|_| FastSet::default()).collect(),
                 }
             });
             let mut key_iter = 0usize;

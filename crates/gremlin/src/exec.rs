@@ -7,7 +7,7 @@
 //! exponential simple-path search bounded by a traverser budget.
 
 use snb_core::{Direction, EdgeLabel, GraphBackend, Result, SnbError, Value, Vid};
-use std::collections::HashSet;
+use snb_core::FastSet;
 
 use crate::traversal::{Step, Traversal};
 
@@ -46,8 +46,12 @@ impl Traverser {
 pub fn execute(backend: &(impl GraphBackend + ?Sized), t: &Traversal) -> Result<Vec<Value>> {
     let mut set: Vec<Traverser> = Vec::new();
     let mut started = false;
+    // One neighbor scratch buffer for the whole traversal: expansion
+    // steps (and the repeat/until loop) borrow it instead of allocating
+    // per step or per traverser.
+    let mut scratch: Vec<Vid> = Vec::new();
     for step in &t.steps {
-        set = apply(backend, step, set, &mut started)?;
+        set = apply(backend, step, set, &mut started, &mut scratch)?;
         if set.len() > TRAVERSER_BUDGET {
             return Err(SnbError::Overloaded(format!(
                 "traverser budget exceeded ({} live traversers)",
@@ -70,14 +74,19 @@ fn expand(
     set: &[Traverser],
     dir: Direction,
     label: Option<EdgeLabel>,
+    scratch: &mut Vec<Vid>,
 ) -> Result<Vec<Traverser>> {
-    let mut out = Vec::new();
-    let mut buf = Vec::new();
+    // For the dominant single-source expansion, one degree() probe
+    // sizes the output exactly; larger frontiers grow geometrically.
+    let mut out = match set {
+        [tr] => Vec::with_capacity(backend.degree(vertex_of(tr)?, dir, label)?),
+        _ => Vec::new(),
+    };
     for tr in set {
         let v = vertex_of(tr)?;
-        buf.clear();
-        backend.neighbors(v, dir, label, &mut buf)?;
-        out.extend(buf.iter().map(|&n| Traverser::Vertex(n)));
+        scratch.clear();
+        backend.neighbors(v, dir, label, scratch)?;
+        out.extend(scratch.iter().map(|&n| Traverser::Vertex(n)));
     }
     Ok(out)
 }
@@ -87,9 +96,12 @@ fn expand_edges(
     set: &[Traverser],
     dir: Direction,
     label: EdgeLabel,
+    scratch: &mut Vec<Vid>,
 ) -> Result<Vec<Traverser>> {
-    let mut out = Vec::new();
-    let mut buf = Vec::new();
+    let mut out = match set {
+        [tr] => Vec::with_capacity(backend.degree(vertex_of(tr)?, dir, Some(label))?),
+        _ => Vec::new(),
+    };
     for tr in set {
         let v = vertex_of(tr)?;
         let dirs: &[Direction] = match dir {
@@ -98,9 +110,9 @@ fn expand_edges(
             Direction::Both => &[Direction::Out, Direction::In],
         };
         for &d in dirs {
-            buf.clear();
-            backend.neighbors(v, d, Some(label), &mut buf)?;
-            for &n in &buf {
+            scratch.clear();
+            backend.neighbors(v, d, Some(label), scratch)?;
+            for &n in &*scratch {
                 let (src, dst) = if d == Direction::Out { (v, n) } else { (n, v) };
                 out.push(Traverser::Edge { src, label, dst, came_from: v });
             }
@@ -114,6 +126,7 @@ fn apply(
     step: &Step,
     set: Vec<Traverser>,
     started: &mut bool,
+    scratch: &mut Vec<Vid>,
 ) -> Result<Vec<Traverser>> {
     Ok(match step {
         Step::V(id) => {
@@ -132,12 +145,12 @@ fn apply(
                 .map(Traverser::Vertex)
                 .collect()
         }
-        Step::Out(l) => expand(backend, &set, Direction::Out, *l)?,
-        Step::In(l) => expand(backend, &set, Direction::In, *l)?,
-        Step::Both(l) => expand(backend, &set, Direction::Both, *l)?,
-        Step::OutE(l) => expand_edges(backend, &set, Direction::Out, *l)?,
-        Step::InE(l) => expand_edges(backend, &set, Direction::In, *l)?,
-        Step::BothE(l) => expand_edges(backend, &set, Direction::Both, *l)?,
+        Step::Out(l) => expand(backend, &set, Direction::Out, *l, scratch)?,
+        Step::In(l) => expand(backend, &set, Direction::In, *l, scratch)?,
+        Step::Both(l) => expand(backend, &set, Direction::Both, *l, scratch)?,
+        Step::OutE(l) => expand_edges(backend, &set, Direction::Out, *l, scratch)?,
+        Step::InE(l) => expand_edges(backend, &set, Direction::In, *l, scratch)?,
+        Step::BothE(l) => expand_edges(backend, &set, Direction::Both, *l, scratch)?,
         Step::OtherV => set
             .into_iter()
             .map(|tr| match tr {
@@ -207,7 +220,7 @@ fn apply(
             out
         }
         Step::Dedup => {
-            let mut seen: HashSet<Value> = HashSet::new();
+            let mut seen: FastSet<Value> = FastSet::default();
             set.into_iter().filter(|tr| seen.insert(tr.to_value())).collect()
         }
         Step::Limit(n) => {
@@ -244,7 +257,7 @@ fn apply(
             keyed.into_iter().map(|(_, tr)| tr).collect()
         }
         Step::RepeatUntil { body, until, max_loops } => {
-            repeat_until(backend, &set, body, *until, *max_loops)?
+            repeat_until(backend, &set, body, *until, *max_loops, scratch)?
         }
         Step::PathLen => set
             .into_iter()
@@ -284,6 +297,7 @@ fn repeat_until(
     body: &[Step],
     until: Vid,
     max_loops: u32,
+    scratch: &mut Vec<Vid>,
 ) -> Result<Vec<Traverser>> {
     let mut paths: Vec<Vec<Vid>> = Vec::new();
     for tr in set {
@@ -301,7 +315,7 @@ fn repeat_until(
             let mut dummy = false;
             let mut frontier = vec![Traverser::Vertex(head)];
             for step in body {
-                frontier = apply(backend, step, frontier, &mut dummy)?;
+                frontier = apply(backend, step, frontier, &mut dummy, scratch)?;
             }
             for tr in frontier {
                 let v = vertex_of(&tr)?;

@@ -16,8 +16,9 @@
 //!   .until(hasId(target))` — an exponential path search, which is why
 //!   the Gremlin columns of Tables 2/3 blow up on that query.
 //! * [`server::GremlinServer`] is the out-of-process layer: requests are
-//!   JSON-serialized, pass through a bounded queue into a fixed worker
-//!   pool, and responses are serialized back. Under many concurrent
+//!   serialized to a compact binary wire format ([`wire`], playing the
+//!   role of GraphBinary), pass through a bounded queue into a fixed
+//!   worker pool, and responses are serialized back. Under many concurrent
 //!   complex traversals the queue fills and requests fail with
 //!   [`snb_core::SnbError::Overloaded`] — the paper's observed hangs and
 //!   crashes, surfaced as backpressure errors.
@@ -25,6 +26,7 @@
 pub mod exec;
 pub mod server;
 pub mod traversal;
+pub mod wire;
 
 pub use server::{GremlinClient, GremlinServer, ServerConfig};
 pub use traversal::{Predicate, Step, Traversal};

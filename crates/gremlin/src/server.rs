@@ -1,9 +1,9 @@
 //! The Gremlin Server analogue.
 //!
 //! Clients never touch the backend directly: a traversal is serialized
-//! to JSON, pushed into a bounded request queue, picked up by one of a
-//! fixed pool of worker threads, executed step-at-a-time, and the
-//! result values are serialized back. That round-trip — encode, queue,
+//! to the binary wire format, pushed into a bounded request queue,
+//! picked up by one of a fixed pool of worker threads, executed
+//! step-at-a-time, and the result values are serialized back. That round-trip — encode, queue,
 //! decode, execute, encode, decode — is the real cost the paper measures
 //! between "Neo4j (Cypher)" and "Neo4j (Gremlin)". When the queue is
 //! full or a response takes too long, the client gets
@@ -18,6 +18,7 @@ use std::time::Duration;
 
 use crate::exec;
 use crate::traversal::Traversal;
+use crate::wire;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -99,10 +100,10 @@ impl Drop for GremlinServer {
 }
 
 fn handle(backend: &dyn GraphBackend, payload: &[u8]) -> Result<Vec<u8>> {
-    let traversal: Traversal = serde_json::from_slice(payload)
+    let traversal: Traversal = wire::decode_traversal(payload)
         .map_err(|e| SnbError::Codec(format!("bad request: {e}")))?;
     let values = exec::execute(&backend, &traversal)?;
-    serde_json::to_vec(&values).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
+    Ok(wire::encode_values(&values))
 }
 
 /// A connection to the server.
@@ -115,8 +116,7 @@ pub struct GremlinClient {
 impl GremlinClient {
     /// Submit a traversal and wait for its result values.
     pub fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>> {
-        let payload = serde_json::to_vec(traversal)
-            .map_err(|e| SnbError::Codec(format!("cannot serialize traversal: {e}")))?;
+        let payload = wire::encode_traversal(traversal);
         let (reply_tx, reply_rx) = bounded(1);
         match self.tx.try_send(Request { payload, reply: reply_tx }) {
             Ok(()) => {}
@@ -130,7 +130,7 @@ impl GremlinClient {
         let bytes = reply_rx
             .recv_timeout(self.timeout)
             .map_err(|_| SnbError::Overloaded("gremlin server response timed out".into()))??;
-        serde_json::from_slice(&bytes).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
+        wire::decode_values(&bytes).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
     }
 }
 

@@ -1,10 +1,9 @@
 //! Traversal specifications and the fluent builder.
 
-use serde::{Deserialize, Serialize};
 use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
 
 /// A property predicate (`has(key, pred)`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     Eq(Value),
     Neq(Value),
@@ -34,7 +33,7 @@ impl Predicate {
 
 /// One traversal step. The executor advances every traverser through
 /// each step in order, issuing fine-grained backend calls.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Step {
     /// Start: one vertex by id (`g.V(id)`), checked for existence.
     V(Vid),
@@ -83,7 +82,7 @@ pub enum Step {
 }
 
 /// A full traversal: an ordered list of steps.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Traversal {
     pub steps: Vec<Step>,
 }
@@ -233,13 +232,13 @@ mod tests {
     }
 
     #[test]
-    fn traversal_roundtrips_through_json() {
+    fn traversal_roundtrips_through_wire_codec() {
         let t = Traversal::v(Vid::new(VertexLabel::Person, 1))
             .repeat_both_until(EdgeLabel::Knows, Vid::new(VertexLabel::Person, 9), 6)
             .path_len()
             .limit(1);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Traversal = serde_json::from_str(&json).unwrap();
+        let bytes = crate::wire::encode_traversal(&t);
+        let back = crate::wire::decode_traversal(&bytes).unwrap();
         assert_eq!(back, t);
     }
 }

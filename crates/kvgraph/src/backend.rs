@@ -2,9 +2,8 @@
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use snb_core::fxhash::{self, FastMap};
+use std::collections::BTreeMap;
 
 /// Storage contract of the graph layer: wide rows addressed by row key,
 /// holding sorted columns. Mirrors the slice of the Cassandra/BerkeleyDB
@@ -163,7 +162,7 @@ impl KvBackend for BTreeKv {
 /// layer supplies its own locking for uniqueness — but writers to
 /// different partitions never contend, so it scales with loaders.
 pub struct PartitionedKv {
-    partitions: Vec<Mutex<HashMap<Vec<u8>, Row>>>,
+    partitions: Vec<Mutex<FastMap<Vec<u8>, Row>>>,
     entries: std::sync::atomic::AtomicUsize,
 }
 
@@ -177,15 +176,13 @@ impl PartitionedKv {
     pub fn with_partitions(n: usize) -> Self {
         assert!(n > 0, "need at least one partition");
         PartitionedKv {
-            partitions: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            partitions: (0..n).map(|_| Mutex::new(FastMap::default())).collect(),
             entries: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
-    fn partition(&self, row: &[u8]) -> &Mutex<HashMap<Vec<u8>, Row>> {
-        let mut h = DefaultHasher::new();
-        row.hash(&mut h);
-        &self.partitions[(h.finish() % self.partitions.len() as u64) as usize]
+    fn partition(&self, row: &[u8]) -> &Mutex<FastMap<Vec<u8>, Row>> {
+        &self.partitions[(fxhash::hash_one(&row) % self.partitions.len() as u64) as usize]
     }
 }
 

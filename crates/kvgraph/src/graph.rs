@@ -6,8 +6,7 @@ use snb_core::schema::edge_def;
 use snb_core::{
     Direction, EdgeLabel, GraphBackend, PropKey, Result, SnbError, Value, VertexLabel, Vid,
 };
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use snb_core::fxhash;
 
 use crate::backend::KvBackend;
 use crate::codec::{self, col};
@@ -24,9 +23,7 @@ impl LockManager {
     }
 
     fn stripe_of(&self, key: &[u8]) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.stripes.len() as u64) as usize
+        (fxhash::hash_one(&key) % self.stripes.len() as u64) as usize
     }
 
     fn lock(&self, key: &[u8]) -> parking_lot::MutexGuard<'_, ()> {

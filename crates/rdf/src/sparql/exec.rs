@@ -1,7 +1,7 @@
 //! SPARQL execution: BGP translation to index operations, property
 //! paths, filters, and the transitivity extension.
 
-use snb_core::{Result, SnbError, Value};
+use snb_core::{FastMap, FastSet, Result, SnbError, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use super::ast::*;
@@ -81,7 +81,7 @@ fn exec_transitive(
     if from == to {
         return Ok(SparqlResult { columns, rows: vec![vec![Value::Int(0)]] });
     }
-    let mut visited: HashSet<Term> = HashSet::from([from.clone()]);
+    let mut visited: FastSet<Term> = FastSet::from_iter([from.clone()]);
     let mut frontier = VecDeque::from([from.clone()]);
     let mut scratch = Vec::new();
     for depth in 1..=max {
@@ -184,7 +184,7 @@ fn exec_select(store: &TripleStore, q: &SelectQuery) -> Result<SparqlResult> {
                     let s = sym.lookup(v)?;
                     let vals: Vec<&Term> = rows.iter().filter_map(|r| r[s].as_ref()).collect();
                     if *distinct {
-                        vals.into_iter().collect::<HashSet<_>>().len() as i64
+                        vals.into_iter().collect::<FastSet<_>>().len() as i64
                     } else {
                         vals.len() as i64
                     }
@@ -212,7 +212,7 @@ fn exec_select(store: &TripleStore, q: &SelectQuery) -> Result<SparqlResult> {
                 projected.push((cells, keys));
             }
             if q.distinct {
-                let mut seen = HashSet::new();
+                let mut seen = FastSet::default();
                 projected.retain(|(c, _)| seen.insert(c.clone()));
             }
             if !order_slots.is_empty() {
@@ -370,7 +370,7 @@ fn eval_pattern(
         };
         let _ = bound;
         // BFS collecting distinct nodes with min ≤ depth ≤ max.
-        let mut dist: HashMap<Term, u32> = HashMap::from([(start.clone(), 0)]);
+        let mut dist: FastMap<Term, u32> = FastMap::from_iter([(start.clone(), 0)]);
         let mut queue: VecDeque<(Term, u32)> = VecDeque::from([(start, 0)]);
         let mut neighbors = Vec::new();
         while let Some((node, d)) = queue.pop_front() {

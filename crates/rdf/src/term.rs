@@ -6,7 +6,7 @@
 //! schema constant, and literals index an interning dictionary.
 
 use snb_core::{EdgeLabel, PropKey, Result, SnbError, Value, Vid};
-use std::collections::HashMap;
+use snb_core::FastMap;
 
 /// Encoded term id.
 pub type TermId = u64;
@@ -72,7 +72,7 @@ pub fn pred_name(id: u64) -> String {
 /// The literal dictionary: interns `Value`s to dense ids.
 #[derive(Default)]
 pub struct Dictionary {
-    by_value: HashMap<Value, u64>,
+    by_value: FastMap<Value, u64>,
     values: Vec<Value>,
     next_stmt: u64,
 }

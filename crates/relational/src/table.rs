@@ -1,7 +1,9 @@
 //! Physical table storage: row layout and column layout with a delta
-//! buffer, plus B-tree secondary indexes.
+//! buffer, plus equality secondary indexes (hash-based: every probe the
+//! executor issues is a point lookup, so ordered B-trees bought nothing
+//! but comparison cost).
 
-use snb_core::{Result, SnbError, Value};
+use snb_core::{FastMap, Result, SnbError, Value};
 use std::collections::BTreeMap;
 
 use crate::catalog::TableDef;
@@ -24,8 +26,8 @@ pub struct Table {
     /// genuine cost of columnar point inserts).
     col_stats: Vec<(Value, Value)>,
     n_rows: usize,
-    /// B-tree indexes: column position → value → row ids.
-    indexes: BTreeMap<usize, BTreeMap<Value, Vec<u32>>>,
+    /// Equality indexes: column position → value → row ids.
+    indexes: BTreeMap<usize, FastMap<Value, Vec<u32>>>,
 }
 
 impl Table {
@@ -33,7 +35,7 @@ impl Table {
     pub fn new(def: TableDef, layout: Layout) -> Self {
         let mut indexes = BTreeMap::new();
         for &ix in &def.indexes {
-            indexes.insert(ix, BTreeMap::new());
+            indexes.insert(ix, FastMap::default());
         }
         let n_cols = def.arity();
         Table {

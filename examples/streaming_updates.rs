@@ -33,8 +33,7 @@ fn main() {
 
     // Producer: enqueue the whole stream (serialized, like real Kafka).
     for op in &data.updates {
-        let payload = serde_json_bytes(op);
-        producer.send(op.ts_ms, None, payload);
+        producer.send(op.ts_ms, None, Bytes::from(op.encode_binary()));
     }
     println!("Produced {} records to the queue", data.updates.len());
 
@@ -47,7 +46,7 @@ fn main() {
             break;
         }
         for (_, record) in batch {
-            let op: UpdateOp = serde_json::from_slice(&record.value).unwrap();
+            let op: UpdateOp = UpdateOp::decode_binary(&record.value).unwrap();
             assert!(
                 tracker.wait_until_ready(op.dependency_ms, Duration::from_secs(1)),
                 "in-order stream: dependencies always satisfied"
@@ -64,8 +63,4 @@ fn main() {
         applied as f64 / secs,
         tracker.watermark()
     );
-}
-
-fn serde_json_bytes(op: &UpdateOp) -> Bytes {
-    Bytes::from(serde_json::to_vec(op).expect("updates serialize"))
 }

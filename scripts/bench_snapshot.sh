@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Take a perf snapshot: build bench_json in release mode, run it, and
+# drop the result as BENCH_<n>.json at the repo root, where <n> is one
+# past the highest existing snapshot. Every PR in the series records
+# one, so the perf trajectory stays machine-readable and diffable.
+#
+# Usage: scripts/bench_snapshot.sh [extra env, e.g. SNB_BENCH_SECS=5]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+next=1
+for f in BENCH_*.json; do
+  [ -e "$f" ] || continue
+  n="${f#BENCH_}"
+  n="${n%.json}"
+  case "$n" in
+    ''|*[!0-9]*) continue ;;
+  esac
+  if [ "$n" -ge "$next" ]; then
+    next=$((n + 1))
+  fi
+done
+
+out="BENCH_${next}.json"
+echo "[bench_snapshot] building bench_json (release)..."
+cargo build --release -p snb-bench --bin bench_json
+echo "[bench_snapshot] writing ${out}"
+./target/release/bench_json "$out"
+echo "[bench_snapshot] done: ${out}"
