@@ -14,8 +14,12 @@ use snb_datagen::{generate, GeneratorConfig};
 use snb_driver::adapter::{build_adapter, SutKind, ALL_SUT_KINDS};
 use snb_driver::ops::{ParamGen, ReadOp};
 use snb_graph_native::NativeGraphStore;
+use snb_gremlin::{GremlinServer, ServerConfig, Traversal};
+use snb_net::{ClientConfig, NetPool, NetServer, NetServerConfig};
 use std::fmt::Write as _;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Closed-loop ops/sec of one operation within a time budget.
@@ -76,6 +80,47 @@ fn reader_scaling(store: &NativeGraphStore, persons: &[Vid], readers: usize, sec
                     if !pacing.is_zero() {
                         std::thread::sleep(pacing);
                     }
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed) as f64 / secs
+}
+
+/// Round trips/sec over real loopback TCP with `conns` closed-loop
+/// client threads, each holding its own single-connection pool to the
+/// framed server — the socket-layer analogue of `reader_scaling`.
+///
+/// Every iteration pays the full network path the paper's clients pay:
+/// encode traversal → frame → write(2) → server queue → worker → frame
+/// → read(2) → decode values. Comparing these numbers with the
+/// in-process `engines` section isolates the transport tax.
+fn network_round_trips(addr: SocketAddr, persons: &[Vid], conns: usize, secs: f64) -> f64 {
+    let total = AtomicU64::new(0);
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    std::thread::scope(|scope| {
+        for c in 0..conns {
+            let total = &total;
+            scope.spawn(move || {
+                let pool = NetPool::connect(
+                    addr,
+                    ClientConfig { connections: 1, ..Default::default() },
+                )
+                .expect("connect bench pool");
+                let mut n = 0u64;
+                let mut i = c;
+                while Instant::now() < deadline {
+                    let v = persons[i % persons.len()];
+                    // Alternate point lookup and 1-hop, like the read mix.
+                    let t = if n % 2 == 0 {
+                        Traversal::v(v).values(PropKey::FirstName)
+                    } else {
+                        Traversal::v(v).both(EdgeLabel::Knows).dedup().count()
+                    };
+                    pool.submit(&t).expect("bench round trip");
+                    n += 1;
+                    i = i.wrapping_add(7);
                 }
                 total.fetch_add(n, Ordering::Relaxed);
             });
@@ -149,6 +194,24 @@ fn main() {
         let _ = write!(readers_json, "\"{readers}\": {rps:.1}");
     }
 
+    // --- Round trips over real loopback TCP --------------------------
+    let net_server = {
+        let gremlin =
+            GremlinServer::start(Arc::new(native_store(&data)), ServerConfig::default());
+        NetServer::start(gremlin, NetServerConfig::default()).expect("bind loopback bench server")
+    };
+    let net_addr = net_server.local_addr();
+    let mut network_json = String::new();
+    for (slot, &conns) in [1usize, 8, 32].iter().enumerate() {
+        let rps = network_round_trips(net_addr, &persons, conns, scale_secs);
+        eprintln!("[bench] network connections={conns}: {rps:.0} round trips/s");
+        if slot > 0 {
+            network_json.push_str(", ");
+        }
+        let _ = write!(network_json, "\"{conns}\": {rps:.1}");
+    }
+    drop(net_server);
+
     // --- The micro_ops suite per engine ------------------------------
     let mut engines_json = String::new();
     for (ei, &kind) in ALL_SUT_KINDS.iter().enumerate() {
@@ -178,7 +241,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),

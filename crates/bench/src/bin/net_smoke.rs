@@ -1,0 +1,49 @@
+//! Loopback smoke check for CI: boots the full network stack (native
+//! store → Gremlin worker pool → framed TCP server → pooled client),
+//! pipelines a handful of traversals over the socket, and exits 0 only
+//! if every response answered the request that asked for it.
+//!
+//! Usage: `cargo run --release --bin net_smoke`
+
+use snb_core::{EdgeLabel, GraphBackend, PropKey, Value, VertexLabel, Vid};
+use snb_graph_native::NativeGraphStore;
+use snb_gremlin::{GremlinServer, ServerConfig, Traversal};
+use snb_net::{ClientConfig, NetPool, NetServer, NetServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let persons = 32u64;
+    let store = NativeGraphStore::new();
+    for id in 0..persons {
+        store
+            .add_vertex(VertexLabel::Person, id, &[(PropKey::FirstName, Value::str("smoke"))])
+            .expect("add vertex");
+    }
+    for id in 0..persons {
+        store
+            .add_edge(
+                EdgeLabel::Knows,
+                Vid::new(VertexLabel::Person, id),
+                Vid::new(VertexLabel::Person, (id + 1) % persons),
+                &[],
+            )
+            .expect("add edge");
+    }
+
+    let gremlin = GremlinServer::start(Arc::new(store), ServerConfig::default());
+    let server = NetServer::start(gremlin, NetServerConfig::default()).expect("bind server");
+    let addr = server.local_addr();
+    let pool = NetPool::connect(addr, ClientConfig::default()).expect("connect pool");
+
+    for id in 0..persons {
+        let v = Vid::new(VertexLabel::Person, id);
+        let got = pool.submit(&Traversal::v(v).values(PropKey::Id)).expect("round trip");
+        assert_eq!(got, vec![Value::Int(id as i64)], "misrouted response for person {id}");
+        let friends = pool
+            .submit(&Traversal::v(v).both(EdgeLabel::Knows).dedup().count())
+            .expect("1-hop round trip");
+        assert_eq!(friends, vec![Value::Int(2)], "ring degree for person {id}");
+    }
+
+    println!("net_smoke OK: {} round trips over {}", persons * 2, addr);
+}

@@ -237,6 +237,41 @@ mod tests {
     }
 
     #[test]
+    fn percentile_never_serves_stale_cache_under_interleaving() {
+        // Regression: the sorted view is rebuilt lazily, keyed on sample
+        // count alone. Interleave record() and percentile_ms() so the
+        // cache is rebuilt after every single append — including appends
+        // that land *below* the current median, which a stale cache
+        // would misreport — and check each answer against a reference
+        // computed from a fresh sort.
+        let mut s = LatencyStats::new();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut x = 0x9e37_79b9_u64;
+        for i in 0..200 {
+            // Deterministic pseudo-random sample in 0..1000 ms.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ms = x >> 54;
+            s.record(Duration::from_millis(ms));
+            reference.push(ms * 1_000_000);
+            if i % 3 == 0 {
+                // Query mid-stream so the next append hits a warm cache.
+                let mut sorted = reference.clone();
+                sorted.sort_unstable();
+                for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+                    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+                    let want = sorted[rank] as f64 / 1e6;
+                    let got = s.percentile_ms(p);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "p{p} after {} samples: got {got}, want {want}",
+                        reference.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn latency_merge() {
         let mut a = LatencyStats::new();
         a.record(Duration::from_millis(1));

@@ -9,6 +9,7 @@ use crate::ops::ReadOp;
 
 pub mod cypher;
 pub mod gremlin;
+pub mod remote;
 pub mod sparql;
 pub mod sql;
 

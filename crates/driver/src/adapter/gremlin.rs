@@ -11,7 +11,9 @@
 
 use snb_core::{EdgeLabel, GraphBackend, PropKey, Result, SnbError, Value, VertexLabel, Vid};
 use snb_datagen::{Dataset, UpdateOp};
-use snb_gremlin::{GremlinClient, GremlinServer, Predicate, ServerConfig, Traversal};
+use snb_gremlin::{
+    GremlinClient, GremlinServer, Predicate, ServerConfig, Traversal, TraversalEndpoint,
+};
 use snb_kvgraph::{BTreeKv, KvGraph, PartitionedKv};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,7 +35,13 @@ impl GremlinAdapter {
     fn over(backend: Arc<dyn GraphBackend>, name: &'static str, concurrent_load: bool) -> Self {
         let server = GremlinServer::start(Arc::clone(&backend), ServerConfig::default());
         let client = server.client();
-        GremlinAdapter { backend, _server: server, client, name, concurrent_load }
+        GremlinAdapter {
+            backend,
+            _server: server,
+            client,
+            name,
+            concurrent_load,
+        }
     }
 
     /// "Neo4j (Gremlin)": the native store through TinkerPop.
@@ -47,12 +55,20 @@ impl GremlinAdapter {
 
     /// "Titan-C": graph over the partitioned (Cassandra-like) backend.
     pub fn titan_c() -> Self {
-        Self::over(Arc::new(KvGraph::new(PartitionedKv::new())), "Titan-C (Gremlin)", true)
+        Self::over(
+            Arc::new(KvGraph::new(PartitionedKv::new())),
+            "Titan-C (Gremlin)",
+            true,
+        )
     }
 
     /// "Titan-B": graph over the embedded transactional B-tree.
     pub fn titan_b() -> Self {
-        Self::over(Arc::new(KvGraph::new(BTreeKv::new())), "Titan-B (Gremlin)", true)
+        Self::over(
+            Arc::new(KvGraph::new(BTreeKv::new())),
+            "Titan-B (Gremlin)",
+            true,
+        )
     }
 
     /// "Sqlg": graph API over the relational row store.
@@ -70,33 +86,32 @@ impl GremlinAdapter {
     pub fn client(&self) -> GremlinClient {
         self.client.clone()
     }
+}
 
-    fn submit(&self, t: &Traversal) -> Result<Vec<Value>> {
-        self.client.submit(t)
-    }
-
-    /// Submit a traversal ending in `valueMap()` and decode the maps.
-    fn value_maps(&self, t: &Traversal) -> Result<Vec<HashMap<PropKey, Value>>> {
-        let values = self.submit(t)?;
-        values
-            .into_iter()
-            .map(|v| match v {
-                Value::List(items) => {
-                    let mut map = HashMap::new();
-                    let mut it = items.into_iter();
-                    while let (Some(k), Some(v)) = (it.next(), it.next()) {
-                        let key = k
-                            .as_str()
-                            .ok_or_else(|| SnbError::Codec("non-string map key".into()))
-                            .and_then(PropKey::parse)?;
-                        map.insert(key, v);
-                    }
-                    Ok(map)
+/// Submit a traversal ending in `valueMap()` and decode the maps.
+fn value_maps(
+    endpoint: &dyn TraversalEndpoint,
+    t: &Traversal,
+) -> Result<Vec<HashMap<PropKey, Value>>> {
+    let values = endpoint.submit(t)?;
+    values
+        .into_iter()
+        .map(|v| match v {
+            Value::List(items) => {
+                let mut map = HashMap::new();
+                let mut it = items.into_iter();
+                while let (Some(k), Some(v)) = (it.next(), it.next()) {
+                    let key = k
+                        .as_str()
+                        .ok_or_else(|| SnbError::Codec("non-string map key".into()))
+                        .and_then(PropKey::parse)?;
+                    map.insert(key, v);
                 }
-                other => Err(SnbError::Codec(format!("expected value map, got {other}"))),
-            })
-            .collect()
-    }
+                Ok(map)
+            }
+            other => Err(SnbError::Codec(format!("expected value map, got {other}"))),
+        })
+        .collect()
 }
 
 fn pick(map: &HashMap<PropKey, Value>, key: PropKey) -> Value {
@@ -117,6 +132,247 @@ fn person_vid(id: u64) -> Vid {
     Vid::new(VertexLabel::Person, id)
 }
 
+/// Execute one read operation as Gremlin traversals against any
+/// endpoint — the in-process [`GremlinClient`] or a remote connection
+/// pool. The multi-round-trip shapes (client-side unions, zip joins)
+/// are the measured TinkerPop overhead, and they are identical whether
+/// each round trip crosses a channel or a socket.
+pub(crate) fn read_via(endpoint: &dyn TraversalEndpoint, op: &ReadOp) -> Result<OpResult> {
+    match op {
+        ReadOp::PointLookup { person } => {
+            let maps = value_maps(endpoint, &Traversal::v(person_vid(*person)).value_map())?;
+            Ok(maps
+                .iter()
+                .map(|m| PROFILE_KEYS.iter().map(|&k| pick(m, k)).collect())
+                .collect())
+        }
+        ReadOp::OneHop { person } => {
+            let maps = value_maps(
+                endpoint,
+                &Traversal::v(person_vid(*person))
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .value_map(),
+            )?;
+            Ok(maps
+                .iter()
+                .map(|m| vec![pick(m, PropKey::Id), pick(m, PropKey::FirstName)])
+                .collect())
+        }
+        ReadOp::TwoHop { person } => {
+            // No emit()/times() in the dialect: union two traversals
+            // client-side, as many real Gremlin ports do.
+            let start = person_vid(*person);
+            let one = value_maps(
+                endpoint,
+                &Traversal::v(start)
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .value_map(),
+            )?;
+            let two = value_maps(
+                endpoint,
+                &Traversal::v(start)
+                    .both(EdgeLabel::Knows)
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .value_map(),
+            )?;
+            let mut seen = std::collections::HashSet::new();
+            let mut rows = Vec::new();
+            for m in one.iter().chain(two.iter()) {
+                let id = pick(m, PropKey::Id);
+                if id == Value::Int(*person as i64) || !seen.insert(id.clone()) {
+                    continue;
+                }
+                rows.push(vec![id, pick(m, PropKey::FirstName)]);
+            }
+            Ok(rows)
+        }
+        ReadOp::ShortestPath { a, b } => {
+            let r = endpoint.submit(
+                &Traversal::v(person_vid(*a))
+                    .repeat_both_until(EdgeLabel::Knows, person_vid(*b), 10)
+                    .path_len(),
+            )?;
+            Ok(r.into_iter().map(|v| vec![normalize(&v)]).collect())
+        }
+        ReadOp::Is1Profile { person } => {
+            let v = person_vid(*person);
+            let maps = value_maps(endpoint, &Traversal::v(v).value_map())?;
+            let city = endpoint.submit(
+                &Traversal::v(v)
+                    .out(EdgeLabel::IsLocatedIn)
+                    .values(PropKey::Id),
+            )?;
+            Ok(maps
+                .iter()
+                .map(|m| {
+                    let mut row: Vec<Value> = PROFILE_KEYS.iter().map(|&k| pick(m, k)).collect();
+                    row.push(city.first().map(normalize).unwrap_or(Value::Null));
+                    row
+                })
+                .collect())
+        }
+        ReadOp::Is2RecentMessages { person, limit } => {
+            let maps = value_maps(
+                endpoint,
+                &Traversal::v(person_vid(*person))
+                    .in_(EdgeLabel::HasCreator)
+                    .order_by(PropKey::CreationDate, false)
+                    .limit(*limit)
+                    .value_map(),
+            )?;
+            Ok(maps
+                .iter()
+                .map(|m| vec![pick(m, PropKey::Content), pick(m, PropKey::CreationDate)])
+                .collect())
+        }
+        ReadOp::Is3Friends { person } => {
+            let v = person_vid(*person);
+            let base = Traversal::v(v)
+                .both_e(EdgeLabel::Knows)
+                .order_by(PropKey::CreationDate, false);
+            let dates = endpoint.submit(&base.clone().edge_values(PropKey::CreationDate))?;
+            let ids = endpoint.submit(&base.other_v().values(PropKey::Id))?;
+            Ok(ids
+                .iter()
+                .zip(&dates)
+                .map(|(id, d)| vec![normalize(id), normalize(d)])
+                .collect())
+        }
+        ReadOp::Is4MessageContent { message } => {
+            let maps = value_maps(endpoint, &Traversal::v(*message).value_map())?;
+            Ok(maps
+                .iter()
+                .map(|m| vec![pick(m, PropKey::CreationDate), pick(m, PropKey::Content)])
+                .collect())
+        }
+        ReadOp::Is5MessageCreator { message } => {
+            let maps = value_maps(
+                endpoint,
+                &Traversal::v(*message)
+                    .out(EdgeLabel::HasCreator)
+                    .value_map(),
+            )?;
+            Ok(maps
+                .iter()
+                .map(|m| {
+                    vec![
+                        pick(m, PropKey::Id),
+                        pick(m, PropKey::FirstName),
+                        pick(m, PropKey::LastName),
+                    ]
+                })
+                .collect())
+        }
+        ReadOp::Is6MessageForum { post } => {
+            let post = Vid::new(VertexLabel::Post, *post);
+            let forums = value_maps(
+                endpoint,
+                &Traversal::v(post).in_(EdgeLabel::ContainerOf).value_map(),
+            )?;
+            let moderators = endpoint.submit(
+                &Traversal::v(post)
+                    .in_(EdgeLabel::ContainerOf)
+                    .out(EdgeLabel::HasModerator)
+                    .values(PropKey::Id),
+            )?;
+            Ok(forums
+                .iter()
+                .zip(&moderators)
+                .map(|(f, m)| vec![pick(f, PropKey::Id), pick(f, PropKey::Title), normalize(m)])
+                .collect())
+        }
+        ReadOp::Is7MessageReplies { message } => {
+            let base = Traversal::v(*message)
+                .in_(EdgeLabel::ReplyOf)
+                .order_by(PropKey::CreationDate, false);
+            let replies = value_maps(endpoint, &base.clone().value_map())?;
+            let authors = endpoint.submit(&base.out(EdgeLabel::HasCreator).values(PropKey::Id))?;
+            Ok(replies
+                .iter()
+                .zip(&authors)
+                .map(|(c, a)| {
+                    vec![
+                        pick(c, PropKey::Id),
+                        pick(c, PropKey::CreationDate),
+                        normalize(a),
+                    ]
+                })
+                .collect())
+        }
+        ReadOp::Complex2Hop {
+            person,
+            first_name,
+            limit,
+        } => {
+            let start = person_vid(*person);
+            let pred = Predicate::Eq(Value::str(first_name));
+            let one = value_maps(
+                endpoint,
+                &Traversal::v(start)
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .has(PropKey::FirstName, pred.clone())
+                    .value_map(),
+            )?;
+            let two = value_maps(
+                endpoint,
+                &Traversal::v(start)
+                    .both(EdgeLabel::Knows)
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .has(PropKey::FirstName, pred)
+                    .value_map(),
+            )?;
+            let mut seen = std::collections::HashSet::new();
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            for m in one.iter().chain(two.iter()) {
+                let id = pick(m, PropKey::Id);
+                if id == Value::Int(*person as i64) || !seen.insert(id.clone()) {
+                    continue;
+                }
+                rows.push(vec![
+                    id,
+                    pick(m, PropKey::LastName),
+                    pick(m, PropKey::Birthday),
+                ]);
+            }
+            rows.sort_by(|a, b| a[1].cmp(&b[1]).then(a[0].cmp(&b[0])));
+            rows.truncate(*limit);
+            Ok(rows)
+        }
+        ReadOp::RecentFriendMessages { person, limit } => {
+            let maps = value_maps(
+                endpoint,
+                &Traversal::v(person_vid(*person))
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .in_(EdgeLabel::HasCreator)
+                    .order_by(PropKey::CreationDate, false)
+                    .limit(*limit)
+                    .value_map(),
+            )?;
+            Ok(maps
+                .iter()
+                .map(|m| vec![pick(m, PropKey::Content), pick(m, PropKey::CreationDate)])
+                .collect())
+        }
+    }
+}
+
+/// Execute one update operation as mutating traversals over any endpoint.
+pub(crate) fn update_via(endpoint: &dyn TraversalEndpoint, op: &UpdateOp) -> Result<()> {
+    if let Some(v) = &op.new_vertex {
+        endpoint.submit(&Traversal::g().add_v(v.label, v.id, v.props.clone()))?;
+    }
+    for e in &op.new_edges {
+        endpoint.submit(&Traversal::g().add_e(e.label, e.src, e.dst, e.props.clone()))?;
+    }
+    Ok(())
+}
+
 impl SutAdapter for GremlinAdapter {
     fn name(&self) -> &'static str {
         self.name
@@ -134,204 +390,11 @@ impl SutAdapter for GremlinAdapter {
     }
 
     fn execute_read(&self, op: &ReadOp) -> Result<OpResult> {
-        match op {
-            ReadOp::PointLookup { person } => {
-                let maps = self.value_maps(&Traversal::v(person_vid(*person)).value_map())?;
-                Ok(maps
-                    .iter()
-                    .map(|m| PROFILE_KEYS.iter().map(|&k| pick(m, k)).collect())
-                    .collect())
-            }
-            ReadOp::OneHop { person } => {
-                let maps = self.value_maps(
-                    &Traversal::v(person_vid(*person)).both(EdgeLabel::Knows).dedup().value_map(),
-                )?;
-                Ok(maps
-                    .iter()
-                    .map(|m| vec![pick(m, PropKey::Id), pick(m, PropKey::FirstName)])
-                    .collect())
-            }
-            ReadOp::TwoHop { person } => {
-                // No emit()/times() in the dialect: union two traversals
-                // client-side, as many real Gremlin ports do.
-                let start = person_vid(*person);
-                let one = self.value_maps(
-                    &Traversal::v(start).both(EdgeLabel::Knows).dedup().value_map(),
-                )?;
-                let two = self.value_maps(
-                    &Traversal::v(start)
-                        .both(EdgeLabel::Knows)
-                        .both(EdgeLabel::Knows)
-                        .dedup()
-                        .value_map(),
-                )?;
-                let mut seen = std::collections::HashSet::new();
-                let mut rows = Vec::new();
-                for m in one.iter().chain(two.iter()) {
-                    let id = pick(m, PropKey::Id);
-                    if id == Value::Int(*person as i64) || !seen.insert(id.clone()) {
-                        continue;
-                    }
-                    rows.push(vec![id, pick(m, PropKey::FirstName)]);
-                }
-                Ok(rows)
-            }
-            ReadOp::ShortestPath { a, b } => {
-                let r = self.submit(
-                    &Traversal::v(person_vid(*a))
-                        .repeat_both_until(EdgeLabel::Knows, person_vid(*b), 10)
-                        .path_len(),
-                )?;
-                Ok(r.into_iter().map(|v| vec![normalize(&v)]).collect())
-            }
-            ReadOp::Is1Profile { person } => {
-                let v = person_vid(*person);
-                let maps = self.value_maps(&Traversal::v(v).value_map())?;
-                let city = self.submit(
-                    &Traversal::v(v).out(EdgeLabel::IsLocatedIn).values(PropKey::Id),
-                )?;
-                Ok(maps
-                    .iter()
-                    .map(|m| {
-                        let mut row: Vec<Value> =
-                            PROFILE_KEYS.iter().map(|&k| pick(m, k)).collect();
-                        row.push(city.first().map(normalize).unwrap_or(Value::Null));
-                        row
-                    })
-                    .collect())
-            }
-            ReadOp::Is2RecentMessages { person, limit } => {
-                let maps = self.value_maps(
-                    &Traversal::v(person_vid(*person))
-                        .in_(EdgeLabel::HasCreator)
-                        .order_by(PropKey::CreationDate, false)
-                        .limit(*limit)
-                        .value_map(),
-                )?;
-                Ok(maps
-                    .iter()
-                    .map(|m| vec![pick(m, PropKey::Content), pick(m, PropKey::CreationDate)])
-                    .collect())
-            }
-            ReadOp::Is3Friends { person } => {
-                let v = person_vid(*person);
-                let base = Traversal::v(v)
-                    .both_e(EdgeLabel::Knows)
-                    .order_by(PropKey::CreationDate, false);
-                let dates = self.submit(&base.clone().edge_values(PropKey::CreationDate))?;
-                let ids = self.submit(&base.other_v().values(PropKey::Id))?;
-                Ok(ids
-                    .iter()
-                    .zip(&dates)
-                    .map(|(id, d)| vec![normalize(id), normalize(d)])
-                    .collect())
-            }
-            ReadOp::Is4MessageContent { message } => {
-                let maps = self.value_maps(&Traversal::v(*message).value_map())?;
-                Ok(maps
-                    .iter()
-                    .map(|m| vec![pick(m, PropKey::CreationDate), pick(m, PropKey::Content)])
-                    .collect())
-            }
-            ReadOp::Is5MessageCreator { message } => {
-                let maps = self.value_maps(
-                    &Traversal::v(*message).out(EdgeLabel::HasCreator).value_map(),
-                )?;
-                Ok(maps
-                    .iter()
-                    .map(|m| {
-                        vec![pick(m, PropKey::Id), pick(m, PropKey::FirstName), pick(m, PropKey::LastName)]
-                    })
-                    .collect())
-            }
-            ReadOp::Is6MessageForum { post } => {
-                let post = Vid::new(VertexLabel::Post, *post);
-                let forums = self.value_maps(
-                    &Traversal::v(post).in_(EdgeLabel::ContainerOf).value_map(),
-                )?;
-                let moderators = self.submit(
-                    &Traversal::v(post)
-                        .in_(EdgeLabel::ContainerOf)
-                        .out(EdgeLabel::HasModerator)
-                        .values(PropKey::Id),
-                )?;
-                Ok(forums
-                    .iter()
-                    .zip(&moderators)
-                    .map(|(f, m)| vec![pick(f, PropKey::Id), pick(f, PropKey::Title), normalize(m)])
-                    .collect())
-            }
-            ReadOp::Is7MessageReplies { message } => {
-                let base = Traversal::v(*message)
-                    .in_(EdgeLabel::ReplyOf)
-                    .order_by(PropKey::CreationDate, false);
-                let replies = self.value_maps(&base.clone().value_map())?;
-                let authors = self.submit(&base.out(EdgeLabel::HasCreator).values(PropKey::Id))?;
-                Ok(replies
-                    .iter()
-                    .zip(&authors)
-                    .map(|(c, a)| {
-                        vec![pick(c, PropKey::Id), pick(c, PropKey::CreationDate), normalize(a)]
-                    })
-                    .collect())
-            }
-            ReadOp::Complex2Hop { person, first_name, limit } => {
-                let start = person_vid(*person);
-                let pred = Predicate::Eq(Value::str(first_name));
-                let one = self.value_maps(
-                    &Traversal::v(start)
-                        .both(EdgeLabel::Knows)
-                        .dedup()
-                        .has(PropKey::FirstName, pred.clone())
-                        .value_map(),
-                )?;
-                let two = self.value_maps(
-                    &Traversal::v(start)
-                        .both(EdgeLabel::Knows)
-                        .both(EdgeLabel::Knows)
-                        .dedup()
-                        .has(PropKey::FirstName, pred)
-                        .value_map(),
-                )?;
-                let mut seen = std::collections::HashSet::new();
-                let mut rows: Vec<Vec<Value>> = Vec::new();
-                for m in one.iter().chain(two.iter()) {
-                    let id = pick(m, PropKey::Id);
-                    if id == Value::Int(*person as i64) || !seen.insert(id.clone()) {
-                        continue;
-                    }
-                    rows.push(vec![id, pick(m, PropKey::LastName), pick(m, PropKey::Birthday)]);
-                }
-                rows.sort_by(|a, b| a[1].cmp(&b[1]).then(a[0].cmp(&b[0])));
-                rows.truncate(*limit);
-                Ok(rows)
-            }
-            ReadOp::RecentFriendMessages { person, limit } => {
-                let maps = self.value_maps(
-                    &Traversal::v(person_vid(*person))
-                        .both(EdgeLabel::Knows)
-                        .dedup()
-                        .in_(EdgeLabel::HasCreator)
-                        .order_by(PropKey::CreationDate, false)
-                        .limit(*limit)
-                        .value_map(),
-                )?;
-                Ok(maps
-                    .iter()
-                    .map(|m| vec![pick(m, PropKey::Content), pick(m, PropKey::CreationDate)])
-                    .collect())
-            }
-        }
+        read_via(&self.client, op)
     }
 
     fn execute_update(&self, op: &UpdateOp) -> Result<()> {
-        if let Some(v) = &op.new_vertex {
-            self.submit(&Traversal::g().add_v(v.label, v.id, v.props.clone()))?;
-        }
-        for e in &op.new_edges {
-            self.submit(&Traversal::g().add_e(e.label, e.src, e.dst, e.props.clone()))?;
-        }
-        Ok(())
+        update_via(&self.client, op)
     }
 
     fn storage_bytes(&self) -> usize {
@@ -354,7 +417,11 @@ mod tests {
     #[test]
     fn all_four_configurations_answer_a_point_lookup() {
         let data = snb_datagen::generate(&snb_datagen::GeneratorConfig::tiny());
-        let person = data.snapshot.vertices_of(VertexLabel::Person).next().unwrap();
+        let person = data
+            .snapshot
+            .vertices_of(VertexLabel::Person)
+            .next()
+            .unwrap();
         for adapter in [
             GremlinAdapter::native(),
             GremlinAdapter::titan_c(),
@@ -362,7 +429,9 @@ mod tests {
             GremlinAdapter::sqlg(),
         ] {
             adapter.load(&data.snapshot).unwrap();
-            let rows = adapter.execute_read(&ReadOp::PointLookup { person: person.id }).unwrap();
+            let rows = adapter
+                .execute_read(&ReadOp::PointLookup { person: person.id })
+                .unwrap();
             assert_eq!(rows.len(), 1, "{}", adapter.name());
             assert_eq!(rows[0].len(), 7);
             assert!(adapter.storage_bytes() > 0);

@@ -28,5 +28,7 @@ pub mod server;
 pub mod traversal;
 pub mod wire;
 
-pub use server::{GremlinClient, GremlinServer, ServerConfig};
+pub use server::{
+    default_workers, GremlinClient, GremlinServer, RawSubmitter, ServerConfig, TraversalEndpoint,
+};
 pub use traversal::{Predicate, Step, Traversal};

@@ -34,16 +34,30 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 8,
+            workers: default_workers(),
             queue_capacity: 64,
             request_timeout: Duration::from_secs(30),
         }
     }
 }
 
+/// Default worker-pool size: one worker per available core, clamped to
+/// at least one so a 1-core box still makes progress.
+pub fn default_workers() -> usize {
+    clamp_workers(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+fn clamp_workers(n: usize) -> usize {
+    n.max(1)
+}
+
 struct Request {
     payload: Vec<u8>,
-    reply: Sender<Result<Vec<u8>>>,
+    /// Opaque correlation tag echoed back with the result; lets one
+    /// reply channel serve many in-flight requests (a pipelined TCP
+    /// connection). The in-process client always uses 0.
+    tag: u64,
+    reply: Sender<(u64, Result<Vec<u8>>)>,
 }
 
 /// The server: owns the worker pool. Dropping it shuts the pool down
@@ -70,7 +84,7 @@ impl GremlinServer {
                     Ok(req) => {
                         let result = handle(&*backend, &req.payload);
                         // The client may have timed out; ignore send failures.
-                        let _ = req.reply.send(result);
+                        let _ = req.reply.send((req.tag, result));
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if shutdown.load(Ordering::Relaxed) {
@@ -87,6 +101,12 @@ impl GremlinServer {
     /// A client handle; cheap to clone, safe to use from many threads.
     pub fn client(&self) -> GremlinClient {
         GremlinClient { tx: self.tx.clone(), timeout: self.timeout }
+    }
+
+    /// A raw dispatch hook for network transports: submits already-encoded
+    /// request payloads without waiting for the result.
+    pub fn raw_submitter(&self) -> RawSubmitter {
+        RawSubmitter { tx: self.tx.clone() }
     }
 }
 
@@ -118,7 +138,7 @@ impl GremlinClient {
     pub fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>> {
         let payload = wire::encode_traversal(traversal);
         let (reply_tx, reply_rx) = bounded(1);
-        match self.tx.try_send(Request { payload, reply: reply_tx }) {
+        match self.tx.try_send(Request { payload, tag: 0, reply: reply_tx }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 return Err(SnbError::Overloaded("gremlin server request queue is full".into()))
@@ -127,10 +147,61 @@ impl GremlinClient {
                 return Err(SnbError::Backend("gremlin server is down".into()))
             }
         }
-        let bytes = reply_rx
+        let (_, bytes) = reply_rx
             .recv_timeout(self.timeout)
-            .map_err(|_| SnbError::Overloaded("gremlin server response timed out".into()))??;
+            .map_err(|_| SnbError::Overloaded("gremlin server response timed out".into()))?;
+        let bytes = bytes?;
         wire::decode_values(&bytes).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
+    }
+}
+
+/// Anything that can execute a traversal and return its values: the
+/// in-process [`GremlinClient`] or a remote connection pool (snb-net).
+/// Workload adapters are written against this trait so the same query
+/// code runs in-process and over the socket.
+pub trait TraversalEndpoint: Send + Sync {
+    /// Execute one traversal round-trip.
+    fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>>;
+}
+
+impl TraversalEndpoint for GremlinClient {
+    fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>> {
+        GremlinClient::submit(self, traversal)
+    }
+}
+
+/// Fire-and-forget submission handle for network transports.
+///
+/// Unlike [`GremlinClient::submit`], `submit_raw` does not block waiting
+/// for the result: the worker pool sends `(tag, result)` to the supplied
+/// reply channel when execution finishes. A per-connection writer thread
+/// owns the receiving side and turns each result into a response frame,
+/// so one TCP connection can keep many requests in flight.
+#[derive(Clone)]
+pub struct RawSubmitter {
+    tx: Sender<Request>,
+}
+
+impl RawSubmitter {
+    /// Enqueue an encoded request. Fails fast with
+    /// [`SnbError::Overloaded`] when the bounded queue is full — the
+    /// transport maps that onto a typed error frame instead of stalling
+    /// or dropping the connection.
+    pub fn submit_raw(
+        &self,
+        tag: u64,
+        payload: Vec<u8>,
+        reply: &Sender<(u64, Result<Vec<u8>>)>,
+    ) -> Result<()> {
+        match self.tx.try_send(Request { payload, tag, reply: reply.clone() }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                Err(SnbError::Overloaded("gremlin server request queue is full".into()))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(SnbError::Backend("gremlin server is down".into()))
+            }
+        }
     }
 }
 
@@ -216,6 +287,61 @@ mod tests {
         let client = server.client();
         let r = client.submit(&Traversal::v(p(1)).values(PropKey::FirstName).out_any());
         assert!(matches!(r, Err(SnbError::Exec(_))));
+    }
+
+    #[test]
+    fn default_workers_track_available_parallelism() {
+        // Regression for the hard-coded `workers: 8`: the default must be
+        // derived from the machine, and a 1-core box (or a box where
+        // available_parallelism errors, modelled by the 0 input) must
+        // still get at least one worker.
+        assert_eq!(clamp_workers(0), 1);
+        assert_eq!(clamp_workers(1), 1);
+        assert_eq!(clamp_workers(64), 64);
+        let expect =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1);
+        assert_eq!(default_workers(), expect);
+        assert_eq!(ServerConfig::default().workers, expect);
+        assert!(ServerConfig::default().workers >= 1);
+    }
+
+    #[test]
+    fn raw_submitter_echoes_tags() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let raw = server.raw_submitter();
+        let (reply_tx, reply_rx) = bounded(64);
+        for tag in [7u64, 99, 12345] {
+            let payload = wire::encode_traversal(&Traversal::v(p(3)).both(EdgeLabel::Knows).count());
+            raw.submit_raw(tag, payload, &reply_tx).unwrap();
+        }
+        let mut tags = Vec::new();
+        for _ in 0..3 {
+            let (tag, result) = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            tags.push(tag);
+            assert_eq!(wire::decode_values(&result.unwrap()).unwrap(), vec![Value::Int(2)]);
+        }
+        tags.sort();
+        assert_eq!(tags, vec![7, 99, 12345]);
+    }
+
+    #[test]
+    fn raw_submitter_surfaces_overload() {
+        let server = GremlinServer::start(
+            backend(),
+            ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_secs(5) },
+        );
+        let raw = server.raw_submitter();
+        let (reply_tx, _reply_rx) = bounded(64);
+        let heavy = Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(5), 8).path_len();
+        let mut saw_overload = false;
+        for _ in 0..64 {
+            if let Err(e) = raw.submit_raw(0, wire::encode_traversal(&heavy), &reply_tx) {
+                assert!(matches!(e, SnbError::Overloaded(_)));
+                saw_overload = true;
+                break;
+            }
+        }
+        assert!(saw_overload, "flooding a capacity-1 queue must overload");
     }
 
     #[test]

@@ -378,6 +378,56 @@ pub fn encode_values(values: &[Value]) -> Vec<u8> {
     out
 }
 
+/// Encode an execution error for a typed error frame: `[kind tag u8]
+/// [message len u32][message bytes]`. The network layer sends this as
+/// the payload of an Error frame so clients get the same `SnbError`
+/// variant a local caller would, instead of a dropped connection.
+pub fn encode_error(e: &SnbError) -> Vec<u8> {
+    let (tag, msg): (u8, &str) = match e {
+        SnbError::NotFound(m) => (0, m),
+        SnbError::Conflict(m) => (1, m),
+        SnbError::Parse(m) => (2, m),
+        SnbError::Plan(m) => (3, m),
+        SnbError::Exec(m) => (4, m),
+        SnbError::Backend(m) => (5, m),
+        SnbError::Overloaded(m) => (6, m),
+        SnbError::Codec(m) => (7, m),
+        SnbError::Io(m) => (8, m),
+    };
+    let mut out = Vec::with_capacity(5 + msg.len());
+    out.push(tag);
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Decode a typed error frame payload back into the [`SnbError`] it
+/// carries. The outer `Err` means the frame itself was malformed.
+pub fn decode_error(data: &[u8]) -> Result<SnbError> {
+    let mut r = Reader { data };
+    let tag = r.u8()?;
+    let len = r.u32()? as usize;
+    let raw = r.take(len)?;
+    let msg = std::str::from_utf8(raw)
+        .map_err(|_| SnbError::Codec("invalid utf-8 in error frame".into()))?
+        .to_string();
+    if !r.data.is_empty() {
+        return Err(SnbError::Codec("trailing bytes after error frame".into()));
+    }
+    Ok(match tag {
+        0 => SnbError::NotFound(msg),
+        1 => SnbError::Conflict(msg),
+        2 => SnbError::Parse(msg),
+        3 => SnbError::Plan(msg),
+        4 => SnbError::Exec(msg),
+        5 => SnbError::Backend(msg),
+        6 => SnbError::Overloaded(msg),
+        7 => SnbError::Codec(msg),
+        8 => SnbError::Io(msg),
+        other => return Err(SnbError::Codec(format!("unknown error tag {other}"))),
+    })
+}
+
 /// Decode a response value list from the wire format.
 pub fn decode_values(data: &[u8]) -> Result<Vec<Value>> {
     let mut r = Reader { data };
@@ -458,6 +508,30 @@ mod tests {
         ];
         let bytes = encode_values(&vals);
         assert_eq!(decode_values(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn errors_roundtrip_every_variant() {
+        let errors = [
+            SnbError::NotFound("v".into()),
+            SnbError::Conflict("dup".into()),
+            SnbError::Parse("".into()),
+            SnbError::Plan("p".into()),
+            SnbError::Exec("step".into()),
+            SnbError::Backend("down".into()),
+            SnbError::Overloaded("queue full".into()),
+            SnbError::Codec("bad tag".into()),
+            SnbError::Io("reset".into()),
+        ];
+        for e in errors {
+            let bytes = encode_error(&e);
+            assert_eq!(decode_error(&bytes).unwrap(), e);
+        }
+        assert!(decode_error(&[]).is_err());
+        assert!(decode_error(&[42, 0, 0, 0, 0]).is_err(), "unknown tag");
+        let mut long = encode_error(&SnbError::Exec("hello".into()));
+        long.push(0);
+        assert!(decode_error(&long).is_err(), "trailing bytes");
     }
 
     #[test]

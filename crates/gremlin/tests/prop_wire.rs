@@ -1,0 +1,84 @@
+//! Property tests: the wire decoders must never panic or over-allocate
+//! on arbitrary bytes. Once the Gremlin Server sits behind a real TCP
+//! socket, every byte of a request payload is attacker-controlled — the
+//! frame layer checksums transport corruption, but a well-framed
+//! malicious payload still reaches these decoders verbatim.
+
+use proptest::prelude::*;
+use snb_core::{SnbError, Value};
+use snb_gremlin::wire;
+
+proptest! {
+    #[test]
+    fn decode_traversal_never_panics_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        // Err or Ok are both acceptable; panicking or aborting is not.
+        let _ = wire::decode_traversal(&data);
+    }
+
+    #[test]
+    fn decode_values_never_panics_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = wire::decode_values(&data);
+    }
+
+    #[test]
+    fn decode_error_never_panics_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = wire::decode_error(&data);
+    }
+
+    #[test]
+    fn truncating_an_encoded_value_list_errors_cleanly(
+        n in 0..8usize,
+        cut in any::<u16>()
+    ) {
+        let values: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+        let bytes = wire::encode_values(&values);
+        let cut = (cut as usize) % (bytes.len() + 1);
+        let r = wire::decode_values(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert_eq!(r.unwrap(), values);
+        } else {
+            // Every strict prefix must fail (truncation or, for the
+            // empty list prefix, trailing-byte detection), never panic.
+            prop_assert!(r.is_err());
+        }
+    }
+}
+
+/// A declared element count far beyond the actual payload must fail
+/// fast without allocating gigabytes up front.
+#[test]
+fn oversized_declared_value_count_errors_without_allocating() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.push(0); // one stray byte, not 4 billion values
+    let r = wire::decode_values(&bytes);
+    assert!(matches!(r, Err(SnbError::Codec(_))), "{r:?}");
+}
+
+/// Same for traversals: a huge declared step count with no steps behind
+/// it is a codec error, not an OOM or a hang.
+#[test]
+fn oversized_declared_step_count_errors_without_allocating() {
+    let bytes = u16::MAX.to_le_bytes().to_vec();
+    let r = wire::decode_traversal(&bytes);
+    assert!(matches!(r, Err(SnbError::Codec(_))), "{r:?}");
+}
+
+/// A string value whose declared length runs past the buffer end must
+/// be rejected by bounds checks, not read out of bounds.
+#[test]
+fn string_length_past_end_of_buffer_is_rejected() {
+    let good = wire::encode_values(&[Value::str("hello")]);
+    // Find the 5-byte length prefix of "hello" and inflate it.
+    let pos = good.windows(5).position(|w| w == b"hello").unwrap();
+    let mut bad = good.clone();
+    bad[pos - 4..pos].copy_from_slice(&1_000_000u32.to_le_bytes());
+    let r = wire::decode_values(&bad);
+    assert!(matches!(r, Err(SnbError::Codec(_))), "{r:?}");
+}

@@ -1,0 +1,265 @@
+//! The remote Gremlin client: a connection pool over the framed
+//! protocol with timeouts and retry-with-backoff.
+//!
+//! Each pooled connection owns a background reader thread that routes
+//! incoming frames to waiting callers by correlation id, so any number
+//! of threads can share one connection and keep requests pipelined.
+//! Reconnection policy: transport failures (`SnbError::Io` — refused,
+//! reset, closed) are retried with exponential backoff up to
+//! `max_retries`, re-establishing the TCP connection first; *query*
+//! errors (`Exec`, `Overloaded`, `NotFound`, ...) came from a healthy
+//! server and are returned to the caller untouched — retrying those
+//! would double-apply mutations and mask real backpressure.
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use snb_core::fxhash::FastMap;
+use snb_core::{Result, SnbError, Value};
+use snb_gremlin::{wire, Traversal, TraversalEndpoint};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::frame::{self, Frame, FrameKind};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connections in the pool; requests round-robin across them.
+    pub connections: usize,
+    /// TCP connect timeout (also bounds each reconnect attempt).
+    pub connect_timeout: Duration,
+    /// How long one request waits for its response frame.
+    pub request_timeout: Duration,
+    /// Reconnect attempts on transport failures before giving up.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connections: 2,
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(20),
+        }
+    }
+}
+
+/// State shared between a connection and its reader thread.
+struct ConnShared {
+    /// In-flight requests: correlation id → reply slot.
+    pending: Mutex<FastMap<u64, Sender<Result<Vec<u8>>>>>,
+    /// Set once the reader has observed EOF or a transport error.
+    dead: AtomicBool,
+    /// A connection-fatal error frame (correlation id 0), e.g. the
+    /// server's connection limit; reported to every subsequent caller.
+    fatal: Mutex<Option<SnbError>>,
+}
+
+impl ConnShared {
+    fn fail_all(&self, err: &SnbError) {
+        let mut pending = self.pending.lock();
+        for (_, tx) in pending.drain() {
+            let _ = tx.try_send(Err(err.clone()));
+        }
+    }
+}
+
+/// One live TCP connection.
+struct ConnInner {
+    stream: TcpStream,
+    /// Serializes frame writes so interleaved requests stay framed.
+    write_lock: Mutex<()>,
+    /// Correlation ids start at 1; 0 is reserved for connection-fatal
+    /// server errors.
+    next_id: AtomicU64,
+    shared: Arc<ConnShared>,
+}
+
+impl ConnInner {
+    fn connect(addr: SocketAddr, cfg: &ClientConfig) -> Result<ConnInner> {
+        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)
+            .map_err(|e| SnbError::Io(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let read_half =
+            stream.try_clone().map_err(|e| SnbError::Io(format!("clone stream: {e}")))?;
+        let shared = Arc::new(ConnShared {
+            pending: Mutex::new(FastMap::default()),
+            dead: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+        });
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reader_loop(read_half, shared));
+        }
+        Ok(ConnInner { stream, write_lock: Mutex::new(()), next_id: AtomicU64::new(0), shared })
+    }
+
+    fn dead_error(&self) -> SnbError {
+        self.shared
+            .fatal
+            .lock()
+            .clone()
+            .unwrap_or_else(|| SnbError::Io("connection lost".into()))
+    }
+
+    /// One pipelined request/response round trip.
+    fn request(&self, payload: &[u8], timeout: Duration) -> Result<Vec<u8>> {
+        if self.shared.dead.load(Ordering::Acquire) {
+            return Err(self.dead_error());
+        }
+        let corr_id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let (tx, rx) = bounded(1);
+        self.shared.pending.lock().insert(corr_id, tx);
+        let write_result = {
+            let _guard = self.write_lock.lock();
+            let mut w = &self.stream;
+            frame::write_frame(
+                &mut w,
+                &Frame { kind: FrameKind::Request, corr_id, payload: payload.to_vec() },
+            )
+        };
+        if let Err(e) = write_result {
+            self.shared.pending.lock().remove(&corr_id);
+            self.shared.dead.store(true, Ordering::Release);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                // Give up on this request; a late response frame for this
+                // id is dropped by the reader (no pending entry).
+                self.shared.pending.lock().remove(&corr_id);
+                Err(SnbError::Overloaded("request timed out".into()))
+            }
+        }
+    }
+}
+
+impl Drop for ConnInner {
+    fn drop(&mut self) {
+        // Unblocks the reader thread, which then fails any stragglers.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
+    loop {
+        match frame::read_frame(&mut stream) {
+            Ok(Some(f)) => match f.kind {
+                FrameKind::Response => deliver(&shared, f.corr_id, Ok(f.payload)),
+                FrameKind::Error => {
+                    // A malformed error payload is itself reported as the
+                    // decode error.
+                    let err = match wire::decode_error(&f.payload) {
+                        Ok(e) => e,
+                        Err(e) => e,
+                    };
+                    if f.corr_id == 0 {
+                        *shared.fatal.lock() = Some(err.clone());
+                        shared.dead.store(true, Ordering::Release);
+                        shared.fail_all(&err);
+                        return;
+                    }
+                    deliver(&shared, f.corr_id, Err(err));
+                }
+                FrameKind::Request => break, // protocol violation
+            },
+            Ok(None) | Err(_) => break,
+        }
+    }
+    shared.dead.store(true, Ordering::Release);
+    shared.fail_all(&SnbError::Io("connection lost".into()));
+}
+
+fn deliver(shared: &ConnShared, corr_id: u64, result: Result<Vec<u8>>) {
+    if let Some(tx) = shared.pending.lock().remove(&corr_id) {
+        // The caller may have timed out between the map lookup and here.
+        let _ = tx.try_send(result);
+    }
+}
+
+/// One pool slot: the current connection plus enough to rebuild it.
+struct PooledConn {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    slot: Mutex<Option<Arc<ConnInner>>>,
+}
+
+impl PooledConn {
+    fn get(&self) -> Result<Arc<ConnInner>> {
+        let mut slot = self.slot.lock();
+        if let Some(c) = slot.as_ref() {
+            if !c.shared.dead.load(Ordering::Acquire) {
+                return Ok(Arc::clone(c));
+            }
+        }
+        let c = Arc::new(ConnInner::connect(self.addr, &self.cfg)?);
+        *slot = Some(Arc::clone(&c));
+        Ok(c)
+    }
+
+    fn request(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        let mut attempt = 0u32;
+        loop {
+            let result =
+                self.get().and_then(|c| c.request(payload, self.cfg.request_timeout));
+            match result {
+                Err(SnbError::Io(_)) if attempt < self.cfg.max_retries => {
+                    // Reconnectable transport failure: back off and retry
+                    // (the dead connection is replaced on the next get()).
+                    std::thread::sleep(self.cfg.backoff_base * 2u32.pow(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// A connection-pooled remote Gremlin client; cheap to share across
+/// threads behind an `Arc`, or use [`NetPool::submit`] directly — every
+/// method is `&self`.
+pub struct NetPool {
+    conns: Vec<PooledConn>,
+    next: AtomicUsize,
+}
+
+impl NetPool {
+    /// Connect `cfg.connections` sockets to `addr` eagerly, so a dead
+    /// endpoint fails fast here rather than on the first query.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Result<NetPool> {
+        let n = cfg.connections.max(1);
+        let conns: Vec<PooledConn> = (0..n)
+            .map(|_| PooledConn { addr, cfg: cfg.clone(), slot: Mutex::new(None) })
+            .collect();
+        for c in &conns {
+            c.get()?;
+        }
+        Ok(NetPool { conns, next: AtomicUsize::new(0) })
+    }
+
+    /// Execute one traversal round trip over the next pooled connection.
+    pub fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>> {
+        let payload = wire::encode_traversal(traversal);
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.conns.len();
+        let bytes = self.conns[slot].request(&payload)?;
+        wire::decode_values(&bytes).map_err(|e| SnbError::Codec(format!("bad response: {e}")))
+    }
+
+    /// Pool size.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+impl TraversalEndpoint for NetPool {
+    fn submit(&self, traversal: &Traversal) -> Result<Vec<Value>> {
+        NetPool::submit(self, traversal)
+    }
+}

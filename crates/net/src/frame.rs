@@ -1,0 +1,310 @@
+//! The framed RPC protocol spoken on the wire.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic       0x31424E53 ("SNB1" little-endian)
+//! 4       1     version     1
+//! 5       1     kind        0=Request 1=Response 2=Error
+//! 6       8     corr_id     u64 correlation id (echoed in the reply)
+//! 14      4     len         payload length in bytes
+//! 18      4     checksum    FNV-1a over the payload
+//! 22      len   payload     wire-encoded traversal / values / error
+//! ```
+//!
+//! The correlation id is what buys pipelining: a client may write many
+//! request frames before reading any response, and responses may come
+//! back in any order — each one names the request it answers. The
+//! checksum and the `MAX_PAYLOAD` bound protect the server from
+//! corrupted or hostile frames: a bad magic, an oversized declared
+//! length, or a checksum mismatch is a protocol error, never a panic or
+//! an unbounded allocation.
+
+use snb_core::{Result, SnbError};
+use std::io::{ErrorKind, Read, Write};
+
+/// "SNB1" as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"SNB1");
+/// Protocol version carried in every frame.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 22;
+/// Upper bound on a payload; larger declared lengths are rejected
+/// before any allocation happens.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: an encoded traversal.
+    Request = 0,
+    /// Server → client: encoded result values.
+    Response = 1,
+    /// Server → client: an encoded [`SnbError`]. With `corr_id` 0 the
+    /// error is connection-fatal (e.g. the connection limit), otherwise
+    /// it answers the named request.
+    Error = 2,
+}
+
+impl FrameKind {
+    fn from_tag(tag: u8) -> Result<FrameKind> {
+        Ok(match tag {
+            0 => FrameKind::Request,
+            1 => FrameKind::Response,
+            2 => FrameKind::Error,
+            other => return Err(SnbError::Codec(format!("unknown frame kind {other}"))),
+        })
+    }
+}
+
+/// One framed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// Correlation id; responses echo the id of the request they answer.
+    pub corr_id: u64,
+    /// Wire-encoded body.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over the payload — cheap, and enough to catch framing bugs
+/// and line corruption (this is not a cryptographic integrity check).
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in payload {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Serialize a frame to a byte vector (header + payload).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(frame.kind as u8);
+    out.extend_from_slice(&frame.corr_id.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&frame.payload).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    out
+}
+
+/// Write one frame. A single `write_all` keeps the frame contiguous so
+/// concurrent writers only need to serialize at this call.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    w.write_all(&encode_frame(frame)).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+fn io_err(e: std::io::Error) -> SnbError {
+    SnbError::Io(e.to_string())
+}
+
+/// Validate a header and return `(kind, corr_id, len, checksum)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u64, usize, u32)> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(SnbError::Codec(format!("bad magic 0x{magic:08x}")));
+    }
+    if header[4] != VERSION {
+        return Err(SnbError::Codec(format!("unsupported protocol version {}", header[4])));
+    }
+    let kind = FrameKind::from_tag(header[5])?;
+    let corr_id = u64::from_le_bytes(header[6..14].try_into().unwrap());
+    let len = u32::from_le_bytes(header[14..18].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(SnbError::Codec(format!("declared payload length {len} exceeds limit")));
+    }
+    let sum = u32::from_le_bytes(header[18..22].try_into().unwrap());
+    Ok((kind, corr_id, len, sum))
+}
+
+/// Read one frame, blocking until it is complete. EOF before the first
+/// header byte yields `Ok(None)` (clean close); EOF mid-frame is an
+/// error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_full(r, &mut header, true)? {
+        FillOutcome::Eof => return Ok(None),
+        FillOutcome::Full => {}
+    }
+    let (kind, corr_id, len, sum) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    match read_full(r, &mut payload, false)? {
+        FillOutcome::Eof => Err(SnbError::Io("connection closed mid-frame".into())),
+        FillOutcome::Full => {
+            if checksum(&payload) != sum {
+                return Err(SnbError::Codec("frame checksum mismatch".into()));
+            }
+            Ok(Some(Frame { kind, corr_id, payload }))
+        }
+    }
+}
+
+/// Like [`read_frame`], but tolerates read-timeout wakeups so the caller
+/// can poll `should_stop` between them (the server sets a short read
+/// timeout on accepted sockets for exactly this). Returns `Ok(None)` on
+/// clean EOF or when stopped.
+pub fn read_frame_interruptible(
+    r: &mut impl Read,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    match fill_interruptible(r, &mut header, true, should_stop)? {
+        FillOutcome::Eof => return Ok(None),
+        FillOutcome::Full => {}
+    }
+    let (kind, corr_id, len, sum) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    match fill_interruptible(r, &mut payload, false, should_stop)? {
+        FillOutcome::Eof => Err(SnbError::Io("connection closed mid-frame".into())),
+        FillOutcome::Full => {
+            if checksum(&payload) != sum {
+                return Err(SnbError::Codec("frame checksum mismatch".into()));
+            }
+            Ok(Some(Frame { kind, corr_id, payload }))
+        }
+    }
+}
+
+enum FillOutcome {
+    Full,
+    Eof,
+}
+
+fn read_full(r: &mut impl Read, buf: &mut [u8], eof_ok_at_start: bool) -> Result<FillOutcome> {
+    fill_interruptible(r, buf, eof_ok_at_start, &|| false)
+}
+
+/// Fill `buf` completely, retrying on `Interrupted`/timeout wakeups.
+/// Stopping (or EOF) with zero bytes read is clean; mid-buffer it is a
+/// hard error, because the stream position is lost either way.
+fn fill_interruptible(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    eof_ok_at_start: bool,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<FillOutcome> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && eof_ok_at_start {
+                    Ok(FillOutcome::Eof)
+                } else {
+                    Err(SnbError::Io("connection closed mid-frame".into()))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if should_stop() {
+                    return if filled == 0 {
+                        Ok(FillOutcome::Eof)
+                    } else {
+                        Err(SnbError::Io("stopped mid-frame".into()))
+                    };
+                }
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Ok(FillOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame(kind: FrameKind, corr_id: u64, payload: &[u8]) -> Frame {
+        Frame { kind, corr_id, payload: payload.to_vec() }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for f in [
+            frame(FrameKind::Request, 1, b"hello"),
+            frame(FrameKind::Response, u64::MAX, &[]),
+            frame(FrameKind::Error, 0, &[0xFF; 300]),
+        ] {
+            let bytes = encode_frame(&f);
+            assert_eq!(bytes.len(), HEADER_LEN + f.payload.len());
+            let got = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+            assert_eq!(got, f);
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let a = frame(FrameKind::Request, 1, b"aa");
+        let b = frame(FrameKind::Request, 2, b"bbbb");
+        let mut bytes = encode_frame(&a);
+        bytes.extend_from_slice(&encode_frame(&b));
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b);
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF after last frame");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_frame(&frame(FrameKind::Request, 1, b"x"));
+        bytes[0] ^= 0xAA;
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnbError::Codec(ref m) if m.contains("magic")), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_frame(&frame(FrameKind::Request, 1, b"x"));
+        bytes[4] = 99;
+        assert!(read_frame(&mut Cursor::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut bytes = encode_frame(&frame(FrameKind::Request, 1, b"x"));
+        bytes[5] = 42;
+        assert!(read_frame(&mut Cursor::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let mut bytes = encode_frame(&frame(FrameKind::Request, 1, b"x"));
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnbError::Codec(ref m) if m.contains("exceeds limit")), "{err}");
+    }
+
+    #[test]
+    fn checksum_mismatch_rejected() {
+        let mut bytes = encode_frame(&frame(FrameKind::Response, 3, b"payload"));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnbError::Codec(ref m) if m.contains("checksum")), "{err}");
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload() {
+        let bytes = encode_frame(&frame(FrameKind::Request, 9, b"abcdef"));
+        // Mid-header: an error (bytes were consumed, stream is broken).
+        assert!(read_frame(&mut Cursor::new(&bytes[..HEADER_LEN - 3])).is_err());
+        // Mid-payload: also an error.
+        assert!(read_frame(&mut Cursor::new(&bytes[..bytes.len() - 2])).is_err());
+        // Zero bytes: clean EOF.
+        assert!(read_frame(&mut Cursor::new(&[] as &[u8])).unwrap().is_none());
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), 0x811c_9dc5);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `snb-net`: the real socket layer in front of the Gremlin Server
+//! analogue — the client/server split the paper's Figure 1 architecture
+//! (and the LDBC driver spec) require, so that driver-side and
+//! server-side latency can be attributed separately.
+//!
+//! Three pieces:
+//!
+//! * [`frame`] — the framed RPC protocol: magic/version header, a `u64`
+//!   correlation id so one connection pipelines many in-flight
+//!   requests, a length prefix bounded by [`frame::MAX_PAYLOAD`], and an
+//!   FNV-1a payload checksum. Payloads are the existing
+//!   [`snb_gremlin::wire`] encodings (traversal, values, typed error).
+//! * [`server`] — [`NetServer`]: a `std::net::TcpListener` acceptor
+//!   (no async runtime; plain threads, shutdown-polled reads), a
+//!   per-connection reader/writer pair, a connection limit, and dispatch
+//!   into the [`snb_gremlin::GremlinServer`] worker pool via
+//!   [`snb_gremlin::RawSubmitter`]. Queue overflow and oversized/broken
+//!   frames come back as typed error frames; shutdown drains in-flight
+//!   requests before the worker pool stops.
+//! * [`client`] — [`NetPool`]: a connection pool with connect/request
+//!   timeouts and exponential-backoff retry on *transport* failures
+//!   only (never on query errors). Implements
+//!   [`snb_gremlin::TraversalEndpoint`], so the driver's Gremlin
+//!   adapters run unchanged over the socket.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientConfig, NetPool};
+pub use frame::{Frame, FrameKind};
+pub use server::{NetServer, NetServerConfig};

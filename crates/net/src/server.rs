@@ -1,0 +1,236 @@
+//! The TCP face of the Gremlin Server analogue.
+//!
+//! One acceptor thread (non-blocking accept + shutdown poll) hands each
+//! connection to a reader thread; a paired writer thread owns the
+//! response channel. The reader decodes request frames and dispatches
+//! them into the existing [`GremlinServer`] worker pool through its
+//! [`RawSubmitter`] — it never executes traversals itself, so a slow
+//! query on one connection cannot stall frame decoding on another, and
+//! responses stream back in completion order tagged with the request's
+//! correlation id (pipelining).
+//!
+//! Backpressure is typed, not silent: when the worker queue is full the
+//! client receives an Error frame carrying `SnbError::Overloaded` for
+//! that request; when the connection limit is hit the client receives a
+//! connection-fatal Error frame (correlation id 0) before the socket is
+//! closed. Graceful shutdown stops accepting, lets readers finish the
+//! frame in progress, and keeps each writer alive until every in-flight
+//! request has produced its response frame.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use snb_core::{Result, SnbError};
+use snb_gremlin::wire;
+use snb_gremlin::{GremlinServer, RawSubmitter};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frame::{self, Frame, FrameKind};
+
+/// Transport tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Address to bind; port 0 picks an ephemeral port.
+    pub bind_addr: String,
+    /// Connections beyond this are rejected with a typed error frame.
+    pub max_connections: usize,
+    /// Socket read timeout used to poll the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            bind_addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// The TCP server. Dropping it (or calling [`NetServer::shutdown`])
+/// stops the acceptor, drains in-flight requests, and only then tears
+/// down the owned [`GremlinServer`].
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    /// Kept alive until the transport has fully drained: the field is
+    /// declared after the join handle but dropped explicitly in
+    /// [`NetServer::shutdown`] after joining the acceptor.
+    gremlin: Option<GremlinServer>,
+}
+
+impl NetServer {
+    /// Bind and start serving the given Gremlin worker pool.
+    pub fn start(gremlin: GremlinServer, config: NetServerConfig) -> Result<NetServer> {
+        let listener = TcpListener::bind(&config.bind_addr)
+            .map_err(|e| SnbError::Io(format!("bind {}: {e}", config.bind_addr)))?;
+        let local_addr =
+            listener.local_addr().map_err(|e| SnbError::Io(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SnbError::Io(format!("set_nonblocking: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let submitter = gremlin.raw_submitter();
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            std::thread::spawn(move || accept_loop(listener, submitter, shutdown, config))
+        };
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            gremlin: Some(gremlin),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// then stop the worker pool. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Workers only stop after the transport has drained.
+        self.gremlin.take();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    submitter: RawSubmitter,
+    shutdown: Arc<AtomicBool>,
+    config: NetServerConfig,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                handles.retain(|h| !h.is_finished());
+                if active.load(Ordering::Relaxed) >= config.max_connections {
+                    reject_connection(stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::Relaxed);
+                let guard = ConnGuard(Arc::clone(&active));
+                let submitter = submitter.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let poll = config.poll_interval;
+                handles.push(std::thread::spawn(move || {
+                    let _guard = guard;
+                    handle_connection(stream, submitter, shutdown, poll);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Over-limit connections get a connection-fatal typed error frame
+/// (correlation id 0) instead of a silent close.
+fn reject_connection(mut stream: TcpStream) {
+    let err = SnbError::Overloaded("connection limit reached".into());
+    let f = Frame { kind: FrameKind::Error, corr_id: 0, payload: wire::encode_error(&err) };
+    let _ = frame::write_frame(&mut stream, &f);
+    let _ = stream.flush();
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    submitter: RawSubmitter,
+    shutdown: Arc<AtomicBool>,
+    poll_interval: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(poll_interval)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // Results flow worker → writer on this channel; the reader holds one
+    // sender, every queued request holds another (inside the worker
+    // pool), so the writer's drain loop ends exactly when the reader has
+    // stopped AND the last in-flight request has answered.
+    let (results_tx, results_rx): (
+        Sender<(u64, Result<Vec<u8>>)>,
+        Receiver<(u64, Result<Vec<u8>>)>,
+    ) = unbounded();
+    let writer = std::thread::spawn(move || writer_loop(write_half, results_rx));
+
+    let stop = || shutdown.load(Ordering::Relaxed);
+    loop {
+        match frame::read_frame_interruptible(&mut stream, &stop) {
+            Ok(None) => break, // clean EOF or shutdown
+            Ok(Some(f)) if f.kind == FrameKind::Request => {
+                if let Err(e) = submitter.submit_raw(f.corr_id, f.payload, &results_tx) {
+                    // Typed backpressure: Overloaded (queue full) or
+                    // Backend (pool gone) answers the request instead of
+                    // killing the connection.
+                    let _ = results_tx.send((f.corr_id, Err(e)));
+                }
+            }
+            Ok(Some(f)) => {
+                let e = SnbError::Codec("client may only send Request frames".into());
+                let _ = results_tx.send((f.corr_id, Err(e)));
+            }
+            Err(SnbError::Codec(m)) => {
+                // Framing is broken — no way to resync; tell the client
+                // (connection-fatal, correlation id 0) and hang up.
+                let _ = results_tx.send((0, Err(SnbError::Codec(m))));
+                break;
+            }
+            Err(_) => break, // transport error
+        }
+    }
+    drop(results_tx);
+    let _ = writer.join(); // drains every in-flight response
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn writer_loop(mut stream: TcpStream, results_rx: Receiver<(u64, Result<Vec<u8>>)>) {
+    while let Ok((corr_id, result)) = results_rx.recv() {
+        let f = match result {
+            Ok(payload) => Frame { kind: FrameKind::Response, corr_id, payload },
+            Err(e) => Frame { kind: FrameKind::Error, corr_id, payload: wire::encode_error(&e) },
+        };
+        if frame::write_frame(&mut stream, &f).is_err() {
+            // Client is gone; keep draining so workers never block on a
+            // full channel (it is unbounded, but exiting early would
+            // just drop results on the floor anyway).
+            break;
+        }
+    }
+}

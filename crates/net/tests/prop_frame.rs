@@ -1,0 +1,51 @@
+//! Property tests: the frame decoder must never panic or over-allocate
+//! on arbitrary bytes — the server feeds it raw socket input.
+
+use proptest::prelude::*;
+use snb_net::frame::{self, Frame, FrameKind, HEADER_LEN};
+use std::io::Cursor;
+
+proptest! {
+    #[test]
+    fn read_frame_never_panics_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..128)
+    ) {
+        // Err or Ok are both fine; panicking or hanging is not.
+        let _ = frame::read_frame(&mut Cursor::new(&data));
+    }
+
+    #[test]
+    fn valid_frames_roundtrip(
+        kind in 0..3u8,
+        corr_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let kind = match kind {
+            0 => FrameKind::Request,
+            1 => FrameKind::Response,
+            _ => FrameKind::Error,
+        };
+        let f = Frame { kind, corr_id, payload };
+        let bytes = frame::encode_frame(&f);
+        let got = frame::read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+        prop_assert_eq!(got, f);
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_never_misdecodes_the_payload(
+        corr_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..32),
+        flip_at in 0..HEADER_LEN,
+        flip_bits in 1..255u8
+    ) {
+        let f = Frame { kind: FrameKind::Request, corr_id, payload };
+        let mut bytes = frame::encode_frame(&f);
+        bytes[flip_at] ^= flip_bits;
+        // A flipped header byte must either fail outright or decode to a
+        // frame whose payload still checksums (the corr_id/kind bytes are
+        // legitimately mutable); it must never panic.
+        if let Ok(Some(got)) = frame::read_frame(&mut Cursor::new(&bytes)) {
+            prop_assert_eq!(got.payload, f.payload);
+        }
+    }
+}

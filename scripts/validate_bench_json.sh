@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Validate every BENCH_<n>.json at the repo root against the snb-bench/1
+# schema: the keys bench_json always writes must be present, numeric
+# metric values must look numeric, and any `network` section (added in
+# BENCH_2) must carry the by-connection round-trip sweep. Pure
+# grep/POSIX so CI needs no jq.
+#
+# Usage: scripts/validate_bench_json.sh [files...]   (default: BENCH_*.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  for f in BENCH_*.json; do
+    [ -e "$f" ] && files+=("$f")
+  done
+fi
+if [ ${#files[@]} -eq 0 ]; then
+  echo "[validate_bench_json] no BENCH_*.json files found" >&2
+  exit 1
+fi
+
+fail=0
+require_key() {
+  # require_key <file> <key>: the quoted key must appear in the file.
+  if ! grep -q "\"$2\"" "$1"; then
+    echo "[validate_bench_json] $1: missing key \"$2\"" >&2
+    fail=1
+  fi
+}
+
+require_numeric() {
+  # require_numeric <file> <key>: key must be followed by a number.
+  if ! grep -Eq "\"$2\"[[:space:]]*:[[:space:]]*-?[0-9]+(\.[0-9]+)?" "$1"; then
+    echo "[validate_bench_json] $1: key \"$2\" has no numeric value" >&2
+    fail=1
+  fi
+}
+
+for f in "${files[@]}"; do
+  if ! grep -q '"schema"[[:space:]]*:[[:space:]]*"snb-bench/1"' "$f"; then
+    echo "[validate_bench_json] $f: schema is not \"snb-bench/1\"" >&2
+    fail=1
+  fi
+  require_numeric "$f" "unix_time"
+  require_key "$f" "dataset"
+  require_numeric "$f" "persons"
+  require_numeric "$f" "vertices"
+  require_numeric "$f" "edges"
+  require_numeric "$f" "updates"
+  require_key "$f" "metrics"
+  require_numeric "$f" "vertex_lookup_ops_per_sec"
+  require_numeric "$f" "two_hop_expansion_ops_per_sec"
+  require_numeric "$f" "update_apply_ops_per_sec"
+  require_key "$f" "reads_per_sec_by_readers"
+  require_key "$f" "engines"
+  require_numeric "$f" "point_lookup_ops_per_sec"
+  require_numeric "$f" "one_hop_ops_per_sec"
+  # The network section appears from BENCH_2 onward; when present it
+  # must carry the connection-scaling sweep with all three points.
+  if grep -q '"network"' "$f"; then
+    require_key "$f" "round_trips_per_sec_by_connections"
+    for conns in 1 8 32; do
+      if ! grep -Eq "\"$conns\"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?" "$f"; then
+        echo "[validate_bench_json] $f: network sweep missing \"$conns\" connections" >&2
+        fail=1
+      fi
+    done
+  fi
+  if [ "$fail" -eq 0 ]; then
+    echo "[validate_bench_json] $f: OK"
+  fi
+done
+
+exit "$fail"
