@@ -16,6 +16,8 @@ fn main() {
         readers: env_u64("SNB_READERS", 32) as usize,
         duration: Duration::from_secs(env_u64("SNB_DURATION_SECS", 10)),
         seed: env_u64("SNB_SEED", 0xf16_3),
+        appliers: env_u64("SNB_APPLIERS", 2) as usize,
+        batch_size: env_u64("SNB_BATCH_SIZE", 128) as usize,
     };
     let mut table = TextTable::new([
         "System",

@@ -18,6 +18,17 @@ use crate::ids::{EdgeLabel, VertexLabel, Vid};
 use crate::schema::PropKey;
 use crate::value::Value;
 
+/// One engine-neutral graph mutation — the unit of
+/// [`GraphBackend::apply_batch`]. An SNB update operation expands to a
+/// sequence of these (the new vertex, if any, followed by its edges).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphWrite {
+    /// Insert a vertex (semantics of [`GraphBackend::add_vertex`]).
+    AddVertex { label: VertexLabel, local_id: u64, props: Vec<(PropKey, Value)> },
+    /// Insert an edge (semantics of [`GraphBackend::add_edge`]).
+    AddEdge { label: EdgeLabel, src: Vid, dst: Vid, props: Vec<(PropKey, Value)> },
+}
+
 /// Fine-grained structure API implemented by every store that can be
 /// driven through the Gremlin layer.
 ///
@@ -79,6 +90,28 @@ pub trait GraphBackend: Send + Sync {
         self.neighbors(v, dir, label, &mut buf)?;
         Ok(buf.len())
     }
+
+    /// Apply a batch of writes in order, returning the number applied.
+    ///
+    /// The default is the obvious one-write-at-a-time loop; engines
+    /// override it to take their write lock once per batch, pre-reserve
+    /// capacity, and fold bookkeeping (checkpoint counters, WAL
+    /// appends) per batch instead of per write. Overrides must preserve
+    /// the in-order, stop-at-first-error semantics of this default: a
+    /// failed write leaves the preceding prefix applied.
+    fn apply_batch(&self, ops: &[GraphWrite]) -> Result<usize> {
+        for op in ops {
+            match op {
+                GraphWrite::AddVertex { label, local_id, props } => {
+                    self.add_vertex(*label, *local_id, props)?;
+                }
+                GraphWrite::AddEdge { label, src, dst, props } => {
+                    self.add_edge(*label, *src, *dst, props)?;
+                }
+            }
+        }
+        Ok(ops.len())
+    }
 }
 
 /// Blanket impl so `Arc<dyn GraphBackend>`/`&T` can be passed where a
@@ -128,5 +161,8 @@ impl<T: GraphBackend + ?Sized> GraphBackend for &T {
     }
     fn degree(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>) -> Result<usize> {
         (**self).degree(v, dir, label)
+    }
+    fn apply_batch(&self, ops: &[GraphWrite]) -> Result<usize> {
+        (**self).apply_batch(ops)
     }
 }

@@ -17,7 +17,7 @@ pub mod metrics;
 pub mod schema;
 pub mod value;
 
-pub use backend::GraphBackend;
+pub use backend::{GraphBackend, GraphWrite};
 pub use error::{Result, SnbError};
 pub use fxhash::{FastMap, FastSet, FxBuildHasher};
 pub use graph::{Direction, PropertyMap};

@@ -96,12 +96,18 @@ impl ThroughputSeries {
 
     /// Record one completed operation at the current time.
     pub fn record(&self) {
+        self.record_n(1);
+    }
+
+    /// Record `n` operations completed at the current time — one lock
+    /// acquisition per applied batch instead of per op.
+    pub fn record_n(&self, n: u64) {
         let sec = self.start.elapsed().as_secs() as usize;
         let mut buckets = self.buckets.lock();
         if buckets.len() <= sec {
             buckets.resize(sec + 1, 0);
         }
-        buckets[sec] += 1;
+        buckets[sec] += n;
     }
 
     /// Snapshot of per-second counts.
@@ -291,6 +297,8 @@ mod tests {
         assert_eq!(t.total(), 10);
         assert!(t.mean_per_sec() >= 10.0);
         assert_eq!(t.per_second().iter().sum::<u64>(), 10);
+        t.record_n(32);
+        assert_eq!(t.total(), 42);
     }
 
     #[test]

@@ -120,6 +120,24 @@ pub struct UpdateOp {
     pub new_edges: Vec<EdgeRec>,
 }
 
+impl UpdateOp {
+    /// Stable partitioning key of this operation: the primary entity it
+    /// touches (the created vertex, else the first edge's source — the
+    /// acting person/forum). Ops sharing a key land on one stream
+    /// partition and thus keep their relative order end to end; ops on
+    /// different keys may be applied concurrently, guarded only by the
+    /// dependency watermark.
+    pub fn partition_key(&self) -> u64 {
+        if let Some(v) = &self.new_vertex {
+            return v.vid().raw();
+        }
+        match self.new_edges.first() {
+            Some(e) => e.src.raw(),
+            None => self.ts_ms as u64,
+        }
+    }
+}
+
 /// Full generator output: snapshot + update stream.
 #[derive(Debug, Clone)]
 pub struct GeneratedData {
@@ -165,6 +183,32 @@ mod tests {
     fn update_kind_names() {
         assert_eq!(UpdateKind::AddPerson.ldbc_name(), "IU1");
         assert_eq!(UpdateKind::AddFriendship.ldbc_name(), "IU8");
+    }
+
+    #[test]
+    fn partition_key_prefers_created_vertex_then_edge_source() {
+        let edge = EdgeRec {
+            label: EdgeLabel::Knows,
+            src: Vid::new(VertexLabel::Person, 1),
+            dst: Vid::new(VertexLabel::Person, 2),
+            props: vec![],
+            creation_ms: 5,
+        };
+        let mut op = UpdateOp {
+            kind: UpdateKind::AddFriendship,
+            ts_ms: 5,
+            dependency_ms: 0,
+            new_vertex: None,
+            new_edges: vec![edge],
+        };
+        assert_eq!(op.partition_key(), Vid::new(VertexLabel::Person, 1).raw());
+        op.new_vertex = Some(VertexRec {
+            label: VertexLabel::Person,
+            id: 7,
+            props: vec![],
+            creation_ms: 5,
+        });
+        assert_eq!(op.partition_key(), Vid::new(VertexLabel::Person, 7).raw());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The system-under-test abstraction and the eight configurations of
 //! the paper's study.
 
-use snb_core::{Result, Value};
+use snb_core::{GraphWrite, Result, Value};
 use snb_datagen::{Dataset, UpdateOp};
 use std::sync::Arc;
 
@@ -32,6 +32,29 @@ pub fn normalize_rows(rows: Vec<Vec<Value>>) -> OpResult {
     rows.into_iter().map(|r| r.iter().map(normalize).collect()).collect()
 }
 
+/// Flatten update operations into the write list engines batch on
+/// (vertex creations first within each op, then its edges — the order
+/// `execute_update` applies them in).
+pub fn update_writes(ops: &[UpdateOp], out: &mut Vec<GraphWrite>) {
+    for op in ops {
+        if let Some(v) = &op.new_vertex {
+            out.push(GraphWrite::AddVertex {
+                label: v.label,
+                local_id: v.id,
+                props: v.props.clone(),
+            });
+        }
+        for e in &op.new_edges {
+            out.push(GraphWrite::AddEdge {
+                label: e.label,
+                src: e.src,
+                dst: e.dst,
+                props: e.props.clone(),
+            });
+        }
+    }
+}
+
 /// One system configuration under test.
 pub trait SutAdapter: Send + Sync {
     /// Display name matching the paper's column headers.
@@ -45,6 +68,21 @@ pub trait SutAdapter: Send + Sync {
 
     /// Execute one update operation.
     fn execute_update(&self, op: &UpdateOp) -> Result<()>;
+
+    /// Apply a batch of update operations in order, returning how many
+    /// were applied. The default loops over [`execute_update`]; engines
+    /// override it to amortize locks, WAL appends, and capacity growth
+    /// across the batch. A failed operation stops the batch with its
+    /// prefix applied — callers that must not lose operations fall back
+    /// to per-op application for the remainder.
+    ///
+    /// [`execute_update`]: SutAdapter::execute_update
+    fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
+        for op in ops {
+            self.execute_update(op)?;
+        }
+        Ok(ops.len())
+    }
 
     /// Resident bytes after loading (Table 1).
     fn storage_bytes(&self) -> usize;

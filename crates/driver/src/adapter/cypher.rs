@@ -6,7 +6,7 @@ use snb_datagen::{Dataset, UpdateOp};
 use snb_graph_native::{NativeGraphStore, Params};
 use std::fmt::Write as _;
 
-use crate::adapter::{normalize_rows, OpResult, SutAdapter};
+use crate::adapter::{normalize_rows, update_writes, OpResult, SutAdapter};
 use crate::ops::ReadOp;
 
 /// Adapter: one embedded native store, queried with Cypher text.
@@ -182,6 +182,16 @@ impl SutAdapter for CypherAdapter {
             )?;
         }
         Ok(())
+    }
+
+    fn execute_update_batch(&self, ops: &[snb_datagen::UpdateOp]) -> Result<usize> {
+        // Neo4j's batched-write path: skip per-statement Cypher parsing
+        // and apply the whole batch through the store's bulk insert,
+        // which takes the write lock once.
+        let mut writes = Vec::new();
+        update_writes(ops, &mut writes);
+        self.store.apply_batch(&writes)?;
+        Ok(ops.len())
     }
 
     fn storage_bytes(&self) -> usize {

@@ -397,6 +397,16 @@ impl SutAdapter for GremlinAdapter {
         update_via(&self.client, op)
     }
 
+    fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
+        // The Gremlin batched-write path (`tx.commit()` every N
+        // elements): one bulk structure-API call instead of one
+        // client↔server round trip per element.
+        let mut writes = Vec::new();
+        crate::adapter::update_writes(ops, &mut writes);
+        self.backend.apply_batch(&writes)?;
+        Ok(ops.len())
+    }
+
     fn storage_bytes(&self) -> usize {
         self.backend.storage_bytes()
     }

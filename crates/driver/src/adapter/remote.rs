@@ -145,7 +145,12 @@ mod tests {
         let report = run_interactive(
             &remote,
             &data,
-            &InteractiveConfig { readers: 4, duration: Duration::from_millis(600), seed: 7 },
+            &InteractiveConfig {
+                readers: 4,
+                duration: Duration::from_millis(600),
+                seed: 7,
+                ..InteractiveConfig::default()
+            },
         );
         assert!(report.total_reads > 0, "readers made progress over TCP");
         assert!(report.total_writes > 0, "writer made progress over TCP");

@@ -209,6 +209,24 @@ impl SutAdapter for SparqlAdapter {
         Ok(())
     }
 
+    fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
+        // Skip per-op INSERT DATA rendering and parsing: expand every
+        // operation into its triples (reification included — the same
+        // triples `execute_update` generates) and insert them all under
+        // one index-lock acquisition.
+        let mut triples = Vec::new();
+        for op in ops {
+            if let Some(v) = &op.new_vertex {
+                TripleStore::vertex_triples(v.label, v.id, &v.props, &mut triples);
+            }
+            for e in &op.new_edges {
+                self.store.edge_triples(e.label, e.src, e.dst, &e.props, &mut triples);
+            }
+        }
+        self.store.insert_batch(&triples);
+        Ok(ops.len())
+    }
+
     fn storage_bytes(&self) -> usize {
         self.store.storage_bytes()
     }

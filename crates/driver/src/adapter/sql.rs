@@ -267,6 +267,60 @@ impl SutAdapter for SqlAdapter {
         Ok(())
     }
 
+    fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
+        // The multi-row INSERT path: stage full-arity rows per target
+        // table, then flush each table under a single write-lock
+        // acquisition instead of one statement per element.
+        let mut staged: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+        let mut slot: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut defs: std::collections::HashMap<String, snb_relational::TableDef> =
+            std::collections::HashMap::new();
+        let mut stage = |staged: &mut Vec<(String, Vec<Vec<Value>>)>, table: String, row| {
+            let ix = *slot.entry(table.clone()).or_insert_with(|| {
+                staged.push((table, Vec::new()));
+                staged.len() - 1
+            });
+            staged[ix].1.push(row);
+        };
+        for op in ops {
+            if let Some(v) = &op.new_vertex {
+                let table = v.label.as_str();
+                if !defs.contains_key(table) {
+                    defs.insert(table.to_string(), self.db.table_def(table)?);
+                }
+                let def = &defs[table];
+                let mut row = vec![Value::Null; def.arity()];
+                row[0] = Value::Int(v.id as i64);
+                for (k, val) in &v.props {
+                    if let Ok(c) = def.col(k.as_str()) {
+                        row[c] = val.clone();
+                    }
+                }
+                stage(&mut staged, table.to_string(), row);
+            }
+            for e in &op.new_edges {
+                let table = edge_def(e.src.label(), e.label, e.dst.label())?.table_name();
+                if !defs.contains_key(&table) {
+                    defs.insert(table.clone(), self.db.table_def(&table)?);
+                }
+                let def = &defs[&table];
+                let mut row = vec![Value::Null; def.arity()];
+                row[0] = Value::Int(e.src.local() as i64);
+                row[1] = Value::Int(e.dst.local() as i64);
+                for (k, val) in &e.props {
+                    if let Ok(c) = def.col(k.as_str()) {
+                        row[c] = val.clone();
+                    }
+                }
+                stage(&mut staged, table, row);
+            }
+        }
+        for (table, rows) in staged {
+            self.db.insert_rows(&table, rows)?;
+        }
+        Ok(ops.len())
+    }
+
     fn storage_bytes(&self) -> usize {
         self.db.storage_bytes()
     }

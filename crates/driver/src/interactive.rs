@@ -1,9 +1,12 @@
 //! The real-time interactive workload behind Figure 3.
 //!
 //! Architecture (the paper's Figure 1): the update stream is produced
-//! into a Kafka-like topic; a single writer continuously consumes the
-//! topic and applies updates to the system under test, honouring the
-//! dependency tracker; N concurrent closed-loop readers execute the
+//! into a partitioned Kafka-like topic, keyed by
+//! [`UpdateOp::partition_key`]; a pool of appliers (a consumer group,
+//! one partition each) continuously consumes the topic and applies
+//! batched updates to the system under test, honouring the dependency
+//! tracker through the per-partition frontier protocol (see
+//! [`crate::ingest`]); N concurrent closed-loop readers execute the
 //! reduced read mix (short reads + a 2-hop complex read). Read and
 //! write completions are bucketed per second to draw the figure.
 
@@ -12,15 +15,16 @@ use parking_lot::Mutex;
 use snb_core::metrics::{LatencyStats, ThroughputSeries};
 use snb_core::SnbError;
 use std::collections::HashMap;
-use snb_datagen::{GeneratedData, UpdateOp};
-use snb_mq::Broker;
+use snb_datagen::GeneratedData;
+use snb_mq::{Broker, Consumer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::adapter::SutAdapter;
+use crate::ingest::{applier_loop, Applier};
 use crate::ops::ParamGen;
-use crate::scheduler::DependencyTracker;
+use crate::scheduler::{DependencyTracker, IngestFrontiers};
 
 /// Knobs for the interactive run.
 #[derive(Debug, Clone)]
@@ -31,11 +35,21 @@ pub struct InteractiveConfig {
     pub duration: Duration,
     /// Parameter seed (same seed → same read mix for every system).
     pub seed: u64,
+    /// Parallel update appliers (= update-topic partitions).
+    pub appliers: usize,
+    /// Operations applied per engine batch.
+    pub batch_size: usize,
 }
 
 impl Default for InteractiveConfig {
     fn default() -> Self {
-        InteractiveConfig { readers: 32, duration: Duration::from_secs(10), seed: 0x1db0 }
+        InteractiveConfig {
+            readers: 32,
+            duration: Duration::from_secs(10),
+            seed: 0x1db0,
+            appliers: 2,
+            batch_size: 128,
+        }
     }
 }
 
@@ -83,13 +97,16 @@ pub fn run_interactive(
     data: &GeneratedData,
     config: &InteractiveConfig,
 ) -> InteractiveReport {
+    let appliers = config.appliers.max(1);
     let broker = Broker::new();
-    broker.create_topic("updates", 1).expect("fresh broker");
+    let topic = broker
+        .create_topic("updates", appliers as u32)
+        .expect("fresh broker");
     let producer = broker.producer("updates").expect("topic exists");
-    let mut consumer = broker.consumer("updates").expect("topic exists");
 
     let stop = Arc::new(AtomicBool::new(false));
     let tracker = Arc::new(DependencyTracker::new(data.cut_ms));
+    let frontiers = Arc::new(IngestFrontiers::new(appliers, data.cut_ms));
     let read_tput = Arc::new(ThroughputSeries::new());
     let write_tput = Arc::new(ThroughputSeries::new());
     let read_errors = Arc::new(AtomicU64::new(0));
@@ -98,57 +115,50 @@ pub fn run_interactive(
         Arc::new(Mutex::new(HashMap::new()));
 
     std::thread::scope(|scope| {
-        // Producer: streams the update operations into the queue.
+        // Producer: streams the update operations into the topic, keyed
+        // so every write touching one entity lands in one partition.
         {
             let stop = Arc::clone(&stop);
+            let frontiers = Arc::clone(&frontiers);
             let updates = &data.updates;
             scope.spawn(move || {
                 for op in updates {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
-                    producer.send(op.ts_ms, None, Bytes::from(op.encode_binary()));
+                    let key = Bytes::from(op.partition_key().to_le_bytes().to_vec());
+                    producer.send(op.ts_ms, Some(key), Bytes::from(op.encode_binary()));
+                    frontiers.producer_advance(op.ts_ms);
                 }
+                // Whether the stream ended or the run stopped, nothing
+                // more will be sent: let idle partitions drain.
+                frontiers.producer_finished();
             });
         }
 
-        // Writer: single consumer applying updates in stream order.
-        {
-            let stop = Arc::clone(&stop);
+        // Appliers: a consumer group, one partition each, applying
+        // dependency-ready updates in batches until the run stops.
+        for mut consumer in Consumer::group(&topic, appliers) {
             let tracker = Arc::clone(&tracker);
+            let frontiers = Arc::clone(&frontiers);
             let write_tput = Arc::clone(&write_tput);
             let write_errors = Arc::clone(&write_errors);
+            let stop = Arc::clone(&stop);
+            let batch_size = config.batch_size.max(1);
             scope.spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let batch = consumer.poll_wait(256, Duration::from_millis(20));
-                    for (_, record) in batch {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        let op: UpdateOp = match UpdateOp::decode_binary(&record.value) {
-                            Ok(op) => op,
-                            Err(_) => {
-                                write_errors.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                        };
-                        // Dependency tracking: wait for the watermark.
-                        if !tracker.wait_until_ready(op.dependency_ms, Duration::from_secs(2)) {
-                            write_errors.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        }
-                        match adapter.execute_update(&op) {
-                            Ok(()) => {
-                                write_tput.record();
-                            }
-                            Err(_) => {
-                                write_errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        tracker.mark_applied(op.ts_ms);
-                    }
-                    consumer.commit();
-                }
+                let ctx = Applier {
+                    adapter,
+                    tracker: &tracker,
+                    frontiers: &frontiers,
+                    applied: &write_tput,
+                    errors: &write_errors,
+                    stop: &stop,
+                    drain: false,
+                    batch_size,
+                    dependency_timeout: Duration::from_secs(2),
+                    pace_ops_per_sec: None,
+                };
+                applier_loop(&ctx, &mut consumer);
             });
         }
 
@@ -224,7 +234,12 @@ mod tests {
         let report = run_interactive(
             &adapter,
             &data,
-            &InteractiveConfig { readers: 4, duration: Duration::from_millis(600), seed: 1 },
+            &InteractiveConfig {
+                readers: 4,
+                duration: Duration::from_millis(600),
+                seed: 1,
+                ..InteractiveConfig::default()
+            },
         );
         assert!(report.total_reads > 0, "readers made progress");
         assert!(report.total_writes > 0, "writer made progress");

@@ -17,13 +17,17 @@
 //! * [`scheduler`] — LDBC dependency tracking: an update may only run
 //!   once everything at or before its dependency timestamp is applied.
 //! * [`micro`] — the latency runner behind Tables 2 and 3.
+//! * [`ingest`] — parallel, dependency-aware application of the update
+//!   stream: a partitioned topic, a consumer-group applier pool, and
+//!   batched engine writes.
 //! * [`interactive`] — the Kafka-fed real-time workload behind Figure 3:
-//!   one writer consuming the update topic, N concurrent closed-loop
-//!   readers.
+//!   an applier pool consuming the partitioned update topic, N
+//!   concurrent closed-loop readers.
 //! * [`loading`] — the bulk-load runner behind Table 4 and the
 //!   concurrent-loader scaling experiment of Appendix A.
 
 pub mod adapter;
+pub mod ingest;
 pub mod interactive;
 pub mod loading;
 pub mod micro;
@@ -32,4 +36,5 @@ pub mod scheduler;
 pub mod sqlg;
 
 pub use adapter::{build_all_adapters, OpResult, SutAdapter, SutKind};
+pub use ingest::{run_ingest, IngestConfig, IngestReport};
 pub use ops::{ParamGen, ReadOp};

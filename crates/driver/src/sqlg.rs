@@ -9,7 +9,8 @@
 use snb_core::ids::VERTEX_LABELS;
 use snb_core::schema::{edge_def, vertex_props, EDGE_DEFS};
 use snb_core::{
-    Direction, EdgeLabel, GraphBackend, PropKey, Result, SnbError, Value, VertexLabel, Vid,
+    Direction, EdgeLabel, GraphBackend, GraphWrite, PropKey, Result, SnbError, Value, VertexLabel,
+    Vid,
 };
 use snb_relational::Database;
 use std::fmt::Write as _;
@@ -81,6 +82,116 @@ impl GraphBackend for SqlgBackend {
             &params,
         )?;
         Ok(())
+    }
+
+    /// Sqlg's `BatchManager`: validate every element up front (endpoint
+    /// existence may be satisfied by vertices earlier in the batch),
+    /// stage full-arity rows per table, then flush each table through
+    /// the bulk insert path — one table lock per table instead of one
+    /// SQL statement (and two existence point-queries) per element. On
+    /// a failed element the staged prefix is flushed, matching the
+    /// default's stop-at-first-error contract.
+    fn apply_batch(&self, ops: &[GraphWrite]) -> Result<usize> {
+        let mut staged: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+        let mut slot: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut defs: std::collections::HashMap<String, snb_relational::TableDef> =
+            std::collections::HashMap::new();
+        let mut in_batch: std::collections::HashSet<Vid> = std::collections::HashSet::new();
+        let mut applied = 0usize;
+        let mut failure = None;
+        'ops: for op in ops {
+            let (table, row) = match op {
+                GraphWrite::AddVertex { label, local_id, props } => {
+                    let vid = Vid::new(*label, *local_id);
+                    if in_batch.contains(&vid) || self.vertex_exists(vid) {
+                        failure = Some(SnbError::Conflict(format!(
+                            "duplicate key {local_id} in `{label}`"
+                        )));
+                        break;
+                    }
+                    let table = label.as_str().to_string();
+                    if !defs.contains_key(&table) {
+                        match self.db.table_def(&table) {
+                            Ok(d) => {
+                                defs.insert(table.clone(), d);
+                            }
+                            Err(e) => {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let def = &defs[&table];
+                    let mut row = vec![Value::Null; def.arity()];
+                    row[0] = Value::Int(*local_id as i64);
+                    for (k, v) in props {
+                        match def.col(k.as_str()) {
+                            Ok(c) => row[c] = v.clone(),
+                            Err(e) => {
+                                failure = Some(e);
+                                break 'ops;
+                            }
+                        }
+                    }
+                    in_batch.insert(vid);
+                    (table, row)
+                }
+                GraphWrite::AddEdge { label, src, dst, props } => {
+                    let def = match edge_def(src.label(), *label, dst.label()) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    };
+                    for end in [src, dst] {
+                        if !in_batch.contains(end) && !self.vertex_exists(*end) {
+                            failure = Some(SnbError::NotFound(format!("vertex {end}")));
+                            break 'ops;
+                        }
+                    }
+                    let table = def.table_name();
+                    if !defs.contains_key(&table) {
+                        match self.db.table_def(&table) {
+                            Ok(d) => {
+                                defs.insert(table.clone(), d);
+                            }
+                            Err(e) => {
+                                failure = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let tdef = &defs[&table];
+                    let mut row = vec![Value::Null; tdef.arity()];
+                    row[0] = Value::Int(src.local() as i64);
+                    row[1] = Value::Int(dst.local() as i64);
+                    for (k, v) in props {
+                        match tdef.col(k.as_str()) {
+                            Ok(c) => row[c] = v.clone(),
+                            Err(e) => {
+                                failure = Some(e);
+                                break 'ops;
+                            }
+                        }
+                    }
+                    (table, row)
+                }
+            };
+            let ix = *slot.entry(table.clone()).or_insert_with(|| {
+                staged.push((table, Vec::new()));
+                staged.len() - 1
+            });
+            staged[ix].1.push(row);
+            applied += 1;
+        }
+        for (table, rows) in staged {
+            self.db.insert_rows(&table, rows)?;
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     fn vertex_exists(&self, v: Vid) -> bool {
@@ -292,6 +403,66 @@ mod tests {
             Err(SnbError::NotFound(_))
         ));
         assert!(g.vertex_prop(p(9), PropKey::FirstName).is_err());
+    }
+
+    #[test]
+    fn apply_batch_matches_one_by_one_and_flushes_prefix_on_error() {
+        let writes = vec![
+            GraphWrite::AddVertex {
+                label: VertexLabel::Person,
+                local_id: 1,
+                props: vec![(PropKey::FirstName, Value::str("Ada"))],
+            },
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 2, props: vec![] },
+            GraphWrite::AddEdge {
+                label: EdgeLabel::Knows,
+                src: p(1),
+                dst: p(2),
+                props: vec![(PropKey::CreationDate, Value::Date(7))],
+            },
+        ];
+        let one = backend();
+        for w in &writes {
+            match w {
+                GraphWrite::AddVertex { label, local_id, props } => {
+                    one.add_vertex(*label, *local_id, props).unwrap();
+                }
+                GraphWrite::AddEdge { label, src, dst, props } => {
+                    one.add_edge(*label, *src, *dst, props).unwrap();
+                }
+            }
+        }
+        let batched = backend();
+        // Edge endpoints created earlier in the same batch are visible.
+        assert_eq!(batched.apply_batch(&writes).unwrap(), 3);
+        assert_eq!(batched.vertex_count(), one.vertex_count());
+        assert_eq!(batched.edge_count(), one.edge_count());
+        assert_eq!(
+            batched.vertex_prop(p(1), PropKey::FirstName).unwrap(),
+            one.vertex_prop(p(1), PropKey::FirstName).unwrap()
+        );
+        assert_eq!(
+            batched.edge_prop(p(1), EdgeLabel::Knows, p(2), PropKey::CreationDate).unwrap(),
+            Some(Value::Date(7))
+        );
+        // A failed element stops the batch but the prefix is flushed.
+        let bad = vec![
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 3, props: vec![] },
+            GraphWrite::AddEdge { label: EdgeLabel::Knows, src: p(3), dst: p(9), props: vec![] },
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 4, props: vec![] },
+        ];
+        assert!(matches!(batched.apply_batch(&bad), Err(SnbError::NotFound(_))));
+        assert!(batched.vertex_exists(p(3)), "prefix before the failure is applied");
+        assert!(!batched.vertex_exists(p(4)), "suffix after the failure is not");
+        // Duplicates are rejected whether in-store or in-batch.
+        assert!(matches!(
+            batched.apply_batch(&[GraphWrite::AddVertex {
+                label: VertexLabel::Person,
+                local_id: 1,
+                props: vec![],
+            }]),
+            Err(SnbError::Conflict(_))
+        ));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use snb_core::schema::edge_def;
 use snb_core::{
-    Direction, EdgeLabel, FastMap, GraphBackend, PropKey, PropertyMap, Result, SnbError, Value,
-    VertexLabel, Vid,
+    Direction, EdgeLabel, FastMap, GraphBackend, GraphWrite, PropKey, PropertyMap, Result,
+    SnbError, Value, VertexLabel, Vid,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -121,6 +121,46 @@ impl Inner {
         a.iter().chain(b.iter()).filter(move |e| label.map_or(true, |l| e.label == l))
     }
 
+    /// Insert a vertex record (no schema work needed), returning its
+    /// slot index. Caller holds the write lock and handles dirty
+    /// tracking / checkpointing.
+    fn insert_vertex(&mut self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<u32> {
+        let vid = Vid::new(label, local_id);
+        if self.slot_ix(vid).is_some() {
+            return Err(SnbError::Conflict(format!("vertex {vid} already exists")));
+        }
+        let ix = self.slots.len() as u32;
+        let mut pm = PropertyMap::from_pairs(props);
+        pm.set(PropKey::Id, Value::Int(local_id as i64));
+        self.slots.push(VertexSlot { vid, props: pm, out: Vec::new(), inn: Vec::new() });
+        self.index_insert(vid, ix);
+        self.by_label[label as usize].push(ix);
+        Ok(ix)
+    }
+
+    /// Insert an edge (schema already checked by the caller, outside
+    /// the lock), returning the source slot index. Caller holds the
+    /// write lock and handles dirty tracking / checkpointing.
+    fn insert_edge(&mut self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<u32> {
+        let s = self.slot_ix(src).ok_or_else(|| SnbError::NotFound(format!("vertex {src}")))?;
+        let d = self.slot_ix(dst).ok_or_else(|| SnbError::NotFound(format!("vertex {dst}")))?;
+        let eprops = if props.is_empty() { None } else { Some(Box::new(PropertyMap::from_pairs(props))) };
+        self.slots[s as usize].out.push(AdjEntry { label, other: d, props: eprops });
+        self.slots[d as usize].inn.push(AdjEntry { label, other: s, props: None });
+        self.edge_count += 1;
+        Ok(s)
+    }
+
+    /// Reserve extra adjacency capacity on `v`'s slot (no-op if the
+    /// vertex does not exist yet).
+    fn reserve_adj(&mut self, v: Vid, out_n: u32, in_n: u32) {
+        if let Some(ix) = self.slot_ix(v) {
+            let slot = &mut self.slots[ix as usize];
+            slot.out.reserve(out_n as usize);
+            slot.inn.reserve(in_n as usize);
+        }
+    }
+
     /// Serialize one vertex record into the checkpoint page buffer.
     fn encode_slot(&self, ix: u32, buf: &mut Vec<u8>) {
         let slot = &self.slots[ix as usize];
@@ -225,10 +265,19 @@ impl NativeGraphStore {
     /// section, under a read lock only.
     fn finish_write(&self, mut inner: RwLockWriteGuard<'_, Inner>, touched: u32) {
         inner.dirty.push(touched);
-        if self.checkpoint.every_writes == 0 {
+        self.roll_checkpoint(inner, 1);
+    }
+
+    /// Fold `writes` completed write ops into the checkpoint counter
+    /// (dirty slots already recorded by the caller) and run at most one
+    /// checkpoint. Batched writers call this once per batch, so a batch
+    /// pays a single counter fold and a single threshold check instead
+    /// of one per op.
+    fn roll_checkpoint(&self, mut inner: RwLockWriteGuard<'_, Inner>, writes: usize) {
+        if self.checkpoint.every_writes == 0 || writes == 0 {
             return;
         }
-        inner.writes_since_checkpoint += 1;
+        inner.writes_since_checkpoint += writes;
         if inner.writes_since_checkpoint < self.checkpoint.every_writes {
             return;
         }
@@ -270,32 +319,79 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn add_vertex(&self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<Vid> {
-        let vid = Vid::new(label, local_id);
         let mut inner = self.inner.write();
-        if inner.slot_ix(vid).is_some() {
-            return Err(SnbError::Conflict(format!("vertex {vid} already exists")));
-        }
-        let ix = inner.slots.len() as u32;
-        let mut pm = PropertyMap::from_pairs(props);
-        pm.set(PropKey::Id, Value::Int(local_id as i64));
-        inner.slots.push(VertexSlot { vid, props: pm, out: Vec::new(), inn: Vec::new() });
-        inner.index_insert(vid, ix);
-        inner.by_label[label as usize].push(ix);
+        let ix = inner.insert_vertex(label, local_id, props)?;
         self.finish_write(inner, ix);
-        Ok(vid)
+        Ok(Vid::new(label, local_id))
     }
 
     fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()> {
         edge_def(src.label(), label, dst.label())?;
         let mut inner = self.inner.write();
-        let s = inner.slot_ix(src).ok_or_else(|| SnbError::NotFound(format!("vertex {src}")))?;
-        let d = inner.slot_ix(dst).ok_or_else(|| SnbError::NotFound(format!("vertex {dst}")))?;
-        let eprops = if props.is_empty() { None } else { Some(Box::new(PropertyMap::from_pairs(props))) };
-        inner.slots[s as usize].out.push(AdjEntry { label, other: d, props: eprops });
-        inner.slots[d as usize].inn.push(AdjEntry { label, other: s, props: None });
-        inner.edge_count += 1;
+        let s = inner.insert_edge(label, src, dst, props)?;
         self.finish_write(inner, s);
         Ok(())
+    }
+
+    fn apply_batch(&self, ops: &[GraphWrite]) -> Result<usize> {
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        // Pre-pass outside the lock: schema-check every edge and count,
+        // per endpoint, the adjacency entries this batch will add, so
+        // hot vertices grow their lists once instead of per edge.
+        let mut vertices = 0usize;
+        let mut adj: FastMap<Vid, (u32, u32)> = FastMap::default();
+        for op in ops {
+            match op {
+                GraphWrite::AddVertex { .. } => vertices += 1,
+                GraphWrite::AddEdge { label, src, dst, .. } => {
+                    edge_def(src.label(), *label, dst.label())?;
+                    adj.entry(*src).or_insert((0, 0)).0 += 1;
+                    adj.entry(*dst).or_insert((0, 0)).1 += 1;
+                }
+            }
+        }
+        let mut inner = self.inner.write();
+        inner.slots.reserve(vertices);
+        inner.dirty.reserve(ops.len());
+        let mut applied = 0usize;
+        let mut err = None;
+        for op in ops {
+            let touched = match op {
+                GraphWrite::AddVertex { label, local_id, props } => {
+                    inner.insert_vertex(*label, *local_id, props)
+                }
+                GraphWrite::AddEdge { label, src, dst, props } => {
+                    // The first edge touching an endpoint reserves the
+                    // whole batch's adjacency growth for it.
+                    if let Some((o, i)) = adj.remove(src) {
+                        inner.reserve_adj(*src, o, i);
+                    }
+                    if let Some((o, i)) = adj.remove(dst) {
+                        inner.reserve_adj(*dst, o, i);
+                    }
+                    inner.insert_edge(*label, *src, *dst, props)
+                }
+            };
+            match touched {
+                Ok(ix) => {
+                    inner.dirty.push(ix);
+                    applied += 1;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        // One checkpoint-counter fold for the whole batch (the applied
+        // prefix, if a write failed).
+        self.roll_checkpoint(inner, applied);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     fn vertex_exists(&self, v: Vid) -> bool {
@@ -503,6 +599,87 @@ mod tests {
             person(&s2, i);
         }
         assert_eq!(s2.checkpoints_taken(), 0);
+    }
+
+    #[test]
+    fn apply_batch_matches_one_by_one_application() {
+        let batch_writes = vec![
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 1, props: vec![(PropKey::FirstName, Value::str("a"))] },
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 2, props: vec![] },
+            GraphWrite::AddEdge {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, 1),
+                dst: Vid::new(VertexLabel::Person, 2),
+                props: vec![(PropKey::CreationDate, Value::Date(7))],
+            },
+        ];
+        let batched = NativeGraphStore::new();
+        assert_eq!(batched.apply_batch(&batch_writes).unwrap(), 3);
+        let serial = NativeGraphStore::new();
+        for w in &batch_writes {
+            serial.apply_batch(std::slice::from_ref(w)).unwrap();
+        }
+        for s in [&batched, &serial] {
+            assert_eq!(s.vertex_count(), 2);
+            assert_eq!(s.edge_count(), 1);
+            let (a, b) = (Vid::new(VertexLabel::Person, 1), Vid::new(VertexLabel::Person, 2));
+            assert_eq!(s.vertex_prop(a, PropKey::FirstName).unwrap(), Some(Value::str("a")));
+            assert_eq!(
+                s.edge_prop(a, EdgeLabel::Knows, b, PropKey::CreationDate).unwrap(),
+                Some(Value::Date(7))
+            );
+        }
+    }
+
+    #[test]
+    fn apply_batch_stops_at_first_error_keeping_prefix() {
+        let s = NativeGraphStore::new();
+        let writes = vec![
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 1, props: vec![] },
+            GraphWrite::AddEdge {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, 1),
+                dst: Vid::new(VertexLabel::Person, 99), // missing
+                props: vec![],
+            },
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 2, props: vec![] },
+        ];
+        assert!(matches!(s.apply_batch(&writes), Err(SnbError::NotFound(_))));
+        assert!(s.vertex_exists(Vid::new(VertexLabel::Person, 1)), "prefix applied");
+        assert!(!s.vertex_exists(Vid::new(VertexLabel::Person, 2)), "suffix not applied");
+        // A schema violation is caught in the pre-pass, before anything
+        // is applied at all.
+        let bad_schema = vec![
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 5, props: vec![] },
+            GraphWrite::AddEdge {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, 1),
+                dst: Vid::new(VertexLabel::Tag, 1),
+                props: vec![],
+            },
+        ];
+        assert!(matches!(s.apply_batch(&bad_schema), Err(SnbError::Plan(_))));
+        assert!(!s.vertex_exists(Vid::new(VertexLabel::Person, 5)));
+    }
+
+    #[test]
+    fn apply_batch_folds_checkpoint_counter_once() {
+        let s = NativeGraphStore::with_checkpoint(CheckpointConfig {
+            every_writes: 10,
+            stall: Duration::ZERO,
+        });
+        let writes: Vec<GraphWrite> = (0..25)
+            .map(|i| GraphWrite::AddVertex { label: VertexLabel::Person, local_id: i, props: vec![] })
+            .collect();
+        // 25 writes cross the threshold in one fold: exactly one
+        // checkpoint fires for the batch (vs 2 when applied one by one).
+        assert_eq!(s.apply_batch(&writes).unwrap(), 25);
+        assert_eq!(s.checkpoints_taken(), 1);
+        // The counter reset still schedules future checkpoints.
+        for i in 25..35 {
+            person(&s, i);
+        }
+        assert_eq!(s.checkpoints_taken(), 2);
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub trait KvBackend: Send + Sync {
     /// graph layer must lock around plain `put` otherwise.
     fn put_if_absent(&self, row: &[u8], col: &[u8], value: Bytes) -> Option<bool>;
 
+    /// Write many columns in one call, draining `writes` (the buffer's
+    /// capacity survives for reuse). The default loops over
+    /// [`KvBackend::put`]; backends override it to amortize lock
+    /// acquisitions and WAL appends across the batch. Writes to the
+    /// same row keep their relative order.
+    fn put_many(&self, writes: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>) {
+        for (row, col, value) in writes.drain(..) {
+            self.put(&row, &col, value);
+        }
+    }
+
     /// All columns of `row` whose key starts with `col_prefix`, in
     /// column order.
     fn scan(&self, row: &[u8], col_prefix: &[u8], out: &mut Vec<(Vec<u8>, Bytes)>);
@@ -71,6 +82,10 @@ impl BTreeKv {
 
     fn log_write(&self, row: &[u8], col: &[u8], value: &Bytes) {
         let mut wal = self.wal.lock();
+        Self::log_frame(&mut wal, row, col, value);
+    }
+
+    fn log_frame(wal: &mut Vec<u8>, row: &[u8], col: &[u8], value: &Bytes) {
         wal.extend_from_slice(&(row.len() as u32).to_le_bytes());
         wal.extend_from_slice(row);
         wal.extend_from_slice(&(col.len() as u32).to_le_bytes());
@@ -118,6 +133,27 @@ impl KvBackend for BTreeKv {
         r.insert(col.to_vec(), value);
         self.entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Some(true)
+    }
+
+    fn put_many(&self, writes: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>) {
+        if writes.is_empty() {
+            return;
+        }
+        // One tree lock and one WAL lock for the whole batch — the
+        // "group commit" an embedded transactional store does when many
+        // writes share a transaction.
+        let mut data = self.data.write();
+        let mut wal = self.wal.lock();
+        let mut fresh = 0usize;
+        for (row, col, value) in writes.drain(..) {
+            Self::log_frame(&mut wal, &row, &col, &value);
+            if data.entry(row).or_default().insert(col, value).is_none() {
+                fresh += 1;
+            }
+        }
+        if fresh > 0 {
+            self.entries.fetch_add(fresh, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     fn scan(&self, row: &[u8], col_prefix: &[u8], out: &mut Vec<(Vec<u8>, Bytes)>) {
@@ -181,8 +217,12 @@ impl PartitionedKv {
         }
     }
 
+    fn partition_ix(&self, row: &[u8]) -> usize {
+        (fxhash::hash_one(&row) % self.partitions.len() as u64) as usize
+    }
+
     fn partition(&self, row: &[u8]) -> &Mutex<FastMap<Vec<u8>, Row>> {
-        &self.partitions[(fxhash::hash_one(&row) % self.partitions.len() as u64) as usize]
+        &self.partitions[self.partition_ix(row)]
     }
 }
 
@@ -211,6 +251,38 @@ impl KvBackend for PartitionedKv {
 
     fn put_if_absent(&self, _row: &[u8], _col: &[u8], _value: Bytes) -> Option<bool> {
         None // no conditional writes, like Cassandra without LWT
+    }
+
+    fn put_many(&self, writes: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>) {
+        if writes.is_empty() {
+            return;
+        }
+        // Group by shard so each shard mutex is taken once per batch.
+        // The sort is stable, so writes to one row (same shard) keep
+        // their relative order.
+        writes.sort_by_key(|(row, _, _)| self.partition_ix(row));
+        let mut fresh = 0usize;
+        let mut i = 0usize;
+        while i < writes.len() {
+            let shard = self.partition_ix(&writes[i].0);
+            let mut p = self.partitions[shard].lock();
+            while i < writes.len() {
+                if self.partition_ix(&writes[i].0) != shard {
+                    break;
+                }
+                let w = &mut writes[i];
+                let (row, col, value) =
+                    (std::mem::take(&mut w.0), std::mem::take(&mut w.1), std::mem::take(&mut w.2));
+                if p.entry(row).or_default().insert(col, value).is_none() {
+                    fresh += 1;
+                }
+                i += 1;
+            }
+        }
+        writes.clear();
+        if fresh > 0 {
+            self.entries.fetch_add(fresh, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     fn scan(&self, row: &[u8], col_prefix: &[u8], out: &mut Vec<(Vec<u8>, Bytes)>) {
@@ -316,6 +388,24 @@ mod tests {
         let p = PartitionedKv::new();
         assert_eq!(p.put_if_absent(b"r", b"c", Bytes::new()), None);
         assert!(!p.transactional());
+    }
+
+    #[test]
+    fn put_many_matches_individual_puts() {
+        for b in backends() {
+            let mut writes: Vec<(Vec<u8>, Vec<u8>, Bytes)> = (0..100u32)
+                .map(|i| {
+                    (i.to_be_bytes().to_vec(), b"c".to_vec(), Bytes::from(i.to_le_bytes().to_vec()))
+                })
+                .collect();
+            // Same-row writes keep order: a later write wins.
+            writes.push((7u32.to_be_bytes().to_vec(), b"c".to_vec(), Bytes::from_static(b"new")));
+            b.put_many(&mut writes);
+            assert!(writes.is_empty(), "{}: batch drained", b.name());
+            assert_eq!(b.entry_count(), 100, "{}", b.name());
+            assert_eq!(b.get(&3u32.to_be_bytes(), b"c"), Some(Bytes::from(3u32.to_le_bytes().to_vec())));
+            assert_eq!(b.get(&7u32.to_be_bytes(), b"c"), Some(Bytes::from_static(b"new")));
+        }
     }
 
     #[test]

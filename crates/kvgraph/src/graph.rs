@@ -4,7 +4,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use snb_core::schema::edge_def;
 use snb_core::{
-    Direction, EdgeLabel, GraphBackend, PropKey, Result, SnbError, Value, VertexLabel, Vid,
+    Direction, EdgeLabel, GraphBackend, GraphWrite, PropKey, Result, SnbError, Value, VertexLabel,
+    Vid,
 };
 use snb_core::fxhash;
 
@@ -70,6 +71,66 @@ impl<B: KvBackend> KvGraph<B> {
     /// Access the underlying backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Claim the vertex's existence marker (immediately, so later ops
+    /// in the same batch see it) and stage its property and label-index
+    /// columns into `writes` for a deferred bulk flush.
+    fn stage_vertex(
+        &self,
+        label: VertexLabel,
+        local_id: u64,
+        props: &[(PropKey, Value)],
+        writes: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        let vid = Vid::new(label, local_id);
+        let row = codec::vertex_row(vid);
+        let marker = Bytes::copy_from_slice(&[label as u8]);
+        match self.backend.put_if_absent(&row, col::EXISTS, marker.clone()) {
+            Some(true) => {}
+            Some(false) => return Err(SnbError::Conflict(format!("vertex {vid} already exists"))),
+            None => {
+                let _guard = self.locks.lock(&row);
+                if self.backend.get(&row, col::EXISTS).is_some() {
+                    return Err(SnbError::Conflict(format!("vertex {vid} already exists")));
+                }
+                self.backend.put(&row, col::EXISTS, marker);
+            }
+        }
+        writes.push((row.to_vec(), col::prop(PropKey::Id), codec::encode_props(&[(PropKey::Id, Value::Int(local_id as i64))])));
+        for (k, v) in props {
+            writes.push((row.to_vec(), col::prop(*k), codec::encode_props(&[(*k, v.clone())])));
+        }
+        writes.push((codec::label_index_row(label).to_vec(), row.to_vec(), Bytes::new()));
+        Ok(())
+    }
+
+    /// Check an edge's schema and endpoints (existence markers are
+    /// written eagerly, so in-batch vertices are visible) and stage its
+    /// two adjacency columns. Deferred edge writes skip the per-edge
+    /// `lock_pair` — batch callers route by key upstream, so two
+    /// appliers never race on one source entity.
+    fn stage_edge(
+        &self,
+        label: EdgeLabel,
+        src: Vid,
+        dst: Vid,
+        props: &[(PropKey, Value)],
+        writes: &mut Vec<(Vec<u8>, Vec<u8>, Bytes)>,
+    ) -> Result<()> {
+        edge_def(src.label(), label, dst.label())?;
+        let src_row = codec::vertex_row(src);
+        let dst_row = codec::vertex_row(dst);
+        if self.backend.get(&src_row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {src}")));
+        }
+        if self.backend.get(&dst_row, col::EXISTS).is_none() {
+            return Err(SnbError::NotFound(format!("vertex {dst}")));
+        }
+        let payload = codec::encode_props(props);
+        writes.push((src_row.to_vec(), col::edge(Direction::Out, label, dst), payload.clone()));
+        writes.push((dst_row.to_vec(), col::edge(Direction::In, label, src), payload));
+        Ok(())
     }
 }
 
@@ -243,6 +304,46 @@ impl<B: KvBackend> GraphBackend for KvGraph<B> {
     fn storage_bytes(&self) -> usize {
         self.backend.storage_bytes()
     }
+
+    fn apply_batch(&self, ops: &[GraphWrite]) -> Result<usize> {
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        // Stage every column write, then flush them in one backend
+        // call: the BTree backend group-commits (one tree + WAL lock),
+        // the partitioned backend takes each shard mutex once.
+        let mut writes: Vec<(Vec<u8>, Vec<u8>, Bytes)> = Vec::with_capacity(ops.len() * 3);
+        let mut vertices = 0usize;
+        let mut edges = 0usize;
+        let mut applied = 0usize;
+        let mut err = None;
+        for op in ops {
+            let staged = match op {
+                GraphWrite::AddVertex { label, local_id, props } => {
+                    self.stage_vertex(*label, *local_id, props, &mut writes).map(|()| vertices += 1)
+                }
+                GraphWrite::AddEdge { label, src, dst, props } => {
+                    self.stage_edge(*label, *src, *dst, props, &mut writes).map(|()| edges += 1)
+                }
+            };
+            match staged {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Flush the staged prefix even when a later op failed, matching
+        // the one-by-one contract (prefix applied, suffix not).
+        self.backend.put_many(&mut writes);
+        self.vertex_count.fetch_add(vertices, std::sync::atomic::Ordering::Relaxed);
+        self.edge_count.fetch_add(edges, std::sync::atomic::Ordering::Relaxed);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +467,56 @@ mod tests {
             .unwrap();
         }
         assert_eq!(g.edge_count(), 199);
+    }
+
+    #[test]
+    fn apply_batch_matches_one_by_one_on_both_backends() {
+        let writes = vec![
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 1, props: vec![(PropKey::FirstName, Value::str("a"))] },
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 2, props: vec![] },
+            GraphWrite::AddEdge {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, 1),
+                dst: Vid::new(VertexLabel::Person, 2),
+                props: vec![(PropKey::CreationDate, Value::Date(7))],
+            },
+        ];
+        let (bt, pt) = graphs();
+        for g in [&bt as &dyn GraphBackend, &pt as &dyn GraphBackend] {
+            assert_eq!(g.apply_batch(&writes).unwrap(), 3);
+            let (a, b) = (Vid::new(VertexLabel::Person, 1), Vid::new(VertexLabel::Person, 2));
+            assert_eq!(g.vertex_count(), 2);
+            assert_eq!(g.edge_count(), 1);
+            assert_eq!(g.vertex_prop(a, PropKey::FirstName).unwrap(), Some(Value::str("a")));
+            assert_eq!(g.vertex_prop(a, PropKey::Id).unwrap(), Some(Value::Int(1)));
+            assert!(g.edge_exists(a, EdgeLabel::Knows, b).unwrap());
+            assert_eq!(
+                g.edge_prop(a, EdgeLabel::Knows, b, PropKey::CreationDate).unwrap(),
+                Some(Value::Date(7))
+            );
+            assert_eq!(g.vertices_by_label(VertexLabel::Person).unwrap().len(), 2);
+            // Duplicate batch: the conflict surfaces and nothing doubles.
+            assert!(matches!(g.apply_batch(&writes[..1]), Err(SnbError::Conflict(_))));
+            assert_eq!(g.vertex_count(), 2);
+        }
+    }
+
+    #[test]
+    fn apply_batch_prefix_survives_failed_op() {
+        let (bt, _) = graphs();
+        let writes = vec![
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 1, props: vec![] },
+            GraphWrite::AddEdge {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, 1),
+                dst: Vid::new(VertexLabel::Person, 99),
+                props: vec![],
+            },
+            GraphWrite::AddVertex { label: VertexLabel::Person, local_id: 2, props: vec![] },
+        ];
+        assert!(matches!(bt.apply_batch(&writes), Err(SnbError::NotFound(_))));
+        assert!(bt.vertex_exists(Vid::new(VertexLabel::Person, 1)));
+        assert!(!bt.vertex_exists(Vid::new(VertexLabel::Person, 2)));
     }
 
     #[test]

@@ -5,76 +5,152 @@ use std::time::Duration;
 
 use crate::record::Record;
 use crate::topic::Topic;
+use crate::{MqError, Result};
 
-/// A consumer over every partition of one topic.
+/// A consumer over an assigned subset of one topic's partitions.
 ///
-/// `poll` advances the in-memory *position*; `commit` persists it. On
-/// `reset_to_committed` the position rewinds to the last commit, so a
-/// crashed consumer re-reads uncommitted records — at-least-once
-/// delivery, the same contract Kafka gives the paper's update executor.
+/// [`Consumer::new`] assigns every partition (the standalone mode the
+/// driver used historically); [`Consumer::group`] splits a topic's
+/// partitions across N members so each record is consumed by exactly
+/// one member — Kafka's consumer-group contract, which is what lets N
+/// appliers ingest the update stream in parallel without coordination.
+///
+/// `poll` advances the in-memory *position*; `commit` persists it, per
+/// partition. On `reset_to_committed` the position rewinds to the last
+/// commit, so a crashed consumer re-reads uncommitted records —
+/// at-least-once delivery, the same contract Kafka gives the paper's
+/// update executor.
 pub struct Consumer {
     topic: Arc<Topic>,
+    /// Owned partitions; `positions`/`committed` are parallel to this.
+    assignment: Vec<u32>,
     positions: Vec<u64>,
     committed: Vec<u64>,
 }
 
 impl Consumer {
-    /// Consumer starting at the beginning of every partition.
+    /// Consumer owning every partition, starting at the beginning.
     pub fn new(topic: Arc<Topic>) -> Self {
-        let n = topic.partition_count() as usize;
-        Consumer { topic, positions: vec![0; n], committed: vec![0; n] }
+        let assignment: Vec<u32> = (0..topic.partition_count()).collect();
+        Consumer::with_assignment(topic, assignment).expect("full assignment is in range")
     }
 
-    /// Non-blocking poll: up to `max` records across partitions, in
-    /// partition order. Advances positions past the returned records.
-    pub fn poll(&mut self, max: usize) -> Vec<(u32, Record)> {
-        let mut out = Vec::new();
-        for part in 0..self.topic.partition_count() {
-            if out.len() >= max {
+    /// Consumer owning exactly the given partitions. Duplicates are
+    /// dropped; an out-of-range partition is an error. An empty
+    /// assignment is legal (a group can have more members than
+    /// partitions) — such a consumer simply never receives records.
+    pub fn with_assignment(topic: Arc<Topic>, mut assignment: Vec<u32>) -> Result<Self> {
+        assignment.sort_unstable();
+        assignment.dedup();
+        for &p in &assignment {
+            if p >= topic.partition_count() {
+                return Err(MqError::UnknownPartition { topic: topic.name().to_string(), partition: p });
+            }
+        }
+        let n = assignment.len();
+        Ok(Consumer { topic, assignment, positions: vec![0; n], committed: vec![0; n] })
+    }
+
+    /// Split a topic's partitions across `members` consumers: member
+    /// `i` owns every partition `p` with `p % members == i`. Together
+    /// the members cover the topic exactly once, each committing its
+    /// own partitions' offsets independently.
+    pub fn group(topic: &Arc<Topic>, members: usize) -> Vec<Consumer> {
+        let members = members.max(1);
+        (0..members)
+            .map(|i| {
+                let assignment: Vec<u32> = (0..topic.partition_count())
+                    .filter(|p| *p as usize % members == i)
+                    .collect();
+                Consumer::with_assignment(Arc::clone(topic), assignment)
+                    .expect("group assignment is in range by construction")
+            })
+            .collect()
+    }
+
+    /// The partitions this consumer owns (sorted).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Non-blocking poll into a caller-supplied buffer: appends up to
+    /// `max` records across the assigned partitions, in partition
+    /// order, and returns how many were appended. Advances positions
+    /// past the returned records. The buffer is *not* cleared — reusing
+    /// one `Vec` across polls is what keeps the hot ingest loop free of
+    /// per-poll allocation.
+    pub fn poll_into(&mut self, max: usize, out: &mut Vec<(u32, Record)>) -> usize {
+        let mut appended = 0usize;
+        for (slot, &part) in self.assignment.iter().enumerate() {
+            if appended >= max {
                 break;
             }
-            let pos = self.positions[part as usize];
-            let batch = self
+            let pos = self.positions[slot];
+            let n = self
                 .topic
                 .partition(part)
-                .expect("partition in range")
-                .fetch(pos, max - out.len());
-            if let Some(last) = batch.last() {
-                self.positions[part as usize] = last.offset + 1;
-            }
-            out.extend(batch.into_iter().map(|r| (part, r)));
+                .expect("assigned partition in range")
+                .fetch_map(pos, max - appended, |r| out.push((part, r.clone())));
+            self.positions[slot] = pos + n as u64;
+            appended += n;
         }
+        appended
+    }
+
+    /// Non-blocking poll: up to `max` records across the assigned
+    /// partitions, in partition order. Allocates a fresh buffer; hot
+    /// loops should use [`Consumer::poll_into`].
+    pub fn poll(&mut self, max: usize) -> Vec<(u32, Record)> {
+        let mut out = Vec::new();
+        self.poll_into(max, &mut out);
         out
+    }
+
+    /// Blocking poll into a caller-supplied buffer: waits up to
+    /// `timeout` for at least one record on the assigned partitions.
+    pub fn poll_wait_into(&mut self, max: usize, timeout: Duration, out: &mut Vec<(u32, Record)>) -> usize {
+        let n = self.poll_into(max, out);
+        if n > 0 {
+            return n;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let n = self.poll_into(max, out);
+            if n > 0 {
+                return n;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return 0;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(5));
+            match self.assignment.first() {
+                // Block on the first assigned partition's condvar as the
+                // wakeup source, then re-check all assigned partitions.
+                // Busy-looping across condvars is not worth it for the
+                // benchmark's single-digit partition counts.
+                Some(&first) => {
+                    let pos = self.positions[0];
+                    self.topic
+                        .partition(first)
+                        .expect("assigned partition in range")
+                        .wait_for(pos, wait);
+                }
+                // No partitions assigned: nothing can ever arrive.
+                None => std::thread::sleep(wait),
+            }
+        }
     }
 
     /// Blocking poll: waits up to `timeout` for at least one record.
     pub fn poll_wait(&mut self, max: usize, timeout: Duration) -> Vec<(u32, Record)> {
-        let got = self.poll(max);
-        if !got.is_empty() {
-            return got;
-        }
-        // Block on partition 0's condvar as the wakeup source, then
-        // re-check all partitions. Busy-looping across condvars is not
-        // worth it for the benchmark's single-digit partition counts.
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            let got = self.poll(max);
-            if !got.is_empty() {
-                return got;
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return Vec::new();
-            }
-            let pos = self.positions[0];
-            self.topic
-                .partition(0)
-                .expect("partition 0 exists")
-                .wait_for(pos, (deadline - now).min(Duration::from_millis(5)));
-        }
+        let mut out = Vec::new();
+        self.poll_wait_into(max, timeout, &mut out);
+        out
     }
 
-    /// Persist the current positions as the committed offsets.
+    /// Persist the current positions as the committed offsets, per
+    /// owned partition.
     pub fn commit(&mut self) {
         self.committed.clone_from(&self.positions);
     }
@@ -85,17 +161,22 @@ impl Consumer {
         self.positions.clone_from(&self.committed);
     }
 
-    /// Records appended but not yet polled, across all partitions.
+    /// Records appended but not yet polled, across owned partitions.
     pub fn lag(&self) -> u64 {
-        self.topic
-            .end_offsets()
+        self.assignment
             .iter()
             .zip(&self.positions)
-            .map(|(end, pos)| end.saturating_sub(*pos))
+            .map(|(&part, pos)| {
+                self.topic
+                    .partition(part)
+                    .expect("assigned partition in range")
+                    .end_offset()
+                    .saturating_sub(*pos)
+            })
             .sum()
     }
 
-    /// Current (uncommitted) positions per partition.
+    /// Current (uncommitted) positions, parallel to [`Consumer::assignment`].
     pub fn positions(&self) -> &[u64] {
         &self.positions
     }
@@ -106,11 +187,25 @@ mod tests {
     use super::*;
     use crate::producer::Producer;
     use bytes::Bytes;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn setup(parts: u32) -> (Arc<Topic>, Producer) {
         let t = Arc::new(Topic::new("t", parts).unwrap());
         let p = Producer::new(Arc::clone(&t));
         (t, p)
+    }
+
+    /// Deadline-poll until `pred` holds; false if `timeout` elapses
+    /// first. Replaces fixed `sleep` waits that raced on slow CI.
+    fn eventually(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !pred() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
     }
 
     #[test]
@@ -137,6 +232,23 @@ mod tests {
         assert_eq!(batch.len(), 7);
         let rest = c.poll(100);
         assert_eq!(rest.len(), 13);
+    }
+
+    #[test]
+    fn poll_into_reuses_buffer_without_clearing() {
+        let (t, p) = setup(1);
+        for i in 0..6 {
+            p.send(i, None, Bytes::new());
+        }
+        let mut c = Consumer::new(t);
+        let mut buf = Vec::new();
+        assert_eq!(c.poll_into(4, &mut buf), 4);
+        let cap = buf.capacity();
+        buf.clear();
+        assert_eq!(c.poll_into(4, &mut buf), 2);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].1.offset, 4);
+        assert_eq!(buf.capacity(), cap, "no reallocation on the second poll");
     }
 
     #[test]
@@ -169,11 +281,60 @@ mod tests {
     }
 
     #[test]
+    fn group_members_partition_the_topic() {
+        let (t, p) = setup(4);
+        for i in 0..40 {
+            // Unkeyed records round-robin across all 4 partitions.
+            p.send(i, None, Bytes::from(vec![i as u8]));
+        }
+        let mut group = Consumer::group(&t, 2);
+        assert_eq!(group[0].assignment(), &[0, 2]);
+        assert_eq!(group[1].assignment(), &[1, 3]);
+        let a = group[0].poll(100);
+        let b = group[1].poll(100);
+        assert_eq!(a.len() + b.len(), 40);
+        // No record is seen by both members.
+        assert!(a.iter().all(|(part, _)| *part == 0 || *part == 2));
+        assert!(b.iter().all(|(part, _)| *part == 1 || *part == 3));
+        // Per-member lag and commit are scoped to owned partitions.
+        assert_eq!(group[0].lag(), 0);
+        group[0].commit();
+        assert_eq!(group[0].positions(), &[10, 10]);
+    }
+
+    #[test]
+    fn group_with_more_members_than_partitions_leaves_idle_members() {
+        let (t, p) = setup(2);
+        p.send(0, None, Bytes::new());
+        let mut group = Consumer::group(&t, 3);
+        assert_eq!(group[2].assignment(), &[] as &[u32]);
+        assert_eq!(group[2].lag(), 0);
+        assert!(group[2].poll(10).is_empty());
+        assert!(group[2].poll_wait(10, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn with_assignment_rejects_out_of_range_partitions() {
+        let (t, _p) = setup(2);
+        assert!(Consumer::with_assignment(Arc::clone(&t), vec![0, 5]).is_err());
+        let c = Consumer::with_assignment(t, vec![1, 1, 0]).unwrap();
+        assert_eq!(c.assignment(), &[0, 1], "sorted and deduplicated");
+    }
+
+    #[test]
     fn poll_wait_returns_promptly_when_data_arrives() {
         let (t, p) = setup(1);
         let mut c = Consumer::new(Arc::clone(&t));
-        let h = std::thread::spawn(move || c.poll_wait(10, Duration::from_secs(5)));
-        std::thread::sleep(Duration::from_millis(20));
+        let entered = Arc::new(AtomicBool::new(false));
+        let entered2 = Arc::clone(&entered);
+        let h = std::thread::spawn(move || {
+            entered2.store(true, Ordering::SeqCst);
+            c.poll_wait(10, Duration::from_secs(5))
+        });
+        // Deadline-poll for the waiter to start instead of a fixed
+        // sleep; poll_wait re-checks after blocking, so the send is
+        // observed whether it lands before or after the wait begins.
+        assert!(eventually(Duration::from_secs(5), || entered.load(Ordering::SeqCst)));
         p.send(1, None, Bytes::from_static(b"hello"));
         let got = h.join().unwrap();
         assert_eq!(got.len(), 1);

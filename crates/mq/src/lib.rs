@@ -17,12 +17,14 @@
 
 pub mod broker;
 pub mod consumer;
+pub mod partitioner;
 pub mod producer;
 pub mod record;
 pub mod topic;
 
 pub use broker::Broker;
 pub use consumer::Consumer;
+pub use partitioner::Partitioner;
 pub use producer::Producer;
 pub use record::Record;
 pub use topic::Topic;

@@ -1,25 +1,26 @@
 //! Producers: append records to a topic, routing by key hash.
 
 use bytes::Bytes;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::partitioner::Partitioner;
 use crate::topic::Topic;
 
-/// Appends records to a topic. Keyed records always land in the same
-/// partition (per-key ordering, like Kafka); unkeyed records are sprayed
-/// round-robin.
+/// Appends records to a topic. Keyed records route through the stable
+/// [`Partitioner`] and always land in the same partition (per-key
+/// ordering, like Kafka); unkeyed records are sprayed round-robin.
 pub struct Producer {
     topic: Arc<Topic>,
+    partitioner: Partitioner,
     round_robin: AtomicU64,
 }
 
 impl Producer {
     /// Producer over an existing topic.
     pub fn new(topic: Arc<Topic>) -> Self {
-        Producer { topic, round_robin: AtomicU64::new(0) }
+        let partitioner = Partitioner::new(topic.partition_count());
+        Producer { topic, partitioner, round_robin: AtomicU64::new(0) }
     }
 
     /// The topic this producer writes to.
@@ -27,15 +28,16 @@ impl Producer {
         &self.topic
     }
 
+    /// The key→partition mapping this producer routes with.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
     /// Send a record; returns `(partition, offset)`.
     pub fn send(&self, timestamp_ms: i64, key: Option<Bytes>, value: Bytes) -> (u32, u64) {
         let n = self.topic.partition_count();
         let partition = match &key {
-            Some(k) => {
-                let mut h = DefaultHasher::new();
-                k.hash(&mut h);
-                (h.finish() % n as u64) as u32
-            }
+            Some(k) => self.partitioner.partition_for(k),
             None => (self.round_robin.fetch_add(1, Ordering::Relaxed) % n as u64) as u32,
         };
         let offset = self
@@ -75,6 +77,20 @@ mod tests {
         let p = Producer::new(Arc::clone(&t));
         let parts: Vec<u32> = (0..8).map(|i| p.send(i, None, Bytes::new()).0).collect();
         assert_eq!(parts, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn keyed_routing_agrees_with_partitioner() {
+        // Consumers that need to know where a key lives (e.g. the
+        // driver's appliers) use the same Partitioner the producer
+        // routes with; the two must agree.
+        let t = topic(8);
+        let p = Producer::new(Arc::clone(&t));
+        for i in 0..50u64 {
+            let key = Bytes::from(i.to_le_bytes().to_vec());
+            let (part, _) = p.send(0, Some(key.clone()), Bytes::new());
+            assert_eq!(part, p.partitioner().partition_for(&key));
+        }
     }
 
     #[test]

@@ -124,6 +124,20 @@ impl Partition {
         log[start..end].to_vec()
     }
 
+    /// Visit up to `max` records starting at `from` (inclusive) under
+    /// the read lock, returning how many were visited. Lets consumers
+    /// copy records straight into a reused buffer instead of allocating
+    /// a fresh `Vec` per fetch.
+    pub fn fetch_map<F: FnMut(&Record)>(&self, from: u64, max: usize, mut f: F) -> usize {
+        let log = self.log.read();
+        let start = (from as usize).min(log.len());
+        let end = (start + max).min(log.len());
+        for r in &log[start..end] {
+            f(r);
+        }
+        end - start
+    }
+
     /// Offset one past the last appended record.
     pub fn end_offset(&self) -> u64 {
         self.log.read().len() as u64
@@ -249,12 +263,37 @@ mod tests {
 
     #[test]
     fn wait_for_wakes_on_append() {
+        use std::sync::atomic::{AtomicBool, Ordering};
         let p = Arc::new(Partition::new());
         let p2 = Arc::clone(&p);
-        let h = std::thread::spawn(move || p2.wait_for(0, Duration::from_secs(5)));
-        std::thread::sleep(Duration::from_millis(20));
+        let entered = Arc::new(AtomicBool::new(false));
+        let entered2 = Arc::clone(&entered);
+        let h = std::thread::spawn(move || {
+            entered2.store(true, Ordering::SeqCst);
+            p2.wait_for(0, Duration::from_secs(5))
+        });
+        // Deadline-poll for the waiter thread instead of a fixed sleep;
+        // wait_for re-checks end_offset under the lock, so the append
+        // is observed whether it lands before or after the wait begins.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !entered.load(Ordering::SeqCst) {
+            assert!(std::time::Instant::now() < deadline, "waiter thread never started");
+            std::thread::yield_now();
+        }
         p.append(0, None, Bytes::from_static(b"x"));
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn fetch_map_visits_without_allocating() {
+        let p = Partition::new();
+        for i in 0..10u8 {
+            p.append(i as i64, None, Bytes::from(vec![i]));
+        }
+        let mut seen = Vec::new();
+        assert_eq!(p.fetch_map(7, 100, |r| seen.push(r.offset)), 3);
+        assert_eq!(seen, vec![7, 8, 9]);
+        assert_eq!(p.fetch_map(99, 10, |_| panic!("out of range visits nothing")), 0);
     }
 
     #[test]

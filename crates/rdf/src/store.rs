@@ -109,9 +109,7 @@ impl TripleStore {
         self.config
     }
 
-    /// Insert one ground triple (idempotent — RDF graphs are sets).
-    pub fn insert(&self, s: &Term, p: &Term, o: &Term) {
-        let mut inner = self.inner.write();
+    fn insert_locked(inner: &mut Inner, s: &Term, p: &Term, o: &Term) {
         let (s, p, o) = (inner.dict.encode(s), inner.dict.encode(p), inner.dict.encode(o));
         let mut added = false;
         for (perm, set) in &mut inner.indexes {
@@ -122,48 +120,96 @@ impl TripleStore {
         }
     }
 
-    /// Insert an SNB vertex: `rdf:type` + `snb:id` + one triple per
-    /// property (list values expand to one triple per element).
-    pub fn insert_vertex(&self, label: VertexLabel, id: u64, props: &[(PropKey, Value)]) {
+    /// Insert one ground triple (idempotent — RDF graphs are sets).
+    pub fn insert(&self, s: &Term, p: &Term, o: &Term) {
+        Self::insert_locked(&mut self.inner.write(), s, p, o);
+    }
+
+    /// Insert many ground triples under a single write-lock acquisition
+    /// — the bulk path parallel appliers use so N triples cost one lock
+    /// round trip instead of N.
+    pub fn insert_batch(&self, triples: &[(Term, Term, Term)]) {
+        if triples.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write();
+        for (s, p, o) in triples {
+            Self::insert_locked(&mut inner, s, p, o);
+        }
+    }
+
+    /// Expand an SNB vertex into its triples: `rdf:type` + `snb:id` +
+    /// one triple per property (list values expand to one triple per
+    /// element). Pure builder — takes no locks.
+    pub fn vertex_triples(
+        label: VertexLabel,
+        id: u64,
+        props: &[(PropKey, Value)],
+        out: &mut Vec<(Term, Term, Term)>,
+    ) {
         let e = Term::Entity(Vid::new(label, id));
-        self.insert(&e, &Term::Pred(PRED_TYPE), &Term::Lit(Value::str(label.as_str())));
-        self.insert(&e, &Term::Pred(prop_pred(PropKey::Id)), &Term::Lit(Value::Int(id as i64)));
+        out.push((e.clone(), Term::Pred(PRED_TYPE), Term::Lit(Value::str(label.as_str()))));
+        out.push((e.clone(), Term::Pred(prop_pred(PropKey::Id)), Term::Lit(Value::Int(id as i64))));
         for (k, v) in props {
             match v {
                 Value::List(items) => {
                     for item in items {
-                        self.insert(&e, &Term::Pred(prop_pred(*k)), &Term::Lit(item.clone()));
+                        out.push((e.clone(), Term::Pred(prop_pred(*k)), Term::Lit(item.clone())));
                     }
                 }
-                v => self.insert(&e, &Term::Pred(prop_pred(*k)), &Term::Lit(v.clone())),
+                v => out.push((e.clone(), Term::Pred(prop_pred(*k)), Term::Lit(v.clone()))),
             }
         }
     }
 
-    /// Insert an SNB edge. Property-less edges are a single triple;
-    /// edges with properties are additionally reified into a statement
-    /// node carrying `snb:src` / `snb:dst` / property triples. `knows`
-    /// is reified in both directions (it is queried symmetrically).
-    pub fn insert_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) {
+    /// Expand an SNB edge into its triples. Property-less edges are a
+    /// single triple; edges with properties are additionally reified
+    /// into a statement node carrying `snb:src` / `snb:dst` / property
+    /// triples. `knows` is reified in both directions (it is queried
+    /// symmetrically). Statement nodes come from `fresh_stmt`, which
+    /// takes its own short dictionary lock — call this BEFORE taking
+    /// any batch-wide lock.
+    pub fn edge_triples(
+        &self,
+        label: EdgeLabel,
+        src: Vid,
+        dst: Vid,
+        props: &[(PropKey, Value)],
+        out: &mut Vec<(Term, Term, Term)>,
+    ) {
         let s = Term::Entity(src);
         let d = Term::Entity(dst);
-        self.insert(&s, &Term::Pred(edge_pred(label)), &d);
+        out.push((s.clone(), Term::Pred(edge_pred(label)), d.clone()));
         if props.is_empty() {
             return;
         }
-        let reify = |from: &Term, to: &Term| {
-            let stmt = { self.inner.write().dict.fresh_stmt() };
-            self.insert(&stmt, &Term::Pred(PRED_TYPE), &Term::Lit(Value::str(label.as_str())));
-            self.insert(&stmt, &Term::Pred(PRED_SRC), from);
-            self.insert(&stmt, &Term::Pred(PRED_DST), to);
+        let reify = |from: &Term, to: &Term, out: &mut Vec<(Term, Term, Term)>| {
+            let stmt = self.fresh_stmt();
+            out.push((stmt.clone(), Term::Pred(PRED_TYPE), Term::Lit(Value::str(label.as_str()))));
+            out.push((stmt.clone(), Term::Pred(PRED_SRC), from.clone()));
+            out.push((stmt.clone(), Term::Pred(PRED_DST), to.clone()));
             for (k, v) in props {
-                self.insert(&stmt, &Term::Pred(prop_pred(*k)), &Term::Lit(v.clone()));
+                out.push((stmt.clone(), Term::Pred(prop_pred(*k)), Term::Lit(v.clone())));
             }
         };
-        reify(&s, &d);
+        reify(&s, &d, out);
         if label == EdgeLabel::Knows {
-            reify(&d, &s);
+            reify(&d, &s, out);
         }
+    }
+
+    /// Insert an SNB vertex (see [`TripleStore::vertex_triples`]).
+    pub fn insert_vertex(&self, label: VertexLabel, id: u64, props: &[(PropKey, Value)]) {
+        let mut triples = Vec::new();
+        Self::vertex_triples(label, id, props, &mut triples);
+        self.insert_batch(&triples);
+    }
+
+    /// Insert an SNB edge (see [`TripleStore::edge_triples`]).
+    pub fn insert_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) {
+        let mut triples = Vec::new();
+        self.edge_triples(label, src, dst, props, &mut triples);
+        self.insert_batch(&triples);
     }
 
     /// Allocate a fresh reified-statement node (used for blank nodes in
@@ -367,6 +413,49 @@ mod tests {
             s.match_pattern(None, Some(&knows), Some(&person(2)), &mut out).unwrap();
             assert_eq!(out.len(), 2, "config {cfg:?}");
         }
+    }
+
+    #[test]
+    fn batched_triples_match_per_triple_insertion() {
+        let one = TripleStore::new();
+        let batched = TripleStore::new();
+        one.insert_vertex(VertexLabel::Person, 1, &[(PropKey::FirstName, Value::str("Ada"))]);
+        one.insert_vertex(VertexLabel::Person, 2, &[]);
+        one.insert_edge(
+            EdgeLabel::Knows,
+            Vid::new(VertexLabel::Person, 1),
+            Vid::new(VertexLabel::Person, 2),
+            &[(PropKey::CreationDate, Value::Date(9))],
+        );
+
+        let mut triples = Vec::new();
+        TripleStore::vertex_triples(
+            VertexLabel::Person,
+            1,
+            &[(PropKey::FirstName, Value::str("Ada"))],
+            &mut triples,
+        );
+        TripleStore::vertex_triples(VertexLabel::Person, 2, &[], &mut triples);
+        batched.edge_triples(
+            EdgeLabel::Knows,
+            Vid::new(VertexLabel::Person, 1),
+            Vid::new(VertexLabel::Person, 2),
+            &[(PropKey::CreationDate, Value::Date(9))],
+            &mut triples,
+        );
+        batched.insert_batch(&triples);
+
+        assert_eq!(batched.triple_count(), one.triple_count());
+        // Same answers to the same pattern.
+        let knows = Term::Pred(edge_pred(EdgeLabel::Knows));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        one.match_pattern(None, Some(&knows), None, &mut a).unwrap();
+        batched.match_pattern(None, Some(&knows), None, &mut b).unwrap();
+        assert_eq!(a, b);
+        // Idempotent like single inserts: re-applying adds nothing.
+        let before = batched.triple_count();
+        batched.insert_batch(&triples[..3]);
+        assert_eq!(batched.triple_count(), before);
     }
 
     #[test]

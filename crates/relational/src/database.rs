@@ -71,6 +71,17 @@ impl Database {
         Ok(())
     }
 
+    /// Direct bulk insert of many rows into one table, taking the
+    /// table's write lock once for the whole batch (the vendor bulk
+    /// path, vs one lock round trip per `INSERT` statement). Stops at
+    /// the first failing row, leaving the prefix inserted.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        self.table(table)?.write().insert_many(rows)
+    }
+
     /// Row count of one table.
     pub fn row_count(&self, table: &str) -> Result<usize> {
         Ok(self.table(table)?.read().len())
@@ -118,5 +129,26 @@ mod tests {
         assert_eq!(db.row_count("tag").unwrap(), 1);
         assert_eq!(db.total_rows(), 1);
         assert!(db.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn insert_rows_bulk_path_both_layouts() {
+        for layout in [Layout::Row, Layout::Column] {
+            let db = Database::new_snb(layout);
+            let rows: Vec<Vec<Value>> = (0..300)
+                .map(|i| vec![Value::Int(i), Value::str("t"), Value::str("u")])
+                .collect();
+            assert_eq!(db.insert_rows("tag", rows).unwrap(), 300);
+            assert_eq!(db.row_count("tag").unwrap(), 300);
+            // A duplicate key mid-batch leaves the prefix inserted.
+            let dup = vec![
+                vec![Value::Int(1000), Value::str("t"), Value::str("u")],
+                vec![Value::Int(5), Value::str("t"), Value::str("u")],
+                vec![Value::Int(1001), Value::str("t"), Value::str("u")],
+            ];
+            assert!(matches!(db.insert_rows("tag", dup), Err(SnbError::Conflict(_))));
+            assert_eq!(db.row_count("tag").unwrap(), 301);
+            assert!(db.insert_rows("nope", vec![]).is_ok(), "empty batch never touches tables");
+        }
     }
 }

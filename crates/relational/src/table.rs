@@ -100,6 +100,22 @@ impl Table {
         Ok(row_id)
     }
 
+    /// Insert many rows in order, with storage pre-reserved for the
+    /// batch; stops at the first failing row, leaving the prefix
+    /// inserted. Returns how many rows went in.
+    pub fn insert_many(&mut self, rows: Vec<Vec<Value>>) -> Result<usize> {
+        match self.layout {
+            Layout::Row => self.rows.reserve(rows.len()),
+            Layout::Column => self.delta.reserve(rows.len().min(COL_MERGE_THRESHOLD)),
+        }
+        let mut applied = 0usize;
+        for row in rows {
+            self.insert(row)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
     /// Merge the delta buffer into the column vectors and refresh the
     /// per-column statistics — the columnar write amplification.
     fn merge_delta(&mut self) {

@@ -69,6 +69,22 @@ for f in "${files[@]}"; do
       fi
     done
   fi
+  # The ingest section appears from BENCH_3 onward; when present it
+  # must carry the applier sweep and the mixed read/write run.
+  if grep -q '"ingest"' "$f"; then
+    require_numeric "$f" "stream_updates"
+    require_key "$f" "updates_per_sec_by_appliers"
+    for appliers in 1 2 4 8; do
+      if ! grep -Eq "\"$appliers\"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?" "$f"; then
+        echo "[validate_bench_json] $f: applier sweep missing \"$appliers\" appliers" >&2
+        fail=1
+      fi
+    done
+    require_key "$f" "mixed"
+    require_numeric "$f" "ingest_updates_per_sec"
+    require_numeric "$f" "reads_per_sec_during_ingest"
+    require_numeric "$f" "read_only_reads_per_sec"
+  fi
   if [ "$fail" -eq 0 ]; then
     echo "[validate_bench_json] $f: OK"
   fi

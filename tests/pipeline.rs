@@ -24,6 +24,7 @@ fn interactive_pipeline_runs_on_relational_and_native() {
         readers: 4,
         duration: Duration::from_millis(700),
         seed: 11,
+        ..InteractiveConfig::default()
     };
     let sql = SqlAdapter::row_store();
     sql.load(&data.snapshot).unwrap();
@@ -50,7 +51,12 @@ fn interactive_pipeline_survives_a_gremlin_system() {
     let report = run_interactive(
         &adapter,
         &data,
-        &InteractiveConfig { readers: 4, duration: Duration::from_millis(700), seed: 5 },
+        &InteractiveConfig {
+            readers: 4,
+            duration: Duration::from_millis(700),
+            seed: 5,
+            ..InteractiveConfig::default()
+        },
     );
     assert!(report.total_reads > 0);
     assert!(report.total_writes > 0);
