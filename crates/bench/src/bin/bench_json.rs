@@ -9,14 +9,15 @@
 //! (`SNB_BENCH_SECS` scales the per-metric measurement budget.)
 
 use snb_bench::env_u64;
-use snb_core::{Direction, EdgeLabel, GraphBackend, PropKey, VertexLabel, Vid};
+use snb_core::metrics::LatencyStats;
+use snb_core::{Direction, EdgeLabel, GraphBackend, PropKey, Result, Value, VertexLabel, Vid};
 use snb_datagen::{generate, GeneratorConfig};
 use snb_driver::adapter::cypher::CypherAdapter;
 use snb_driver::adapter::{build_adapter, SutAdapter, SutKind, ALL_SUT_KINDS};
 use snb_driver::ops::{ParamGen, ReadOp};
 use snb_driver::{run_ingest, IngestConfig};
 use snb_graph_native::NativeGraphStore;
-use snb_gremlin::{GremlinServer, ServerConfig, Traversal};
+use snb_gremlin::{execute_with, ExecConfig, GremlinServer, ServerConfig, Traversal};
 use snb_net::{ClientConfig, NetPool, NetServer, NetServerConfig};
 use std::fmt::Write as _;
 use std::net::SocketAddr;
@@ -38,6 +39,102 @@ fn ops_per_sec(budget: Duration, mut op: impl FnMut()) -> f64 {
         n += 64;
     }
     n as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Best of `rounds` closed-loop measurements. The gate metrics use this
+/// so a single descheduled window can't record a phantom regression
+/// (run-to-run spread on a busy 1-core box exceeds 30%).
+fn best_ops_per_sec(rounds: usize, budget: Duration, mut op: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        best = best.max(ops_per_sec(budget, &mut op));
+    }
+    best
+}
+
+/// Closed-loop throughput plus per-op latency percentiles.
+fn ops_with_latency(budget: Duration, mut op: impl FnMut()) -> (f64, LatencyStats) {
+    for _ in 0..16 {
+        op(); // warmup
+    }
+    let mut stats = LatencyStats::new();
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    while t0.elapsed() < budget {
+        for _ in 0..16 {
+            let s = Instant::now();
+            op();
+            stats.record(s.elapsed());
+        }
+        n += 16;
+    }
+    (n as f64 / t0.elapsed().as_secs_f64(), stats)
+}
+
+/// Reader-side pacing. `SNB_READ_PACING` (µs) wins; the pre-PR-4 name
+/// `SNB_PACING_MICROS` is honoured as a fallback so existing run
+/// scripts keep working.
+fn read_pacing() -> Duration {
+    Duration::from_micros(env_u64("SNB_READ_PACING", env_u64("SNB_PACING_MICROS", 100)))
+}
+
+/// The native store with its CSR snapshot suppressed: every executor
+/// read decomposes into per-call structure-API reads through the store
+/// lock — the pre-snapshot behaviour, kept measurable as the baseline
+/// of the `traversal` section.
+struct NoSnap<'a>(&'a NativeGraphStore);
+
+impl GraphBackend for NoSnap<'_> {
+    fn name(&self) -> &'static str {
+        "native-nosnap"
+    }
+    fn add_vertex(
+        &self,
+        label: VertexLabel,
+        local_id: u64,
+        props: &[(PropKey, Value)],
+    ) -> Result<Vid> {
+        self.0.add_vertex(label, local_id, props)
+    }
+    fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()> {
+        self.0.add_edge(label, src, dst, props)
+    }
+    fn vertex_exists(&self, v: Vid) -> bool {
+        self.0.vertex_exists(v)
+    }
+    fn vertex_prop(&self, v: Vid, key: PropKey) -> Result<Option<Value>> {
+        self.0.vertex_prop(v, key)
+    }
+    fn vertex_props(&self, v: Vid) -> Result<Vec<(PropKey, Value)>> {
+        self.0.vertex_props(v)
+    }
+    fn set_vertex_prop(&self, v: Vid, key: PropKey, value: Value) -> Result<()> {
+        self.0.set_vertex_prop(v, key, value)
+    }
+    fn neighbors(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<Vid>) -> Result<()> {
+        self.0.neighbors(v, dir, label, out)
+    }
+    fn edge_prop(&self, src: Vid, label: EdgeLabel, dst: Vid, key: PropKey) -> Result<Option<Value>> {
+        self.0.edge_prop(src, label, dst, key)
+    }
+    fn edge_exists(&self, src: Vid, label: EdgeLabel, dst: Vid) -> Result<bool> {
+        self.0.edge_exists(src, label, dst)
+    }
+    fn vertices_by_label(&self, label: VertexLabel) -> Result<Vec<Vid>> {
+        self.0.vertices_by_label(label)
+    }
+    fn vertex_count(&self) -> usize {
+        self.0.vertex_count()
+    }
+    fn edge_count(&self) -> usize {
+        self.0.edge_count()
+    }
+    fn storage_bytes(&self) -> usize {
+        self.0.storage_bytes()
+    }
+    fn pin_snapshot(&self) -> Option<Arc<snb_core::CsrSnapshot>> {
+        None
+    }
 }
 
 fn native_store(data: &snb_datagen::GeneratedData) -> NativeGraphStore {
@@ -62,7 +159,7 @@ fn native_store(data: &snb_datagen::GeneratedData) -> NativeGraphStore {
 /// scaling signal meaningful on small containers where raw CPU-bound
 /// loops saturate a single core with one reader.
 fn reader_scaling(store: &NativeGraphStore, persons: &[Vid], readers: usize, secs: f64) -> f64 {
-    let pacing = Duration::from_micros(env_u64("SNB_PACING_MICROS", 100));
+    let pacing = read_pacing();
     let total = AtomicU64::new(0);
     let deadline = Instant::now() + Duration::from_secs_f64(secs);
     std::thread::scope(|scope| {
@@ -153,10 +250,13 @@ fn main() {
     });
     eprintln!("[bench] vertex_lookup: {vertex_lookup:.0} ops/s");
 
+    // The locked adjacency-list walk — the read path every release
+    // before PR 4 measured as `two_hop_expansion_ops_per_sec`. Kept as
+    // its own metric so the snapshot speedup below stays attributable.
     let mut i = 0usize;
     let mut hop1 = Vec::new();
     let mut hop2 = Vec::new();
-    let two_hop = ops_per_sec(budget, || {
+    let two_hop_locked = best_ops_per_sec(3, budget, || {
         let v = persons[i % persons.len()];
         i = i.wrapping_add(1);
         hop1.clear();
@@ -169,7 +269,32 @@ fn main() {
         }
         std::hint::black_box(reached);
     });
-    eprintln!("[bench] two_hop_expansion: {two_hop:.0} ops/s");
+    eprintln!("[bench] two_hop_locked: {two_hop_locked:.0} ops/s");
+
+    // The hot path as of PR 4: the same expansion against the pinned
+    // epoch CSR — no store lock, no per-vertex hash probe on the inner
+    // hop, contiguous target scans.
+    store.compact_now();
+    let snap = store.pin_snapshot().expect("CSR fresh after compact_now");
+    let rows: Vec<u32> =
+        persons.iter().map(|&v| snap.row_of(v).expect("person in snapshot")).collect();
+    let mut i = 0usize;
+    let mut hop1r: Vec<u32> = Vec::new();
+    let mut hop2r: Vec<u32> = Vec::new();
+    let two_hop = best_ops_per_sec(3, budget, || {
+        let r = rows[i % rows.len()];
+        i = i.wrapping_add(1);
+        hop1r.clear();
+        snap.neighbors_into(r, Direction::Both, Some(EdgeLabel::Knows), &mut hop1r);
+        let mut reached = hop1r.len();
+        for &f in &hop1r {
+            hop2r.clear();
+            snap.neighbors_into(f, Direction::Both, Some(EdgeLabel::Knows), &mut hop2r);
+            reached += hop2r.len();
+        }
+        std::hint::black_box(reached);
+    });
+    eprintln!("[bench] two_hop_expansion (snapshot): {two_hop:.0} ops/s");
 
     // --- Update-apply through the interactive writer path ------------
     let adapter = build_adapter(SutKind::NativeCypher);
@@ -259,7 +384,7 @@ fn main() {
     let mixed_persons: Vec<Vid> =
         mixed_adapter.store().vertices_by_label(VertexLabel::Person).unwrap();
     let read_only = reader_scaling(mixed_adapter.store(), &mixed_persons, 8, scale_secs);
-    let pacing = Duration::from_micros(env_u64("SNB_PACING_MICROS", 100));
+    let pacing = read_pacing();
     let mixed_reads = AtomicU64::new(0);
     let mixed_stop = std::sync::atomic::AtomicBool::new(false);
     let mut mixed_report = None;
@@ -309,27 +434,127 @@ fn main() {
          (read-only baseline {read_only:.0} reads/s)"
     );
 
+    // --- Bulk-synchronous traversal execution (the PR-4 tentpole) ----
+    // Gremlin two-hop and shortest-path throughput through the bulked
+    // executor at 1/2/4 intra-query workers over the pinned CSR
+    // snapshot, plus the same traversals with the snapshot suppressed
+    // (`NoSnap`): per-call structure-API reads through the store lock.
+    // Frontiers split into morsels above `SNB_MORSEL_MIN` traversers.
+    let mut trav_cfg = GeneratorConfig::tiny();
+    trav_cfg.persons = env_u64("SNB_TRAVERSAL_PERSONS", 600) as usize;
+    let trav_data = generate(&trav_cfg);
+    let trav_store = native_store(&trav_data);
+    trav_store.compact_now();
+    let trav_snap = trav_store.pin_snapshot().expect("CSR fresh after compact_now");
+    let trav_persons: Vec<Vid> = trav_store.vertices_by_label(VertexLabel::Person).unwrap();
+    // Shortest-path pairs with a known 2-hop witness, so the repeat/until
+    // search terminates at a shallow depth instead of exhausting the
+    // traverser budget on an unreachable pair.
+    let sp_pairs: Vec<(Vid, Vid)> = {
+        let mut pairs = Vec::new();
+        let mut h1 = Vec::new();
+        let mut h2 = Vec::new();
+        for &v in &trav_persons {
+            let r = trav_snap.row_of(v).expect("person in snapshot");
+            h1.clear();
+            trav_snap.neighbors_into(r, Direction::Both, Some(EdgeLabel::Knows), &mut h1);
+            if let Some(&f) = h1.first() {
+                h2.clear();
+                trav_snap.neighbors_into(f, Direction::Both, Some(EdgeLabel::Knows), &mut h2);
+                if let Some(&w) = h2.iter().find(|&&w| w != r) {
+                    pairs.push((v, trav_snap.vid_of(w)));
+                }
+            }
+        }
+        pairs
+    };
+    let morsel_min = env_u64("SNB_MORSEL_MIN", 64) as usize;
+    eprintln!(
+        "[bench] traversal dataset: {} persons, {} sp pairs, morsel_min {morsel_min}",
+        trav_persons.len(),
+        sp_pairs.len()
+    );
+    let trav_measure = |backend: &dyn GraphBackend, workers: usize| -> (f64, f64) {
+        let cfg = ExecConfig { workers, morsel_min };
+        let mut i = 0usize;
+        let two = ops_per_sec(budget, || {
+            let v = trav_persons[i % trav_persons.len()];
+            i = i.wrapping_add(1);
+            let t = Traversal::v(v)
+                .both(EdgeLabel::Knows)
+                .both(EdgeLabel::Knows)
+                .dedup()
+                .count();
+            std::hint::black_box(execute_with(backend, &t, cfg).unwrap());
+        });
+        let mut i = 0usize;
+        let sp = ops_per_sec(budget, || {
+            let (a, b) = sp_pairs[i % sp_pairs.len()];
+            i = i.wrapping_add(1);
+            let t = Traversal::v(a).repeat_both_until(EdgeLabel::Knows, b, 10).path_len();
+            std::hint::black_box(execute_with(backend, &t, cfg).unwrap());
+        });
+        (two, sp)
+    };
+    let mut trav_two_json = String::new();
+    let mut trav_sp_json = String::new();
+    for (slot, &workers) in [1usize, 2, 4].iter().enumerate() {
+        let (two, sp) = trav_measure(&trav_store, workers);
+        eprintln!("[bench] traversal workers={workers}: two_hop {two:.0}/s, shortest_path {sp:.0}/s");
+        if slot > 0 {
+            trav_two_json.push_str(", ");
+            trav_sp_json.push_str(", ");
+        }
+        let _ = write!(trav_two_json, "\"{workers}\": {two:.1}");
+        let _ = write!(trav_sp_json, "\"{workers}\": {sp:.1}");
+    }
+    let (trav_two_locked, trav_sp_locked) = trav_measure(&NoSnap(&trav_store), 1);
+    eprintln!(
+        "[bench] traversal locked baseline: two_hop {trav_two_locked:.0}/s, \
+         shortest_path {trav_sp_locked:.0}/s"
+    );
+
     // --- The micro_ops suite per engine ------------------------------
+    let pct = |s: &LatencyStats| {
+        format!(
+            "{{\"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4}}}",
+            s.percentile_ms(50.0),
+            s.percentile_ms(95.0),
+            s.percentile_ms(99.0)
+        )
+    };
     let mut engines_json = String::new();
     for (ei, &kind) in ALL_SUT_KINDS.iter().enumerate() {
         let adapter = build_adapter(kind);
         adapter.load(&data.snapshot).unwrap();
         let mut params = ParamGen::new(&data, 0xbe9c);
         let person = params.person();
-        let point = ops_per_sec(budget, || {
+        // Warm each engine's snapshot cache outside the measured
+        // windows (the generic CSR build on the SQL-backed engines is a
+        // full scan — it must not land inside a timed loop).
+        adapter.execute_read(&ReadOp::TwoHop { person }).unwrap();
+        let (point, point_lat) = ops_with_latency(budget, || {
             adapter.execute_read(&ReadOp::PointLookup { person }).unwrap();
         });
-        let one_hop = ops_per_sec(budget, || {
+        let (one_hop, one_lat) = ops_with_latency(budget, || {
             adapter.execute_read(&ReadOp::OneHop { person }).unwrap();
         });
-        eprintln!("[bench] {}: point_lookup {point:.0}/s, one_hop {one_hop:.0}/s", adapter.name());
+        eprintln!(
+            "[bench] {}: point_lookup {point:.0}/s (p99 {:.3}ms), one_hop {one_hop:.0}/s (p99 {:.3}ms)",
+            adapter.name(),
+            point_lat.percentile_ms(99.0),
+            one_lat.percentile_ms(99.0)
+        );
         if ei > 0 {
             engines_json.push_str(",\n");
         }
         let _ = write!(
             engines_json,
-            "    \"{}\": {{\"point_lookup_ops_per_sec\": {point:.1}, \"one_hop_ops_per_sec\": {one_hop:.1}}}",
-            adapter.name()
+            "    \"{}\": {{\"point_lookup_ops_per_sec\": {point:.1}, \"one_hop_ops_per_sec\": {one_hop:.1}, \
+             \"point_lookup_ms\": {}, \"one_hop_ms\": {}}}",
+            adapter.name(),
+            pct(&point_lat),
+            pct(&one_lat)
         );
     }
 
@@ -338,12 +563,13 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),
         data.updates.len(),
         ingest_data.updates.len(),
+        trav_persons.len(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");

@@ -18,7 +18,15 @@ fn main() {
         seed: env_u64("SNB_SEED", 0xf16_3),
         appliers: env_u64("SNB_APPLIERS", 2) as usize,
         batch_size: env_u64("SNB_BATCH_SIZE", 128) as usize,
+        read_pacing: Duration::from_micros(env_u64("SNB_READ_PACING", 0)),
     };
+    // The intra-query morsel threshold (SNB_MORSEL_MIN) is read by the
+    // Gremlin executor itself; echo both knobs so runs are comparable.
+    eprintln!(
+        "[knobs] read_pacing={}us morsel_min={}",
+        config.read_pacing.as_micros(),
+        env_u64("SNB_MORSEL_MIN", 2048),
+    );
     let mut table = TextTable::new([
         "System",
         "reads/s (mean)",

@@ -91,6 +91,15 @@ pub trait GraphBackend: Send + Sync {
         Ok(buf.len())
     }
 
+    /// Pin an immutable CSR read snapshot that reflects *exactly* the
+    /// writes applied so far, or `None` when no fresh snapshot is
+    /// available (callers must fall back to the live read path, which
+    /// preserves read-your-writes). Engines with an epoch compactor or
+    /// snapshot cache override this; the default has none.
+    fn pin_snapshot(&self) -> Option<std::sync::Arc<crate::snapshot::CsrSnapshot>> {
+        None
+    }
+
     /// Apply a batch of writes in order, returning the number applied.
     ///
     /// The default is the obvious one-write-at-a-time loop; engines
@@ -164,5 +173,8 @@ impl<T: GraphBackend + ?Sized> GraphBackend for &T {
     }
     fn apply_batch(&self, ops: &[GraphWrite]) -> Result<usize> {
         (**self).apply_batch(ops)
+    }
+    fn pin_snapshot(&self) -> Option<std::sync::Arc<crate::snapshot::CsrSnapshot>> {
+        (**self).pin_snapshot()
     }
 }

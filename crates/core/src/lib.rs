@@ -15,6 +15,7 @@ pub mod graph;
 pub mod ids;
 pub mod metrics;
 pub mod schema;
+pub mod snapshot;
 pub mod value;
 
 pub use backend::{GraphBackend, GraphWrite};
@@ -23,4 +24,5 @@ pub use fxhash::{FastMap, FastSet, FxBuildHasher};
 pub use graph::{Direction, PropertyMap};
 pub use ids::{EdgeLabel, VertexLabel, Vid};
 pub use schema::PropKey;
+pub use snapshot::{CsrBuilder, CsrSnapshot, EpochCell, SnapshotCache};
 pub use value::Value;

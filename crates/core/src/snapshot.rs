@@ -1,0 +1,613 @@
+//! Epoch-based immutable CSR read snapshots.
+//!
+//! A [`CsrSnapshot`] is a compressed-sparse-row copy of a graph at one
+//! write epoch: per-edge-label, per-direction offset/target arrays over
+//! dense row ids, an `Arc`'d property map per row, and dense columns for
+//! the hot Person/Post fields. It is immutable — readers share it behind
+//! an `Arc` and touch no locks while traversing, so multi-hop expansion
+//! becomes contiguous range scans (RedisGraph-style) instead of
+//! pointer-chasing under a store's read lock.
+//!
+//! Publication is arc-swap-style: an [`EpochCell`] holds the current
+//! `Arc<CsrSnapshot>` behind an `RwLock` whose write critical section is
+//! a single pointer swap, so readers pin an epoch in O(1) and never wait
+//! on a store write lock or a checkpoint stall.
+//!
+//! Freshness is by epoch comparison: every snapshot records the store's
+//! write sequence number at build time, and a snapshot is only served
+//! when that epoch still equals the store's current write sequence.
+//! A snapshot built concurrently with writes is therefore *harmless* —
+//! it is stale on arrival and simply never served (see DESIGN.md §5d
+//! for the torn-epoch argument).
+
+use crate::backend::GraphBackend;
+use crate::fxhash::FastMap;
+use crate::graph::{Direction, PropertyMap};
+use crate::ids::{EdgeLabel, VertexLabel, Vid, EDGE_LABELS, VERTEX_LABELS};
+use crate::schema::PropKey;
+use crate::value::Value;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of vertex labels (rows are indexed per label in `direct`).
+const NUM_VLABELS: usize = VERTEX_LABELS.len();
+/// Number of edge labels (one CSR segment per label per direction).
+const NUM_ELABELS: usize = EDGE_LABELS.len();
+
+/// Local ids below this bound use the dense per-label direct index;
+/// anything sparser falls back to the hash map (mirrors the store's
+/// own index split).
+const DIRECT_LIMIT: u64 = 1 << 20;
+const NO_ROW: u32 = u32::MAX;
+
+/// One direction's adjacency: a CSR per edge label. `offsets[l]` has
+/// `n_rows + 1` entries; the neighbours of `row` along label `l` are
+/// `targets[l][offsets[l][row] .. offsets[l][row + 1]]`.
+struct CsrDir {
+    offsets: [Vec<u32>; NUM_ELABELS],
+    targets: [Vec<u32>; NUM_ELABELS],
+    /// Edge property maps aligned with `targets` (out direction only;
+    /// empty vectors when the builder carries no edge properties).
+    eprops: [Vec<Option<Arc<PropertyMap>>>; NUM_ELABELS],
+}
+
+impl CsrDir {
+    fn new() -> Self {
+        CsrDir {
+            offsets: std::array::from_fn(|_| Vec::new()),
+            targets: std::array::from_fn(|_| Vec::new()),
+            eprops: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn slice(&self, row: u32, label: EdgeLabel) -> &[u32] {
+        let l = label as usize;
+        let off = &self.offsets[l];
+        let (a, b) = (off[row as usize] as usize, off[row as usize + 1] as usize);
+        &self.targets[l][a..b]
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let mut b = 0;
+        for l in 0..NUM_ELABELS {
+            b += self.offsets[l].capacity() * 4 + self.targets[l].capacity() * 4;
+            b += self.eprops[l].capacity() * std::mem::size_of::<Option<Arc<PropertyMap>>>();
+        }
+        b
+    }
+}
+
+/// An immutable CSR view of the graph at one write epoch. Row ids are
+/// dense `u32`s assigned by the builder (the native store keeps them
+/// slot-aligned; generic builds assign them in label-scan order).
+pub struct CsrSnapshot {
+    epoch: u64,
+    vids: Vec<Vid>,
+    props: Vec<Arc<PropertyMap>>,
+    /// Hot dense columns: `FirstName` and `CreationDate` pulled out of
+    /// the property maps so frontier-wide projections touch one array.
+    first_name: Vec<Value>,
+    creation_date: Vec<Value>,
+    direct: [Vec<u32>; NUM_VLABELS],
+    sparse: FastMap<Vid, u32>,
+    by_label: [Vec<u32>; NUM_VLABELS],
+    out: CsrDir,
+    inn: CsrDir,
+    edge_count: usize,
+    has_edge_props: bool,
+}
+
+impl CsrSnapshot {
+    /// The write sequence number this snapshot reflects.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.vids.len()
+    }
+
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether out-edge property maps were captured (the native store
+    /// captures them; generic backend scans do not).
+    #[inline]
+    pub fn has_edge_props(&self) -> bool {
+        self.has_edge_props
+    }
+
+    /// Row id for a vertex, if it exists in this epoch.
+    #[inline]
+    pub fn row_of(&self, v: Vid) -> Option<u32> {
+        let local = v.local();
+        if local < DIRECT_LIMIT {
+            return match self.direct[v.label() as usize].get(local as usize) {
+                Some(&r) if r != NO_ROW => Some(r),
+                _ => None,
+            };
+        }
+        self.sparse.get(&v).copied()
+    }
+
+    #[inline]
+    pub fn vid_of(&self, row: u32) -> Vid {
+        self.vids[row as usize]
+    }
+
+    #[inline]
+    pub fn props_of(&self, row: u32) -> &PropertyMap {
+        &self.props[row as usize]
+    }
+
+    /// The row's property map `Arc` (zero-copy row reuse during folds).
+    #[inline]
+    pub fn props_arc(&self, row: u32) -> &Arc<PropertyMap> {
+        &self.props[row as usize]
+    }
+
+    /// Out-direction targets and aligned edge-property maps for one
+    /// label (the eprops slice is empty when they were not captured).
+    #[inline]
+    pub fn out_slice(&self, row: u32, label: EdgeLabel) -> (&[u32], &[Option<Arc<PropertyMap>>]) {
+        let l = label as usize;
+        let off = &self.out.offsets[l];
+        let (a, b) = (off[row as usize] as usize, off[row as usize + 1] as usize);
+        let eprops = if self.has_edge_props { &self.out.eprops[l][a..b] } else { &[][..] };
+        (&self.out.targets[l][a..b], eprops)
+    }
+
+    /// One property of one row; the hot columns skip the map lookup.
+    #[inline]
+    pub fn prop(&self, row: u32, key: PropKey) -> Option<Value> {
+        match key {
+            PropKey::FirstName => match &self.first_name[row as usize] {
+                Value::Null => None,
+                v => Some(v.clone()),
+            },
+            PropKey::CreationDate => match &self.creation_date[row as usize] {
+                Value::Null => None,
+                v => Some(v.clone()),
+            },
+            _ => self.props[row as usize].get(key).cloned(),
+        }
+    }
+
+    /// All rows with the given vertex label.
+    #[inline]
+    pub fn rows_by_label(&self, label: VertexLabel) -> &[u32] {
+        &self.by_label[label as usize]
+    }
+
+    /// Neighbour rows of `row` along `label` in one *concrete*
+    /// direction as a contiguous CSR range (`dir` must be `Out`/`In`).
+    #[inline]
+    pub fn range(&self, row: u32, dir: Direction, label: EdgeLabel) -> &[u32] {
+        match dir {
+            Direction::Out => self.out.slice(row, label),
+            Direction::In => self.inn.slice(row, label),
+            Direction::Both => panic!("range() needs a concrete direction"),
+        }
+    }
+
+    /// Append neighbour rows (Both = out then in, duplicates preserved,
+    /// matching Gremlin `both()` and the store's `adj`).
+    pub fn neighbors_into(&self, row: u32, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<u32>) {
+        let dirs: &[&CsrDir] = match dir {
+            Direction::Out => &[&self.out],
+            Direction::In => &[&self.inn],
+            Direction::Both => &[&self.out, &self.inn],
+        };
+        for d in dirs {
+            match label {
+                Some(l) => out.extend_from_slice(d.slice(row, l)),
+                None => {
+                    for l in EDGE_LABELS {
+                        out.extend_from_slice(d.slice(row, l));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Degree without materializing the neighbour list.
+    pub fn degree(&self, row: u32, dir: Direction, label: Option<EdgeLabel>) -> usize {
+        let dirs: &[&CsrDir] = match dir {
+            Direction::Out => &[&self.out],
+            Direction::In => &[&self.inn],
+            Direction::Both => &[&self.out, &self.inn],
+        };
+        let mut n = 0;
+        for d in dirs {
+            match label {
+                Some(l) => n += d.slice(row, l).len(),
+                None => {
+                    for l in EDGE_LABELS {
+                        n += d.slice(row, l).len();
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Out-edge property map of `src_row -[label]-> dst_row`, when edge
+    /// properties were captured. `Ok(None)` = edge exists, no props;
+    /// `Err(())` = edge not found in this snapshot.
+    pub fn out_edge_props(&self, src_row: u32, label: EdgeLabel, dst_row: u32) -> std::result::Result<Option<&PropertyMap>, ()> {
+        let l = label as usize;
+        let off = &self.out.offsets[l];
+        let (a, b) = (off[src_row as usize] as usize, off[src_row as usize + 1] as usize);
+        for i in a..b {
+            if self.out.targets[l][i] == dst_row {
+                let p = self.out.eprops[l].get(i).and_then(|p| p.as_deref());
+                return Ok(p);
+            }
+        }
+        Err(())
+    }
+
+    /// Approximate resident bytes (diagnostics only).
+    pub fn heap_bytes(&self) -> usize {
+        self.vids.capacity() * 8
+            + self.props.capacity() * std::mem::size_of::<Arc<PropertyMap>>()
+            + (self.first_name.capacity() + self.creation_date.capacity()) * std::mem::size_of::<Value>()
+            + self.direct.iter().map(|d| d.capacity() * 4).sum::<usize>()
+            + self.by_label.iter().map(|d| d.capacity() * 4).sum::<usize>()
+            + self.out.heap_bytes()
+            + self.inn.heap_bytes()
+    }
+}
+
+/// Row-major CSR builder. Push rows in row-id order; after each
+/// [`CsrBuilder::push_row`], push that row's out- and in-edges, then
+/// move on. `finish` seals the offsets and builds the vid index.
+pub struct CsrBuilder {
+    epoch: u64,
+    vids: Vec<Vid>,
+    props: Vec<Arc<PropertyMap>>,
+    first_name: Vec<Value>,
+    creation_date: Vec<Value>,
+    out: CsrDir,
+    inn: CsrDir,
+    edge_count: usize,
+    has_edge_props: bool,
+}
+
+impl CsrBuilder {
+    pub fn new(epoch: u64, expected_rows: usize, with_edge_props: bool) -> Self {
+        let mut b = CsrBuilder {
+            epoch,
+            vids: Vec::with_capacity(expected_rows),
+            props: Vec::with_capacity(expected_rows),
+            first_name: Vec::with_capacity(expected_rows),
+            creation_date: Vec::with_capacity(expected_rows),
+            out: CsrDir::new(),
+            inn: CsrDir::new(),
+            edge_count: 0,
+            has_edge_props: with_edge_props,
+        };
+        for l in 0..NUM_ELABELS {
+            b.out.offsets[l].reserve(expected_rows + 1);
+            b.inn.offsets[l].reserve(expected_rows + 1);
+        }
+        b
+    }
+
+    /// Start the next row; returns its row id.
+    pub fn push_row(&mut self, vid: Vid, props: Arc<PropertyMap>) -> u32 {
+        let row = self.vids.len() as u32;
+        for l in 0..NUM_ELABELS {
+            self.out.offsets[l].push(self.out.targets[l].len() as u32);
+            self.inn.offsets[l].push(self.inn.targets[l].len() as u32);
+        }
+        self.first_name.push(props.get(PropKey::FirstName).cloned().unwrap_or(Value::Null));
+        self.creation_date.push(props.get(PropKey::CreationDate).cloned().unwrap_or(Value::Null));
+        self.vids.push(vid);
+        self.props.push(props);
+        row
+    }
+
+    /// Add an out-edge from the *current* (last pushed) row.
+    #[inline]
+    pub fn push_out(&mut self, label: EdgeLabel, dst_row: u32, eprops: Option<Arc<PropertyMap>>) {
+        let l = label as usize;
+        self.out.targets[l].push(dst_row);
+        if self.has_edge_props {
+            self.out.eprops[l].push(eprops);
+        }
+        self.edge_count += 1;
+    }
+
+    /// Add an in-edge to the *current* (last pushed) row.
+    #[inline]
+    pub fn push_in(&mut self, label: EdgeLabel, src_row: u32) {
+        self.inn.targets[label as usize].push(src_row);
+    }
+
+    pub fn finish(mut self) -> CsrSnapshot {
+        for l in 0..NUM_ELABELS {
+            self.out.offsets[l].push(self.out.targets[l].len() as u32);
+            self.inn.offsets[l].push(self.inn.targets[l].len() as u32);
+        }
+        let mut direct: [Vec<u32>; NUM_VLABELS] = std::array::from_fn(|_| Vec::new());
+        let mut sparse = FastMap::default();
+        let mut by_label: [Vec<u32>; NUM_VLABELS] = std::array::from_fn(|_| Vec::new());
+        for (row, &vid) in self.vids.iter().enumerate() {
+            let row = row as u32;
+            let local = vid.local();
+            if local < DIRECT_LIMIT {
+                let d = &mut direct[vid.label() as usize];
+                if d.len() <= local as usize {
+                    d.resize(local as usize + 1, NO_ROW);
+                }
+                d[local as usize] = row;
+            } else {
+                sparse.insert(vid, row);
+            }
+            by_label[vid.label() as usize].push(row);
+        }
+        CsrSnapshot {
+            epoch: self.epoch,
+            vids: self.vids,
+            props: self.props,
+            first_name: self.first_name,
+            creation_date: self.creation_date,
+            direct,
+            sparse,
+            by_label,
+            out: self.out,
+            inn: self.inn,
+            edge_count: self.edge_count,
+            has_edge_props: self.has_edge_props,
+        }
+    }
+}
+
+/// Arc-swap-style publication cell. The write critical section is the
+/// pointer swap alone, so `load` never waits behind a snapshot build —
+/// only behind another pointer swap (nanoseconds).
+pub struct EpochCell {
+    slot: RwLock<Option<Arc<CsrSnapshot>>>,
+}
+
+impl EpochCell {
+    pub const fn new() -> Self {
+        EpochCell { slot: RwLock::new(None) }
+    }
+
+    /// Pin the current snapshot (cheap: read-lock + Arc clone).
+    #[inline]
+    pub fn load(&self) -> Option<Arc<CsrSnapshot>> {
+        self.slot.read().clone()
+    }
+
+    /// Epoch of the published snapshot, if any.
+    #[inline]
+    pub fn epoch(&self) -> Option<u64> {
+        self.slot.read().as_ref().map(|s| s.epoch())
+    }
+
+    /// Publish a new snapshot (pointer swap under the write lock).
+    pub fn store(&self, snap: Arc<CsrSnapshot>) {
+        *self.slot.write() = Some(snap);
+    }
+}
+
+impl Default for EpochCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Build a snapshot by scanning any [`GraphBackend`] through its public
+/// API (label scans + per-label neighbour calls). Used by engines with
+/// no native compactor (kvgraph, sqlg); edge properties are not
+/// captured, so executors must route edge-property reads to the live
+/// store. The caller supplies the epoch it observed *before* scanning —
+/// if writes land mid-scan the result is stale on arrival and a
+/// freshness check will refuse to serve it.
+pub fn snapshot_from_backend<B: GraphBackend + ?Sized>(backend: &B, epoch: u64) -> crate::error::Result<CsrSnapshot> {
+    let mut vids: Vec<Vid> = Vec::new();
+    for label in VERTEX_LABELS {
+        vids.extend(backend.vertices_by_label(label)?);
+    }
+    let mut row_of: FastMap<Vid, u32> = FastMap::default();
+    row_of.reserve(vids.len());
+    for (row, &vid) in vids.iter().enumerate() {
+        row_of.insert(vid, row as u32);
+    }
+    let mut b = CsrBuilder::new(epoch, vids.len(), false);
+    let mut buf: Vec<Vid> = Vec::new();
+    for &vid in &vids {
+        let props = Arc::new(PropertyMap::from_pairs(&backend.vertex_props(vid)?));
+        b.push_row(vid, props);
+        for label in EDGE_LABELS {
+            buf.clear();
+            backend.neighbors(vid, Direction::Out, Some(label), &mut buf)?;
+            for dst in &buf {
+                // A neighbour missing from the scan means it was added
+                // mid-build; the snapshot is already stale, skip it.
+                if let Some(&r) = row_of.get(dst) {
+                    b.push_out(label, r, None);
+                }
+            }
+            buf.clear();
+            backend.neighbors(vid, Direction::In, Some(label), &mut buf)?;
+            for src in &buf {
+                if let Some(&r) = row_of.get(src) {
+                    b.push_in(label, r);
+                }
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+/// How many consecutive stale pins a [`SnapshotCache`] tolerates before
+/// paying for a rebuild. A write burst invalidates the snapshot; the
+/// first few reads after it run on the live path, and a sustained read
+/// phase triggers one rebuild that the rest of the phase amortizes.
+const REBUILD_AFTER_STALE_PINS: u64 = 32;
+
+/// Freshness-checked snapshot cache for engines without a native
+/// compactor. The engine bumps [`SnapshotCache::note_writes`] on every
+/// mutation; [`SnapshotCache::pin`] serves the cached snapshot only
+/// when its epoch equals the current write count, and rebuilds (with
+/// hysteresis) otherwise.
+pub struct SnapshotCache {
+    cell: EpochCell,
+    writes: AtomicU64,
+    stale_pins: AtomicU64,
+    rebuild: Mutex<()>,
+}
+
+impl SnapshotCache {
+    pub const fn new() -> Self {
+        SnapshotCache {
+            cell: EpochCell::new(),
+            writes: AtomicU64::new(0),
+            stale_pins: AtomicU64::new(0),
+            rebuild: Mutex::new(()),
+        }
+    }
+
+    /// Record `n` applied writes (invalidates the cached epoch).
+    #[inline]
+    pub fn note_writes(&self, n: u64) {
+        self.writes.fetch_add(n, Ordering::Release);
+    }
+
+    /// Current write sequence (the epoch a fresh snapshot must carry).
+    #[inline]
+    pub fn write_seq(&self) -> u64 {
+        self.writes.load(Ordering::Acquire)
+    }
+
+    /// Pin a snapshot that reflects *exactly* the writes applied so
+    /// far, or `None` (caller falls back to its live read path — this
+    /// preserves read-your-writes).
+    pub fn pin<B: GraphBackend + ?Sized>(&self, backend: &B) -> Option<Arc<CsrSnapshot>> {
+        self.pin_with(|seq| snapshot_from_backend(backend, seq))
+    }
+
+    /// [`SnapshotCache::pin`] with a caller-supplied builder — for
+    /// engines whose natural scan is not the `GraphBackend` API (e.g.
+    /// the SQL/SPARQL adapters build a Person/Knows CSR from two bulk
+    /// queries). The builder receives the epoch to stamp.
+    pub fn pin_with<F>(&self, build: F) -> Option<Arc<CsrSnapshot>>
+    where
+        F: FnOnce(u64) -> crate::error::Result<CsrSnapshot>,
+    {
+        let seq = self.writes.load(Ordering::Acquire);
+        if let Some(snap) = self.cell.load() {
+            if snap.epoch() == seq {
+                self.stale_pins.store(0, Ordering::Relaxed);
+                return Some(snap);
+            }
+        }
+        let stale = self.stale_pins.fetch_add(1, Ordering::Relaxed) + 1;
+        if stale < REBUILD_AFTER_STALE_PINS && self.cell.epoch().is_some() {
+            return None;
+        }
+        // One rebuilder at a time; everyone else keeps using the live
+        // path rather than piling up behind the build.
+        let _g = self.rebuild.try_lock()?;
+        let seq = self.writes.load(Ordering::Acquire);
+        let snap = Arc::new(build(seq).ok()?);
+        self.cell.store(snap.clone());
+        self.stale_pins.store(0, Ordering::Relaxed);
+        // Serve only if no write raced the scan (see module docs).
+        if self.writes.load(Ordering::Acquire) == seq {
+            Some(snap)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for SnapshotCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm(pairs: &[(PropKey, Value)]) -> Arc<PropertyMap> {
+        Arc::new(PropertyMap::from_pairs(pairs))
+    }
+
+    #[test]
+    fn builder_roundtrip_and_ranges() {
+        // 0 -Knows-> 1, 0 -Knows-> 2, 2 -Likes-> 0
+        let mut b = CsrBuilder::new(7, 3, true);
+        let v = [
+            Vid::new(VertexLabel::Person, 10),
+            Vid::new(VertexLabel::Person, 11),
+            Vid::new(VertexLabel::Post, 5),
+        ];
+        b.push_row(v[0], pm(&[(PropKey::FirstName, Value::str("a"))]));
+        b.push_out(EdgeLabel::Knows, 1, Some(pm(&[(PropKey::CreationDate, Value::Date(9))])));
+        b.push_out(EdgeLabel::Knows, 2, None);
+        b.push_in(EdgeLabel::Likes, 2);
+        b.push_row(v[1], pm(&[]));
+        b.push_in(EdgeLabel::Knows, 0);
+        b.push_row(v[2], pm(&[(PropKey::CreationDate, Value::Date(3))]));
+        b.push_out(EdgeLabel::Likes, 0, None);
+        b.push_in(EdgeLabel::Knows, 0);
+        let s = b.finish();
+
+        assert_eq!(s.epoch(), 7);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.row_of(v[0]), Some(0));
+        assert_eq!(s.row_of(v[2]), Some(2));
+        assert_eq!(s.row_of(Vid::new(VertexLabel::Person, 99)), None);
+        assert_eq!(s.vid_of(2), v[2]);
+        assert_eq!(s.range(0, Direction::Out, EdgeLabel::Knows), &[1, 2]);
+        assert_eq!(s.range(1, Direction::In, EdgeLabel::Knows), &[0]);
+        let mut both = Vec::new();
+        s.neighbors_into(0, Direction::Both, None, &mut both);
+        assert_eq!(both, vec![1, 2, 2]);
+        assert_eq!(s.degree(0, Direction::Both, None), 3);
+        assert_eq!(s.degree(0, Direction::Out, Some(EdgeLabel::Knows)), 2);
+        assert_eq!(s.prop(0, PropKey::FirstName), Some(Value::str("a")));
+        assert_eq!(s.prop(1, PropKey::FirstName), None);
+        assert_eq!(s.prop(2, PropKey::CreationDate), Some(Value::Date(3)));
+        assert_eq!(s.rows_by_label(VertexLabel::Person), &[0, 1]);
+        assert_eq!(s.rows_by_label(VertexLabel::Post), &[2]);
+        let ep = s.out_edge_props(0, EdgeLabel::Knows, 1).unwrap().unwrap();
+        assert_eq!(ep.get(PropKey::CreationDate), Some(&Value::Date(9)));
+        assert_eq!(s.out_edge_props(0, EdgeLabel::Knows, 2).unwrap(), None);
+        assert!(s.out_edge_props(1, EdgeLabel::Knows, 0).is_err());
+    }
+
+    #[test]
+    fn sparse_local_ids_indexed() {
+        let mut b = CsrBuilder::new(0, 1, false);
+        let v = Vid::new(VertexLabel::Person, DIRECT_LIMIT + 5);
+        b.push_row(v, pm(&[]));
+        let s = b.finish();
+        assert_eq!(s.row_of(v), Some(0));
+        assert_eq!(s.row_of(Vid::new(VertexLabel::Person, DIRECT_LIMIT + 6)), None);
+    }
+
+    #[test]
+    fn epoch_cell_swap() {
+        let cell = EpochCell::new();
+        assert!(cell.load().is_none());
+        cell.store(Arc::new(CsrBuilder::new(1, 0, false).finish()));
+        assert_eq!(cell.epoch(), Some(1));
+        cell.store(Arc::new(CsrBuilder::new(2, 0, false).finish()));
+        assert_eq!(cell.load().unwrap().epoch(), 2);
+    }
+}

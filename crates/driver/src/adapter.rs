@@ -1,7 +1,10 @@
 //! The system-under-test abstraction and the eight configurations of
 //! the paper's study.
 
-use snb_core::{GraphWrite, Result, Value};
+use snb_core::{
+    CsrBuilder, CsrSnapshot, Direction, EdgeLabel, FastMap, FastSet, GraphWrite, PropKey,
+    PropertyMap, Result, Value, VertexLabel, Vid,
+};
 use snb_datagen::{Dataset, UpdateOp};
 use std::sync::Arc;
 
@@ -30,6 +33,129 @@ pub fn normalize(v: &Value) -> Value {
 /// Normalize a whole result.
 pub fn normalize_rows(rows: Vec<Vec<Value>>) -> OpResult {
     rows.into_iter().map(|r| r.iter().map(normalize).collect()).collect()
+}
+
+/// Build a Person/Knows CSR snapshot from pre-scanned rows — the
+/// epoch-pinned read structure the SQL/SPARQL adapters use for their
+/// multi-hop reads ([`csr_two_hop`], [`csr_shortest_path`]). `persons`
+/// carries `(id, firstName)`; edges referencing unknown persons are
+/// dropped (they can only appear when the scan raced a write, in which
+/// case the snapshot is stale on arrival and never served).
+pub(crate) fn person_knows_csr(
+    epoch: u64,
+    persons: &[(u64, Value)],
+    knows: &[(u64, u64)],
+) -> CsrSnapshot {
+    let mut row_of: FastMap<u64, u32> = FastMap::default();
+    row_of.reserve(persons.len());
+    for (row, (id, _)) in persons.iter().enumerate() {
+        row_of.insert(*id, row as u32);
+    }
+    let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); persons.len()];
+    let mut in_adj: Vec<Vec<u32>> = vec![Vec::new(); persons.len()];
+    for (src, dst) in knows {
+        if let (Some(&s), Some(&d)) = (row_of.get(src), row_of.get(dst)) {
+            out_adj[s as usize].push(d);
+            in_adj[d as usize].push(s);
+        }
+    }
+    let mut b = CsrBuilder::new(epoch, persons.len(), false);
+    for (row, (id, first_name)) in persons.iter().enumerate() {
+        let mut pm = PropertyMap::new();
+        pm.set(PropKey::Id, Value::Int(*id as i64));
+        if !first_name.is_null() {
+            pm.set(PropKey::FirstName, first_name.clone());
+        }
+        b.push_row(Vid::new(VertexLabel::Person, *id), Arc::new(pm));
+        for &d in &out_adj[row] {
+            b.push_out(EdgeLabel::Knows, d, None);
+        }
+        for &s in &in_adj[row] {
+            b.push_in(EdgeLabel::Knows, s);
+        }
+    }
+    b.finish()
+}
+
+/// The undirected 1..2-hop Knows neighbourhood as `(id, firstName)`
+/// rows — the set the SQL six-branch UNION and the SPARQL
+/// `(knows|^knows){1,2}` property path both produce. When
+/// `require_first_name` is set, persons without the property are
+/// omitted (SPARQL join semantics); otherwise they surface with a NULL
+/// column (SQL outer-row semantics).
+pub(crate) fn csr_two_hop(s: &CsrSnapshot, person: u64, require_first_name: bool) -> OpResult {
+    let start = match s.row_of(Vid::new(VertexLabel::Person, person)) {
+        Some(r) => r,
+        None => return Vec::new(),
+    };
+    let mut seen: FastSet<u32> = FastSet::default();
+    seen.insert(start);
+    let mut level = vec![start];
+    let mut rows = Vec::new();
+    let mut buf: Vec<u32> = Vec::new();
+    for _ in 0..2 {
+        let mut next = Vec::new();
+        for &r in &level {
+            buf.clear();
+            s.neighbors_into(r, Direction::Both, Some(EdgeLabel::Knows), &mut buf);
+            for &n in &buf {
+                if seen.insert(n) {
+                    next.push(n);
+                    let first_name = s.prop(n, PropKey::FirstName);
+                    if first_name.is_none() && require_first_name {
+                        continue;
+                    }
+                    rows.push(vec![
+                        Value::Int(s.vid_of(n).local() as i64),
+                        first_name.unwrap_or(Value::Null),
+                    ]);
+                }
+            }
+        }
+        level = next;
+    }
+    rows
+}
+
+/// Undirected Knows BFS: `[[min_depth]]` within `max_depth` hops,
+/// `[[0]]` when `a == b`, empty otherwise — exactly the contract of the
+/// relational/RDF `TRANSITIVE` operators and the recursive-CTE idiom
+/// (whose depth guard caps the row store at 10).
+pub(crate) fn csr_shortest_path(s: &CsrSnapshot, a: u64, b: u64, max_depth: u32) -> OpResult {
+    if a == b {
+        return vec![vec![Value::Int(0)]];
+    }
+    let (start, goal) = match (
+        s.row_of(Vid::new(VertexLabel::Person, a)),
+        s.row_of(Vid::new(VertexLabel::Person, b)),
+    ) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Vec::new(),
+    };
+    let mut seen: FastSet<u32> = FastSet::default();
+    seen.insert(start);
+    let mut level = vec![start];
+    let mut buf: Vec<u32> = Vec::new();
+    for depth in 1..=max_depth {
+        let mut next = Vec::new();
+        for &r in &level {
+            buf.clear();
+            s.neighbors_into(r, Direction::Both, Some(EdgeLabel::Knows), &mut buf);
+            for &n in &buf {
+                if n == goal {
+                    return vec![vec![Value::Int(depth as i64)]];
+                }
+                if seen.insert(n) {
+                    next.push(n);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next;
+    }
+    Vec::new()
 }
 
 /// Flatten update operations into the write list engines batch on

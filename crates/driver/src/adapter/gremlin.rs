@@ -147,45 +147,41 @@ pub(crate) fn read_via(endpoint: &dyn TraversalEndpoint, op: &ReadOp) -> Result<
                 .collect())
         }
         ReadOp::OneHop { person } => {
-            let maps = value_maps(
-                endpoint,
-                &Traversal::v(person_vid(*person))
-                    .both(EdgeLabel::Knows)
-                    .dedup()
-                    .value_map(),
-            )?;
-            Ok(maps
+            // Project only the two requested properties: one values()
+            // round trip per property, zipped client-side (the Is3/Is6
+            // pattern) instead of materializing whole value maps.
+            let base = Traversal::v(person_vid(*person)).both(EdgeLabel::Knows).dedup();
+            let ids = endpoint.submit(&base.clone().values(PropKey::Id))?;
+            let names = endpoint.submit(&base.values(PropKey::FirstName))?;
+            Ok(ids
                 .iter()
-                .map(|m| vec![pick(m, PropKey::Id), pick(m, PropKey::FirstName)])
+                .zip(&names)
+                .map(|(id, name)| vec![normalize(id), normalize(name)])
                 .collect())
         }
         ReadOp::TwoHop { person } => {
             // No emit()/times() in the dialect: union two traversals
-            // client-side, as many real Gremlin ports do.
+            // client-side, as many real Gremlin ports do, zipping the
+            // projected id/firstName streams per branch.
             let start = person_vid(*person);
-            let one = value_maps(
-                endpoint,
-                &Traversal::v(start)
-                    .both(EdgeLabel::Knows)
-                    .dedup()
-                    .value_map(),
-            )?;
-            let two = value_maps(
-                endpoint,
-                &Traversal::v(start)
-                    .both(EdgeLabel::Knows)
-                    .both(EdgeLabel::Knows)
-                    .dedup()
-                    .value_map(),
-            )?;
-            let mut seen = std::collections::HashSet::new();
             let mut rows = Vec::new();
-            for m in one.iter().chain(two.iter()) {
-                let id = pick(m, PropKey::Id);
-                if id == Value::Int(*person as i64) || !seen.insert(id.clone()) {
-                    continue;
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(Value::Int(*person as i64));
+            for base in [
+                Traversal::v(start).both(EdgeLabel::Knows).dedup(),
+                Traversal::v(start)
+                    .both(EdgeLabel::Knows)
+                    .both(EdgeLabel::Knows)
+                    .dedup(),
+            ] {
+                let ids = endpoint.submit(&base.clone().values(PropKey::Id))?;
+                let names = endpoint.submit(&base.values(PropKey::FirstName))?;
+                for (id, name) in ids.iter().zip(&names) {
+                    let id = normalize(id);
+                    if seen.insert(id.clone()) {
+                        rows.push(vec![id, normalize(name)]);
+                    }
                 }
-                rows.push(vec![id, pick(m, PropKey::FirstName)]);
             }
             Ok(rows)
         }

@@ -3,17 +3,24 @@
 //! including the reification triples for property-carrying edges —
 //! the RDF mapping's write amplification happens in full.
 
-use snb_core::{Result, Value, Vid};
+use snb_core::{FastMap, Result, SnapshotCache, Value, Vid};
 use snb_datagen::{Dataset, UpdateOp};
 use snb_rdf::TripleStore;
 use std::fmt::Write as _;
 
-use crate::adapter::{normalize_rows, OpResult, SutAdapter};
+use crate::adapter::{
+    csr_shortest_path, csr_two_hop, normalize_rows, person_knows_csr, OpResult, SutAdapter,
+};
 use crate::ops::ReadOp;
 
 /// Adapter: one triple store, queried with SPARQL text.
 pub struct SparqlAdapter {
     store: TripleStore,
+    /// Epoch-pinned Person/Knows CSR for the multi-hop reads: three
+    /// pattern scans replace the `{1,2}` property-path / TRANSITIVE
+    /// evaluation once, then traversals are range scans until a write
+    /// invalidates the epoch.
+    snaps: SnapshotCache,
 }
 
 impl SparqlAdapter {
@@ -21,7 +28,10 @@ impl SparqlAdapter {
     /// permutations — "one big table with multiple indexes"), which is
     /// what makes its write path index-maintenance-bound in Figure 3.
     pub fn new() -> Self {
-        SparqlAdapter { store: TripleStore::with_indexes(snb_rdf::IndexConfig::Six) }
+        SparqlAdapter {
+            store: TripleStore::with_indexes(snb_rdf::IndexConfig::Six),
+            snaps: SnapshotCache::new(),
+        }
     }
 
     /// Access the store (for tests/benches).
@@ -31,6 +41,44 @@ impl SparqlAdapter {
 
     fn run(&self, query: &str) -> Result<OpResult> {
         Ok(normalize_rows(self.store.sparql(query)?.rows))
+    }
+
+    /// Pin a fresh Person/Knows CSR, rebuilding from pattern scans when
+    /// the cache is invalid and the hysteresis allows it. Only direct
+    /// `snb:knows` triples feed the adjacency — reified statement nodes
+    /// use `snb:src`/`snb:dst` and never match.
+    fn pin_knows(&self) -> Option<std::sync::Arc<snb_core::CsrSnapshot>> {
+        self.snaps.pin_with(|epoch| {
+            let ids = self.store.sparql("SELECT ?id WHERE { ?p rdf:type 'person' . ?p snb:id ?id }")?;
+            let names = self.store.sparql(
+                "SELECT ?id ?fn WHERE { ?p rdf:type 'person' . ?p snb:id ?id . \
+                 ?p snb:firstName ?fn }",
+            )?;
+            let mut name_of: FastMap<u64, Value> = FastMap::default();
+            for mut r in names.rows {
+                let fname = r.swap_remove(1);
+                if let Some(id) = r[0].as_int() {
+                    name_of.insert(id as u64, fname);
+                }
+            }
+            let persons: Vec<(u64, Value)> = ids
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_int())
+                .map(|id| {
+                    let id = id as u64;
+                    (id, name_of.get(&id).cloned().unwrap_or(Value::Null))
+                })
+                .collect();
+            let knows: Vec<(u64, u64)> = self
+                .store
+                .sparql("SELECT ?a ?b WHERE { ?s snb:knows ?o . ?s snb:id ?a . ?o snb:id ?b }")?
+                .rows
+                .into_iter()
+                .filter_map(|r| Some((r[0].as_int()? as u64, r[1].as_int()? as u64)))
+                .collect();
+            Ok(person_knows_csr(epoch, &persons, &knows))
+        })
     }
 }
 
@@ -64,6 +112,9 @@ impl SutAdapter for SparqlAdapter {
     }
 
     fn load(&self, snapshot: &Dataset) -> Result<()> {
+        // Bracket the bulk load with invalidations: a CSR pinned before
+        // or during the load must never be served afterwards.
+        self.snaps.note_writes(1);
         // Bulk path: direct triple ingestion, like Virtuoso's RDF loader.
         for v in &snapshot.vertices {
             self.store.insert_vertex(v.label, v.id, &v.props);
@@ -71,6 +122,7 @@ impl SutAdapter for SparqlAdapter {
         for e in &snapshot.edges {
             self.store.insert_edge(e.label, e.src, e.dst, &e.props);
         }
+        self.snaps.note_writes(1);
         Ok(())
     }
 
@@ -89,12 +141,22 @@ impl SutAdapter for SparqlAdapter {
                 "SELECT DISTINCT ?id ?fn WHERE {{ person:{person} (snb:knows|^snb:knows) ?f . \
                  ?f snb:id ?id . ?f snb:firstName ?fn }}"
             )),
-            ReadOp::TwoHop { person } => self.run(&format!(
-                "SELECT DISTINCT ?id ?fn WHERE {{ \
-                 person:{person} (snb:knows|^snb:knows){{1,2}} ?f . \
-                 ?f snb:id ?id . ?f snb:firstName ?fn . FILTER(?id != {person}) }}"
-            )),
+            ReadOp::TwoHop { person } => {
+                if let Some(s) = self.pin_knows() {
+                    // The property-path query joins on snb:firstName,
+                    // so persons lacking it drop out: require it here.
+                    return Ok(csr_two_hop(&s, *person, true));
+                }
+                self.run(&format!(
+                    "SELECT DISTINCT ?id ?fn WHERE {{ \
+                     person:{person} (snb:knows|^snb:knows){{1,2}} ?f . \
+                     ?f snb:id ?id . ?f snb:firstName ?fn . FILTER(?id != {person}) }}"
+                ))
+            }
             ReadOp::ShortestPath { a, b } => {
+                if let Some(s) = self.pin_knows() {
+                    return Ok(csr_shortest_path(&s, *a, *b, 12));
+                }
                 self.run(&format!("SELECT TRANSITIVE(person:{a}, person:{b}, snb:knows, 12)"))
             }
             ReadOp::Is1Profile { person } => {
@@ -158,6 +220,9 @@ impl SutAdapter for SparqlAdapter {
     }
 
     fn execute_update(&self, op: &UpdateOp) -> Result<()> {
+        // Invalidate the CSR up front so a partially applied op can
+        // never be hidden behind a snapshot that still looks fresh.
+        self.snaps.note_writes(1);
         // Render the whole update as one INSERT DATA block — the
         // application-level RDF mapping generates every triple,
         // including reification for edges with properties.
@@ -210,6 +275,7 @@ impl SutAdapter for SparqlAdapter {
     }
 
     fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
+        self.snaps.note_writes(ops.len() as u64);
         // Skip per-op INSERT DATA rendering and parsing: expand every
         // operation into its triples (reification included — the same
         // triples `execute_update` generates) and insert them all under

@@ -3,29 +3,43 @@
 //! store, native TRANSITIVE operator).
 
 use snb_core::schema::{edge_def, vertex_props};
-use snb_core::{Result, Value};
+use snb_core::{Result, SnapshotCache, Value};
 use snb_datagen::{Dataset, UpdateOp};
 use snb_relational::{Database, Layout};
 use std::fmt::Write as _;
 
-use crate::adapter::{normalize_rows, OpResult, SutAdapter};
+use crate::adapter::{
+    csr_shortest_path, csr_two_hop, normalize_rows, person_knows_csr, OpResult, SutAdapter,
+};
 use crate::ops::ReadOp;
 
 /// Adapter: the relational engine with SQL text queries.
 pub struct SqlAdapter {
     db: Database,
     name: &'static str,
+    /// Epoch-pinned Person/Knows CSR for the multi-hop reads: two bulk
+    /// table scans replace the six-branch UNION / recursive CTE once,
+    /// then every traversal is a range scan until a write invalidates it.
+    snaps: SnapshotCache,
 }
 
 impl SqlAdapter {
     /// Postgres analogue.
     pub fn row_store() -> Self {
-        SqlAdapter { db: Database::new_snb(Layout::Row), name: "Postgres (SQL)" }
+        SqlAdapter {
+            db: Database::new_snb(Layout::Row),
+            name: "Postgres (SQL)",
+            snaps: SnapshotCache::new(),
+        }
     }
 
     /// Virtuoso analogue.
     pub fn column_store() -> Self {
-        SqlAdapter { db: Database::new_snb(Layout::Column), name: "Virtuoso (SQL)" }
+        SqlAdapter {
+            db: Database::new_snb(Layout::Column),
+            name: "Virtuoso (SQL)",
+            snaps: SnapshotCache::new(),
+        }
     }
 
     /// Access the database (for tests/benches).
@@ -35,6 +49,33 @@ impl SqlAdapter {
 
     fn run(&self, query: &str, params: &[Value]) -> Result<OpResult> {
         Ok(normalize_rows(self.db.sql(query, params)?.rows))
+    }
+
+    /// Pin a fresh Person/Knows CSR, building one from two full-table
+    /// scans when the cache is invalid and the hysteresis allows it.
+    fn pin_knows(&self) -> Option<std::sync::Arc<snb_core::CsrSnapshot>> {
+        self.snaps.pin_with(|epoch| {
+            let persons: Vec<(u64, Value)> = self
+                .db
+                .sql("SELECT id, firstName FROM person", &[])?
+                .rows
+                .into_iter()
+                .map(|mut r| {
+                    let name = r.swap_remove(1);
+                    (r[0].as_int().unwrap_or(0) as u64, name)
+                })
+                .collect();
+            let knows: Vec<(u64, u64)> = self
+                .db
+                .sql("SELECT src, dst FROM person_knows_person", &[])?
+                .rows
+                .into_iter()
+                .map(|r| {
+                    (r[0].as_int().unwrap_or(0) as u64, r[1].as_int().unwrap_or(0) as u64)
+                })
+                .collect();
+            Ok(person_knows_csr(epoch, &persons, &knows))
+        })
     }
 }
 
@@ -82,6 +123,9 @@ impl SutAdapter for SqlAdapter {
     }
 
     fn load(&self, snapshot: &Dataset) -> Result<()> {
+        // Bracket the bulk load with invalidations: a CSR pinned before
+        // or during the load must never be served afterwards.
+        self.snaps.note_writes(1);
         // Vendor bulk loading: straight into the storage engine.
         for v in &snapshot.vertices {
             let def = self.db.table_def(v.label.as_str())?;
@@ -103,6 +147,7 @@ impl SutAdapter for SqlAdapter {
             }
             self.db.insert_row(&def.table_name(), row)?;
         }
+        self.snaps.note_writes(1);
         Ok(())
     }
 
@@ -121,13 +166,19 @@ impl SutAdapter for SqlAdapter {
                  JOIN person p ON p.id = k.src WHERE k.dst = $1",
                 &[Value::Int(*person as i64)],
             ),
-            ReadOp::TwoHop { person } => self.run(
-                &two_hop_union("p.id, p.firstName", ""),
-                &[Value::Int(*person as i64)],
-            ),
+            ReadOp::TwoHop { person } => {
+                if let Some(s) = self.pin_knows() {
+                    return Ok(csr_two_hop(&s, *person, false));
+                }
+                self.run(&two_hop_union("p.id, p.firstName", ""), &[Value::Int(*person as i64)])
+            }
             ReadOp::ShortestPath { a, b } => {
                 if a == b {
                     return Ok(vec![vec![Value::Int(0)]]);
+                }
+                if let Some(s) = self.pin_knows() {
+                    let cap = if self.db.layout() == Layout::Column { 12 } else { 10 };
+                    return Ok(csr_shortest_path(&s, *a, *b, cap));
                 }
                 let params = [Value::Int(*a as i64), Value::Int(*b as i64)];
                 if self.db.layout() == Layout::Column {
@@ -231,6 +282,9 @@ impl SutAdapter for SqlAdapter {
     }
 
     fn execute_update(&self, op: &UpdateOp) -> Result<()> {
+        // Invalidate the CSR up front so a partially applied op can
+        // never be hidden behind a snapshot that still looks fresh.
+        self.snaps.note_writes(1);
         if let Some(v) = &op.new_vertex {
             let mut cols = String::from("id");
             let mut placeholders = String::from("$1");
@@ -268,6 +322,7 @@ impl SutAdapter for SqlAdapter {
     }
 
     fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
+        self.snaps.note_writes(ops.len() as u64);
         // The multi-row INSERT path: stage full-arity rows per target
         // table, then flush each table under a single write-lock
         // acquisition instead of one statement per element.

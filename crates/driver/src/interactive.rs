@@ -39,6 +39,10 @@ pub struct InteractiveConfig {
     pub appliers: usize,
     /// Operations applied per engine batch.
     pub batch_size: usize,
+    /// Pause each reader takes between operations (`Duration::ZERO` =
+    /// fully closed-loop). Lets a run model think-time clients instead
+    /// of readers that saturate every core.
+    pub read_pacing: Duration,
 }
 
 impl Default for InteractiveConfig {
@@ -49,6 +53,7 @@ impl Default for InteractiveConfig {
             seed: 0x1db0,
             appliers: 2,
             batch_size: 128,
+            read_pacing: Duration::ZERO,
         }
     }
 }
@@ -169,9 +174,13 @@ pub fn run_interactive(
             let read_errors = Arc::clone(&read_errors);
             let mut params = ParamGen::new(data, config.seed.wrapping_add(r as u64));
             let latencies = Arc::clone(&latencies);
+            let pacing = config.read_pacing;
             scope.spawn(move || {
                 let mut local: HashMap<&'static str, LatencyStats> = HashMap::new();
                 while !stop.load(Ordering::Relaxed) {
+                    if !pacing.is_zero() {
+                        std::thread::sleep(pacing);
+                    }
                     let op = params.interactive_read();
                     let t0 = std::time::Instant::now();
                     match adapter.execute_read(&op) {

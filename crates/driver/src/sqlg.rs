@@ -19,12 +19,16 @@ use std::fmt::Write as _;
 /// Sqlg over Postgres).
 pub struct SqlgBackend {
     db: Database,
+    /// Freshness-checked CSR snapshot cache; a fresh snapshot lets the
+    /// Gremlin executor skip the SQL-per-call translation on multi-hop
+    /// reads while writes still invalidate it immediately.
+    snaps: snb_core::SnapshotCache,
 }
 
 impl SqlgBackend {
     /// Wrap a fresh SNB-schema row store.
     pub fn new(db: Database) -> Self {
-        SqlgBackend { db }
+        SqlgBackend { db, snaps: snb_core::SnapshotCache::new() }
     }
 
     /// Access the underlying database.
@@ -55,6 +59,7 @@ impl GraphBackend for SqlgBackend {
             &format!("INSERT INTO {label} ({cols}) VALUES ({placeholders})"),
             &params,
         )?;
+        self.snaps.note_writes(1);
         Ok(Vid::new(label, local_id))
     }
 
@@ -81,6 +86,7 @@ impl GraphBackend for SqlgBackend {
             &format!("INSERT INTO {} ({cols}) VALUES ({placeholders})", def.table_name()),
             &params,
         )?;
+        self.snaps.note_writes(1);
         Ok(())
     }
 
@@ -188,6 +194,7 @@ impl GraphBackend for SqlgBackend {
         for (table, rows) in staged {
             self.db.insert_rows(&table, rows)?;
         }
+        self.snaps.note_writes(applied as u64);
         match failure {
             Some(e) => Err(e),
             None => Ok(applied),
@@ -247,6 +254,7 @@ impl GraphBackend for SqlgBackend {
             &format!("UPDATE {} SET {key} = $2 WHERE id = $1", v.label()),
             &[Value::Int(v.local() as i64), value],
         )?;
+        self.snaps.note_writes(1);
         Ok(())
     }
 
@@ -338,6 +346,10 @@ impl GraphBackend for SqlgBackend {
 
     fn storage_bytes(&self) -> usize {
         self.db.storage_bytes()
+    }
+
+    fn pin_snapshot(&self) -> Option<std::sync::Arc<snb_core::CsrSnapshot>> {
+        self.snaps.pin(self)
     }
 }
 

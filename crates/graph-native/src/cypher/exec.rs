@@ -8,8 +8,9 @@
 //! declarative query inside a single transaction, and is precisely the
 //! optimization opportunity the Gremlin layer forfeits.
 
+use snb_core::snapshot::CsrSnapshot;
 use snb_core::{
-    Direction, GraphBackend, PropKey, Result, SnbError, Value, Vid,
+    Direction, EdgeLabel, GraphBackend, PropKey, PropertyMap, Result, SnbError, Value, Vid,
 };
 use snb_core::{FastMap, FastSet};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -19,6 +20,145 @@ use super::{CypherResult, Params};
 use crate::store::{Inner, NativeGraphStore};
 
 type Row = Vec<Value>;
+
+/// Read view for phase-1 matching: either the live store under its read
+/// guard, or a pinned immutable CSR epoch (zero locks for the whole
+/// match). Snapshot rows are slot-aligned with the live store — the
+/// native compactor builds them in slot order — so `u32` indices mean
+/// the same thing on both arms.
+pub(crate) enum View<'a> {
+    Live(&'a Inner),
+    Snap(&'a CsrSnapshot),
+}
+
+impl<'a> View<'a> {
+    #[inline]
+    fn slot_ix(&self, v: Vid) -> Option<u32> {
+        match self {
+            View::Live(inner) => inner.slot_ix(v),
+            View::Snap(snap) => snap.row_of(v),
+        }
+    }
+
+    #[inline]
+    fn vid(&self, ix: u32) -> Vid {
+        match self {
+            View::Live(inner) => inner.slot(ix).vid,
+            View::Snap(snap) => snap.vid_of(ix),
+        }
+    }
+
+    #[inline]
+    fn prop(&self, ix: u32, key: PropKey) -> Option<Value> {
+        match self {
+            View::Live(inner) => inner.slot(ix).props.get(key).cloned(),
+            View::Snap(snap) => snap.prop(ix, key),
+        }
+    }
+
+    fn vids_by_label(&self, label: snb_core::VertexLabel) -> Vec<Vid> {
+        match self {
+            View::Live(inner) => {
+                inner.by_label[label as usize].iter().map(|&ix| inner.slot(ix).vid).collect()
+            }
+            View::Snap(snap) => {
+                snap.rows_by_label(label).iter().map(|&r| snap.vid_of(r)).collect()
+            }
+        }
+    }
+
+    fn all_vids(&self) -> Vec<Vid> {
+        match self {
+            View::Live(inner) => inner.slots.iter().map(|s| s.vid).collect(),
+            View::Snap(snap) => (0..snap.n_rows() as u32).map(|r| snap.vid_of(r)).collect(),
+        }
+    }
+
+    /// Visit adjacency entries of `ix` (Both = out then in, duplicates
+    /// preserved). The callback receives the edge label, the far slot,
+    /// the concrete direction the entry came from, and — for out
+    /// entries — the edge property map. Return `false` to stop early.
+    fn for_adj<F>(&self, ix: u32, dir: Direction, label: Option<EdgeLabel>, mut f: F)
+    where
+        F: FnMut(EdgeLabel, u32, Direction, Option<&PropertyMap>) -> bool,
+    {
+        match self {
+            View::Live(inner) => {
+                let slot = inner.slot(ix);
+                let dirs: &[(Direction, &Vec<crate::store::AdjEntry>)] = match dir {
+                    Direction::Out => &[(Direction::Out, &slot.out)],
+                    Direction::In => &[(Direction::In, &slot.inn)],
+                    Direction::Both => {
+                        &[(Direction::Out, &slot.out), (Direction::In, &slot.inn)]
+                    }
+                };
+                for (d, entries) in dirs {
+                    for e in entries.iter() {
+                        if label.map_or(false, |l| e.label != l) {
+                            continue;
+                        }
+                        let props = match d {
+                            Direction::Out => e.props.as_deref(),
+                            _ => None,
+                        };
+                        if !f(e.label, e.other, *d, props) {
+                            return;
+                        }
+                    }
+                }
+            }
+            View::Snap(snap) => {
+                let dirs: &[Direction] = match dir {
+                    Direction::Out => &[Direction::Out],
+                    Direction::In => &[Direction::In],
+                    Direction::Both => &[Direction::Out, Direction::In],
+                };
+                for &d in dirs {
+                    let labels: &[EdgeLabel] = match label {
+                        Some(ref l) => std::slice::from_ref(l),
+                        None => &snb_core::ids::EDGE_LABELS,
+                    };
+                    for &l in labels {
+                        match d {
+                            Direction::Out => {
+                                let (targets, eprops) = snap.out_slice(ix, l);
+                                for (i, &t) in targets.iter().enumerate() {
+                                    let p = eprops.get(i).and_then(|p| p.as_deref());
+                                    if !f(l, t, Direction::Out, p) {
+                                        return;
+                                    }
+                                }
+                            }
+                            _ => {
+                                for &t in snap.range(ix, Direction::In, l) {
+                                    if !f(l, t, Direction::In, None) {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property map of the out-edge `src_ix -[label]-> dst_ix`, cloned.
+    /// Used to recover edge properties for In-direction traversals.
+    fn out_edge_props(&self, src_ix: u32, label: EdgeLabel, dst_ix: u32) -> Option<PropertyMap> {
+        match self {
+            View::Live(inner) => inner
+                .adj(src_ix, Direction::Out, Some(label))
+                .find(|back| back.other == dst_ix)
+                .and_then(|back| back.props.as_deref().cloned()),
+            View::Snap(snap) => snap
+                .out_edge_props(src_ix, label, dst_ix)
+                .ok()
+                .flatten()
+                .cloned(),
+        }
+    }
+}
 
 /// Symbol table mapping variables (and referenced relationship
 /// properties) to row slots.
@@ -60,7 +200,7 @@ impl SymTab {
 }
 
 struct Ctx<'a> {
-    inner: &'a Inner,
+    view: View<'a>,
     params: &'a Params,
     sym: SymTab,
 }
@@ -92,10 +232,10 @@ impl<'a> Ctx<'a> {
                 match &row[s] {
                     Value::Vertex(vid) => {
                         let ix = self
-                            .inner
+                            .view
                             .slot_ix(*vid)
                             .ok_or_else(|| SnbError::Exec(format!("dangling vertex {vid}")))?;
-                        Ok(self.inner.slot(ix).props.get(*key).cloned().unwrap_or(Value::Null))
+                        Ok(self.view.prop(ix, *key).unwrap_or(Value::Null))
                     }
                     Value::Null => Ok(Value::Null),
                     other => Err(SnbError::Exec(format!("{var} is not a node: {other}"))),
@@ -163,31 +303,16 @@ fn normalize(stmt: &Statement) -> Statement {
 /// Execute a parsed statement.
 pub fn execute(store: &NativeGraphStore, stmt: &Statement, params: &Params) -> Result<CypherResult> {
     let stmt = &normalize(stmt);
-    // Phase 1: matching + projection under one read guard.
-    let (result, rows, sym) = {
-        let guard = store.inner.read();
-        let mut ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
-        prebind_symbols(&mut ctx.sym, stmt)?;
-        let mut rows: Vec<Row> = vec![vec![Value::Null; ctx.sym.n_slots]];
-        for clause in &stmt.matches {
-            for path in &clause.paths {
-                rows = match_path(&ctx, rows, path)?;
-            }
-            if let Some(filter) = &clause.filter {
-                let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    if truthy(&ctx.eval(&row, filter)?) {
-                        kept.push(row);
-                    }
-                }
-                rows = kept;
-            }
+    // Phase 1: matching + projection. Preferred path: pin a fresh CSR
+    // epoch and match with zero locks; when no fresh epoch exists
+    // (writes just landed) fall back to the live store under one read
+    // guard, which preserves read-your-writes exactly.
+    let (result, rows, sym) = match store.pin_snapshot() {
+        Some(snap) => phase1(View::Snap(&snap), stmt, params)?,
+        None => {
+            let guard = store.inner().read();
+            phase1(View::Live(&guard), stmt, params)?
         }
-        let result = match &stmt.ret {
-            Some(ret) => Some(project(&ctx, &rows, ret)?),
-            None => None,
-        };
-        (result, rows, ctx.sym)
     };
 
     // Phase 2: mutations through the write path.
@@ -204,8 +329,8 @@ pub fn execute(store: &NativeGraphStore, stmt: &Statement, params: &Params) -> R
                 let vid = row[slot]
                     .as_vid()
                     .ok_or_else(|| SnbError::Exec(format!("SET target `{}` unbound", set.var)))?;
-                let guard = store.inner.read();
-                let ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+                let guard = store.inner().read();
+                let ctx = Ctx { view: View::Live(&guard), params, sym: SymTab::default() };
                 let value = ctx.eval(&Vec::new(), &set.value)?;
                 drop(guard);
                 store.set_vertex_prop(vid, set.key, value)?;
@@ -225,6 +350,36 @@ pub fn execute(store: &NativeGraphStore, stmt: &Statement, params: &Params) -> R
             ]],
         }),
     }
+}
+
+/// Phase 1: matching + projection against one read view.
+fn phase1(
+    view: View<'_>,
+    stmt: &Statement,
+    params: &Params,
+) -> Result<(Option<CypherResult>, Vec<Row>, SymTab)> {
+    let mut ctx = Ctx { view, params, sym: SymTab::default() };
+    prebind_symbols(&mut ctx.sym, stmt)?;
+    let mut rows: Vec<Row> = vec![vec![Value::Null; ctx.sym.n_slots]];
+    for clause in &stmt.matches {
+        for path in &clause.paths {
+            rows = match_path(&ctx, rows, path)?;
+        }
+        if let Some(filter) = &clause.filter {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if truthy(&ctx.eval(&row, filter)?) {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+    }
+    let result = match &stmt.ret {
+        Some(ret) => Some(project(&ctx, &rows, ret)?),
+        None => None,
+    };
+    Ok((result, rows, ctx.sym))
 }
 
 /// Allocate slots for every variable and referenced relationship
@@ -342,7 +497,7 @@ fn match_path(ctx: &Ctx, rows: Vec<Row>, path: &PatternPath) -> Result<Vec<Row>>
                     (Some(a), Some(b)) => (a, b),
                     _ => continue,
                 };
-                if let Some(len) = bidi_bfs(ctx.inner, a, b, rel.dir, rel.label, max) {
+                if let Some(len) = bidi_bfs(&ctx.view, a, b, rel.dir, rel.label, max) {
                     row[path_slot] = Value::Int(len as i64);
                     out.push(row);
                 }
@@ -375,13 +530,10 @@ fn bind_node(ctx: &Ctx, rows: Vec<Row>, node: &NodePat) -> Result<Vec<Row>> {
                     .as_int()
                     .ok_or_else(|| SnbError::Exec("non-integer id".into()))?;
                 let vid = Vid::new(label, id as u64);
-                if ctx.inner.slot_ix(vid).is_some() { vec![vid] } else { vec![] }
+                if ctx.view.slot_ix(vid).is_some() { vec![vid] } else { vec![] }
             }
-            (_, Some(label)) => ctx.inner.by_label[label as usize]
-                .iter()
-                .map(|&ix| ctx.inner.slot(ix).vid)
-                .collect(),
-            _ => ctx.inner.slots.iter().map(|s| s.vid).collect(),
+            (_, Some(label)) => ctx.view.vids_by_label(label),
+            _ => ctx.view.all_vids(),
         };
         for vid in candidates {
             if node_matches(ctx, &row, vid, node)? {
@@ -405,15 +557,14 @@ fn node_matches(ctx: &Ctx, row: &Row, vid: Vid, node: &NodePat) -> Result<bool> 
     if node.props.is_empty() {
         return Ok(true);
     }
-    let ix = match ctx.inner.slot_ix(vid) {
+    let ix = match ctx.view.slot_ix(vid) {
         Some(ix) => ix,
         None => return Ok(false),
     };
-    let props = &ctx.inner.slot(ix).props;
     for (key, expr) in &node.props {
         let want = ctx.eval(row, expr)?;
-        match props.get(*key) {
-            Some(have) if cmp_vals(have, &want) == std::cmp::Ordering::Equal => {}
+        match ctx.view.prop(ix, *key) {
+            Some(have) if cmp_vals(&have, &want) == std::cmp::Ordering::Equal => {}
             _ => return Ok(false),
         }
     }
@@ -440,79 +591,63 @@ fn expand(ctx: &Ctx, rows: Vec<Row>, left_slot: usize, rel: &RelPat, to: &NodePa
             .collect(),
         None => Vec::new(),
     };
+    // Whether any edge property is needed (projected slots or pattern
+    // constraints); when not, skip property recovery entirely.
+    let need_props = !rel_prop_slots.is_empty() || !rel.props.is_empty();
     let mut out = Vec::new();
+    let mut entries: Vec<(EdgeLabel, u32, Direction, Option<PropertyMap>)> = Vec::new();
     for row in rows {
         let Some(left) = row[left_slot].as_vid() else { continue };
-        let Some(ix) = ctx.inner.slot_ix(left) else { continue };
-        // Walk out and in lists separately so edge properties (stored on
-        // the out side) can be recovered for reverse traversals.
-        let slot_ref = ctx.inner.slot(ix);
-        let dirs: &[(Direction, &Vec<_>)] = match rel.dir {
-            Direction::Out => &[(Direction::Out, &slot_ref.out)],
-            Direction::In => &[(Direction::In, &slot_ref.inn)],
-            Direction::Both => &[(Direction::Out, &slot_ref.out), (Direction::In, &slot_ref.inn)],
-        };
-        for (d, entries) in dirs {
-            for e in entries.iter() {
-                if let Some(l) = rel.label {
-                    if e.label != l {
+        let Some(ix) = ctx.view.slot_ix(left) else { continue };
+        entries.clear();
+        ctx.view.for_adj(ix, rel.dir, rel.label, |l, other, d, props| {
+            entries.push((l, other, d, if need_props { props.cloned() } else { None }));
+            true
+        });
+        for (l, other_ix, d, out_props) in entries.drain(..) {
+            let other = ctx.view.vid(other_ix);
+            if !node_matches(ctx, &row, other, to)? {
+                continue;
+            }
+            if let Some(s) = to_slot {
+                if let Value::Vertex(existing) = row[s] {
+                    if existing != other {
                         continue;
                     }
                 }
-                let other = ctx.inner.slot(e.other).vid;
-                if !node_matches(ctx, &row, other, to)? {
-                    continue;
+            }
+            // Edge props live on the out-going entry; for an In
+            // traversal fetch them from the counterpart.
+            let props: Option<PropertyMap> = if need_props {
+                match d {
+                    Direction::Out => out_props,
+                    _ => ctx.view.out_edge_props(other_ix, l, ix),
                 }
-                if let Some(s) = to_slot {
-                    if let Value::Vertex(existing) = row[s] {
-                        if existing != other {
-                            continue;
-                        }
-                    }
-                }
-                let mut new_row = row.clone();
-                if let Some(s) = to_slot {
-                    new_row[s] = Value::Vertex(other);
-                }
-                if !rel_prop_slots.is_empty() {
-                    // Edge props live on the out-going entry; for an In
-                    // traversal fetch them from the counterpart.
-                    let props = match d {
-                        Direction::Out => e.props.as_deref().cloned(),
-                        _ => ctx
-                            .inner
-                            .adj(e.other, Direction::Out, Some(e.label))
-                            .find(|back| back.other == ix)
-                            .and_then(|back| back.props.as_deref().cloned()),
-                    };
-                    for (k, s) in &rel_prop_slots {
-                        new_row[*s] = props
-                            .as_ref()
-                            .and_then(|p| p.get(*k).cloned())
-                            .unwrap_or(Value::Null);
-                    }
-                }
-                // Relationship property equality constraints in the pattern.
-                let mut ok = true;
-                for (k, expr) in &rel.props {
-                    let want = ctx.eval(&row, expr)?;
-                    let have = match d {
-                        Direction::Out => e.props.as_ref().and_then(|p| p.get(*k).cloned()),
-                        _ => ctx
-                            .inner
-                            .adj(e.other, Direction::Out, Some(e.label))
-                            .find(|back| back.other == ix)
-                            .and_then(|back| back.props.as_ref().and_then(|p| p.get(*k).cloned())),
-                    };
-                    if have.map_or(true, |h| cmp_vals(&h, &want) != std::cmp::Ordering::Equal) {
-                        ok = false;
-                        break;
-                    }
-                }
-                if ok {
-                    out.push(new_row);
+            } else {
+                None
+            };
+            // Relationship property equality constraints in the pattern.
+            let mut ok = true;
+            for (k, expr) in &rel.props {
+                let want = ctx.eval(&row, expr)?;
+                let have = props.as_ref().and_then(|p| p.get(*k).cloned());
+                if have.map_or(true, |h| cmp_vals(&h, &want) != std::cmp::Ordering::Equal) {
+                    ok = false;
+                    break;
                 }
             }
+            if !ok {
+                continue;
+            }
+            let mut new_row = row.clone();
+            if let Some(s) = to_slot {
+                new_row[s] = Value::Vertex(other);
+            }
+            for (k, s) in &rel_prop_slots {
+                new_row[*s] =
+                    props.as_ref().and_then(|p| p.get(*k).cloned()).unwrap_or(Value::Null);
+            }
+            out.push(new_row);
         }
     }
     Ok(out)
@@ -536,25 +671,26 @@ fn var_expand(
     let mut out = Vec::new();
     for row in rows {
         let Some(left) = row[left_slot].as_vid() else { continue };
-        let Some(start) = ctx.inner.slot_ix(left) else { continue };
+        let Some(start) = ctx.view.slot_ix(left) else { continue };
         let mut dist: FastMap<u32, u32> = FastMap::from_iter([(start, 0)]);
         let mut queue: VecDeque<(u32, u32)> = VecDeque::from([(start, 0)]);
         while let Some((ix, d)) = queue.pop_front() {
             if d >= max {
                 continue;
             }
-            for e in ctx.inner.adj(ix, rel.dir, rel.label) {
-                if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(e.other) {
+            ctx.view.for_adj(ix, rel.dir, rel.label, |_, other, _, _| {
+                if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(other) {
                     slot.insert(d + 1);
-                    queue.push_back((e.other, d + 1));
+                    queue.push_back((other, d + 1));
                 }
-            }
+                true
+            });
         }
         for (ix, d) in dist {
             if d < min || d > max {
                 continue;
             }
-            let other = ctx.inner.slot(ix).vid;
+            let other = ctx.view.vid(ix);
             if !node_matches(ctx, &row, other, to)? {
                 continue;
             }
@@ -577,17 +713,17 @@ fn var_expand(
 
 /// Bidirectional BFS for unweighted shortest path length.
 fn bidi_bfs(
-    inner: &Inner,
+    view: &View<'_>,
     a: Vid,
     b: Vid,
     dir: Direction,
-    label: Option<snb_core::EdgeLabel>,
+    label: Option<EdgeLabel>,
     max: u32,
 ) -> Option<u32> {
     if a == b {
         return Some(0);
     }
-    let (sa, sb) = (inner.slot_ix(a)?, inner.slot_ix(b)?);
+    let (sa, sb) = (view.slot_ix(a)?, view.slot_ix(b)?);
     let mut dist_a: FastMap<u32, u32> = FastMap::from_iter([(sa, 0)]);
     let mut dist_b: FastMap<u32, u32> = FastMap::from_iter([(sb, 0)]);
     let mut frontier_a = vec![sa];
@@ -609,16 +745,22 @@ fn bidi_bfs(
             (&mut frontier_b, &mut dist_b, &dist_a, dir.reverse(), depth_b)
         };
         let mut next = Vec::new();
+        let mut meet: Option<u32> = None;
         for &ix in frontier.iter() {
-            for e in inner.adj(ix, d, label) {
-                if dist.contains_key(&e.other) {
-                    continue;
+            view.for_adj(ix, d, label, |_, other, _, _| {
+                if dist.contains_key(&other) {
+                    return true;
                 }
-                if let Some(od) = other_dist.get(&e.other) {
-                    return Some(depth + od);
+                if let Some(od) = other_dist.get(&other) {
+                    meet = Some(depth + od);
+                    return false;
                 }
-                dist.insert(e.other, depth);
-                next.push(e.other);
+                dist.insert(other, depth);
+                next.push(other);
+                true
+            });
+            if meet.is_some() {
+                return meet;
             }
         }
         *frontier = next;
@@ -668,8 +810,8 @@ fn apply_creates(
             let label = node
                 .label
                 .ok_or_else(|| SnbError::Plan("CREATE node needs a label".into()))?;
-            let guard = store.inner.read();
-            let ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+            let guard = store.inner().read();
+            let ctx = Ctx { view: View::Live(&guard), params, sym: SymTab::default() };
             let mut props: Vec<(PropKey, Value)> = Vec::with_capacity(node.props.len());
             let mut id: Option<u64> = None;
             for (k, e) in &node.props {
@@ -697,8 +839,8 @@ fn apply_creates(
                 Direction::Out | Direction::Both => (vids[i], vids[i + 1]),
                 Direction::In => (vids[i + 1], vids[i]),
             };
-            let guard = store.inner.read();
-            let ctx = Ctx { inner: &guard, params, sym: SymTab::default() };
+            let guard = store.inner().read();
+            let ctx = Ctx { view: View::Live(&guard), params, sym: SymTab::default() };
             let mut props = Vec::with_capacity(rel.props.len());
             for (k, e) in &rel.props {
                 props.push((*k, ctx.eval(&Vec::new(), e)?));

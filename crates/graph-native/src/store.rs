@@ -1,13 +1,16 @@
 //! Adjacency-list storage with index-free adjacency.
 
-use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockWriteGuard};
+use snb_core::ids::EDGE_LABELS;
 use snb_core::schema::edge_def;
+use snb_core::snapshot::{CsrBuilder, CsrSnapshot, EpochCell};
 use snb_core::{
-    Direction, EdgeLabel, FastMap, GraphBackend, GraphWrite, PropKey, PropertyMap, Result,
-    SnbError, Value, VertexLabel, Vid,
+    Direction, EdgeLabel, FastMap, FastSet, GraphBackend, GraphWrite, PropKey, PropertyMap,
+    Result, SnbError, Value, VertexLabel, Vid,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Checkpoint behaviour of the write path (see crate docs).
 #[derive(Debug, Clone)]
@@ -70,6 +73,11 @@ pub(crate) struct Inner {
     pub edge_count: usize,
     dirty: Vec<u32>,
     writes_since_checkpoint: usize,
+    /// Slots whose adjacency or properties changed since the last CSR
+    /// fold (new slots need no entry — the fold detects them by row
+    /// count). Drained by the compactor under the write lock.
+    csr_dirty: Vec<u32>,
+    csr_writes_since_fold: usize,
 }
 
 impl Inner {
@@ -148,6 +156,9 @@ impl Inner {
         self.slots[s as usize].out.push(AdjEntry { label, other: d, props: eprops });
         self.slots[d as usize].inn.push(AdjEntry { label, other: s, props: None });
         self.edge_count += 1;
+        // Both endpoints' CSR rows are stale now (out side and in side).
+        self.csr_dirty.push(s);
+        self.csr_dirty.push(d);
         Ok(s)
     }
 
@@ -211,16 +222,177 @@ fn encode_value(v: &Value, buf: &mut Vec<u8>) {
     }
 }
 
+/// Fold the CSR epoch after this many writes even if no reader asks.
+const FOLD_EVERY: usize = 4096;
+/// Minimum gap between compactor folds, so a nudge storm during a
+/// mixed read/write phase cannot pin the core folding stale epochs
+/// back to back.
+const FOLD_PACE: Duration = Duration::from_millis(1);
+/// Ceiling for the adaptive pace: while every fold arrives already
+/// stale (a sustained write burst), the compactor doubles its pace up
+/// to this bound instead of rebuilding a doomed CSR back to back —
+/// on a single core that churn taxed the write path ~4x.
+const FOLD_PACE_MAX: Duration = Duration::from_millis(256);
+
+/// Compactor wake-up state, guarded by `Shared::fold_state`.
+struct FoldState {
+    nudged: bool,
+    shutdown: bool,
+}
+
+/// State shared between the store handle and its compactor thread.
+pub(crate) struct Shared {
+    pub(crate) inner: RwLock<Inner>,
+    /// Write sequence number; advanced under the `inner` write lock on
+    /// every applied write. A CSR snapshot is fresh iff its epoch
+    /// equals this counter.
+    write_seq: AtomicU64,
+    csr: EpochCell,
+    fold_state: Mutex<FoldState>,
+    fold_cv: Condvar,
+    /// Signalled (under `fold_state`) after every completed fold, so a
+    /// thread waiting for a fresh epoch rendezvouses with the compactor
+    /// instead of sleep-polling `pin_snapshot`.
+    fold_done_cv: Condvar,
+    /// Serializes whole folds (compactor vs `compact_now`), so epochs
+    /// are published in nondecreasing order.
+    fold_gate: Mutex<()>,
+    folds_taken: AtomicU64,
+}
+
+impl Shared {
+    /// Wake the compactor (a reader saw a stale epoch, or the write
+    /// path crossed the fold threshold).
+    fn nudge(&self) {
+        let mut st = self.fold_state.lock();
+        st.nudged = true;
+        drop(st);
+        self.fold_cv.notify_all();
+    }
+}
+
+/// Rebuild the published CSR snapshot from the previous epoch plus the
+/// accumulated dirty set. Runs on the compactor thread (or inline via
+/// `compact_now`), never on the write path: writers only pay for the
+/// brief dirty-set steal.
+///
+/// Writes that land between the steal and the row copy make the result
+/// stale on arrival (its epoch is below the advanced `write_seq`), and
+/// `pin_snapshot`'s freshness check then refuses to serve it — so a
+/// torn fold is unobservable, it just costs one more fold later.
+fn fold_csr(shared: &Shared) {
+    let _gate = shared.fold_gate.lock();
+    let seq_now = shared.write_seq.load(Ordering::Acquire);
+    if shared.csr.epoch() == Some(seq_now) {
+        return;
+    }
+    // Steal the dirty set and stamp the epoch under the write lock:
+    // `seq` cannot move while we hold it, so the snapshot we build is
+    // exact for epoch `seq` *unless* later writes race the copy below —
+    // in which case `seq` has advanced past our epoch and the result is
+    // never served.
+    let (dirty, n, seq) = {
+        let mut inner = shared.inner.write();
+        let d = std::mem::take(&mut inner.csr_dirty);
+        inner.csr_writes_since_fold = 0;
+        (d, inner.slots.len(), shared.write_seq.load(Ordering::Acquire))
+    };
+    let old = shared.csr.load();
+    let old_n = old.as_ref().map_or(0, |o| o.n_rows());
+    let mut dirty_set: FastSet<u32> = FastSet::default();
+    dirty_set.extend(dirty.iter().copied().filter(|&r| (r as usize) < old_n));
+    let mut b = CsrBuilder::new(seq, n, true);
+    {
+        let inner = shared.inner.read();
+        for row in 0..n as u32 {
+            let reuse = (row as usize) < old_n && !dirty_set.contains(&row);
+            if reuse {
+                // Unchanged since the previous epoch: copy the row out
+                // of the old CSR (Arc clones, no property deep-copies).
+                let o = old.as_ref().unwrap();
+                b.push_row(o.vid_of(row), Arc::clone(o.props_arc(row)));
+                for l in EDGE_LABELS {
+                    let (targets, eprops) = o.out_slice(row, l);
+                    for (i, &t) in targets.iter().enumerate() {
+                        b.push_out(l, t, eprops.get(i).cloned().flatten());
+                    }
+                    for &t in o.range(row, Direction::In, l) {
+                        b.push_in(l, t);
+                    }
+                }
+            } else {
+                // Dirty or new: read the live slot. Entries pointing at
+                // slots beyond `n` were added after the steal (edges
+                // reference only already-inserted slots), skip them.
+                let slot = inner.slot(row);
+                b.push_row(slot.vid, Arc::new(slot.props.clone()));
+                for e in &slot.out {
+                    if (e.other as usize) < n {
+                        b.push_out(e.label, e.other, e.props.as_ref().map(|p| Arc::new((**p).clone())));
+                    }
+                }
+                for e in &slot.inn {
+                    if (e.other as usize) < n {
+                        b.push_in(e.label, e.other);
+                    }
+                }
+            }
+        }
+    }
+    shared.csr.store(Arc::new(b.finish()));
+    shared.folds_taken.fetch_add(1, Ordering::Relaxed);
+    // Publish-then-notify under the state lock: a waiter that checked
+    // the epoch while holding it either saw the fresh snapshot or is
+    // already parked on the condvar, so the wakeup cannot be lost.
+    let _st = shared.fold_state.lock();
+    shared.fold_done_cv.notify_all();
+}
+
+/// Compactor thread: wait for a nudge, fold, pace, repeat.
+fn compactor_loop(shared: Arc<Shared>) {
+    let mut last_fold: Option<Instant> = None;
+    let mut pace = FOLD_PACE;
+    let mut st = shared.fold_state.lock();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if !st.nudged {
+            shared.fold_cv.wait(&mut st);
+            continue;
+        }
+        if let Some(t) = last_fold {
+            let since = t.elapsed();
+            if since < pace {
+                shared.fold_cv.wait_for(&mut st, pace - since);
+                continue;
+            }
+        }
+        st.nudged = false;
+        drop(st);
+        fold_csr(&shared);
+        // Adaptive pacing: a fold that is stale on arrival (writes kept
+        // landing during the rebuild) was wasted work, and a write
+        // burst would make every fold wasted — back off until a fold
+        // lands fresh, then snap back to the eager pace.
+        let fresh = shared.csr.epoch() == Some(shared.write_seq.load(Ordering::Acquire));
+        pace = if fresh { FOLD_PACE } else { (pace * 2).min(FOLD_PACE_MAX) };
+        last_fold = Some(Instant::now());
+        st = shared.fold_state.lock();
+    }
+}
+
 /// The native graph store. Cheap to share behind `Arc`; all methods
 /// take `&self`.
 pub struct NativeGraphStore {
-    pub(crate) inner: RwLock<Inner>,
+    pub(crate) shared: Arc<Shared>,
     checkpoint: CheckpointConfig,
     /// Last checkpoint image. Written outside the `inner` write lock so
     /// serialization never blocks readers; its own mutex only excludes
     /// concurrent checkpointers.
     checkpoint_pages: Mutex<Vec<u8>>,
     checkpoints_taken: AtomicU64,
+    compactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl NativeGraphStore {
@@ -231,7 +403,7 @@ impl NativeGraphStore {
 
     /// Empty store with explicit checkpoint behaviour.
     pub fn with_checkpoint(checkpoint: CheckpointConfig) -> Self {
-        NativeGraphStore {
+        let shared = Arc::new(Shared {
             inner: RwLock::new(Inner {
                 slots: Vec::new(),
                 index: FastMap::default(),
@@ -240,16 +412,88 @@ impl NativeGraphStore {
                 edge_count: 0,
                 dirty: Vec::new(),
                 writes_since_checkpoint: 0,
+                csr_dirty: Vec::new(),
+                csr_writes_since_fold: 0,
             }),
+            write_seq: AtomicU64::new(0),
+            csr: EpochCell::new(),
+            fold_state: Mutex::new(FoldState { nudged: false, shutdown: false }),
+            fold_cv: Condvar::new(),
+            fold_done_cv: Condvar::new(),
+            fold_gate: Mutex::new(()),
+            folds_taken: AtomicU64::new(0),
+        });
+        let compactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("csr-compactor".into())
+                .spawn(move || compactor_loop(shared))
+                .ok()
+        };
+        NativeGraphStore {
+            shared,
             checkpoint,
             checkpoint_pages: Mutex::new(Vec::new()),
             checkpoints_taken: AtomicU64::new(0),
+            compactor,
         }
+    }
+
+    /// The `inner` lock (crate-internal read path).
+    #[inline]
+    pub(crate) fn inner(&self) -> &RwLock<Inner> {
+        &self.shared.inner
     }
 
     /// Number of checkpoints the write path has executed.
     pub fn checkpoints_taken(&self) -> u64 {
         self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
+    /// Number of CSR folds the compactor has completed.
+    pub fn csr_folds_taken(&self) -> u64 {
+        self.shared.folds_taken.load(Ordering::Relaxed)
+    }
+
+    /// Current write sequence number (the epoch a fresh snapshot must
+    /// carry).
+    pub fn write_seq(&self) -> u64 {
+        self.shared.write_seq.load(Ordering::Acquire)
+    }
+
+    /// Fold a CSR snapshot synchronously on the calling thread. Tests
+    /// and benches use this to reach a fresh epoch deterministically
+    /// instead of waiting for the compactor.
+    pub fn compact_now(&self) {
+        fold_csr(&self.shared);
+    }
+
+    /// Block until the *background* compactor publishes a snapshot
+    /// whose epoch matches the current write sequence, or the timeout
+    /// elapses. Pure condvar rendezvous — no sleep-polling — so tests
+    /// that wait on an epoch flip are deterministic under load. Returns
+    /// `None` on timeout (e.g. a concurrent writer keeps advancing the
+    /// sequence faster than folds land).
+    pub fn wait_for_fresh_snapshot(&self, timeout: Duration) -> Option<Arc<CsrSnapshot>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // `pin_snapshot` nudges the compactor when stale.
+            if let Some(s) = self.pin_snapshot() {
+                return Some(s);
+            }
+            let mut st = self.shared.fold_state.lock();
+            // Re-check under the lock: a fold that completed between the
+            // pin above and here already notified, and we'd miss it.
+            let seq = self.shared.write_seq.load(Ordering::Acquire);
+            if self.shared.csr.epoch() == Some(seq) {
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared.fold_done_cv.wait_for(&mut st, deadline - now);
+        }
     }
 
     /// Size of the last checkpoint image, in bytes.
@@ -268,23 +512,40 @@ impl NativeGraphStore {
         self.roll_checkpoint(inner, 1);
     }
 
-    /// Fold `writes` completed write ops into the checkpoint counter
-    /// (dirty slots already recorded by the caller) and run at most one
-    /// checkpoint. Batched writers call this once per batch, so a batch
-    /// pays a single counter fold and a single threshold check instead
-    /// of one per op.
+    /// Fold `writes` completed write ops into the write-sequence,
+    /// CSR-fold, and checkpoint counters (dirty slots already recorded
+    /// by the caller) and run at most one checkpoint. Batched writers
+    /// call this once per batch, so a batch pays a single counter fold
+    /// and a single threshold check instead of one per op.
     fn roll_checkpoint(&self, mut inner: RwLockWriteGuard<'_, Inner>, writes: usize) {
-        if self.checkpoint.every_writes == 0 || writes == 0 {
+        if writes == 0 {
             return;
         }
-        inner.writes_since_checkpoint += writes;
-        if inner.writes_since_checkpoint < self.checkpoint.every_writes {
-            return;
+        // Advance the epoch under the write lock: a concurrent fold
+        // that already stamped its epoch is now stale on arrival.
+        self.shared.write_seq.fetch_add(writes as u64, Ordering::Release);
+        inner.csr_writes_since_fold += writes;
+        let nudge_fold = inner.csr_writes_since_fold >= FOLD_EVERY;
+        if nudge_fold {
+            inner.csr_writes_since_fold = 0;
         }
-        inner.writes_since_checkpoint = 0;
-        let dirty = std::mem::take(&mut inner.dirty);
+        let mut dirty = Vec::new();
+        let mut run_ckpt = false;
+        if self.checkpoint.every_writes != 0 {
+            inner.writes_since_checkpoint += writes;
+            if inner.writes_since_checkpoint >= self.checkpoint.every_writes {
+                inner.writes_since_checkpoint = 0;
+                dirty = std::mem::take(&mut inner.dirty);
+                run_ckpt = true;
+            }
+        }
         drop(inner);
-        self.run_checkpoint(&dirty);
+        if nudge_fold {
+            self.shared.nudge();
+        }
+        if run_ckpt {
+            self.run_checkpoint(&dirty);
+        }
     }
 
     /// Fuzzy checkpoint: encode the dirty records under a read lock
@@ -294,7 +555,7 @@ impl NativeGraphStore {
     fn run_checkpoint(&self, dirty: &[u32]) {
         let mut pages = Vec::with_capacity(dirty.len() * 64);
         {
-            let inner = self.inner.read();
+            let inner = self.shared.inner.read();
             for &ix in dirty {
                 inner.encode_slot(ix, &mut pages);
             }
@@ -304,6 +565,19 @@ impl NativeGraphStore {
         }
         *self.checkpoint_pages.lock() = pages;
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for NativeGraphStore {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.fold_state.lock();
+            st.shutdown = true;
+        }
+        self.shared.fold_cv.notify_all();
+        if let Some(h) = self.compactor.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -319,7 +593,7 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn add_vertex(&self, label: VertexLabel, local_id: u64, props: &[(PropKey, Value)]) -> Result<Vid> {
-        let mut inner = self.inner.write();
+        let mut inner = self.shared.inner.write();
         let ix = inner.insert_vertex(label, local_id, props)?;
         self.finish_write(inner, ix);
         Ok(Vid::new(label, local_id))
@@ -327,7 +601,7 @@ impl GraphBackend for NativeGraphStore {
 
     fn add_edge(&self, label: EdgeLabel, src: Vid, dst: Vid, props: &[(PropKey, Value)]) -> Result<()> {
         edge_def(src.label(), label, dst.label())?;
-        let mut inner = self.inner.write();
+        let mut inner = self.shared.inner.write();
         let s = inner.insert_edge(label, src, dst, props)?;
         self.finish_write(inner, s);
         Ok(())
@@ -352,7 +626,7 @@ impl GraphBackend for NativeGraphStore {
                 }
             }
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.shared.inner.write();
         inner.slots.reserve(vertices);
         inner.dirty.reserve(ops.len());
         let mut applied = 0usize;
@@ -395,31 +669,32 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn vertex_exists(&self, v: Vid) -> bool {
-        self.inner.read().slot_ix(v).is_some()
+        self.shared.inner.read().slot_ix(v).is_some()
     }
 
     fn vertex_prop(&self, v: Vid, key: PropKey) -> Result<Option<Value>> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
         Ok(inner.slot(ix).props.get(key).cloned())
     }
 
     fn vertex_props(&self, v: Vid) -> Result<Vec<(PropKey, Value)>> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
         Ok(inner.slot(ix).props.to_pairs())
     }
 
     fn set_vertex_prop(&self, v: Vid, key: PropKey, value: Value) -> Result<()> {
-        let mut inner = self.inner.write();
+        let mut inner = self.shared.inner.write();
         let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
         inner.slots[ix as usize].props.set(key, value);
+        inner.csr_dirty.push(ix);
         self.finish_write(inner, ix);
         Ok(())
     }
 
     fn neighbors(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>, out: &mut Vec<Vid>) -> Result<()> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
         for e in inner.adj(ix, dir, label) {
             out.push(inner.slot(e.other).vid);
@@ -428,7 +703,7 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn edge_prop(&self, src: Vid, label: EdgeLabel, dst: Vid, key: PropKey) -> Result<Option<Value>> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let s = inner.slot_ix(src).ok_or_else(|| SnbError::NotFound(format!("vertex {src}")))?;
         let d = inner.slot_ix(dst).ok_or_else(|| SnbError::NotFound(format!("vertex {dst}")))?;
         for e in inner.adj(s, Direction::Out, Some(label)) {
@@ -440,7 +715,7 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn edge_exists(&self, src: Vid, label: EdgeLabel, dst: Vid) -> Result<bool> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let (s, d) = match (inner.slot_ix(src), inner.slot_ix(dst)) {
             (Some(s), Some(d)) => (s, d),
             _ => return Ok(false),
@@ -450,20 +725,20 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn vertices_by_label(&self, label: VertexLabel) -> Result<Vec<Vid>> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         Ok(inner.by_label[label as usize].iter().map(|&ix| inner.slot(ix).vid).collect())
     }
 
     fn vertex_count(&self) -> usize {
-        self.inner.read().slots.len()
+        self.shared.inner.read().slots.len()
     }
 
     fn edge_count(&self) -> usize {
-        self.inner.read().edge_count
+        self.shared.inner.read().edge_count
     }
 
     fn storage_bytes(&self) -> usize {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let mut bytes = inner.slots.capacity() * std::mem::size_of::<VertexSlot>()
             + inner.index.len() * (std::mem::size_of::<Vid>() + 12)
             + inner.direct.iter().map(|d| d.capacity() * 4).sum::<usize>();
@@ -480,9 +755,24 @@ impl GraphBackend for NativeGraphStore {
     }
 
     fn degree(&self, v: Vid, dir: Direction, label: Option<EdgeLabel>) -> Result<usize> {
-        let inner = self.inner.read();
+        let inner = self.shared.inner.read();
         let ix = inner.slot_ix(v).ok_or_else(|| SnbError::NotFound(format!("vertex {v}")))?;
         Ok(inner.adj(ix, dir, label).count())
+    }
+
+    /// Serve the published CSR epoch when it is exact for the current
+    /// write sequence; otherwise nudge the compactor and make the
+    /// caller use the live (locked) path — preserving read-your-writes.
+    fn pin_snapshot(&self) -> Option<Arc<CsrSnapshot>> {
+        let snap = self.shared.csr.load();
+        let seq = self.shared.write_seq.load(Ordering::Acquire);
+        match snap {
+            Some(s) if s.epoch() == seq => Some(s),
+            _ => {
+                self.shared.nudge();
+                None
+            }
+        }
     }
 }
 
@@ -695,6 +985,82 @@ mod tests {
         let mut out = Vec::new();
         s.neighbors(sparse, Direction::In, None, &mut out).unwrap();
         assert_eq!(out, vec![dense]);
+    }
+
+    #[test]
+    fn csr_snapshot_freshness_and_equivalence() {
+        let s = NativeGraphStore::new();
+        let a = person(&s, 1);
+        let b = person(&s, 2);
+        let c = person(&s, 3);
+        s.add_edge(EdgeLabel::Knows, a, b, &[(PropKey::CreationDate, Value::Date(7))]).unwrap();
+        s.add_edge(EdgeLabel::Knows, c, a, &[]).unwrap();
+        s.compact_now();
+        let snap = s.pin_snapshot().expect("fresh after compact_now");
+        assert_eq!(snap.epoch(), s.write_seq());
+        assert_eq!(snap.n_rows(), 3);
+        assert_eq!(snap.edge_count(), 2);
+        // Rows are slot-aligned: compare the snapshot against the live
+        // adjacency view entry by entry.
+        let ra = snap.row_of(a).unwrap();
+        let mut rows = Vec::new();
+        snap.neighbors_into(ra, Direction::Both, Some(EdgeLabel::Knows), &mut rows);
+        let mut live = Vec::new();
+        s.neighbors(a, Direction::Both, Some(EdgeLabel::Knows), &mut live).unwrap();
+        let via_snap: Vec<Vid> = rows.iter().map(|&r| snap.vid_of(r)).collect();
+        assert_eq!(via_snap, live);
+        assert_eq!(snap.prop(ra, PropKey::FirstName), Some(Value::str("p")));
+        let rb = snap.row_of(b).unwrap();
+        let ep = snap.out_edge_props(ra, EdgeLabel::Knows, rb).unwrap().unwrap();
+        assert_eq!(ep.get(PropKey::CreationDate), Some(&Value::Date(7)));
+
+        // A write advances the epoch: the published snapshot is stale
+        // and must not be served (read-your-writes).
+        person(&s, 4);
+        assert!(s.pin_snapshot().is_none(), "stale epoch must not be served");
+
+        // The next fold reuses unchanged rows and picks up the delta.
+        let folds_before = s.csr_folds_taken();
+        s.add_edge(EdgeLabel::Knows, b, c, &[]).unwrap();
+        s.compact_now();
+        let snap2 = s.pin_snapshot().expect("fresh after second fold");
+        assert!(s.csr_folds_taken() > folds_before);
+        assert_eq!(snap2.n_rows(), 4);
+        assert_eq!(snap2.edge_count(), 3);
+        let rb2 = snap2.row_of(b).unwrap();
+        assert_eq!(
+            snap2.range(rb2, Direction::Out, EdgeLabel::Knows),
+            &[snap2.row_of(c).unwrap()]
+        );
+        // Reused row: a's adjacency and props survived the fold intact.
+        let ra2 = snap2.row_of(a).unwrap();
+        assert_eq!(snap2.degree(ra2, Direction::Both, Some(EdgeLabel::Knows)), 2);
+        assert_eq!(snap2.prop(ra2, PropKey::FirstName), Some(Value::str("p")));
+    }
+
+    #[test]
+    fn background_compactor_flips_epoch_via_rendezvous() {
+        // The epoch-flip wait is a condvar rendezvous with the
+        // compactor thread, not a sleep-poll: the test is deterministic
+        // however slowly the background thread is scheduled.
+        let s = NativeGraphStore::new();
+        let a = person(&s, 1);
+        let b = person(&s, 2);
+        s.add_edge(EdgeLabel::Knows, a, b, &[]).unwrap();
+        let snap = s
+            .wait_for_fresh_snapshot(Duration::from_secs(10))
+            .expect("compactor publishes the current epoch");
+        assert_eq!(snap.epoch(), s.write_seq());
+        assert_eq!(snap.n_rows(), 2);
+        // A second flip after more writes: the stale epoch is refused,
+        // then the rendezvous observes the new one.
+        person(&s, 3);
+        assert!(s.pin_snapshot().is_none(), "stale after the write");
+        let snap2 = s
+            .wait_for_fresh_snapshot(Duration::from_secs(10))
+            .expect("compactor catches up to the new epoch");
+        assert!(snap2.epoch() > snap.epoch());
+        assert_eq!(snap2.n_rows(), 3);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests: a CSR snapshot folded at *any* point of a random
+//! update stream is exactly the adjacency-list view at its epoch —
+//! same vertices, same properties, same adjacency (order included),
+//! same edge properties. Folds at interior compaction points also
+//! exercise the incremental row-reuse path (unchanged rows are copied
+//! out of the previous epoch, dirty rows re-read from the live store).
+
+use proptest::prelude::*;
+use snb_core::{Direction, EdgeLabel, GraphBackend, PropKey, Value, VertexLabel, Vid};
+use snb_graph_native::NativeGraphStore;
+
+/// One step of a generated update stream, interpreted against the
+/// current store population so every op is applicable.
+#[derive(Debug, Clone)]
+enum Step {
+    AddPerson { name_seed: u8 },
+    AddKnows { a_seed: u8, b_seed: u8, date: i64 },
+    Rename { v_seed: u8, name_seed: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..26u8).prop_map(|name_seed| Step::AddPerson { name_seed }),
+        (any::<u8>(), any::<u8>(), 0..1_000i64)
+            .prop_map(|(a_seed, b_seed, date)| Step::AddKnows { a_seed, b_seed, date }),
+        (any::<u8>(), 0..26u8).prop_map(|(v_seed, name_seed)| Step::Rename { v_seed, name_seed }),
+    ]
+}
+
+fn name_for(seed: u8) -> Value {
+    Value::str(&format!("n{}", (b'a' + seed % 26) as char))
+}
+
+/// Apply one step; population is the number of persons inserted so far.
+fn apply(store: &NativeGraphStore, step: &Step, population: &mut u64) {
+    match step {
+        Step::AddPerson { name_seed } => {
+            store
+                .add_vertex(VertexLabel::Person, *population, &[(PropKey::FirstName, name_for(*name_seed))])
+                .unwrap();
+            *population += 1;
+        }
+        Step::AddKnows { a_seed, b_seed, date } => {
+            if *population < 2 {
+                return;
+            }
+            let a = Vid::new(VertexLabel::Person, u64::from(*a_seed) % *population);
+            let b = Vid::new(VertexLabel::Person, u64::from(*b_seed) % *population);
+            store
+                .add_edge(EdgeLabel::Knows, a, b, &[(PropKey::CreationDate, Value::Date(*date))])
+                .unwrap();
+        }
+        Step::Rename { v_seed, name_seed } => {
+            if *population == 0 {
+                return;
+            }
+            let v = Vid::new(VertexLabel::Person, u64::from(*v_seed) % *population);
+            store.set_vertex_prop(v, PropKey::FirstName, name_for(*name_seed)).unwrap();
+        }
+    }
+}
+
+/// Assert the freshly-folded snapshot is the live adjacency-list view.
+fn assert_snapshot_equivalent(store: &NativeGraphStore) -> Result<(), TestCaseError> {
+    store.compact_now();
+    let snap = store.pin_snapshot().expect("fresh right after a quiescent fold");
+    prop_assert_eq!(snap.epoch(), store.write_seq());
+    prop_assert_eq!(snap.n_rows(), store.vertex_count());
+    prop_assert_eq!(snap.edge_count(), store.edge_count());
+    let mut live = Vec::new();
+    let mut rows = Vec::new();
+    for vid in store.vertices_by_label(VertexLabel::Person).unwrap() {
+        let row = match snap.row_of(vid) {
+            Some(r) => r,
+            None => return Err(TestCaseError::fail(format!("{vid} missing from snapshot"))),
+        };
+        prop_assert_eq!(snap.vid_of(row), vid);
+        prop_assert_eq!(snap.prop(row, PropKey::FirstName), store.vertex_prop(vid, PropKey::FirstName).unwrap());
+        prop_assert_eq!(snap.prop(row, PropKey::Id), Some(Value::Int(vid.local() as i64)));
+        for dir in [Direction::Out, Direction::In, Direction::Both] {
+            live.clear();
+            store.neighbors(vid, dir, Some(EdgeLabel::Knows), &mut live).unwrap();
+            rows.clear();
+            snap.neighbors_into(row, dir, Some(EdgeLabel::Knows), &mut rows);
+            let via_snap: Vec<Vid> = rows.iter().map(|&r| snap.vid_of(r)).collect();
+            prop_assert_eq!(&via_snap, &live, "{:?} neighbors of {} diverge", dir, vid);
+            prop_assert_eq!(snap.degree(row, dir, Some(EdgeLabel::Knows)), live.len());
+        }
+        // Edge properties ride along on the out side.
+        live.clear();
+        store.neighbors(vid, Direction::Out, Some(EdgeLabel::Knows), &mut live).unwrap();
+        for &dst in &live {
+            let dst_row = snap.row_of(dst).unwrap();
+            let snap_date = snap
+                .out_edge_props(row, EdgeLabel::Knows, dst_row)
+                .expect("edge present in snapshot")
+                .and_then(|p| p.get(PropKey::CreationDate).cloned());
+            let live_date = store.edge_prop(vid, EdgeLabel::Knows, dst, PropKey::CreationDate).unwrap();
+            prop_assert_eq!(snap_date, live_date);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Random update streams, folded at random interior compaction
+    /// points: every fold's snapshot must equal the live view at its
+    /// epoch, and later folds must stay exact while reusing the rows
+    /// the interior fold already built.
+    #[test]
+    fn csr_fold_matches_adjacency_view_at_every_compaction_point(
+        steps in proptest::collection::vec(step_strategy(), 1..80),
+        cut_seeds in proptest::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let store = NativeGraphStore::new();
+        let mut cuts: Vec<usize> =
+            cut_seeds.iter().map(|&c| c as usize % steps.len()).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut population = 0u64;
+        for (i, step) in steps.iter().enumerate() {
+            apply(&store, step, &mut population);
+            if cuts.contains(&i) {
+                assert_snapshot_equivalent(&store)?;
+            }
+        }
+        // Final fold reuses whatever the interior folds built.
+        assert_snapshot_equivalent(&store)?;
+    }
+}

@@ -1,4 +1,4 @@
-//! A Gremlin-like traversal language, step-at-a-time executor, and
+//! A Gremlin-like traversal language, bulk-synchronous executor, and
 //! Gremlin Server analogue.
 //!
 //! TinkerPop's promise is writing one traversal that runs on any
@@ -10,8 +10,10 @@
 //! * [`Traversal`] is a serializable step list (`V`, `out`, `both`,
 //!   `has`, `values`, `dedup`, `repeat`/`until`, `addV`, ...) built with
 //!   a fluent API, executed by [`exec::execute`] against *any*
-//!   [`snb_core::GraphBackend`]. Each traverser advances one step at a
-//!   time via individual backend calls, exactly like the Gremlin VM.
+//!   [`snb_core::GraphBackend`]. The executor advances the whole
+//!   frontier one step at a time with TinkerPop-style bulking; on
+//!   backends without a CSR snapshot every expansion still decomposes
+//!   into individual structure-API calls, exactly like the Gremlin VM.
 //!   Shortest paths can only be expressed as `repeat(both().simplePath())
 //!   .until(hasId(target))` — an exponential path search, which is why
 //!   the Gremlin columns of Tables 2/3 blow up on that query.
@@ -28,6 +30,7 @@ pub mod server;
 pub mod traversal;
 pub mod wire;
 
+pub use exec::{execute, execute_with, ExecConfig, TRAVERSER_BUDGET};
 pub use server::{
     default_workers, GremlinClient, GremlinServer, RawSubmitter, ServerConfig, TraversalEndpoint,
 };

@@ -55,6 +55,9 @@ pub struct KvGraph<B: KvBackend> {
     locks: LockManager,
     vertex_count: std::sync::atomic::AtomicUsize,
     edge_count: std::sync::atomic::AtomicUsize,
+    /// Freshness-checked CSR snapshot cache (no native compactor here:
+    /// snapshots are rebuilt through the public API with hysteresis).
+    snaps: snb_core::SnapshotCache,
 }
 
 impl<B: KvBackend> KvGraph<B> {
@@ -65,6 +68,7 @@ impl<B: KvBackend> KvGraph<B> {
             locks: LockManager::new(64),
             vertex_count: std::sync::atomic::AtomicUsize::new(0),
             edge_count: std::sync::atomic::AtomicUsize::new(0),
+            snaps: snb_core::SnapshotCache::new(),
         }
     }
 
@@ -169,6 +173,7 @@ impl<B: KvBackend> GraphBackend for KvGraph<B> {
         // Label index row (Titan's composite index on labels).
         self.backend.put(&codec::label_index_row(label), &row, Bytes::new());
         self.vertex_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.snaps.note_writes(1);
         Ok(vid)
     }
 
@@ -195,6 +200,7 @@ impl<B: KvBackend> GraphBackend for KvGraph<B> {
             self.backend.put(&dst_row, &col::edge(Direction::In, label, src), payload);
         }
         self.edge_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.snaps.note_writes(1);
         Ok(())
     }
 
@@ -236,6 +242,7 @@ impl<B: KvBackend> GraphBackend for KvGraph<B> {
             return Err(SnbError::NotFound(format!("vertex {v}")));
         }
         self.backend.put(&row, &col::prop(key), codec::encode_props(&[(key, value)]));
+        self.snaps.note_writes(1);
         Ok(())
     }
 
@@ -339,10 +346,15 @@ impl<B: KvBackend> GraphBackend for KvGraph<B> {
         self.backend.put_many(&mut writes);
         self.vertex_count.fetch_add(vertices, std::sync::atomic::Ordering::Relaxed);
         self.edge_count.fetch_add(edges, std::sync::atomic::Ordering::Relaxed);
+        self.snaps.note_writes(applied as u64);
         match err {
             Some(e) => Err(e),
             None => Ok(applied),
         }
+    }
+
+    fn pin_snapshot(&self) -> Option<std::sync::Arc<snb_core::CsrSnapshot>> {
+        self.snaps.pin(self)
     }
 }
 

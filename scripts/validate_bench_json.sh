@@ -85,6 +85,35 @@ for f in "${files[@]}"; do
     require_numeric "$f" "reads_per_sec_during_ingest"
     require_numeric "$f" "read_only_reads_per_sec"
   fi
+  # The traversal section appears from BENCH_4 onward; when present it
+  # must carry the intra-query worker sweep, the locked-store
+  # baselines, and per-engine latency percentiles — and the top-level
+  # two-hop metric must clear the floor the CSR read path guarantees
+  # (regression gate for the snapshot hot path).
+  if grep -q '"traversal"' "$f"; then
+    require_numeric "$f" "two_hop_locked_ops_per_sec"
+    require_key "$f" "two_hop_ops_per_sec_by_workers"
+    require_key "$f" "shortest_path_ops_per_sec_by_workers"
+    require_numeric "$f" "two_hop_locked_baseline_ops_per_sec"
+    require_numeric "$f" "shortest_path_locked_baseline_ops_per_sec"
+    require_numeric "$f" "morsel_min"
+    for workers in 1 2 4; do
+      if ! grep -Eq "\"$workers\"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?" "$f"; then
+        echo "[validate_bench_json] $f: traversal sweep missing \"$workers\" workers" >&2
+        fail=1
+      fi
+    done
+    for pct in p50 p95 p99; do
+      require_numeric "$f" "$pct"
+    done
+    floor=300000
+    val="$(grep -Eo '"two_hop_expansion_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' "$f" \
+      | grep -Eo '[0-9]+(\.[0-9]+)?$' | head -1 || true)"
+    if [ -z "$val" ] || [ "$(printf '%.0f' "$val")" -lt "$floor" ]; then
+      echo "[validate_bench_json] $f: two_hop_expansion_ops_per_sec (${val:-missing}) below floor $floor" >&2
+      fail=1
+    fi
+  fi
   if [ "$fail" -eq 0 ]; then
     echo "[validate_bench_json] $f: OK"
   fi
