@@ -18,7 +18,7 @@ use snb_driver::ops::{ParamGen, ReadOp};
 use snb_driver::{run_ingest, IngestConfig};
 use snb_graph_native::NativeGraphStore;
 use snb_gremlin::{execute_with, ExecConfig, GremlinServer, ServerConfig, Traversal};
-use snb_net::{ClientConfig, NetPool, NetServer, NetServerConfig};
+use snb_net::{ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
 use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -228,6 +228,33 @@ fn network_round_trips(addr: SocketAddr, persons: &[Vid], conns: usize, secs: f6
     total.load(Ordering::Relaxed) as f64 / secs
 }
 
+/// Round trips/sec of ONE closed-loop client submitting pipelined
+/// batches of `batch` point lookups over a single connection: all
+/// requests in a batch leave in one syscall (`NetPool::submit_batch`)
+/// and the server (reactor model) decodes the burst from one read and
+/// coalesces the replies into one `writev`. The per-request syscall tax
+/// amortizes across the batch, so this number should sit far above the
+/// single-connection request-at-a-time figure.
+fn pipelined_batch_round_trips(addr: SocketAddr, persons: &[Vid], batch: usize, secs: f64) -> f64 {
+    let pool = NetPool::connect(addr, ClientConfig { connections: 1, ..Default::default() })
+        .expect("connect batch bench pool");
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let traversals: Vec<Traversal> = (0..batch)
+            .map(|k| Traversal::v(persons[(i + k * 7) % persons.len()]).values(PropKey::FirstName))
+            .collect();
+        i = i.wrapping_add(1);
+        for r in pool.submit_batch(&traversals).expect("batch round trip") {
+            r.expect("batched lookup");
+            n += 1;
+        }
+    }
+    n as f64 / t0.elapsed().as_secs_f64()
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_string());
     let budget = Duration::from_millis(env_u64("SNB_BENCH_MILLIS", 300));
@@ -322,22 +349,62 @@ fn main() {
     }
 
     // --- Round trips over real loopback TCP --------------------------
-    let net_server = {
-        let gremlin =
-            GremlinServer::start(Arc::new(native_store(&data)), ServerConfig::default());
-        NetServer::start(gremlin, NetServerConfig::default()).expect("bind loopback bench server")
+    // Both I/O models, same backend, same connection sweep — the
+    // reactor-vs-threads comparison this file's `io_models` section
+    // exists for. The 128-connection point needs headroom the defaults
+    // don't give: 128 closed-loop clients keep up to 128 requests in
+    // flight (queue capacity) and hold 128 sockets (connection limit).
+    const NET_CONNS: [usize; 4] = [1, 8, 32, 128];
+    let start_bench_server = |io: IoModel| {
+        let gremlin = GremlinServer::start(
+            Arc::new(native_store(&data)),
+            ServerConfig { queue_capacity: 2048, ..Default::default() },
+        );
+        NetServer::start(
+            gremlin,
+            NetServerConfig { max_connections: 512, io_model: io, ..Default::default() },
+        )
+        .expect("bind loopback bench server")
     };
-    let net_addr = net_server.local_addr();
-    let mut network_json = String::new();
-    for (slot, &conns) in [1usize, 8, 32].iter().enumerate() {
-        let rps = network_round_trips(net_addr, &persons, conns, scale_secs);
-        eprintln!("[bench] network connections={conns}: {rps:.0} round trips/s");
-        if slot > 0 {
-            network_json.push_str(", ");
+    let mut io_model_sweeps: Vec<(&str, [f64; NET_CONNS.len()])> = Vec::new();
+    for (io_name, io) in [("threaded", IoModel::Threaded), ("reactor", IoModel::Reactor)] {
+        let server = start_bench_server(io);
+        let addr = server.local_addr();
+        let mut sweep = [0.0f64; NET_CONNS.len()];
+        for (slot, &conns) in NET_CONNS.iter().enumerate() {
+            let rps = network_round_trips(addr, &persons, conns, scale_secs);
+            eprintln!("[bench] network io={io_name} connections={conns}: {rps:.0} round trips/s");
+            sweep[slot] = rps;
         }
-        let _ = write!(network_json, "\"{conns}\": {rps:.1}");
+        io_model_sweeps.push((io_name, sweep));
     }
-    drop(net_server);
+    // Pipelined batch submission, measured against the reactor server
+    // (its batched read path is what the client half was built for).
+    let batch_server = start_bench_server(IoModel::Reactor);
+    let batch_rt =
+        pipelined_batch_round_trips(batch_server.local_addr(), &persons, 64, scale_secs);
+    eprintln!("[bench] network pipelined batch (64/submit, 1 conn): {batch_rt:.0} round trips/s");
+    drop(batch_server);
+    // Legacy key (validated since BENCH_3): the platform-default model's
+    // 1/8/32 figures — the reactor sweep on linux.
+    let legacy = &io_model_sweeps.last().expect("reactor sweep ran").1;
+    let network_json = format!(
+        "\"1\": {:.1}, \"8\": {:.1}, \"32\": {:.1}",
+        legacy[0], legacy[1], legacy[2]
+    );
+    let io_models_json = io_model_sweeps
+        .iter()
+        .map(|(name, sweep)| {
+            let points = NET_CONNS
+                .iter()
+                .zip(sweep.iter())
+                .map(|(c, rps)| format!("\"{c}\": {rps:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("\"{name}\": {{{points}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
 
     // --- Parallel ingestion: applier sweep + mixed read/write --------
     // A larger stream than the micro dataset so each drain lasts long
@@ -563,7 +630,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),

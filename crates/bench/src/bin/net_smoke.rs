@@ -1,17 +1,19 @@
 //! Loopback smoke check for CI: boots the full network stack (native
-//! store → Gremlin worker pool → framed TCP server → pooled client),
-//! pipelines a handful of traversals over the socket, and exits 0 only
-//! if every response answered the request that asked for it.
+//! store → Gremlin worker pool → framed TCP server → pooled client)
+//! under BOTH I/O models (thread-per-connection and epoll reactor),
+//! pipelines a handful of traversals over the socket — including one
+//! batched submission — and exits 0 only if every response answered
+//! the request that asked for it.
 //!
 //! Usage: `cargo run --release --bin net_smoke`
 
 use snb_core::{EdgeLabel, GraphBackend, PropKey, Value, VertexLabel, Vid};
 use snb_graph_native::NativeGraphStore;
 use snb_gremlin::{GremlinServer, ServerConfig, Traversal};
-use snb_net::{ClientConfig, NetPool, NetServer, NetServerConfig};
+use snb_net::{ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
 use std::sync::Arc;
 
-fn main() {
+fn smoke(io: IoModel) {
     let persons = 32u64;
     let store = NativeGraphStore::new();
     for id in 0..persons {
@@ -31,7 +33,8 @@ fn main() {
     }
 
     let gremlin = GremlinServer::start(Arc::new(store), ServerConfig::default());
-    let server = NetServer::start(gremlin, NetServerConfig::default()).expect("bind server");
+    let server = NetServer::start(gremlin, NetServerConfig::default().with_io_model(io))
+        .expect("bind server");
     let addr = server.local_addr();
     let pool = NetPool::connect(addr, ClientConfig::default()).expect("connect pool");
 
@@ -45,5 +48,28 @@ fn main() {
         assert_eq!(friends, vec![Value::Int(2)], "ring degree for person {id}");
     }
 
-    println!("net_smoke OK: {} round trips over {}", persons * 2, addr);
+    // One pipelined batch: all 32 lookups leave in a single syscall.
+    let batch: Vec<Traversal> = (0..persons)
+        .map(|id| Traversal::v(Vid::new(VertexLabel::Person, id)).values(PropKey::Id))
+        .collect();
+    for (id, r) in pool.submit_batch(&batch).expect("batch round trip").into_iter().enumerate() {
+        assert_eq!(
+            r.expect("batched lookup"),
+            vec![Value::Int(id as i64)],
+            "misrouted batch slot {id}"
+        );
+    }
+
+    println!(
+        "net_smoke OK ({:?} serving as {:?}): {} round trips over {}",
+        io,
+        server.io_model(),
+        persons * 3,
+        addr
+    );
+}
+
+fn main() {
+    smoke(IoModel::Threaded);
+    smoke(IoModel::Reactor);
 }

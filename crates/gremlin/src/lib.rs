@@ -32,6 +32,7 @@ pub mod wire;
 
 pub use exec::{execute, execute_with, ExecConfig, TRAVERSER_BUDGET};
 pub use server::{
-    default_workers, GremlinClient, GremlinServer, RawSubmitter, ServerConfig, TraversalEndpoint,
+    default_workers, GremlinClient, GremlinServer, RawSubmitter, ReplySink, ServerConfig,
+    TraversalEndpoint,
 };
 pub use traversal::{Predicate, Step, Traversal};

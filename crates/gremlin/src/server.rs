@@ -56,13 +56,46 @@ fn clamp_workers(n: usize) -> usize {
     n.max(1)
 }
 
+/// Where a finished request's `(tag, result)` goes when the submitter
+/// is not blocked waiting for it. Channel-based transports (the
+/// thread-per-connection server) use the [`Reply::Channel`] variant
+/// directly; readiness-driven transports (the epoll reactor) implement
+/// this trait so a worker can hand the result straight to the reactor's
+/// completion queue and wake its event loop.
+///
+/// `complete` is called from a worker thread and must not block: the
+/// worker pool is shared by every connection, so a stalled sink would
+/// stall unrelated requests.
+pub trait ReplySink: Send + Sync {
+    /// Deliver the result for the request tagged `tag`.
+    fn complete(&self, tag: u64, result: Result<Vec<u8>>);
+}
+
+/// The two reply routes a request can carry (see [`ReplySink`]).
+enum Reply {
+    Channel(Sender<(u64, Result<Vec<u8>>)>),
+    Sink(Arc<dyn ReplySink>),
+}
+
+impl Reply {
+    fn complete(&self, tag: u64, result: Result<Vec<u8>>) {
+        match self {
+            // The client may have timed out; ignore send failures.
+            Reply::Channel(tx) => {
+                let _ = tx.send((tag, result));
+            }
+            Reply::Sink(sink) => sink.complete(tag, result),
+        }
+    }
+}
+
 struct Request {
     payload: Vec<u8>,
     /// Opaque correlation tag echoed back with the result; lets one
     /// reply channel serve many in-flight requests (a pipelined TCP
     /// connection). The in-process client always uses 0.
     tag: u64,
-    reply: Sender<(u64, Result<Vec<u8>>)>,
+    reply: Reply,
 }
 
 /// Counting permits for the in-process fast path: one per worker, so
@@ -108,8 +141,7 @@ impl GremlinServer {
                 match rx.recv_timeout(Duration::from_millis(50)) {
                     Ok(req) => {
                         let result = handle(&*backend, &req.payload);
-                        // The client may have timed out; ignore send failures.
-                        let _ = req.reply.send((req.tag, result));
+                        req.reply.complete(req.tag, result);
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if shutdown.load(Ordering::Relaxed) {
@@ -143,7 +175,11 @@ impl GremlinServer {
     /// A raw dispatch hook for network transports: submits already-encoded
     /// request payloads without waiting for the result.
     pub fn raw_submitter(&self) -> RawSubmitter {
-        RawSubmitter { tx: self.tx.clone() }
+        RawSubmitter {
+            tx: self.tx.clone(),
+            backend: Arc::clone(&self.backend),
+            inline: Arc::clone(&self.inline),
+        }
     }
 }
 
@@ -159,7 +195,11 @@ impl Drop for GremlinServer {
 fn handle(backend: &dyn GraphBackend, payload: &[u8]) -> Result<Vec<u8>> {
     let traversal: Traversal = wire::decode_traversal(payload)
         .map_err(|e| SnbError::Codec(format!("bad request: {e}")))?;
-    let values = exec::execute(&backend, &traversal)?;
+    handle_decoded(backend, &traversal)
+}
+
+fn handle_decoded(backend: &dyn GraphBackend, traversal: &Traversal) -> Result<Vec<u8>> {
+    let values = exec::execute(&backend, traversal)?;
     Ok(wire::encode_values(&values))
 }
 
@@ -189,7 +229,7 @@ impl GremlinClient {
                 .map_err(|e| SnbError::Codec(format!("bad response: {e}")));
         }
         let (reply_tx, reply_rx) = bounded(1);
-        match self.tx.try_send(Request { payload, tag: 0, reply: reply_tx }) {
+        match self.tx.try_send(Request { payload, tag: 0, reply: Reply::Channel(reply_tx) }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 return Err(SnbError::Overloaded("gremlin server request queue is full".into()))
@@ -231,6 +271,8 @@ impl TraversalEndpoint for GremlinClient {
 #[derive(Clone)]
 pub struct RawSubmitter {
     tx: Sender<Request>,
+    backend: Arc<dyn GraphBackend>,
+    inline: Arc<InlineSlots>,
 }
 
 impl RawSubmitter {
@@ -244,7 +286,23 @@ impl RawSubmitter {
         payload: Vec<u8>,
         reply: &Sender<(u64, Result<Vec<u8>>)>,
     ) -> Result<()> {
-        match self.tx.try_send(Request { payload, tag, reply: reply.clone() }) {
+        self.enqueue(Request { payload, tag, reply: Reply::Channel(reply.clone()) })
+    }
+
+    /// Enqueue an encoded request whose result is delivered through a
+    /// [`ReplySink`] (the epoll reactor's completion-queue route).
+    /// Same backpressure contract as [`RawSubmitter::submit_raw`].
+    pub fn submit_sink(
+        &self,
+        tag: u64,
+        payload: Vec<u8>,
+        sink: &Arc<dyn ReplySink>,
+    ) -> Result<()> {
+        self.enqueue(Request { payload, tag, reply: Reply::Sink(Arc::clone(sink)) })
+    }
+
+    fn enqueue(&self, request: Request) -> Result<()> {
+        match self.tx.try_send(request) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
                 Err(SnbError::Overloaded("gremlin server request queue is full".into()))
@@ -253,6 +311,37 @@ impl RawSubmitter {
                 Err(SnbError::Backend("gremlin server is down".into()))
             }
         }
+    }
+
+    /// Execute a request on the calling thread when it is safe to do so:
+    /// the traversal has statically bounded cost (no `repeat`-style
+    /// search, no label scan, a short expansion chain) AND a
+    /// worker-sized inline slot is free — the same permit accounting the
+    /// in-process [`GremlinClient`] fast path uses, so inline work never
+    /// exceeds the concurrency the pool itself would grant.
+    ///
+    /// Returns `None` when the request must take the queued path
+    /// instead (unbounded cost, or every slot busy): that keeps the
+    /// `Overloaded` contract intact — expensive work under saturation
+    /// still lands in the bounded queue and overflows as a typed error,
+    /// never as an unbounded pile-up on the transport's event loop.
+    ///
+    /// A payload that does not decode is answered inline with the codec
+    /// error (decoding is what classification costs anyway).
+    pub fn try_execute_inline(&self, payload: &[u8]) -> Option<Result<Vec<u8>>> {
+        let traversal = match wire::decode_traversal(payload) {
+            Ok(t) => t,
+            Err(e) => return Some(Err(SnbError::Codec(format!("bad request: {e}")))),
+        };
+        if !traversal.bounded_cost() {
+            return None;
+        }
+        if !self.inline.try_acquire() {
+            return None;
+        }
+        let result = handle_decoded(&*self.backend, &traversal);
+        self.inline.release();
+        Some(result)
     }
 }
 

@@ -88,6 +88,31 @@ pub struct Traversal {
 }
 
 impl Traversal {
+    /// Whether every step has statically bounded cost: no
+    /// `repeat`-style search (its cost depends on how much of the graph
+    /// the until-condition forces it to explore), no whole-label scan,
+    /// and at most a short expansion chain (each `out`/`in`/`both` hop
+    /// multiplies the frontier by a vertex degree). Transports use this
+    /// to decide whether a request may run inline on an I/O thread or
+    /// must go through the worker pool, where the bounded queue turns
+    /// saturation into typed `Overloaded` backpressure.
+    pub fn bounded_cost(&self) -> bool {
+        let mut expansions = 0usize;
+        for step in &self.steps {
+            match step {
+                Step::RepeatUntil { .. } | Step::VLabel(_) => return false,
+                Step::Out(_)
+                | Step::In(_)
+                | Step::Both(_)
+                | Step::OutE(_)
+                | Step::InE(_)
+                | Step::BothE(_) => expansions += 1,
+                _ => {}
+            }
+        }
+        expansions <= 3
+    }
+
     /// `g.V(id)`.
     pub fn v(id: Vid) -> Self {
         Traversal { steps: vec![Step::V(id)] }

@@ -83,14 +83,23 @@ pub fn checksum(payload: &[u8]) -> u32 {
 /// Serialize a frame to a byte vector (header + payload).
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    encode_frame_into(&mut out, frame.kind, frame.corr_id, &frame.payload);
+    out
+}
+
+/// Append one encoded frame to `out` without allocating a fresh buffer
+/// — the reactor's reply coalescing and the client's pipelined batch
+/// submission both encode many frames into one reused arena and hand
+/// the kernel a single contiguous (or vectored) write.
+pub fn encode_frame_into(out: &mut Vec<u8>, kind: FrameKind, corr_id: u64, payload: &[u8]) {
+    out.reserve(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.push(VERSION);
-    out.push(frame.kind as u8);
-    out.extend_from_slice(&frame.corr_id.to_le_bytes());
-    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&checksum(&frame.payload).to_le_bytes());
-    out.extend_from_slice(&frame.payload);
-    out
+    out.push(kind as u8);
+    out.extend_from_slice(&corr_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
 }
 
 /// Write one frame. A single `write_all` keeps the frame contiguous so
@@ -167,6 +176,103 @@ pub fn read_frame_interruptible(
                 return Err(SnbError::Codec("frame checksum mismatch".into()));
             }
             Ok(Some(Frame { kind, corr_id, payload }))
+        }
+    }
+}
+
+/// Incremental frame decoder for readiness-driven reads.
+///
+/// A nonblocking socket hands bytes over in arbitrary chunks — partial
+/// headers, partial payloads, many frames per `read(2)` — so the
+/// decoder owns a single reusable arena: the reactor reads straight
+/// into [`FrameDecoder::spare_mut`], commits what arrived, and then
+/// drains every complete frame with [`FrameDecoder::next_frame`].
+/// Consumed bytes are reclaimed by compaction, so steady-state decoding
+/// allocates nothing (payload extraction aside, which must hand
+/// ownership to the execution layer).
+///
+/// Validation is identical to [`read_frame`]: bad magic, bad version,
+/// oversized declared length, unknown kind, or a checksum mismatch is a
+/// `Codec` error — and the declared-length bound is enforced *before*
+/// the payload is buffered, so a hostile header cannot force an
+/// unbounded allocation.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Start of undecoded bytes in `buf`.
+    head: usize,
+    /// End of valid bytes in `buf` (bytes past this are spare space).
+    tail: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Undecoded bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// Expose at least `min` bytes of spare space to read into; pair
+    /// with [`FrameDecoder::commit`] for however many bytes arrived.
+    pub fn spare_mut(&mut self, min: usize) -> &mut [u8] {
+        if self.buf.len() - self.tail < min {
+            self.compact();
+            if self.buf.len() - self.tail < min {
+                self.buf.resize(self.tail + min, 0);
+            }
+        }
+        &mut self.buf[self.tail..]
+    }
+
+    /// Mark `n` bytes of the spare area as valid (just read).
+    pub fn commit(&mut self, n: usize) {
+        debug_assert!(self.tail + n <= self.buf.len());
+        self.tail += n;
+    }
+
+    /// Append bytes by copy (tests and non-syscall feeds).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.spare_mut(bytes.len())[..bytes.len()].copy_from_slice(bytes);
+        self.commit(bytes.len());
+    }
+
+    /// Decode the next complete frame, `Ok(None)` if more bytes are
+    /// needed. After a `Codec` error the stream cannot be resynced; the
+    /// caller must drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if self.buffered() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_LEN] =
+            self.buf[self.head..self.head + HEADER_LEN].try_into().unwrap();
+        let (kind, corr_id, len, sum) = parse_header(header)?;
+        if self.buffered() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let start = self.head + HEADER_LEN;
+        let payload_bytes = &self.buf[start..start + len];
+        if checksum(payload_bytes) != sum {
+            return Err(SnbError::Codec("frame checksum mismatch".into()));
+        }
+        let payload = payload_bytes.to_vec();
+        self.head += HEADER_LEN + len;
+        if self.head == self.tail {
+            // Everything consumed: reset without moving any bytes.
+            self.head = 0;
+            self.tail = 0;
+        }
+        Ok(Some(Frame { kind, corr_id, payload }))
+    }
+
+    /// Move the undecoded suffix to the front of the arena.
+    fn compact(&mut self) {
+        if self.head > 0 {
+            self.buf.copy_within(self.head..self.tail, 0);
+            self.tail -= self.head;
+            self.head = 0;
         }
     }
 }

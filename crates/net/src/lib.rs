@@ -10,23 +10,33 @@
 //!   requests, a length prefix bounded by [`frame::MAX_PAYLOAD`], and an
 //!   FNV-1a payload checksum. Payloads are the existing
 //!   [`snb_gremlin::wire`] encodings (traversal, values, typed error).
-//! * [`server`] — [`NetServer`]: a `std::net::TcpListener` acceptor
-//!   (no async runtime; plain threads, shutdown-polled reads), a
-//!   per-connection reader/writer pair, a connection limit, and dispatch
-//!   into the [`snb_gremlin::GremlinServer`] worker pool via
-//!   [`snb_gremlin::RawSubmitter`]. Queue overflow and oversized/broken
-//!   frames come back as typed error frames; shutdown drains in-flight
-//!   requests before the worker pool stops.
+//! * [`server`] — [`NetServer`]: two selectable I/O models over one
+//!   execution layer. [`server::IoModel::Threaded`] is a
+//!   `std::net::TcpListener` acceptor (no async runtime; plain threads)
+//!   with a per-connection reader/writer pair;
+//!   [`server::IoModel::Reactor`] is a fixed pool of epoll event loops
+//!   (edge-triggered batched reads, coalesced `writev` responses,
+//!   pooled buffers, bounded-cost inline execution). Both dispatch into
+//!   the [`snb_gremlin::GremlinServer`] worker pool via
+//!   [`snb_gremlin::RawSubmitter`]; queue overflow and
+//!   oversized/broken frames come back as typed error frames, and
+//!   shutdown drains in-flight requests before the worker pool stops.
 //! * [`client`] — [`NetPool`]: a connection pool with connect/request
-//!   timeouts and exponential-backoff retry on *transport* failures
-//!   only (never on query errors). Implements
+//!   timeouts and capped-exponential jittered backoff retry on
+//!   *transport* failures only (never on query errors). Single
+//!   round trips via [`NetPool::submit`]; pipelined batches —
+//!   N requests in one syscall, tagged replies gathered as they
+//!   stream back — via [`NetPool::submit_batch`]. Implements
 //!   [`snb_gremlin::TraversalEndpoint`], so the driver's Gremlin
 //!   adapters run unchanged over the socket.
 
 pub mod client;
 pub mod frame;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
+mod sys;
 
 pub use client::{ClientConfig, NetPool};
 pub use frame::{Frame, FrameKind};
-pub use server::{NetServer, NetServerConfig};
+pub use server::{IoModel, NetServer, NetServerConfig};

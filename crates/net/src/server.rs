@@ -1,21 +1,32 @@
 //! The TCP face of the Gremlin Server analogue.
 //!
-//! One acceptor thread (non-blocking accept + shutdown poll) hands each
-//! connection to a reader thread; a paired writer thread owns the
-//! response channel. The reader decodes request frames and dispatches
-//! them into the existing [`GremlinServer`] worker pool through its
-//! [`RawSubmitter`] — it never executes traversals itself, so a slow
-//! query on one connection cannot stall frame decoding on another, and
-//! responses stream back in completion order tagged with the request's
-//! correlation id (pipelining).
+//! Two I/O models serve the same execution layer (selected by
+//! [`NetServerConfig::io_model`]):
 //!
-//! Backpressure is typed, not silent: when the worker queue is full the
-//! client receives an Error frame carrying `SnbError::Overloaded` for
-//! that request; when the connection limit is hit the client receives a
-//! connection-fatal Error frame (correlation id 0) before the socket is
-//! closed. Graceful shutdown stops accepting, lets readers finish the
-//! frame in progress, and keeps each writer alive until every in-flight
-//! request has produced its response frame.
+//! * [`IoModel::Threaded`] — one acceptor thread (readiness-waited
+//!   accept via `poll(2)`) hands each connection to a reader thread; a
+//!   paired writer thread owns the response channel. The reader decodes
+//!   request frames and dispatches them into the existing
+//!   [`GremlinServer`] worker pool through its [`RawSubmitter`] — it
+//!   never executes traversals itself, so a slow query on one
+//!   connection cannot stall frame decoding on another, and responses
+//!   stream back in completion order tagged with the request's
+//!   correlation id (pipelining).
+//! * [`IoModel::Reactor`] — a fixed pool of epoll event loops
+//!   (see [`crate::reactor`]): edge-triggered reads that decode every
+//!   pipelined frame per syscall, coalesced `writev` responses, pooled
+//!   per-connection buffers, and inline execution of bounded-cost
+//!   requests. Linux-only; requesting it elsewhere falls back to the
+//!   threaded model.
+//!
+//! Backpressure is typed, not silent, under both models: when the
+//! worker queue is full the client receives an Error frame carrying
+//! `SnbError::Overloaded` for that request; when the connection limit
+//! is hit the client receives a connection-fatal Error frame
+//! (correlation id 0) before the socket is closed. Graceful shutdown
+//! stops accepting, lets readers finish the frame in progress, and
+//! keeps each connection alive until every in-flight request has
+//! produced its response frame.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use snb_core::{Result, SnbError};
@@ -30,6 +41,33 @@ use std::time::Duration;
 
 use crate::frame::{self, Frame, FrameKind};
 
+/// Which I/O machinery serves the sockets. Execution semantics
+/// (worker pool, bounded queue, `Overloaded`, graceful drain,
+/// correlation ids) are identical under both — only syscall and thread
+/// structure differ, which is exactly what the benchmark compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Two threads per connection (reader + writer), one blocking
+    /// syscall per frame.
+    Threaded,
+    /// A fixed pool of epoll event loops: edge-triggered batched reads,
+    /// coalesced vectored writes, pooled buffers, inline execution of
+    /// bounded-cost requests. Linux-only; silently degrades to
+    /// [`IoModel::Threaded`] elsewhere.
+    Reactor,
+}
+
+impl IoModel {
+    /// The preferred model for this platform.
+    pub fn default_for_platform() -> IoModel {
+        if cfg!(target_os = "linux") {
+            IoModel::Reactor
+        } else {
+            IoModel::Threaded
+        }
+    }
+}
+
 /// Transport tuning knobs.
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
@@ -37,8 +75,15 @@ pub struct NetServerConfig {
     pub bind_addr: String,
     /// Connections beyond this are rejected with a typed error frame.
     pub max_connections: usize,
-    /// Socket read timeout used to poll the shutdown flag.
+    /// How long the acceptor (threaded model) waits for listener
+    /// readiness before re-checking the shutdown flag.
     pub poll_interval: Duration,
+    /// Which I/O machinery to use.
+    pub io_model: IoModel,
+    /// Event-loop threads for [`IoModel::Reactor`] (clamped to ≥ 1).
+    /// The loops only do I/O, frame codec work, and bounded-cost inline
+    /// execution, so a small number covers many connections.
+    pub reactor_threads: usize,
 }
 
 impl Default for NetServerConfig {
@@ -47,7 +92,18 @@ impl Default for NetServerConfig {
             bind_addr: "127.0.0.1:0".to_string(),
             max_connections: 64,
             poll_interval: Duration::from_millis(25),
+            io_model: IoModel::default_for_platform(),
+            reactor_threads: 2,
         }
+    }
+}
+
+impl NetServerConfig {
+    /// This config with the given I/O model (builder-style, for tests
+    /// and benchmarks that sweep both).
+    pub fn with_io_model(mut self, io_model: IoModel) -> Self {
+        self.io_model = io_model;
+        self
     }
 }
 
@@ -57,11 +113,22 @@ impl Default for NetServerConfig {
 pub struct NetServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    transport: Transport,
     /// Kept alive until the transport has fully drained: the field is
-    /// declared after the join handle but dropped explicitly in
-    /// [`NetServer::shutdown`] after joining the acceptor.
+    /// declared after the transport but dropped explicitly in
+    /// [`NetServer::shutdown`] after the transport has stopped.
     gremlin: Option<GremlinServer>,
+    /// The model actually serving (after platform fallback).
+    io_model: IoModel,
+}
+
+/// The running I/O machinery behind a [`NetServer`].
+enum Transport {
+    Threaded(Option<JoinHandle<()>>),
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorHandle),
+    /// Already shut down.
+    Stopped,
 }
 
 impl NetServer {
@@ -76,17 +143,25 @@ impl NetServer {
             .map_err(|e| SnbError::Io(format!("set_nonblocking: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let submitter = gremlin.raw_submitter();
-        let accept_handle = {
-            let shutdown = Arc::clone(&shutdown);
-            let config = config.clone();
-            std::thread::spawn(move || accept_loop(listener, submitter, shutdown, config))
+        let io_model = match config.io_model {
+            IoModel::Reactor if cfg!(target_os = "linux") => IoModel::Reactor,
+            _ => IoModel::Threaded,
         };
-        Ok(NetServer {
-            local_addr,
-            shutdown,
-            accept_handle: Some(accept_handle),
-            gremlin: Some(gremlin),
-        })
+        let transport = match io_model {
+            #[cfg(target_os = "linux")]
+            IoModel::Reactor => Transport::Reactor(crate::reactor::start(
+                listener,
+                submitter,
+                Arc::clone(&shutdown),
+                config.clone(),
+            )?),
+            _ => Transport::Threaded(Some({
+                let shutdown = Arc::clone(&shutdown);
+                let config = config.clone();
+                std::thread::spawn(move || accept_loop(listener, submitter, shutdown, config))
+            })),
+        };
+        Ok(NetServer { local_addr, shutdown, transport, gremlin: Some(gremlin), io_model })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -94,12 +169,24 @@ impl NetServer {
         self.local_addr
     }
 
+    /// The I/O model actually serving (after platform fallback).
+    pub fn io_model(&self) -> IoModel {
+        self.io_model
+    }
+
     /// Graceful shutdown: stop accepting, drain in-flight requests,
     /// then stop the worker pool. Idempotent.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        match std::mem::replace(&mut self.transport, Transport::Stopped) {
+            Transport::Threaded(handle) => {
+                if let Some(h) = handle {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Transport::Reactor(mut handle) => handle.shutdown(),
+            Transport::Stopped => {}
         }
         // Workers only stop after the transport has drained.
         self.gremlin.take();
@@ -147,7 +234,10 @@ fn accept_loop(
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+                // Readiness wait instead of a sleep-poll: wakes the
+                // moment a connection arrives, re-checks the shutdown
+                // flag on timeout.
+                wait_accept_ready(&listener, config.poll_interval);
             }
             Err(_) => break,
         }
@@ -157,9 +247,21 @@ fn accept_loop(
     }
 }
 
+#[cfg(unix)]
+fn wait_accept_ready(listener: &TcpListener, poll_interval: Duration) {
+    use std::os::unix::io::AsRawFd;
+    let timeout_ms = poll_interval.as_millis().min(i32::MAX as u128) as i32;
+    let _ = crate::sys::wait_readable(listener.as_raw_fd(), timeout_ms);
+}
+
+#[cfg(not(unix))]
+fn wait_accept_ready(_listener: &TcpListener, poll_interval: Duration) {
+    std::thread::sleep(poll_interval.min(Duration::from_millis(2)));
+}
+
 /// Over-limit connections get a connection-fatal typed error frame
 /// (correlation id 0) instead of a silent close.
-fn reject_connection(mut stream: TcpStream) {
+pub(crate) fn reject_connection(mut stream: TcpStream) {
     let err = SnbError::Overloaded("connection limit reached".into());
     let f = Frame { kind: FrameKind::Error, corr_id: 0, payload: wire::encode_error(&err) };
     let _ = frame::write_frame(&mut stream, &f);

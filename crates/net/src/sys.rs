@@ -1,0 +1,200 @@
+//! Raw syscall bindings for the readiness-driven I/O paths.
+//!
+//! std already links libc, so `extern "C"` declarations are enough —
+//! no new dependency. Two tiers:
+//!
+//! * `poll(2)` (all unix): used by the thread-per-connection acceptor
+//!   to wait for listener readiness instead of sleep-polling.
+//! * `epoll(7)` + `eventfd(2)` + `writev(2)` (linux): the reactor's
+//!   event loop, cross-thread wakeup, and coalesced vectored writes.
+//!
+//! Everything here returns raw results; callers translate errno through
+//! [`std::io::Error::last_os_error`]. The only unsafe surface is the
+//! FFI itself — every wrapper takes lengths from Rust slices.
+
+#![allow(dead_code)]
+
+#[cfg(unix)]
+pub use unix::*;
+
+#[cfg(unix)]
+mod unix {
+    use std::io;
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    }
+
+    /// Wait until `fd` is readable or `timeout_ms` elapses. Returns
+    /// `Ok(true)` when readable, `Ok(false)` on timeout.
+    pub fn wait_readable(fd: i32, timeout_ms: i32) -> io::Result<bool> {
+        let mut pfd = PollFd { fd, events: POLLIN, revents: 0 };
+        loop {
+            let n = unsafe { poll(&mut pfd, 1, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            return Ok(n > 0);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
+    /// ABI packs it there so 32- and 64-bit layouts match); naturally
+    /// aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        /// Caller-chosen token echoed back with each event.
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct IoVec {
+        pub base: *const u8,
+        pub len: usize,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn epoll_create() -> io::Result<i32> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn epoll_add(epfd: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        if unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn epoll_del(epfd: i32, fd: i32) {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // Failure here means the fd is already gone; nothing to do.
+        let _ = unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+    }
+
+    /// Wait for events; retries on EINTR. Returns the filled prefix.
+    pub fn epoll_wait_events<'a>(
+        epfd: i32,
+        events: &'a mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<&'a [EpollEvent]> {
+        loop {
+            let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            return Ok(&events[..n as usize]);
+        }
+    }
+
+    /// A nonblocking eventfd for cross-thread reactor wakeups.
+    pub fn eventfd_create() -> io::Result<i32> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    /// Signal an eventfd (adds 1 to its counter). Never blocks: a full
+    /// counter (u64::MAX - 1 pending wakeups) would mean the reactor is
+    /// long dead anyway.
+    pub fn eventfd_signal(fd: i32) {
+        let one = 1u64.to_ne_bytes();
+        let _ = unsafe { write(fd, one.as_ptr(), one.len()) };
+    }
+
+    /// Drain an eventfd's counter after a wakeup.
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf = [0u8; 8];
+        let _ = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    }
+
+    /// `read(2)` into a slice. `Ok(0)` is EOF.
+    pub fn read_fd(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+        let n = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    /// `write(2)` from a slice.
+    pub fn write_fd(fd: i32, buf: &[u8]) -> io::Result<usize> {
+        let n = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    /// Gathered `writev(2)` over the given iovecs.
+    pub fn writev_fd(fd: i32, iov: &[IoVec]) -> io::Result<usize> {
+        let n = unsafe { writev(fd, iov.as_ptr(), iov.len() as i32) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+
+    pub fn close_fd(fd: i32) {
+        let _ = unsafe { close(fd) };
+    }
+}

@@ -1,6 +1,12 @@
 //! Loopback integration tests: real TCP round trips between the pooled
 //! client and the framed server over 127.0.0.1.
 //!
+//! Every test runs under BOTH I/O models (`threaded::*` and
+//! `reactor::*` below) — the reactor replaces the socket machinery, not
+//! the execution semantics, so typed overload, graceful drain,
+//! connection-fatal frames, and correlation-id routing must be
+//! indistinguishable across models.
+//!
 //! The headline test is the acceptance gate for this subsystem: 8
 //! concurrent clients each pipeline 100+ point-lookup traversals over a
 //! pooled connection set against a populated `NativeGraphStore`, and
@@ -12,7 +18,7 @@ use snb_core::{EdgeLabel, GraphBackend, PropKey, SnbError, Value, VertexLabel, V
 use snb_graph_native::NativeGraphStore;
 use snb_gremlin::{wire, GremlinServer, ServerConfig, Traversal};
 use snb_net::frame::{self, Frame, FrameKind};
-use snb_net::{ClientConfig, NetPool, NetServer, NetServerConfig};
+use snb_net::{ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,13 +51,38 @@ fn start_server(server_config: ServerConfig, net_config: NetServerConfig) -> Net
     NetServer::start(gremlin, net_config).unwrap()
 }
 
-fn default_server() -> NetServer {
-    start_server(ServerConfig::default(), NetServerConfig::default())
+fn default_server(io: IoModel) -> NetServer {
+    start_server(ServerConfig::default(), NetServerConfig::default().with_io_model(io))
 }
 
-#[test]
-fn eight_clients_pipeline_100_lookups_each_no_misrouting() {
-    let server = default_server();
+/// Instantiate every test once per I/O model.
+macro_rules! io_model_suite {
+    ($($name:ident),+ $(,)?) => {
+        mod threaded {
+            $(#[test] fn $name() { super::$name(snb_net::IoModel::Threaded); })+
+        }
+        mod reactor {
+            $(#[test] fn $name() { super::$name(snb_net::IoModel::Reactor); })+
+        }
+    };
+}
+
+io_model_suite!(
+    eight_clients_pipeline_100_lookups_each_no_misrouting,
+    raw_frames_pipeline_and_responses_carry_matching_corr_ids,
+    queue_overflow_surfaces_as_typed_overloaded_error,
+    query_errors_come_back_typed_and_are_not_retried,
+    mutations_roundtrip_over_the_socket,
+    connection_limit_rejects_with_fatal_error_frame,
+    malformed_frames_get_a_fatal_codec_error,
+    client_reconnects_after_server_restart,
+    graceful_shutdown_answers_in_flight_requests,
+    batched_submission_round_trips_in_order,
+    batch_tolerates_per_request_query_errors,
+);
+
+fn eight_clients_pipeline_100_lookups_each_no_misrouting(io: IoModel) {
+    let server = default_server(io);
     let addr = server.local_addr();
     let mut handles = Vec::new();
     for client_id in 0..8u64 {
@@ -88,14 +119,13 @@ fn eight_clients_pipeline_100_lookups_each_no_misrouting() {
     }
 }
 
-#[test]
-fn raw_frames_pipeline_and_responses_carry_matching_corr_ids() {
+fn raw_frames_pipeline_and_responses_carry_matching_corr_ids(io: IoModel) {
     // 100 requests are written before any response is read, so the queue
     // must hold the whole burst (the default capacity of 64 would —
     // correctly — answer the overflow with Overloaded error frames).
     let server = start_server(
         ServerConfig { queue_capacity: 256, ..Default::default() },
-        NetServerConfig::default(),
+        NetServerConfig::default().with_io_model(io),
     );
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     // Write 100 request frames before reading a single response.
@@ -118,13 +148,15 @@ fn raw_frames_pipeline_and_responses_carry_matching_corr_ids() {
     assert_eq!(seen.len(), n as usize, "no responses lost");
 }
 
-#[test]
-fn queue_overflow_surfaces_as_typed_overloaded_error() {
+fn queue_overflow_surfaces_as_typed_overloaded_error(io: IoModel) {
     // One worker, capacity-1 queue: flooding must yield Overloaded error
-    // frames (typed), never dropped connections or hangs.
+    // frames (typed), never dropped connections or hangs. The heavy
+    // traversal is a repeat-until search, which the reactor's inline
+    // fast path must refuse (unbounded cost) — so saturation reaches
+    // the bounded queue under both I/O models.
     let server = start_server(
         ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_secs(10) },
-        NetServerConfig::default(),
+        NetServerConfig::default().with_io_model(io),
     );
     let addr = server.local_addr();
     let heavy =
@@ -154,9 +186,8 @@ fn queue_overflow_surfaces_as_typed_overloaded_error() {
     assert!(overloaded > 0, "at least one request must be rejected with Overloaded");
 }
 
-#[test]
-fn query_errors_come_back_typed_and_are_not_retried() {
-    let server = default_server();
+fn query_errors_come_back_typed_and_are_not_retried(io: IoModel) {
+    let server = default_server(io);
     let pool = NetPool::connect(server.local_addr(), ClientConfig::default()).unwrap();
     // values() on a property then out_any() is an execution error.
     let r = pool.submit(&Traversal::v(p(1)).values(PropKey::FirstName).out_any());
@@ -166,20 +197,18 @@ fn query_errors_come_back_typed_and_are_not_retried() {
     assert_eq!(ok, vec![Value::Int(1)]);
 }
 
-#[test]
-fn mutations_roundtrip_over_the_socket() {
-    let server = default_server();
+fn mutations_roundtrip_over_the_socket(io: IoModel) {
+    let server = default_server(io);
     let pool = NetPool::connect(server.local_addr(), ClientConfig::default()).unwrap();
     pool.submit(&Traversal::g().add_v(VertexLabel::Person, 9999, vec![])).unwrap();
     let r = pool.submit(&Traversal::v(p(9999)).count()).unwrap();
     assert_eq!(r, vec![Value::Int(1)]);
 }
 
-#[test]
-fn connection_limit_rejects_with_fatal_error_frame() {
+fn connection_limit_rejects_with_fatal_error_frame(io: IoModel) {
     let server = start_server(
         ServerConfig::default(),
-        NetServerConfig { max_connections: 2, ..Default::default() },
+        NetServerConfig { max_connections: 2, ..Default::default() }.with_io_model(io),
     );
     let addr = server.local_addr();
     // Occupy both slots with live pools.
@@ -197,9 +226,8 @@ fn connection_limit_rejects_with_fatal_error_frame() {
     assert!(matches!(err, SnbError::Overloaded(_)), "{err}");
 }
 
-#[test]
-fn malformed_frames_get_a_fatal_codec_error() {
-    let server = default_server();
+fn malformed_frames_get_a_fatal_codec_error(io: IoModel) {
+    let server = default_server(io);
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     // Garbage that cannot be a frame header (bad magic).
     use std::io::Write as _;
@@ -213,11 +241,10 @@ fn malformed_frames_get_a_fatal_codec_error() {
     assert!(frame::read_frame(&mut stream).unwrap().is_none());
 }
 
-#[test]
-fn client_reconnects_after_server_restart() {
+fn client_reconnects_after_server_restart(io: IoModel) {
     // A pool pointed at a dead server errors with Io after retries...
     let (addr, pool) = {
-        let server = default_server();
+        let server = default_server(io);
         let addr = server.local_addr();
         let pool = NetPool::connect(
             addr,
@@ -240,19 +267,18 @@ fn client_reconnects_after_server_restart() {
     let gremlin = GremlinServer::start(backend(), ServerConfig::default());
     let _server = NetServer::start(
         gremlin,
-        NetServerConfig { bind_addr: addr.to_string(), ..Default::default() },
+        NetServerConfig { bind_addr: addr.to_string(), ..Default::default() }.with_io_model(io),
     )
     .unwrap();
     assert_eq!(pool.submit(&Traversal::v(p(3)).count()).unwrap(), vec![Value::Int(1)]);
 }
 
-#[test]
-fn graceful_shutdown_answers_in_flight_requests() {
+fn graceful_shutdown_answers_in_flight_requests(io: IoModel) {
     let server = start_server(
         // Single worker so queued requests are genuinely in flight when
         // shutdown begins.
         ServerConfig { workers: 1, queue_capacity: 64, request_timeout: Duration::from_secs(10) },
-        NetServerConfig::default(),
+        NetServerConfig::default().with_io_model(io),
     );
     let addr = server.local_addr();
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -285,4 +311,50 @@ fn graceful_shutdown_answers_in_flight_requests() {
     }
     shutdown_handle.join().unwrap();
     assert_eq!(got, n, "every in-flight request was answered before close");
+}
+
+fn batched_submission_round_trips_in_order(io: IoModel) {
+    // submit_batch writes all requests in one syscall; results come back
+    // one per traversal, in submission order, each answering its own
+    // request.
+    let server = start_server(
+        ServerConfig { queue_capacity: 256, ..Default::default() },
+        NetServerConfig::default().with_io_model(io),
+    );
+    let pool = NetPool::connect(
+        server.local_addr(),
+        ClientConfig { connections: 1, ..Default::default() },
+    )
+    .unwrap();
+    let batch: Vec<Traversal> =
+        (0..PERSONS).map(|id| Traversal::v(p(id)).values(PropKey::Id)).collect();
+    let results = pool.submit_batch(&batch).unwrap();
+    assert_eq!(results.len(), PERSONS as usize);
+    for (id, r) in results.into_iter().enumerate() {
+        assert_eq!(r.unwrap(), vec![Value::Int(id as i64)], "batch slot {id} misrouted");
+    }
+    // An empty batch is a no-op, not an error.
+    assert_eq!(pool.submit_batch(&[]).unwrap().len(), 0);
+}
+
+fn batch_tolerates_per_request_query_errors(io: IoModel) {
+    // A query error in the middle of a batch fails that slot only; the
+    // surrounding requests still answer, and the connection stays up.
+    let server = default_server(io);
+    let pool = NetPool::connect(
+        server.local_addr(),
+        ClientConfig { connections: 1, ..Default::default() },
+    )
+    .unwrap();
+    let batch = vec![
+        Traversal::v(p(1)).values(PropKey::Id),
+        Traversal::v(p(1)).values(PropKey::FirstName).out_any(), // Exec error
+        Traversal::v(p(2)).values(PropKey::Id),
+    ];
+    let results = pool.submit_batch(&batch).unwrap();
+    assert_eq!(results[0], Ok(vec![Value::Int(1)]));
+    assert!(matches!(results[1], Err(SnbError::Exec(_))), "{:?}", results[1]);
+    assert_eq!(results[2], Ok(vec![Value::Int(2)]));
+    // Connection still healthy.
+    assert_eq!(pool.submit(&Traversal::v(p(3)).count()).unwrap(), vec![Value::Int(1)]);
 }

@@ -2,8 +2,10 @@
 # Validate every BENCH_<n>.json at the repo root against the snb-bench/1
 # schema: the keys bench_json always writes must be present, numeric
 # metric values must look numeric, and any `network` section (added in
-# BENCH_2) must carry the by-connection round-trip sweep. Pure
-# grep/POSIX so CI needs no jq.
+# BENCH_2) must carry the by-connection round-trip sweep. From BENCH_5
+# the `io_models` split (threaded vs epoll reactor) adds a 128-conn
+# point, a pipelined-batch metric, and a no-collapse gate on the
+# reactor sweep. Pure grep/POSIX so CI needs no jq.
 #
 # Usage: scripts/validate_bench_json.sh [files...]   (default: BENCH_*.json)
 set -euo pipefail
@@ -68,6 +70,41 @@ for f in "${files[@]}"; do
         fail=1
       fi
     done
+  fi
+  # The io_models split (threaded vs epoll reactor) and the pipelined
+  # batch metric appear from BENCH_5 onward; when present, both model
+  # sweeps must carry all four connection points, the batch metric must
+  # be numeric, and the reactor path must not collapse under fan-in:
+  # its 32-connection throughput must hold at least 85% of its
+  # 8-connection figure.
+  if grep -q '"io_models"' "$f"; then
+    require_numeric "$f" "pipelined_batch_round_trips_per_sec"
+    for model in threaded reactor; do
+      line="$(grep -Eo "\"$model\"[[:space:]]*:[[:space:]]*\{[^}]*\}" "$f" | head -1 || true)"
+      if [ -z "$line" ]; then
+        echo "[validate_bench_json] $f: io_models missing \"$model\" sweep" >&2
+        fail=1
+        continue
+      fi
+      for conns in 1 8 32 128; do
+        if ! printf '%s' "$line" | grep -Eq "\"$conns\"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?"; then
+          echo "[validate_bench_json] $f: io_models.$model missing \"$conns\" connections" >&2
+          fail=1
+        fi
+      done
+    done
+    reactor_line="$(grep -Eo '"reactor"[[:space:]]*:[[:space:]]*\{[^}]*\}' "$f" | head -1 || true)"
+    r8="$(printf '%s' "$reactor_line" | grep -Eo '"8"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    r32="$(printf '%s' "$reactor_line" | grep -Eo '"32"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    if [ -n "$r8" ] && [ -n "$r32" ]; then
+      if ! awk -v a="$r32" -v b="$r8" 'BEGIN { exit !(a >= 0.85 * b) }'; then
+        echo "[validate_bench_json] $f: reactor 32-conn throughput $r32 collapsed below 85% of 8-conn $r8" >&2
+        fail=1
+      fi
+    else
+      echo "[validate_bench_json] $f: reactor sweep lacks 8/32 points for the no-collapse gate" >&2
+      fail=1
+    fi
   fi
   # The ingest section appears from BENCH_3 onward; when present it
   # must carry the applier sweep and the mixed read/write run.
