@@ -29,6 +29,12 @@ pub struct RemoteGremlinAdapter {
     server: NetServer,
     pool: NetPool,
     name: &'static str,
+    /// Traversals per pipelined wave in [`execute_update_batch`] —
+    /// derived from the server's bounded queue capacity so one wave can
+    /// never overflow it (see [`RemoteGremlinAdapter::over`]).
+    ///
+    /// [`execute_update_batch`]: SutAdapter::execute_update_batch
+    batch_chunk: usize,
 }
 
 impl RemoteGremlinAdapter {
@@ -42,10 +48,18 @@ impl RemoteGremlinAdapter {
 
     /// Host `backend` behind a loopback TCP server and connect a pool.
     pub fn over(backend: Arc<dyn GraphBackend>, name: &'static str) -> Result<Self> {
-        let gremlin = GremlinServer::start(Arc::clone(&backend), ServerConfig::default());
+        let server_cfg = ServerConfig::default();
+        // A pipelined mutation wave lands on the server's bounded
+        // request queue all at once (mutations never execute inline on
+        // the I/O threads). Size it to a quarter of the queue capacity
+        // so a wave can never overflow the queue by itself — overflow
+        // comes back as `Overloaded`, which the batch path deliberately
+        // does not retry — and concurrent readers keep headroom.
+        let batch_chunk = (server_cfg.queue_capacity / 4).max(1);
+        let gremlin = GremlinServer::start(Arc::clone(&backend), server_cfg);
         let server = NetServer::start(gremlin, NetServerConfig::default())?;
         let pool = NetPool::connect(server.local_addr(), ClientConfig::default())?;
-        Ok(RemoteGremlinAdapter { backend, server, pool, name })
+        Ok(RemoteGremlinAdapter { backend, server, pool, name, batch_chunk })
     }
 
     /// The server's loopback address (ephemeral port).
@@ -88,27 +102,49 @@ impl SutAdapter for RemoteGremlinAdapter {
 
     fn execute_update_batch(&self, ops: &[UpdateOp]) -> Result<usize> {
         // The remote batched-write path stays on the wire — that's the
-        // thing being measured — but pipelines it: every mutation
-        // traversal in a chunk goes out in ONE syscall via
-        // `NetPool::submit_batch` and the tagged replies stream back,
-        // instead of one blocking round trip per element. Chunked so a
-        // big batch cannot blow past the server's bounded queue.
-        const CHUNK: usize = 64;
-        let mut traversals: Vec<Traversal> = Vec::with_capacity(CHUNK);
+        // thing being measured — but pipelines it: many mutation
+        // traversals go out in ONE syscall via `NetPool::submit_batch`
+        // and the tagged replies stream back, instead of one blocking
+        // round trip per element.
+        //
+        // The server executes a pipelined chunk on concurrent workers
+        // with no ordering guarantee, and an edge may target a vertex
+        // created by any op in the same batch — racing an `addE` ahead
+        // of its endpoint's `addV` fails with `NotFound`. The batch is
+        // therefore split into dependency waves: every vertex in the
+        // batch is submitted AND confirmed before the first edge goes
+        // out. Edges never depend on other edges, so each wave is
+        // internally order-free.
+        let mut vertices: Vec<Traversal> = Vec::new();
+        let mut edges: Vec<Traversal> = Vec::new();
         for op in ops {
             if let Some(v) = &op.new_vertex {
-                traversals.push(Traversal::g().add_v(v.label, v.id, v.props.clone()));
+                vertices.push(Traversal::g().add_v(v.label, v.id, v.props.clone()));
             }
             for e in &op.new_edges {
-                traversals.push(Traversal::g().add_e(e.label, e.src, e.dst, e.props.clone()));
+                edges.push(Traversal::g().add_e(e.label, e.src, e.dst, e.props.clone()));
             }
         }
-        for chunk in traversals.chunks(CHUNK) {
-            for result in self.pool.submit_batch(chunk)? {
-                // Same contract as the default implementation: the first
-                // failed operation stops the batch with its prefix
-                // applied.
-                result?;
+        for wave in [&vertices, &edges] {
+            for chunk in wave.chunks(self.batch_chunk) {
+                // Gather every reply before deciding: the chunk is
+                // pipelined, so a mid-chunk failure does NOT mean the
+                // later entries were skipped server-side. Unlike the
+                // default op-at-a-time implementation this is not
+                // prefix-only — on error, operations after the failed
+                // one may already be applied. Callers recover by
+                // replaying the batch per-op, where `Conflict` on an
+                // already-applied element counts as applied
+                // (at-least-once, see `ingest::Applier::flush`).
+                let mut first_err = None;
+                for result in self.pool.submit_batch(chunk)? {
+                    if let Err(e) = result {
+                        first_err.get_or_insert(e);
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
             }
         }
         Ok(ops.len())
@@ -180,6 +216,48 @@ mod tests {
         let b = batched.graph_backend().unwrap();
         assert_eq!(a.vertex_count(), b.vertex_count());
         assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn batched_edges_to_same_batch_vertices_apply_reliably() {
+        // Each op creates a vertex plus an edge to the vertex created by
+        // the PREVIOUS op in the same batch — the dependency pattern
+        // that raced under single-wave pipelining: the server schedules
+        // a pipelined chunk across concurrent workers, so an addE could
+        // execute before its endpoint's addV and fail with NotFound.
+        // With dependency waves the whole batch must apply, every time.
+        use snb_core::{EdgeLabel, VertexLabel, Vid};
+        use snb_datagen::{EdgeRec, UpdateKind, VertexRec};
+        let remote = RemoteGremlinAdapter::native().unwrap();
+        let n = 150u64; // several waves' worth of chunks
+        let ops: Vec<UpdateOp> = (0..n)
+            .map(|i| UpdateOp {
+                kind: UpdateKind::AddPerson,
+                ts_ms: i as i64,
+                dependency_ms: 0,
+                new_vertex: Some(VertexRec {
+                    label: VertexLabel::Person,
+                    id: 1000 + i,
+                    props: vec![],
+                    creation_ms: i as i64,
+                }),
+                new_edges: if i == 0 {
+                    vec![]
+                } else {
+                    vec![EdgeRec {
+                        label: EdgeLabel::Knows,
+                        src: Vid::new(VertexLabel::Person, 1000 + i),
+                        dst: Vid::new(VertexLabel::Person, 1000 + i - 1),
+                        props: vec![],
+                        creation_ms: i as i64,
+                    }]
+                },
+            })
+            .collect();
+        assert_eq!(remote.execute_update_batch(&ops).unwrap(), ops.len());
+        let backend = remote.graph_backend().unwrap();
+        assert_eq!(backend.vertex_count(), n as usize);
+        assert_eq!(backend.edge_count(), n as usize - 1);
     }
 
     #[test]

@@ -125,15 +125,53 @@ pub fn execute_with(
     t: &Traversal,
     cfg: ExecConfig,
 ) -> Result<Vec<Value>> {
+    match run_capped(backend, t, cfg, TRAVERSER_BUDGET)? {
+        Capped::Done(values) => Ok(values),
+        Capped::Exceeded(total) => Err(SnbError::Overloaded(format!(
+            "traverser budget exceeded ({total} live traversers)"
+        ))),
+    }
+}
+
+/// Execute with a caller-chosen cap on live traversers, checked after
+/// every step. `Ok(None)` means the frontier outgrew the cap — static
+/// step counts cannot see this (a short expansion chain through hub
+/// vertices multiplies by real degrees), so transports use a small cap
+/// to keep inline execution off their event-loop threads once a request
+/// turns out to be expensive, re-running it on the worker pool instead.
+/// Abandoning mid-traversal is only side-effect-free for read-only
+/// traversals — callers must gate on [`Traversal::has_mutation`] first.
+pub fn execute_capped(
+    backend: &(impl GraphBackend + ?Sized),
+    t: &Traversal,
+    cap: usize,
+) -> Result<Option<Vec<Value>>> {
+    match run_capped(backend, t, ExecConfig::default_cached(), cap.min(TRAVERSER_BUDGET))? {
+        Capped::Done(values) => Ok(Some(values)),
+        Capped::Exceeded(_) => Ok(None),
+    }
+}
+
+/// Outcome of a capped run: finished, or aborted with the live-traverser
+/// count that broke the cap.
+enum Capped {
+    Done(Vec<Value>),
+    Exceeded(u64),
+}
+
+fn run_capped(
+    backend: &(impl GraphBackend + ?Sized),
+    t: &Traversal,
+    cfg: ExecConfig,
+    cap: usize,
+) -> Result<Capped> {
     let mut ctx = Ctx { backend, snap: backend.pin_snapshot(), cfg };
     let mut set: Vec<Bulk> = Vec::new();
     for step in &t.steps {
         set = apply_step(&mut ctx, step, set)?;
         let total: u64 = set.iter().map(|b| b.n).sum();
-        if total > TRAVERSER_BUDGET as u64 {
-            return Err(SnbError::Overloaded(format!(
-                "traverser budget exceeded ({total} live traversers)"
-            )));
+        if total > cap as u64 {
+            return Ok(Capped::Exceeded(total));
         }
     }
     let total: usize = set.iter().map(|b| b.n as usize).sum();
@@ -145,7 +183,7 @@ pub fn execute_with(
         }
         out.push(v);
     }
-    Ok(out)
+    Ok(Capped::Done(out))
 }
 
 fn vertex_of(tr: &Traverser) -> Result<Vid> {
@@ -918,6 +956,19 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn capped_execution_spills_instead_of_erroring() {
+        let s = fixture();
+        // The two-hop multiset from 1 is {1,1,2,3,4}: 5 live traversers
+        // after the second hop. A cap of 4 must abort with Ok(None) —
+        // the caller's cue to re-run on the worker pool — while a cap
+        // that fits returns the full result.
+        let t = Traversal::v(p(1)).both(EdgeLabel::Knows).both(EdgeLabel::Knows);
+        assert!(execute_capped(&s, &t, 4).unwrap().is_none());
+        let full = execute_capped(&s, &t, 5).unwrap().expect("fits under the cap");
+        assert_eq!(full.len(), 5);
     }
 
     #[test]

@@ -30,9 +30,9 @@ pub mod server;
 pub mod traversal;
 pub mod wire;
 
-pub use exec::{execute, execute_with, ExecConfig, TRAVERSER_BUDGET};
+pub use exec::{execute, execute_capped, execute_with, ExecConfig, TRAVERSER_BUDGET};
 pub use server::{
     default_workers, GremlinClient, GremlinServer, RawSubmitter, ReplySink, ServerConfig,
-    TraversalEndpoint,
+    TraversalEndpoint, INLINE_TRAVERSER_CAP,
 };
 pub use traversal::{Predicate, Step, Traversal};

@@ -314,17 +314,26 @@ impl RawSubmitter {
     }
 
     /// Execute a request on the calling thread when it is safe to do so:
-    /// the traversal has statically bounded cost (no `repeat`-style
-    /// search, no label scan, a short expansion chain) AND a
-    /// worker-sized inline slot is free — the same permit accounting the
-    /// in-process [`GremlinClient`] fast path uses, so inline work never
-    /// exceeds the concurrency the pool itself would grant.
+    /// the traversal is read-only (mutations serialize on the backend's
+    /// write lock and must never stall a transport event loop), has
+    /// statically bounded cost (no `repeat`-style search, no label
+    /// scan, a short expansion chain) AND a worker-sized inline slot is
+    /// free — the same permit accounting the in-process
+    /// [`GremlinClient`] fast path uses, so inline work never exceeds
+    /// the concurrency the pool itself would grant.
+    ///
+    /// Static bounds cannot see degree: a "bounded" hop chain through
+    /// hub vertices can still touch a huge frontier. Execution is
+    /// therefore capped at [`INLINE_TRAVERSER_CAP`] live traversers —
+    /// past that the (read-only, side-effect-free) attempt is abandoned
+    /// and the request falls back to the queued path.
     ///
     /// Returns `None` when the request must take the queued path
-    /// instead (unbounded cost, or every slot busy): that keeps the
-    /// `Overloaded` contract intact — expensive work under saturation
-    /// still lands in the bounded queue and overflows as a typed error,
-    /// never as an unbounded pile-up on the transport's event loop.
+    /// instead (a mutation, unbounded cost, every slot busy, or the cap
+    /// tripping mid-flight): that keeps the `Overloaded` contract
+    /// intact — expensive work under saturation still lands in the
+    /// bounded queue and overflows as a typed error, never as an
+    /// unbounded pile-up on the transport's event loop.
     ///
     /// A payload that does not decode is answered inline with the codec
     /// error (decoding is what classification costs anyway).
@@ -333,17 +342,28 @@ impl RawSubmitter {
             Ok(t) => t,
             Err(e) => return Some(Err(SnbError::Codec(format!("bad request: {e}")))),
         };
-        if !traversal.bounded_cost() {
+        if traversal.has_mutation() || !traversal.bounded_cost() {
             return None;
         }
         if !self.inline.try_acquire() {
             return None;
         }
-        let result = handle_decoded(&*self.backend, &traversal);
+        let result = exec::execute_capped(&*self.backend, &traversal, INLINE_TRAVERSER_CAP);
         self.inline.release();
-        Some(result)
+        match result {
+            Ok(Some(values)) => Some(Ok(wire::encode_values(&values))),
+            Ok(None) => None, // frontier outgrew the cap: worker pool re-runs it
+            Err(e) => Some(Err(e)),
+        }
     }
 }
+
+/// Live-traverser cap for inline execution on transport I/O threads —
+/// far below [`exec::TRAVERSER_BUDGET`], since an event loop stalled
+/// for one request delays every connection it owns. Point lookups and
+/// ordinary one/two-hop reads stay well under it; hub blow-ups spill to
+/// the worker pool.
+pub const INLINE_TRAVERSER_CAP: usize = 8192;
 
 #[cfg(test)]
 mod tests {
@@ -494,6 +514,25 @@ mod tests {
             }
         }
         assert!(saw_overload, "flooding a capacity-1 queue must overload");
+    }
+
+    #[test]
+    fn inline_path_excludes_mutations() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let raw = server.raw_submitter();
+        // Mutations block on the write lock; they must always take the
+        // queued path so a transport event loop never stalls on one.
+        let add_v = wire::encode_traversal(&Traversal::g().add_v(VertexLabel::Person, 99, vec![]));
+        assert!(raw.try_execute_inline(&add_v).is_none());
+        let add_e = wire::encode_traversal(&Traversal::g().add_e(EdgeLabel::Knows, p(1), p(2), vec![]));
+        assert!(raw.try_execute_inline(&add_e).is_none());
+        let set_prop =
+            wire::encode_traversal(&Traversal::v(p(1)).property(PropKey::Gender, Value::str("x")));
+        assert!(raw.try_execute_inline(&set_prop).is_none());
+        // Cheap bounded reads still run inline.
+        let read = wire::encode_traversal(&Traversal::v(p(3)).both(EdgeLabel::Knows).count());
+        let bytes = raw.try_execute_inline(&read).expect("inline-eligible").unwrap();
+        assert_eq!(wire::decode_values(&bytes).unwrap(), vec![Value::Int(2)]);
     }
 
     #[test]

@@ -113,6 +113,22 @@ impl Traversal {
         expansions <= 3
     }
 
+    /// Whether any step (including inside a `repeat` body) mutates the
+    /// graph. Mutations serialize on the backend's write lock, so a
+    /// transport must never admit them to an I/O event-loop thread —
+    /// one write blocked behind a batch applier would stall reads,
+    /// writes, and accepts for every connection on that loop.
+    pub fn has_mutation(&self) -> bool {
+        fn scan(steps: &[Step]) -> bool {
+            steps.iter().any(|s| match s {
+                Step::AddV { .. } | Step::AddE { .. } | Step::Property(..) => true,
+                Step::RepeatUntil { body, .. } => scan(body),
+                _ => false,
+            })
+        }
+        scan(&self.steps)
+    }
+
     /// `g.V(id)`.
     pub fn v(id: Vid) -> Self {
         Traversal { steps: vec![Step::V(id)] }
@@ -254,6 +270,26 @@ mod tests {
         assert!(Predicate::Gte(Value::Int(3)).test(&Value::Int(3)));
         // Dates and ints compare numerically.
         assert!(Predicate::Eq(Value::Int(5)).test(&Value::Date(5)));
+    }
+
+    #[test]
+    fn has_mutation_detects_mutating_steps_recursively() {
+        let v = Vid::new(VertexLabel::Person, 1);
+        assert!(!Traversal::v(v).both(EdgeLabel::Knows).count().has_mutation());
+        assert!(Traversal::g().add_v(VertexLabel::Person, 9, vec![]).has_mutation());
+        assert!(Traversal::g()
+            .add_e(EdgeLabel::Knows, v, Vid::new(VertexLabel::Person, 2), vec![])
+            .has_mutation());
+        assert!(Traversal::v(v).property(PropKey::Gender, Value::str("x")).has_mutation());
+        // A mutation buried in a repeat body still counts.
+        let t = Traversal {
+            steps: vec![Step::RepeatUntil {
+                body: vec![Step::AddV { label: VertexLabel::Person, id: 5, props: vec![] }],
+                until: v,
+                max_loops: 2,
+            }],
+        };
+        assert!(t.has_mutation());
     }
 
     #[test]

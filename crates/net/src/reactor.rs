@@ -54,7 +54,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::frame::{self, FrameDecoder, FrameKind};
-use crate::server::{reject_connection, NetServerConfig};
+use crate::server::{reject_connection, reject_connection_with, NetServerConfig};
 use crate::sys;
 
 /// Epoll token of the reactor's wakeup eventfd.
@@ -258,14 +258,30 @@ pub(crate) fn start(
         }));
     }
     let active = Arc::new(AtomicUsize::new(0));
-    let mut threads = Vec::with_capacity(threads_n);
+    // Build every reactor — each owning an epoll fd — BEFORE spawning
+    // any thread: once an event loop runs, a mid-loop setup failure
+    // would leave it accepting connections behind a reported startup
+    // error (a phantom server plus a thread/fd leak). With all fallible
+    // setup done first, spawning cannot fail partway.
+    let mut listener = Some(listener);
+    let mut reactors: Vec<Reactor> = Vec::with_capacity(threads_n);
     for i in 0..threads_n {
-        let reactor = Reactor {
-            epfd: sys::epoll_create().map_err(|e| SnbError::Io(format!("epoll_create1: {e}")))?,
+        let epfd = match sys::epoll_create() {
+            Ok(fd) => fd,
+            Err(e) => {
+                for r in reactors.drain(..) {
+                    sys::close_fd(r.epfd);
+                }
+                return Err(SnbError::Io(format!("epoll_create1: {e}")));
+            }
+        };
+        reactors.push(Reactor {
+            epfd,
             shared: Arc::clone(&shared[i]),
             peers: shared.clone(),
             next_peer: 0,
-            listener: if i == 0 { Some(listener.try_clone().map_err(|e| SnbError::Io(format!("clone listener: {e}")))?) } else { None },
+            // Reactor 0 owns the listening socket itself.
+            listener: if i == 0 { listener.take() } else { None },
             submitter: submitter.clone(),
             shutdown: Arc::clone(&shutdown),
             active: Arc::clone(&active),
@@ -274,9 +290,12 @@ pub(crate) fn start(
             next_token: TOKEN_CONN0,
             draining: false,
             drain_deadline: None,
-        };
-        threads.push(std::thread::spawn(move || reactor.run()));
+        });
     }
+    let threads = reactors
+        .into_iter()
+        .map(|reactor| std::thread::spawn(move || reactor.run()))
+        .collect();
     Ok(ReactorHandle { shared, threads })
 }
 
@@ -380,8 +399,15 @@ impl Reactor {
         let inbox = std::mem::take(&mut *self.shared.inbox.lock());
         for stream in inbox {
             if self.draining {
-                // Too late to serve: drop (counts down in Conn teardown
-                // path below since it was never registered).
+                // Too late to serve — but never silently: a typed
+                // corr-0 error frame (like the over-limit path) lets
+                // the client fail fast instead of hanging until its
+                // request timeout. The stream is still blocking here
+                // (nonblocking is set only on registration below).
+                reject_connection_with(
+                    stream,
+                    &SnbError::Backend("server is shutting down".into()),
+                );
                 self.active.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }

@@ -261,9 +261,15 @@ fn wait_accept_ready(_listener: &TcpListener, poll_interval: Duration) {
 
 /// Over-limit connections get a connection-fatal typed error frame
 /// (correlation id 0) instead of a silent close.
-pub(crate) fn reject_connection(mut stream: TcpStream) {
-    let err = SnbError::Overloaded("connection limit reached".into());
-    let f = Frame { kind: FrameKind::Error, corr_id: 0, payload: wire::encode_error(&err) };
+pub(crate) fn reject_connection(stream: TcpStream) {
+    reject_connection_with(stream, &SnbError::Overloaded("connection limit reached".into()));
+}
+
+/// Write a connection-fatal error frame (correlation id 0) and drop the
+/// socket: the client surfaces the typed error immediately instead of
+/// hanging until its request timeout.
+pub(crate) fn reject_connection_with(mut stream: TcpStream, err: &SnbError) {
+    let f = Frame { kind: FrameKind::Error, corr_id: 0, payload: wire::encode_error(err) };
     let _ = frame::write_frame(&mut stream, &f);
     let _ = stream.flush();
 }
