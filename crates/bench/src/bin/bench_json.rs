@@ -15,6 +15,7 @@ use snb_datagen::{generate, GeneratorConfig};
 use snb_driver::adapter::cypher::CypherAdapter;
 use snb_driver::adapter::{build_adapter, SutAdapter, SutKind, ALL_SUT_KINDS};
 use snb_driver::ops::{ParamGen, ReadOp};
+use snb_driver::router::ShardRouter;
 use snb_driver::{run_ingest, IngestConfig};
 use snb_graph_native::NativeGraphStore;
 use snb_gremlin::{execute_with, ExecConfig, GremlinServer, ServerConfig, Traversal};
@@ -218,6 +219,68 @@ fn network_round_trips(addr: SocketAddr, persons: &[Vid], conns: usize, secs: f6
                         Traversal::v(v).both(EdgeLabel::Knows).dedup().count()
                     };
                     pool.submit(&t).expect("bench round trip");
+                    n += 1;
+                    i = i.wrapping_add(7);
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed) as f64 / secs
+}
+
+/// Round trips/sec of the scatter-gather router's *routed* single-shard
+/// path: the same alternating point/1-hop traversal shapes as
+/// [`network_round_trips`], but each request first hashes its key to
+/// the owner shard's pool. At 1 shard this is the reactor sweep plus
+/// one hash per request; at N shards the closed-loop clients spread
+/// over N independent server stacks.
+fn sharded_round_trips(router: &ShardRouter, persons: &[Vid], conns: usize, secs: f64) -> f64 {
+    let total = AtomicU64::new(0);
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    std::thread::scope(|scope| {
+        for c in 0..conns {
+            let total = &total;
+            scope.spawn(move || {
+                let mut n = 0u64;
+                let mut i = c;
+                while Instant::now() < deadline {
+                    let v = persons[i % persons.len()];
+                    let t = if n % 2 == 0 {
+                        Traversal::v(v).values(PropKey::FirstName)
+                    } else {
+                        Traversal::v(v).both(EdgeLabel::Knows).dedup().count()
+                    };
+                    router.pool_for(v).submit(&t).expect("sharded round trip");
+                    n += 1;
+                    i = i.wrapping_add(7);
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed) as f64 / secs
+}
+
+/// Two-hop reads/sec through the router's frontier scatter-gather path
+/// (`readers` concurrent closed-loop clients). Each operation is three
+/// pipelined waves — expand, expand, props — fanned out per shard, so
+/// with N shards the frontier work of one query runs on N engine
+/// stacks concurrently.
+fn sharded_two_hop(router: &ShardRouter, persons: &[Vid], readers: usize, secs: f64) -> f64 {
+    let total = AtomicU64::new(0);
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let total = &total;
+            scope.spawn(move || {
+                let mut n = 0u64;
+                let mut i = r;
+                while Instant::now() < deadline {
+                    let person = persons[i % persons.len()].local();
+                    router
+                        .execute_read(&ReadOp::TwoHop { person })
+                        .expect("sharded two-hop");
                     n += 1;
                     i = i.wrapping_add(7);
                 }
@@ -496,10 +559,35 @@ fn main() {
     let mixed_report = mixed_report.expect("mixed ingest ran");
     let reads_during = mixed_reads.load(Ordering::Relaxed) as f64 / mixed_elapsed.max(1e-9);
     let mixed_updates = mixed_report.updates_per_sec();
+    // The Figure-3 headline as a single gated ratio: what fraction of
+    // read-only throughput survives sustained ingestion.
+    let read_retention = if read_only > 0.0 { reads_during / read_only } else { 0.0 };
     eprintln!(
         "[bench] mixed: {mixed_updates:.0} updates/s, {reads_during:.0} reads/s during ingest \
-         (read-only baseline {read_only:.0} reads/s)"
+         (read-only baseline {read_only:.0} reads/s, retention {read_retention:.3})"
     );
+
+    // --- Sharded scale-out: the scatter-gather router sweep ----------
+    // N full engine stacks (store + workers + reactor listener) behind
+    // the router; routed round trips (8 clients) and cross-shard
+    // two-hops (4 clients) at 1, 2, and 4 shards.
+    let mut shard_rt_json = String::new();
+    let mut shard_two_json = String::new();
+    for (slot, &shards) in [1usize, 2, 4].iter().enumerate() {
+        let router = ShardRouter::native(shards).expect("boot shard stacks");
+        router.load(&data.snapshot).unwrap();
+        let rt = sharded_round_trips(&router, &persons, 8, scale_secs);
+        let two = sharded_two_hop(&router, &persons, 4, scale_secs);
+        eprintln!(
+            "[bench] sharding shards={shards}: {rt:.0} round trips/s, {two:.0} two-hop/s"
+        );
+        if slot > 0 {
+            shard_rt_json.push_str(", ");
+            shard_two_json.push_str(", ");
+        }
+        let _ = write!(shard_rt_json, "\"{shards}\": {rt:.1}");
+        let _ = write!(shard_two_json, "\"{shards}\": {two:.1}");
+    }
 
     // --- Bulk-synchronous traversal execution (the PR-4 tentpole) ----
     // Gremlin two-hop and shortest-path throughput through the bulked
@@ -630,7 +718,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),

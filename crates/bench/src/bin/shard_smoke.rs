@@ -1,0 +1,126 @@
+//! Sharded scale-out smoke check for CI: boots two engine shards
+//! behind the scatter-gather router, drains a generated update stream
+//! through the shard-aligned partitioned topic, and exits 0 only if
+//!
+//! * the drain is clean (every op applied, zero dependency violations),
+//! * the merged partitioned state — owned vertices with properties and
+//!   the directed edge multiset, ghosts excluded — is identical to a
+//!   single unsharded store fed the same snapshot + stream, and
+//! * cross-shard reads (point lookup, one-hop, two-hop, shortest path)
+//!   agree with the in-process single-store oracle on every sampled
+//!   person (hop rows compared as sorted sets: scatter-gather merges
+//!   per-shard responses in shard order).
+//!
+//! Usage: `cargo run --release --bin shard_smoke`
+
+use snb_core::VertexLabel;
+use snb_datagen::{generate, GeneratorConfig};
+use snb_driver::adapter::gremlin::GremlinAdapter;
+use snb_driver::adapter::SutAdapter;
+use snb_driver::ops::ReadOp;
+use snb_driver::router::{graph_edges, graph_vertices, ShardRouter};
+use snb_driver::{run_ingest, shard_aligned_appliers, IngestConfig};
+
+fn sorted(mut rows: Vec<Vec<snb_core::Value>>) -> Vec<Vec<snb_core::Value>> {
+    rows.sort();
+    rows
+}
+
+fn main() {
+    let shards = 2usize;
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 200;
+    let data = generate(&cfg);
+    assert!(!data.updates.is_empty(), "generator produced an update stream");
+
+    // Oracle: the unsharded native store, sequential application.
+    let oracle = GremlinAdapter::native();
+    oracle.load(&data.snapshot).expect("oracle load");
+    for op in &data.updates {
+        oracle.execute_update(op).expect("oracle apply");
+    }
+
+    // System under test: two full engine stacks behind the router,
+    // shard-local ingest through the partitioned topic.
+    let router = ShardRouter::native(shards).expect("boot shard stacks");
+    router.load(&data.snapshot).expect("sharded load");
+    let appliers = shard_aligned_appliers(4, shards);
+    let report = run_ingest(
+        &router,
+        &data.updates,
+        data.cut_ms,
+        &IngestConfig { appliers, batch_size: 128, ..IngestConfig::default() },
+    );
+    assert_eq!(report.applied, data.updates.len() as u64, "every op applied exactly once");
+    assert_eq!(report.errors, 0, "no dependency violations or failed writes");
+
+    // Merged partitioned state == unsharded state, exactly.
+    let backend = oracle.graph_backend().expect("native backend");
+    let want_vertices = graph_vertices(&*backend);
+    let want_edges = graph_edges(&*backend);
+    let got_vertices = router.merged_vertices();
+    let got_edges = router.merged_edges();
+    assert_eq!(
+        got_vertices.len(),
+        want_vertices.len(),
+        "merged vertex count diverged (ghost leaked past the ownership filter?)"
+    );
+    let mut mismatches = 0usize;
+    for (got, want) in got_vertices.iter().zip(&want_vertices) {
+        if got != want {
+            eprintln!("vertex mismatch: sharded {got:?} vs oracle {want:?}");
+            mismatches += 1;
+        }
+    }
+    assert_eq!(got_edges.len(), want_edges.len(), "merged edge count diverged");
+    for (got, want) in got_edges.iter().zip(&want_edges) {
+        if got != want {
+            eprintln!("edge mismatch: sharded {got:?} vs oracle {want:?}");
+            mismatches += 1;
+        }
+    }
+    assert_eq!(mismatches, 0, "merged state diff must be empty");
+
+    // Cross-shard reads against the oracle on a sample of persons.
+    let persons: Vec<u64> = data
+        .snapshot
+        .vertices_of(VertexLabel::Person)
+        .map(|v| v.id)
+        .take(24)
+        .collect();
+    let mut two_hop_rows = 0usize;
+    for &person in &persons {
+        let point = ReadOp::PointLookup { person };
+        assert_eq!(
+            oracle.execute_read(&point).expect("oracle point"),
+            router.execute_read(&point).expect("sharded point"),
+            "point lookup diverged for person {person}"
+        );
+        for op in [ReadOp::OneHop { person }, ReadOp::TwoHop { person }] {
+            let want = sorted(oracle.execute_read(&op).expect("oracle hop"));
+            let got = sorted(router.execute_read(&op).expect("sharded hop"));
+            assert_eq!(got, want, "{op:?} diverged for person {person}");
+            if matches!(op, ReadOp::TwoHop { .. }) {
+                two_hop_rows += got.len();
+            }
+        }
+        let sp = ReadOp::ShortestPath { a: persons[0], b: person };
+        assert_eq!(
+            oracle.execute_read(&sp).expect("oracle path"),
+            router.execute_read(&sp).expect("sharded path"),
+            "shortest path diverged for pair ({}, {person})",
+            persons[0]
+        );
+    }
+    assert!(two_hop_rows > 0, "sampled two-hop neighbourhoods are non-trivial");
+
+    println!(
+        "shard_smoke OK: {} updates over {shards} shards ({appliers} appliers, \
+         {:.0} updates/s), merged state matches the unsharded oracle, \
+         {} persons' cross-shard reads agree ({} two-hop rows)",
+        report.applied,
+        report.updates_per_sec(),
+        persons.len(),
+        two_hop_rows
+    );
+}

@@ -15,6 +15,7 @@ pub mod graph;
 pub mod ids;
 pub mod metrics;
 pub mod schema;
+pub mod shard;
 pub mod snapshot;
 pub mod value;
 
@@ -24,5 +25,6 @@ pub use fxhash::{FastMap, FastSet, FxBuildHasher};
 pub use graph::{Direction, PropertyMap};
 pub use ids::{EdgeLabel, VertexLabel, Vid};
 pub use schema::PropKey;
+pub use shard::ShardMap;
 pub use snapshot::{CsrBuilder, CsrSnapshot, EpochCell, SnapshotCache};
 pub use value::Value;

@@ -1,0 +1,140 @@
+//! Vertex-space partitioning for the sharded scale-out configuration.
+//!
+//! A [`ShardMap`] assigns every vertex to exactly one of N shards by
+//! hashing its raw global id with the same FNV-1a function the update
+//! topic's partitioner (`snb-mq`) applies to an operation's partition
+//! key. That bit-compatibility is the whole point: an update keyed by
+//! its created vertex (or first edge source) lands on topic partition
+//! `fnv1a64(key) % P`, and as long as `P` is a multiple of the shard
+//! count `N`, `fnv1a64(key) % P ≡ fnv1a64(key) % N (mod N)` — so every
+//! operation in partition `p` owns vertices on shard `p % N`, and a
+//! partition-pinned applier writes to exactly one shard (the shard-local
+//! ingest mapping).
+//!
+//! The map is deliberately tiny and dependency-free: `snb-mq` does not
+//! depend on `snb-core`, so the 8-line hash is duplicated here and
+//! pinned by the same test vectors `snb-mq` pins, keeping the two
+//! implementations provably identical.
+
+use crate::ids::Vid;
+
+/// FNV-1a, 64-bit — must stay bit-identical to `snb_mq::fnv1a64` (both
+/// are pinned by the `b""` / `b"a"` vectors below).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assignment of the vertex space to `N` shards: shard of `v` =
+/// `fnv1a64(v.raw() as LE bytes) % N`. Clamped to at least one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> ShardMap {
+        ShardMap { shards: shards.max(1) }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Owning shard of a raw u64 key (an op's `partition_key()`), hashed
+    /// exactly as the mq partitioner hashes `key.to_le_bytes()`.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        (fnv1a64(&key.to_le_bytes()) % self.shards as u64) as usize
+    }
+
+    /// Owning shard of a vertex.
+    pub fn shard_of(&self, v: Vid) -> usize {
+        self.shard_of_key(v.raw())
+    }
+
+    /// True when a `partitions`-way topic maps cleanly onto this shard
+    /// count (partition `p` → shard `p % shards` for every key), i.e.
+    /// the partition count is a positive multiple of the shard count.
+    pub fn aligned_partitions(&self, partitions: usize) -> bool {
+        partitions > 0 && partitions % self.shards == 0
+    }
+
+    /// The shard every key in topic partition `partition` owns, valid
+    /// whenever [`ShardMap::aligned_partitions`] holds for the topic.
+    pub fn shard_of_partition(&self, partition: usize) -> usize {
+        partition % self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VertexLabel;
+
+    #[test]
+    fn fnv_vectors_match_the_mq_partitioner() {
+        // The same vectors snb-mq pins; if either side drifts, routing
+        // and sharding disagree and shard-local ingest silently breaks.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let map = ShardMap::new(4);
+        for id in 0..1000u64 {
+            let v = Vid::new(VertexLabel::Person, id);
+            let s = map.shard_of(v);
+            assert!(s < 4);
+            assert_eq!(s, map.shard_of(v), "assignment must be deterministic");
+            assert_eq!(s, map.shard_of_key(v.raw()));
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let map = ShardMap::new(0);
+        assert_eq!(map.shards(), 1);
+        assert_eq!(map.shard_of_key(12345), 0);
+    }
+
+    #[test]
+    fn shards_are_reasonably_balanced() {
+        let map = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for id in 0..10_000u64 {
+            counts[map.shard_of(Vid::new(VertexLabel::Person, id))] += 1;
+        }
+        for c in counts {
+            assert!(c > 1500, "badly skewed shard assignment: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn aligned_partitions_map_to_shard_mod() {
+        // With P a multiple of N, (fnv % P) % N == fnv % N — so the
+        // topic partition of any key owns exactly one shard.
+        let map = ShardMap::new(2);
+        assert!(map.aligned_partitions(2));
+        assert!(map.aligned_partitions(4));
+        assert!(map.aligned_partitions(8));
+        assert!(!map.aligned_partitions(3));
+        assert!(!map.aligned_partitions(0));
+        for partitions in [2usize, 4, 8] {
+            for key in 0..2000u64 {
+                let partition = (fnv1a64(&key.to_le_bytes()) % partitions as u64) as usize;
+                assert_eq!(
+                    map.shard_of_partition(partition),
+                    map.shard_of_key(key),
+                    "key {key} in partition {partition} of {partitions}"
+                );
+            }
+        }
+    }
+}

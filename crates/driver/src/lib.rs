@@ -25,6 +25,10 @@
 //!   concurrent closed-loop readers.
 //! * [`loading`] — the bulk-load runner behind Table 4 and the
 //!   concurrent-loader scaling experiment of Appendix A.
+//! * [`router`] — sharded scale-out: N independent engine shards
+//!   behind a scatter-gather query router (FNV vertex placement,
+//!   frontier-batch waves for cross-shard multi-hop reads,
+//!   shard-local ingest via the aligned partitioned topic).
 
 pub mod adapter;
 pub mod ingest;
@@ -32,9 +36,11 @@ pub mod interactive;
 pub mod loading;
 pub mod micro;
 pub mod ops;
+pub mod router;
 pub mod scheduler;
 pub mod sqlg;
 
 pub use adapter::{build_all_adapters, OpResult, SutAdapter, SutKind};
-pub use ingest::{run_ingest, IngestConfig, IngestReport};
+pub use ingest::{run_ingest, shard_aligned_appliers, IngestConfig, IngestReport};
 pub use ops::{ParamGen, ReadOp};
+pub use router::ShardRouter;

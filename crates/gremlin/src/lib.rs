@@ -26,11 +26,13 @@
 //!   crashes, surfaced as backpressure errors.
 
 pub mod exec;
+pub mod frontier;
 pub mod server;
 pub mod traversal;
 pub mod wire;
 
 pub use exec::{execute, execute_capped, execute_with, ExecConfig, TRAVERSER_BUDGET};
+pub use frontier::{decode_frontier, encode_frontier, execute_frontier, FrontierRequest};
 pub use server::{
     default_workers, GremlinClient, GremlinServer, RawSubmitter, ReplySink, ServerConfig,
     TraversalEndpoint, INLINE_TRAVERSER_CAP,

@@ -356,6 +356,19 @@ impl RawSubmitter {
             Err(e) => Some(Err(e)),
         }
     }
+
+    /// Execute a frontier-batch request (the payload of a Frontier
+    /// frame) on the calling thread and return the encoded response.
+    ///
+    /// Unlike traversals, frontier requests are *always* bounded by
+    /// construction — one adjacency scan or one property row per listed
+    /// vertex, no search — so the transports run them directly on the
+    /// I/O thread, skipping the worker queue and its `Overloaded`
+    /// admission entirely: a scatter-gather wave must never be rejected
+    /// halfway, or the router would have to retry the whole read.
+    pub fn execute_frontier(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        crate::frontier::handle_frontier(&*self.backend, payload)
+    }
 }
 
 /// Live-traverser cap for inline execution on transport I/O threads —

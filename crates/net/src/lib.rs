@@ -37,6 +37,6 @@ mod reactor;
 pub mod server;
 mod sys;
 
-pub use client::{ClientConfig, NetPool};
+pub use client::{ClientConfig, NetPool, PendingReply};
 pub use frame::{Frame, FrameKind};
-pub use server::{IoModel, NetServer, NetServerConfig};
+pub use server::{default_reactor_threads, IoModel, NetServer, NetServerConfig};

@@ -601,6 +601,21 @@ fn dispatch_frames(conn: &mut Conn, submitter: &RawSubmitter) {
                     }
                 }
             }
+            Ok(Some(f)) if f.kind == FrameKind::Frontier => {
+                // A frontier batch is bounded by construction (one
+                // adjacency scan or property row per listed vertex), so
+                // it runs right here on the event loop — no worker
+                // queue, no Overloaded: a scatter-gather wave either
+                // answers or fails as a whole.
+                match submitter.execute_frontier(&f.payload) {
+                    Ok(payload) => {
+                        conn.out.push_frame(FrameKind::Response, f.corr_id, &payload)
+                    }
+                    Err(e) => {
+                        conn.out.push_frame(FrameKind::Error, f.corr_id, &wire::encode_error(&e))
+                    }
+                }
+            }
             Ok(Some(f)) => {
                 let e = SnbError::Codec("client may only send Request frames".into());
                 conn.out.push_frame(FrameKind::Error, f.corr_id, &wire::encode_error(&e));

@@ -82,7 +82,8 @@ pub struct NetServerConfig {
     pub io_model: IoModel,
     /// Event-loop threads for [`IoModel::Reactor`] (clamped to ≥ 1).
     /// The loops only do I/O, frame codec work, and bounded-cost inline
-    /// execution, so a small number covers many connections.
+    /// execution, so a small number covers many connections. Defaults
+    /// to [`default_reactor_threads`].
     pub reactor_threads: usize,
 }
 
@@ -93,9 +94,25 @@ impl Default for NetServerConfig {
             max_connections: 64,
             poll_interval: Duration::from_millis(25),
             io_model: IoModel::default_for_platform(),
-            reactor_threads: 2,
+            reactor_threads: default_reactor_threads(),
         }
     }
+}
+
+/// Default reactor-pool size: track the machine like the Gremlin worker
+/// pool does, but capped — event loops only do I/O, codec work, and
+/// bounded inline execution, so past a handful they just contend on the
+/// accept path — and clamped to at least one so a 1-core box (or a box
+/// where `available_parallelism` errors) still serves.
+pub fn default_reactor_threads() -> usize {
+    clamp_reactor_threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Ceiling on the derived reactor-pool default.
+const MAX_DEFAULT_REACTOR_THREADS: usize = 8;
+
+fn clamp_reactor_threads(n: usize) -> usize {
+    n.clamp(1, MAX_DEFAULT_REACTOR_THREADS)
 }
 
 impl NetServerConfig {
@@ -310,6 +327,14 @@ fn handle_connection(
                     let _ = results_tx.send((f.corr_id, Err(e)));
                 }
             }
+            Ok(Some(f)) if f.kind == FrameKind::Frontier => {
+                // Frontier batches are bounded by construction (one
+                // adjacency scan per listed vertex), so they execute on
+                // the reader thread, bypassing the worker queue — a
+                // scatter-gather wave is never rejected with Overloaded.
+                let result = submitter.execute_frontier(&f.payload);
+                let _ = results_tx.send((f.corr_id, result));
+            }
             Ok(Some(f)) => {
                 let e = SnbError::Codec("client may only send Request frames".into());
                 let _ = results_tx.send((f.corr_id, Err(e)));
@@ -326,6 +351,33 @@ fn handle_connection(
     drop(results_tx);
     let _ = writer.join(); // drains every in-flight response
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reactor_threads_track_available_parallelism_clamped() {
+        // Regression for the hard-coded `reactor_threads: 2`: the
+        // default must be derived from the machine (mirroring what the
+        // Gremlin worker pool did for `workers`), capped so a huge box
+        // doesn't spawn useless event loops, and floored at one so a
+        // 1-core box (or an `available_parallelism` error, modelled by
+        // the 0 input) still serves.
+        assert_eq!(clamp_reactor_threads(0), 1);
+        assert_eq!(clamp_reactor_threads(1), 1);
+        assert_eq!(clamp_reactor_threads(4), 4);
+        assert_eq!(clamp_reactor_threads(MAX_DEFAULT_REACTOR_THREADS), MAX_DEFAULT_REACTOR_THREADS);
+        assert_eq!(clamp_reactor_threads(64), MAX_DEFAULT_REACTOR_THREADS);
+        assert_eq!(clamp_reactor_threads(usize::MAX), MAX_DEFAULT_REACTOR_THREADS);
+        let expect = clamp_reactor_threads(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        );
+        assert_eq!(default_reactor_threads(), expect);
+        assert_eq!(NetServerConfig::default().reactor_threads, expect);
+        assert!(NetServerConfig::default().reactor_threads >= 1);
+    }
 }
 
 fn writer_loop(mut stream: TcpStream, results_rx: Receiver<(u64, Result<Vec<u8>>)>) {

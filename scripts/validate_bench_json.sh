@@ -122,6 +122,57 @@ for f in "${files[@]}"; do
     require_numeric "$f" "reads_per_sec_during_ingest"
     require_numeric "$f" "read_only_reads_per_sec"
   fi
+  # The explicit read-retention ratio appears from BENCH_6 onward; when
+  # present it is gated: reads under sustained ingestion must hold at
+  # least 60% of the read-only baseline (the Figure-3 headline).
+  if grep -q '"read_retention"' "$f"; then
+    require_numeric "$f" "read_retention"
+    retention="$(grep -Eo '"read_retention"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' "$f" \
+      | grep -Eo '[0-9.]+$' | head -1 || true)"
+    if [ -n "$retention" ]; then
+      if ! awk -v r="$retention" 'BEGIN { exit !(r >= 0.6) }'; then
+        echo "[validate_bench_json] $f: read_retention $retention below the 0.6 floor" >&2
+        fail=1
+      fi
+    fi
+  fi
+  # The sharding section (scatter-gather router) appears from BENCH_6
+  # onward; when present both by-shards sweeps must carry the 1/2/4
+  # points, the file must also carry the read_retention ratio, and the
+  # cross-shard two-hop must not collapse when the graph is partitioned:
+  # 2 shards must hold at least 85% of the 1-shard figure.
+  if grep -q '"sharding"' "$f"; then
+    if ! grep -q '"read_retention"' "$f"; then
+      echo "[validate_bench_json] $f: sharding section requires read_retention" >&2
+      fail=1
+    fi
+    for sweep in round_trips_per_sec_by_shards two_hop_per_sec_by_shards; do
+      line="$(grep -Eo "\"$sweep\"[[:space:]]*:[[:space:]]*\{[^}]*\}" "$f" | head -1 || true)"
+      if [ -z "$line" ]; then
+        echo "[validate_bench_json] $f: sharding missing \"$sweep\" sweep" >&2
+        fail=1
+        continue
+      fi
+      for shards in 1 2 4; do
+        if ! printf '%s' "$line" | grep -Eq "\"$shards\"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?"; then
+          echo "[validate_bench_json] $f: sharding.$sweep missing \"$shards\" shards" >&2
+          fail=1
+        fi
+      done
+    done
+    two_line="$(grep -Eo '"two_hop_per_sec_by_shards"[[:space:]]*:[[:space:]]*\{[^}]*\}' "$f" | head -1 || true)"
+    t1="$(printf '%s' "$two_line" | grep -Eo '"1"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    t2="$(printf '%s' "$two_line" | grep -Eo '"2"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    if [ -n "$t1" ] && [ -n "$t2" ]; then
+      if ! awk -v a="$t2" -v b="$t1" 'BEGIN { exit !(a >= 0.85 * b) }'; then
+        echo "[validate_bench_json] $f: 2-shard two-hop $t2 collapsed below 85% of 1-shard $t1" >&2
+        fail=1
+      fi
+    else
+      echo "[validate_bench_json] $f: two_hop_per_sec_by_shards lacks 1/2 points for the scale-out gate" >&2
+      fail=1
+    fi
+  fi
   # The traversal section appears from BENCH_4 onward; when present it
   # must carry the intra-query worker sweep, the locked-store
   # baselines, and per-engine latency percentiles — and the top-level
