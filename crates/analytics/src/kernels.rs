@@ -1,0 +1,462 @@
+//! Bulk-synchronous kernels over an immutable [`CsrSnapshot`].
+//!
+//! Every kernel follows the same shape (the GraphBLAS-style "analytics
+//! as kernels over sparse adjacency" framing): pin one snapshot, then
+//! iterate *vertex-parallel* over its dense u32 rows in fixed-size
+//! morsels claimed from a shared counter. All cross-row reductions
+//! (rank delta, dangling mass, changed-label counts) are accumulated
+//! **per morsel** and summed in morsel order, and per-row outputs are
+//! written into the morsel's own disjoint chunk — so results are
+//! bit-identical across worker counts, which is what lets the proptests
+//! compare worker sweeps exactly instead of within a tolerance.
+//!
+//! Kernels are *pull*-based where it matters: PageRank computes
+//! `next[v]` from `v`'s in-neighbours, WCC computes `next[v]` from the
+//! previous iteration's labels, so no row ever writes another row's
+//! slot and no atomics are needed on the data arrays.
+//!
+//! Cancellation is cooperative: workers re-check the shared flag at
+//! every morsel boundary, so a cancel lands within one morsel's worth
+//! of work. The same boundary yields the thread, which is what makes a
+//! dedicated analytics pool "low priority" on a small box: the OS gets
+//! a scheduling point every few thousand rows.
+
+use snb_core::snapshot::CsrSnapshot;
+use snb_core::{Direction, EdgeLabel};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per morsel. Fixed (never derived from the worker count) so the
+/// per-morsel reduction layout — and therefore the floating-point
+/// summation order — is identical no matter how many workers run.
+pub const MORSEL_ROWS: usize = 2048;
+
+/// PageRank tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor (the classic 0.85).
+    pub damping: f64,
+    /// Stop once the L1 rank delta falls to or below this.
+    pub epsilon: f64,
+    /// Hard iteration cap (safety net when epsilon is tiny or zero).
+    pub max_iters: u32,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, epsilon: 1e-9, max_iters: 100 }
+    }
+}
+
+/// Per-iteration progress + cancellation surface shared by every
+/// kernel. `on_iter(iteration, delta)` fires after each completed
+/// bulk-synchronous step; `cancel` is checked at every morsel boundary.
+pub struct KernelCtl<'a> {
+    pub cancel: &'a AtomicBool,
+    pub on_iter: &'a (dyn Fn(u32, f64) + Sync),
+}
+
+impl<'a> KernelCtl<'a> {
+    /// A control block that never cancels and ignores progress.
+    pub fn noop(cancel: &'a AtomicBool) -> KernelCtl<'a> {
+        KernelCtl { cancel, on_iter: &|_, _| {} }
+    }
+}
+
+/// Converged PageRank over the snapshot's rows.
+#[derive(Debug, Clone)]
+pub struct PageRankOutcome {
+    /// Rank per dense row id (sums to ~1.0 over all rows).
+    pub ranks: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: u32,
+    /// Final L1 delta.
+    pub delta: f64,
+}
+
+/// One parallel sweep: split `out` into [`MORSEL_ROWS`]-sized chunks,
+/// have `workers` scoped threads claim chunks from a shared counter,
+/// and return the per-morsel partials summed **in morsel order** (so
+/// the reduction is deterministic across worker counts). `None` means
+/// the sweep was cancelled mid-flight.
+///
+/// `f(start_row, chunk)` computes rows `start_row .. start_row +
+/// chunk.len()` into its disjoint chunk and returns the morsel's
+/// contribution to the sweep-wide reduction. The per-chunk mutex is
+/// uncontended by construction (each morsel index is claimed exactly
+/// once); it exists to hand `&mut` chunks across the scope safely.
+fn par_sweep<T: Send, F>(out: &mut [T], workers: usize, cancel: &AtomicBool, f: F) -> Option<f64>
+where
+    F: Fn(usize, &mut [T]) -> f64 + Sync,
+{
+    let chunks: Vec<Mutex<(usize, &mut [T])>> = out
+        .chunks_mut(MORSEL_ROWS)
+        .enumerate()
+        .map(|(i, c)| Mutex::new((i * MORSEL_ROWS, c)))
+        .collect();
+    let n_chunks = chunks.len();
+    let partials: Vec<Mutex<f64>> = (0..n_chunks).map(|_| Mutex::new(0.0)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, n_chunks.max(1));
+    if workers <= 1 {
+        for i in 0..n_chunks {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            let (start, chunk) = &mut *chunks[i].lock().unwrap();
+            *partials[i].lock().unwrap() = f(*start, chunk);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        return;
+                    }
+                    {
+                        let (start, chunk) = &mut *chunks[i].lock().unwrap();
+                        *partials[i].lock().unwrap() = f(*start, chunk);
+                    }
+                    // Low-priority by construction: give interactive
+                    // threads a scheduling point every morsel.
+                    std::thread::yield_now();
+                });
+            }
+        });
+    }
+    if cancel.load(Ordering::Relaxed) {
+        return None;
+    }
+    Some(partials.iter().map(|p| *p.lock().unwrap()).sum())
+}
+
+/// Out-degree per row along `label` (any label if `None`), computed in
+/// one parallel sweep.
+fn out_degrees(snap: &CsrSnapshot, label: Option<EdgeLabel>, workers: usize, cancel: &AtomicBool) -> Option<Vec<u32>> {
+    let mut deg = vec![0u32; snap.n_rows()];
+    par_sweep(&mut deg, workers, cancel, |start, chunk| {
+        for (i, d) in chunk.iter_mut().enumerate() {
+            *d = snap.degree((start + i) as u32, Direction::Out, label) as u32;
+        }
+        0.0
+    })?;
+    Some(deg)
+}
+
+/// Power-iteration PageRank with dangling-mass redistribution.
+///
+/// Pull-based: `next[v] = (1-d)/n + d * (dangling/n + Σ rank[u] /
+/// outdeg[u])` over `v`'s in-neighbours, so every row writes only its
+/// own slot. Ranks sum to 1.0 (up to float error) at every iteration.
+/// Returns `None` when cancelled.
+pub fn pagerank(
+    snap: &CsrSnapshot,
+    label: Option<EdgeLabel>,
+    cfg: &PageRankConfig,
+    workers: usize,
+    ctl: &KernelCtl,
+) -> Option<PageRankOutcome> {
+    let n = snap.n_rows();
+    if n == 0 {
+        return Some(PageRankOutcome { ranks: Vec::new(), iterations: 0, delta: 0.0 });
+    }
+    let d = cfg.damping;
+    let outdeg = out_degrees(snap, label, workers, ctl.cancel)?;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0u32;
+    let mut delta = f64::INFINITY;
+    // Dangling mass of the uniform start vector.
+    let mut dangling: f64 =
+        outdeg.iter().filter(|&&od| od == 0).count() as f64 / n as f64;
+    while iterations < cfg.max_iters.max(1) {
+        let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
+        let rank_ref = &rank;
+        let outdeg_ref = &outdeg;
+        delta = par_sweep(&mut next, workers, ctl.cancel, |start, chunk| {
+            let mut morsel_delta = 0.0;
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let row = (start + i) as u32;
+                let mut s = 0.0;
+                match label {
+                    Some(l) => {
+                        for &u in snap.range(row, Direction::In, l) {
+                            s += rank_ref[u as usize] / outdeg_ref[u as usize] as f64;
+                        }
+                    }
+                    None => {
+                        for l in snb_core::ids::EDGE_LABELS {
+                            for &u in snap.range(row, Direction::In, l) {
+                                s += rank_ref[u as usize] / outdeg_ref[u as usize] as f64;
+                            }
+                        }
+                    }
+                }
+                *slot = base + d * s;
+                morsel_delta += (*slot - rank_ref[start + i]).abs();
+            }
+            morsel_delta
+        })?;
+        std::mem::swap(&mut rank, &mut next);
+        iterations += 1;
+        (ctl.on_iter)(iterations, delta);
+        if delta <= cfg.epsilon {
+            break;
+        }
+        // Dangling mass for the next iteration (deterministic: summed
+        // sequentially in row order, O(n) and branch-cheap).
+        dangling = rank
+            .iter()
+            .zip(&outdeg)
+            .filter(|(_, &od)| od == 0)
+            .map(|(&r, _)| r)
+            .sum();
+    }
+    Some(PageRankOutcome { ranks: rank, iterations, delta })
+}
+
+/// Weakly-connected components by min-label propagation over the
+/// undirected (Both-direction) adjacency. Returns the component label
+/// per row — the smallest row id in the component — or `None` when
+/// cancelled. Converges when an iteration changes nothing; the
+/// iteration count is reported through `ctl.on_iter` with the number of
+/// changed rows as the delta.
+pub fn wcc(
+    snap: &CsrSnapshot,
+    label: Option<EdgeLabel>,
+    workers: usize,
+    ctl: &KernelCtl,
+) -> Option<Vec<u32>> {
+    let n = snap.n_rows();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut next = labels.clone();
+    let mut iterations = 0u32;
+    loop {
+        let labels_ref = &labels;
+        let changed = par_sweep(&mut next, workers, ctl.cancel, |start, chunk| {
+            let mut changed = 0.0;
+            let mut neigh: Vec<u32> = Vec::new();
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let row = (start + i) as u32;
+                let mut m = labels_ref[start + i];
+                neigh.clear();
+                snap.neighbors_into(row, Direction::Both, label, &mut neigh);
+                for &u in &neigh {
+                    m = m.min(labels_ref[u as usize]);
+                }
+                if m != labels_ref[start + i] {
+                    changed += 1.0;
+                }
+                *slot = m;
+            }
+            changed
+        })?;
+        std::mem::swap(&mut labels, &mut next);
+        iterations += 1;
+        (ctl.on_iter)(iterations, changed);
+        if changed == 0.0 {
+            break;
+        }
+    }
+    Some(labels)
+}
+
+/// Per-vertex triangle counts by sorted-adjacency intersection.
+///
+/// The undirected, deduplicated adjacency is materialized once (sorted
+/// per row); then `tri[u] = |{(v, w) : v < w, v,w ∈ adj(u), w ∈
+/// adj(v)}|` — each triangle is counted exactly once at *each* of its
+/// three corners, so the global triangle count is `Σ tri / 3`. Every
+/// row's count reads only adjacency lists and writes only its own slot,
+/// so the sweep parallelizes without merges. Returns `None` when
+/// cancelled. Progress reports one iteration per phase (build,
+/// count).
+pub fn triangles(
+    snap: &CsrSnapshot,
+    label: Option<EdgeLabel>,
+    workers: usize,
+    ctl: &KernelCtl,
+) -> Option<Vec<u64>> {
+    let n = snap.n_rows();
+    // Phase 1: sorted dedup undirected adjacency (self-loops dropped).
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    par_sweep(&mut adj, workers, ctl.cancel, |start, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let row = (start + i) as u32;
+            snap.neighbors_into(row, Direction::Both, label, slot);
+            slot.sort_unstable();
+            slot.dedup();
+            slot.retain(|&v| v != row);
+        }
+        0.0
+    })?;
+    (ctl.on_iter)(1, 0.0);
+    // Phase 2: count wedges that close.
+    let mut tri = vec![0u64; n];
+    let adj_ref = &adj;
+    let total = par_sweep(&mut tri, workers, ctl.cancel, |start, chunk| {
+        let mut morsel_total = 0.0;
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let a = &adj_ref[start + i];
+            let mut count = 0u64;
+            for (vi, &v) in a.iter().enumerate() {
+                // Intersect adj(u)[vi+1..] (all > v, sorted) with
+                // adj(v): every common w closes the triangle (u, v, w)
+                // with v < w.
+                count += sorted_intersection_count(&a[vi + 1..], &adj_ref[v as usize]);
+            }
+            *slot = count;
+            morsel_total += count as f64;
+        }
+        morsel_total
+    })?;
+    (ctl.on_iter)(2, total);
+    Some(tri)
+}
+
+/// |a ∩ b| for two sorted, deduplicated slices (linear merge).
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::snapshot::CsrBuilder;
+    use snb_core::{PropertyMap, VertexLabel, Vid};
+    use std::sync::Arc;
+
+    /// Build a snapshot from an undirected edge list over `n` Person
+    /// rows (each undirected edge becomes one directed Knows edge plus
+    /// its reverse in-slot, i.e. a standard symmetric CSR).
+    pub(crate) fn snap_undirected(n: usize, edges: &[(u32, u32)]) -> CsrSnapshot {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut inn: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            out[a as usize].push(b);
+            inn[b as usize].push(a);
+        }
+        let mut bld = CsrBuilder::new(1, n, false);
+        for row in 0..n {
+            bld.push_row(
+                Vid::new(VertexLabel::Person, row as u64 + 1),
+                Arc::new(PropertyMap::from_pairs(&[])),
+            );
+            for &t in &out[row] {
+                bld.push_out(EdgeLabel::Knows, t, None);
+            }
+            for &s in &inn[row] {
+                bld.push_in(EdgeLabel::Knows, s);
+            }
+        }
+        bld.finish()
+    }
+
+    fn never() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        // On a directed cycle every vertex has the same rank: 1/n.
+        let n = 5;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let s = snap_undirected(n as usize, &edges);
+        let cancel = never();
+        let out = pagerank(&s, None, &PageRankConfig::default(), 2, &KernelCtl::noop(&cancel))
+            .unwrap();
+        for r in &out.ranks {
+            assert!((r - 1.0 / n as f64).abs() < 1e-9, "{r}");
+        }
+        let sum: f64 = out.ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "rank mass conserved, got {sum}");
+    }
+
+    #[test]
+    fn pagerank_sink_absorbs_rank_and_mass_is_conserved() {
+        // 0→2, 1→2: the sink (2) must outrank its feeders, and dangling
+        // redistribution must keep the total at 1.
+        let s = snap_undirected(3, &[(0, 2), (1, 2)]);
+        let cancel = never();
+        let out = pagerank(&s, None, &PageRankConfig::default(), 1, &KernelCtl::noop(&cancel))
+            .unwrap();
+        assert!(out.ranks[2] > out.ranks[0]);
+        assert!((out.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_deterministic_across_worker_counts() {
+        let edges: Vec<(u32, u32)> = (0..400u32).map(|i| (i % 57, (i * 31 + 7) % 57)).collect();
+        let s = snap_undirected(57, &edges);
+        let cancel = never();
+        let base = pagerank(&s, None, &PageRankConfig::default(), 1, &KernelCtl::noop(&cancel))
+            .unwrap();
+        for workers in [2, 3, 8] {
+            let out =
+                pagerank(&s, None, &PageRankConfig::default(), workers, &KernelCtl::noop(&cancel))
+                    .unwrap();
+            assert_eq!(out.iterations, base.iterations);
+            assert_eq!(out.ranks, base.ranks, "bit-identical across {workers} workers");
+        }
+    }
+
+    #[test]
+    fn wcc_labels_components() {
+        // Two components: {0,1,2} chained, {3,4} paired; 5 isolated.
+        let s = snap_undirected(6, &[(0, 1), (1, 2), (3, 4)]);
+        let cancel = never();
+        let labels = wcc(&s, None, 2, &KernelCtl::noop(&cancel)).unwrap();
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn triangles_on_clique_and_path() {
+        // K4: every vertex is in C(3,2) = 3 triangles; total 4*3/3 = 4.
+        let k4: Vec<(u32, u32)> =
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let s = snap_undirected(4, &k4);
+        let cancel = never();
+        let tri = triangles(&s, None, 2, &KernelCtl::noop(&cancel)).unwrap();
+        assert_eq!(tri, vec![3, 3, 3, 3]);
+        // A path has none.
+        let s = snap_undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let tri = triangles(&s, None, 1, &KernelCtl::noop(&cancel)).unwrap();
+        assert_eq!(tri, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cancellation_stops_mid_run() {
+        let edges: Vec<(u32, u32)> = (0..300u32).map(|i| (i % 40, (i * 13 + 1) % 40)).collect();
+        let s = snap_undirected(40, &edges);
+        let cancel = never();
+        // Cancel from the progress callback after the first iteration.
+        let ctl = KernelCtl { cancel: &cancel, on_iter: &|_, _| cancel.store(true, Ordering::Relaxed) };
+        let cfg = PageRankConfig { epsilon: 0.0, max_iters: 1_000, ..Default::default() };
+        assert!(pagerank(&s, None, &cfg, 2, &ctl).is_none(), "cancel must abort the kernel");
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let s = snap_undirected(0, &[]);
+        let cancel = never();
+        assert_eq!(pagerank(&s, None, &PageRankConfig::default(), 4, &KernelCtl::noop(&cancel)).unwrap().ranks, Vec::<f64>::new());
+        assert_eq!(wcc(&s, None, 4, &KernelCtl::noop(&cancel)).unwrap(), Vec::<u32>::new());
+        assert_eq!(triangles(&s, None, 4, &KernelCtl::noop(&cancel)).unwrap(), Vec::<u64>::new());
+    }
+}

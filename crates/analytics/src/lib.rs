@@ -1,0 +1,32 @@
+//! snb-analytics: bulk-synchronous graph analytics served alongside
+//! interactive traffic.
+//!
+//! The crate has three layers:
+//!
+//! * [`kernels`] — morsel-parallel PageRank, weakly-connected
+//!   components, and per-vertex triangle counting over a pinned
+//!   [`snb_core::snapshot::CsrSnapshot`]. Deterministic across worker
+//!   counts (fixed morsel size, ordered reduction), cancellable at
+//!   morsel boundaries, cooperative (`yield_now` per morsel) so they
+//!   coexist with interactive reads on the same cores.
+//! * [`job`] — the job subsystem: [`JobManager`] pins one snapshot per
+//!   job, runs it on a small dedicated runner pool, tracks
+//!   Queued/Running/Done/Failed/Cancelled states with per-iteration
+//!   progress, bounds admission, and serves top-k or full results.
+//! * [`wire`] — the binary codec for the Analytics frame and
+//!   [`wire::handle_analytics`], the one-call server-side handler used
+//!   by both net transports.
+
+pub mod job;
+pub mod kernels;
+pub mod wire;
+
+pub use job::{
+    wcc_assignment, AnalyticsConfig, JobId, JobKind, JobManager, JobOutput, JobSpec, JobState,
+    JobStatus,
+};
+pub use kernels::{pagerank, triangles, wcc, KernelCtl, PageRankConfig, PageRankOutcome};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, handle_analytics,
+    AnalyticsRequest, AnalyticsResponse,
+};

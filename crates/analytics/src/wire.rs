@@ -1,0 +1,418 @@
+//! Binary codec for the Analytics frame payload, and the server-side
+//! handler that turns one payload into one response.
+//!
+//! Same idiom as the frontier codec: a tag byte selects the operation,
+//! integers are little-endian, floats travel as IEEE-754 bits, and any
+//! truncation, unknown tag, or trailing garbage is a `Codec` error —
+//! which the transports answer with a *typed error frame on the
+//! request's correlation id*, never by dropping the connection
+//! (malformed analytics payloads are a per-request problem, not stream
+//! corruption).
+
+use crate::job::{JobId, JobManager, JobOutput, JobSpec, JobState, JobStatus, JobKind};
+use crate::kernels::PageRankConfig;
+use snb_core::{EdgeLabel, Result, SnbError, Vid};
+use std::time::Duration;
+
+/// One analytics operation, as carried by an Analytics frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyticsRequest {
+    Submit(JobSpec),
+    Poll { id: JobId },
+    /// `top_k == 0` fetches the full result.
+    Fetch { id: JobId, top_k: u32 },
+    Cancel { id: JobId },
+}
+
+/// The server's answer (travels in an ordinary Response frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyticsResponse {
+    Submitted { id: JobId },
+    Status(JobStatus),
+    Result(JobOutput),
+    /// Whether the cancel found the job still live.
+    Cancelled { was_live: bool },
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(SnbError::Codec("truncated analytics payload".into()));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn done(self) -> Result<()> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(SnbError::Codec("trailing bytes after analytics payload".into()))
+        }
+    }
+}
+
+fn put_label(label: Option<EdgeLabel>, out: &mut Vec<u8>) {
+    match label {
+        None => out.push(0xFF),
+        Some(l) => out.push(l as u8),
+    }
+}
+
+fn get_label(r: &mut Reader) -> Result<Option<EdgeLabel>> {
+    Ok(match r.u8()? {
+        0xFF => None,
+        tag => Some(EdgeLabel::from_tag(tag)?),
+    })
+}
+
+/// Encode an analytics request (the payload of an Analytics frame).
+pub fn encode_request(req: &AnalyticsRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
+    match req {
+        AnalyticsRequest::Submit(spec) => {
+            out.push(0);
+            out.push(spec.kind.tag());
+            put_label(spec.label, &mut out);
+            out.push(spec.workers.min(255) as u8);
+            out.extend_from_slice(&(spec.pacing.as_millis().min(u32::MAX as u128) as u32).to_le_bytes());
+            if let JobKind::PageRank(cfg) = spec.kind {
+                out.extend_from_slice(&cfg.damping.to_bits().to_le_bytes());
+                out.extend_from_slice(&cfg.epsilon.to_bits().to_le_bytes());
+                out.extend_from_slice(&cfg.max_iters.to_le_bytes());
+            }
+        }
+        AnalyticsRequest::Poll { id } => {
+            out.push(1);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        AnalyticsRequest::Fetch { id, top_k } => {
+            out.push(2);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&top_k.to_le_bytes());
+        }
+        AnalyticsRequest::Cancel { id } => {
+            out.push(3);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode an analytics request payload.
+pub fn decode_request(data: &[u8]) -> Result<AnalyticsRequest> {
+    let mut r = Reader(data);
+    let req = match r.u8()? {
+        0 => {
+            let kind_tag = r.u8()?;
+            let label = get_label(&mut r)?;
+            let workers = r.u8()? as usize;
+            let pacing = Duration::from_millis(r.u32()? as u64);
+            let kind = match kind_tag {
+                0 => {
+                    let damping = r.f64()?;
+                    let epsilon = r.f64()?;
+                    let max_iters = r.u32()?;
+                    if !(0.0..1.0).contains(&damping) || !epsilon.is_finite() || epsilon < 0.0 {
+                        return Err(SnbError::Codec(format!(
+                            "pagerank parameters out of range (damping {damping}, epsilon {epsilon})"
+                        )));
+                    }
+                    JobKind::PageRank(PageRankConfig { damping, epsilon, max_iters })
+                }
+                1 => JobKind::Wcc,
+                2 => JobKind::Triangles,
+                other => return Err(SnbError::Codec(format!("unknown analytics kind {other}"))),
+            };
+            AnalyticsRequest::Submit(JobSpec { kind, label, workers, pacing })
+        }
+        1 => AnalyticsRequest::Poll { id: r.u64()? },
+        2 => AnalyticsRequest::Fetch { id: r.u64()?, top_k: r.u32()? },
+        3 => AnalyticsRequest::Cancel { id: r.u64()? },
+        other => return Err(SnbError::Codec(format!("unknown analytics op {other}"))),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+fn state_tag(state: &JobState) -> u8 {
+    match state {
+        JobState::Queued => 0,
+        JobState::Running { .. } => 1,
+        JobState::Done => 2,
+        JobState::Failed(_) => 3,
+        JobState::Cancelled => 4,
+    }
+}
+
+/// Encode an analytics response (the payload of the Response frame
+/// answering an Analytics request).
+pub fn encode_response(resp: &AnalyticsResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match resp {
+        AnalyticsResponse::Submitted { id } => {
+            out.push(0);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        AnalyticsResponse::Status(st) => {
+            out.push(1);
+            out.extend_from_slice(&st.id.to_le_bytes());
+            out.push(st.kind_tag);
+            out.push(state_tag(&st.state));
+            let (iteration, delta) = match st.state {
+                JobState::Running { iteration, delta } => (iteration, delta),
+                _ => (0, 0.0),
+            };
+            out.extend_from_slice(&iteration.to_le_bytes());
+            out.extend_from_slice(&delta.to_bits().to_le_bytes());
+            out.extend_from_slice(&st.epoch.to_le_bytes());
+            out.extend_from_slice(&st.n_rows.to_le_bytes());
+            out.extend_from_slice(&st.elapsed_ms.to_le_bytes());
+            let msg = match &st.state {
+                JobState::Failed(m) => m.as_str(),
+                _ => "",
+            };
+            out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            out.extend_from_slice(msg.as_bytes());
+        }
+        AnalyticsResponse::Result(output) => {
+            out.push(2);
+            match output {
+                JobOutput::PageRank { iterations, delta, ranks } => {
+                    out.push(0);
+                    out.extend_from_slice(&iterations.to_le_bytes());
+                    out.extend_from_slice(&delta.to_bits().to_le_bytes());
+                    out.extend_from_slice(&(ranks.len() as u32).to_le_bytes());
+                    for (v, r) in ranks {
+                        out.extend_from_slice(&v.raw().to_le_bytes());
+                        out.extend_from_slice(&r.to_bits().to_le_bytes());
+                    }
+                }
+                JobOutput::Wcc { components, assignment } => {
+                    out.push(1);
+                    out.extend_from_slice(&components.to_le_bytes());
+                    out.extend_from_slice(&(assignment.len() as u32).to_le_bytes());
+                    for (v, c) in assignment {
+                        out.extend_from_slice(&v.raw().to_le_bytes());
+                        out.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+                JobOutput::Triangles { total, counts } => {
+                    out.push(2);
+                    out.extend_from_slice(&total.to_le_bytes());
+                    out.extend_from_slice(&(counts.len() as u32).to_le_bytes());
+                    for (v, c) in counts {
+                        out.extend_from_slice(&v.raw().to_le_bytes());
+                        out.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+            }
+        }
+        AnalyticsResponse::Cancelled { was_live } => {
+            out.push(3);
+            out.push(u8::from(*was_live));
+        }
+    }
+    out
+}
+
+/// Decode an analytics response payload.
+pub fn decode_response(data: &[u8]) -> Result<AnalyticsResponse> {
+    let mut r = Reader(data);
+    let resp = match r.u8()? {
+        0 => AnalyticsResponse::Submitted { id: r.u64()? },
+        1 => {
+            let id = r.u64()?;
+            let kind_tag = r.u8()?;
+            let state_tag = r.u8()?;
+            let iteration = r.u32()?;
+            let delta = r.f64()?;
+            let epoch = r.u64()?;
+            let n_rows = r.u64()?;
+            let elapsed_ms = r.u64()?;
+            let msg_len = r.u32()? as usize;
+            let msg = String::from_utf8(r.take(msg_len)?.to_vec())
+                .map_err(|_| SnbError::Codec("bad utf-8 in job error".into()))?;
+            let state = match state_tag {
+                0 => JobState::Queued,
+                1 => JobState::Running { iteration, delta },
+                2 => JobState::Done,
+                3 => JobState::Failed(msg),
+                4 => JobState::Cancelled,
+                other => return Err(SnbError::Codec(format!("unknown job state {other}"))),
+            };
+            AnalyticsResponse::Status(JobStatus { id, kind_tag, state, epoch, n_rows, elapsed_ms })
+        }
+        2 => {
+            let output = match r.u8()? {
+                0 => {
+                    let iterations = r.u32()?;
+                    let delta = r.f64()?;
+                    let n = r.u32()? as usize;
+                    let mut ranks = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        ranks.push((Vid::from_raw(r.u64()?)?, r.f64()?));
+                    }
+                    JobOutput::PageRank { iterations, delta, ranks }
+                }
+                1 => {
+                    let components = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut assignment = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        assignment.push((Vid::from_raw(r.u64()?)?, r.u64()?));
+                    }
+                    JobOutput::Wcc { components, assignment }
+                }
+                2 => {
+                    let total = r.u64()?;
+                    let n = r.u32()? as usize;
+                    let mut counts = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        counts.push((Vid::from_raw(r.u64()?)?, r.u64()?));
+                    }
+                    JobOutput::Triangles { total, counts }
+                }
+                other => return Err(SnbError::Codec(format!("unknown result kind {other}"))),
+            };
+            AnalyticsResponse::Result(output)
+        }
+        3 => AnalyticsResponse::Cancelled { was_live: r.u8()? != 0 },
+        other => return Err(SnbError::Codec(format!("unknown analytics response {other}"))),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+/// Decode + execute + encode: the full server-side handling of one
+/// Analytics frame payload. Every operation here is a cheap control
+/// action (enqueue, state read, result clone, flag flip) — the kernel
+/// itself runs on the manager's dedicated pool — so transports may call
+/// this directly on an I/O thread, exactly like frontier batches.
+pub fn handle_analytics(jobs: &JobManager, payload: &[u8]) -> Result<Vec<u8>> {
+    let req = decode_request(payload)
+        .map_err(|e| SnbError::Codec(format!("bad analytics request: {e}")))?;
+    let resp = match req {
+        AnalyticsRequest::Submit(spec) => {
+            AnalyticsResponse::Submitted { id: jobs.submit(spec)? }
+        }
+        AnalyticsRequest::Poll { id } => AnalyticsResponse::Status(jobs.poll(id)?),
+        AnalyticsRequest::Fetch { id, top_k } => {
+            let k = if top_k == 0 { None } else { Some(top_k as usize) };
+            AnalyticsResponse::Result(jobs.fetch(id, k)?)
+        }
+        AnalyticsRequest::Cancel { id } => {
+            AnalyticsResponse::Cancelled { was_live: jobs.cancel(id)? }
+        }
+    };
+    Ok(encode_response(&resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::VertexLabel;
+
+    fn p(id: u64) -> Vid {
+        Vid::new(VertexLabel::Person, id)
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let mut paced = JobSpec::pagerank(PageRankConfig {
+            damping: 0.9,
+            epsilon: 1e-6,
+            max_iters: 42,
+        });
+        paced.label = Some(EdgeLabel::Knows);
+        paced.workers = 3;
+        paced.pacing = Duration::from_millis(15);
+        for req in [
+            AnalyticsRequest::Submit(paced),
+            AnalyticsRequest::Submit(JobSpec::wcc()),
+            AnalyticsRequest::Submit(JobSpec::triangles()),
+            AnalyticsRequest::Poll { id: 7 },
+            AnalyticsRequest::Fetch { id: u64::MAX, top_k: 10 },
+            AnalyticsRequest::Cancel { id: 1 },
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            AnalyticsResponse::Submitted { id: 9 },
+            AnalyticsResponse::Status(JobStatus {
+                id: 9,
+                kind_tag: 0,
+                state: JobState::Running { iteration: 4, delta: 0.125 },
+                epoch: 77,
+                n_rows: 1000,
+                elapsed_ms: 12,
+            }),
+            AnalyticsResponse::Status(JobStatus {
+                id: 10,
+                kind_tag: 1,
+                state: JobState::Failed("boom".into()),
+                epoch: 0,
+                n_rows: 0,
+                elapsed_ms: 1,
+            }),
+            AnalyticsResponse::Result(JobOutput::PageRank {
+                iterations: 12,
+                delta: 1e-10,
+                ranks: vec![(p(1), 0.5), (p(2), 0.25)],
+            }),
+            AnalyticsResponse::Result(JobOutput::Wcc {
+                components: 2,
+                assignment: vec![(p(1), p(1).raw()), (p(2), p(1).raw())],
+            }),
+            AnalyticsResponse::Result(JobOutput::Triangles {
+                total: 4,
+                counts: vec![(p(3), 3)],
+            }),
+            AnalyticsResponse::Cancelled { was_live: true },
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_codec_errors() {
+        assert!(matches!(decode_request(&[]), Err(SnbError::Codec(_))));
+        assert!(matches!(decode_request(&[9]), Err(SnbError::Codec(_))), "unknown op");
+        assert!(matches!(decode_request(&[0, 9]), Err(SnbError::Codec(_))), "unknown kind");
+        let good = encode_request(&AnalyticsRequest::Poll { id: 3 });
+        for cut in 1..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(matches!(decode_request(&long), Err(SnbError::Codec(_))), "trailing bytes");
+        // Out-of-range PageRank parameters are rejected at decode time.
+        let mut bad = encode_request(&AnalyticsRequest::Submit(JobSpec::pagerank(
+            PageRankConfig::default(),
+        )));
+        // Overwrite damping bits with 2.0 (offset: op(1)+kind(1)+label(1)+workers(1)+pacing(4)).
+        bad[8..16].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(decode_request(&bad), Err(SnbError::Codec(_))));
+        assert!(matches!(decode_response(&[42]), Err(SnbError::Codec(_))));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the analytics kernels against naive oracles.
+//!
+//! Graphs are random directed edge lists (self-loops and duplicate
+//! edges included on purpose — the kernels must tolerate both). The
+//! oracles are deliberately dumb: BFS over an undirected adjacency map
+//! for WCC, triple-nested membership checks for triangles.
+
+use proptest::prelude::*;
+use snb_analytics::kernels::{self, KernelCtl, PageRankConfig};
+use snb_core::snapshot::{CsrBuilder, CsrSnapshot};
+use snb_core::{EdgeLabel, PropertyMap, VertexLabel, Vid};
+use std::collections::BTreeSet;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Symmetric CSR over `n` Person rows from a directed edge list.
+fn snap(n: usize, edges: &[(u32, u32)]) -> CsrSnapshot {
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut inn: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        out[a as usize].push(b);
+        inn[b as usize].push(a);
+    }
+    let mut bld = CsrBuilder::new(1, n, false);
+    for row in 0..n {
+        bld.push_row(
+            Vid::new(VertexLabel::Person, row as u64 + 1),
+            Arc::new(PropertyMap::from_pairs(&[])),
+        );
+        for &t in &out[row] {
+            bld.push_out(EdgeLabel::Knows, t, None);
+        }
+        for &s in &inn[row] {
+            bld.push_in(EdgeLabel::Knows, s);
+        }
+    }
+    bld.finish()
+}
+
+/// Undirected, deduplicated, self-loop-free adjacency sets.
+fn undirected_adj(n: usize, edges: &[(u32, u32)]) -> Vec<BTreeSet<u32>> {
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for &(a, b) in edges {
+        if a != b {
+            adj[a as usize].insert(b);
+            adj[b as usize].insert(a);
+        }
+    }
+    adj
+}
+
+/// Oracle: component id per row = smallest row reachable over
+/// undirected edges, found by plain BFS.
+fn wcc_oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let adj = undirected_adj(n, edges);
+    let mut comp = vec![u32::MAX; n];
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        let mut queue = vec![start as u32];
+        comp[start] = start as u32;
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v as usize] {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = start as u32;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Oracle: per-vertex triangle membership by membership testing.
+fn triangles_oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u64> {
+    let adj = undirected_adj(n, edges);
+    let mut tri = vec![0u64; n];
+    for u in 0..n {
+        let nbrs: Vec<u32> = adj[u].iter().copied().collect();
+        for (i, &v) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                if adj[v as usize].contains(&w) {
+                    tri[u] += 1;
+                }
+            }
+        }
+    }
+    tri
+}
+
+/// Map raw (src, dst) pairs onto 0..n. Using modulo keeps the strategy
+/// independent of `n`, which the shim's tuple strategies require.
+fn clamp_edges(n: u32, raw: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    raw.iter().map(|&(a, b)| (a % n, b % n)).collect()
+}
+
+proptest! {
+    #[test]
+    fn wcc_matches_bfs_oracle(
+        n in 1..48u32,
+        raw in proptest::collection::vec((0..1024u32, 0..1024u32), 0..160)
+    ) {
+        let edges = clamp_edges(n, &raw);
+        let s = snap(n as usize, &edges);
+        let cancel = AtomicBool::new(false);
+        let labels = kernels::wcc(&s, Some(EdgeLabel::Knows), 3, &KernelCtl::noop(&cancel))
+            .expect("not cancelled");
+        prop_assert_eq!(labels, wcc_oracle(n as usize, &edges));
+    }
+
+    #[test]
+    fn triangles_match_naive_oracle(
+        n in 1..32u32,
+        raw in proptest::collection::vec((0..1024u32, 0..1024u32), 0..120)
+    ) {
+        let edges = clamp_edges(n, &raw);
+        let s = snap(n as usize, &edges);
+        let cancel = AtomicBool::new(false);
+        let counts = kernels::triangles(&s, Some(EdgeLabel::Knows), 2, &KernelCtl::noop(&cancel))
+            .expect("not cancelled");
+        let oracle = triangles_oracle(n as usize, &edges);
+        prop_assert_eq!(&counts, &oracle);
+        // Each triangle is seen at exactly three corners.
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total % 3, 0);
+    }
+
+    #[test]
+    fn pagerank_mass_conserved_and_worker_invariant(
+        n in 1..40u32,
+        raw in proptest::collection::vec((0..1024u32, 0..1024u32), 0..120)
+    ) {
+        let edges = clamp_edges(n, &raw);
+        let s = snap(n as usize, &edges);
+        let cfg = PageRankConfig { damping: 0.85, epsilon: 1e-12, max_iters: 60 };
+        let cancel = AtomicBool::new(false);
+        let baseline = kernels::pagerank(&s, Some(EdgeLabel::Knows), &cfg, 1, &KernelCtl::noop(&cancel))
+            .expect("not cancelled");
+        // Dangling redistribution keeps total rank mass at exactly 1.
+        let sum: f64 = baseline.ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "rank mass {} drifted", sum);
+        prop_assert!(baseline.ranks.iter().all(|r| *r >= 0.0));
+        // Fixed morsel size + ordered reduction: bit-identical across
+        // worker counts, not merely close.
+        for workers in [2usize, 5] {
+            let alt = kernels::pagerank(&s, Some(EdgeLabel::Knows), &cfg, workers, &KernelCtl::noop(&cancel))
+                .expect("not cancelled");
+            prop_assert_eq!(&alt.ranks, &baseline.ranks, "workers={}", workers);
+            prop_assert_eq!(alt.iterations, baseline.iterations);
+        }
+    }
+}

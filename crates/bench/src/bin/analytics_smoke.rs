@@ -1,0 +1,263 @@
+//! Analytics-tier smoke check for CI: boots a live server (epoll
+//! reactor), keeps an ingest thread mutating the store the whole time,
+//! and drives the full remote job lifecycle over Analytics frames:
+//!
+//! * submit a paced PageRank job and observe its `Running` state
+//!   advance across at least two distinct iterations before `Done`,
+//! * fetch its top-k (descending, k-truncated),
+//! * cancel a second long-running job mid-flight and verify it lands
+//!   in `Cancelled` (and that fetching it answers `Conflict`),
+//! * run a WCC job to completion under the same concurrent ingest,
+//! * after quiescing ingest, run PageRank / WCC / triangle jobs over
+//!   the published snapshot and verify the remote results are
+//!   *identical* to the in-process kernels over the same pinned
+//!   snapshot (the kernels are deterministic across worker counts, so
+//!   equality is exact — bit-for-bit for ranks).
+//!
+//! Usage: `cargo run --release --bin analytics_smoke`
+
+use snb_analytics::{
+    kernels, wcc_assignment, JobId, JobOutput, JobSpec, JobState, JobStatus, KernelCtl,
+    PageRankConfig,
+};
+use snb_core::{EdgeLabel, GraphBackend, SnbError};
+use snb_datagen::{generate, GeneratorConfig};
+use snb_graph_native::NativeGraphStore;
+use snb_gremlin::{GremlinServer, ServerConfig};
+use snb_net::{AnalyticsClient, ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
+use std::collections::BTreeSet;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait_terminal(client: &AnalyticsClient, id: JobId) -> (JobStatus, BTreeSet<u32>) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut iterations = BTreeSet::new();
+    loop {
+        let st = client.poll_job(id).expect("poll");
+        if let JobState::Running { iteration, .. } = st.state {
+            if iteration > 0 {
+                iterations.insert(iteration);
+            }
+        }
+        if st.state.is_terminal() {
+            return (st, iterations);
+        }
+        assert!(Instant::now() < deadline, "job {id} did not finish: {st:?}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() {
+    let mut cfg = GeneratorConfig::tiny();
+    cfg.persons = 300;
+    let data = generate(&cfg);
+    assert!(!data.updates.is_empty(), "generator produced an update stream");
+
+    let store = Arc::new(NativeGraphStore::new());
+    for v in &data.snapshot.vertices {
+        store.add_vertex(v.label, v.id, &v.props).expect("load vertex");
+    }
+    for e in &data.snapshot.edges {
+        store.add_edge(e.label, e.src, e.dst, &e.props).expect("load edge");
+    }
+
+    let backend: Arc<dyn GraphBackend> = Arc::clone(&store) as Arc<dyn GraphBackend>;
+    let gremlin = GremlinServer::start(Arc::clone(&backend), ServerConfig::default());
+    let server = NetServer::start(
+        gremlin,
+        NetServerConfig::default().with_io_model(IoModel::Reactor),
+    )
+    .expect("boot server");
+    let pool =
+        NetPool::connect(server.local_addr(), ClientConfig::default()).expect("connect pool");
+    let client = AnalyticsClient::new(&pool);
+
+    // Ingest keeps mutating the store while the first wave of jobs
+    // runs: snapshot pinning must isolate the kernels from it.
+    let ingest_store = Arc::clone(&store);
+    let updates = data.updates.clone();
+    let ingest = std::thread::spawn(move || {
+        let mut applied = 0u64;
+        for op in &updates {
+            if let Some(v) = &op.new_vertex {
+                match ingest_store.add_vertex(v.label, v.id, &v.props) {
+                    Ok(_) | Err(SnbError::Conflict(_)) => {}
+                    Err(e) => panic!("ingest vertex: {e}"),
+                }
+            }
+            for e in &op.new_edges {
+                match ingest_store.add_edge(e.label, e.src, e.dst, &e.props) {
+                    Ok(_) | Err(SnbError::Conflict(_)) => {}
+                    Err(e) => panic!("ingest edge: {e}"),
+                }
+            }
+            applied += 1;
+            if applied % 64 == 0 {
+                // Stretch the ingest window across the paced jobs.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        applied
+    });
+
+    // Paced PageRank under ingest: progress must be observable.
+    let paced = JobSpec {
+        kind: snb_analytics::JobKind::PageRank(PageRankConfig {
+            damping: 0.85,
+            epsilon: 0.0,
+            max_iters: 200,
+        }),
+        label: Some(EdgeLabel::Knows),
+        workers: 2,
+        pacing: Duration::from_millis(3),
+    };
+    let pr_id = client.submit_job(paced.clone()).expect("submit pagerank");
+    // A second long job, queued behind the first (1 runner), to cancel
+    // mid-run.
+    let victim = JobSpec {
+        kind: snb_analytics::JobKind::PageRank(PageRankConfig {
+            damping: 0.85,
+            epsilon: 0.0,
+            max_iters: 1_000_000,
+        }),
+        pacing: Duration::from_millis(5),
+        ..paced.clone()
+    };
+    let victim_id = client.submit_job(victim).expect("submit victim");
+
+    let (st, iters) = wait_terminal(&client, pr_id);
+    assert_eq!(st.state, JobState::Done, "paced pagerank finished");
+    assert!(
+        iters.len() >= 2,
+        "observed >=2 distinct advancing iterations, saw {iters:?}"
+    );
+    assert!(st.n_rows > 0, "job pinned a non-empty snapshot");
+    let top = match client.fetch_result(pr_id, Some(10)).expect("fetch top-k") {
+        JobOutput::PageRank { iterations, ranks, .. } => {
+            // Epsilon 0 runs until the ranks are bit-exactly stable (or
+            // the cap) — either way, well past the first iteration.
+            assert!((2..=200).contains(&iterations), "iterations {iterations}");
+            assert!(ranks.len() <= 10, "top-k truncated");
+            assert!(ranks.windows(2).all(|w| w[0].1 >= w[1].1), "descending");
+            assert!(ranks.iter().all(|&(_, r)| r > 0.0), "positive ranks");
+            ranks.len()
+        }
+        other => panic!("expected PageRank output, got {other:?}"),
+    };
+
+    // Cancel the victim once it is genuinely running.
+    let run_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let st = client.poll_job(victim_id).expect("poll victim");
+        if matches!(st.state, JobState::Running { .. }) {
+            break;
+        }
+        assert!(
+            !st.state.is_terminal(),
+            "victim terminated before cancel: {st:?}"
+        );
+        assert!(Instant::now() < run_deadline, "victim never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(client.cancel_job(victim_id).expect("cancel"), "victim was live");
+    let (st, _) = wait_terminal(&client, victim_id);
+    assert_eq!(st.state, JobState::Cancelled, "victim cancelled");
+    match client.fetch_result(victim_id, None) {
+        Err(SnbError::Conflict(_)) => {}
+        other => panic!("fetching a cancelled job must Conflict, got {other:?}"),
+    }
+
+    // WCC under the same concurrent ingest.
+    let wcc_id = client.submit_job(JobSpec::wcc()).expect("submit wcc");
+    let (st, _) = wait_terminal(&client, wcc_id);
+    assert_eq!(st.state, JobState::Done, "wcc finished");
+    let live_rows = st.n_rows;
+    match client.fetch_result(wcc_id, None).expect("fetch wcc") {
+        JobOutput::Wcc { components, assignment } => {
+            assert_eq!(assignment.len() as u64, live_rows, "one assignment per row");
+            assert!(components >= 1);
+        }
+        other => panic!("expected Wcc output, got {other:?}"),
+    }
+
+    let applied = ingest.join().expect("ingest thread");
+    assert_eq!(applied, data.updates.len() as u64);
+
+    // Quiesced verification: publish a current fold, pin it in-process,
+    // and require the remote jobs (which pin the same published
+    // snapshot) to reproduce the in-process kernels exactly.
+    store.compact_now();
+    let snap = backend.pin_analytics_snapshot().expect("published snapshot");
+    let cancel = AtomicBool::new(false);
+    let ctl = KernelCtl::noop(&cancel);
+    let pr_cfg = PageRankConfig { damping: 0.85, epsilon: 1e-12, max_iters: 60 };
+
+    let want_pr = kernels::pagerank(&snap, None, &pr_cfg, 2, &ctl).unwrap();
+    let id = client
+        .submit_job(JobSpec::pagerank(pr_cfg))
+        .expect("submit verify pagerank");
+    let (st, _) = wait_terminal(&client, id);
+    assert_eq!(st.state, JobState::Done);
+    assert_eq!(st.epoch, snap.epoch(), "job pinned the published epoch");
+    match client.fetch_result(id, None).expect("fetch verify pagerank") {
+        JobOutput::PageRank { iterations, delta, ranks } => {
+            assert_eq!(iterations, want_pr.iterations);
+            assert_eq!(delta.to_bits(), want_pr.delta.to_bits(), "deterministic delta");
+            assert_eq!(ranks.len(), snap.n_rows());
+            for (v, r) in ranks {
+                let row = (0..snap.n_rows() as u32)
+                    .find(|&row| snap.vid_of(row) == v)
+                    .expect("vid in snapshot");
+                assert_eq!(
+                    r.to_bits(),
+                    want_pr.ranks[row as usize].to_bits(),
+                    "rank for {v} is bit-identical"
+                );
+            }
+        }
+        other => panic!("expected PageRank output, got {other:?}"),
+    }
+
+    let want_labels = kernels::wcc(&snap, None, 2, &ctl).unwrap();
+    let want_wcc = wcc_assignment(&snap, &want_labels);
+    let id = client.submit_job(JobSpec::wcc()).expect("submit verify wcc");
+    let (st, _) = wait_terminal(&client, id);
+    assert_eq!(st.state, JobState::Done);
+    match client.fetch_result(id, None).expect("fetch verify wcc") {
+        JobOutput::Wcc { components, assignment } => {
+            assert_eq!((components, assignment), want_wcc, "wcc matches in-process kernel");
+        }
+        other => panic!("expected Wcc output, got {other:?}"),
+    }
+
+    let want_tri = kernels::triangles(&snap, None, 2, &ctl).unwrap();
+    let want_total: u64 = want_tri.iter().sum::<u64>() / 3;
+    let id = client.submit_job(JobSpec::triangles()).expect("submit verify triangles");
+    let (st, _) = wait_terminal(&client, id);
+    assert_eq!(st.state, JobState::Done);
+    let total = match client.fetch_result(id, None).expect("fetch verify triangles") {
+        JobOutput::Triangles { total, counts } => {
+            assert_eq!(total, want_total, "triangle total matches in-process kernel");
+            for (v, c) in counts {
+                let row = (0..snap.n_rows() as u32)
+                    .find(|&row| snap.vid_of(row) == v)
+                    .expect("vid in snapshot");
+                assert_eq!(c, want_tri[row as usize], "triangle count for {v}");
+            }
+            total
+        }
+        other => panic!("expected Triangles output, got {other:?}"),
+    };
+
+    println!(
+        "analytics_smoke OK: paced pagerank observed {} distinct iterations under \
+         {} concurrent updates (top-{top} fetched), victim job cancelled mid-run, \
+         wcc ran live over {live_rows} rows; quiesced pagerank/wcc/triangle jobs \
+         (epoch {}, {} rows, {total} triangles) match the in-process kernels exactly",
+        iters.len(),
+        applied,
+        snap.epoch(),
+        snap.n_rows(),
+    );
+}

@@ -8,6 +8,7 @@
 //! Usage: `cargo run --release --bin bench_json [out.json]`
 //! (`SNB_BENCH_SECS` scales the per-metric measurement budget.)
 
+use snb_analytics::{AnalyticsConfig, JobId, JobKind, JobOutput, JobSpec, JobState, PageRankConfig};
 use snb_bench::env_u64;
 use snb_core::metrics::LatencyStats;
 use snb_core::{Direction, EdgeLabel, GraphBackend, PropKey, Result, Value, VertexLabel, Vid};
@@ -19,7 +20,8 @@ use snb_driver::router::ShardRouter;
 use snb_driver::{run_ingest, IngestConfig};
 use snb_graph_native::NativeGraphStore;
 use snb_gremlin::{execute_with, ExecConfig, GremlinServer, ServerConfig, Traversal};
-use snb_net::{ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
+use snb_net::{AnalyticsClient, ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -669,6 +671,184 @@ fn main() {
          shortest_path {trav_sp_locked:.0}/s"
     );
 
+    // --- Analytics tier: snapshot-pinned jobs next to live reads -----
+    // A server over the traversal-scale store, 2 analytics runners so a
+    // second job can be cancelled genuinely mid-run. Jobs arrive over
+    // Analytics frames like any remote client's would.
+    let ana_store = Arc::new(native_store(&trav_data));
+    ana_store.compact_now();
+    let ana_gremlin = GremlinServer::start(
+        Arc::clone(&ana_store) as Arc<dyn GraphBackend>,
+        ServerConfig {
+            analytics: AnalyticsConfig { runners: 2, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let ana_server = NetServer::start(
+        ana_gremlin,
+        NetServerConfig::default().with_io_model(IoModel::Reactor),
+    )
+    .expect("bind analytics bench server");
+    let ana_pool = NetPool::connect(ana_server.local_addr(), ClientConfig::default())
+        .expect("connect analytics pool");
+    let ana_client = AnalyticsClient::new(&ana_pool);
+    let wait_done = |id: JobId| -> snb_analytics::JobStatus {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            let st = ana_client.poll_job(id).expect("poll job");
+            if st.state.is_terminal() {
+                assert_eq!(st.state, JobState::Done, "job {id} failed: {st:?}");
+                return st;
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck: {st:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    // Full-speed PageRank: iterations/second through the whole tier
+    // (submit → snapshot pin → kernel → poll), and the Done job the
+    // top-k fetch below reads from.
+    let pr_iters_target = 50u32;
+    let pr_id = ana_client
+        .submit_job(JobSpec {
+            kind: JobKind::PageRank(PageRankConfig {
+                damping: 0.85,
+                epsilon: 0.0,
+                max_iters: pr_iters_target,
+            }),
+            label: None,
+            workers: 2,
+            pacing: Duration::ZERO,
+        })
+        .expect("submit pagerank");
+    let pr_st = wait_done(pr_id);
+    let (pr_iterations, top_k) = match ana_client
+        .fetch_result(pr_id, Some(5))
+        .expect("fetch pagerank top-k")
+    {
+        JobOutput::PageRank { iterations, ranks, .. } => {
+            assert!(ranks.windows(2).all(|w| w[0].1 >= w[1].1), "top-k descending");
+            (iterations, ranks.len())
+        }
+        other => panic!("expected PageRank output, got {other:?}"),
+    };
+    let pagerank_iters_per_sec =
+        pr_iterations as f64 / (pr_st.elapsed_ms.max(1) as f64 / 1000.0);
+    // WCC wall time over the same snapshot.
+    let wcc_id = ana_client.submit_job(JobSpec::wcc()).expect("submit wcc");
+    let wcc_wall_ms = wait_done(wcc_id).elapsed_ms;
+    eprintln!(
+        "[bench] analytics: pagerank {pr_iterations} iters in {}ms \
+         ({pagerank_iters_per_sec:.1} iters/s), wcc {wcc_wall_ms}ms over {} rows",
+        pr_st.elapsed_ms, pr_st.n_rows
+    );
+    // Coexistence: 8 paced readers against the same store while a paced
+    // PageRank job holds a snapshot and burns its worker budget; a
+    // second job is cancelled mid-run along the way. The gate is read
+    // retention vs the read-only baseline.
+    let ana_persons: Vec<Vid> = ana_store.vertices_by_label(VertexLabel::Person).unwrap();
+    let ana_read_only = reader_scaling(&ana_store, &ana_persons, 8, scale_secs);
+    let long_job = |pacing_ms: u64| JobSpec {
+        kind: JobKind::PageRank(PageRankConfig {
+            damping: 0.85,
+            // Runs until cancelled (or bit-exact convergence, far
+            // beyond the measurement window on this graph).
+            epsilon: 0.0,
+            max_iters: u32::MAX,
+        }),
+        label: None,
+        workers: 2,
+        pacing: Duration::from_millis(pacing_ms),
+    };
+    let job_a = ana_client.submit_job(long_job(1)).expect("submit coexistence job");
+    // Wait for it to actually run before measuring.
+    let run_deadline = Instant::now() + Duration::from_secs(30);
+    while !matches!(
+        ana_client.poll_job(job_a).expect("poll").state,
+        JobState::Running { .. }
+    ) {
+        assert!(Instant::now() < run_deadline, "coexistence job never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut progress: BTreeSet<u32> = BTreeSet::new();
+    let mut cancelled_mid_run = false;
+    let ana_reads = AtomicU64::new(0);
+    let coexist_t0 = Instant::now();
+    let coexist_budget = Duration::from_secs_f64(scale_secs);
+    std::thread::scope(|scope| {
+        for r in 0..8usize {
+            let store = &*ana_store;
+            let persons = &ana_persons;
+            let ana_reads = &ana_reads;
+            scope.spawn(move || {
+                let pacing = read_pacing();
+                let mut buf = Vec::new();
+                let mut i = r;
+                while coexist_t0.elapsed() < coexist_budget {
+                    let v = persons[i % persons.len()];
+                    let _ = store.vertex_prop(v, PropKey::FirstName);
+                    buf.clear();
+                    let _ = store.neighbors(v, Direction::Both, Some(EdgeLabel::Knows), &mut buf);
+                    ana_reads.fetch_add(2, Ordering::Relaxed);
+                    i = i.wrapping_add(7);
+                    if !pacing.is_zero() {
+                        std::thread::sleep(pacing);
+                    }
+                }
+            });
+        }
+        // Main thread: poll job A for progress, cancel job B mid-run.
+        let job_b = ana_client.submit_job(long_job(2)).expect("submit victim job");
+        let mut b_cancelled = false;
+        while coexist_t0.elapsed() < coexist_budget {
+            if let JobState::Running { iteration, .. } =
+                ana_client.poll_job(job_a).expect("poll progress").state
+            {
+                if iteration > 0 {
+                    progress.insert(iteration);
+                }
+            }
+            if !b_cancelled
+                && matches!(
+                    ana_client.poll_job(job_b).expect("poll victim").state,
+                    JobState::Running { .. }
+                )
+            {
+                b_cancelled = ana_client.cancel_job(job_b).expect("cancel victim");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if !b_cancelled {
+            // Window too short for B to get a runner slot: cancel from
+            // the queue (still counts as live).
+            b_cancelled = ana_client.cancel_job(job_b).expect("cancel queued victim");
+        }
+        let b_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let st = ana_client.poll_job(job_b).expect("poll victim terminal");
+            if st.state.is_terminal() {
+                cancelled_mid_run = b_cancelled && st.state == JobState::Cancelled;
+                break;
+            }
+            assert!(Instant::now() < b_deadline, "victim never terminated: {st:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    let reads_during_pr =
+        ana_reads.load(Ordering::Relaxed) as f64 / coexist_t0.elapsed().as_secs_f64();
+    let _ = ana_client.cancel_job(job_a).expect("cancel coexistence job");
+    let analytics_retention =
+        if ana_read_only > 0.0 { reads_during_pr / ana_read_only } else { 0.0 };
+    eprintln!(
+        "[bench] analytics coexistence: {reads_during_pr:.0} reads/s during pagerank \
+         (baseline {ana_read_only:.0}, retention {analytics_retention:.3}), \
+         {} progress polls, victim cancelled mid-run: {cancelled_mid_run}",
+        progress.len()
+    );
+    drop(ana_pool);
+    drop(ana_server);
+    let ana_rows = pr_st.n_rows;
+    let progress_polls = progress.len();
+
     // --- The micro_ops suite per engine ------------------------------
     let pct = |s: &LatencyStats| {
         format!(
@@ -718,7 +898,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"analytics\": {{\n    \"snapshot_rows\": {ana_rows},\n    \"pagerank_iterations\": {pr_iterations},\n    \"pagerank_iterations_per_sec\": {pagerank_iters_per_sec:.1},\n    \"pagerank_top_k\": {top_k},\n    \"wcc_wall_ms\": {wcc_wall_ms},\n    \"coexistence\": {{\"read_only_reads_per_sec\": {ana_read_only:.1}, \"reads_per_sec_during_pagerank\": {reads_during_pr:.1}, \"read_retention\": {analytics_retention:.4}, \"progress_polls\": {progress_polls}, \"cancelled_mid_run\": {cancelled_mid_run}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),

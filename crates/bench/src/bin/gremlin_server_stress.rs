@@ -33,7 +33,7 @@ fn main() {
     // Paper-era server defaults: small worker pool, bounded queue.
     let server = GremlinServer::start(
         Arc::clone(&store),
-        ServerConfig { workers: 8, queue_capacity: 64, request_timeout: Duration::from_secs(5) },
+        ServerConfig { workers: 8, queue_capacity: 64, request_timeout: Duration::from_secs(5) , ..Default::default() },
     );
     let per_client = env_u64("SNB_STRESS_REQUESTS", 10);
     let mut table = TextTable::new(["Clients", "OK", "Overloaded", "Other errors"]);

@@ -100,6 +100,17 @@ pub trait GraphBackend: Send + Sync {
         None
     }
 
+    /// Pin the *latest published* CSR snapshot, even if its epoch is
+    /// behind the current write sequence. Interactive reads must never
+    /// use this (it breaks read-your-writes); it exists for bulk
+    /// analytics, where a job pins one consistent epoch for its whole
+    /// lifetime and concurrent writes are deliberately not observed.
+    /// The default only serves exactly-fresh snapshots; engines with a
+    /// compactor override it to serve the newest fold under write churn.
+    fn pin_analytics_snapshot(&self) -> Option<std::sync::Arc<crate::snapshot::CsrSnapshot>> {
+        self.pin_snapshot()
+    }
+
     /// Apply a batch of writes in order, returning the number applied.
     ///
     /// The default is the obvious one-write-at-a-time loop; engines
@@ -176,5 +187,8 @@ impl<T: GraphBackend + ?Sized> GraphBackend for &T {
     }
     fn pin_snapshot(&self) -> Option<std::sync::Arc<crate::snapshot::CsrSnapshot>> {
         (**self).pin_snapshot()
+    }
+    fn pin_analytics_snapshot(&self) -> Option<std::sync::Arc<crate::snapshot::CsrSnapshot>> {
+        (**self).pin_analytics_snapshot()
     }
 }

@@ -1,0 +1,439 @@
+//! Sharded analytics: run the `snb-analytics` kernels per shard over
+//! each shard's *owned* vertices and merge the partial results into the
+//! single-store answer (DESIGN.md §5g).
+//!
+//! The placement invariants the router maintains (see
+//! [`crate::router`]) are what make exact merges possible:
+//!
+//! * every vertex's **full** adjacency — out and in — is local to its
+//!   owner shard (edges are stored on both endpoint owners), and
+//! * the non-owned endpoint of a cross-shard edge exists on the other
+//!   shard as a **ghost** row carrying the true global [`Vid`].
+//!
+//! So each merge reads every piece of graph state from exactly one
+//! shard — the owner's copy — and uses ghost rows only as connective
+//! tissue:
+//!
+//! * **PageRank** is push-based: each shard walks its owned rows'
+//!   out-adjacency (the authoritative copy) and pushes `rank/outdeg`
+//!   mass at global rank slots; mass addressed at a ghost lands in the
+//!   owner's slot because ghosts carry the owner's Vid. Every edge is
+//!   pushed exactly once, so the merged iteration is the single-store
+//!   power iteration up to float summation order.
+//! * **WCC** runs the min-label-propagation kernel per shard, then
+//!   folds the local components into a global union-find keyed by raw
+//!   Vid — a ghost unions its local component with the owner's, which
+//!   is exactly the cross-shard label exchange. Component ids are the
+//!   smallest member Vid raw, matching
+//!   [`wcc_assignment`](snb_analytics::wcc_assignment).
+//! * **Triangle counting** exchanges each owned vertex's sorted,
+//!   deduplicated undirected adjacency into one global table, then
+//!   counts closing wedges per owned vertex by sorted intersection —
+//!   the kernel's algorithm over the merged adjacency.
+//!
+//! Each call builds a fresh per-shard [`CsrSnapshot`] via
+//! [`snapshot_from_backend`] (epoch 0, "unversioned") rather than
+//! pinning each shard's latest *published* fold: published epochs
+//! advance independently per shard, and a mixed-epoch pin would hand
+//! the merge a view where a cross-shard edge exists on one endpoint's
+//! shard but not yet the other's. The scan is consistent as of the
+//! call on every shard at once. This is the verification/merge layer,
+//! not the serving path — single-node serving pins published snapshots
+//! through the [`JobManager`](snb_analytics::JobManager).
+
+use snb_analytics::{kernels, KernelCtl, PageRankConfig};
+use snb_core::ids::EDGE_LABELS;
+use snb_core::snapshot::{snapshot_from_backend, CsrSnapshot};
+use snb_core::{Direction, EdgeLabel, FastMap, Result, SnbError, Vid};
+use std::sync::atomic::AtomicBool;
+
+use crate::router::ShardRouter;
+
+/// Merged PageRank over a sharded deployment.
+#[derive(Debug, Clone)]
+pub struct MergedPageRank {
+    /// `(vid, rank)` over every owned vertex, sorted by descending
+    /// rank (vid-raw tiebreak) — the same order the job manager's
+    /// top-k fetch uses.
+    pub ranks: Vec<(Vid, f64)>,
+    /// Power iterations run.
+    pub iterations: u32,
+    /// Final L1 delta.
+    pub delta: f64,
+}
+
+/// One fresh snapshot per shard, consistent as of this call.
+fn shard_snapshots(router: &ShardRouter) -> Result<Vec<CsrSnapshot>> {
+    router
+        .shard_backends()
+        .into_iter()
+        .map(|b| snapshot_from_backend(b.as_ref(), 0))
+        .collect()
+}
+
+/// Push-based merged PageRank (see module docs): per-shard owned-row
+/// sweeps into global rank slots, dangling mass redistributed, same
+/// damping/epsilon/max-iteration semantics as the single-store kernel.
+pub fn sharded_pagerank(
+    router: &ShardRouter,
+    label: Option<EdgeLabel>,
+    cfg: &PageRankConfig,
+) -> Result<MergedPageRank> {
+    let map = router.shard_map();
+    let snaps = shard_snapshots(router)?;
+    // Global rank slots: one per owned vertex, across all shards.
+    let mut index: FastMap<u64, u32> = FastMap::default();
+    let mut vids: Vec<Vid> = Vec::new();
+    for (s, snap) in snaps.iter().enumerate() {
+        for row in 0..snap.n_rows() as u32 {
+            let v = snap.vid_of(row);
+            if map.shard_of(v) == s {
+                index.insert(v.raw(), vids.len() as u32);
+                vids.push(v);
+            }
+        }
+    }
+    let n = vids.len();
+    if n == 0 {
+        return Ok(MergedPageRank { ranks: Vec::new(), iterations: 0, delta: 0.0 });
+    }
+    // Per shard: every owned row's global slot and the global slots of
+    // its out-neighbours (the authoritative out-adjacency). A neighbour
+    // missing from the index means its owner shard never saw it — the
+    // placement invariant is broken, so fail loudly.
+    let mut plans: Vec<Vec<(u32, Vec<u32>)>> = Vec::with_capacity(snaps.len());
+    for (s, snap) in snaps.iter().enumerate() {
+        let mut rows = Vec::new();
+        for row in 0..snap.n_rows() as u32 {
+            let v = snap.vid_of(row);
+            if map.shard_of(v) != s {
+                continue; // ghost: its out-adjacency is pushed by its owner
+            }
+            let u = index[&v.raw()];
+            let mut targets = Vec::new();
+            let labels: &[EdgeLabel] = match &label {
+                Some(l) => std::slice::from_ref(l),
+                None => &EDGE_LABELS,
+            };
+            for &l in labels {
+                for &w in snap.range(row, Direction::Out, l) {
+                    let wv = snap.vid_of(w);
+                    let t = index.get(&wv.raw()).ok_or_else(|| {
+                        SnbError::Backend(format!("vertex {wv} has no owner-shard copy"))
+                    })?;
+                    targets.push(*t);
+                }
+            }
+            rows.push((u, targets));
+        }
+        plans.push(rows);
+    }
+    let d = cfg.damping;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut acc = vec![0.0f64; n];
+    let mut iterations = 0u32;
+    let mut delta = f64::INFINITY;
+    while iterations < cfg.max_iters.max(1) {
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        let mut dangling = 0.0f64;
+        for rows in &plans {
+            for (u, targets) in rows {
+                let r = rank[*u as usize];
+                if targets.is_empty() {
+                    dangling += r;
+                } else {
+                    let m = r / targets.len() as f64;
+                    for &t in targets {
+                        acc[t as usize] += m;
+                    }
+                }
+            }
+        }
+        let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
+        let mut dlt = 0.0;
+        for (slot, a) in rank.iter_mut().zip(&acc) {
+            let next = base + d * a;
+            dlt += (next - *slot).abs();
+            *slot = next;
+        }
+        iterations += 1;
+        delta = dlt;
+        if delta <= cfg.epsilon {
+            break;
+        }
+    }
+    let mut ranks: Vec<(Vid, f64)> =
+        vids.into_iter().zip(rank).collect();
+    ranks.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+    Ok(MergedPageRank { ranks, iterations, delta })
+}
+
+/// Union-find over raw Vids where the root of every set is its
+/// smallest member — so `find(v)` *is* the merged component id.
+struct MinUnionFind {
+    parent: FastMap<u64, u64>,
+}
+
+impl MinUnionFind {
+    fn new() -> MinUnionFind {
+        MinUnionFind { parent: FastMap::default() }
+    }
+
+    fn find(&mut self, x: u64) -> u64 {
+        let mut root = x;
+        while let Some(&p) = self.parent.get(&root) {
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        // Path compression.
+        let mut cur = x;
+        while cur != root {
+            let next = *self.parent.get(&cur).unwrap_or(&root);
+            self.parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u64, b: u64) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// Merged WCC: local label-propagation kernels + global union-find via
+/// ghosts. Returns `(component count, assignment)` with the exact
+/// shape, ids, and ordering of the single-store
+/// [`wcc_assignment`](snb_analytics::wcc_assignment).
+pub fn sharded_wcc(
+    router: &ShardRouter,
+    label: Option<EdgeLabel>,
+) -> Result<(u64, Vec<(Vid, u64)>)> {
+    let map = router.shard_map();
+    let snaps = shard_snapshots(router)?;
+    let cancel = AtomicBool::new(false);
+    let ctl = KernelCtl::noop(&cancel);
+    let mut uf = MinUnionFind::new();
+    for snap in &snaps {
+        let labels = kernels::wcc(snap, label, 2, &ctl)
+            .ok_or_else(|| SnbError::Backend("uncancellable WCC kernel cancelled".into()))?;
+        // Every row (owned or ghost) unions with its local component's
+        // representative; a ghost thereby stitches its shard-local
+        // component to the one its owner shard computes.
+        for (row, &l) in labels.iter().enumerate() {
+            uf.union(snap.vid_of(row as u32).raw(), snap.vid_of(l).raw());
+        }
+    }
+    let mut sizes: FastMap<u64, u64> = FastMap::default();
+    let mut rows: Vec<(Vid, u64)> = Vec::new();
+    for (s, snap) in snaps.iter().enumerate() {
+        for row in 0..snap.n_rows() as u32 {
+            let v = snap.vid_of(row);
+            if map.shard_of(v) != s {
+                continue; // ghost: counted on its owner
+            }
+            let comp = uf.find(v.raw());
+            *sizes.entry(comp).or_insert(0) += 1;
+            rows.push((v, comp));
+        }
+    }
+    rows.sort_by(|a, b| {
+        sizes[&b.1]
+            .cmp(&sizes[&a.1])
+            .then(a.1.cmp(&b.1))
+            .then(a.0.raw().cmp(&b.0.raw()))
+    });
+    Ok((sizes.len() as u64, rows))
+}
+
+/// |a ∩ b| for two sorted, deduplicated slices (linear merge).
+fn sorted_intersection_count(a: &[u64], b: &[u64]) -> u64 {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Merged per-vertex triangle counts: each owner shard contributes its
+/// owned vertices' sorted undirected adjacency (exchange), then wedges
+/// are closed by sorted intersection over the merged table. Returns
+/// `(global triangle count, per-vertex counts)` sorted by descending
+/// count (vid-raw tiebreak).
+pub fn sharded_triangles(
+    router: &ShardRouter,
+    label: Option<EdgeLabel>,
+) -> Result<(u64, Vec<(Vid, u64)>)> {
+    let map = router.shard_map();
+    let snaps = shard_snapshots(router)?;
+    // Exchange: owned adjacency as sorted raw-Vid lists.
+    let mut adj: FastMap<u64, Vec<u64>> = FastMap::default();
+    let mut owned: Vec<Vid> = Vec::new();
+    let mut buf: Vec<u32> = Vec::new();
+    for (s, snap) in snaps.iter().enumerate() {
+        for row in 0..snap.n_rows() as u32 {
+            let v = snap.vid_of(row);
+            if map.shard_of(v) != s {
+                continue;
+            }
+            buf.clear();
+            snap.neighbors_into(row, Direction::Both, label, &mut buf);
+            let mut list: Vec<u64> =
+                buf.iter().map(|&w| snap.vid_of(w).raw()).collect();
+            list.sort_unstable();
+            list.dedup();
+            list.retain(|&w| w != v.raw());
+            adj.insert(v.raw(), list);
+            owned.push(v);
+        }
+    }
+    let empty: Vec<u64> = Vec::new();
+    let mut tri: Vec<(Vid, u64)> = Vec::with_capacity(owned.len());
+    let mut total3 = 0u64;
+    for &v in &owned {
+        let a = &adj[&v.raw()];
+        let mut count = 0u64;
+        for (vi, &w) in a.iter().enumerate() {
+            let wa = adj.get(&w).unwrap_or(&empty);
+            count += sorted_intersection_count(&a[vi + 1..], wa);
+        }
+        total3 += count;
+        tri.push((v, count));
+    }
+    tri.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
+    // Each triangle is counted once at each of its three corners.
+    Ok((total3 / 3, tri))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::SutAdapter as _;
+    use snb_analytics::wcc_assignment;
+    use snb_core::GraphBackend;
+    use snb_datagen::Dataset;
+    use snb_graph_native::NativeGraphStore;
+
+    fn dataset() -> Dataset {
+        snb_datagen::generate(&snb_datagen::GeneratorConfig::tiny()).snapshot
+    }
+
+    /// The single-store oracle: the same dataset in one
+    /// `NativeGraphStore`, snapshotted the same way the merge layer
+    /// snapshots each shard.
+    fn single_snapshot(data: &Dataset) -> CsrSnapshot {
+        let s = NativeGraphStore::new();
+        for v in &data.vertices {
+            s.add_vertex(v.label, v.id, &v.props).unwrap();
+        }
+        for e in &data.edges {
+            s.add_edge(e.label, e.src, e.dst, &e.props).unwrap();
+        }
+        snapshot_from_backend(&s as &dyn GraphBackend, 0).unwrap()
+    }
+
+    fn loaded_router(data: &Dataset, shards: usize) -> ShardRouter {
+        let router = ShardRouter::native(shards).unwrap();
+        router.load(data).unwrap();
+        router
+    }
+
+    #[test]
+    fn sharded_pagerank_matches_the_single_store_kernel() {
+        let data = dataset();
+        let snap = single_snapshot(&data);
+        // Epsilon far below reach in 40 iterations: both sides run
+        // exactly max_iters, so only float summation order differs.
+        let cfg = PageRankConfig { damping: 0.85, epsilon: 1e-15, max_iters: 40 };
+        let cancel = AtomicBool::new(false);
+        let ctl = KernelCtl::noop(&cancel);
+        for label in [Some(EdgeLabel::Knows), None] {
+            let oracle = kernels::pagerank(&snap, label, &cfg, 2, &ctl).unwrap();
+            let by_vid: FastMap<u64, f64> = (0..snap.n_rows() as u32)
+                .map(|r| (snap.vid_of(r).raw(), oracle.ranks[r as usize]))
+                .collect();
+            for shards in [2, 3] {
+                let router = loaded_router(&data, shards);
+                let merged = sharded_pagerank(&router, label, &cfg).unwrap();
+                assert_eq!(merged.iterations, oracle.iterations, "{shards} shards {label:?}");
+                assert_eq!(merged.ranks.len(), by_vid.len(), "{shards} shards {label:?}");
+                let sum: f64 = merged.ranks.iter().map(|(_, r)| r).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "rank mass {sum}");
+                for &(v, r) in &merged.ranks {
+                    let want = by_vid[&v.raw()];
+                    assert!(
+                        (r - want).abs() < 1e-10,
+                        "{shards} shards {label:?}: {v} merged {r} vs single {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_wcc_matches_the_single_store_assignment() {
+        let data = dataset();
+        let snap = single_snapshot(&data);
+        let cancel = AtomicBool::new(false);
+        let ctl = KernelCtl::noop(&cancel);
+        for label in [Some(EdgeLabel::Knows), None] {
+            let labels = kernels::wcc(&snap, label, 2, &ctl).unwrap();
+            let oracle = wcc_assignment(&snap, &labels);
+            for shards in [2, 3] {
+                let router = loaded_router(&data, shards);
+                let merged = sharded_wcc(&router, label).unwrap();
+                // Exact: same component count, same ids (smallest
+                // member Vid raw), same size-descending order.
+                assert_eq!(merged, oracle, "{shards} shards {label:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_triangles_match_the_single_store_kernel() {
+        let data = dataset();
+        let snap = single_snapshot(&data);
+        let cancel = AtomicBool::new(false);
+        let ctl = KernelCtl::noop(&cancel);
+        for label in [Some(EdgeLabel::Knows), None] {
+            let counts = kernels::triangles(&snap, label, 2, &ctl).unwrap();
+            let total: u64 = counts.iter().sum::<u64>() / 3;
+            let by_vid: FastMap<u64, u64> = (0..snap.n_rows() as u32)
+                .map(|r| (snap.vid_of(r).raw(), counts[r as usize]))
+                .collect();
+            let router = loaded_router(&data, 2);
+            let (merged_total, merged) = sharded_triangles(&router, label).unwrap();
+            assert_eq!(merged_total, total, "{label:?}");
+            assert_eq!(merged.len(), by_vid.len(), "{label:?}");
+            for &(v, c) in &merged {
+                assert_eq!(c, by_vid[&v.raw()], "{label:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_router_yields_empty_results() {
+        let router = ShardRouter::native(2).unwrap();
+        let pr = sharded_pagerank(&router, None, &PageRankConfig::default()).unwrap();
+        assert!(pr.ranks.is_empty());
+        assert_eq!(pr.iterations, 0);
+        let (n, rows) = sharded_wcc(&router, None).unwrap();
+        assert_eq!((n, rows.len()), (0, 0));
+        let (t, rows) = sharded_triangles(&router, None).unwrap();
+        assert_eq!((t, rows.len()), (0, 0));
+    }
+}

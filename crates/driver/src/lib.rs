@@ -31,6 +31,7 @@
 //!   shard-local ingest via the aligned partitioned topic).
 
 pub mod adapter;
+pub mod analytics;
 pub mod ingest;
 pub mod interactive;
 pub mod loading;
@@ -41,6 +42,7 @@ pub mod scheduler;
 pub mod sqlg;
 
 pub use adapter::{build_all_adapters, OpResult, SutAdapter, SutKind};
+pub use analytics::{sharded_pagerank, sharded_triangles, sharded_wcc, MergedPageRank};
 pub use ingest::{run_ingest, shard_aligned_appliers, IngestConfig, IngestReport};
 pub use ops::{ParamGen, ReadOp};
 pub use router::ShardRouter;

@@ -117,6 +117,13 @@ impl ShardRouter {
         self.shards.iter().map(|s| s.server.local_addr()).collect()
     }
 
+    /// Each shard's backend, in shard order — the hook the sharded
+    /// analytics merge layer ([`crate::analytics`]) uses to pin one
+    /// snapshot per shard.
+    pub(crate) fn shard_backends(&self) -> Vec<&Arc<dyn GraphBackend>> {
+        self.shards.iter().map(|s| &s.backend).collect()
+    }
+
     fn owner(&self, v: Vid) -> usize {
         self.map.shard_of(v)
     }

@@ -16,6 +16,7 @@
 //! under 64 concurrent complex queries.
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use snb_analytics::{AnalyticsConfig, JobManager};
 use snb_core::{GraphBackend, Result, SnbError, Value};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -34,6 +35,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// How long a client waits for a response before giving up.
     pub request_timeout: Duration,
+    /// The analytics tier: runner-pool size, admission bound, and
+    /// default kernel parallelism for snapshot-pinned jobs. The runner
+    /// pool is *separate* from (and much smaller than) the interactive
+    /// worker pool, so a PageRank sweep never occupies a traversal
+    /// worker slot.
+    pub analytics: AnalyticsConfig,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +49,7 @@ impl Default for ServerConfig {
             workers: default_workers(),
             queue_capacity: 64,
             request_timeout: Duration::from_secs(30),
+            analytics: AnalyticsConfig::default(),
         }
     }
 }
@@ -123,6 +131,7 @@ pub struct GremlinServer {
     timeout: Duration,
     backend: Arc<dyn GraphBackend>,
     inline: Arc<InlineSlots>,
+    jobs: Arc<JobManager>,
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -152,14 +161,22 @@ impl GremlinServer {
                 }
             }));
         }
+        let jobs = JobManager::new(Arc::clone(&backend), config.analytics);
         GremlinServer {
             tx,
             timeout: config.request_timeout,
             inline: Arc::new(InlineSlots(AtomicUsize::new(config.workers))),
             backend,
+            jobs,
             shutdown,
             handles,
         }
+    }
+
+    /// The analytics job manager, for in-process job submission (the
+    /// remote path goes through the Analytics frame instead).
+    pub fn analytics(&self) -> &Arc<JobManager> {
+        &self.jobs
     }
 
     /// A client handle; cheap to clone, safe to use from many threads.
@@ -179,6 +196,7 @@ impl GremlinServer {
             tx: self.tx.clone(),
             backend: Arc::clone(&self.backend),
             inline: Arc::clone(&self.inline),
+            jobs: Arc::clone(&self.jobs),
         }
     }
 }
@@ -273,6 +291,7 @@ pub struct RawSubmitter {
     tx: Sender<Request>,
     backend: Arc<dyn GraphBackend>,
     inline: Arc<InlineSlots>,
+    jobs: Arc<JobManager>,
 }
 
 impl RawSubmitter {
@@ -369,6 +388,27 @@ impl RawSubmitter {
     pub fn execute_frontier(&self, payload: &[u8]) -> Result<Vec<u8>> {
         crate::frontier::handle_frontier(&*self.backend, payload)
     }
+
+    /// Execute an analytics control request (the payload of an
+    /// Analytics frame) on the calling thread and return the encoded
+    /// response.
+    ///
+    /// Every analytics op is a cheap control action — enqueue a job,
+    /// read its state, clone a (top-k-truncated) result, flip a cancel
+    /// flag. The kernel itself runs on the job manager's dedicated
+    /// low-priority runner pool, so like frontier batches these bypass
+    /// the worker queue and execute directly on the I/O thread.
+    /// Admission control still applies: a full job queue surfaces as
+    /// [`SnbError::Overloaded`], which the transports map onto a typed
+    /// error frame.
+    pub fn execute_analytics(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        snb_analytics::handle_analytics(&self.jobs, payload)
+    }
+
+    /// The analytics job manager behind this submitter.
+    pub fn analytics(&self) -> &Arc<JobManager> {
+        &self.jobs
+    }
 }
 
 /// Live-traverser cap for inline execution on transport I/O threads —
@@ -448,7 +488,7 @@ mod tests {
         }
         let server = GremlinServer::start(
             Arc::new(s),
-            ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_millis(200) },
+            ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_millis(200) , ..Default::default() },
         );
         let heavy = Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(99), 9).path_len();
         let mut saw_overload = false;
@@ -513,7 +553,7 @@ mod tests {
     fn raw_submitter_surfaces_overload() {
         let server = GremlinServer::start(
             backend(),
-            ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_secs(5) },
+            ServerConfig { workers: 1, queue_capacity: 1, request_timeout: Duration::from_secs(5) , ..Default::default() },
         );
         let raw = server.raw_submitter();
         let (reply_tx, _reply_rx) = bounded(64);

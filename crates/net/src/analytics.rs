@@ -1,0 +1,76 @@
+//! Typed remote API for the analytics tier: thin wrappers that encode
+//! an [`AnalyticsRequest`], send it as one Analytics frame over a
+//! [`NetPool`], and decode the response — so drivers and benchmarks
+//! talk in terms of jobs, not payload bytes.
+//!
+//! Response frames for analytics requests are ordinary Response/Error
+//! frames, so the pooled connections' correlation-id routing (and their
+//! pipelining) applies unchanged: a driver can poll one job while
+//! interactive traversals stream over the same sockets.
+
+use snb_analytics::{
+    decode_response, encode_request, AnalyticsRequest, AnalyticsResponse, JobId, JobOutput,
+    JobSpec, JobStatus,
+};
+use snb_core::{Result, SnbError};
+
+use crate::client::NetPool;
+
+/// A typed view of a pool's analytics channel. Borrow-based and
+/// stateless: make one wherever a [`NetPool`] is handy.
+pub struct AnalyticsClient<'a> {
+    pool: &'a NetPool,
+}
+
+impl<'a> AnalyticsClient<'a> {
+    pub fn new(pool: &'a NetPool) -> AnalyticsClient<'a> {
+        AnalyticsClient { pool }
+    }
+
+    fn round_trip(&self, req: &AnalyticsRequest) -> Result<AnalyticsResponse> {
+        let bytes = self.pool.submit_analytics(&encode_request(req))?;
+        decode_response(&bytes).map_err(|e| SnbError::Codec(format!("bad analytics response: {e}")))
+    }
+
+    /// Submit a job; returns its server-assigned id. A full job queue
+    /// surfaces as [`SnbError::Overloaded`].
+    pub fn submit_job(&self, spec: JobSpec) -> Result<JobId> {
+        match self.round_trip(&AnalyticsRequest::Submit(spec))? {
+            AnalyticsResponse::Submitted { id } => Ok(id),
+            other => Err(unexpected("Submitted", &other)),
+        }
+    }
+
+    /// Poll a job's state (Queued / Running with iteration progress /
+    /// Done / Failed / Cancelled).
+    pub fn poll_job(&self, id: JobId) -> Result<JobStatus> {
+        match self.round_trip(&AnalyticsRequest::Poll { id })? {
+            AnalyticsResponse::Status(st) => Ok(st),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Fetch a finished job's result; `top_k = None` fetches the full
+    /// result, `Some(k)` just the k highest-ranked entries. A job that
+    /// is not Done yet answers with [`SnbError::Conflict`].
+    pub fn fetch_result(&self, id: JobId, top_k: Option<usize>) -> Result<JobOutput> {
+        let top_k = top_k.map(|k| k.min(u32::MAX as usize) as u32).unwrap_or(0);
+        match self.round_trip(&AnalyticsRequest::Fetch { id, top_k })? {
+            AnalyticsResponse::Result(out) => Ok(out),
+            other => Err(unexpected("Result", &other)),
+        }
+    }
+
+    /// Cancel a job. Returns `true` if the job was still live (queued
+    /// or running) when the cancel landed.
+    pub fn cancel_job(&self, id: JobId) -> Result<bool> {
+        match self.round_trip(&AnalyticsRequest::Cancel { id })? {
+            AnalyticsResponse::Cancelled { was_live } => Ok(was_live),
+            other => Err(unexpected("Cancelled", &other)),
+        }
+    }
+}
+
+fn unexpected(want: &str, got: &AnalyticsResponse) -> SnbError {
+    SnbError::Codec(format!("expected {want} analytics response, got {got:?}"))
+}

@@ -279,7 +279,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
                     deliver(&shared, f.corr_id, Err(err));
                 }
                 // Server → client frames are only Response/Error.
-                FrameKind::Request | FrameKind::Frontier => break, // protocol violation
+                FrameKind::Request | FrameKind::Frontier | FrameKind::Analytics => break, // protocol violation
             },
             Ok(None) | Err(_) => break,
         }
@@ -479,6 +479,19 @@ impl NetPool {
     /// One blocking frontier round trip (start + wait).
     pub fn submit_frontier(&self, payload: &[u8]) -> Result<Vec<u8>> {
         self.start_frontier(payload)?.wait()
+    }
+
+    /// Start one analytics control request (submit / poll / fetch /
+    /// cancel an analytics job) without waiting for the reply.
+    pub fn start_analytics(&self, payload: &[u8]) -> Result<PendingReply> {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.conns.len();
+        self.conns[slot].start(FrameKind::Analytics, payload)
+    }
+
+    /// One blocking analytics round trip (start + wait). The typed
+    /// wrappers in [`crate::analytics`] sit on top of this.
+    pub fn submit_analytics(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        self.start_analytics(payload)?.wait()
     }
 
     /// Pool size.

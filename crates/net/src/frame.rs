@@ -6,7 +6,7 @@
 //! offset  size  field
 //! 0       4     magic       0x31424E53 ("SNB1" little-endian)
 //! 4       1     version     1
-//! 5       1     kind        0=Request 1=Response 2=Error 3=Frontier
+//! 5       1     kind        0=Request 1=Response 2=Error 3=Frontier 4=Analytics
 //! 6       8     corr_id     u64 correlation id (echoed in the reply)
 //! 14      4     len         payload length in bytes
 //! 18      4     checksum    FNV-1a over the payload
@@ -20,6 +20,14 @@
 //! corrupted or hostile frames: a bad magic, an oversized declared
 //! length, or a checksum mismatch is a protocol error, never a panic or
 //! an unbounded allocation.
+//!
+//! An *unknown kind tag* is deliberately softer than those: the header
+//! is otherwise valid and the declared length plus checksum still
+//! delimit the frame exactly, so the stream remains syncable. Servers
+//! consume such a frame as [`FrameEvent::UnknownKind`], answer it with
+//! a typed error on its correlation id, and keep the connection — a
+//! newer client using a frame kind this server predates must get an
+//! error it can read, not a dropped socket.
 
 use snb_core::{Result, SnbError};
 use std::io::{ErrorKind, Read, Write};
@@ -49,6 +57,10 @@ pub enum FrameKind {
     /// router's scatter-gather wave). Answered with an ordinary
     /// Response/Error frame, so the client reader needs no new route.
     Frontier = 3,
+    /// Client → server: an encoded analytics control request (submit /
+    /// poll / fetch / cancel a snapshot-pinned job). Also answered with
+    /// an ordinary Response/Error frame.
+    Analytics = 4,
 }
 
 impl FrameKind {
@@ -58,9 +70,28 @@ impl FrameKind {
             1 => FrameKind::Response,
             2 => FrameKind::Error,
             3 => FrameKind::Frontier,
+            4 => FrameKind::Analytics,
             other => return Err(SnbError::Codec(format!("unknown frame kind {other}"))),
         })
     }
+}
+
+/// What a server-side frame read produces: either a well-formed frame,
+/// or a frame whose kind tag this endpoint does not know. The unknown
+/// variant is still fully delimited and checksum-verified — its payload
+/// has been consumed from the stream — so the caller can reply with a
+/// typed error on `corr_id` and keep reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame of a known kind.
+    Frame(Frame),
+    /// A complete, checksum-valid frame of an unknown kind; skipped.
+    UnknownKind {
+        /// The unrecognized kind tag.
+        tag: u8,
+        /// The frame's correlation id (0 if the sender left it unset).
+        corr_id: u64,
+    },
 }
 
 /// One framed message.
@@ -118,8 +149,14 @@ fn io_err(e: std::io::Error) -> SnbError {
     SnbError::Io(e.to_string())
 }
 
-/// Validate a header and return `(kind, corr_id, len, checksum)`.
-fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u64, usize, u32)> {
+/// Validate a header and return `(kind tag, corr_id, len, checksum)`.
+///
+/// The kind tag is returned raw: an unknown tag is not a header error,
+/// because the frame is still exactly delimited (see
+/// [`FrameEvent::UnknownKind`]). Magic, version, and the declared
+/// length *are* hard errors — past any of those the stream cannot be
+/// resynced.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u64, usize, u32)> {
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if magic != MAGIC {
         return Err(SnbError::Codec(format!("bad magic 0x{magic:08x}")));
@@ -127,35 +164,37 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, u64, usize, u32
     if header[4] != VERSION {
         return Err(SnbError::Codec(format!("unsupported protocol version {}", header[4])));
     }
-    let kind = FrameKind::from_tag(header[5])?;
+    let tag = header[5];
     let corr_id = u64::from_le_bytes(header[6..14].try_into().unwrap());
     let len = u32::from_le_bytes(header[14..18].try_into().unwrap()) as usize;
     if len > MAX_PAYLOAD {
         return Err(SnbError::Codec(format!("declared payload length {len} exceeds limit")));
     }
     let sum = u32::from_le_bytes(header[18..22].try_into().unwrap());
-    Ok((kind, corr_id, len, sum))
+    Ok((tag, corr_id, len, sum))
+}
+
+fn event_of(tag: u8, corr_id: u64, payload: Vec<u8>) -> FrameEvent {
+    match FrameKind::from_tag(tag) {
+        Ok(kind) => FrameEvent::Frame(Frame { kind, corr_id, payload }),
+        Err(_) => FrameEvent::UnknownKind { tag, corr_id },
+    }
+}
+
+fn unknown_kind_err(tag: u8) -> SnbError {
+    SnbError::Codec(format!("unknown frame kind {tag}"))
 }
 
 /// Read one frame, blocking until it is complete. EOF before the first
 /// header byte yields `Ok(None)` (clean close); EOF mid-frame is an
-/// error.
+/// error. An unknown kind tag is an error here — this is the strict
+/// (client-side) entry point; servers use
+/// [`read_event_interruptible`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
-    let mut header = [0u8; HEADER_LEN];
-    match read_full(r, &mut header, true)? {
-        FillOutcome::Eof => return Ok(None),
-        FillOutcome::Full => {}
-    }
-    let (kind, corr_id, len, sum) = parse_header(&header)?;
-    let mut payload = vec![0u8; len];
-    match read_full(r, &mut payload, false)? {
-        FillOutcome::Eof => Err(SnbError::Io("connection closed mid-frame".into())),
-        FillOutcome::Full => {
-            if checksum(&payload) != sum {
-                return Err(SnbError::Codec("frame checksum mismatch".into()));
-            }
-            Ok(Some(Frame { kind, corr_id, payload }))
-        }
+    match read_event_interruptible(r, &|| false)? {
+        None => Ok(None),
+        Some(FrameEvent::Frame(f)) => Ok(Some(f)),
+        Some(FrameEvent::UnknownKind { tag, .. }) => Err(unknown_kind_err(tag)),
     }
 }
 
@@ -167,12 +206,27 @@ pub fn read_frame_interruptible(
     r: &mut impl Read,
     should_stop: &dyn Fn() -> bool,
 ) -> Result<Option<Frame>> {
+    match read_event_interruptible(r, should_stop)? {
+        None => Ok(None),
+        Some(FrameEvent::Frame(f)) => Ok(Some(f)),
+        Some(FrameEvent::UnknownKind { tag, .. }) => Err(unknown_kind_err(tag)),
+    }
+}
+
+/// The tolerant server-side read: like [`read_frame_interruptible`],
+/// but a complete, checksum-valid frame with an unknown kind tag comes
+/// back as [`FrameEvent::UnknownKind`] instead of an error, so the
+/// caller can answer it and keep the connection alive.
+pub fn read_event_interruptible(
+    r: &mut impl Read,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<Option<FrameEvent>> {
     let mut header = [0u8; HEADER_LEN];
     match fill_interruptible(r, &mut header, true, should_stop)? {
         FillOutcome::Eof => return Ok(None),
         FillOutcome::Full => {}
     }
-    let (kind, corr_id, len, sum) = parse_header(&header)?;
+    let (tag, corr_id, len, sum) = parse_header(&header)?;
     let mut payload = vec![0u8; len];
     match fill_interruptible(r, &mut payload, false, should_stop)? {
         FillOutcome::Eof => Err(SnbError::Io("connection closed mid-frame".into())),
@@ -180,7 +234,7 @@ pub fn read_frame_interruptible(
             if checksum(&payload) != sum {
                 return Err(SnbError::Codec("frame checksum mismatch".into()));
             }
-            Ok(Some(Frame { kind, corr_id, payload }))
+            Ok(Some(event_of(tag, corr_id, payload)))
         }
     }
 }
@@ -246,14 +300,27 @@ impl FrameDecoder {
 
     /// Decode the next complete frame, `Ok(None)` if more bytes are
     /// needed. After a `Codec` error the stream cannot be resynced; the
-    /// caller must drop the connection.
+    /// caller must drop the connection. An unknown kind tag is an error
+    /// here — tolerant callers use [`FrameDecoder::next_event`].
     pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        match self.next_event()? {
+            None => Ok(None),
+            Some(FrameEvent::Frame(f)) => Ok(Some(f)),
+            Some(FrameEvent::UnknownKind { tag, .. }) => Err(unknown_kind_err(tag)),
+        }
+    }
+
+    /// Decode the next complete frame as a [`FrameEvent`]: unknown kind
+    /// tags are consumed (payload skipped, checksum still verified) and
+    /// surfaced as [`FrameEvent::UnknownKind`] so a server can reply
+    /// with a typed error and keep decoding the stream.
+    pub fn next_event(&mut self) -> Result<Option<FrameEvent>> {
         if self.buffered() < HEADER_LEN {
             return Ok(None);
         }
         let header: &[u8; HEADER_LEN] =
             self.buf[self.head..self.head + HEADER_LEN].try_into().unwrap();
-        let (kind, corr_id, len, sum) = parse_header(header)?;
+        let (tag, corr_id, len, sum) = parse_header(header)?;
         if self.buffered() < HEADER_LEN + len {
             return Ok(None);
         }
@@ -269,7 +336,7 @@ impl FrameDecoder {
             self.head = 0;
             self.tail = 0;
         }
-        Ok(Some(Frame { kind, corr_id, payload }))
+        Ok(Some(event_of(tag, corr_id, payload)))
     }
 
     /// Move the undecoded suffix to the front of the arena.
@@ -285,10 +352,6 @@ impl FrameDecoder {
 enum FillOutcome {
     Full,
     Eof,
-}
-
-fn read_full(r: &mut impl Read, buf: &mut [u8], eof_ok_at_start: bool) -> Result<FillOutcome> {
-    fill_interruptible(r, buf, eof_ok_at_start, &|| false)
 }
 
 /// Fill `buf` completely, retrying on `Interrupted`/timeout wakeups.
@@ -343,6 +406,7 @@ mod tests {
             frame(FrameKind::Response, u64::MAX, &[]),
             frame(FrameKind::Error, 0, &[0xFF; 300]),
             frame(FrameKind::Frontier, 9, b"wave"),
+            frame(FrameKind::Analytics, 17, b"job"),
         ] {
             let bytes = encode_frame(&f);
             assert_eq!(bytes.len(), HEADER_LEN + f.payload.len());
@@ -383,6 +447,57 @@ mod tests {
         let mut bytes = encode_frame(&frame(FrameKind::Request, 1, b"x"));
         bytes[5] = 42;
         assert!(read_frame(&mut Cursor::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_is_a_survivable_event() {
+        // A frame with an unrecognized kind tag but an otherwise valid
+        // header must be consumed and surfaced — not kill the stream:
+        // the next frame still decodes.
+        let mut bytes = encode_frame(&frame(FrameKind::Request, 7, b"future stuff"));
+        bytes[5] = 42;
+        let follow = frame(FrameKind::Request, 8, b"normal");
+        bytes.extend_from_slice(&encode_frame(&follow));
+
+        // Blocking read path.
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(
+            read_event_interruptible(&mut cur, &|| false).unwrap(),
+            Some(FrameEvent::UnknownKind { tag: 42, corr_id: 7 })
+        );
+        assert_eq!(
+            read_event_interruptible(&mut cur, &|| false).unwrap(),
+            Some(FrameEvent::Frame(follow.clone()))
+        );
+        assert!(read_event_interruptible(&mut cur, &|| false).unwrap().is_none());
+
+        // Incremental decoder path, fed one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        for &b in &bytes {
+            dec.push_bytes(&[b]);
+            while let Some(ev) = dec.next_event().unwrap() {
+                events.push(ev);
+            }
+        }
+        assert_eq!(
+            events,
+            vec![
+                FrameEvent::UnknownKind { tag: 42, corr_id: 7 },
+                FrameEvent::Frame(follow),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_kind_with_bad_checksum_is_still_fatal() {
+        // The unknown-kind tolerance only applies to delimitable frames;
+        // a checksum mismatch means the length itself can't be trusted.
+        let mut bytes = encode_frame(&frame(FrameKind::Request, 7, b"payload"));
+        bytes[5] = 42;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(read_event_interruptible(&mut Cursor::new(&bytes), &|| false).is_err());
     }
 
     #[test]

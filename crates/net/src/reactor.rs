@@ -53,7 +53,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::frame::{self, FrameDecoder, FrameKind};
+use crate::frame::{self, FrameDecoder, FrameEvent, FrameKind};
 use crate::server::{reject_connection, reject_connection_with, NetServerConfig};
 use crate::sys;
 
@@ -75,6 +75,13 @@ const POOL_BUFS: usize = 64;
 const POOL_BUF_CAP: usize = 256 * 1024;
 /// How long graceful shutdown waits for in-flight responses to flush.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long the drain keeps *reading* after shutdown begins. A request
+/// written by a client just before the shutdown flag flipped can still
+/// be in flight through the network stack (on loopback, softirq
+/// delivery is deferred under CPU load), so a single final read pass
+/// would silently miss it; the threaded model gets this grace for free
+/// from its read-timeout poll loop.
+const DRAIN_READ_GRACE: Duration = Duration::from_millis(150);
 
 /// A finished request routed back to the reactor that owns the
 /// connection it arrived on.
@@ -290,6 +297,7 @@ pub(crate) fn start(
             next_token: TOKEN_CONN0,
             draining: false,
             drain_deadline: None,
+            read_grace_until: None,
         });
     }
     let threads = reactors
@@ -317,6 +325,10 @@ struct Reactor {
     next_token: u64,
     draining: bool,
     drain_deadline: Option<Instant>,
+    /// While draining and `Instant::now()` is before this, connections
+    /// keep reading (late-delivered requests are still served); once it
+    /// passes, a final read pass runs and reads close for good.
+    read_grace_until: Option<Instant>,
 }
 
 impl Reactor {
@@ -351,6 +363,9 @@ impl Reactor {
             self.apply_completions();
             if !self.draining && self.shutdown.load(Ordering::Relaxed) {
                 self.begin_drain();
+            }
+            if self.read_grace_until.is_some_and(|g| Instant::now() >= g) {
+                self.end_read_grace();
             }
             self.reap_finished();
             if self.draining {
@@ -494,24 +509,43 @@ impl Reactor {
         }
     }
 
-    /// Graceful drain: stop accepting, take one final read drain per
-    /// connection (everything the kernel has buffered gets decoded and
-    /// submitted), then refuse further reads and wait for in-flight
-    /// responses to flush.
+    /// Graceful drain: stop accepting, drain every connection's
+    /// buffered reads immediately, then keep serving reads for a short
+    /// grace window ([`DRAIN_READ_GRACE`]) so requests written just
+    /// before shutdown — but still in flight through the network stack
+    /// — are answered rather than dropped. After the grace a final read
+    /// pass runs, reads close, and the loop waits for in-flight
+    /// responses to flush (bounded by [`DRAIN_TIMEOUT`]).
     fn begin_drain(&mut self) {
         self.draining = true;
-        self.drain_deadline = Some(Instant::now() + DRAIN_TIMEOUT);
+        let now = Instant::now();
+        self.drain_deadline = Some(now + DRAIN_TIMEOUT);
+        self.read_grace_until = Some(now + DRAIN_READ_GRACE);
         if let Some(l) = self.listener.take() {
             sys::epoll_del(self.epfd, l.as_raw_fd());
         }
+        self.drain_all_reads();
+    }
+
+    /// The read-grace window is over: one last read pass, then no more
+    /// requests are decoded on any connection.
+    fn end_read_grace(&mut self) {
+        self.read_grace_until = None;
+        self.drain_all_reads();
+        for conn in self.conns.values_mut() {
+            conn.read_closed = true;
+        }
+    }
+
+    /// One read drain over every connection (everything the kernel has
+    /// buffered gets decoded and submitted).
+    fn drain_all_reads(&mut self) {
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
             let Some(conn) = self.conns.get_mut(&token) else { continue };
             let dead = if conn.read_closed { false } else { drain_read(conn, &self.submitter) };
             if dead {
                 Self::close_conn(self.epfd, &self.active, &mut self.conns, token);
-            } else if let Some(conn) = self.conns.get_mut(&token) {
-                conn.read_closed = true;
             }
         }
     }
@@ -577,8 +611,8 @@ fn drain_read(conn: &mut Conn, submitter: &RawSubmitter) -> bool {
 /// never by dropping the connection — identical to the threaded model.
 fn dispatch_frames(conn: &mut Conn, submitter: &RawSubmitter) {
     loop {
-        match conn.decoder.next_frame() {
-            Ok(Some(f)) if f.kind == FrameKind::Request => {
+        match conn.decoder.next_event() {
+            Ok(Some(FrameEvent::Frame(f))) if f.kind == FrameKind::Request => {
                 match submitter.try_execute_inline(&f.payload) {
                     Some(Ok(payload)) => {
                         conn.out.push_frame(FrameKind::Response, f.corr_id, &payload);
@@ -601,7 +635,7 @@ fn dispatch_frames(conn: &mut Conn, submitter: &RawSubmitter) {
                     }
                 }
             }
-            Ok(Some(f)) if f.kind == FrameKind::Frontier => {
+            Ok(Some(FrameEvent::Frame(f))) if f.kind == FrameKind::Frontier => {
                 // A frontier batch is bounded by construction (one
                 // adjacency scan or property row per listed vertex), so
                 // it runs right here on the event loop — no worker
@@ -616,9 +650,32 @@ fn dispatch_frames(conn: &mut Conn, submitter: &RawSubmitter) {
                     }
                 }
             }
-            Ok(Some(f)) => {
+            Ok(Some(FrameEvent::Frame(f))) if f.kind == FrameKind::Analytics => {
+                // Analytics ops are cheap control actions (submit /
+                // poll / fetch / cancel — the kernel runs on the job
+                // manager's own low-priority pool), so like frontier
+                // batches they execute right here on the event loop. A
+                // malformed payload answers with a typed Codec error on
+                // this corr_id; the connection lives on.
+                match submitter.execute_analytics(&f.payload) {
+                    Ok(payload) => {
+                        conn.out.push_frame(FrameKind::Response, f.corr_id, &payload)
+                    }
+                    Err(e) => {
+                        conn.out.push_frame(FrameKind::Error, f.corr_id, &wire::encode_error(&e))
+                    }
+                }
+            }
+            Ok(Some(FrameEvent::Frame(f))) => {
                 let e = SnbError::Codec("client may only send Request frames".into());
                 conn.out.push_frame(FrameKind::Error, f.corr_id, &wire::encode_error(&e));
+            }
+            Ok(Some(FrameEvent::UnknownKind { tag, corr_id })) => {
+                // A fully delimited frame of a kind this server doesn't
+                // know: answer it and keep decoding — a newer client
+                // must get a typed error, not a dropped socket.
+                let e = SnbError::Codec(format!("unsupported frame kind {tag}"));
+                conn.out.push_frame(FrameKind::Error, corr_id, &wire::encode_error(&e));
             }
             Ok(None) => break,
             Err(e) => {

@@ -39,7 +39,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::frame::{self, Frame, FrameKind};
+use crate::frame::{self, Frame, FrameEvent, FrameKind};
 
 /// Which I/O machinery serves the sockets. Execution semantics
 /// (worker pool, bounded queue, `Overloaded`, graceful drain,
@@ -317,9 +317,9 @@ fn handle_connection(
 
     let stop = || shutdown.load(Ordering::Relaxed);
     loop {
-        match frame::read_frame_interruptible(&mut stream, &stop) {
+        match frame::read_event_interruptible(&mut stream, &stop) {
             Ok(None) => break, // clean EOF or shutdown
-            Ok(Some(f)) if f.kind == FrameKind::Request => {
+            Ok(Some(FrameEvent::Frame(f))) if f.kind == FrameKind::Request => {
                 if let Err(e) = submitter.submit_raw(f.corr_id, f.payload, &results_tx) {
                     // Typed backpressure: Overloaded (queue full) or
                     // Backend (pool gone) answers the request instead of
@@ -327,7 +327,7 @@ fn handle_connection(
                     let _ = results_tx.send((f.corr_id, Err(e)));
                 }
             }
-            Ok(Some(f)) if f.kind == FrameKind::Frontier => {
+            Ok(Some(FrameEvent::Frame(f))) if f.kind == FrameKind::Frontier => {
                 // Frontier batches are bounded by construction (one
                 // adjacency scan per listed vertex), so they execute on
                 // the reader thread, bypassing the worker queue — a
@@ -335,9 +335,25 @@ fn handle_connection(
                 let result = submitter.execute_frontier(&f.payload);
                 let _ = results_tx.send((f.corr_id, result));
             }
-            Ok(Some(f)) => {
+            Ok(Some(FrameEvent::Frame(f))) if f.kind == FrameKind::Analytics => {
+                // Analytics ops are cheap control actions (the kernel
+                // runs on the job manager's own pool); execute inline
+                // like frontier batches. A malformed payload comes back
+                // as a typed Codec error on this corr_id — never a
+                // dropped connection.
+                let result = submitter.execute_analytics(&f.payload);
+                let _ = results_tx.send((f.corr_id, result));
+            }
+            Ok(Some(FrameEvent::Frame(f))) => {
                 let e = SnbError::Codec("client may only send Request frames".into());
                 let _ = results_tx.send((f.corr_id, Err(e)));
+            }
+            Ok(Some(FrameEvent::UnknownKind { tag, corr_id })) => {
+                // A future frame kind from a newer client: the frame is
+                // fully delimited and consumed, so answer it and keep
+                // serving this connection.
+                let e = SnbError::Codec(format!("unsupported frame kind {tag}"));
+                let _ = results_tx.send((corr_id, Err(e)));
             }
             Err(SnbError::Codec(m)) => {
                 // Framing is broken — no way to resync; tell the client

@@ -7,15 +7,17 @@
 //! reassemble frame boundaries.
 
 use proptest::prelude::*;
-use snb_net::frame::{self, Frame, FrameDecoder, FrameKind};
+use snb_net::frame::{self, Frame, FrameDecoder, FrameEvent, FrameKind};
 
 fn frame_strategy() -> impl Strategy<Value = Frame> {
-    (0..3u8, any::<u64>(), proptest::collection::vec(any::<u8>(), 0..96)).prop_map(
+    (0..5u8, any::<u64>(), proptest::collection::vec(any::<u8>(), 0..96)).prop_map(
         |(kind, corr_id, payload)| {
             let kind = match kind {
                 0 => FrameKind::Request,
                 1 => FrameKind::Response,
-                _ => FrameKind::Error,
+                2 => FrameKind::Error,
+                3 => FrameKind::Frontier,
+                _ => FrameKind::Analytics,
             };
             Frame { kind, corr_id, payload }
         },
@@ -79,6 +81,57 @@ proptest! {
             }
         }
         prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn unknown_kind_frames_are_skipped_not_fatal(
+        frames in proptest::collection::vec(frame_strategy(), 1..8),
+        bad_tags in proptest::collection::vec(5..255u8, 1..4),
+        positions in proptest::collection::vec(any::<usize>(), 1..4),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16)
+    ) {
+        // Interleave well-formed frames with frames whose kind tag the
+        // decoder does not know (tag >= 5, valid header + checksum).
+        // The event stream must surface each unknown frame exactly once
+        // — with its tag and corr_id — and decode every known frame
+        // around it, under arbitrary fragmentation.
+        let mut expected = Vec::new();
+        let mut stream = Vec::new();
+        let mut bad_iter = bad_tags.iter().zip(&positions).peekable();
+        for (i, f) in frames.iter().enumerate() {
+            if let Some(&(&tag, &pos)) = bad_iter.peek() {
+                if pos % frames.len() == i {
+                    bad_iter.next();
+                    let corr_id = 1000 + i as u64;
+                    let mut raw = frame::encode_frame(&Frame {
+                        kind: FrameKind::Request,
+                        corr_id,
+                        payload: vec![7; i % 5],
+                    });
+                    raw[5] = tag; // kind byte; payload/checksum untouched
+                    stream.extend_from_slice(&raw);
+                    expected.push(FrameEvent::UnknownKind { tag, corr_id });
+                }
+            }
+            frame::encode_frame_into(&mut stream, f.kind, f.corr_id, &f.payload);
+            expected.push(FrameEvent::Frame(f.clone()));
+        }
+
+        let mut cut_points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        cut_points.sort_unstable();
+        cut_points.dedup();
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for cut in cut_points.into_iter().chain(std::iter::once(stream.len())) {
+            decoder.push_bytes(&stream[prev..cut]);
+            prev = cut;
+            while let Some(ev) = decoder.next_event().expect("stream stays syncable") {
+                got.push(ev);
+            }
+        }
+        prop_assert_eq!(got, expected);
         prop_assert_eq!(decoder.buffered(), 0);
     }
 

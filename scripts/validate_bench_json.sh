@@ -173,6 +173,41 @@ for f in "${files[@]}"; do
       fail=1
     fi
   fi
+  # The analytics section appears from BENCH_7 onward; when present it
+  # must carry the PageRank/WCC job metrics and the coexistence run:
+  # interactive reads during a paced PageRank job must hold at least
+  # 60% of the read-only baseline, the driver must have observed the
+  # job's progress across at least two distinct polls, and the second
+  # (victim) job must have been cancelled mid-run.
+  if grep -q '"analytics"' "$f"; then
+    require_numeric "$f" "snapshot_rows"
+    require_numeric "$f" "pagerank_iterations"
+    require_numeric "$f" "pagerank_iterations_per_sec"
+    require_numeric "$f" "pagerank_top_k"
+    require_numeric "$f" "wcc_wall_ms"
+    require_key "$f" "coexistence"
+    require_numeric "$f" "reads_per_sec_during_pagerank"
+    coexist_line="$(grep -Eo '"coexistence"[[:space:]]*:[[:space:]]*\{[^}]*\}' "$f" | head -1 || true)"
+    a_ret="$(printf '%s' "$coexist_line" | grep -Eo '"read_retention"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    if [ -n "$a_ret" ]; then
+      if ! awk -v r="$a_ret" 'BEGIN { exit !(r >= 0.6) }'; then
+        echo "[validate_bench_json] $f: analytics read_retention $a_ret below the 0.6 floor" >&2
+        fail=1
+      fi
+    else
+      echo "[validate_bench_json] $f: analytics coexistence lacks read_retention" >&2
+      fail=1
+    fi
+    polls="$(printf '%s' "$coexist_line" | grep -Eo '"progress_polls"[[:space:]]*:[[:space:]]*[0-9]+' | grep -Eo '[0-9]+$' || true)"
+    if [ -z "$polls" ] || [ "$polls" -lt 2 ]; then
+      echo "[validate_bench_json] $f: analytics progress_polls (${polls:-missing}) below 2" >&2
+      fail=1
+    fi
+    if ! printf '%s' "$coexist_line" | grep -Eq '"cancelled_mid_run"[[:space:]]*:[[:space:]]*true'; then
+      echo "[validate_bench_json] $f: analytics victim job was not cancelled mid-run" >&2
+      fail=1
+    fi
+  fi
   # The traversal section appears from BENCH_4 onward; when present it
   # must carry the intra-query worker sweep, the locked-store
   # baselines, and per-engine latency percentiles — and the top-level
