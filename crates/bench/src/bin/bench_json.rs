@@ -435,10 +435,24 @@ fn main() {
     for (io_name, io) in [("threaded", IoModel::Threaded), ("reactor", IoModel::Reactor)] {
         let server = start_bench_server(io);
         let addr = server.local_addr();
+        // Like the sharding sweep: the validator gates the 32-conn
+        // point AGAINST the 8-conn point, so each point reports the
+        // median of 3 interleaved rounds — ambient-load spikes hit all
+        // connection counts instead of whichever one they landed on.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); NET_CONNS.len()];
+        for _round in 0..3 {
+            for (slot, &conns) in NET_CONNS.iter().enumerate() {
+                samples[slot].push(network_round_trips(addr, &persons, conns, scale_secs));
+            }
+        }
         let mut sweep = [0.0f64; NET_CONNS.len()];
         for (slot, &conns) in NET_CONNS.iter().enumerate() {
-            let rps = network_round_trips(addr, &persons, conns, scale_secs);
-            eprintln!("[bench] network io={io_name} connections={conns}: {rps:.0} round trips/s");
+            let mut v = std::mem::take(&mut samples[slot]);
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let rps = v[v.len() / 2];
+            eprintln!(
+                "[bench] network io={io_name} connections={conns}: {rps:.0} round trips/s (median of 3)"
+            );
             sweep[slot] = rps;
         }
         io_model_sweeps.push((io_name, sweep));
@@ -573,15 +587,42 @@ fn main() {
     // N full engine stacks (store + workers + reactor listener) behind
     // the router; routed round trips (8 clients) and cross-shard
     // two-hops (4 clients) at 1, 2, and 4 shards.
+    // The validator's no-collapse gate compares shard counts against
+    // each other, so the sweep measures them PAIRED: all routers boot
+    // up front, each round measures every shard count back to back, and
+    // each point reports its median round. Sequential single-shot
+    // measurement put minutes of ambient-load drift between the 1-shard
+    // and 2-shard numbers, which on a timeslicing single core swamped
+    // the ratio the gate actually cares about.
+    let shard_counts = [1usize, 2, 4];
+    let routers: Vec<ShardRouter> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let router = ShardRouter::native(shards).expect("boot shard stacks");
+            router.load(&data.snapshot).unwrap();
+            router
+        })
+        .collect();
+    let mut shard_rt_samples: Vec<Vec<f64>> = vec![Vec::new(); shard_counts.len()];
+    let mut shard_two_samples: Vec<Vec<f64>> = vec![Vec::new(); shard_counts.len()];
+    for _round in 0..3 {
+        for (slot, router) in routers.iter().enumerate() {
+            shard_rt_samples[slot].push(sharded_round_trips(router, &persons, 8, scale_secs));
+            shard_two_samples[slot].push(sharded_two_hop(router, &persons, 4, scale_secs));
+        }
+    }
+    drop(routers);
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[v.len() / 2]
+    };
     let mut shard_rt_json = String::new();
     let mut shard_two_json = String::new();
-    for (slot, &shards) in [1usize, 2, 4].iter().enumerate() {
-        let router = ShardRouter::native(shards).expect("boot shard stacks");
-        router.load(&data.snapshot).unwrap();
-        let rt = sharded_round_trips(&router, &persons, 8, scale_secs);
-        let two = sharded_two_hop(&router, &persons, 4, scale_secs);
+    for (slot, &shards) in shard_counts.iter().enumerate() {
+        let rt = median(std::mem::take(&mut shard_rt_samples[slot]));
+        let two = median(std::mem::take(&mut shard_two_samples[slot]));
         eprintln!(
-            "[bench] sharding shards={shards}: {rt:.0} round trips/s, {two:.0} two-hop/s"
+            "[bench] sharding shards={shards}: {rt:.0} round trips/s, {two:.0} two-hop/s (median of 3)"
         );
         if slot > 0 {
             shard_rt_json.push_str(", ");
@@ -632,7 +673,7 @@ fn main() {
         sp_pairs.len()
     );
     let trav_measure = |backend: &dyn GraphBackend, workers: usize| -> (f64, f64) {
-        let cfg = ExecConfig { workers, morsel_min };
+        let cfg = ExecConfig { workers, morsel_min, fuse: true };
         let mut i = 0usize;
         let two = ops_per_sec(budget, || {
             let v = trav_persons[i % trav_persons.len()];
@@ -868,17 +909,24 @@ fn main() {
         // windows (the generic CSR build on the SQL-backed engines is a
         // full scan — it must not land inside a timed loop).
         adapter.execute_read(&ReadOp::TwoHop { person }).unwrap();
+        let (sp_a, sp_b) = params.person_pair();
         let (point, point_lat) = ops_with_latency(budget, || {
             adapter.execute_read(&ReadOp::PointLookup { person }).unwrap();
         });
         let (one_hop, one_lat) = ops_with_latency(budget, || {
             adapter.execute_read(&ReadOp::OneHop { person }).unwrap();
         });
+        let (two_hop_e, two_lat) = ops_with_latency(budget, || {
+            adapter.execute_read(&ReadOp::TwoHop { person }).unwrap();
+        });
+        let (sp_e, sp_lat) = ops_with_latency(budget, || {
+            adapter.execute_read(&ReadOp::ShortestPath { a: sp_a, b: sp_b }).unwrap();
+        });
         eprintln!(
-            "[bench] {}: point_lookup {point:.0}/s (p99 {:.3}ms), one_hop {one_hop:.0}/s (p99 {:.3}ms)",
+            "[bench] {}: point_lookup {point:.0}/s, one_hop {one_hop:.0}/s, \
+             two_hop {two_hop_e:.0}/s, shortest_path {sp_e:.0}/s (p99 {:.3}ms)",
             adapter.name(),
-            point_lat.percentile_ms(99.0),
-            one_lat.percentile_ms(99.0)
+            sp_lat.percentile_ms(99.0)
         );
         if ei > 0 {
             engines_json.push_str(",\n");
@@ -886,12 +934,56 @@ fn main() {
         let _ = write!(
             engines_json,
             "    \"{}\": {{\"point_lookup_ops_per_sec\": {point:.1}, \"one_hop_ops_per_sec\": {one_hop:.1}, \
-             \"point_lookup_ms\": {}, \"one_hop_ms\": {}}}",
+             \"two_hop_ops_per_sec\": {two_hop_e:.1}, \"shortest_path_ops_per_sec\": {sp_e:.1}, \
+             \"point_lookup_ms\": {}, \"one_hop_ms\": {}, \"two_hop_ms\": {}, \"shortest_path_ms\": {}}}",
             adapter.name(),
             pct(&point_lat),
-            pct(&one_lat)
+            pct(&one_lat),
+            pct(&two_lat),
+            pct(&sp_lat)
         );
     }
+
+    // --- SQL recursive shortest path: optimizer on vs off ------------
+    // The planner rewrites the reach-shaped CTE to a BFS over cached
+    // Person/Knows adjacency; naive semi-naive evaluation re-joins the
+    // edge table against the delta once per iteration. Measured on the
+    // row store (the Postgres analogue), bypassing the adapter's CSR
+    // fast path so the CTE itself is what runs.
+    let sql_cte = {
+        const REACH: &str = "WITH RECURSIVE reach(id, depth) AS ( \
+             SELECT dst, 1 FROM person_knows_person WHERE src = $1 \
+             UNION SELECT src, 1 FROM person_knows_person WHERE dst = $1 \
+             UNION SELECT k.dst, r.depth + 1 FROM reach r \
+               JOIN person_knows_person k ON k.src = r.id WHERE r.depth < 10 \
+             UNION SELECT k.src, r.depth + 1 FROM reach r \
+               JOIN person_knows_person k ON k.dst = r.id WHERE r.depth < 10 \
+           ) SELECT MIN(depth) FROM reach WHERE id = $2";
+        let adapter = snb_driver::adapter::sql::SqlAdapter::row_store();
+        adapter.load(&data.snapshot).unwrap();
+        let mut params = ParamGen::new(&data, 0xbe9c);
+        let (a, b) = params.person_pair();
+        let cte_params = [Value::Int(a as i64), Value::Int(b as i64)];
+        let db = adapter.db();
+        let optimized = best_ops_per_sec(3, budget, || {
+            db.sql(REACH, &cte_params).unwrap();
+        });
+        db.set_planner_enabled(false);
+        let naive = best_ops_per_sec(3, budget, || {
+            db.sql(REACH, &cte_params).unwrap();
+        });
+        db.set_planner_enabled(true);
+        eprintln!(
+            "[bench] sql_recursive_cte: optimized {optimized:.0}/s vs naive {naive:.0}/s \
+             ({:.1}x)",
+            if naive > 0.0 { optimized / naive } else { 0.0 }
+        );
+        format!(
+            ",\n    \"sql_recursive_cte\": {{\"optimized_ops_per_sec\": {optimized:.1}, \
+             \"naive_ops_per_sec\": {naive:.1}}}"
+        )
+    };
+    engines_json.push_str(&sql_cte);
 
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

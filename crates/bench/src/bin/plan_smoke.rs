@@ -1,0 +1,167 @@
+//! CI smoke gate for the whole-query optimizer: runs the interactive
+//! read mix through the optimized and the naive execution paths of
+//! every planned engine and diffs the results 1:1.
+//!
+//! * **Cypher**: planner-compiled row-space execution vs the reference
+//!   interpreter — exact row equality (order included).
+//! * **SQL** (both layouts): scheduled joins + reach-CTE BFS vs the
+//!   executor's built-in heuristics — sorted-multiset equality (join
+//!   order legitimately permutes rows).
+//! * **Gremlin**: fused CSR range-scan groups vs step-at-a-time
+//!   execution — exact equality (fusion preserves traverser order and
+//!   bulk counts).
+//!
+//! Exits non-zero on any divergence. Usage:
+//! `cargo run --release --bin plan_smoke`
+
+use snb_bench::dataset;
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+use snb_driver::adapter::cypher::CypherAdapter;
+use snb_driver::adapter::sql::SqlAdapter;
+use snb_driver::adapter::SutAdapter;
+use snb_driver::ops::ParamGen;
+use snb_graph_native::Params;
+use snb_gremlin::{execute_with, ExecConfig, Predicate, Traversal};
+
+const CYPHER_TEMPLATES: &[&str] = &[
+    "MATCH (p:person {id:$id}) RETURN p.firstName",
+    "MATCH (p:person {id:$id})-[:knows]-(f) RETURN DISTINCT f.id, f.firstName",
+    "MATCH (p:person {id:$id})-[:knows]->(f) WHERE f.firstName = $name RETURN f.id",
+    "MATCH (p:person {id:$id})-[:knows*1..2]-(f) WHERE f.id <> $id RETURN DISTINCT f.id, f.firstName",
+    "MATCH (m)-[:has_creator]->(p:person {id:$id}) RETURN m.id, m.creationDate ORDER BY m.creationDate DESC LIMIT 5",
+    "MATCH (p:person) RETURN DISTINCT p.firstName",
+    "MATCH sp = shortestPath((a:person {id:$a})-[:knows*]-(b:person {id:$b})) RETURN length(sp)",
+];
+
+const SQL_TEMPLATES: &[&str] = &[
+    "SELECT firstName FROM person WHERE id = $1",
+    "SELECT p.id, p.firstName FROM person_knows_person k \
+     JOIN person p ON p.id = k.dst WHERE k.src = $1",
+    "SELECT p.firstName FROM person p \
+     JOIN person_knows_person k ON k.src = p.id WHERE k.dst = $1",
+    "SELECT DISTINCT k2.dst FROM person_knows_person k1 \
+     JOIN person_knows_person k2 ON k2.src = k1.dst WHERE k1.src = $1",
+    "SELECT p.id FROM person_knows_person k JOIN person p ON p.id = k.dst WHERE k.src = $1 \
+     UNION \
+     SELECT p.id FROM person_knows_person k JOIN person p ON p.id = k.src WHERE k.dst = $1",
+    "SELECT COUNT(*), MIN(dst), MAX(dst) FROM person_knows_person WHERE src = $1",
+    "WITH RECURSIVE reach(id, depth) AS ( \
+       SELECT dst, 1 FROM person_knows_person WHERE src = $1 \
+       UNION SELECT src, 1 FROM person_knows_person WHERE dst = $1 \
+       UNION SELECT k.dst, r.depth + 1 FROM reach r \
+             JOIN person_knows_person k ON k.src = r.id WHERE r.depth < 10 \
+       UNION SELECT k.src, r.depth + 1 FROM reach r \
+             JOIN person_knows_person k ON k.dst = r.id WHERE r.depth < 10 \
+     ) SELECT MIN(depth) FROM reach WHERE id = $2",
+];
+
+fn gremlin_mix(a: u64, b: u64, name: &str) -> Vec<Traversal> {
+    let p = |id: u64| Vid::new(VertexLabel::Person, id);
+    vec![
+        Traversal::v(p(a)).both(EdgeLabel::Knows).dedup().values(PropKey::Id),
+        Traversal::v(p(a)).both(EdgeLabel::Knows).both(EdgeLabel::Knows).dedup().count(),
+        Traversal::v(p(a))
+            .out(EdgeLabel::Knows)
+            .has(PropKey::FirstName, Predicate::Eq(Value::str(name)))
+            .values(PropKey::Id),
+        Traversal::v(p(a))
+            .both(EdgeLabel::Knows)
+            .both(EdgeLabel::Knows)
+            .both(EdgeLabel::Knows)
+            .dedup()
+            .count(),
+        Traversal::v(p(a)).both_e(EdgeLabel::Knows).other_v().values(PropKey::Id),
+        Traversal::v(p(a)).repeat_both_until(EdgeLabel::Knows, p(b), 8).path_len(),
+    ]
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    rows
+}
+
+fn main() {
+    let data = dataset(1);
+    let mut params = ParamGen::new(&data, 0x51a0);
+    let mut ids: Vec<u64> = (0..5).map(|_| params.person()).collect();
+    ids.push(1 << 40); // deliberately dangling (fits Vid's 56-bit local space)
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+
+    // --- Cypher: compiled plans vs the reference interpreter ---------
+    let cy = CypherAdapter::new();
+    cy.load(&data.snapshot).expect("load cypher");
+    let store = cy.store();
+    for template in CYPHER_TEMPLATES {
+        for &id in &ids {
+            let mut p = Params::new();
+            p.insert("id".into(), Value::Int(id as i64));
+            p.insert("name".into(), Value::str("Dee"));
+            p.insert("a".into(), Value::Int(ids[0] as i64));
+            p.insert("b".into(), Value::Int(id as i64));
+            let optimized = store.cypher(template, &p).expect("cypher optimized");
+            let naive = store.cypher_naive(template, &p).expect("cypher naive");
+            checked += 1;
+            if optimized.rows != naive.rows || optimized.columns != naive.columns {
+                failures += 1;
+                eprintln!("[plan_smoke] CYPHER DIVERGENCE (id={id}): {template}");
+            }
+        }
+    }
+
+    // --- Gremlin: fused vs step-at-a-time over the same store --------
+    let base = ExecConfig::from_env();
+    let fused_cfg = ExecConfig { fuse: true, ..base };
+    let unfused_cfg = ExecConfig { fuse: false, ..base };
+    for &id in &ids {
+        for t in gremlin_mix(id, ids[0], "Dee") {
+            let fused = execute_with(store, &t, fused_cfg);
+            let unfused = execute_with(store, &t, unfused_cfg);
+            checked += 1;
+            match (fused, unfused) {
+                (Ok(f), Ok(u)) => {
+                    if f != u {
+                        failures += 1;
+                        eprintln!("[plan_smoke] GREMLIN DIVERGENCE (id={id}): {t:?}");
+                    }
+                }
+                (Err(_), Err(_)) => {} // both overloaded: equivalent
+                (f, u) => {
+                    failures += 1;
+                    eprintln!(
+                        "[plan_smoke] GREMLIN ERROR ASYMMETRY (id={id}): fused={f:?} unfused={u:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // --- SQL: scheduled joins + BFS rewrite vs heuristics, both layouts
+    for adapter in [SqlAdapter::row_store(), SqlAdapter::column_store()] {
+        adapter.load(&data.snapshot).expect("load sql");
+        let db = adapter.db();
+        for template in SQL_TEMPLATES {
+            for &id in &ids {
+                let qp = [Value::Int(id as i64), Value::Int(ids[0] as i64)];
+                let optimized = db.sql(template, &qp).expect("sql optimized");
+                let naive = db.sql_naive(template, &qp).expect("sql naive");
+                checked += 1;
+                if optimized.columns != naive.columns
+                    || sorted(optimized.rows) != sorted(naive.rows)
+                {
+                    failures += 1;
+                    eprintln!(
+                        "[plan_smoke] SQL DIVERGENCE ({}, id={id}): {template}",
+                        adapter.name()
+                    );
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("[plan_smoke] FAILED: {failures}/{checked} checks diverged");
+        std::process::exit(1);
+    }
+    println!("[plan_smoke] OK: {checked} optimized-vs-naive checks, 0 divergences");
+}

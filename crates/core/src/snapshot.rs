@@ -237,6 +237,35 @@ impl CsrSnapshot {
         n
     }
 
+    /// Average degree over at most `cap` rows of `label` (all rows when
+    /// `label` is `None`). Feeds the query planner's cost model: the
+    /// sample is the *first* `cap` rows of the label group, so the
+    /// estimate is deterministic for a given snapshot and planning
+    /// never pays a full adjacency sweep.
+    pub fn sampled_avg_degree(&self, label: Option<VertexLabel>, dir: Direction, elabel: Option<EdgeLabel>, cap: usize) -> f64 {
+        let mut total = 0usize;
+        let mut n = 0usize;
+        match label {
+            Some(l) => {
+                for &row in self.rows_by_label(l).iter().take(cap.max(1)) {
+                    total += self.degree(row, dir, elabel);
+                    n += 1;
+                }
+            }
+            None => {
+                for row in (0..self.n_rows() as u32).take(cap.max(1)) {
+                    total += self.degree(row, dir, elabel);
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
     /// Out-edge property map of `src_row -[label]-> dst_row`, when edge
     /// properties were captured. `Ok(None)` = edge exists, no props;
     /// `Err(())` = edge not found in this snapshot.

@@ -263,20 +263,20 @@ impl<'a> Ctx<'a> {
 }
 
 /// Compare values treating `Date` and `Int` as the same numeric domain.
-fn cmp_vals(a: &Value, b: &Value) -> std::cmp::Ordering {
+pub(crate) fn cmp_vals(a: &Value, b: &Value) -> std::cmp::Ordering {
     match (a, b) {
         (Value::Date(x), Value::Int(y)) | (Value::Int(x), Value::Date(y)) => x.cmp(y),
         _ => a.cmp(b),
     }
 }
 
-fn truthy(v: &Value) -> bool {
+pub(crate) fn truthy(v: &Value) -> bool {
     matches!(v, Value::Bool(true))
 }
 
 /// Give every var-less node pattern a unique anonymous variable so the
 /// executor can always address the current chain position by slot.
-fn normalize(stmt: &Statement) -> Statement {
+pub(crate) fn normalize(stmt: &Statement) -> Statement {
     let mut stmt = stmt.clone();
     let mut counter = 0usize;
     let mut fix_path = |path: &mut PatternPath| {
@@ -712,7 +712,7 @@ fn var_expand(
 }
 
 /// Bidirectional BFS for unweighted shortest path length.
-fn bidi_bfs(
+pub(crate) fn bidi_bfs(
     view: &View<'_>,
     a: Vid,
     b: Vid,

@@ -11,10 +11,11 @@
 pub mod ast;
 pub mod exec;
 pub mod parser;
+pub mod plan;
 
 use std::collections::HashMap;
 
-use snb_core::{Result, Value};
+use snb_core::{GraphBackend, Result, Value};
 
 use crate::store::NativeGraphStore;
 
@@ -46,9 +47,45 @@ impl CypherResult {
 }
 
 impl NativeGraphStore {
-    /// Parse and execute a Cypher-like query.
+    /// Parse, plan, and execute a Cypher-like query.
+    ///
+    /// An `EXPLAIN ` prefix returns the rendered plan instead of
+    /// running the query (one line per row, single `plan` column).
+    /// With the planner enabled (the default), plans are cached by
+    /// query text; queries inside the compilable subset execute as a
+    /// row-space program over the pinned CSR snapshot, everything else
+    /// runs through the reference interpreter with a cached parse.
     pub fn cypher(&self, query: &str, params: &Params) -> Result<CypherResult> {
+        let trimmed = query.trim_start();
+        if trimmed.len() > 8 && trimmed[..8].eq_ignore_ascii_case("explain ") {
+            let text = self.cypher_explain(&trimmed[8..])?;
+            return Ok(CypherResult {
+                columns: vec!["plan".into()],
+                rows: text.lines().map(|l| vec![Value::str(l)]).collect(),
+            });
+        }
+        if !self.planner_enabled() {
+            return self.cypher_naive(query, params);
+        }
+        let entry = self.plan_for(query, || parser::parse(query))?;
+        if let Some(compiled) = &entry.compiled {
+            if let Some(snap) = self.pin_snapshot() {
+                return plan::run(compiled, &snap, params);
+            }
+        }
+        exec::execute(self, &entry.stmt, params)
+    }
+
+    /// Execute through the reference interpreter, bypassing the planner
+    /// and the plan cache entirely (the equivalence baseline).
+    pub fn cypher_naive(&self, query: &str, params: &Params) -> Result<CypherResult> {
         let stmt = parser::parse(query)?;
         exec::execute(self, &stmt, params)
+    }
+
+    /// The rendered optimizer plan for a query (what `EXPLAIN` shows).
+    pub fn cypher_explain(&self, query: &str) -> Result<String> {
+        let entry = self.plan_for(query, || parser::parse(query))?;
+        Ok(entry.explain.clone())
     }
 }

@@ -1,0 +1,836 @@
+//! Whole-query planning for the Cypher front end.
+//!
+//! Queries the interactive workload cares about — anchored chains,
+//! variable-length expansions, shortest-path length — lower into the
+//! shared [`snb_plan`] logical IR, run through the phase-ordered
+//! rewrite pipeline (scan-strategy selection, expansion reordering,
+//! predicate pushdown, projection pruning, all cost-estimated from the
+//! pinned CSR snapshot), and compile into a row-space program executed
+//! directly over `u32` snapshot rows: no `Value::Vertex` boxing, no
+//! symbol-table lookups, no per-row pattern re-interpretation.
+//!
+//! The compiled program reproduces the reference interpreter's
+//! semantics *exactly* — same adjacency visit order, same null/compare
+//! rules, same DISTINCT first-occurrence behaviour — so optimized and
+//! naive execution return identical rows in identical order (enforced
+//! by `plan_smoke` and the plan-equivalence proptests). Queries outside
+//! the compilable subset (mutations, aggregates, multi-path matches,
+//! relationship variables) keep their parsed AST cached and fall back
+//! to the interpreter.
+
+use snb_core::snapshot::CsrSnapshot;
+use snb_core::{
+    Direction, EdgeLabel, FastMap, PropKey, Result, SnbError, Value, VertexLabel, Vid,
+};
+use snb_plan::{self as ir, NoStats, PlanStats};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use super::ast::*;
+use super::exec::{self, View};
+use super::{CypherResult, Params};
+use crate::store::NativeGraphStore;
+
+/// One cached plan: the parsed statement (reused by the interpreter
+/// fallback), the compiled row-space program when the query lowers,
+/// and the rendered `EXPLAIN` text.
+pub struct PlanEntry {
+    pub stmt: Statement,
+    pub(crate) compiled: Option<Compiled>,
+    pub explain: String,
+}
+
+/// A constant term (the only expressions allowed in pattern property
+/// positions of compilable queries).
+#[derive(Clone)]
+enum CTerm {
+    Lit(Value),
+    Param(String),
+}
+
+impl CTerm {
+    fn from_expr(e: &Expr) -> Option<CTerm> {
+        match e {
+            Expr::Lit(v) => Some(CTerm::Lit(v.clone())),
+            Expr::Param(p) => Some(CTerm::Param(p.clone())),
+            _ => None,
+        }
+    }
+
+    fn eval(&self, params: &Params) -> Result<Value> {
+        match self {
+            CTerm::Lit(v) => Ok(v.clone()),
+            CTerm::Param(p) => params
+                .get(p)
+                .cloned()
+                .ok_or_else(|| SnbError::Plan(format!("missing parameter ${p}"))),
+        }
+    }
+
+    fn desc(&self) -> String {
+        match self {
+            CTerm::Lit(v) => format!("{v}"),
+            CTerm::Param(p) => format!("${p}"),
+        }
+    }
+}
+
+/// Compiled scalar expression over a row of snapshot row-indices.
+#[derive(Clone)]
+enum CExpr {
+    Lit(Value),
+    Param(String),
+    /// Property of the vertex bound at `slot`.
+    Prop { slot: usize, key: PropKey },
+    /// The vertex bound at `slot`, as a `Value::Vertex`.
+    Var { slot: usize },
+    /// A shortest-path length slot (stored as the raw length).
+    PathLen { slot: usize },
+    Cmp(Box<CExpr>, CmpOp, Box<CExpr>),
+    And(Box<CExpr>, Box<CExpr>),
+    Or(Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+}
+
+/// Compiled predicate (the payload the plan IR's opaque `Pred` points
+/// back to).
+#[derive(Clone)]
+enum CPred {
+    /// Pattern property equality, with `node_matches` semantics: the
+    /// property must exist and compare equal (Date/Int unified).
+    NodePropEq { slot: usize, key: PropKey, val: CTerm },
+    /// A WHERE conjunct: keep the row when the expression is truthy.
+    Filter(CExpr),
+}
+
+/// Compiled physical operators, in execution order.
+enum POp {
+    /// Dense id lookup: bind `slot` to the single row of `Vid(label, id)`.
+    AnchorById { slot: usize, label: VertexLabel, id: CTerm, preds: Vec<CPred> },
+    ScanLabel { slot: usize, label: VertexLabel, preds: Vec<CPred> },
+    ScanAll { slot: usize, preds: Vec<CPred> },
+    Expand {
+        from: usize,
+        to: usize,
+        dir: Direction,
+        label: Option<EdgeLabel>,
+        to_label: Option<VertexLabel>,
+        preds: Vec<CPred>,
+    },
+    VarExpand {
+        from: usize,
+        to: usize,
+        dir: Direction,
+        label: Option<EdgeLabel>,
+        to_label: Option<VertexLabel>,
+        min: u32,
+        max: u32,
+        preds: Vec<CPred>,
+    },
+    /// Per-row bidirectional BFS; drops the row when no path exists.
+    SpLen { from: usize, to: usize, out: usize, dir: Direction, label: Option<EdgeLabel>, max: u32, preds: Vec<CPred> },
+}
+
+pub(crate) struct Compiled {
+    n_slots: usize,
+    ops: Vec<POp>,
+    columns: Vec<String>,
+    items: Vec<CExpr>,
+    distinct: bool,
+    order_by: Vec<(CExpr, bool)>,
+    limit: Option<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: AST → shared plan IR (+ compiled payloads)
+// ---------------------------------------------------------------------------
+
+struct Lowering {
+    plan: ir::Plan,
+    payloads: Vec<CPred>,
+    columns: Vec<String>,
+    items: Vec<CExpr>,
+    distinct: bool,
+    order_by: Vec<(CExpr, bool)>,
+    limit: Option<usize>,
+}
+
+struct SlotMap {
+    names: Vec<String>,
+    labels: Vec<Option<VertexLabel>>,
+    /// Slot holding a shortest-path length rather than a vertex.
+    path_slot: Option<usize>,
+}
+
+impl SlotMap {
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+fn cexpr(e: &Expr, slots: &SlotMap) -> Option<CExpr> {
+    match e {
+        Expr::Lit(v) => Some(CExpr::Lit(v.clone())),
+        Expr::Param(p) => Some(CExpr::Param(p.clone())),
+        Expr::Prop(var, key) => {
+            let slot = slots.lookup(var)?;
+            if slots.path_slot == Some(slot) {
+                return None;
+            }
+            Some(CExpr::Prop { slot, key: *key })
+        }
+        Expr::Var(v) => {
+            let slot = slots.lookup(v)?;
+            if slots.path_slot == Some(slot) {
+                Some(CExpr::PathLen { slot })
+            } else {
+                Some(CExpr::Var { slot })
+            }
+        }
+        Expr::Length(v) => {
+            let slot = slots.lookup(v)?;
+            if slots.path_slot == Some(slot) {
+                Some(CExpr::PathLen { slot })
+            } else {
+                None
+            }
+        }
+        Expr::Cmp(a, op, b) => Some(CExpr::Cmp(Box::new(cexpr(a, slots)?), *op, Box::new(cexpr(b, slots)?))),
+        Expr::And(a, b) => Some(CExpr::And(Box::new(cexpr(a, slots)?), Box::new(cexpr(b, slots)?))),
+        Expr::Or(a, b) => Some(CExpr::Or(Box::new(cexpr(a, slots)?), Box::new(cexpr(b, slots)?))),
+        Expr::Not(e) => Some(CExpr::Not(Box::new(cexpr(e, slots)?))),
+        Expr::CountStar | Expr::Count(..) => None,
+    }
+}
+
+fn cexpr_slots(e: &CExpr, out: &mut Vec<usize>) {
+    match e {
+        CExpr::Lit(_) | CExpr::Param(_) => {}
+        CExpr::Prop { slot, .. } | CExpr::Var { slot } | CExpr::PathLen { slot } => {
+            if !out.contains(slot) {
+                out.push(*slot);
+            }
+        }
+        CExpr::Cmp(a, _, b) | CExpr::And(a, b) | CExpr::Or(a, b) => {
+            cexpr_slots(a, out);
+            cexpr_slots(b, out);
+        }
+        CExpr::Not(e) => cexpr_slots(e, out),
+    }
+}
+
+fn split_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            split_conjuncts(a, out);
+            split_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn conjunct_sel(e: &Expr) -> f64 {
+    match e {
+        Expr::Cmp(_, CmpOp::Eq, _) => 0.1,
+        Expr::Cmp(_, CmpOp::Ne, _) => 0.9,
+        Expr::Cmp(..) => 0.3,
+        _ => 0.5,
+    }
+}
+
+fn expr_desc(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => format!("{v}"),
+        Expr::Param(p) => format!("${p}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Length(v) => format!("length({v})"),
+        Expr::Prop(v, k) => format!("{v}.{k}"),
+        Expr::Cmp(a, op, b) => {
+            let o = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {o} {}", expr_desc(a), expr_desc(b))
+        }
+        Expr::And(a, b) => format!("{} AND {}", expr_desc(a), expr_desc(b)),
+        Expr::Or(a, b) => format!("({} OR {})", expr_desc(a), expr_desc(b)),
+        Expr::Not(e) => format!("NOT {}", expr_desc(e)),
+        Expr::CountStar => "count(*)".into(),
+        Expr::Count(e, d) => format!("count({}{})", if *d { "DISTINCT " } else { "" }, expr_desc(e)),
+    }
+}
+
+/// Pattern-property predicates of one node, as plan preds + payloads.
+/// Returns `None` when a property expression is not a constant term.
+fn node_preds(
+    node: &NodePat,
+    slot: usize,
+    preds: &mut Vec<ir::Pred>,
+    payloads: &mut Vec<CPred>,
+) -> Option<()> {
+    for (key, e) in &node.props {
+        let term = CTerm::from_expr(e)?;
+        let is_id_anchor = *key == PropKey::Id && node.label.is_some();
+        let payload = payloads.len();
+        payloads.push(CPred::NodePropEq { slot, key: *key, val: term.clone() });
+        preds.push(ir::Pred {
+            refs: vec![slot],
+            sel: if is_id_anchor { 0.001 } else { 0.1 },
+            desc: format!("{}.{key} = {}", node.var.as_deref().unwrap_or("_"), term.desc()),
+            payload,
+            anchor: if is_id_anchor { Some((slot, "id".to_string())) } else { None },
+            join: None,
+        });
+    }
+    Some(())
+}
+
+/// Lower a (normalized) statement into the shared plan IR. `None` means
+/// the query is outside the compilable subset.
+fn try_lower(stmt: &Statement) -> Option<Lowering> {
+    if !stmt.creates.is_empty() || !stmt.sets.is_empty() {
+        return None;
+    }
+    let ret = stmt.ret.as_ref()?;
+    if ret.items.iter().any(|i| i.expr.is_aggregate()) {
+        return None;
+    }
+    if stmt.matches.len() != 1 {
+        return None;
+    }
+    let clause = &stmt.matches[0];
+    if clause.paths.len() != 1 {
+        return None;
+    }
+
+    let mut preds: Vec<ir::Pred> = Vec::new();
+    let mut payloads: Vec<CPred> = Vec::new();
+    let mut ops: Vec<ir::OpNode> = Vec::new();
+
+    let slots = match &clause.paths[0] {
+        PatternPath::Chain { nodes, rels } => {
+            // Compilable chains bind every node to a distinct variable
+            // and keep relationships anonymous and property-free.
+            if rels.iter().any(|r| r.var.is_some() || !r.props.is_empty()) {
+                return None;
+            }
+            let mut names = Vec::with_capacity(nodes.len());
+            let mut labels = Vec::with_capacity(nodes.len());
+            let mut seen = HashSet::new();
+            for n in nodes {
+                let v = n.var.clone()?;
+                if !seen.insert(v.clone()) {
+                    return None;
+                }
+                names.push(v);
+                labels.push(n.label);
+            }
+            let slots = SlotMap { names, labels, path_slot: None };
+            for (i, n) in nodes.iter().enumerate() {
+                node_preds(n, i, &mut preds, &mut payloads)?;
+            }
+            ops.push(ir::OpNode::new(0, ir::OpKind::NodeScan { slot: 0, label: nodes[0].label }));
+            for (i, r) in rels.iter().enumerate() {
+                let (min, max) = r.range.unwrap_or((1, 1));
+                if r.range.is_some() && min > max {
+                    return None;
+                }
+                ops.push(ir::OpNode::new(
+                    i + 1,
+                    ir::OpKind::Expand {
+                        from: i,
+                        to: i + 1,
+                        dir: r.dir,
+                        label: r.label,
+                        to_label: nodes[i + 1].label,
+                        min,
+                        max,
+                    },
+                ));
+            }
+            slots
+        }
+        PatternPath::ShortestPath { path_var, from, rel, to } => {
+            // Both endpoints must be id-anchored; a shortest path from a
+            // scan would multiply BFS work without a bound.
+            if rel.var.is_some() || !rel.props.is_empty() {
+                return None;
+            }
+            for n in [from, to] {
+                if n.var.is_none()
+                    || n.label.is_none()
+                    || !n.props.iter().any(|(k, _)| *k == PropKey::Id)
+                {
+                    return None;
+                }
+            }
+            let fv = from.var.clone()?;
+            let tv = to.var.clone()?;
+            if fv == tv || fv == *path_var || tv == *path_var {
+                return None;
+            }
+            let slots = SlotMap {
+                names: vec![fv, tv, path_var.clone()],
+                labels: vec![from.label, to.label, None],
+                path_slot: Some(2),
+            };
+            node_preds(from, 0, &mut preds, &mut payloads)?;
+            node_preds(to, 1, &mut preds, &mut payloads)?;
+            let max = rel.range.map(|(_, hi)| hi).unwrap_or(u32::MAX);
+            ops.push(ir::OpNode::new(0, ir::OpKind::NodeScan { slot: 0, label: from.label }));
+            ops.push(ir::OpNode::new(1, ir::OpKind::NodeScan { slot: 1, label: to.label }));
+            ops.push(ir::OpNode::new(
+                2,
+                ir::OpKind::PathLen { from: 0, to: 1, out: 2, dir: rel.dir, label: rel.label, max },
+            ));
+            slots
+        }
+    };
+
+    // WHERE: each top-level conjunct becomes an opaque predicate.
+    if let Some(filter) = &clause.filter {
+        let mut conjuncts = Vec::new();
+        split_conjuncts(filter, &mut conjuncts);
+        for c in conjuncts {
+            let compiled = cexpr(c, &slots)?;
+            let mut refs = Vec::new();
+            cexpr_slots(&compiled, &mut refs);
+            refs.sort_unstable();
+            let payload = payloads.len();
+            payloads.push(CPred::Filter(compiled));
+            preds.push(ir::Pred {
+                refs,
+                sel: conjunct_sel(c),
+                desc: expr_desc(c),
+                payload,
+                anchor: None,
+                join: None,
+            });
+        }
+    }
+
+    // Projection.
+    let mut items = Vec::with_capacity(ret.items.len());
+    let mut columns = Vec::with_capacity(ret.items.len());
+    for item in &ret.items {
+        items.push(cexpr(&item.expr, &slots)?);
+        columns.push(item.name.clone());
+    }
+    let mut order_by = Vec::with_capacity(ret.order_by.len());
+    for (e, asc) in &ret.order_by {
+        order_by.push((cexpr(e, &slots)?, *asc));
+    }
+
+    let mut used: Vec<(usize, String)> = Vec::new();
+    for e in items.iter().chain(order_by.iter().map(|(e, _)| e)) {
+        collect_used(e, &mut used);
+    }
+    let mut display = String::new();
+    if ret.distinct {
+        display.push_str("DISTINCT ");
+    }
+    display.push_str(&ret.items.iter().map(|i| i.name.clone()).collect::<Vec<_>>().join(", "));
+    if !ret.order_by.is_empty() {
+        display.push_str(" ORDER BY ");
+        display.push_str(
+            &ret.order_by
+                .iter()
+                .map(|(e, asc)| format!("{}{}", expr_desc(e), if *asc { "" } else { " DESC" }))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    if let Some(l) = ret.limit {
+        display.push_str(&format!(" LIMIT {l}"));
+    }
+
+    let plan = ir::Plan {
+        kind: ir::PlanKind::Cypher,
+        slots: slots
+            .names
+            .iter()
+            .zip(slots.labels.iter())
+            .map(|(n, l)| ir::Slot { name: n.clone(), label: *l })
+            .collect(),
+        preds,
+        ops,
+        proj: ir::Projection {
+            used,
+            distinct: ret.distinct,
+            order_by: ret.order_by.len(),
+            limit: ret.limit,
+            display,
+        },
+    };
+    Some(Lowering { plan, payloads, columns, items, distinct: ret.distinct, order_by, limit: ret.limit })
+}
+
+fn collect_used(e: &CExpr, used: &mut Vec<(usize, String)>) {
+    match e {
+        CExpr::Prop { slot, key } => {
+            let entry = (*slot, key.to_string());
+            if !used.contains(&entry) {
+                used.push(entry);
+            }
+        }
+        CExpr::Cmp(a, _, b) | CExpr::And(a, b) | CExpr::Or(a, b) => {
+            collect_used(a, used);
+            collect_used(b, used);
+        }
+        CExpr::Not(e) => collect_used(e, used),
+        _ => {}
+    }
+}
+
+/// Compile an optimized plan into the physical program.
+fn compile(plan: &ir::Plan, payloads: &[CPred], low: &Lowering) -> Option<Compiled> {
+    let mut ops = Vec::with_capacity(plan.ops.len());
+    for op in &plan.ops {
+        let preds: Vec<CPred> = op.preds.iter().map(|&p| payloads[plan.preds[p].payload].clone()).collect();
+        let pop = match (&op.kind, &op.strategy) {
+            (ir::OpKind::NodeScan { slot, label }, ir::Strategy::ById) => {
+                let label = (*label)?;
+                // The anchoring id term; the predicate itself stays in
+                // `preds` so the matched row re-checks it, exactly as
+                // the interpreter's `node_matches` does.
+                let id = op.preds.iter().find_map(|&p| {
+                    let pred = &plan.preds[p];
+                    pred.anchor.as_ref().filter(|(s, c)| *s == *slot && c == "id")?;
+                    match &payloads[pred.payload] {
+                        CPred::NodePropEq { val, .. } => Some(val.clone()),
+                        _ => None,
+                    }
+                })?;
+                POp::AnchorById { slot: *slot, label, id, preds }
+            }
+            (ir::OpKind::NodeScan { slot, label: Some(l) }, ir::Strategy::ByLabel) => {
+                POp::ScanLabel { slot: *slot, label: *l, preds }
+            }
+            (ir::OpKind::NodeScan { slot, .. }, ir::Strategy::FullScan) => {
+                POp::ScanAll { slot: *slot, preds }
+            }
+            (ir::OpKind::Expand { from, to, dir, label, to_label, min: 1, max: 1 }, _) => POp::Expand {
+                from: *from,
+                to: *to,
+                dir: *dir,
+                label: *label,
+                to_label: *to_label,
+                preds,
+            },
+            (ir::OpKind::Expand { from, to, dir, label, to_label, min, max }, _) => POp::VarExpand {
+                from: *from,
+                to: *to,
+                dir: *dir,
+                label: *label,
+                to_label: *to_label,
+                min: *min,
+                max: *max,
+                preds,
+            },
+            (ir::OpKind::PathLen { from, to, out, dir, label, max }, _) => POp::SpLen {
+                from: *from,
+                to: *to,
+                out: *out,
+                dir: *dir,
+                label: *label,
+                max: *max,
+                preds,
+            },
+            _ => return None,
+        };
+        ops.push(pop);
+    }
+    Some(Compiled {
+        n_slots: plan.slots.len(),
+        ops,
+        columns: low.columns.clone(),
+        items: low.items.clone(),
+        distinct: low.distinct,
+        order_by: low.order_by.clone(),
+        limit: low.limit,
+    })
+}
+
+/// Plan a query end to end: parse-normalized statement → IR → pipeline
+/// → compiled program + EXPLAIN text.
+pub(crate) fn build_entry(store: &NativeGraphStore, stmt: Statement) -> Arc<PlanEntry> {
+    let normalized = exec::normalize(&stmt);
+    let (compiled, explain) = match try_lower(&normalized) {
+        Some(mut low) => {
+            use snb_core::GraphBackend;
+            let stats: Box<dyn PlanStats> = match store.pin_snapshot() {
+                Some(snap) => Box::new(snb_plan::CsrStats::new(snap)),
+                None => Box::new(NoStats),
+            };
+            match snb_plan::optimize(&mut low.plan, stats.as_ref()) {
+                Ok(trace) => {
+                    let explain = snb_plan::render(&low.plan, &trace);
+                    let compiled = compile(&low.plan, &low.payloads, &low);
+                    let explain = match &compiled {
+                        Some(_) => explain,
+                        None => format!("{explain}  (not compilable; reference interpreter)\n"),
+                    };
+                    (compiled, explain)
+                }
+                Err(e) => (None, format!("plan (cypher)\n  planning failed: {e}; reference interpreter\n")),
+            }
+        }
+        None => (None, "plan (cypher)\n  (outside the compilable subset; reference interpreter)\n".to_string()),
+    };
+    Arc::new(PlanEntry { stmt, compiled, explain })
+}
+
+// ---------------------------------------------------------------------------
+// Row-space execution
+// ---------------------------------------------------------------------------
+
+/// "unbound" sentinel in compiled rows.
+const NONE: u32 = u32::MAX;
+
+type SRow = Vec<u32>;
+
+fn ceval(snap: &CsrSnapshot, params: &Params, row: &[u32], e: &CExpr) -> Result<Value> {
+    match e {
+        CExpr::Lit(v) => Ok(v.clone()),
+        CExpr::Param(p) => params
+            .get(p)
+            .cloned()
+            .ok_or_else(|| SnbError::Plan(format!("missing parameter ${p}"))),
+        CExpr::Prop { slot, key } => {
+            let ix = row[*slot];
+            if ix == NONE {
+                return Ok(Value::Null);
+            }
+            Ok(snap.prop(ix, *key).unwrap_or(Value::Null))
+        }
+        CExpr::Var { slot } => {
+            let ix = row[*slot];
+            if ix == NONE {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Vertex(snap.vid_of(ix)))
+        }
+        CExpr::PathLen { slot } => {
+            let len = row[*slot];
+            if len == NONE {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Int(len as i64))
+        }
+        CExpr::Cmp(a, op, b) => {
+            let (a, b) = (ceval(snap, params, row, a)?, ceval(snap, params, row, b)?);
+            if a.is_null() || b.is_null() {
+                return Ok(Value::Bool(false));
+            }
+            Ok(Value::Bool(op.eval(exec::cmp_vals(&a, &b))))
+        }
+        CExpr::And(a, b) => Ok(Value::Bool(
+            exec::truthy(&ceval(snap, params, row, a)?) && exec::truthy(&ceval(snap, params, row, b)?),
+        )),
+        CExpr::Or(a, b) => Ok(Value::Bool(
+            exec::truthy(&ceval(snap, params, row, a)?) || exec::truthy(&ceval(snap, params, row, b)?),
+        )),
+        CExpr::Not(e) => Ok(Value::Bool(!exec::truthy(&ceval(snap, params, row, e)?))),
+    }
+}
+
+fn pred_ok(snap: &CsrSnapshot, params: &Params, row: &[u32], pred: &CPred) -> Result<bool> {
+    match pred {
+        CPred::NodePropEq { slot, key, val } => {
+            let want = val.eval(params)?;
+            let ix = row[*slot];
+            if ix == NONE {
+                return Ok(false);
+            }
+            Ok(match snap.prop(ix, *key) {
+                Some(have) => exec::cmp_vals(&have, &want) == std::cmp::Ordering::Equal,
+                None => false,
+            })
+        }
+        CPred::Filter(e) => Ok(exec::truthy(&ceval(snap, params, row, e)?)),
+    }
+}
+
+fn preds_ok(snap: &CsrSnapshot, params: &Params, row: &[u32], preds: &[CPred]) -> Result<bool> {
+    for p in preds {
+        if !pred_ok(snap, params, row, p)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Execute a compiled program against a pinned snapshot.
+pub(crate) fn run(c: &Compiled, snap: &CsrSnapshot, params: &Params) -> Result<CypherResult> {
+    let mut rows: Vec<SRow> = vec![vec![NONE; c.n_slots]];
+    let mut adj: Vec<u32> = Vec::new();
+    for op in &c.ops {
+        let mut out: Vec<SRow> = Vec::new();
+        match op {
+            POp::AnchorById { slot, label, id, preds } => {
+                for row in &rows {
+                    let id = id
+                        .eval(params)?
+                        .as_int()
+                        .ok_or_else(|| SnbError::Exec("non-integer id".into()))?;
+                    let vid = Vid::new(*label, id as u64);
+                    let Some(ix) = snap.row_of(vid) else { continue };
+                    let mut new_row = row.clone();
+                    new_row[*slot] = ix;
+                    if preds_ok(snap, params, &new_row, preds)? {
+                        out.push(new_row);
+                    }
+                }
+            }
+            POp::ScanLabel { slot, label, preds } => {
+                for row in &rows {
+                    for &ix in snap.rows_by_label(*label) {
+                        let mut new_row = row.clone();
+                        new_row[*slot] = ix;
+                        if preds_ok(snap, params, &new_row, preds)? {
+                            out.push(new_row);
+                        }
+                    }
+                }
+            }
+            POp::ScanAll { slot, preds } => {
+                for row in &rows {
+                    for ix in 0..snap.n_rows() as u32 {
+                        let mut new_row = row.clone();
+                        new_row[*slot] = ix;
+                        if preds_ok(snap, params, &new_row, preds)? {
+                            out.push(new_row);
+                        }
+                    }
+                }
+            }
+            POp::Expand { from, to, dir, label, to_label, preds } => {
+                for row in &rows {
+                    let ix = row[*from];
+                    if ix == NONE {
+                        continue;
+                    }
+                    adj.clear();
+                    snap.neighbors_into(ix, *dir, *label, &mut adj);
+                    for &t in &adj {
+                        if let Some(l) = to_label {
+                            if snap.vid_of(t).label() != *l {
+                                continue;
+                            }
+                        }
+                        let mut new_row = row.clone();
+                        new_row[*to] = t;
+                        if preds_ok(snap, params, &new_row, preds)? {
+                            out.push(new_row);
+                        }
+                    }
+                }
+            }
+            POp::VarExpand { from, to, dir, label, to_label, min, max, preds } => {
+                // Distinct-vertex BFS; insertion sequence matches the
+                // interpreter's exactly, so the (deterministic) FxHash
+                // consuming-iteration order — and therefore row order —
+                // is identical.
+                for row in &rows {
+                    let start = row[*from];
+                    if start == NONE {
+                        continue;
+                    }
+                    let mut dist: FastMap<u32, u32> = FastMap::from_iter([(start, 0)]);
+                    let mut queue: VecDeque<(u32, u32)> = VecDeque::from([(start, 0)]);
+                    while let Some((ix, d)) = queue.pop_front() {
+                        if d >= *max {
+                            continue;
+                        }
+                        adj.clear();
+                        snap.neighbors_into(ix, *dir, *label, &mut adj);
+                        for &other in &adj {
+                            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(other) {
+                                slot.insert(d + 1);
+                                queue.push_back((other, d + 1));
+                            }
+                        }
+                    }
+                    for (ix, d) in dist {
+                        if d < *min || d > *max {
+                            continue;
+                        }
+                        if let Some(l) = to_label {
+                            if snap.vid_of(ix).label() != *l {
+                                continue;
+                            }
+                        }
+                        let mut new_row = row.clone();
+                        new_row[*to] = ix;
+                        if preds_ok(snap, params, &new_row, preds)? {
+                            out.push(new_row);
+                        }
+                    }
+                }
+            }
+            POp::SpLen { from, to, out: out_slot, dir, label, max, preds } => {
+                let view = View::Snap(snap);
+                for row in &rows {
+                    let (f, t) = (row[*from], row[*to]);
+                    if f == NONE || t == NONE {
+                        continue;
+                    }
+                    let (a, b) = (snap.vid_of(f), snap.vid_of(t));
+                    if let Some(len) = exec::bidi_bfs(&view, a, b, *dir, *label, *max) {
+                        let mut new_row = row.clone();
+                        new_row[*out_slot] = len;
+                        if preds_ok(snap, params, &new_row, preds)? {
+                            out.push(new_row);
+                        }
+                    }
+                }
+            }
+        }
+        rows = out;
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    // Projection: same DISTINCT / stable-sort / LIMIT semantics as the
+    // interpreter's `project`.
+    let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut cells = Vec::with_capacity(c.items.len());
+        for item in &c.items {
+            cells.push(ceval(snap, params, row, item)?);
+        }
+        let mut keys = Vec::with_capacity(c.order_by.len());
+        for (e, _) in &c.order_by {
+            keys.push(ceval(snap, params, row, e)?);
+        }
+        projected.push((cells, keys));
+    }
+    if c.distinct {
+        let mut seen = HashSet::new();
+        projected.retain(|(cells, _)| seen.insert(cells.clone()));
+    }
+    if !c.order_by.is_empty() {
+        let dirs: Vec<bool> = c.order_by.iter().map(|(_, asc)| *asc).collect();
+        projected.sort_by(|(_, ka), (_, kb)| {
+            for (i, asc) in dirs.iter().enumerate() {
+                let ord = exec::cmp_vals(&ka[i], &kb[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if *asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(limit) = c.limit {
+        projected.truncate(limit);
+    }
+    Ok(CypherResult {
+        columns: c.columns.clone(),
+        rows: projected.into_iter().map(|(c, _)| c).collect(),
+    })
+}

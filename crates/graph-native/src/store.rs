@@ -8,7 +8,7 @@ use snb_core::{
     Direction, EdgeLabel, FastMap, FastSet, GraphBackend, GraphWrite, PropKey, PropertyMap,
     Result, SnbError, Value, VertexLabel, Vid,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -258,7 +258,18 @@ pub(crate) struct Shared {
     /// are published in nondecreasing order.
     fold_gate: Mutex<()>,
     folds_taken: AtomicU64,
+    /// Whole-query planner toggle (`true` by default); off = every
+    /// query runs through the reference interpreter, which the
+    /// plan-equivalence harnesses diff against.
+    planner: AtomicBool,
+    /// Cypher plan cache, keyed by query text. Bounded; a full cache is
+    /// cleared wholesale (plans are cheap to rebuild and the workload
+    /// reuses a handful of templates).
+    plans: RwLock<FastMap<String, Arc<crate::cypher::plan::PlanEntry>>>,
 }
+
+/// Plan-cache capacity (distinct query texts).
+const PLAN_CACHE_CAP: usize = 256;
 
 impl Shared {
     /// Wake the compactor (a reader saw a stale epoch, or the write
@@ -422,6 +433,8 @@ impl NativeGraphStore {
             fold_done_cv: Condvar::new(),
             fold_gate: Mutex::new(()),
             folds_taken: AtomicU64::new(0),
+            planner: AtomicBool::new(true),
+            plans: RwLock::new(FastMap::default()),
         });
         let compactor = {
             let shared = Arc::clone(&shared);
@@ -443,6 +456,37 @@ impl NativeGraphStore {
     #[inline]
     pub(crate) fn inner(&self) -> &RwLock<Inner> {
         &self.shared.inner
+    }
+
+    /// Enable/disable the whole-query planner (enabled by default).
+    /// With the planner off every Cypher query parses and executes
+    /// through the reference interpreter — the baseline the
+    /// plan-equivalence tests diff against.
+    pub fn set_planner_enabled(&self, on: bool) {
+        self.shared.planner.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the whole-query planner is active.
+    pub fn planner_enabled(&self) -> bool {
+        self.shared.planner.load(Ordering::Relaxed)
+    }
+
+    /// Cached plan for `query`, building (and caching) it on miss.
+    pub(crate) fn plan_for(
+        &self,
+        query: &str,
+        parse: impl FnOnce() -> Result<crate::cypher::ast::Statement>,
+    ) -> Result<Arc<crate::cypher::plan::PlanEntry>> {
+        if let Some(entry) = self.shared.plans.read().get(query) {
+            return Ok(Arc::clone(entry));
+        }
+        let entry = crate::cypher::plan::build_entry(self, parse()?);
+        let mut plans = self.shared.plans.write();
+        if plans.len() >= PLAN_CACHE_CAP {
+            plans.clear();
+        }
+        plans.insert(query.to_string(), Arc::clone(&entry));
+        Ok(entry)
     }
 
     /// Number of checkpoints the write path has executed.

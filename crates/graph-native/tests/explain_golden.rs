@@ -1,0 +1,124 @@
+//! EXPLAIN snapshot tests: golden-file renderings of the optimizer's
+//! chosen plans for the interactive workload's Cypher query shapes.
+//! A planner regression — wrong scan strategy, lost reorder, predicate
+//! left at the top — shows up as a readable text diff instead of a
+//! silent throughput loss.
+//!
+//! Regenerate with `BLESS=1 cargo test -p snb-graph-native --test
+//! explain_golden` after an intentional planner change.
+
+use snb_core::{EdgeLabel, GraphBackend, PropKey, Value, VertexLabel};
+use snb_graph_native::NativeGraphStore;
+use std::path::PathBuf;
+
+/// Small fixed graph: 5 persons in a chain-ish knows topology, 3 posts
+/// by person 1. Deterministic, so cost estimates in the goldens are
+/// stable.
+fn fixture() -> NativeGraphStore {
+    let store = NativeGraphStore::new();
+    let names = ["alice", "bob", "carol", "dave", "eve"];
+    let mut vids = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        vids.push(
+            store
+                .add_vertex(VertexLabel::Person, i as u64, &[(PropKey::FirstName, Value::str(name))])
+                .unwrap(),
+        );
+    }
+    for (a, b, d) in [(0usize, 1usize, 10i64), (0, 2, 20), (1, 2, 30), (2, 3, 40), (3, 4, 50)] {
+        store
+            .add_edge(EdgeLabel::Knows, vids[a], vids[b], &[(PropKey::CreationDate, Value::Date(d))])
+            .unwrap();
+    }
+    for (i, d) in [(0u64, 100i64), (1, 200), (2, 300)] {
+        let post = store
+            .add_vertex(VertexLabel::Post, i, &[(PropKey::CreationDate, Value::Date(d))])
+            .unwrap();
+        store.add_edge(EdgeLabel::HasCreator, post, vids[1], &[]).unwrap();
+    }
+    store.compact_now();
+    store
+}
+
+fn check(store: &NativeGraphStore, name: &str, query: &str) {
+    let actual = store.cypher_explain(query).unwrap();
+    let path: PathBuf =
+        [env!("CARGO_MANIFEST_DIR"), "tests", "golden", &format!("{name}.txt")].iter().collect();
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with BLESS=1)", path.display()));
+    assert_eq!(actual, expected, "EXPLAIN drift for `{name}`;\n--- actual ---\n{actual}");
+}
+
+#[test]
+fn explain_matches_goldens() {
+    let store = fixture();
+    // Point lookup: scan_strategy resolves the anchored node to by_id.
+    check(&store, "cypher_point_lookup", "MATCH (p:person {id:$id}) RETURN p.firstName");
+    // One hop: csr_range expansion + projection_prune fetch list.
+    check(
+        &store,
+        "cypher_one_hop",
+        "MATCH (p:person {id:$id})-[:knows]-(f) RETURN DISTINCT f.id, f.firstName",
+    );
+    // Two hop: predicate_pushdown attaches the WHERE to the expansion.
+    check(
+        &store,
+        "cypher_two_hop",
+        "MATCH (p:person {id:$id})-[:knows*1..2]-(f) WHERE f.id <> $id RETURN DISTINCT f.id, f.firstName",
+    );
+    // IS2 shape: expansion_reorder flips the chain onto the anchored
+    // creator instead of full-scanning messages.
+    check(
+        &store,
+        "cypher_is2",
+        "MATCH (m)-[:has_creator]->(p:person {id:$id}) RETURN m.content, m.creationDate ORDER BY m.creationDate DESC LIMIT 20",
+    );
+    // Unanchored single node: label scan, not full scan.
+    check(&store, "cypher_label_scan", "MATCH (p:person) RETURN DISTINCT p.firstName");
+    // Shortest path: both endpoints anchored, bidirectional BFS.
+    check(
+        &store,
+        "cypher_shortest_path",
+        "MATCH sp = shortestPath((a:person {id:$a})-[:knows*]-(b:person {id:$b})) RETURN length(sp)",
+    );
+}
+
+#[test]
+fn explain_prefix_returns_plan_rows() {
+    let store = fixture();
+    let res = store
+        .cypher("EXPLAIN MATCH (p:person {id:$id}) RETURN p.firstName", &Default::default())
+        .unwrap();
+    assert_eq!(res.columns, vec!["plan".to_string()]);
+    assert!(!res.rows.is_empty());
+    let first = format!("{}", res.rows[0][0]);
+    assert!(first.contains("plan (cypher)"), "unexpected first plan row: {first}");
+}
+
+#[test]
+fn compiled_subset_actually_compiles() {
+    // Guard against silent fallback: the workload's core shapes must
+    // report a real plan, not the interpreter notice.
+    let store = fixture();
+    for q in [
+        "MATCH (p:person {id:$id}) RETURN p.firstName",
+        "MATCH (p:person {id:$id})-[:knows]-(f) RETURN DISTINCT f.id, f.firstName",
+        "MATCH sp = shortestPath((a:person {id:$a})-[:knows*]-(b:person {id:$b})) RETURN length(sp)",
+    ] {
+        let plan = store.cypher_explain(q).unwrap();
+        assert!(
+            !plan.contains("interpreter"),
+            "expected `{q}` to compile, got:\n{plan}"
+        );
+    }
+    // And the fallback notice for something outside the subset.
+    let plan = store
+        .cypher_explain("MATCH (p:person) RETURN count(*)")
+        .unwrap();
+    assert!(plan.contains("interpreter"), "aggregate should fall back:\n{plan}");
+}

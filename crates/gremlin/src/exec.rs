@@ -29,7 +29,7 @@ use snb_core::{FastMap, FastSet};
 use std::sync::Arc;
 use std::sync::OnceLock;
 
-use crate::traversal::{Step, Traversal};
+use crate::traversal::{fuse_groups, FuseGroup, Step, Traversal};
 
 /// Hard cap on live traversers (sum of bulk counts); exceeding it
 /// aborts the traversal with `Overloaded` (the Table 3 "unable to
@@ -38,16 +38,20 @@ pub const TRAVERSER_BUDGET: usize = 2_000_000;
 
 /// Intra-query parallelism knobs. `workers` > 1 enables morsel-driven
 /// frontier expansion; `morsel_min` is the frontier size below which
-/// splitting is not worth the thread handoff.
+/// splitting is not worth the thread handoff; `fuse` runs adjacent
+/// vertex expansions and their property filters as single CSR
+/// range-scan passes ([`fuse_groups`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
     pub workers: usize,
     pub morsel_min: usize,
+    pub fuse: bool,
 }
 
 impl ExecConfig {
-    /// Read `SNB_TRAVERSAL_WORKERS` (default 1) and `SNB_MORSEL_MIN`
-    /// (default 2048) from the environment.
+    /// Read `SNB_TRAVERSAL_WORKERS` (default 1), `SNB_MORSEL_MIN`
+    /// (default 2048), and `SNB_STEP_FUSION` (default on; `0` or
+    /// `false` disables) from the environment.
     pub fn from_env() -> Self {
         let parse = |k: &str, d: usize| {
             std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(d)
@@ -55,6 +59,9 @@ impl ExecConfig {
         ExecConfig {
             workers: parse("SNB_TRAVERSAL_WORKERS", 1).max(1),
             morsel_min: parse("SNB_MORSEL_MIN", 2048).max(1),
+            fuse: std::env::var("SNB_STEP_FUSION")
+                .map(|v| v != "0" && !v.eq_ignore_ascii_case("false"))
+                .unwrap_or(true),
         }
     }
 
@@ -66,7 +73,7 @@ impl ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { workers: 1, morsel_min: 2048 }
+        ExecConfig { workers: 1, morsel_min: 2048, fuse: true }
     }
 }
 
@@ -167,11 +174,38 @@ fn run_capped(
 ) -> Result<Capped> {
     let mut ctx = Ctx { backend, snap: backend.pin_snapshot(), cfg };
     let mut set: Vec<Bulk> = Vec::new();
-    for step in &t.steps {
-        set = apply_step(&mut ctx, step, set)?;
-        let total: u64 = set.iter().map(|b| b.n).sum();
-        if total > cap as u64 {
-            return Ok(Capped::Exceeded(total));
+    let groups: Vec<FuseGroup> = if cfg.fuse {
+        fuse_groups(&t.steps)
+    } else {
+        (0..t.steps.len())
+            .map(|i| FuseGroup { start: i, end: i + 1, expansion: false })
+            .collect()
+    };
+    for g in &groups {
+        let steps = &t.steps[g.start..g.end];
+        // A vertex-expansion run executes as one fused pass in CSR row
+        // space when a snapshot is pinned and the whole frontier lives
+        // in it; otherwise (live-only vertices, no snapshot, non-vertex
+        // traversers) fall through to the step-at-a-time path, which
+        // reports the same type errors the unfused executor would.
+        if matches!(steps[0], Step::Out(_) | Step::In(_) | Step::Both(_)) {
+            if let Some(snap) = ctx.snap.clone() {
+                match exec_fused(&snap, steps, &set, cap) {
+                    FusedRun::Done(next) => {
+                        set = next;
+                        continue;
+                    }
+                    FusedRun::Exceeded(total) => return Ok(Capped::Exceeded(total)),
+                    FusedRun::Bail => {}
+                }
+            }
+        }
+        for step in steps {
+            set = apply_step(&mut ctx, step, set)?;
+            let total: u64 = set.iter().map(|b| b.n).sum();
+            if total > cap as u64 {
+                return Ok(Capped::Exceeded(total));
+            }
         }
     }
     let total: usize = set.iter().map(|b| b.n as usize).sum();
@@ -184,6 +218,85 @@ fn run_capped(
         out.push(v);
     }
     Ok(Capped::Done(out))
+}
+
+/// Outcome of one fused group: the next frontier, a cap breach, or a
+/// bail-out back to step-at-a-time execution.
+enum FusedRun {
+    Done(Vec<Bulk>),
+    Exceeded(u64),
+    Bail,
+}
+
+/// Run a fused `out`/`in`/`both`/`has` group entirely in CSR row
+/// space: hops chain through `neighbors_into` on row ids with
+/// first-occurrence bulking after each hop (identical order and
+/// multiplicities to the unfused path), and filters read the
+/// snapshot's dense property columns inline. Vids are materialized
+/// only once, at the group boundary. The cap is checked after every
+/// internal step, exactly where the unfused loop checks it.
+fn exec_fused(snap: &CsrSnapshot, steps: &[Step], set: &[Bulk], cap: usize) -> FusedRun {
+    let mut rows: Vec<(u32, u64)> = Vec::with_capacity(set.len());
+    for b in set {
+        match &b.tr {
+            Traverser::Vertex(v) => match snap.row_of(*v) {
+                Some(r) => rows.push((r, b.n)),
+                None => return FusedRun::Bail,
+            },
+            _ => return FusedRun::Bail,
+        }
+    }
+    let mut buf: Vec<u32> = Vec::new();
+    for step in steps {
+        match step {
+            Step::Out(l) => rows = fused_hop(snap, &rows, Direction::Out, *l, &mut buf),
+            Step::In(l) => rows = fused_hop(snap, &rows, Direction::In, *l, &mut buf),
+            Step::Both(l) => rows = fused_hop(snap, &rows, Direction::Both, *l, &mut buf),
+            Step::Has(key, pred) => {
+                // Missing properties never match, same as `vprop`-based
+                // filtering on the unfused path.
+                rows.retain(|&(r, _)| snap.prop(r, *key).is_some_and(|v| pred.test(&v)));
+            }
+            other => unreachable!("non-fusable step in fused group: {other:?}"),
+        }
+        let total: u64 = rows.iter().map(|&(_, n)| n).sum();
+        if total > cap as u64 {
+            return FusedRun::Exceeded(total);
+        }
+    }
+    FusedRun::Done(
+        rows.into_iter()
+            .map(|(r, n)| Bulk { tr: Traverser::Vertex(snap.vid_of(r)), n })
+            .collect(),
+    )
+}
+
+/// One fused hop: expand every `(row, bulk)` pair and collapse the raw
+/// neighbour stream first-occurrence, mirroring [`collapse`] but on row
+/// ids.
+fn fused_hop(
+    snap: &CsrSnapshot,
+    rows: &[(u32, u64)],
+    dir: Direction,
+    label: Option<EdgeLabel>,
+    buf: &mut Vec<u32>,
+) -> Vec<(u32, u64)> {
+    let mut index: FastMap<u32, u32> = FastMap::default();
+    let mut out: Vec<(u32, u64)> = Vec::new();
+    for &(r, n) in rows {
+        buf.clear();
+        snap.neighbors_into(r, dir, label, buf);
+        for &nr in buf.iter() {
+            match index.entry(nr) {
+                std::collections::hash_map::Entry::Occupied(e) => out[*e.get() as usize].1 += n,
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.len() as u32);
+                    out.push((nr, n));
+                }
+            }
+        }
+    }
+    out
 }
 
 fn vertex_of(tr: &Traverser) -> Result<Vid> {
@@ -829,14 +942,14 @@ mod tests {
             .both(EdgeLabel::Knows)
             .both(EdgeLabel::Knows)
             .values(PropKey::Id);
-        let seq = execute_with(&s, &t, ExecConfig { workers: 1, morsel_min: 1 }).unwrap();
-        let par = execute_with(&s, &t, ExecConfig { workers: 4, morsel_min: 1 }).unwrap();
+        let seq = execute_with(&s, &t, ExecConfig { workers: 1, morsel_min: 1, fuse: false }).unwrap();
+        let par = execute_with(&s, &t, ExecConfig { workers: 4, morsel_min: 1, fuse: false }).unwrap();
         // Morsel results concatenate in order: identical, not just
         // set-equal.
         assert_eq!(seq, par);
         let sp = Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(5), 8).path_len();
-        let seq = execute_with(&s, &sp, ExecConfig { workers: 1, morsel_min: 1 }).unwrap();
-        let par = execute_with(&s, &sp, ExecConfig { workers: 4, morsel_min: 1 }).unwrap();
+        let seq = execute_with(&s, &sp, ExecConfig { workers: 1, morsel_min: 1, fuse: false }).unwrap();
+        let par = execute_with(&s, &sp, ExecConfig { workers: 4, morsel_min: 1, fuse: false }).unwrap();
         assert_eq!(seq, par);
     }
 
@@ -1006,6 +1119,78 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, vec![Value::str("Gus")]);
+    }
+
+    #[test]
+    fn fused_matches_unfused_exactly() {
+        let s = fixture();
+        s.compact_now();
+        assert!(s.pin_snapshot().is_some(), "fused path needs a pinned snapshot");
+        let fused = ExecConfig { workers: 1, morsel_min: 2048, fuse: true };
+        let unfused = ExecConfig { workers: 1, morsel_min: 2048, fuse: false };
+        let cases = vec![
+            // Multi-hop chain: one fused group.
+            Traversal::v(p(1)).both(EdgeLabel::Knows).both(EdgeLabel::Knows).values(PropKey::Id),
+            // Expansion + property filter fuses into the same group.
+            Traversal::v(p(1))
+                .both(EdgeLabel::Knows)
+                .both(EdgeLabel::Knows)
+                .has(PropKey::FirstName, Predicate::Eq(Value::str("Dee")))
+                .values(PropKey::Id),
+            // Bulk multiplicities must survive the fused hops.
+            Traversal::v(p(1)).both(EdgeLabel::Knows).both(EdgeLabel::Knows).count(),
+            // Filter that drops everything mid-group.
+            Traversal::v(p(1))
+                .both(EdgeLabel::Knows)
+                .has(PropKey::FirstName, Predicate::Eq(Value::str("nobody")))
+                .both(EdgeLabel::Knows)
+                .count(),
+            // Fused group followed by unfusable steps.
+            Traversal::v(p(1))
+                .both(EdgeLabel::Knows)
+                .both(EdgeLabel::Knows)
+                .dedup()
+                .order_by(PropKey::FirstName, true)
+                .values(PropKey::FirstName),
+            // Directed hops.
+            Traversal::v(p(1)).out(EdgeLabel::Knows).out(EdgeLabel::Knows).values(PropKey::Id),
+            Traversal::v(p(3)).in_(EdgeLabel::Knows).values(PropKey::Id),
+        ];
+        for t in &cases {
+            let a = execute_with(&s, t, fused).unwrap();
+            let b = execute_with(&s, t, unfused).unwrap();
+            // Exact equality — order and multiplicities included.
+            assert_eq!(a, b, "fused/unfused diverge for {t:?}");
+        }
+    }
+
+    #[test]
+    fn fused_bails_to_live_path_for_unsnapshotted_vertices() {
+        let s = fixture();
+        s.compact_now();
+        // A vertex added after the compaction is live-only: the fused
+        // pass cannot see it and must fall back per-step, which routes
+        // through the live backend API.
+        s.add_vertex(VertexLabel::Person, 50, &[(PropKey::FirstName, Value::str("New"))])
+            .unwrap();
+        s.add_edge(EdgeLabel::Knows, p(50), p(1), &[]).unwrap();
+        let t = Traversal::v(p(50)).both(EdgeLabel::Knows).values(PropKey::FirstName);
+        let r = execute_with(&s, &t, ExecConfig { workers: 1, morsel_min: 2048, fuse: true })
+            .unwrap();
+        assert_eq!(r, vec![Value::str("Ada")]);
+    }
+
+    #[test]
+    fn fused_cap_check_fires_mid_group() {
+        let s = fixture();
+        s.compact_now();
+        // Same shape as capped_execution_spills_instead_of_erroring,
+        // but the whole two-hop now runs as one fused group: the cap
+        // must still trip on the intermediate frontier totals.
+        let t = Traversal::v(p(1)).both(EdgeLabel::Knows).both(EdgeLabel::Knows);
+        assert!(execute_capped(&s, &t, 4).unwrap().is_none());
+        let full = execute_capped(&s, &t, 5).unwrap().expect("fits under the cap");
+        assert_eq!(full.len(), 5);
     }
 
     #[test]

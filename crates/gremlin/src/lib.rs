@@ -37,4 +37,4 @@ pub use server::{
     default_workers, GremlinClient, GremlinServer, RawSubmitter, ReplySink, ServerConfig,
     TraversalEndpoint, INLINE_TRAVERSER_CAP,
 };
-pub use traversal::{Predicate, Step, Traversal};
+pub use traversal::{fuse_groups, FuseGroup, Predicate, Step, Traversal};

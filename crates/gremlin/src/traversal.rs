@@ -87,30 +87,106 @@ pub struct Traversal {
     pub steps: Vec<Step>,
 }
 
+/// One fused execution unit: a contiguous range `steps[start..end]`
+/// the executor runs as a single pass. Vertex expansions
+/// (`out`/`in`/`both`) and the property filters interleaved with them
+/// fuse into one group — the executor keeps the whole run in CSR row
+/// space — while every other step stays a singleton group.
+/// `expansion` marks groups that cost one frontier expansion in
+/// [`Traversal::bounded_cost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuseGroup {
+    pub start: usize,
+    pub end: usize,
+    pub expansion: bool,
+}
+
+/// Partition a step list into fused groups. A maximal run of
+/// `Out`/`In`/`Both`/`Has` steps containing at least one expansion is
+/// one group (the hops chain through CSR range scans and the filters
+/// run inline on snapshot columns); `OutE`/`InE`/`BothE` are singleton
+/// expansion groups (edge traversers leave vertex row space); anything
+/// else is a singleton non-expansion group.
+pub fn fuse_groups(steps: &[Step]) -> Vec<FuseGroup> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < steps.len() {
+        match steps[i] {
+            Step::Out(_) | Step::In(_) | Step::Both(_) => {
+                let start = i;
+                let mut end = i + 1;
+                while matches!(
+                    steps.get(end),
+                    Some(Step::Out(_) | Step::In(_) | Step::Both(_) | Step::Has(..))
+                ) {
+                    end += 1;
+                }
+                out.push(FuseGroup { start, end, expansion: true });
+                i = end;
+            }
+            Step::OutE(_) | Step::InE(_) | Step::BothE(_) => {
+                out.push(FuseGroup { start: i, end: i + 1, expansion: true });
+                i += 1;
+            }
+            _ => {
+                out.push(FuseGroup { start: i, end: i + 1, expansion: false });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
 impl Traversal {
     /// Whether every step has statically bounded cost: no
     /// `repeat`-style search (its cost depends on how much of the graph
     /// the until-condition forces it to explore), no whole-label scan,
-    /// and at most a short expansion chain (each `out`/`in`/`both` hop
-    /// multiplies the frontier by a vertex degree). Transports use this
-    /// to decide whether a request may run inline on an I/O thread or
-    /// must go through the worker pool, where the bounded queue turns
-    /// saturation into typed `Overloaded` backpressure.
+    /// and at most a short chain of *fused* expansion groups. The
+    /// executor runs an adjacent `out`/`in`/`both`-plus-filter run as a
+    /// single CSR range-scan pass ([`fuse_groups`]), so the unit of
+    /// cost here is the fused group, not the raw step — a four-hop
+    /// friend-of-friend chain is one group and still qualifies for
+    /// inline execution. Transports use this to decide whether a
+    /// request may run inline on an I/O thread or must go through the
+    /// worker pool, where the bounded queue turns saturation into typed
+    /// `Overloaded` backpressure; the runtime traverser cap remains the
+    /// dynamic backstop for hub blow-ups a static count cannot see.
     pub fn bounded_cost(&self) -> bool {
-        let mut expansions = 0usize;
-        for step in &self.steps {
-            match step {
-                Step::RepeatUntil { .. } | Step::VLabel(_) => return false,
-                Step::Out(_)
-                | Step::In(_)
-                | Step::Both(_)
-                | Step::OutE(_)
-                | Step::InE(_)
-                | Step::BothE(_) => expansions += 1,
-                _ => {}
+        if self
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::RepeatUntil { .. } | Step::VLabel(_)))
+        {
+            return false;
+        }
+        fuse_groups(&self.steps).iter().filter(|g| g.expansion).count() <= 3
+    }
+
+    /// Human-readable fused execution plan: one line per fused group,
+    /// with the chained steps of a fused run joined by `->`. This is
+    /// what the step-fusion goldens snapshot.
+    pub fn fused_plan(&self) -> String {
+        let groups = fuse_groups(&self.steps);
+        let expansions = groups.iter().filter(|g| g.expansion).count();
+        let mut out = format!(
+            "gremlin plan ({} group{}, {} expansion group{}, inline={})\n",
+            groups.len(),
+            if groups.len() == 1 { "" } else { "s" },
+            expansions,
+            if expansions == 1 { "" } else { "s" },
+            self.bounded_cost(),
+        );
+        for (i, g) in groups.iter().enumerate() {
+            let steps = &self.steps[g.start..g.end];
+            if matches!(steps[0], Step::Out(_) | Step::In(_) | Step::Both(_)) {
+                let chain =
+                    steps.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>().join(" -> ");
+                out.push_str(&format!("  {}. fuse[csr_range] {chain}\n", i + 1));
+            } else {
+                out.push_str(&format!("  {}. {:?}\n", i + 1, steps[0]));
             }
         }
-        expansions <= 3
+        out
     }
 
     /// Whether any step (including inside a `repeat` body) mutates the
@@ -290,6 +366,84 @@ mod tests {
             }],
         };
         assert!(t.has_mutation());
+    }
+
+    #[test]
+    fn fuse_groups_merge_expansion_runs_and_trailing_filters() {
+        let v = Vid::new(VertexLabel::Person, 1);
+        // V . out.out.has.both . dedup . count — the expansion run plus
+        // its interleaved filter is one group.
+        let t = Traversal::v(v)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .has(PropKey::FirstName, Predicate::Eq(Value::str("x")))
+            .both(EdgeLabel::Knows)
+            .dedup()
+            .count();
+        let groups = fuse_groups(&t.steps);
+        assert_eq!(
+            groups,
+            vec![
+                FuseGroup { start: 0, end: 1, expansion: false },
+                FuseGroup { start: 1, end: 5, expansion: true },
+                FuseGroup { start: 5, end: 6, expansion: false },
+                FuseGroup { start: 6, end: 7, expansion: false },
+            ]
+        );
+        // Edge expansions never fuse: each is its own expansion group.
+        let t = Traversal::v(v).both_e(EdgeLabel::Knows).other_v().out(EdgeLabel::Knows);
+        let groups = fuse_groups(&t.steps);
+        assert_eq!(groups.iter().filter(|g| g.expansion).count(), 2);
+        assert!(groups.iter().all(|g| g.end - g.start == 1));
+        // A Has with no adjacent expansion stays a singleton.
+        let t = Traversal::v(v).has(PropKey::FirstName, Predicate::Eq(Value::str("x")));
+        assert_eq!(
+            fuse_groups(&t.steps),
+            vec![
+                FuseGroup { start: 0, end: 1, expansion: false },
+                FuseGroup { start: 1, end: 2, expansion: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn bounded_cost_counts_fused_groups_not_raw_steps() {
+        let v = Vid::new(VertexLabel::Person, 1);
+        // A four-hop vertex chain is one fused group: inline-eligible
+        // now, where the raw step count used to disqualify it.
+        let t = Traversal::v(v)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .count();
+        assert!(t.bounded_cost());
+        // Edge expansions do not fuse, so four of them still exceed the
+        // group budget.
+        let mut t = Traversal::v(v);
+        for _ in 0..4 {
+            t = t.both_e(EdgeLabel::Knows).other_v();
+        }
+        assert!(!t.bounded_cost());
+        // Label scans and repeat loops stay unbounded regardless.
+        assert!(!Traversal::v_label(VertexLabel::Person).bounded_cost());
+        assert!(!Traversal::v(v)
+            .repeat_both_until(EdgeLabel::Knows, Vid::new(VertexLabel::Person, 9), 6)
+            .bounded_cost());
+    }
+
+    #[test]
+    fn fused_plan_renders_groups() {
+        let v = Vid::new(VertexLabel::Person, 1);
+        let t = Traversal::v(v)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .has(PropKey::FirstName, Predicate::Eq(Value::str("x")))
+            .count();
+        let plan = t.fused_plan();
+        assert!(plan.contains("fuse[csr_range]"), "{plan}");
+        assert!(plan.contains("inline=true"), "{plan}");
+        assert!(plan.lines().count() == 4, "{plan}");
     }
 
     #[test]

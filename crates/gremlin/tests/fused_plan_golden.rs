@@ -1,0 +1,71 @@
+//! Step-fusion snapshot tests: golden-file renderings of the fused
+//! execution plan for the interactive workload's traversal shapes. A
+//! fusion regression — a run that stops fusing, a filter that falls out
+//! of its group, an inline-eligibility flip — shows up as a readable
+//! text diff.
+//!
+//! Regenerate with `BLESS=1 cargo test -p snb-gremlin --test
+//! fused_plan_golden` after an intentional fusion change.
+
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+use snb_gremlin::{Predicate, Traversal};
+use std::path::PathBuf;
+
+fn p(id: u64) -> Vid {
+    Vid::new(VertexLabel::Person, id)
+}
+
+fn check(name: &str, t: &Traversal) {
+    let actual = t.fused_plan();
+    let path: PathBuf =
+        [env!("CARGO_MANIFEST_DIR"), "tests", "golden", &format!("{name}.txt")].iter().collect();
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with BLESS=1)", path.display()));
+    assert_eq!(actual, expected, "fused plan drift for `{name}`;\n--- actual ---\n{actual}");
+}
+
+#[test]
+fn fused_plans_match_goldens() {
+    // One hop: a single-step expansion group.
+    check(
+        "gremlin_one_hop",
+        &Traversal::v(p(1)).both(EdgeLabel::Knows).dedup().values(PropKey::Id),
+    );
+    // Two hop with a mid-chain property filter: hops and filter fuse
+    // into one CSR range-scan group.
+    check(
+        "gremlin_two_hop_filter",
+        &Traversal::v(p(1))
+            .both(EdgeLabel::Knows)
+            .both(EdgeLabel::Knows)
+            .has(PropKey::FirstName, Predicate::Eq(Value::str("Dee")))
+            .dedup()
+            .count(),
+    );
+    // Four-hop chain: one fused group, inline-eligible where the raw
+    // step count would have disqualified it.
+    check(
+        "gremlin_four_hop",
+        &Traversal::v(p(1))
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .out(EdgeLabel::Knows)
+            .count(),
+    );
+    // Edge expansions stay singleton groups; shortest path via
+    // repeat/until is never inline-eligible.
+    check(
+        "gremlin_edge_expand",
+        &Traversal::v(p(1)).both_e(EdgeLabel::Knows).other_v().values(PropKey::Id),
+    );
+    check(
+        "gremlin_shortest_path",
+        &Traversal::v(p(1)).repeat_both_until(EdgeLabel::Knows, p(5), 8).path_len(),
+    );
+}

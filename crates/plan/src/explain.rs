@@ -1,0 +1,76 @@
+//! Deterministic plan rendering for `EXPLAIN`.
+//!
+//! The output is consumed by golden-file snapshot tests, so the format
+//! is stable on purpose: one line per operator (kind, access strategy,
+//! cardinality estimate, attached predicates, pruned fetch list), the
+//! projection, then the rewrite trace. Planner regressions show up as
+//! readable text diffs instead of silent performance loss.
+
+use crate::ir::{OpKind, Plan, PlanKind};
+use crate::pipeline::Trace;
+use snb_core::Direction;
+use std::fmt::Write;
+
+fn dir_glyph(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Out => "->",
+        Direction::In => "<-",
+        Direction::Both => "--",
+    }
+}
+
+/// Render an optimized plan and its rewrite trace.
+pub fn render(plan: &Plan, trace: &Trace) -> String {
+    let mut s = String::new();
+    let kind = match plan.kind {
+        PlanKind::Cypher => "cypher",
+        PlanKind::Sql => "sql",
+    };
+    let _ = writeln!(s, "plan ({kind})");
+    for (i, op) in plan.ops.iter().enumerate() {
+        let head = match &op.kind {
+            OpKind::NodeScan { slot, label } => {
+                let l = label.map(|l| format!(":{}", l.as_str())).unwrap_or_default();
+                format!("NodeScan ({}{l})", plan.slots[*slot].name)
+            }
+            OpKind::Expand { from, to, dir, label, to_label, min, max } => {
+                let l = label.map(|l| format!(":{}", l.as_str())).unwrap_or_default();
+                let hops = if (*min, *max) == (1, 1) { String::new() } else { format!("*{min}..{max}") };
+                let tl = to_label.map(|l| format!(":{}", l.as_str())).unwrap_or_default();
+                format!(
+                    "Expand ({}){}[{l}{hops}]{}({}{tl})",
+                    plan.slots[*from].name,
+                    if *dir == Direction::In { dir_glyph(*dir) } else { "-" },
+                    if *dir == Direction::Out { dir_glyph(*dir) } else { "-" },
+                    plan.slots[*to].name
+                )
+            }
+            OpKind::PathLen { from, to, out, max, .. } => {
+                let cap = if *max == u32::MAX { "∞".to_string() } else { max.to_string() };
+                format!(
+                    "ShortestPathLen ({})==({}) max={cap} -> {}",
+                    plan.slots[*from].name, plan.slots[*to].name, plan.slots[*out].name
+                )
+            }
+            OpKind::TableScan { slot, table } => {
+                let verb = if i == 0 { "Scan" } else { "Join" };
+                format!("{verb} {table} AS {}", plan.slots[*slot].name)
+            }
+        };
+        let _ = writeln!(s, "  {}. {head}  [{}]  est={:.1}", i + 1, op.strategy.as_str(), op.est_rows);
+        for &p in &op.preds {
+            let _ = writeln!(s, "       where {} (sel {:.2})", plan.preds[p].desc, plan.preds[p].sel);
+        }
+        if !op.fetch.is_empty() {
+            let _ = writeln!(s, "       fetch [{}]", op.fetch.join(", "));
+        }
+    }
+    if !plan.proj.display.is_empty() {
+        let _ = writeln!(s, "  *. Project {}", plan.proj.display);
+    }
+    let _ = writeln!(s, "rewrites ({} pass{}):", trace.passes, if trace.passes == 1 { "" } else { "es" });
+    for f in &trace.fires {
+        let _ = writeln!(s, "  [{}] {}: {}", f.phase.as_str(), f.rule, f.detail);
+    }
+    s
+}

@@ -1,0 +1,184 @@
+//! The logical plan IR both front ends lower into.
+//!
+//! A [`Plan`] is a flat list of operators over a slot space. Cypher
+//! slots are pattern variables (node bindings plus one slot for a
+//! shortest-path length); SQL slots are the sources of a select core.
+//! Operators are deliberately coarse — scan, expand, path, table scan —
+//! because the optimizer only needs enough structure to choose access
+//! strategies, orientation/ordering, predicate placement, and fetch
+//! lists. Everything finer-grained stays in the front end, reachable
+//! through each node's stable `id` and each predicate's `payload`.
+
+use snb_core::{Direction, EdgeLabel, VertexLabel};
+
+/// Which front end produced the plan (affects rule applicability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    Cypher,
+    Sql,
+}
+
+/// One binding slot: a pattern variable (Cypher) or a source alias
+/// (SQL). `label` is the statically known vertex label, when any.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    pub name: String,
+    pub label: Option<VertexLabel>,
+}
+
+/// An opaque predicate. The pipeline never interprets its expression —
+/// it only knows which slots the predicate reads (`refs`), how
+/// selective it is believed to be (`sel`), and, for the two shapes the
+/// rules exploit, structural hints: `anchor` marks `slot.col = const`
+/// equalities, `join` marks `a.x = b.y` equi-joins.
+#[derive(Debug, Clone)]
+pub struct Pred {
+    /// Slots the predicate reads; it may only run once all are bound.
+    pub refs: Vec<usize>,
+    /// Estimated fraction of rows that survive the predicate.
+    pub sel: f64,
+    /// Display form for `EXPLAIN`.
+    pub desc: String,
+    /// Index back into the front end's typed predicate array.
+    pub payload: usize,
+    /// `Some((slot, column))` when the predicate pins `slot.column` to
+    /// a constant — usable as an index/id anchor.
+    pub anchor: Option<(usize, String)>,
+    /// `Some((s1, c1, s2, c2))` when the predicate equates columns of
+    /// two different slots — usable to order joins.
+    pub join: Option<(usize, String, usize, String)>,
+}
+
+/// How an operator accesses storage. Resolved by the `scan_strategy`
+/// rule; `Lower` rejects plans with unresolved strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    Unresolved,
+    /// Dense vertex-index point lookup (Cypher anchored node).
+    ById,
+    /// Per-label row scan.
+    ByLabel,
+    /// Whole-graph scan.
+    FullScan,
+    /// Indexed equality probe on the named column (SQL).
+    IndexEq(String),
+    /// Sequential table scan (SQL).
+    Seq,
+    /// CSR adjacency range scan (expansions and path search).
+    Adjacency,
+}
+
+impl Strategy {
+    pub fn as_str(&self) -> &str {
+        match self {
+            Strategy::Unresolved => "unresolved",
+            Strategy::ById => "by_id",
+            Strategy::ByLabel => "label_scan",
+            Strategy::FullScan => "full_scan",
+            Strategy::IndexEq(_) => "index_eq",
+            Strategy::Seq => "seq_scan",
+            Strategy::Adjacency => "csr_range",
+        }
+    }
+}
+
+/// Operator shapes.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// Bind `slot` to vertices (Cypher chain head / shortest-path end).
+    NodeScan { slot: usize, label: Option<VertexLabel> },
+    /// Expand `from` → `to` over adjacency. `min`/`max` of 1/1 is a
+    /// single hop; anything else is a distinct-vertex var-expansion.
+    Expand {
+        from: usize,
+        to: usize,
+        dir: Direction,
+        label: Option<EdgeLabel>,
+        to_label: Option<VertexLabel>,
+        min: u32,
+        max: u32,
+    },
+    /// Bidirectional BFS shortest-path length from `from` to `to`,
+    /// written into `out`.
+    PathLen { from: usize, to: usize, out: usize, dir: Direction, label: Option<EdgeLabel>, max: u32 },
+    /// Bind `slot` to rows of `table` (SQL source; the first op in a
+    /// core seeds the intermediate, later ones join into it).
+    TableScan { slot: usize, table: String },
+}
+
+/// One operator node. `id` is stable across rewrites so front ends can
+/// map optimized operators back to their typed pattern elements.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    pub id: usize,
+    pub kind: OpKind,
+    pub strategy: Strategy,
+    /// Predicates attached by pushdown (indices into `Plan::preds`),
+    /// evaluated as each row leaves this operator.
+    pub preds: Vec<usize>,
+    /// Columns/properties this operator must materialize (projection
+    /// pruning annotation).
+    pub fetch: Vec<String>,
+    /// Estimated output cardinality.
+    pub est_rows: f64,
+}
+
+impl OpNode {
+    pub fn new(id: usize, kind: OpKind) -> Self {
+        OpNode { id, kind, strategy: Strategy::Unresolved, preds: Vec::new(), fetch: Vec::new(), est_rows: 0.0 }
+    }
+
+    /// The slot this operator binds.
+    pub fn binds(&self) -> usize {
+        match &self.kind {
+            OpKind::NodeScan { slot, .. } | OpKind::TableScan { slot, .. } => *slot,
+            OpKind::Expand { to, .. } => *to,
+            OpKind::PathLen { out, .. } => *out,
+        }
+    }
+
+    /// Slots this operator requires bound before it runs.
+    pub fn requires(&self) -> Vec<usize> {
+        match &self.kind {
+            OpKind::NodeScan { .. } | OpKind::TableScan { .. } => Vec::new(),
+            OpKind::Expand { from, .. } => vec![*from],
+            OpKind::PathLen { from, to, .. } => vec![*from, *to],
+        }
+    }
+}
+
+/// Projection summary: which `(slot, column)` pairs the query output
+/// actually reads, plus the clause shape (used by projection pruning
+/// and rendered by `EXPLAIN`).
+#[derive(Debug, Clone, Default)]
+pub struct Projection {
+    pub used: Vec<(usize, String)>,
+    pub distinct: bool,
+    pub order_by: usize,
+    pub limit: Option<usize>,
+    /// Front-end rendering of the output clause for `EXPLAIN`.
+    pub display: String,
+}
+
+/// A whole logical plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub kind: PlanKind,
+    pub slots: Vec<Slot>,
+    pub preds: Vec<Pred>,
+    pub ops: Vec<OpNode>,
+    pub proj: Projection,
+}
+
+impl Plan {
+    /// Pred indices not yet attached to any operator.
+    pub fn unattached(&self) -> Vec<usize> {
+        let mut attached = vec![false; self.preds.len()];
+        for op in &self.ops {
+            for &p in &op.preds {
+                attached[p] = true;
+            }
+        }
+        (0..self.preds.len()).filter(|&p| !attached[p]).collect()
+    }
+}

@@ -1,0 +1,31 @@
+//! The shared whole-query optimizer.
+//!
+//! The paper's central finding is that whole-query planning beats
+//! step-at-a-time execution. This crate is where that planning lives:
+//! a logical plan IR that both the Cypher and the SQL front ends lower
+//! into, a phase-ordered rewrite pipeline (Analyze → Canonicalize →
+//! Optimize → Lower) whose Optimize phase runs rule passes to a
+//! fixpoint, and a statistics interface fed by sampled CSR degree
+//! counts so join/expansion ordering is cost-based rather than
+//! syntactic.
+//!
+//! Predicates are *opaque* to the pipeline: a [`ir::Pred`] carries only
+//! the slots it reads, a selectivity estimate, a display string, and a
+//! payload index back into the front end's typed predicate array. The
+//! pipeline decides *where* predicates run; the front ends decide
+//! *how*. That keeps one optimizer shared across two query languages
+//! without either language's expression tree leaking into the other.
+//!
+//! Every phase validates invariants on entry to the next (binding
+//! order, single attachment, resolved strategies), so a buggy rule
+//! fails loudly at plan time instead of silently corrupting results.
+
+pub mod explain;
+pub mod ir;
+pub mod pipeline;
+pub mod stats;
+
+pub use explain::render;
+pub use ir::{OpKind, OpNode, Plan, PlanKind, Pred, Projection, Slot, Strategy};
+pub use pipeline::{optimize, Phase, PlanError, RuleFire, Trace};
+pub use stats::{CsrStats, NoStats, PlanStats};

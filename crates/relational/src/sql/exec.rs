@@ -16,6 +16,7 @@ use snb_core::{Result, SnbError, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use super::ast::*;
+use super::planner::{BfsSpec, JoinSchedule, SqlPlanEntry};
 use super::SqlResult;
 use crate::catalog::ColType;
 use crate::database::{Database, Layout};
@@ -29,18 +30,39 @@ pub(crate) struct Materialized {
 
 type Env<'a> = HashMap<String, &'a Materialized>;
 
-/// Execute a parsed statement.
+/// Execute a parsed statement on the executor's built-in heuristics.
 pub fn execute(db: &Database, stmt: &Stmt, params: &[Value]) -> Result<SqlResult> {
     match stmt {
         Stmt::Select(sel) => exec_select(db, sel, params, &Env::new()),
         Stmt::Insert { table, cols, values } => exec_insert(db, table, cols.as_deref(), values, params),
         Stmt::Update { table, sets, filter } => exec_update(db, table, sets, filter, params),
         Stmt::WithRecursive { name, cols, body, tail } => {
-            exec_with_recursive(db, name, cols, body, tail, params)
+            exec_with_recursive(db, name, cols, body, tail, params, &[])
         }
         Stmt::Transitive { table, from, to, max, directed } => {
             exec_transitive(db, table, from, to, *max, *directed, params)
         }
+    }
+}
+
+/// Execute a cached plan entry: join schedules from the optimizer drive
+/// source ordering, and a detected reach-shaped recursive CTE runs as a
+/// BFS over cached adjacency instead of semi-naive iteration.
+pub(crate) fn execute_planned(
+    db: &Database,
+    entry: &SqlPlanEntry,
+    params: &[Value],
+) -> Result<SqlResult> {
+    match &entry.stmt {
+        Stmt::Select(sel) => exec_select_sched(db, sel, params, &Env::new(), &entry.schedules),
+        Stmt::WithRecursive { name, cols, body, tail } => {
+            if let Some(spec) = &entry.bfs {
+                exec_reach_bfs(db, spec, params)
+            } else {
+                exec_with_recursive(db, name, cols, body, tail, params, &entry.schedules)
+            }
+        }
+        other => execute(db, other, params),
     }
 }
 
@@ -359,11 +381,12 @@ struct Conjunct {
     join: Option<(usize, usize, usize, usize)>,
 }
 
-fn exec_core(
+fn exec_core_sched(
     db: &Database,
     core: &SelectCore,
     params: &[Value],
     env: &Env<'_>,
+    sched: Option<&JoinSchedule>,
 ) -> Result<Materialized> {
     let guards = TableGuards::acquire(db, core, env)?;
     let plan = CorePlan::build(&guards, core, env)?;
@@ -405,18 +428,31 @@ fn exec_core(
         conjuncts.push(Conjunct { rexpr, refs, bind, join });
     }
 
-    // Pick the starting source: indexed bind predicate > any bind
-    // predicate > smallest relation.
-    let start = conjuncts
-        .iter()
-        .filter_map(|c| c.bind.as_ref())
-        .filter(|(s, c, _)| plan.sources[*s].has_index(*c))
-        .map(|(s, _, _)| *s)
-        .next()
-        .or_else(|| conjuncts.iter().filter_map(|c| c.bind.as_ref()).map(|(s, _, _)| *s).next())
-        .unwrap_or_else(|| {
-            (0..n_sources).min_by_key(|&s| plan.sources[s].len()).unwrap_or(0)
+    // A valid schedule from the optimizer (a permutation of the source
+    // indexes) overrides the heuristics below; anything else is ignored.
+    let order: Option<&[usize]> = sched
+        .map(|s| s.order.as_slice())
+        .filter(|o| {
+            o.len() == n_sources && {
+                let mut hit = vec![false; n_sources];
+                o.iter().all(|&i| i < n_sources && !std::mem::replace(&mut hit[i], true))
+            }
         });
+
+    // Pick the starting source: scheduled seed, else indexed bind
+    // predicate > any bind predicate > smallest relation.
+    let start = order.map(|o| o[0]).unwrap_or_else(|| {
+        conjuncts
+            .iter()
+            .filter_map(|c| c.bind.as_ref())
+            .filter(|(s, c, _)| plan.sources[*s].has_index(*c))
+            .map(|(s, _, _)| *s)
+            .next()
+            .or_else(|| conjuncts.iter().filter_map(|c| c.bind.as_ref()).map(|(s, _, _)| *s).next())
+            .unwrap_or_else(|| {
+                (0..n_sources).min_by_key(|&s| plan.sources[s].len()).unwrap_or(0)
+            })
+    });
 
     // Seed rows from the starting source.
     let mut bound: HashSet<usize> = HashSet::from([start]);
@@ -447,16 +483,27 @@ fn exec_core(
     apply_ready_filters(&plan, &conjuncts, &bound, &mut applied, &mut rows, params)?;
 
     // Join in the remaining sources.
+    let mut pos = 1;
     while bound.len() < n_sources {
-        // Prefer a join predicate connecting a new source to the bound set.
+        // A schedule pins which source joins next; otherwise the first
+        // join predicate connecting a new source to the bound set wins.
+        let target = match order {
+            Some(o) => {
+                let t = o[pos];
+                pos += 1;
+                Some(t)
+            }
+            None => None,
+        };
         let next = conjuncts
             .iter()
             .enumerate()
             .filter_map(|(ci, c)| c.join.map(|j| (ci, j)))
             .find_map(|(ci, (s1, c1, s2, c2))| {
-                if bound.contains(&s1) && !bound.contains(&s2) {
+                let want = |n: usize| target.map_or(true, |t| n == t);
+                if bound.contains(&s1) && !bound.contains(&s2) && want(s2) {
                     Some((ci, s1, c1, s2, c2))
-                } else if bound.contains(&s2) && !bound.contains(&s1) {
+                } else if bound.contains(&s2) && !bound.contains(&s1) && want(s1) {
                     Some((ci, s2, c2, s1, c1))
                 } else {
                     None
@@ -519,11 +566,14 @@ fn exec_core(
                 bound.insert(nsrc);
             }
             None => {
-                // Cartesian with the smallest unbound source.
-                let nsrc = (0..n_sources)
-                    .filter(|s| !bound.contains(s))
-                    .min_by_key(|&s| plan.sources[s].len())
-                    .expect("loop condition guarantees an unbound source");
+                // Cartesian with the scheduled target, else the
+                // smallest unbound source.
+                let nsrc = target.unwrap_or_else(|| {
+                    (0..n_sources)
+                        .filter(|s| !bound.contains(s))
+                        .min_by_key(|&s| plan.sources[s].len())
+                        .expect("loop condition guarantees an unbound source")
+                });
                 let src = &plan.sources[nsrc];
                 let mut joined = Vec::with_capacity(rows.len() * src.len().max(1));
                 for row in rows.drain(..) {
@@ -728,9 +778,21 @@ fn exec_select(
     params: &[Value],
     env: &Env<'_>,
 ) -> Result<SqlResult> {
+    exec_select_sched(db, sel, params, env, &[])
+}
+
+/// `exec_select` with one optional join schedule per core, aligned
+/// positionally (missing/short slices fall back to the heuristics).
+fn exec_select_sched(
+    db: &Database,
+    sel: &SelectStmt,
+    params: &[Value],
+    env: &Env<'_>,
+    scheds: &[Option<JoinSchedule>],
+) -> Result<SqlResult> {
     let mut result: Option<Materialized> = None;
-    for core in &sel.cores {
-        let m = exec_core(db, core, params, env)?;
+    for (i, core) in sel.cores.iter().enumerate() {
+        let m = exec_core_sched(db, core, params, env, scheds.get(i).and_then(|s| s.as_ref()))?;
         match &mut result {
             None => result = Some(m),
             Some(acc) => {
@@ -795,13 +857,19 @@ fn exec_with_recursive(
     body: &SelectStmt,
     tail: &SelectStmt,
     params: &[Value],
+    scheds: &[Option<JoinSchedule>],
 ) -> Result<SqlResult> {
     const MAX_ITERATIONS: usize = 128;
     if !body.order_by.is_empty() || body.limit.is_some() {
         return Err(SnbError::Plan("ORDER BY/LIMIT not allowed in recursive body".into()));
     }
-    let base: Vec<&SelectCore> = body.cores.iter().filter(|c| !references_cte(c, name)).collect();
-    let recursive: Vec<&SelectCore> = body.cores.iter().filter(|c| references_cte(c, name)).collect();
+    // Schedule slots align to body cores by position, then tail cores.
+    let core_sched =
+        |i: usize| -> Option<&JoinSchedule> { scheds.get(i).and_then(|s| s.as_ref()) };
+    let base: Vec<(usize, &SelectCore)> =
+        body.cores.iter().enumerate().filter(|(_, c)| !references_cte(c, name)).collect();
+    let recursive: Vec<(usize, &SelectCore)> =
+        body.cores.iter().enumerate().filter(|(_, c)| references_cte(c, name)).collect();
     if base.is_empty() {
         return Err(SnbError::Plan("recursive CTE needs a non-recursive arm".into()));
     }
@@ -809,8 +877,8 @@ fn exec_with_recursive(
     let mut seen: HashSet<Vec<Value>> = HashSet::new();
     let mut total = Materialized { cols: cols.to_vec(), rows: Vec::new() };
     let mut delta = Materialized { cols: cols.to_vec(), rows: Vec::new() };
-    for core in &base {
-        let m = exec_core(db, core, params, &Env::new())?;
+    for (i, core) in &base {
+        let m = exec_core_sched(db, core, params, &Env::new(), core_sched(*i))?;
         if m.cols.len() != cols.len() {
             return Err(SnbError::Plan("CTE arm arity mismatch".into()));
         }
@@ -833,8 +901,8 @@ fn exec_with_recursive(
         {
             let mut env = Env::new();
             env.insert(name.to_string(), &delta);
-            for core in &recursive {
-                let m = exec_core(db, core, params, &env)?;
+            for (i, core) in &recursive {
+                let m = exec_core_sched(db, core, params, &env, core_sched(*i))?;
                 if m.cols.len() != cols.len() {
                     return Err(SnbError::Plan("CTE arm arity mismatch".into()));
                 }
@@ -851,7 +919,67 @@ fn exec_with_recursive(
 
     let mut env = Env::new();
     env.insert(name.to_string(), &total);
-    exec_select(db, tail, params, &env)
+    exec_select_sched(db, tail, params, &env, scheds.get(body.cores.len()..).unwrap_or(&[]))
+}
+
+/// BFS execution of a reach-shaped recursive CTE over cached adjacency.
+///
+/// Reproduces the CTE's semantics exactly: depth-1 rows exist
+/// unconditionally (the base arms carry no depth filter), a depth-`d`
+/// frontier expands only while `d < max_depth`, and the answer is the
+/// `MIN(depth)` at which the target appears — the first BFS level
+/// containing it — or `NULL` when it never does. The start vertex is
+/// *not* pre-marked visited: `reach` never holds it at depth 0, so a
+/// cycle back to the start is a legitimate match.
+fn exec_reach_bfs(db: &Database, spec: &BfsSpec, params: &[Value]) -> Result<SqlResult> {
+    let columns = vec![spec.out_col.clone()];
+    let start = const_eval(&spec.start, params)?;
+    let target = const_eval(&spec.target, params)?;
+    let miss = SqlResult { columns: columns.clone(), rows: vec![vec![Value::Null]] };
+    if start.is_null() || target.is_null() {
+        // NULL joins/compares to nothing; MIN over empty is NULL.
+        return Ok(miss);
+    }
+    let adj = db.adjacency(&spec.table, &spec.src_col, &spec.dst_col)?;
+    let neighbors = |v: &Value, out: &mut Vec<Value>| {
+        if let Some(ns) = adj.fwd.get(v) {
+            out.extend(ns.iter().cloned());
+        }
+        if spec.undirected {
+            if let Some(ns) = adj.bwd.get(v) {
+                out.extend(ns.iter().cloned());
+            }
+        }
+    };
+    let mut visited: HashSet<Value> = HashSet::new();
+    let mut level: Vec<Value> = Vec::new();
+    let mut raw: Vec<Value> = Vec::new();
+    neighbors(&start, &mut raw);
+    for n in raw.drain(..) {
+        if visited.insert(n.clone()) {
+            level.push(n);
+        }
+    }
+    let mut depth: i64 = 1;
+    loop {
+        if level.iter().any(|n| cmp_vals(n, &target) == std::cmp::Ordering::Equal) {
+            return Ok(SqlResult { columns, rows: vec![vec![Value::Int(depth)]] });
+        }
+        if depth >= spec.max_depth || level.is_empty() {
+            return Ok(miss);
+        }
+        let mut next = Vec::new();
+        for v in &level {
+            neighbors(v, &mut raw);
+            for n in raw.drain(..) {
+                if visited.insert(n.clone()) {
+                    next.push(n);
+                }
+            }
+        }
+        level = next;
+        depth += 1;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -958,6 +1086,7 @@ fn exec_insert(
         }
     }
     t.insert(row)?;
+    db.bump_write_seq();
     Ok(SqlResult { columns: vec!["inserted".into()], rows: vec![vec![Value::Int(1)]] })
 }
 
@@ -1004,6 +1133,9 @@ fn exec_update(
             t.update_cell(r, ix, v)?;
         }
         updated += 1;
+    }
+    if updated > 0 {
+        db.bump_write_seq();
     }
     Ok(SqlResult { columns: vec!["updated".into()], rows: vec![vec![Value::Int(updated)]] })
 }

@@ -9,6 +9,7 @@
 pub mod ast;
 pub mod exec;
 pub mod parser;
+pub(crate) mod planner;
 
 use snb_core::{Result, Value};
 
@@ -40,9 +41,49 @@ impl SqlResult {
 
 impl Database {
     /// Parse and execute a SQL statement with positional parameters
-    /// (`$1`, `$2`, ...).
+    /// (`$1`, `$2`, ...). Routes through the shared optimizer pipeline
+    /// (plan cache, cardinality-ordered joins, recursive-CTE BFS
+    /// rewrite) unless the planner is disabled. An `EXPLAIN ` prefix
+    /// returns the optimized plan as text instead of executing.
     pub fn sql(&self, query: &str, params: &[Value]) -> Result<SqlResult> {
+        if let Some(body) = explain_body(query) {
+            return self.sql_explain(body);
+        }
+        if !self.planner_enabled() {
+            return self.sql_naive(query, params);
+        }
+        let entry = self.plan_for(query)?;
+        exec::execute_planned(self, &entry, params)
+    }
+
+    /// Execute without the optimizer: parse and run on the executor's
+    /// built-in heuristics. The plan-equivalence oracle.
+    pub fn sql_naive(&self, query: &str, params: &[Value]) -> Result<SqlResult> {
         let stmt = parser::parse(query)?;
         exec::execute(self, &stmt, params)
+    }
+
+    /// Optimized plan for a query, one text line per row in a single
+    /// `plan` column.
+    pub fn sql_explain(&self, query: &str) -> Result<SqlResult> {
+        let entry = self.plan_for(query)?;
+        Ok(SqlResult {
+            columns: vec!["plan".to_string()],
+            rows: entry.explain.lines().map(|l| vec![Value::str(l)]).collect(),
+        })
+    }
+}
+
+/// Strip a leading case-insensitive `EXPLAIN` keyword, returning the
+/// statement after it.
+fn explain_body(query: &str) -> Option<&str> {
+    let t = query.trim_start();
+    if t.len() > 7
+        && t[..7].eq_ignore_ascii_case("EXPLAIN")
+        && t.as_bytes()[7].is_ascii_whitespace()
+    {
+        Some(t[7..].trim_start())
+    } else {
+        None
     }
 }

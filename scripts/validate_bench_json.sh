@@ -140,7 +140,12 @@ for f in "${files[@]}"; do
   # onward; when present both by-shards sweeps must carry the 1/2/4
   # points, the file must also carry the read_retention ratio, and the
   # cross-shard two-hop must not collapse when the graph is partitioned:
-  # 2 shards must hold at least 85% of the 1-shard figure.
+  # 2 shards must hold at least 70% of the 1-shard figure. (Originally
+  # 85%, recalibrated in PR 8: interleaved A/B reruns of the unchanged
+  # PR-6 code showed the ratio's run-to-run band on this 1-core
+  # container is 77-90% — the old floor sat inside the noise band and
+  # failed the unmodified code about half the time when a snapshot was
+  # regenerated. 70% still catches genuine partitioning collapse.)
   if grep -q '"sharding"' "$f"; then
     if ! grep -q '"read_retention"' "$f"; then
       echo "[validate_bench_json] $f: sharding section requires read_retention" >&2
@@ -164,8 +169,8 @@ for f in "${files[@]}"; do
     t1="$(printf '%s' "$two_line" | grep -Eo '"1"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
     t2="$(printf '%s' "$two_line" | grep -Eo '"2"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
     if [ -n "$t1" ] && [ -n "$t2" ]; then
-      if ! awk -v a="$t2" -v b="$t1" 'BEGIN { exit !(a >= 0.85 * b) }'; then
-        echo "[validate_bench_json] $f: 2-shard two-hop $t2 collapsed below 85% of 1-shard $t1" >&2
+      if ! awk -v a="$t2" -v b="$t1" 'BEGIN { exit !(a >= 0.70 * b) }'; then
+        echo "[validate_bench_json] $f: 2-shard two-hop $t2 collapsed below 70% of 1-shard $t1" >&2
         fail=1
       fi
     else
@@ -234,6 +239,46 @@ for f in "${files[@]}"; do
       | grep -Eo '[0-9]+(\.[0-9]+)?$' | head -1 || true)"
     if [ -z "$val" ] || [ "$(printf '%.0f' "$val")" -lt "$floor" ]; then
       echo "[validate_bench_json] $f: two_hop_expansion_ops_per_sec (${val:-missing}) below floor $floor" >&2
+      fail=1
+    fi
+  fi
+  # The whole-query optimizer additions appear from BENCH_8 onward:
+  # per-engine two-hop/shortest-path throughput and the SQL recursive
+  # CTE measured with the optimizer on vs off. Two gates: whole-query
+  # Cypher must not fall behind step-at-a-time Gremlin on the one-hop
+  # (the paper's central comparison, now with fusion on both sides),
+  # and the optimized CTE (BFS over cached adjacency) must be at least
+  # as fast as naive semi-naive evaluation.
+  if grep -q '"sql_recursive_cte"' "$f"; then
+    require_numeric "$f" "two_hop_ops_per_sec"
+    require_numeric "$f" "shortest_path_ops_per_sec"
+    require_numeric "$f" "optimized_ops_per_sec"
+    require_numeric "$f" "naive_ops_per_sec"
+    cy="$(grep -F '"Native (Cypher)"' "$f" | head -1 \
+      | grep -Eo '"one_hop_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' \
+      | grep -Eo '[0-9.]+$' || true)"
+    gr="$(grep -F '"Native (Gremlin)"' "$f" | head -1 \
+      | grep -Eo '"one_hop_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' \
+      | grep -Eo '[0-9.]+$' || true)"
+    if [ -n "$cy" ] && [ -n "$gr" ]; then
+      if ! awk -v a="$cy" -v b="$gr" 'BEGIN { exit !(a >= b) }'; then
+        echo "[validate_bench_json] $f: Cypher one-hop $cy fell behind Gremlin one-hop $gr" >&2
+        fail=1
+      fi
+    else
+      echo "[validate_bench_json] $f: engines lack Cypher/Gremlin one-hop figures for the planner gate" >&2
+      fail=1
+    fi
+    cte_line="$(grep -Eo '"sql_recursive_cte"[[:space:]]*:[[:space:]]*\{[^}]*\}' "$f" | head -1 || true)"
+    opt="$(printf '%s' "$cte_line" | grep -Eo '"optimized_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    nv="$(printf '%s' "$cte_line" | grep -Eo '"naive_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+    if [ -n "$opt" ] && [ -n "$nv" ]; then
+      if ! awk -v a="$opt" -v b="$nv" 'BEGIN { exit !(a >= b) }'; then
+        echo "[validate_bench_json] $f: optimized recursive CTE $opt slower than naive $nv" >&2
+        fail=1
+      fi
+    else
+      echo "[validate_bench_json] $f: sql_recursive_cte lacks optimized/naive figures" >&2
       fail=1
     fi
   fi
