@@ -9,7 +9,7 @@
 //! (`SNB_BENCH_SECS` scales the per-metric measurement budget.)
 
 use snb_analytics::{AnalyticsConfig, JobId, JobKind, JobOutput, JobSpec, JobState, PageRankConfig};
-use snb_bench::env_u64;
+use snb_bench::{env_f64, env_u64, Zipf};
 use snb_core::metrics::LatencyStats;
 use snb_core::{Direction, EdgeLabel, GraphBackend, PropKey, Result, Value, VertexLabel, Vid};
 use snb_datagen::{generate, GeneratorConfig};
@@ -19,7 +19,7 @@ use snb_driver::ops::{ParamGen, ReadOp};
 use snb_driver::router::ShardRouter;
 use snb_driver::{run_ingest, IngestConfig};
 use snb_graph_native::NativeGraphStore;
-use snb_gremlin::{execute_with, ExecConfig, GremlinServer, ServerConfig, Traversal};
+use snb_gremlin::{execute_with, wire, ExecConfig, GremlinServer, ServerConfig, Traversal};
 use snb_net::{AnalyticsClient, ClientConfig, IoModel, NetPool, NetServer, NetServerConfig};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -598,7 +598,13 @@ fn main() {
     let routers: Vec<ShardRouter> = shard_counts
         .iter()
         .map(|&shards| {
-            let router = ShardRouter::native(shards).expect("boot shard stacks");
+            // Frontier cache OFF for this sweep: the 70% no-collapse
+            // gate was calibrated on the uncached scatter-gather path
+            // (PR 6/8), and keeping it uncached attributes any movement
+            // here to the wave-buffer reuse alone. The `cache` section
+            // below measures caching explicitly.
+            let router =
+                ShardRouter::native_with_cache(shards, 0).expect("boot shard stacks");
             router.load(&data.snapshot).unwrap();
             router
         })
@@ -631,6 +637,130 @@ fn main() {
         let _ = write!(shard_rt_json, "\"{shards}\": {rt:.1}");
         let _ = write!(shard_two_json, "\"{shards}\": {two:.1}");
     }
+
+    // --- Epoch-keyed result caches (the PR-9 tentpole) ---------------
+    // Zipf-skewed reads (`SNB_READ_SKEW`, default s=1.0: social reads
+    // concentrate on hot profiles) measured cached vs cache-bypassed on
+    // two layers: the Cypher adapter's point-lookup cache and the
+    // reactor inline path. Like the io/sharding sweeps, each arm is the
+    // median of 3 interleaved rounds so ambient-load spikes hit both
+    // arms instead of whichever one they landed on. The mixed-ingest
+    // run replays the update stream in chunks with skewed reads between
+    // chunks: every write advances the epoch the keys embed, so the
+    // hit rate under ingest is the fraction of reads the cache can
+    // still serve between invalidation points.
+    let zipf_s = env_f64("SNB_READ_SKEW", 1.0);
+    let person_ids: Vec<u64> = persons.iter().map(|v| v.local()).collect();
+    let cy_cached_adapter = CypherAdapter::new();
+    cy_cached_adapter.load(&data.snapshot).unwrap();
+    let cy_bypass_adapter = CypherAdapter::with_result_cache(0);
+    cy_bypass_adapter.load(&data.snapshot).unwrap();
+    let inline_store = Arc::new(native_store(&data));
+    let inline_cached_srv = GremlinServer::start(
+        Arc::clone(&inline_store) as Arc<dyn GraphBackend>,
+        ServerConfig::default(),
+    );
+    let inline_bypass_srv = GremlinServer::start(
+        Arc::clone(&inline_store) as Arc<dyn GraphBackend>,
+        ServerConfig { result_cache_capacity: 0, ..Default::default() },
+    );
+    let inline_cached_raw = inline_cached_srv.raw_submitter();
+    let inline_bypass_raw = inline_bypass_srv.raw_submitter();
+    let payloads: Vec<Vec<u8>> = persons
+        .iter()
+        .map(|&v| {
+            wire::encode_traversal(&Traversal::v(v).both(EdgeLabel::Knows).dedup().count())
+        })
+        .collect();
+    let mut cy_samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut inline_samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut zc = Zipf::new(person_ids.len(), zipf_s, 0x51);
+    let mut zb = Zipf::new(person_ids.len(), zipf_s, 0x52);
+    let mut zic = Zipf::new(payloads.len(), zipf_s, 0x53);
+    let mut zib = Zipf::new(payloads.len(), zipf_s, 0x54);
+    for _round in 0..3 {
+        cy_samples[0].push(ops_per_sec(budget, || {
+            let person = person_ids[zc.next()];
+            cy_cached_adapter.execute_read(&ReadOp::PointLookup { person }).unwrap();
+        }));
+        cy_samples[1].push(ops_per_sec(budget, || {
+            let person = person_ids[zb.next()];
+            cy_bypass_adapter.execute_read(&ReadOp::PointLookup { person }).unwrap();
+        }));
+        inline_samples[0].push(ops_per_sec(budget, || {
+            let p = &payloads[zic.next()];
+            inline_cached_raw.try_execute_inline(p).expect("inline-eligible").unwrap();
+        }));
+        inline_samples[1].push(ops_per_sec(budget, || {
+            let p = &payloads[zib.next()];
+            inline_bypass_raw.try_execute_inline(p).expect("inline-eligible").unwrap();
+        }));
+    }
+    let cy_cached = median(std::mem::take(&mut cy_samples[0]));
+    let cy_bypass = median(std::mem::take(&mut cy_samples[1]));
+    let cy_hit_rate = cy_cached_adapter.result_cache().expect("cache on").stats().hit_rate();
+    let inline_cached = median(std::mem::take(&mut inline_samples[0]));
+    let inline_bypass = median(std::mem::take(&mut inline_samples[1]));
+    let inline_hit_rate =
+        inline_cached_srv.result_cache().expect("cache on").stats().hit_rate();
+    eprintln!(
+        "[bench] cache zipf s={zipf_s}: cypher_adapter {cy_cached:.0} cached vs \
+         {cy_bypass:.0} bypass ops/s ({:.1}x, hit rate {cy_hit_rate:.3}); \
+         gremlin_inline {inline_cached:.0} cached vs {inline_bypass:.0} bypass ops/s \
+         ({:.1}x, hit rate {inline_hit_rate:.3})",
+        if cy_bypass > 0.0 { cy_cached / cy_bypass } else { 0.0 },
+        if inline_bypass > 0.0 { inline_cached / inline_bypass } else { 0.0 },
+    );
+    // Mixed ingest: skewed reads between update chunks on a fresh
+    // cached adapter over the larger ingest dataset.
+    let mixed_cached = CypherAdapter::new();
+    mixed_cached.load(&ingest_data.snapshot).unwrap();
+    let mixed_ids: Vec<u64> = mixed_cached
+        .store()
+        .vertices_by_label(VertexLabel::Person)
+        .unwrap()
+        .iter()
+        .map(|v| v.local())
+        .collect();
+    let mut zm = Zipf::new(mixed_ids.len(), zipf_s, 0x55);
+    let mixed_deadline = Instant::now() + Duration::from_secs_f64(scale_secs);
+    let mixed_t0 = Instant::now();
+    let mut mixed_cache_reads = 0u64;
+    for chunk in ingest_data.updates.chunks(16) {
+        for op in chunk {
+            mixed_cached.execute_update(op).unwrap();
+        }
+        for _ in 0..8 {
+            let person = mixed_ids[zm.next()];
+            mixed_cached.execute_read(&ReadOp::PointLookup { person }).unwrap();
+            mixed_cache_reads += 1;
+        }
+        if Instant::now() >= mixed_deadline {
+            break;
+        }
+    }
+    let mixed_stats = mixed_cached.result_cache().expect("cache on").stats();
+    assert_eq!(mixed_stats.stale_served, 0, "stale entry served under mixed ingest");
+    let mixed_cache_rps = mixed_cache_reads as f64 / mixed_t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[bench] cache mixed ingest: {mixed_cache_reads} reads ({mixed_cache_rps:.0}/s \
+         wall), hit rate {:.3}, {} stale evicted, {} stale served",
+        mixed_stats.hit_rate(),
+        mixed_stats.stale_evicted,
+        mixed_stats.stale_served
+    );
+    let cache_json = format!(
+        "\"zipf_s\": {zipf_s}, \"layers\": {{\n      \"cypher_adapter\": \
+         {{\"cached_ops_per_sec\": {cy_cached:.1}, \"bypass_ops_per_sec\": {cy_bypass:.1}, \
+         \"hit_rate\": {cy_hit_rate:.4}}},\n      \"gremlin_inline\": \
+         {{\"cached_ops_per_sec\": {inline_cached:.1}, \"bypass_ops_per_sec\": \
+         {inline_bypass:.1}, \"hit_rate\": {inline_hit_rate:.4}}}\n    }}, \
+         \"mixed_ingest\": {{\"mixed_reads_per_sec\": {mixed_cache_rps:.1}, \
+         \"hit_rate_under_ingest\": {:.4}, \"stale_served\": {}}}",
+        mixed_stats.hit_rate(),
+        mixed_stats.stale_served
+    );
+    drop((inline_cached_srv, inline_bypass_srv));
 
     // --- Bulk-synchronous traversal execution (the PR-4 tentpole) ----
     // Gremlin two-hop and shortest-path throughput through the bulked
@@ -990,7 +1120,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"analytics\": {{\n    \"snapshot_rows\": {ana_rows},\n    \"pagerank_iterations\": {pr_iterations},\n    \"pagerank_iterations_per_sec\": {pagerank_iters_per_sec:.1},\n    \"pagerank_top_k\": {top_k},\n    \"wcc_wall_ms\": {wcc_wall_ms},\n    \"coexistence\": {{\"read_only_reads_per_sec\": {ana_read_only:.1}, \"reads_per_sec_during_pagerank\": {reads_during_pr:.1}, \"read_retention\": {analytics_retention:.4}, \"progress_polls\": {progress_polls}, \"cancelled_mid_run\": {cancelled_mid_run}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"cache\": {{\n    {cache_json}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"analytics\": {{\n    \"snapshot_rows\": {ana_rows},\n    \"pagerank_iterations\": {pr_iterations},\n    \"pagerank_iterations_per_sec\": {pagerank_iters_per_sec:.1},\n    \"pagerank_top_k\": {top_k},\n    \"wcc_wall_ms\": {wcc_wall_ms},\n    \"coexistence\": {{\"read_only_reads_per_sec\": {ana_read_only:.1}, \"reads_per_sec_during_pagerank\": {reads_during_pr:.1}, \"read_retention\": {analytics_retention:.4}, \"progress_polls\": {progress_polls}, \"cancelled_mid_run\": {cancelled_mid_run}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),

@@ -24,6 +24,51 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Read a float environment variable with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Zipfian index sampler over `0..n` with exponent `s` — the skewed
+/// read mode behind `SNB_READ_SKEW` (PR 9): social reads concentrate on
+/// hot profiles, which is what a frequency-admitted result cache is
+/// for. Cumulative weights are precomputed once, so drawing a sample is
+/// one SplitMix64 step plus a binary search; the stream is fully
+/// deterministic for a given seed.
+pub struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    /// Sampler over `0..n` with exponent `s` (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty index space");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        for w in &mut cdf {
+            *w /= acc;
+        }
+        Zipf { cdf, state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next sampled index (rank 0 is the hottest).
+    pub fn next(&mut self) -> usize {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let i = self.cdf.partition_point(|&c| c < u);
+        i.min(self.cdf.len() - 1)
+    }
+}
+
 /// The scaled-down dataset standing in for a paper scale factor (see
 /// DESIGN.md §1 "Scale-factor substitution").
 pub fn sf_config(sf: u32) -> GeneratorConfig {
@@ -105,6 +150,27 @@ mod tests {
     #[test]
     fn all_kinds_selected_by_default() {
         assert_eq!(selected_kinds().len(), ALL_SUT_KINDS.len());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut z = Zipf::new(100, 1.0, 7);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if z.next() < 10 {
+                head += 1;
+            }
+        }
+        // s=1 puts H(10)/H(100) ~ 56% of the mass on the top decile.
+        assert!(head > 4_000, "zipf s=1 head mass too light: {head}/10000");
+        let mut u = Zipf::new(100, 0.0, 7);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if u.next() < 10 {
+                head += 1;
+            }
+        }
+        assert!(head < 2_000, "s=0 must be ~uniform: {head}/10000");
     }
 }
 

@@ -111,6 +111,16 @@ pub trait GraphBackend: Send + Sync {
         self.pin_snapshot()
     }
 
+    /// The store's write-sequence epoch for epoch-keyed result caching,
+    /// or `None` when the engine has no monotone write counter (result
+    /// caches must then bypass — without an epoch in the key, a cached
+    /// entry could silently outlive a write). The contract: every
+    /// mutation observable through this backend advances the returned
+    /// value before the mutating call returns.
+    fn cache_epoch(&self) -> Option<u64> {
+        None
+    }
+
     /// Apply a batch of writes in order, returning the number applied.
     ///
     /// The default is the obvious one-write-at-a-time loop; engines
@@ -190,5 +200,8 @@ impl<T: GraphBackend + ?Sized> GraphBackend for &T {
     }
     fn pin_analytics_snapshot(&self) -> Option<std::sync::Arc<crate::snapshot::CsrSnapshot>> {
         (**self).pin_analytics_snapshot()
+    }
+    fn cache_epoch(&self) -> Option<u64> {
+        (**self).cache_epoch()
     }
 }

@@ -1,6 +1,7 @@
 //! Native store driven through its declarative Cypher-like language
 //! (the paper's "Neo4j (Cypher)" column).
 
+use snb_cache::ResultCache;
 use snb_core::{GraphBackend, Result, Value};
 use snb_datagen::{Dataset, UpdateOp};
 use snb_graph_native::{NativeGraphStore, Params};
@@ -9,15 +10,34 @@ use std::fmt::Write as _;
 use crate::adapter::{normalize_rows, update_writes, OpResult, SutAdapter};
 use crate::ops::ReadOp;
 
+/// Entry capacity of the adapter-level result caches (Cypher and SQL):
+/// point lookups and one-hop rings keyed on query text + params +
+/// `write_seq`, riding beside the store's plan cache. `0` disables.
+pub const ADAPTER_RESULT_CACHE_CAPACITY: usize = 4096;
+
 /// Adapter: one embedded native store, queried with Cypher text.
 pub struct CypherAdapter {
     store: std::sync::Arc<NativeGraphStore>,
+    /// Epoch-keyed result cache for the hot skewed reads. The plan
+    /// cache (PR 8) already removes parse/plan cost for repeated query
+    /// *text*; this removes execution cost for repeated query + params
+    /// at an unchanged epoch.
+    cache: Option<ResultCache<OpResult>>,
 }
 
 impl CypherAdapter {
-    /// Fresh empty store.
+    /// Fresh empty store with the default result cache.
     pub fn new() -> Self {
-        CypherAdapter { store: std::sync::Arc::new(NativeGraphStore::new()) }
+        Self::with_result_cache(ADAPTER_RESULT_CACHE_CAPACITY)
+    }
+
+    /// Fresh empty store with an explicit result-cache capacity
+    /// (`0` = bypass everything — the uncached comparison arm).
+    pub fn with_result_cache(capacity: usize) -> Self {
+        CypherAdapter {
+            store: std::sync::Arc::new(NativeGraphStore::new()),
+            cache: (capacity > 0).then(|| ResultCache::new("cypher", capacity)),
+        }
     }
 
     /// Access the store (for tests/benches).
@@ -25,8 +45,37 @@ impl CypherAdapter {
         &self.store
     }
 
+    /// The adapter result cache, when enabled (stats hook).
+    pub fn result_cache(&self) -> Option<&ResultCache<OpResult>> {
+        self.cache.as_ref()
+    }
+
     fn run(&self, query: &str, params: Params) -> Result<OpResult> {
         Ok(normalize_rows(self.store.cypher(query, &params)?.rows))
+    }
+
+    /// Cacheable read path for the point-shaped ops: key = query text +
+    /// the person parameter, epoch = the store's write sequence. The
+    /// result is only stored if no write landed during execution, so an
+    /// entry computed astride an epoch flip can never be keyed wrong.
+    fn run_cached(&self, query: &str, params: Params, person: u64) -> Result<OpResult> {
+        let cache = match &self.cache {
+            Some(c) => c,
+            None => return self.run(query, params),
+        };
+        let epoch = self.store.write_seq();
+        let mut key = Vec::with_capacity(query.len() + 9);
+        key.extend_from_slice(query.as_bytes());
+        key.push(0);
+        key.extend_from_slice(&person.to_le_bytes());
+        if let Some(rows) = cache.get1(&key, epoch) {
+            return Ok(rows);
+        }
+        let rows = self.run(query, params)?;
+        if self.store.write_seq() == epoch {
+            cache.insert1(&key, epoch, rows.clone());
+        }
+        Ok(rows)
     }
 }
 
@@ -58,14 +107,16 @@ impl SutAdapter for CypherAdapter {
 
     fn execute_read(&self, op: &ReadOp) -> Result<OpResult> {
         match op {
-            ReadOp::PointLookup { person } => self.run(
+            ReadOp::PointLookup { person } => self.run_cached(
                 "MATCH (p:person {id:$id}) RETURN p.firstName, p.lastName, p.gender, \
                  p.birthday, p.creationDate, p.locationIP, p.browserUsed",
                 p(&[("id", Value::Int(*person as i64))]),
+                *person,
             ),
-            ReadOp::OneHop { person } => self.run(
+            ReadOp::OneHop { person } => self.run_cached(
                 "MATCH (p:person {id:$id})-[:knows]-(f) RETURN DISTINCT f.id, f.firstName",
                 p(&[("id", Value::Int(*person as i64))]),
+                *person,
             ),
             ReadOp::TwoHop { person } => self.run(
                 "MATCH (p:person {id:$id})-[:knows*1..2]-(f) WHERE f.id <> $id \

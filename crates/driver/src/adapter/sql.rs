@@ -2,12 +2,14 @@
 //! store, recursive CTE for shortest path) and "Virtuoso (SQL)" (column
 //! store, native TRANSITIVE operator).
 
+use snb_cache::ResultCache;
 use snb_core::schema::{edge_def, vertex_props};
 use snb_core::{Result, SnapshotCache, Value};
 use snb_datagen::{Dataset, UpdateOp};
 use snb_relational::{Database, Layout};
 use std::fmt::Write as _;
 
+use crate::adapter::cypher::ADAPTER_RESULT_CACHE_CAPACITY;
 use crate::adapter::{
     csr_shortest_path, csr_two_hop, normalize_rows, person_knows_csr, OpResult, SutAdapter,
 };
@@ -21,24 +23,35 @@ pub struct SqlAdapter {
     /// table scans replace the six-branch UNION / recursive CTE once,
     /// then every traversal is a range scan until a write invalidates it.
     snaps: SnapshotCache,
+    /// Epoch-keyed result cache for point lookups and one-hop rings,
+    /// keyed on query text + params + the snapshot-cache write counter
+    /// (the same counter that invalidates the pinned CSR above, so the
+    /// two caches share one notion of "a write happened").
+    cache: Option<ResultCache<OpResult>>,
 }
 
 impl SqlAdapter {
     /// Postgres analogue.
     pub fn row_store() -> Self {
-        SqlAdapter {
-            db: Database::new_snb(Layout::Row),
-            name: "Postgres (SQL)",
-            snaps: SnapshotCache::new(),
-        }
+        Self::with_result_cache(Layout::Row, ADAPTER_RESULT_CACHE_CAPACITY)
     }
 
     /// Virtuoso analogue.
     pub fn column_store() -> Self {
+        Self::with_result_cache(Layout::Column, ADAPTER_RESULT_CACHE_CAPACITY)
+    }
+
+    /// Either layout with an explicit result-cache capacity
+    /// (`0` = bypass everything — the uncached comparison arm).
+    pub fn with_result_cache(layout: Layout, capacity: usize) -> Self {
         SqlAdapter {
-            db: Database::new_snb(Layout::Column),
-            name: "Virtuoso (SQL)",
+            db: Database::new_snb(layout),
+            name: match layout {
+                Layout::Row => "Postgres (SQL)",
+                Layout::Column => "Virtuoso (SQL)",
+            },
             snaps: SnapshotCache::new(),
+            cache: (capacity > 0).then(|| ResultCache::new("sql", capacity)),
         }
     }
 
@@ -47,8 +60,36 @@ impl SqlAdapter {
         &self.db
     }
 
+    /// The adapter result cache, when enabled (stats hook).
+    pub fn result_cache(&self) -> Option<&ResultCache<OpResult>> {
+        self.cache.as_ref()
+    }
+
     fn run(&self, query: &str, params: &[Value]) -> Result<OpResult> {
         Ok(normalize_rows(self.db.sql(query, params)?.rows))
+    }
+
+    /// Cacheable read path for the point-shaped ops: key = query text +
+    /// the person parameter, epoch = the adapter's write counter. The
+    /// result is only stored if no write landed during execution.
+    fn run_cached(&self, query: &str, params: &[Value], person: u64) -> Result<OpResult> {
+        let cache = match &self.cache {
+            Some(c) => c,
+            None => return self.run(query, params),
+        };
+        let epoch = self.snaps.write_seq();
+        let mut key = Vec::with_capacity(query.len() + 9);
+        key.extend_from_slice(query.as_bytes());
+        key.push(0);
+        key.extend_from_slice(&person.to_le_bytes());
+        if let Some(rows) = cache.get1(&key, epoch) {
+            return Ok(rows);
+        }
+        let rows = self.run(query, params)?;
+        if self.snaps.write_seq() == epoch {
+            cache.insert1(&key, epoch, rows.clone());
+        }
+        Ok(rows)
     }
 
     /// Pin a fresh Person/Knows CSR, building one from two full-table
@@ -153,18 +194,20 @@ impl SutAdapter for SqlAdapter {
 
     fn execute_read(&self, op: &ReadOp) -> Result<OpResult> {
         match op {
-            ReadOp::PointLookup { person } => self.run(
+            ReadOp::PointLookup { person } => self.run_cached(
                 "SELECT firstName, lastName, gender, birthday, creationDate, locationIP, \
                  browserUsed FROM person WHERE id = $1",
                 &[Value::Int(*person as i64)],
+                *person,
             ),
-            ReadOp::OneHop { person } => self.run(
+            ReadOp::OneHop { person } => self.run_cached(
                 "SELECT p.id, p.firstName FROM person_knows_person k \
                  JOIN person p ON p.id = k.dst WHERE k.src = $1 \
                  UNION \
                  SELECT p.id, p.firstName FROM person_knows_person k \
                  JOIN person p ON p.id = k.src WHERE k.dst = $1",
                 &[Value::Int(*person as i64)],
+                *person,
             ),
             ReadOp::TwoHop { person } => {
                 if let Some(s) = self.pin_knows() {

@@ -42,6 +42,8 @@
 //! [`NativeGraphStore`]: snb_graph_native::NativeGraphStore
 //! [`FrontierRequest`]: snb_gremlin::FrontierRequest
 
+use parking_lot::Mutex;
+use snb_cache::ResultCache;
 use snb_core::ids::{EDGE_LABELS, VERTEX_LABELS};
 use snb_core::{
     Direction, EdgeLabel, FastSet, GraphBackend, PropKey, Result, ShardMap, SnbError, Value,
@@ -66,6 +68,47 @@ struct Shard {
     pool: NetPool,
 }
 
+/// Entry capacity of the router's hot-frontier cache.
+pub const FRONTIER_CACHE_CAPACITY: usize = 2048;
+
+/// Largest frontier (in vertices) worth caching: beyond this the key
+/// material and value both get big and the repeat probability small, so
+/// the wave bypasses the cache instead.
+const FRONTIER_KEY_CAP: usize = 4096;
+
+/// Reusable scatter buffers for one in-flight wave. Every hop of every
+/// multi-hop read used to allocate a fresh `Vec` per shard (plus the
+/// pending-reply vector); a small pool of scratch sets keeps those
+/// allocations alive across waves and across queries.
+#[derive(Default)]
+struct WaveScratch {
+    /// Frontier slice per shard (expand + props waves).
+    per_shard: Vec<Vec<Vid>>,
+    /// Input-order index per shard (props waves only).
+    idx: Vec<Vec<usize>>,
+    /// In-flight replies, paired with the owning shard's slot.
+    pending: Vec<PendingReply>,
+}
+
+impl WaveScratch {
+    /// Size the per-shard buffers, keeping their capacity.
+    fn reset(&mut self, shards: usize) {
+        self.per_shard.resize_with(shards, Vec::new);
+        self.idx.resize_with(shards, Vec::new);
+        for v in &mut self.per_shard {
+            v.clear();
+        }
+        for v in &mut self.idx {
+            v.clear();
+        }
+        self.pending.clear();
+    }
+}
+
+/// Bound on pooled scratch sets (one per concurrently-routing thread is
+/// plenty; extras are simply dropped).
+const SCRATCH_POOL_CAP: usize = 8;
+
 /// The scatter-gather router over N engine shards.
 pub struct ShardRouter {
     shards: Vec<Shard>,
@@ -75,22 +118,48 @@ pub struct ShardRouter {
     /// [`RemoteGremlinAdapter::over`](crate::adapter::remote::RemoteGremlinAdapter)).
     batch_chunk: usize,
     name: &'static str,
+    /// Hot-frontier cache: merged expand-wave results keyed on
+    /// (direction, label, frontier) at the *per-shard epoch vector* —
+    /// any shard's write stops every affected entry from matching, so
+    /// cross-shard round trips for hub expansions are skipped only when
+    /// provably current.
+    frontier_cache: Option<ResultCache<Vec<Vid>>>,
+    scratch: Mutex<Vec<WaveScratch>>,
 }
 
 impl ShardRouter {
     /// `shards` native stores, each behind its own server + pool.
     pub fn native(shards: usize) -> Result<Self> {
+        Self::native_with_cache(shards, FRONTIER_CACHE_CAPACITY)
+    }
+
+    /// As [`ShardRouter::native`] with an explicit hot-frontier cache
+    /// capacity (`0` disables — the uncached comparison arm).
+    pub fn native_with_cache(shards: usize, cache_capacity: usize) -> Result<Self> {
         let backends: Vec<Arc<dyn GraphBackend>> = (0..shards.max(1))
             .map(|_| Arc::new(snb_graph_native::NativeGraphStore::new()) as Arc<dyn GraphBackend>)
             .collect();
-        Self::over(backends, "Sharded (Gremlin/TCP)")
+        Self::over_with_cache(backends, "Sharded (Gremlin/TCP)", cache_capacity)
     }
 
     /// Host each backend behind a loopback server and connect a pool.
     pub fn over(backends: Vec<Arc<dyn GraphBackend>>, name: &'static str) -> Result<Self> {
+        Self::over_with_cache(backends, name, FRONTIER_CACHE_CAPACITY)
+    }
+
+    /// As [`ShardRouter::over`] with an explicit hot-frontier cache
+    /// capacity. The cache only engages when *every* shard backend
+    /// exposes a [`GraphBackend::cache_epoch`]; a single epoch-less
+    /// shard makes every wave bypass.
+    pub fn over_with_cache(
+        backends: Vec<Arc<dyn GraphBackend>>,
+        name: &'static str,
+        cache_capacity: usize,
+    ) -> Result<Self> {
         assert!(!backends.is_empty(), "at least one shard");
         let server_cfg = ServerConfig::default();
         let batch_chunk = (server_cfg.queue_capacity / 4).max(1);
+        let epochs_available = backends.iter().all(|b| b.cache_epoch().is_some());
         let mut shards = Vec::with_capacity(backends.len());
         for backend in backends {
             let gremlin = GremlinServer::start(Arc::clone(&backend), server_cfg.clone());
@@ -99,7 +168,51 @@ impl ShardRouter {
             shards.push(Shard { backend, server, pool });
         }
         let map = ShardMap::new(shards.len());
-        Ok(ShardRouter { shards, map, batch_chunk, name })
+        let frontier_cache = (cache_capacity > 0 && epochs_available)
+            .then(|| ResultCache::new("frontier", cache_capacity));
+        Ok(ShardRouter {
+            shards,
+            map,
+            batch_chunk,
+            name,
+            frontier_cache,
+            scratch: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The hot-frontier cache, when enabled (stats hook).
+    pub fn frontier_cache(&self) -> Option<&ResultCache<Vec<Vid>>> {
+        self.frontier_cache.as_ref()
+    }
+
+    fn take_scratch(&self) -> WaveScratch {
+        let mut scratch = self.scratch.lock().pop().unwrap_or_default();
+        scratch.reset(self.shards.len());
+        scratch
+    }
+
+    fn put_scratch(&self, scratch: WaveScratch) {
+        let mut pool = self.scratch.lock();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+
+    /// The per-shard epoch vector, or `None` when any shard lacks one.
+    fn shard_epochs(&self) -> Option<Vec<u64>> {
+        self.shards.iter().map(|s| s.backend.cache_epoch()).collect()
+    }
+
+    /// Cache key material for an expand wave: direction, label, and the
+    /// frontier in caller order (the merged result is order-sensitive).
+    fn frontier_key(frontier: &[Vid], dir: Direction, label: Option<EdgeLabel>) -> Vec<u8> {
+        let mut key = Vec::with_capacity(2 + frontier.len() * 8);
+        key.push(dir as u8);
+        key.push(label.map(|l| l as u8 + 1).unwrap_or(0));
+        for v in frontier {
+            key.extend_from_slice(&v.raw().to_le_bytes());
+        }
+        key
     }
 
     /// Number of shards.
@@ -152,20 +265,77 @@ impl ShardRouter {
         dir: Direction,
         label: Option<EdgeLabel>,
     ) -> Result<Vec<Vid>> {
-        let mut per_shard: Vec<Vec<Vid>> = vec![Vec::new(); self.shards.len()];
-        for &v in frontier {
-            per_shard[self.owner(v)].push(v);
+        // Hot-frontier cache probe: a hub's ring — and, on repeat
+        // two-hops, the hub's ring *as the next frontier* — answers
+        // without any cross-shard round trip. Keyed at the per-shard
+        // epoch vector, so the entry stops matching the moment any
+        // shard takes a write.
+        let probe = match &self.frontier_cache {
+            Some(cache) => {
+                if frontier.len() > FRONTIER_KEY_CAP {
+                    cache.note_bypass();
+                    None
+                } else {
+                    match self.shard_epochs() {
+                        Some(epochs) => {
+                            let key = Self::frontier_key(frontier, dir, label);
+                            if let Some(hit) = cache.get(&key, &epochs) {
+                                return Ok(hit);
+                            }
+                            Some((key, epochs))
+                        }
+                        None => {
+                            cache.note_bypass();
+                            None
+                        }
+                    }
+                }
+            }
+            None => None,
+        };
+        let mut scratch = self.take_scratch();
+        let result = self.expand_wave_scatter(frontier, dir, label, &mut scratch);
+        self.put_scratch(scratch);
+        let out = result?;
+        if let (Some(cache), Some((key, epochs))) = (&self.frontier_cache, probe) {
+            // Store only when no shard took a write while the wave was
+            // in flight: epochs are monotone, so an unchanged re-read
+            // proves the merged result belongs to this epoch vector.
+            if self.shard_epochs().as_deref() == Some(&epochs[..]) {
+                cache.insert(&key, &epochs, out.clone());
+            }
         }
-        let mut pending: Vec<PendingReply> = Vec::new();
-        for (s, vids) in per_shard.into_iter().enumerate() {
-            if vids.is_empty() {
+        Ok(out)
+    }
+
+    /// The scatter-gather body of [`ShardRouter::expand_wave`], using
+    /// pooled buffers instead of per-wave allocations.
+    fn expand_wave_scatter(
+        &self,
+        frontier: &[Vid],
+        dir: Direction,
+        label: Option<EdgeLabel>,
+        scratch: &mut WaveScratch,
+    ) -> Result<Vec<Vid>> {
+        for &v in frontier {
+            scratch.per_shard[self.owner(v)].push(v);
+        }
+        for s in 0..self.shards.len() {
+            if scratch.per_shard[s].is_empty() {
                 continue;
             }
-            let payload = encode_frontier(&FrontierRequest::Expand { dir, label, vids });
-            pending.push(self.shards[s].pool.start_frontier(&payload)?);
+            // Lend the pooled buffer to the request for encoding, then
+            // take it back so its capacity survives into the next wave.
+            let vids = std::mem::take(&mut scratch.per_shard[s]);
+            let req = FrontierRequest::Expand { dir, label, vids };
+            let payload = encode_frontier(&req);
+            if let FrontierRequest::Expand { vids, .. } = req {
+                scratch.per_shard[s] = vids;
+            }
+            scratch.pending.push(self.shards[s].pool.start_frontier(&payload)?);
         }
         let mut out = Vec::new();
-        for reply in pending {
+        for reply in scratch.pending.drain(..) {
             for v in wire::decode_values(&reply.wait()?)? {
                 match v {
                     Value::Vertex(vid) => out.push(vid),
@@ -183,24 +353,44 @@ impl ShardRouter {
     /// One property wave: fetch `keys` of every vertex from its owner,
     /// returning rows aligned with the input order.
     fn props_wave(&self, vids: &[Vid], keys: &[PropKey]) -> Result<Vec<Vec<Value>>> {
-        let mut per_shard: Vec<(Vec<usize>, Vec<Vid>)> =
-            vec![(Vec::new(), Vec::new()); self.shards.len()];
+        let mut scratch = self.take_scratch();
+        let result = self.props_wave_scatter(vids, keys, &mut scratch);
+        self.put_scratch(scratch);
+        result
+    }
+
+    /// The scatter-gather body of [`ShardRouter::props_wave`], using
+    /// pooled buffers instead of per-wave allocations. Replies are
+    /// gathered in shard order (the order they were started), so the
+    /// index slices in `scratch.idx` line up with `scratch.pending`.
+    fn props_wave_scatter(
+        &self,
+        vids: &[Vid],
+        keys: &[PropKey],
+        scratch: &mut WaveScratch,
+    ) -> Result<Vec<Vec<Value>>> {
         for (i, &v) in vids.iter().enumerate() {
             let s = self.owner(v);
-            per_shard[s].0.push(i);
-            per_shard[s].1.push(v);
+            scratch.idx[s].push(i);
+            scratch.per_shard[s].push(v);
         }
-        let mut pending: Vec<(Vec<usize>, PendingReply)> = Vec::new();
-        for (s, (idx, svids)) in per_shard.into_iter().enumerate() {
-            if svids.is_empty() {
+        let mut started: Vec<usize> = Vec::with_capacity(self.shards.len());
+        for s in 0..self.shards.len() {
+            if scratch.per_shard[s].is_empty() {
                 continue;
             }
-            let payload =
-                encode_frontier(&FrontierRequest::Props { keys: keys.to_vec(), vids: svids });
-            pending.push((idx, self.shards[s].pool.start_frontier(&payload)?));
+            let svids = std::mem::take(&mut scratch.per_shard[s]);
+            let req = FrontierRequest::Props { keys: keys.to_vec(), vids: svids };
+            let payload = encode_frontier(&req);
+            if let FrontierRequest::Props { vids, .. } = req {
+                scratch.per_shard[s] = vids;
+            }
+            scratch.pending.push(self.shards[s].pool.start_frontier(&payload)?);
+            started.push(s);
         }
         let mut rows: Vec<Vec<Value>> = vec![Vec::new(); vids.len()];
-        for (idx, reply) in pending {
+        for (s, reply) in started.into_iter().zip(scratch.pending.drain(..)) {
+            let idx = &scratch.idx[s];
             let vals = wire::decode_values(&reply.wait()?)?;
             if vals.len() != idx.len() {
                 return Err(SnbError::Codec(format!(
@@ -663,6 +853,57 @@ mod tests {
         assert_eq!(router.execute_update_batch(&ops).unwrap(), ops.len());
         assert_eq!(router.merged_vertices().len(), n as usize);
         assert_eq!(router.merged_edges().len(), n as usize - 1);
+    }
+
+    #[test]
+    fn hot_frontier_cache_hits_and_invalidates_on_any_shard_write() {
+        let data = snb_datagen::generate(&snb_datagen::GeneratorConfig::tiny());
+        let oracle = GremlinAdapter::native();
+        oracle.load(&data.snapshot).unwrap();
+        let router = ShardRouter::native(2).unwrap();
+        router.load(&data.snapshot).unwrap();
+        let cache = router.frontier_cache().expect("native shards have epochs");
+        let person = data
+            .snapshot
+            .vertices_of(snb_core::VertexLabel::Person)
+            .next()
+            .unwrap()
+            .id;
+        let op = ReadOp::TwoHop { person };
+        let first = sorted(router.execute_read(&op).unwrap());
+        let cold_hits = cache.stats().hits;
+        let second = sorted(router.execute_read(&op).unwrap());
+        assert_eq!(first, second);
+        assert!(cache.stats().hits > cold_hits, "repeat two-hop hits the frontier cache");
+        // A write through the router (any shard) advances that shard's
+        // epoch; the next read must recompute against fresh state and
+        // still match the oracle.
+        let update = data.updates.first().expect("tiny data has updates");
+        oracle.execute_update(update).unwrap();
+        router.execute_update(update).unwrap();
+        assert_eq!(
+            sorted(oracle.execute_read(&op).unwrap()),
+            sorted(router.execute_read(&op).unwrap()),
+            "post-write read is fresh"
+        );
+        assert_eq!(cache.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn disabled_frontier_cache_still_serves_reads() {
+        let data = snb_datagen::generate(&snb_datagen::GeneratorConfig::tiny());
+        let router = ShardRouter::native_with_cache(2, 0).unwrap();
+        router.load(&data.snapshot).unwrap();
+        assert!(router.frontier_cache().is_none());
+        let person = data
+            .snapshot
+            .vertices_of(snb_core::VertexLabel::Person)
+            .next()
+            .unwrap()
+            .id;
+        let rows = router.execute_read(&ReadOp::TwoHop { person }).unwrap();
+        let again = router.execute_read(&ReadOp::TwoHop { person }).unwrap();
+        assert_eq!(sorted(rows), sorted(again));
     }
 
     #[test]

@@ -834,6 +834,13 @@ impl GraphBackend for NativeGraphStore {
         fold_csr(&self.shared);
         self.shared.csr.load()
     }
+
+    /// The write sequence doubles as the result-cache epoch: every
+    /// mutation bumps it under the write lock before returning, which
+    /// is exactly the contract epoch-keyed caching needs.
+    fn cache_epoch(&self) -> Option<u64> {
+        Some(self.write_seq())
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use snb_analytics::{AnalyticsConfig, JobManager};
+use snb_cache::ResultCache;
 use snb_core::{GraphBackend, Result, SnbError, Value};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -41,6 +42,11 @@ pub struct ServerConfig {
     /// worker pool, so a PageRank sweep never occupies a traversal
     /// worker slot.
     pub analytics: AnalyticsConfig,
+    /// Entry capacity of the inline-path result cache: bounded
+    /// read-only traversal payloads keyed on (encoded traversal bytes,
+    /// backend write epoch). `0` disables the cache; backends without a
+    /// [`GraphBackend::cache_epoch`] bypass it regardless.
+    pub result_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,9 +56,17 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             request_timeout: Duration::from_secs(30),
             analytics: AnalyticsConfig::default(),
+            result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
         }
     }
 }
+
+/// Default inline result-cache entries. The cached values are encoded
+/// response payloads for *bounded* traversals (point reads, one/two-hop
+/// rings), so memory stays modest while the skewed hot set — the LDBC
+/// access distribution concentrates most reads on a few hub vertices —
+/// fits comfortably.
+pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 4096;
 
 /// Default worker-pool size: one worker per available core, clamped to
 /// at least one so a 1-core box still makes progress.
@@ -132,6 +146,7 @@ pub struct GremlinServer {
     backend: Arc<dyn GraphBackend>,
     inline: Arc<InlineSlots>,
     jobs: Arc<JobManager>,
+    cache: Option<Arc<ResultCache<Vec<u8>>>>,
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -162,15 +177,26 @@ impl GremlinServer {
             }));
         }
         let jobs = JobManager::new(Arc::clone(&backend), config.analytics);
+        // No epoch, no cache: a backend without a monotone write
+        // counter cannot key entries safely, so don't even allocate.
+        let cache = (config.result_cache_capacity > 0 && backend.cache_epoch().is_some())
+            .then(|| Arc::new(ResultCache::new("inline", config.result_cache_capacity)));
         GremlinServer {
             tx,
             timeout: config.request_timeout,
             inline: Arc::new(InlineSlots(AtomicUsize::new(config.workers))),
             backend,
             jobs,
+            cache,
             shutdown,
             handles,
         }
+    }
+
+    /// The inline-path result cache, when enabled (stats hook for the
+    /// benchmark harness and `cache_smoke`).
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache<Vec<u8>>>> {
+        self.cache.as_ref()
     }
 
     /// The analytics job manager, for in-process job submission (the
@@ -197,6 +223,7 @@ impl GremlinServer {
             backend: Arc::clone(&self.backend),
             inline: Arc::clone(&self.inline),
             jobs: Arc::clone(&self.jobs),
+            cache: self.cache.clone(),
         }
     }
 }
@@ -292,6 +319,7 @@ pub struct RawSubmitter {
     backend: Arc<dyn GraphBackend>,
     inline: Arc<InlineSlots>,
     jobs: Arc<JobManager>,
+    cache: Option<Arc<ResultCache<Vec<u8>>>>,
 }
 
 impl RawSubmitter {
@@ -362,18 +390,58 @@ impl RawSubmitter {
             Err(e) => return Some(Err(SnbError::Codec(format!("bad request: {e}")))),
         };
         if traversal.has_mutation() || !traversal.bounded_cost() {
+            if let Some(c) = &self.cache {
+                c.note_bypass();
+            }
             return None;
         }
+        // Epoch-keyed result cache: the wire encoding is canonical for
+        // a traversal (decode∘encode is the identity), so the request
+        // payload itself is the key material, and the backend's write
+        // sequence pins the epoch. A hit answers without touching an
+        // inline slot, the executor, or the store at all.
+        let epoch = match &self.cache {
+            Some(c) => match self.backend.cache_epoch() {
+                Some(e) => {
+                    if let Some(bytes) = c.get1(payload, e) {
+                        return Some(Ok(bytes));
+                    }
+                    Some(e)
+                }
+                None => {
+                    c.note_bypass();
+                    None
+                }
+            },
+            None => None,
+        };
         if !self.inline.try_acquire() {
             return None;
         }
         let result = exec::execute_capped(&*self.backend, &traversal, INLINE_TRAVERSER_CAP);
         self.inline.release();
         match result {
-            Ok(Some(values)) => Some(Ok(wire::encode_values(&values))),
+            Ok(Some(values)) => {
+                let bytes = wire::encode_values(&values);
+                if let (Some(c), Some(e)) = (&self.cache, epoch) {
+                    // Insert only if no write landed during execution:
+                    // a result computed astride an epoch flip may
+                    // reflect either side, so it is only stored when
+                    // the epoch observed before execution still holds.
+                    if self.backend.cache_epoch() == Some(e) {
+                        c.insert1(payload, e, bytes.clone());
+                    }
+                }
+                Some(Ok(bytes))
+            }
             Ok(None) => None, // frontier outgrew the cap: worker pool re-runs it
             Err(e) => Some(Err(e)),
         }
+    }
+
+    /// The inline-path result cache, when enabled.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache<Vec<u8>>>> {
+        self.cache.as_ref()
     }
 
     /// Execute a frontier-batch request (the payload of a Frontier
@@ -585,6 +653,46 @@ mod tests {
         // Cheap bounded reads still run inline.
         let read = wire::encode_traversal(&Traversal::v(p(3)).both(EdgeLabel::Knows).count());
         let bytes = raw.try_execute_inline(&read).expect("inline-eligible").unwrap();
+        assert_eq!(wire::decode_values(&bytes).unwrap(), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn inline_cache_serves_hits_and_respects_epochs() {
+        let server = GremlinServer::start(backend(), ServerConfig::default());
+        let raw = server.raw_submitter();
+        let cache = server.result_cache().expect("native backend has an epoch").clone();
+        let read = wire::encode_traversal(&Traversal::v(p(3)).both(EdgeLabel::Knows).count());
+        let first = raw.try_execute_inline(&read).expect("inline-eligible").unwrap();
+        assert_eq!(cache.stats().hits, 0);
+        let second = raw.try_execute_inline(&read).expect("inline-eligible").unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().hits, 1, "repeat read is served from cache");
+        // A write advances the epoch: the next read misses, re-executes
+        // against the new state, and re-caches.
+        let add_e = wire::encode_traversal(&Traversal::g().add_e(EdgeLabel::Knows, p(3), p(5), vec![]));
+        assert!(raw.try_execute_inline(&add_e).is_none(), "mutations bypass");
+        let server_client = server.client();
+        server_client
+            .submit(&Traversal::g().add_e(EdgeLabel::Knows, p(3), p(5), vec![]))
+            .unwrap();
+        let after = raw.try_execute_inline(&read).expect("inline-eligible").unwrap();
+        assert_eq!(wire::decode_values(&after).unwrap(), vec![Value::Int(3)]);
+        let s = cache.stats();
+        assert_eq!(s.stale_served, 0);
+        assert!(s.stale_evicted >= 1, "old-epoch entry reclaimed: {s:?}");
+        assert!(s.bypass >= 1, "mutation counted as bypass");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_inline_cache() {
+        let server = GremlinServer::start(
+            backend(),
+            ServerConfig { result_cache_capacity: 0, ..Default::default() },
+        );
+        assert!(server.result_cache().is_none());
+        let raw = server.raw_submitter();
+        let read = wire::encode_traversal(&Traversal::v(p(3)).both(EdgeLabel::Knows).count());
+        let bytes = raw.try_execute_inline(&read).expect("still inline-eligible").unwrap();
         assert_eq!(wire::decode_values(&bytes).unwrap(), vec![Value::Int(2)]);
     }
 

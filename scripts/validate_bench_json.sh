@@ -178,6 +178,62 @@ for f in "${files[@]}"; do
       fail=1
     fi
   fi
+  # The cache section (epoch-keyed result caches) appears from BENCH_9
+  # onward; when present both measured layers must carry cached/bypass
+  # throughput and a nonzero hit rate, no layer may fall behind its
+  # bypass arm (0.9 floor absorbs measurement noise), at least one
+  # layer must show the >=1.5x skewed-read speedup the cache exists
+  # for, the mixed-ingest hit rate must stay nonzero (entries survive
+  # between invalidation points), and the stale-serve tripwire must
+  # read exactly 0.
+  if grep -q '"cache"' "$f"; then
+    require_numeric "$f" "zipf_s"
+    require_key "$f" "mixed_ingest"
+    require_numeric "$f" "mixed_reads_per_sec"
+    require_numeric "$f" "hit_rate_under_ingest"
+    cleared_15x=0
+    for layer in cypher_adapter gremlin_inline; do
+      line="$(grep -Eo "\"$layer\"[[:space:]]*:[[:space:]]*\{[^}]*\}" "$f" | head -1 || true)"
+      if [ -z "$line" ]; then
+        echo "[validate_bench_json] $f: cache missing \"$layer\" layer" >&2
+        fail=1
+        continue
+      fi
+      c="$(printf '%s' "$line" | grep -Eo '"cached_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+      b="$(printf '%s' "$line" | grep -Eo '"bypass_ops_per_sec"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+      h="$(printf '%s' "$line" | grep -Eo '"hit_rate"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' | grep -Eo '[0-9.]+$' || true)"
+      if [ -z "$c" ] || [ -z "$b" ] || [ -z "$h" ]; then
+        echo "[validate_bench_json] $f: cache.$layer lacks cached/bypass/hit_rate figures" >&2
+        fail=1
+        continue
+      fi
+      if ! awk -v a="$c" -v d="$b" 'BEGIN { exit !(a >= 0.9 * d) }'; then
+        echo "[validate_bench_json] $f: cache.$layer cached $c fell behind bypass $b" >&2
+        fail=1
+      fi
+      if awk -v a="$c" -v d="$b" 'BEGIN { exit !(a >= 1.5 * d) }'; then
+        cleared_15x=1
+      fi
+      if ! awk -v r="$h" 'BEGIN { exit !(r > 0) }'; then
+        echo "[validate_bench_json] $f: cache.$layer hit rate is zero" >&2
+        fail=1
+      fi
+    done
+    if [ "$cleared_15x" -ne 1 ]; then
+      echo "[validate_bench_json] $f: no cache layer cleared the 1.5x cached-vs-bypass floor" >&2
+      fail=1
+    fi
+    ing="$(grep -Eo '"hit_rate_under_ingest"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?' "$f" | grep -Eo '[0-9.]+$' | head -1 || true)"
+    if [ -z "$ing" ] || ! awk -v r="$ing" 'BEGIN { exit !(r > 0) }'; then
+      echo "[validate_bench_json] $f: mixed-ingest hit rate (${ing:-missing}) is not positive" >&2
+      fail=1
+    fi
+    ss="$(grep -Eo '"stale_served"[[:space:]]*:[[:space:]]*[0-9]+' "$f" | grep -Eo '[0-9]+$' | head -1 || true)"
+    if [ -z "$ss" ] || [ "$ss" -ne 0 ]; then
+      echo "[validate_bench_json] $f: stale_served (${ss:-missing}) must be exactly 0" >&2
+      fail=1
+    fi
+  fi
   # The analytics section appears from BENCH_7 onward; when present it
   # must carry the PageRank/WCC job metrics and the coexistence run:
   # interactive reads during a paced PageRank job must hold at least
