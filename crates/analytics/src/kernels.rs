@@ -357,7 +357,8 @@ mod tests {
             bld.push_row(
                 Vid::new(VertexLabel::Person, row as u64 + 1),
                 Arc::new(PropertyMap::from_pairs(&[])),
-            );
+            )
+            .expect("test graph fits u32 rows");
             for &t in &out[row] {
                 bld.push_out(EdgeLabel::Knows, t, None);
             }
@@ -365,7 +366,7 @@ mod tests {
                 bld.push_in(EdgeLabel::Knows, s);
             }
         }
-        bld.finish()
+        bld.finish().expect("test graph fits u32 rows")
     }
 
     fn never() -> AtomicBool {

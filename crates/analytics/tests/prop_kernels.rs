@@ -26,7 +26,8 @@ fn snap(n: usize, edges: &[(u32, u32)]) -> CsrSnapshot {
         bld.push_row(
             Vid::new(VertexLabel::Person, row as u64 + 1),
             Arc::new(PropertyMap::from_pairs(&[])),
-        );
+        )
+        .expect("test graph fits u32 rows");
         for &t in &out[row] {
             bld.push_out(EdgeLabel::Knows, t, None);
         }
@@ -34,7 +35,7 @@ fn snap(n: usize, edges: &[(u32, u32)]) -> CsrSnapshot {
             bld.push_in(EdgeLabel::Knows, s);
         }
     }
-    bld.finish()
+    bld.finish().expect("test graph fits u32 rows")
 }
 
 /// Undirected, deduplicated, self-loop-free adjacency sets.

@@ -1115,12 +1115,49 @@ fn main() {
     };
     engines_json.push_str(&sql_cte);
 
+    // --- Million-vertex scale: streaming build + complex reads -------
+    // The PR-10 tentpole end to end: stream-generate a scale-preset
+    // network (never materialized whole), bulk-load the snapshot half
+    // while the post-cut half drains through the partitioned ingest
+    // path, fold the CSR, and measure resident bytes plus two-hop and
+    // complex-read throughput at that size. `SNB_SCALE_PERSONS`
+    // (default 100 000; the committed BENCH_10.json ran 1 000 000)
+    // sizes the run; 0 skips the section entirely.
+    let scale_json = {
+        let scale_cfg = snb_bench::scale::ScaleConfig::from_env();
+        if scale_cfg.persons == 0 {
+            String::new()
+        } else {
+            eprintln!(
+                "[bench] scale run: {} persons (chunk {}, {} appliers)",
+                scale_cfg.persons, scale_cfg.chunk_size, scale_cfg.appliers
+            );
+            let rep = snb_bench::scale::run_scale(&scale_cfg);
+            eprintln!(
+                "[bench] scale: {} vertices / {} edges in {:.1}s; {:.2} B/vertex, \
+                 {:.2} B/edge, {} MiB resident; two_hop {:.0}/s, foaf_posts {:.0}/s, \
+                 recent_messages {:.0}/s, mutual_friends {:.0}/s",
+                rep.vertices,
+                rep.edges,
+                rep.build_seconds,
+                rep.bytes_per_vertex,
+                rep.bytes_per_edge,
+                rep.resident_bytes / (1 << 20),
+                rep.two_hop_ops_per_sec,
+                rep.foaf_posts_per_sec,
+                rep.recent_messages_per_sec,
+                rep.mutual_friends_per_sec
+            );
+            format!(",\n  \"scale\": {}", rep.to_json())
+        }
+    };
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"cache\": {{\n    {cache_json}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"analytics\": {{\n    \"snapshot_rows\": {ana_rows},\n    \"pagerank_iterations\": {pr_iterations},\n    \"pagerank_iterations_per_sec\": {pagerank_iters_per_sec:.1},\n    \"pagerank_top_k\": {top_k},\n    \"wcc_wall_ms\": {wcc_wall_ms},\n    \"coexistence\": {{\"read_only_reads_per_sec\": {ana_read_only:.1}, \"reads_per_sec_during_pagerank\": {reads_during_pr:.1}, \"read_retention\": {analytics_retention:.4}, \"progress_polls\": {progress_polls}, \"cancelled_mid_run\": {cancelled_mid_run}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"snb-bench/1\",\n  \"unix_time\": {unix_secs},\n  \"dataset\": {{\"persons\": {}, \"vertices\": {}, \"edges\": {}, \"updates\": {}}},\n  \"metrics\": {{\n    \"vertex_lookup_ops_per_sec\": {vertex_lookup:.1},\n    \"two_hop_expansion_ops_per_sec\": {two_hop:.1},\n    \"two_hop_locked_ops_per_sec\": {two_hop_locked:.1},\n    \"update_apply_ops_per_sec\": {update_apply:.1},\n    \"reads_per_sec_by_readers\": {{{readers_json}}}\n  }},\n  \"network\": {{\n    \"round_trips_per_sec_by_connections\": {{{network_json}}},\n    \"io_models\": {{\n      {io_models_json}\n    }},\n    \"pipelined_batch_round_trips_per_sec\": {batch_rt:.1}\n  }},\n  \"ingest\": {{\n    \"stream_updates\": {},\n    \"updates_per_sec_by_appliers\": {{{ingest_json}}},\n    \"mixed\": {{\"appliers\": 2, \"ingest_updates_per_sec\": {mixed_updates:.1}, \"reads_per_sec_during_ingest\": {reads_during:.1}, \"read_only_reads_per_sec\": {read_only:.1}, \"read_retention\": {read_retention:.4}}}\n  }},\n  \"sharding\": {{\n    \"round_trips_per_sec_by_shards\": {{{shard_rt_json}}},\n    \"two_hop_per_sec_by_shards\": {{{shard_two_json}}}\n  }},\n  \"cache\": {{\n    {cache_json}\n  }},\n  \"traversal\": {{\n    \"persons\": {},\n    \"morsel_min\": {morsel_min},\n    \"two_hop_ops_per_sec_by_workers\": {{{trav_two_json}}},\n    \"shortest_path_ops_per_sec_by_workers\": {{{trav_sp_json}}},\n    \"two_hop_locked_baseline_ops_per_sec\": {trav_two_locked:.1},\n    \"shortest_path_locked_baseline_ops_per_sec\": {trav_sp_locked:.1}\n  }},\n  \"analytics\": {{\n    \"snapshot_rows\": {ana_rows},\n    \"pagerank_iterations\": {pr_iterations},\n    \"pagerank_iterations_per_sec\": {pagerank_iters_per_sec:.1},\n    \"pagerank_top_k\": {top_k},\n    \"wcc_wall_ms\": {wcc_wall_ms},\n    \"coexistence\": {{\"read_only_reads_per_sec\": {ana_read_only:.1}, \"reads_per_sec_during_pagerank\": {reads_during_pr:.1}, \"read_retention\": {analytics_retention:.4}, \"progress_polls\": {progress_polls}, \"cancelled_mid_run\": {cancelled_mid_run}}}\n  }},\n  \"engines\": {{\n{engines_json}\n  }}{scale_json}\n}}\n",
         cfg.persons,
         store.vertex_count(),
         store.edge_count(),

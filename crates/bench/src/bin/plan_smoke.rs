@@ -31,6 +31,14 @@ const CYPHER_TEMPLATES: &[&str] = &[
     "MATCH (m)-[:has_creator]->(p:person {id:$id}) RETURN m.id, m.creationDate ORDER BY m.creationDate DESC LIMIT 5",
     "MATCH (p:person) RETURN DISTINCT p.firstName",
     "MATCH sp = shortestPath((a:person {id:$a})-[:knows*]-(b:person {id:$b})) RETURN length(sp)",
+    // The IC-style complex reads (PR 10): FoF posts with a date
+    // predicate and the aggregated mutual-friend path count.
+    "MATCH (p:person {id:$id})-[:knows*1..2]-(f)<-[:has_creator]-(m:post) \
+     WHERE f.id <> $id AND m.creationDate >= $d \
+     RETURN DISTINCT m.id, f.id, m.creationDate \
+     ORDER BY m.creationDate DESC, m.id LIMIT 20",
+    "MATCH (p:person {id:$id})-[:knows]-(f)-[:knows]-(c) WHERE c.id <> $id \
+     RETURN c.id, count(*)",
 ];
 
 const SQL_TEMPLATES: &[&str] = &[
@@ -53,6 +61,23 @@ const SQL_TEMPLATES: &[&str] = &[
        UNION SELECT k.src, r.depth + 1 FROM reach r \
              JOIN person_knows_person k ON k.dst = r.id WHERE r.depth < 10 \
      ) SELECT MIN(depth) FROM reach WHERE id = $2",
+    // The IC-style complex reads (PR 10): one FoF-posts ring branch
+    // with the date predicate (the full six-branch union is exercised
+    // end-to-end by the adapter equivalence tests) and the mutual-path
+    // enumeration the client-side tally consumes.
+    "SELECT m.id, c.dst, m.creationDate FROM person_knows_person k1 \
+     JOIN person_knows_person k2 ON k2.src = k1.dst \
+     JOIN post_has_creator_person c ON c.dst = k2.dst \
+     JOIN post m ON m.id = c.src \
+     WHERE k1.src = $1 AND k2.dst <> $1 AND m.creationDate >= 0 \
+     ORDER BY 3 DESC, 1 LIMIT 20",
+    "SELECT k2.dst FROM person_knows_person k1 \
+     JOIN person_knows_person k2 ON k2.src = k1.dst \
+     WHERE k1.src = $1 AND k2.dst <> $1 \
+     UNION ALL \
+     SELECT k2.src FROM person_knows_person k1 \
+     JOIN person_knows_person k2 ON k2.dst = k1.dst \
+     WHERE k1.src = $1 AND k2.src <> $1",
 ];
 
 fn gremlin_mix(a: u64, b: u64, name: &str) -> Vec<Traversal> {
@@ -99,6 +124,7 @@ fn main() {
             p.insert("name".into(), Value::str("Dee"));
             p.insert("a".into(), Value::Int(ids[0] as i64));
             p.insert("b".into(), Value::Int(id as i64));
+            p.insert("d".into(), Value::Int(0));
             let optimized = store.cypher(template, &p).expect("cypher optimized");
             let naive = store.cypher_naive(template, &p).expect("cypher naive");
             checked += 1;
@@ -155,6 +181,42 @@ fn main() {
                         adapter.name()
                     );
                 }
+            }
+        }
+    }
+
+    // --- Complex-read suite: every adapter vs the brute-force oracles
+    let adapters = snb_driver::build_all_adapters();
+    for adapter in &adapters {
+        adapter.load(&data.snapshot).expect("load for complex suite");
+    }
+    let min_date = data.cut_ms - 300 * 24 * 3600 * 1000;
+    for &person in ids.iter().take(3) {
+        let foaf_oracle = snb_driver::naive_foaf_posts(&data.snapshot, person, min_date, 20);
+        let mutual_oracle = snb_driver::naive_mutual_friends(&data.snapshot, person, 10);
+        for adapter in &adapters {
+            use snb_driver::ops::ReadOp;
+            let foaf = adapter
+                .execute_read(&ReadOp::IcFoafPosts { person, min_date, limit: 20 })
+                .expect("IcFoafPosts");
+            checked += 1;
+            if foaf != foaf_oracle {
+                failures += 1;
+                eprintln!(
+                    "[plan_smoke] COMPLEX DIVERGENCE ({}, person={person}): IcFoafPosts",
+                    adapter.name()
+                );
+            }
+            let mutual = adapter
+                .execute_read(&ReadOp::IcMutualFriends { person, limit: 10 })
+                .expect("IcMutualFriends");
+            checked += 1;
+            if mutual != mutual_oracle {
+                failures += 1;
+                eprintln!(
+                    "[plan_smoke] COMPLEX DIVERGENCE ({}, person={person}): IcMutualFriends",
+                    adapter.name()
+                );
             }
         }
     }

@@ -176,3 +176,7 @@ mod tests {
 
 /// Tables 2/3 implementation.
 pub mod tables;
+
+/// The million-vertex scale run (streaming build + CSR accounting +
+/// complex-read throughput), shared by `bench_json` and `scale_smoke`.
+pub mod scale;

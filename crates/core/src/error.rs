@@ -25,6 +25,9 @@ pub enum SnbError {
     Codec(String),
     /// Filesystem error (CSV import/export).
     Io(String),
+    /// A fixed-width id or offset space overflowed (e.g. more than 2^32
+    /// CSR rows). Surfaced instead of silently truncating adjacency.
+    Capacity(String),
 }
 
 impl fmt::Display for SnbError {
@@ -39,6 +42,7 @@ impl fmt::Display for SnbError {
             SnbError::Overloaded(m) => write!(f, "overloaded: {m}"),
             SnbError::Codec(m) => write!(f, "codec error: {m}"),
             SnbError::Io(m) => write!(f, "io error: {m}"),
+            SnbError::Capacity(m) => write!(f, "capacity exceeded: {m}"),
         }
     }
 }

@@ -17,6 +17,7 @@ pub mod metrics;
 pub mod schema;
 pub mod shard;
 pub mod snapshot;
+pub mod topk;
 pub mod value;
 
 pub use backend::{GraphBackend, GraphWrite};
@@ -27,4 +28,5 @@ pub use ids::{EdgeLabel, VertexLabel, Vid};
 pub use schema::PropKey;
 pub use shard::ShardMap;
 pub use snapshot::{CsrBuilder, CsrSnapshot, EpochCell, SnapshotCache};
+pub use topk::top_k_by;
 pub use value::Value;

@@ -1,0 +1,143 @@
+//! Bounded-heap top-k selection.
+//!
+//! The complex-read suite returns `ORDER BY ... LIMIT k` results where
+//! `k` is tiny (10–20) and the candidate set at SF-class scale is not.
+//! A full sort is O(n log n) and materializes an ordering nobody reads;
+//! [`top_k_by`] keeps a k-element binary heap instead — O(n log k) and
+//! O(k) extra space — while producing *exactly* the rows a stable sort
+//! followed by `truncate(k)` would produce: ties between candidates are
+//! broken by arrival order, so executors can swap one for the other
+//! without changing a single result byte.
+
+use std::cmp::Ordering;
+
+/// Select the first `k` items of `items` under `cmp` as a stable sort
+/// would order them, consuming the input. `cmp` is the ascending sort
+/// order (`Less` sorts first). Returns all items (sorted) when
+/// `k >= items.len()`.
+pub fn top_k_by<T, F>(items: Vec<T>, k: usize, mut cmp: F) -> Vec<T>
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    if items.len() <= k {
+        let mut items = items;
+        items.sort_by(cmp);
+        return items;
+    }
+    // Max-heap of the k best seen so far, keyed by (cmp, arrival index)
+    // — the index tiebreak is what makes the result identical to a
+    // stable sort. The root is the *worst* kept item; a candidate that
+    // beats it replaces it and sifts down.
+    let mut heap: Vec<(T, usize)> = Vec::with_capacity(k);
+    let mut worse = |a: &(T, usize), b: &(T, usize)| -> bool {
+        match cmp(&a.0, &b.0) {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => a.1 > b.1,
+        }
+    };
+    for (i, item) in items.into_iter().enumerate() {
+        if heap.len() < k {
+            heap.push((item, i));
+            // Sift up.
+            let mut c = heap.len() - 1;
+            while c > 0 {
+                let p = (c - 1) / 2;
+                if worse(&heap[c], &heap[p]) {
+                    heap.swap(c, p);
+                    c = p;
+                } else {
+                    break;
+                }
+            }
+        } else {
+            let cand = (item, i);
+            if !worse(&cand, &heap[0]) {
+                heap[0] = cand;
+                // Sift down.
+                let mut p = 0;
+                loop {
+                    let (l, r) = (2 * p + 1, 2 * p + 2);
+                    let mut m = p;
+                    if l < k && worse(&heap[l], &heap[m]) {
+                        m = l;
+                    }
+                    if r < k && worse(&heap[r], &heap[m]) {
+                        m = r;
+                    }
+                    if m == p {
+                        break;
+                    }
+                    heap.swap(p, m);
+                    p = m;
+                }
+            }
+        }
+    }
+    heap.sort_by(|a, b| cmp(&a.0, &b.0).then(a.1.cmp(&b.1)));
+    heap.into_iter().map(|(t, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(mut v: Vec<(i32, i32)>, k: usize) -> Vec<(i32, i32)> {
+        v.sort_by(|a, b| a.0.cmp(&b.0)); // stable: ties keep arrival order
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn matches_stable_sort_truncate() {
+        let data = vec![(5, 0), (1, 1), (3, 2), (1, 3), (9, 4), (3, 5), (0, 6)];
+        for k in 0..=data.len() + 2 {
+            assert_eq!(
+                top_k_by(data.clone(), k, |a, b| a.0.cmp(&b.0)),
+                reference(data.clone(), k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_resolve_by_arrival_order() {
+        // All-equal keys: top-k must be the first k pushed.
+        let data: Vec<(i32, i32)> = (0..50).map(|i| (7, i)).collect();
+        let got = top_k_by(data, 5, |a, b| a.0.cmp(&b.0));
+        assert_eq!(got.iter().map(|p| p.1).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        // Deterministic xorshift stream; no RNG crate in core.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for trial in 0..200 {
+            let n = (next() % 60) as usize;
+            let k = (next() % 20) as usize;
+            let data: Vec<(i32, i32)> =
+                (0..n).map(|i| ((next() % 10) as i32, i as i32)).collect();
+            assert_eq!(
+                top_k_by(data.clone(), k, |a, b| a.0.cmp(&b.0)),
+                reference(data, k),
+                "trial={trial} n={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn descending_comparator() {
+        let data = vec![(1, 0), (9, 1), (5, 2), (9, 3)];
+        let got = top_k_by(data, 2, |a, b| b.0.cmp(&a.0));
+        assert_eq!(got, vec![(9, 1), (9, 3)]);
+    }
+}

@@ -29,6 +29,11 @@ pub struct GeneratorConfig {
     pub comments_per_post: f64,
     /// Probability a friend of a message's creator likes the message.
     pub like_probability: f64,
+    /// Probability that a person with friends moderates a forum at all
+    /// (a moderator then runs one forum, or two 40% of the time).
+    /// Honored by the streaming generator; the batch generator predates
+    /// the knob and keeps its fixed everyone-moderates behaviour.
+    pub forum_probability: f64,
 }
 
 impl GeneratorConfig {
@@ -40,6 +45,23 @@ impl GeneratorConfig {
     /// Tiny dataset for unit tests (fast, but exercises every entity type).
     pub fn tiny() -> Self {
         GeneratorConfig { persons: 40, ..Self::default() }
+    }
+
+    /// Memory-lean preset for million-person scale runs: the social
+    /// structure keeps its power-law shape, but per-person activity is
+    /// thinned (fewer friends, forums, posts, and likes) so the graph
+    /// lands at roughly 2 vertices and 15–20 edges per person instead
+    /// of the default preset's much denser timeline.
+    pub fn scale(persons: usize) -> Self {
+        GeneratorConfig {
+            persons,
+            mean_degree: 8.0,
+            posts_per_member: 0.4,
+            comments_per_post: 0.8,
+            like_probability: 0.06,
+            forum_probability: 0.15,
+            ..Self::default()
+        }
     }
 
     /// Simulation end in epoch milliseconds.
@@ -65,6 +87,7 @@ impl Default for GeneratorConfig {
             posts_per_member: 1.6,
             comments_per_post: 2.0,
             like_probability: 0.18,
+            forum_probability: 1.0,
         }
     }
 }

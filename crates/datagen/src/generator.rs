@@ -763,7 +763,7 @@ impl<'a> Generator<'a> {
 }
 
 /// Binary search into a cumulative-weight table.
-fn sample_cum(cum: &[f64], x: f64) -> usize {
+pub(crate) fn sample_cum(cum: &[f64], x: f64) -> usize {
     match cum.binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite")) {
         Ok(i) => i,
         Err(i) => i.min(cum.len() - 1),
@@ -771,7 +771,7 @@ fn sample_cum(cum: &[f64], x: f64) -> usize {
 }
 
 /// Knuth's Poisson sampler (fine for the small lambdas used here).
-fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+pub(crate) fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;

@@ -29,8 +29,10 @@ pub mod dict;
 pub mod generator;
 pub mod model;
 pub mod stats;
+pub mod stream;
 
 pub use config::GeneratorConfig;
 pub use generator::generate;
 pub use model::{Dataset, EdgeRec, GeneratedData, UpdateKind, UpdateOp, VertexRec};
 pub use stats::DatasetStats;
+pub use stream::{generate_stream, StreamItem, StreamStats};

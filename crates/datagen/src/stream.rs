@@ -1,0 +1,1052 @@
+//! Streaming generation mode: bounded-memory emission for
+//! million-person datasets.
+//!
+//! The batch generator ([`crate::generate`]) materializes every vertex,
+//! edge, and update — including all content strings — before returning;
+//! at a million persons that is gigabytes of `VertexRec`s in one
+//! allocation. This module splits generation into two passes so the
+//! *materialized* working set is bounded by the chunk size, not the
+//! dataset:
+//!
+//! 1. **Structure pass.** A single master RNG makes every structural
+//!    decision — who exists, who knows whom (the power-law Chung-Lu
+//!    graph), which forums form, which member posts when — and records
+//!    each event as a compact fixed-size *skeleton* (ids + timestamp,
+//!    ~32 bytes), never a property string.
+//! 2. **Emission pass.** Skeletons are walked in event-time order. Each
+//!    event's properties (names, content, IPs) are materialized on the
+//!    fly by a private RNG seeded from `(config seed, event uid)` and
+//!    pushed into the current chunk; the chunk is handed to the sink
+//!    whenever it reaches `chunk_size` items.
+//!
+//! Because chunking happens strictly downstream of a fully determined
+//! event sequence, the concatenated stream is **bit-identical for a
+//! given seed regardless of chunk size** — the property-test suite
+//! checks chunk sizes 1, 64, and 4096 against each other. Events at or
+//! before the snapshot cut arrive as [`StreamItem::Vertex`]/
+//! [`StreamItem::Edge`] (bulk-load records, in an order that never
+//! references a not-yet-emitted vertex); later events arrive as
+//! [`StreamItem::Update`] operations carrying the same dependency
+//! timestamps as the batch stream, ready to produce into the
+//! partitioned ingest topic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snb_core::{EdgeLabel, PropKey, Value, VertexLabel, Vid};
+use std::collections::HashSet;
+
+use crate::config::{GeneratorConfig, DAY_MS, SIM_START_MS};
+use crate::dict;
+use crate::generator::{poisson, sample_cum};
+use crate::model::{EdgeRec, UpdateKind, UpdateOp, VertexRec};
+
+/// One record of the emitted stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A snapshot vertex (event time at or before the cut).
+    Vertex(VertexRec),
+    /// A snapshot edge. Never precedes either endpoint's vertex item.
+    Edge(EdgeRec),
+    /// A post-cut event, as an LDBC interactive update operation
+    /// (time-ordered across the whole stream).
+    Update(UpdateOp),
+}
+
+/// Summary counters of one streaming run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Snapshot vertices emitted.
+    pub snapshot_vertices: usize,
+    /// Snapshot edges emitted.
+    pub snapshot_edges: usize,
+    /// Update operations emitted.
+    pub updates: usize,
+    /// Chunks handed to the sink.
+    pub chunks: usize,
+    /// The snapshot/stream cut point.
+    pub cut_ms: i64,
+}
+
+/// Generate the configured network, delivering it to `sink` in chunks
+/// of `chunk_size` items (the final chunk may be shorter). See the
+/// module docs for the memory and determinism contract.
+pub fn generate_stream<F>(cfg: &GeneratorConfig, chunk_size: usize, mut sink: F) -> StreamStats
+where
+    F: FnMut(Vec<StreamItem>),
+{
+    let chunk_size = chunk_size.max(1);
+    let layout = StaticLayout::of(cfg);
+    let s = build_structure(cfg, &layout);
+    let cut = cfg.cut_ms();
+
+    let mut stats = StreamStats { cut_ms: cut, ..StreamStats::default() };
+    let mut chunk: Vec<StreamItem> = Vec::with_capacity(chunk_size);
+    // Emission order: statics first (all at the simulation start), then
+    // timeline events by (time, creation sequence) — a total order, so
+    // ties cannot reorder across runs.
+    let mut s = s;
+    s.events.sort_by_key(|e| (e.ts, e.uid));
+
+    {
+        let mut push = |item: StreamItem| {
+            match &item {
+                StreamItem::Vertex(_) => stats.snapshot_vertices += 1,
+                StreamItem::Edge(_) => stats.snapshot_edges += 1,
+                StreamItem::Update(_) => stats.updates += 1,
+            }
+            chunk.push(item);
+            if chunk.len() == chunk_size {
+                stats.chunks += 1;
+                sink(std::mem::replace(&mut chunk, Vec::with_capacity(chunk_size)));
+            }
+        };
+        emit_statics(cfg, &layout, &mut push);
+        for ev in &s.events {
+            emit_event(cfg, &layout, &s, ev, cut, &mut push);
+        }
+    }
+    if !chunk.is_empty() {
+        stats.chunks += 1;
+        sink(chunk);
+    }
+    stats
+}
+
+/// SplitMix64 finalizer over (seed, uid): the per-event RNG seed.
+/// Materialization must not depend on emission history, or chunking
+/// (and any future parallel emission) would perturb the output.
+fn event_seed(seed: u64, uid: u64) -> u64 {
+    let mut z = seed ^ uid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Reserved uid for the static-entity RNG stream.
+const STATIC_UID: u64 = u64::MAX;
+
+/// Sentinel for "absent" in skeleton id fields.
+const NONE_U32: u32 = u32::MAX;
+
+/// Compact structural record of one timeline event (~32 bytes); the
+/// only thing the structure pass retains per event.
+#[derive(Clone, Copy)]
+enum Skel {
+    Person { pid: u32 },
+    Friendship { a: u32, b: u32 },
+    Forum { fid: u32, moderator: u32 },
+    Member { fid: u32, member: u32 },
+    Post { post: u32, fid: u32, creator: u32 },
+    /// `parent_comment == NONE_U32` means the parent is `parent_post`.
+    Comment { comment: u32, parent_post: u32, parent_comment: u32, creator: u32 },
+    /// `target_comment == NONE_U32` means a post like.
+    Like { person: u32, target_post: u32, target_comment: u32 },
+}
+
+#[derive(Clone, Copy)]
+struct SkelEvent {
+    ts: i64,
+    /// Creation sequence number; tiebreaker of the emission order and
+    /// the per-event RNG key.
+    uid: u32,
+    skel: Skel,
+}
+
+/// Deterministic id layout of the static dictionary entities (no RNG:
+/// both passes derive it independently).
+struct StaticLayout {
+    /// Place id of country `ci`.
+    country_place: Vec<u64>,
+    /// (place id, country index) per city, in allocation order.
+    city_place: Vec<(u64, u16)>,
+    tag_count: usize,
+    /// Organisation ids `0..n_universities` are universities (one per
+    /// country, in country order); companies follow.
+    n_universities: usize,
+}
+
+impl StaticLayout {
+    fn of(cfg: &GeneratorConfig) -> Self {
+        let mut country_place = Vec::new();
+        let mut city_place = Vec::new();
+        let mut next_place = 0u64;
+        for (ci, (_, cities)) in dict::COUNTRIES.iter().enumerate() {
+            country_place.push(next_place);
+            next_place += 1;
+            for _ in *cities {
+                city_place.push((next_place, ci as u16));
+                next_place += 1;
+            }
+        }
+        StaticLayout {
+            country_place,
+            city_place,
+            tag_count: dict::TAG_STEMS.len().max(cfg.persons / 4).max(60),
+            n_universities: dict::COUNTRIES.len(),
+        }
+    }
+
+    fn tag_name(&self, t: usize) -> String {
+        let stem = dict::TAG_STEMS[t % dict::TAG_STEMS.len()];
+        if t < dict::TAG_STEMS.len() {
+            stem.to_string()
+        } else {
+            format!("{stem}_{}", t / dict::TAG_STEMS.len())
+        }
+    }
+}
+
+/// Everything the structure pass hands to emission: the skeleton
+/// timeline plus compact per-entity columns (creation times and the
+/// structural attributes that correlate events).
+struct Structure {
+    events: Vec<SkelEvent>,
+    person_created: Vec<i64>,
+    person_city: Vec<u64>,
+    person_country: Vec<u16>,
+    /// Flattened interests: person `p` owns
+    /// `interests_flat[interests_off[p]..interests_off[p + 1]]`.
+    interests_off: Vec<u32>,
+    interests_flat: Vec<u32>,
+    forum_created: Vec<i64>,
+    forum_moderator: Vec<u32>,
+    forum_tags_off: Vec<u32>,
+    forum_tags_flat: Vec<u32>,
+    post_created: Vec<i64>,
+    post_forum: Vec<u32>,
+    post_creator: Vec<u32>,
+    comment_created: Vec<i64>,
+    comment_creator: Vec<u32>,
+}
+
+impl Structure {
+    fn interests(&self, p: u32) -> &[u32] {
+        let (a, b) = (self.interests_off[p as usize], self.interests_off[p as usize + 1]);
+        &self.interests_flat[a as usize..b as usize]
+    }
+
+    fn forum_tags(&self, f: u32) -> &[u32] {
+        let (a, b) = (self.forum_tags_off[f as usize], self.forum_tags_off[f as usize + 1]);
+        &self.forum_tags_flat[a as usize..b as usize]
+    }
+}
+
+fn build_structure(cfg: &GeneratorConfig, layout: &StaticLayout) -> Structure {
+    let n = cfg.persons;
+    let sim_end = cfg.sim_end_ms();
+    let window = sim_end - SIM_START_MS;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut s = Structure {
+        events: Vec::new(),
+        person_created: Vec::with_capacity(n),
+        person_city: Vec::with_capacity(n),
+        person_country: Vec::with_capacity(n),
+        interests_off: Vec::with_capacity(n + 1),
+        interests_flat: Vec::new(),
+        forum_created: Vec::new(),
+        forum_moderator: Vec::new(),
+        forum_tags_off: vec![0],
+        forum_tags_flat: Vec::new(),
+        post_created: Vec::new(),
+        post_forum: Vec::new(),
+        post_creator: Vec::new(),
+        comment_created: Vec::new(),
+        comment_creator: Vec::new(),
+    };
+    let mut uid = 0u32;
+    let mut push = |events: &mut Vec<SkelEvent>, ts: i64, skel: Skel| {
+        events.push(SkelEvent { ts, uid, skel });
+        uid += 1;
+    };
+
+    // --- Persons (front-loaded arrivals, clustered interests) ---
+    let communities = (n / 25).max(4);
+    let tags_per_community = (layout.tag_count / communities).max(1);
+    let mut person_community: Vec<u32> = Vec::with_capacity(n);
+    s.interests_off.push(0);
+    for pid in 0..n {
+        let u: f64 = rng.gen();
+        let created = SIM_START_MS + ((u * u) * window as f64) as i64;
+        let ci = rng.gen_range(0..layout.city_place.len());
+        let (city, country) = layout.city_place[ci];
+        let community = rng.gen_range(0..communities);
+        let base = community * tags_per_community;
+        let n_interests = rng.gen_range(3..=8usize);
+        let start = s.interests_flat.len();
+        for _ in 0..n_interests {
+            let idx = if rng.gen::<f64>() < 0.8 {
+                base + rng.gen_range(0..tags_per_community)
+            } else {
+                rng.gen_range(0..layout.tag_count)
+            };
+            let tag = (idx % layout.tag_count) as u32;
+            if !s.interests_flat[start..].contains(&tag) {
+                s.interests_flat.push(tag);
+            }
+        }
+        s.interests_off.push(s.interests_flat.len() as u32);
+        s.person_created.push(created);
+        s.person_city.push(city);
+        s.person_country.push(country);
+        person_community.push(community as u32);
+        push(&mut s.events, created, Skel::Person { pid: pid as u32 });
+    }
+
+    // --- Friendships (Chung-Lu power law with community bias) ---
+    let mut friends: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if n >= 2 {
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                u.powf(-1.0 / 2.2)
+            })
+            .collect();
+        let mut cum: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cum.push(acc);
+        }
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); communities];
+        for (i, &c) in person_community.iter().enumerate() {
+            members[c as usize].push(i as u32);
+        }
+        let target_edges = (n as f64 * cfg.mean_degree / 2.0) as usize;
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(target_edges * 2);
+        let mut attempts = 0usize;
+        let max_attempts = target_edges * 20;
+        while seen.len() < target_edges && attempts < max_attempts {
+            attempts += 1;
+            let a = sample_cum(&cum, rng.gen::<f64>() * acc) as u32;
+            let b = if rng.gen::<f64>() < cfg.community_bias {
+                let pool = &members[person_community[a as usize] as usize];
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                sample_cum(&cum, rng.gen::<f64>() * acc) as u32
+            };
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue;
+            }
+            let base = s.person_created[a as usize].max(s.person_created[b as usize]);
+            let ts = (base + rng.gen_range(0..60 * DAY_MS)).min(sim_end - 1);
+            friends[a as usize].push(b);
+            friends[b as usize].push(a);
+            push(&mut s.events, ts, Skel::Friendship { a: key.0, b: key.1 });
+        }
+    }
+
+    // --- Forums, memberships, and the message cascade ---
+    for moderator in 0..n as u32 {
+        if friends[moderator as usize].is_empty() || rng.gen::<f64>() >= cfg.forum_probability {
+            continue;
+        }
+        let n_forums = if rng.gen::<f64>() < 0.6 { 1 } else { 2 };
+        for _ in 0..n_forums {
+            let fid = s.forum_created.len() as u32;
+            let created = (s.person_created[moderator as usize] + rng.gen_range(0..90 * DAY_MS))
+                .min(sim_end - 1);
+            let interests = s.interests(moderator).to_vec();
+            let start = s.forum_tags_flat.len();
+            for _ in 0..rng.gen_range(1..=3usize) {
+                if interests.is_empty() {
+                    break;
+                }
+                let t = interests[rng.gen_range(0..interests.len())];
+                if !s.forum_tags_flat[start..].contains(&t) {
+                    s.forum_tags_flat.push(t);
+                }
+            }
+            s.forum_tags_off.push(s.forum_tags_flat.len() as u32);
+            s.forum_created.push(created);
+            s.forum_moderator.push(moderator);
+            push(&mut s.events, created, Skel::Forum { fid, moderator });
+            let mut member_set: Vec<u32> = vec![moderator];
+            for &f in &friends[moderator as usize] {
+                if rng.gen::<f64>() < 0.6 {
+                    member_set.push(f);
+                }
+            }
+            for &m in &member_set {
+                let join = (created.max(s.person_created[m as usize])
+                    + rng.gen_range(0..30 * DAY_MS))
+                .min(sim_end - 1);
+                push(&mut s.events, join, Skel::Member { fid, member: m });
+                let n_posts = poisson(&mut rng, cfg.posts_per_member);
+                for _ in 0..n_posts {
+                    gen_post_skel(cfg, &mut rng, &mut s, &friends, &mut push, fid, m, join);
+                }
+            }
+        }
+    }
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_post_skel(
+    cfg: &GeneratorConfig,
+    rng: &mut StdRng,
+    s: &mut Structure,
+    friends: &[Vec<u32>],
+    push: &mut impl FnMut(&mut Vec<SkelEvent>, i64, Skel),
+    fid: u32,
+    creator: u32,
+    after: i64,
+) {
+    let sim_end = cfg.sim_end_ms();
+    if after >= sim_end - 1 {
+        return;
+    }
+    let created = rng.gen_range(after..sim_end);
+    let post = s.post_created.len() as u32;
+    s.post_created.push(created);
+    s.post_forum.push(fid);
+    s.post_creator.push(creator);
+    push(&mut s.events, created, Skel::Post { post, fid, creator });
+    gen_like_skels(cfg, rng, s, friends, push, creator, created, post, NONE_U32);
+    let n_comments = poisson(rng, cfg.comments_per_post);
+    for _ in 0..n_comments {
+        gen_comment_skel(cfg, rng, s, friends, push, post, NONE_U32, created, creator, 0);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_comment_skel(
+    cfg: &GeneratorConfig,
+    rng: &mut StdRng,
+    s: &mut Structure,
+    friends: &[Vec<u32>],
+    push: &mut impl FnMut(&mut Vec<SkelEvent>, i64, Skel),
+    parent_post: u32,
+    parent_comment: u32,
+    parent_ts: i64,
+    thread_owner: u32,
+    depth: u32,
+) {
+    let sim_end = cfg.sim_end_ms();
+    if parent_ts >= sim_end - 1 || depth > 4 {
+        return;
+    }
+    let commenter = if !friends[thread_owner as usize].is_empty() && rng.gen::<f64>() < 0.8 {
+        let fs = &friends[thread_owner as usize];
+        fs[rng.gen_range(0..fs.len())]
+    } else {
+        rng.gen_range(0..cfg.persons) as u32
+    };
+    let earliest = parent_ts.max(s.person_created[commenter as usize]);
+    if earliest >= sim_end - 1 {
+        return;
+    }
+    let created = rng.gen_range(earliest..sim_end).min(sim_end - 1);
+    let comment = s.comment_created.len() as u32;
+    s.comment_created.push(created);
+    s.comment_creator.push(commenter);
+    push(
+        &mut s.events,
+        created,
+        Skel::Comment { comment, parent_post, parent_comment, creator: commenter },
+    );
+    gen_like_skels(cfg, rng, s, friends, push, commenter, created, NONE_U32, comment);
+    let n_replies = poisson(rng, cfg.comments_per_post * 0.35);
+    for _ in 0..n_replies {
+        gen_comment_skel(cfg, rng, s, friends, push, parent_post, comment, created, commenter, depth + 1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_like_skels(
+    cfg: &GeneratorConfig,
+    rng: &mut StdRng,
+    s: &mut Structure,
+    friends: &[Vec<u32>],
+    push: &mut impl FnMut(&mut Vec<SkelEvent>, i64, Skel),
+    creator: u32,
+    message_ts: i64,
+    target_post: u32,
+    target_comment: u32,
+) {
+    let sim_end = cfg.sim_end_ms();
+    for &f in &friends[creator as usize] {
+        if rng.gen::<f64>() >= cfg.like_probability {
+            continue;
+        }
+        let earliest = message_ts.max(s.person_created[f as usize]);
+        if earliest >= sim_end - 1 {
+            continue;
+        }
+        let ts = (earliest + rng.gen_range(0..14 * DAY_MS)).min(sim_end - 1);
+        push(&mut s.events, ts, Skel::Like { person: f, target_post, target_comment });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+fn random_ip(rng: &mut StdRng) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(1..224u8),
+        rng.gen_range(0..=255u8),
+        rng.gen_range(0..=255u8),
+        rng.gen_range(1..=254u8)
+    )
+}
+
+fn random_browser(rng: &mut StdRng) -> &'static str {
+    let r: f64 = rng.gen();
+    let idx = if r < 0.45 {
+        0
+    } else if r < 0.75 {
+        1
+    } else if r < 0.9 {
+        2
+    } else if r < 0.97 {
+        3
+    } else {
+        4
+    };
+    dict::BROWSERS[idx]
+}
+
+fn random_content(rng: &mut StdRng, min_words: usize, max_words: usize) -> String {
+    let n = rng.gen_range(min_words..=max_words);
+    let mut out = String::with_capacity(n * 7);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(dict::WORDS[rng.gen_range(0..dict::WORDS.len())]);
+    }
+    out
+}
+
+/// Emit the static dictionary entities (places, tag classes, tags,
+/// organisations) — all at the simulation start, so always snapshot
+/// items. One RNG stream over a fixed order keeps them deterministic.
+fn emit_statics(cfg: &GeneratorConfig, layout: &StaticLayout, push: &mut impl FnMut(StreamItem)) {
+    let mut rng = StdRng::seed_from_u64(event_seed(cfg.seed, STATIC_UID));
+    let vertex = |label, id, props| {
+        StreamItem::Vertex(VertexRec { label, id, props, creation_ms: SIM_START_MS })
+    };
+    let edge = |label, src, dst| {
+        StreamItem::Edge(EdgeRec { label, src, dst, props: Vec::new(), creation_ms: SIM_START_MS })
+    };
+    // Places, in layout order (country, then its cities).
+    let mut place = 0u64;
+    for (country, cities) in dict::COUNTRIES.iter() {
+        let cvid = Vid::new(VertexLabel::Place, place);
+        push(vertex(
+            VertexLabel::Place,
+            place,
+            vec![
+                (PropKey::Name, Value::str(country)),
+                (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/{country}"))),
+                (PropKey::PlaceType, Value::str("country")),
+            ],
+        ));
+        place += 1;
+        for city in *cities {
+            push(vertex(
+                VertexLabel::Place,
+                place,
+                vec![
+                    (PropKey::Name, Value::str(city)),
+                    (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/{city}"))),
+                    (PropKey::PlaceType, Value::str("city")),
+                ],
+            ));
+            push(edge(EdgeLabel::IsPartOf, Vid::new(VertexLabel::Place, place), cvid));
+            place += 1;
+        }
+    }
+    // Tag classes.
+    for (i, name) in dict::TAG_CLASSES.iter().enumerate() {
+        push(vertex(
+            VertexLabel::TagClass,
+            i as u64,
+            vec![
+                (PropKey::Name, Value::str(name)),
+                (PropKey::Url, Value::string(format!("http://dbpedia.org/ontology/{name}"))),
+            ],
+        ));
+        if i > 0 {
+            let parent = rng.gen_range(0..i) as u64;
+            push(edge(
+                EdgeLabel::IsSubclassOf,
+                Vid::new(VertexLabel::TagClass, i as u64),
+                Vid::new(VertexLabel::TagClass, parent),
+            ));
+        }
+    }
+    // Tags.
+    for t in 0..layout.tag_count {
+        let name = layout.tag_name(t);
+        let class = rng.gen_range(0..dict::TAG_CLASSES.len()) as u64;
+        push(vertex(
+            VertexLabel::Tag,
+            t as u64,
+            vec![
+                (PropKey::Name, Value::string(name.clone())),
+                (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/{name}"))),
+            ],
+        ));
+        push(edge(
+            EdgeLabel::HasType,
+            Vid::new(VertexLabel::Tag, t as u64),
+            Vid::new(VertexLabel::TagClass, class),
+        ));
+    }
+    // Organisations: one university per country, then the companies.
+    for ci in 0..dict::COUNTRIES.len() {
+        let uni = dict::UNIVERSITIES[ci % dict::UNIVERSITIES.len()];
+        let name = format!("{}_{uni}", dict::COUNTRIES[ci].0);
+        push(vertex(
+            VertexLabel::Organisation,
+            ci as u64,
+            vec![
+                (PropKey::Name, Value::string(name)),
+                (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/uni_{ci}"))),
+                (PropKey::OrgType, Value::str("university")),
+            ],
+        ));
+        let city = layout
+            .city_place
+            .iter()
+            .find(|(_, c)| *c as usize == ci)
+            .map(|(id, _)| *id)
+            .expect("every country has a city");
+        push(edge(
+            EdgeLabel::IsLocatedIn,
+            Vid::new(VertexLabel::Organisation, ci as u64),
+            Vid::new(VertexLabel::Place, city),
+        ));
+    }
+    for (i, company) in dict::COMPANIES.iter().enumerate() {
+        let id = (layout.n_universities + i) as u64;
+        push(vertex(
+            VertexLabel::Organisation,
+            id,
+            vec![
+                (PropKey::Name, Value::str(company)),
+                (PropKey::Url, Value::string(format!("http://dbpedia.org/resource/co_{i}"))),
+                (PropKey::OrgType, Value::str("company")),
+            ],
+        ));
+        let country = layout.country_place[rng.gen_range(0..layout.country_place.len())];
+        push(edge(
+            EdgeLabel::IsLocatedIn,
+            Vid::new(VertexLabel::Organisation, id),
+            Vid::new(VertexLabel::Place, country),
+        ));
+    }
+}
+
+/// Materialize one timeline event and hand its records to `push` —
+/// snapshot vertex + edges when at or before `cut`, a single update op
+/// otherwise.
+fn emit_event(
+    cfg: &GeneratorConfig,
+    layout: &StaticLayout,
+    s: &Structure,
+    ev: &SkelEvent,
+    cut: i64,
+    push: &mut impl FnMut(StreamItem),
+) {
+    let mut rng = StdRng::seed_from_u64(event_seed(cfg.seed, ev.uid as u64));
+    let ts = ev.ts;
+    let (kind, vertex, edges, dep) = match ev.skel {
+        Skel::Person { pid } => {
+            let vid = Vid::new(VertexLabel::Person, pid as u64);
+            let first = dict::FIRST_NAMES[rng.gen_range(0..dict::FIRST_NAMES.len())];
+            let last = dict::LAST_NAMES[rng.gen_range(0..dict::LAST_NAMES.len())];
+            let birth_year = rng.gen_range(1950..1995i64);
+            let birthday =
+                (birth_year - 1970) * 365 * DAY_MS + rng.gen_range(0i64..365) * DAY_MS;
+            let ip = random_ip(&mut rng);
+            let browser = random_browser(&mut rng);
+            let props = vec![
+                (PropKey::FirstName, Value::str(first)),
+                (PropKey::LastName, Value::str(last)),
+                (PropKey::Gender, Value::str(if rng.gen() { "male" } else { "female" })),
+                (PropKey::Birthday, Value::Date(birthday)),
+                (PropKey::CreationDate, Value::Date(ts)),
+                (PropKey::LocationIp, Value::string(ip)),
+                (PropKey::BrowserUsed, Value::str(browser)),
+                (
+                    PropKey::Email,
+                    Value::List(vec![Value::string(format!(
+                        "{}.{}{}@example.org",
+                        first.to_lowercase(),
+                        last.to_lowercase(),
+                        pid
+                    ))]),
+                ),
+                (
+                    PropKey::Speaks,
+                    Value::List(vec![Value::str(
+                        dict::LANGUAGES[rng.gen_range(0..dict::LANGUAGES.len())],
+                    )]),
+                ),
+            ];
+            let mut edges = vec![EdgeRec {
+                label: EdgeLabel::IsLocatedIn,
+                src: vid,
+                dst: Vid::new(VertexLabel::Place, s.person_city[pid as usize]),
+                props: Vec::new(),
+                creation_ms: ts,
+            }];
+            for &tag in s.interests(pid) {
+                edges.push(EdgeRec {
+                    label: EdgeLabel::HasInterest,
+                    src: vid,
+                    dst: Vid::new(VertexLabel::Tag, tag as u64),
+                    props: Vec::new(),
+                    creation_ms: ts,
+                });
+            }
+            if rng.gen::<f64>() < 0.6 {
+                let uni = s.person_country[pid as usize] as u64 % layout.n_universities as u64;
+                edges.push(EdgeRec {
+                    label: EdgeLabel::StudyAt,
+                    src: vid,
+                    dst: Vid::new(VertexLabel::Organisation, uni),
+                    props: vec![(PropKey::ClassYear, Value::Int(birth_year + 19))],
+                    creation_ms: ts,
+                });
+            }
+            if rng.gen::<f64>() < 0.8 {
+                let company =
+                    (layout.n_universities + rng.gen_range(0..dict::COMPANIES.len())) as u64;
+                edges.push(EdgeRec {
+                    label: EdgeLabel::WorkAt,
+                    src: vid,
+                    dst: Vid::new(VertexLabel::Organisation, company),
+                    props: vec![(PropKey::WorkFrom, Value::Int(birth_year + 22))],
+                    creation_ms: ts,
+                });
+            }
+            let v = VertexRec { label: VertexLabel::Person, id: pid as u64, props, creation_ms: ts };
+            (UpdateKind::AddPerson, Some(v), edges, SIM_START_MS)
+        }
+        Skel::Friendship { a, b } => {
+            let edges = vec![EdgeRec {
+                label: EdgeLabel::Knows,
+                src: Vid::new(VertexLabel::Person, a as u64),
+                dst: Vid::new(VertexLabel::Person, b as u64),
+                props: vec![(PropKey::CreationDate, Value::Date(ts))],
+                creation_ms: ts,
+            }];
+            let dep = s.person_created[a as usize].max(s.person_created[b as usize]);
+            (UpdateKind::AddFriendship, None, edges, dep)
+        }
+        Skel::Forum { fid, moderator } => {
+            let forum = Vid::new(VertexLabel::Forum, fid as u64);
+            let tags = s.forum_tags(fid);
+            let title = format!(
+                "Group for {} #{fid}",
+                tags.first().map(|t| format!("tag{t}")).unwrap_or_else(|| "everything".into()),
+            );
+            let mut edges = vec![EdgeRec {
+                label: EdgeLabel::HasModerator,
+                src: forum,
+                dst: Vid::new(VertexLabel::Person, moderator as u64),
+                props: Vec::new(),
+                creation_ms: ts,
+            }];
+            for &t in tags {
+                edges.push(EdgeRec {
+                    label: EdgeLabel::HasTag,
+                    src: forum,
+                    dst: Vid::new(VertexLabel::Tag, t as u64),
+                    props: Vec::new(),
+                    creation_ms: ts,
+                });
+            }
+            let v = VertexRec {
+                label: VertexLabel::Forum,
+                id: fid as u64,
+                props: vec![
+                    (PropKey::Title, Value::string(title)),
+                    (PropKey::CreationDate, Value::Date(ts)),
+                ],
+                creation_ms: ts,
+            };
+            (UpdateKind::AddForum, Some(v), edges, s.person_created[moderator as usize])
+        }
+        Skel::Member { fid, member } => {
+            let edges = vec![EdgeRec {
+                label: EdgeLabel::HasMember,
+                src: Vid::new(VertexLabel::Forum, fid as u64),
+                dst: Vid::new(VertexLabel::Person, member as u64),
+                props: vec![(PropKey::JoinDate, Value::Date(ts))],
+                creation_ms: ts,
+            }];
+            let dep = s.forum_created[fid as usize].max(s.person_created[member as usize]);
+            (UpdateKind::AddForumMembership, None, edges, dep)
+        }
+        Skel::Post { post, fid, creator } => {
+            let pv = Vid::new(VertexLabel::Post, post as u64);
+            let content = random_content(&mut rng, 5, 40);
+            let has_image = rng.gen::<f64>() < 0.15;
+            let ip = random_ip(&mut rng);
+            let browser = random_browser(&mut rng);
+            let mut props = vec![
+                (PropKey::CreationDate, Value::Date(ts)),
+                (PropKey::LocationIp, Value::string(ip)),
+                (PropKey::BrowserUsed, Value::str(browser)),
+                (
+                    PropKey::Language,
+                    Value::str(dict::LANGUAGES[rng.gen_range(0..dict::LANGUAGES.len())]),
+                ),
+                (PropKey::Length, Value::Int(content.len() as i64)),
+                (PropKey::Content, Value::string(content)),
+            ];
+            if has_image {
+                props.push((PropKey::ImageFile, Value::string(format!("photo{post}.jpg"))));
+            }
+            let country = layout.country_place[s.person_country[creator as usize] as usize];
+            let mut edges = vec![
+                EdgeRec {
+                    label: EdgeLabel::ContainerOf,
+                    src: Vid::new(VertexLabel::Forum, fid as u64),
+                    dst: pv,
+                    props: Vec::new(),
+                    creation_ms: ts,
+                },
+                EdgeRec {
+                    label: EdgeLabel::HasCreator,
+                    src: pv,
+                    dst: Vid::new(VertexLabel::Person, creator as u64),
+                    props: Vec::new(),
+                    creation_ms: ts,
+                },
+                EdgeRec {
+                    label: EdgeLabel::IsLocatedIn,
+                    src: pv,
+                    dst: Vid::new(VertexLabel::Place, country),
+                    props: Vec::new(),
+                    creation_ms: ts,
+                },
+            ];
+            for &t in s.forum_tags(fid) {
+                if rng.gen::<f64>() < 0.7 {
+                    edges.push(EdgeRec {
+                        label: EdgeLabel::HasTag,
+                        src: pv,
+                        dst: Vid::new(VertexLabel::Tag, t as u64),
+                        props: Vec::new(),
+                        creation_ms: ts,
+                    });
+                }
+            }
+            let v = VertexRec { label: VertexLabel::Post, id: post as u64, props, creation_ms: ts };
+            let dep = s.forum_created[fid as usize].max(s.person_created[creator as usize]);
+            (UpdateKind::AddPost, Some(v), edges, dep)
+        }
+        Skel::Comment { comment, parent_post, parent_comment, creator } => {
+            let cv = Vid::new(VertexLabel::Comment, comment as u64);
+            let (parent, parent_ts) = if parent_comment == NONE_U32 {
+                (
+                    Vid::new(VertexLabel::Post, parent_post as u64),
+                    s.post_created[parent_post as usize],
+                )
+            } else {
+                (
+                    Vid::new(VertexLabel::Comment, parent_comment as u64),
+                    s.comment_created[parent_comment as usize],
+                )
+            };
+            let content = random_content(&mut rng, 2, 20);
+            let ip = random_ip(&mut rng);
+            let browser = random_browser(&mut rng);
+            let props = vec![
+                (PropKey::CreationDate, Value::Date(ts)),
+                (PropKey::LocationIp, Value::string(ip)),
+                (PropKey::BrowserUsed, Value::str(browser)),
+                (PropKey::Length, Value::Int(content.len() as i64)),
+                (PropKey::Content, Value::string(content)),
+            ];
+            let country = layout.country_place[s.person_country[creator as usize] as usize];
+            let edges = vec![
+                EdgeRec {
+                    label: EdgeLabel::ReplyOf,
+                    src: cv,
+                    dst: parent,
+                    props: Vec::new(),
+                    creation_ms: ts,
+                },
+                EdgeRec {
+                    label: EdgeLabel::HasCreator,
+                    src: cv,
+                    dst: Vid::new(VertexLabel::Person, creator as u64),
+                    props: Vec::new(),
+                    creation_ms: ts,
+                },
+                EdgeRec {
+                    label: EdgeLabel::IsLocatedIn,
+                    src: cv,
+                    dst: Vid::new(VertexLabel::Place, country),
+                    props: Vec::new(),
+                    creation_ms: ts,
+                },
+            ];
+            let v = VertexRec {
+                label: VertexLabel::Comment,
+                id: comment as u64,
+                props,
+                creation_ms: ts,
+            };
+            let dep = parent_ts.max(s.person_created[creator as usize]);
+            (UpdateKind::AddComment, Some(v), edges, dep)
+        }
+        Skel::Like { person, target_post, target_comment } => {
+            let (kind, target, target_ts) = if target_comment == NONE_U32 {
+                (
+                    UpdateKind::AddLikePost,
+                    Vid::new(VertexLabel::Post, target_post as u64),
+                    s.post_created[target_post as usize],
+                )
+            } else {
+                (
+                    UpdateKind::AddLikeComment,
+                    Vid::new(VertexLabel::Comment, target_comment as u64),
+                    s.comment_created[target_comment as usize],
+                )
+            };
+            let edges = vec![EdgeRec {
+                label: EdgeLabel::Likes,
+                src: Vid::new(VertexLabel::Person, person as u64),
+                dst: target,
+                props: vec![(PropKey::CreationDate, Value::Date(ts))],
+                creation_ms: ts,
+            }];
+            let dep = target_ts.max(s.person_created[person as usize]);
+            (kind, None, edges, dep)
+        }
+    };
+    if ts <= cut {
+        if let Some(v) = vertex {
+            push(StreamItem::Vertex(v));
+        }
+        for e in edges {
+            push(StreamItem::Edge(e));
+        }
+    } else {
+        push(StreamItem::Update(UpdateOp {
+            kind,
+            ts_ms: ts,
+            dependency_ms: dep,
+            new_vertex: vertex,
+            new_edges: edges,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn collect(cfg: &GeneratorConfig, chunk: usize) -> (Vec<StreamItem>, StreamStats) {
+        let mut all = Vec::new();
+        let stats = generate_stream(cfg, chunk, |c| all.extend(c));
+        (all, stats)
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_chunk_size_invariant() {
+        let cfg = GeneratorConfig::tiny();
+        let (a, sa) = collect(&cfg, 1);
+        let (b, sb) = collect(&cfg, 64);
+        let (c, _) = collect(&cfg, 100_000);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(sa.snapshot_vertices, sb.snapshot_vertices);
+        assert_eq!(sa.updates, sb.updates);
+        assert!(sa.chunks > sb.chunks, "smaller chunks mean more flushes");
+    }
+
+    #[test]
+    fn stream_is_referentially_consistent_in_order() {
+        // Replaying the stream in order never references an unseen
+        // vertex — the property bulk loaders rely on.
+        let cfg = GeneratorConfig::tiny();
+        let (items, stats) = collect(&cfg, 512);
+        let mut seen = std::collections::HashSet::new();
+        let mut prev_update_ts = i64::MIN;
+        for item in &items {
+            match item {
+                StreamItem::Vertex(v) => {
+                    assert!(seen.insert(v.vid()), "duplicate vertex {:?}", v.vid());
+                    assert!(v.creation_ms <= stats.cut_ms);
+                }
+                StreamItem::Edge(e) => {
+                    assert!(seen.contains(&e.src), "edge src {:?} unseen", e.src);
+                    assert!(seen.contains(&e.dst), "edge dst {:?} unseen", e.dst);
+                }
+                StreamItem::Update(u) => {
+                    assert!(u.ts_ms > stats.cut_ms);
+                    assert!(u.ts_ms >= prev_update_ts, "updates are time-ordered");
+                    assert!(u.dependency_ms <= u.ts_ms);
+                    prev_update_ts = u.ts_ms;
+                    if let Some(v) = &u.new_vertex {
+                        seen.insert(v.vid());
+                    }
+                    for e in &u.new_edges {
+                        assert!(seen.contains(&e.src));
+                        assert!(seen.contains(&e.dst));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_preset_thins_activity() {
+        let lean = GeneratorConfig::scale(120);
+        let dense = GeneratorConfig { persons: 120, ..GeneratorConfig::default() };
+        let (a, _) = collect(&lean, 4096);
+        let (b, _) = collect(&dense, 4096);
+        assert!(a.len() < b.len(), "scale preset must be leaner: {} vs {}", a.len(), b.len());
+    }
+
+    #[test]
+    fn update_kinds_cover_the_ldbc_set() {
+        let cfg = GeneratorConfig { persons: 150, ..GeneratorConfig::default() };
+        let (items, _) = collect(&cfg, 4096);
+        let mut kinds: HashMap<UpdateKind, usize> = HashMap::new();
+        for item in &items {
+            if let StreamItem::Update(u) = item {
+                *kinds.entry(u.kind).or_default() += 1;
+            }
+        }
+        for k in [
+            UpdateKind::AddLikePost,
+            UpdateKind::AddForumMembership,
+            UpdateKind::AddPost,
+            UpdateKind::AddComment,
+            UpdateKind::AddFriendship,
+        ] {
+            assert!(kinds.contains_key(&k), "missing update kind {k:?}: {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn chunks_respect_the_size_bound() {
+        let cfg = GeneratorConfig::tiny();
+        let mut sizes = Vec::new();
+        generate_stream(&cfg, 64, |c| sizes.push(c.len()));
+        assert!(!sizes.is_empty());
+        for (i, &len) in sizes.iter().enumerate() {
+            if i + 1 < sizes.len() {
+                assert_eq!(len, 64);
+            } else {
+                assert!(len <= 64 && len > 0);
+            }
+        }
+    }
+}

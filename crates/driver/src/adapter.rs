@@ -45,7 +45,7 @@ pub(crate) fn person_knows_csr(
     epoch: u64,
     persons: &[(u64, Value)],
     knows: &[(u64, u64)],
-) -> CsrSnapshot {
+) -> Result<CsrSnapshot> {
     let mut row_of: FastMap<u64, u32> = FastMap::default();
     row_of.reserve(persons.len());
     for (row, (id, _)) in persons.iter().enumerate() {
@@ -66,7 +66,7 @@ pub(crate) fn person_knows_csr(
         if !first_name.is_null() {
             pm.set(PropKey::FirstName, first_name.clone());
         }
-        b.push_row(Vid::new(VertexLabel::Person, *id), Arc::new(pm));
+        b.push_row(Vid::new(VertexLabel::Person, *id), Arc::new(pm))?;
         for &d in &out_adj[row] {
             b.push_out(EdgeLabel::Knows, d, None);
         }

@@ -192,6 +192,41 @@ impl SutAdapter for CypherAdapter {
                 ),
                 p(&[("id", Value::Int(*person as i64))]),
             ),
+            ReadOp::IcFoafPosts { person, min_date, limit } => self.run(
+                &format!(
+                    "MATCH (p:person {{id:$id}})-[:knows*1..2]-(f)<-[:has_creator]-(m:post) \
+                     WHERE f.id <> $id AND m.creationDate >= $d \
+                     RETURN DISTINCT m.id, f.id, m.creationDate \
+                     ORDER BY m.creationDate DESC, m.id LIMIT {limit}"
+                ),
+                p(&[
+                    ("id", Value::Int(*person as i64)),
+                    ("d", Value::Int(*min_date)),
+                ]),
+            ),
+            ReadOp::IcMutualFriends { person, limit } => {
+                // The dialect has implicit-group aggregation but no
+                // pattern predicates in WHERE, so the non-friend
+                // exclusion is client-side: one aggregated two-hop
+                // query (count of connecting friends per candidate) and
+                // one friends query, joined here.
+                let paths = self.run(
+                    "MATCH (p:person {id:$id})-[:knows]-(f)-[:knows]-(c) \
+                     WHERE c.id <> $id RETURN c.id, count(*)",
+                    p(&[("id", Value::Int(*person as i64))]),
+                )?;
+                let friends = self.run(
+                    "MATCH (p:person {id:$id})-[:knows]-(f) RETURN DISTINCT f.id",
+                    p(&[("id", Value::Int(*person as i64))]),
+                )?;
+                let friend_ids: std::collections::HashSet<&Value> =
+                    friends.iter().map(|r| &r[0]).collect();
+                let rows: OpResult = paths
+                    .into_iter()
+                    .filter(|r| !friend_ids.contains(&r[0]))
+                    .collect();
+                Ok(snb_core::top_k_by(rows, *limit, crate::complex::cmp_mutual))
+            }
         }
     }
 

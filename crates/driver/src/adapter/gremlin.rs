@@ -355,6 +355,96 @@ pub(crate) fn read_via(endpoint: &dyn TraversalEndpoint, op: &ReadOp) -> Result<
                 .map(|m| vec![pick(m, PropKey::Content), pick(m, PropKey::CreationDate)])
                 .collect())
         }
+        ReadOp::IcFoafPosts { person, min_date, limit } => {
+            // Ring ids client-side (the TwoHop union shape), then one
+            // value-map round trip per ring member for its dated
+            // messages. The dialect has no mid-traversal hasLabel
+            // step, so posts are told from comments client-side by the
+            // LDBC schema discriminator: posts carry `language`,
+            // comments never do.
+            let start = person_vid(*person);
+            let mut ring: Vec<i64> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(*person as i64);
+            for base in [
+                Traversal::v(start).both(EdgeLabel::Knows).dedup(),
+                Traversal::v(start)
+                    .both(EdgeLabel::Knows)
+                    .both(EdgeLabel::Knows)
+                    .dedup(),
+            ] {
+                for id in endpoint.submit(&base.values(PropKey::Id))? {
+                    if let Some(i) = id.as_int() {
+                        if seen.insert(i) {
+                            ring.push(i);
+                        }
+                    }
+                }
+            }
+            let mut rows: OpResult = Vec::new();
+            for member in ring {
+                let maps = value_maps(
+                    endpoint,
+                    &Traversal::v(person_vid(member as u64))
+                        .in_(EdgeLabel::HasCreator)
+                        .has(
+                            PropKey::CreationDate,
+                            Predicate::Gte(Value::Int(*min_date)),
+                        )
+                        .value_map(),
+                )?;
+                for m in &maps {
+                    if !m.contains_key(&PropKey::Language) {
+                        continue;
+                    }
+                    rows.push(vec![
+                        pick(m, PropKey::Id),
+                        Value::Int(member),
+                        pick(m, PropKey::CreationDate),
+                    ]);
+                }
+            }
+            rows.sort_by(|a, b| b[2].cmp(&a[2]).then(a[0].cmp(&b[0])));
+            rows.truncate(*limit);
+            Ok(rows)
+        }
+        ReadOp::IcMutualFriends { person, limit } => {
+            // One round trip for the friend ring, then one per friend
+            // for its ring; mutual counts, the non-friend filter, and
+            // the ranking are all client-side — the classic TinkerPop
+            // recommendation assembly.
+            let friends = endpoint.submit(
+                &Traversal::v(person_vid(*person))
+                    .both(EdgeLabel::Knows)
+                    .dedup()
+                    .values(PropKey::Id),
+            )?;
+            let friend_ids: Vec<i64> = friends.iter().filter_map(|v| v.as_int()).collect();
+            let friend_set: std::collections::HashSet<i64> =
+                friend_ids.iter().copied().collect();
+            let mut counts: std::collections::HashMap<i64, i64> =
+                std::collections::HashMap::new();
+            for &f in &friend_ids {
+                let ring = endpoint.submit(
+                    &Traversal::v(person_vid(f as u64))
+                        .both(EdgeLabel::Knows)
+                        .dedup()
+                        .values(PropKey::Id),
+                )?;
+                for c in ring.iter().filter_map(|v| v.as_int()) {
+                    if c != *person as i64 && !friend_set.contains(&c) {
+                        *counts.entry(c).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut rows: OpResult = counts
+                .into_iter()
+                .map(|(c, n)| vec![Value::Int(c), Value::Int(n)])
+                .collect();
+            rows.sort_by(|a, b| b[1].cmp(&a[1]).then(a[0].cmp(&b[0])));
+            rows.truncate(*limit);
+            Ok(rows)
+        }
     }
 }
 

@@ -77,7 +77,7 @@ impl SparqlAdapter {
                 .into_iter()
                 .filter_map(|r| Some((r[0].as_int()? as u64, r[1].as_int()? as u64)))
                 .collect();
-            Ok(person_knows_csr(epoch, &persons, &knows))
+            person_knows_csr(epoch, &persons, &knows)
         })
     }
 }
@@ -216,6 +216,74 @@ impl SutAdapter for SparqlAdapter {
                  ?m snb:content ?content . ?m snb:creationDate ?cd }} \
                  ORDER BY DESC(?cd) LIMIT {limit}"
             )),
+            ReadOp::IcFoafPosts { person, min_date, limit } => {
+                // Ring from the pinned Knows CSR when fresh, else the
+                // `{1,2}` property path; then one per-member pattern
+                // query for that member's dated posts, assembled
+                // client-side (the RDF mapping has no multi-source join
+                // that keeps the creator id in the row).
+                let ring: Vec<u64> = if let Some(s) = self.pin_knows() {
+                    crate::complex::foaf_ring(&s, *person)
+                        .into_iter()
+                        .map(|r| s.vid_of(r).local())
+                        .collect()
+                } else {
+                    self.run(&format!(
+                        "SELECT DISTINCT ?id WHERE {{ \
+                         person:{person} (snb:knows|^snb:knows){{1,2}} ?f . \
+                         ?f snb:id ?id . FILTER(?id != {person}) }}"
+                    ))?
+                    .into_iter()
+                    .filter_map(|r| r[0].as_int().map(|i| i as u64))
+                    .collect()
+                };
+                let mut rows: OpResult = Vec::new();
+                for member in ring {
+                    let posts = self.run(&format!(
+                        "SELECT ?id ?cd WHERE {{ ?m snb:has_creator person:{member} . \
+                         ?m rdf:type 'post' . ?m snb:id ?id . ?m snb:creationDate ?cd . \
+                         FILTER(?cd >= {min_date}) }}"
+                    ))?;
+                    for mut r in posts {
+                        let cd = r.pop().unwrap_or(Value::Null);
+                        let id = r.pop().unwrap_or(Value::Null);
+                        rows.push(vec![id, Value::Int(member as i64), cd]);
+                    }
+                }
+                Ok(snb_core::top_k_by(rows, *limit, crate::complex::cmp_foaf))
+            }
+            ReadOp::IcMutualFriends { person, limit } => {
+                if let Some(s) = self.pin_knows() {
+                    return Ok(crate::complex::mutual_friends(&s, *person, *limit));
+                }
+                let one_hop = |id: u64| -> Result<Vec<u64>> {
+                    Ok(self
+                        .run(&format!(
+                            "SELECT DISTINCT ?id WHERE {{ \
+                             person:{id} (snb:knows|^snb:knows) ?f . ?f snb:id ?id }}"
+                        ))?
+                        .into_iter()
+                        .filter_map(|r| r[0].as_int().map(|i| i as u64))
+                        .collect())
+                };
+                let friends = one_hop(*person)?;
+                let friend_set: std::collections::HashSet<u64> =
+                    friends.iter().copied().collect();
+                let mut counts: std::collections::HashMap<u64, i64> =
+                    std::collections::HashMap::new();
+                for &f in &friends {
+                    for c in one_hop(f)? {
+                        if c != *person && !friend_set.contains(&c) {
+                            *counts.entry(c).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let rows: OpResult = counts
+                    .into_iter()
+                    .map(|(c, n)| vec![Value::Int(c as i64), Value::Int(n)])
+                    .collect();
+                Ok(snb_core::top_k_by(rows, *limit, crate::complex::cmp_mutual))
+            }
         }
     }
 

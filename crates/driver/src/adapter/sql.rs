@@ -115,7 +115,7 @@ impl SqlAdapter {
                     (r[0].as_int().unwrap_or(0) as u64, r[1].as_int().unwrap_or(0) as u64)
                 })
                 .collect();
-            Ok(person_knows_csr(epoch, &persons, &knows))
+            person_knows_csr(epoch, &persons, &knows)
         })
     }
 }
@@ -155,6 +155,46 @@ fn two_hop_union(select_cols: &str, extra_pred: &str) -> String {
             cond.split(" AND ").next().expect("two-part condition"),
         );
     }
+    q
+}
+
+/// The FoF-posts complex read as one SQL statement: the six undirected
+/// ring branches of [`two_hop_union`], each joined through
+/// `post_has_creator_person` to `post` with the date predicate pushed
+/// into every branch. Plain `UNION` dedups a post reached through
+/// several ring paths; `$1` = person, `$2` = min creation date.
+fn foaf_posts_union(limit: usize) -> String {
+    let one = [("k1.dst", "k1.src = $1"), ("k1.src", "k1.dst = $1")];
+    let two = [
+        ("k2.dst", "k1.src = $1", "k2.src = k1.dst"),
+        ("k2.src", "k1.src = $1", "k2.dst = k1.dst"),
+        ("k2.dst", "k1.dst = $1", "k2.src = k1.src"),
+        ("k2.src", "k1.dst = $1", "k2.dst = k1.src"),
+    ];
+    let mut q = String::new();
+    for (end, cond) in one {
+        if !q.is_empty() {
+            q.push_str(" UNION ");
+        }
+        let _ = write!(
+            q,
+            "SELECT m.id, c.dst, m.creationDate FROM person_knows_person k1 \
+             JOIN post_has_creator_person c ON c.dst = {end} \
+             JOIN post m ON m.id = c.src \
+             WHERE {cond} AND {end} <> $1 AND m.creationDate >= $2"
+        );
+    }
+    for (end, cond, join) in two {
+        let _ = write!(
+            q,
+            " UNION SELECT m.id, c.dst, m.creationDate FROM person_knows_person k1 \
+             JOIN person_knows_person k2 ON {join} \
+             JOIN post_has_creator_person c ON c.dst = {end} \
+             JOIN post m ON m.id = c.src \
+             WHERE {cond} AND {end} <> $1 AND m.creationDate >= $2"
+        );
+    }
+    let _ = write!(q, " ORDER BY 3 DESC, 1 LIMIT {limit}");
     q
 }
 
@@ -320,6 +360,55 @@ impl SutAdapter for SqlAdapter {
                 }
                 let _ = write!(q, " ORDER BY 2 DESC LIMIT {limit}");
                 self.run(&q, &[Value::Int(*person as i64)])
+            }
+            ReadOp::IcFoafPosts { person, min_date, limit } => self.run(
+                &foaf_posts_union(*limit),
+                &[Value::Int(*person as i64), Value::Int(*min_date)],
+            ),
+            ReadOp::IcMutualFriends { person, limit } => {
+                // No GROUP BY in the dialect: serve from the pinned
+                // Person/Knows CSR when fresh, else enumerate the
+                // two-hop paths with UNION ALL (one row per connecting
+                // friend) and tally client-side.
+                if let Some(s) = self.pin_knows() {
+                    return Ok(crate::complex::mutual_friends(&s, *person, *limit));
+                }
+                let friends = self.run(
+                    "SELECT k.dst FROM person_knows_person k WHERE k.src = $1 \
+                     UNION SELECT k.src FROM person_knows_person k WHERE k.dst = $1",
+                    &[Value::Int(*person as i64)],
+                )?;
+                let two = [
+                    ("k2.dst", "k1.src = $1", "k2.src = k1.dst"),
+                    ("k2.src", "k1.src = $1", "k2.dst = k1.dst"),
+                    ("k2.dst", "k1.dst = $1", "k2.src = k1.src"),
+                    ("k2.src", "k1.dst = $1", "k2.dst = k1.src"),
+                ];
+                let mut q = String::new();
+                for (end, cond, join) in two {
+                    if !q.is_empty() {
+                        q.push_str(" UNION ALL ");
+                    }
+                    let _ = write!(
+                        q,
+                        "SELECT {end} FROM person_knows_person k1 \
+                         JOIN person_knows_person k2 ON {join} \
+                         WHERE {cond} AND {end} <> $1"
+                    );
+                }
+                let paths = self.run(&q, &[Value::Int(*person as i64)])?;
+                let friend_ids: std::collections::HashSet<&Value> =
+                    friends.iter().map(|r| &r[0]).collect();
+                let mut counts: std::collections::HashMap<Value, i64> =
+                    std::collections::HashMap::new();
+                for row in &paths {
+                    if !friend_ids.contains(&row[0]) {
+                        *counts.entry(row[0].clone()).or_insert(0) += 1;
+                    }
+                }
+                let rows: OpResult =
+                    counts.into_iter().map(|(c, n)| vec![c, Value::Int(n)]).collect();
+                Ok(snb_core::top_k_by(rows, *limit, crate::complex::cmp_mutual))
             }
         }
     }

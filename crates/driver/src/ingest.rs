@@ -272,6 +272,22 @@ pub fn run_ingest(
     cut_ms: i64,
     config: &IngestConfig,
 ) -> IngestReport {
+    run_ingest_iter(adapter, updates.iter().cloned(), cut_ms, config)
+}
+
+/// [`run_ingest`] over a time-ordered iterator of operations instead of
+/// a slice: the producer thread pulls ops straight from the iterator
+/// into the partitioned topic, so a streaming generator can feed a
+/// million-person update stream without ever materializing it whole.
+pub fn run_ingest_iter<I>(
+    adapter: &dyn SutAdapter,
+    updates: I,
+    cut_ms: i64,
+    config: &IngestConfig,
+) -> IngestReport
+where
+    I: Iterator<Item = UpdateOp> + Send,
+{
     let appliers = config.appliers.max(1);
     let broker = Broker::new();
     let topic = broker

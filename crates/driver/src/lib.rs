@@ -32,6 +32,7 @@
 
 pub mod adapter;
 pub mod analytics;
+pub mod complex;
 pub mod ingest;
 pub mod interactive;
 pub mod loading;
@@ -42,7 +43,10 @@ pub mod scheduler;
 pub mod sqlg;
 
 pub use adapter::{build_all_adapters, OpResult, SutAdapter, SutKind};
+pub use complex::{
+    foaf_posts, mutual_friends, naive_foaf_posts, naive_mutual_friends, recent_messages,
+};
 pub use analytics::{sharded_pagerank, sharded_triangles, sharded_wcc, MergedPageRank};
-pub use ingest::{run_ingest, shard_aligned_appliers, IngestConfig, IngestReport};
+pub use ingest::{run_ingest, run_ingest_iter, shard_aligned_appliers, IngestConfig, IngestReport};
 pub use ops::{ParamGen, ReadOp};
 pub use router::ShardRouter;

@@ -40,6 +40,13 @@ pub enum ReadOp {
     /// the person's friends. Part of the *full* complex mix the paper
     /// had to drop for the Gremlin systems (§4.4).
     RecentFriendMessages { person: u64, limit: usize },
+    /// IC5/IC9-style complex read: posts created by the person's
+    /// friends-of-friends (exactly the 1..2-hop ring, start excluded)
+    /// at or after `min_date`, newest first.
+    IcFoafPosts { person: u64, min_date: i64, limit: usize },
+    /// IC-recommendation-style complex read: non-friend candidates two
+    /// hops out, ranked by the number of mutual friends.
+    IcMutualFriends { person: u64, limit: usize },
 }
 
 impl ReadOp {
@@ -59,6 +66,8 @@ impl ReadOp {
             ReadOp::Is7MessageReplies { .. } => "IS7",
             ReadOp::Complex2Hop { .. } => "complex_2hop",
             ReadOp::RecentFriendMessages { .. } => "complex_friend_messages",
+            ReadOp::IcFoafPosts { .. } => "complex_foaf_posts",
+            ReadOp::IcMutualFriends { .. } => "complex_mutual_friends",
         }
     }
 }
@@ -71,6 +80,7 @@ pub struct ParamGen {
     posts: Vec<u64>,
     comments: Vec<u64>,
     first_names: Vec<String>,
+    cut_ms: i64,
 }
 
 impl ParamGen {
@@ -93,7 +103,14 @@ impl ParamGen {
         first_names.sort();
         first_names.dedup();
         assert!(!persons.is_empty(), "snapshot contains persons");
-        ParamGen { rng: StdRng::seed_from_u64(seed), persons, posts, comments, first_names }
+        ParamGen {
+            rng: StdRng::seed_from_u64(seed),
+            persons,
+            posts,
+            comments,
+            first_names,
+            cut_ms: data.cut_ms,
+        }
     }
 
     /// A random person id from the snapshot.
@@ -131,6 +148,14 @@ impl ParamGen {
         self.first_names[self.rng.gen_range(0..self.first_names.len())].clone()
     }
 
+    /// A message-date lower bound: 1–12 simulated months before the
+    /// snapshot cut, so the FoF-posts read selects a recent slice
+    /// rather than the whole timeline.
+    pub fn min_date(&mut self) -> i64 {
+        const DAY_MS: i64 = 24 * 3600 * 1000;
+        self.cut_ms - self.rng.gen_range(30..365i64) * DAY_MS
+    }
+
     /// One operation of the micro suite.
     pub fn micro_op(&mut self, kind: &str) -> ReadOp {
         match kind {
@@ -149,7 +174,7 @@ impl ParamGen {
     /// complex reads) — the mix the paper had to abandon because the
     /// Gremlin systems could not sustain it (§4.4).
     pub fn full_mix_read(&mut self) -> ReadOp {
-        match self.rng.gen_range(0..4u32) {
+        match self.rng.gen_range(0..6u32) {
             0 => ReadOp::Complex2Hop {
                 person: self.person(),
                 first_name: self.first_name(),
@@ -160,6 +185,12 @@ impl ParamGen {
                 a: self.person(),
                 b: self.person(),
             },
+            3 => ReadOp::IcFoafPosts {
+                person: self.person(),
+                min_date: self.min_date(),
+                limit: 20,
+            },
+            4 => ReadOp::IcMutualFriends { person: self.person(), limit: 10 },
             _ => self.interactive_read(),
         }
     }

@@ -977,7 +977,7 @@ fn project(ctx: &Ctx, rows: &[Row], ret: &ReturnClause) -> Result<CypherResult> 
     }
     if !ret.order_by.is_empty() {
         let dirs: Vec<bool> = ret.order_by.iter().map(|(_, asc)| *asc).collect();
-        projected.sort_by(|(_, ka), (_, kb)| {
+        let cmp = |(_, ka): &(Vec<Value>, Vec<Value>), (_, kb): &(Vec<Value>, Vec<Value>)| {
             for (i, asc) in dirs.iter().enumerate() {
                 let ord = cmp_vals(&ka[i], &kb[i]);
                 if ord != std::cmp::Ordering::Equal {
@@ -985,9 +985,14 @@ fn project(ctx: &Ctx, rows: &[Row], ret: &ReturnClause) -> Result<CypherResult> 
                 }
             }
             std::cmp::Ordering::Equal
-        });
-    }
-    if let Some(limit) = ret.limit {
+        };
+        match ret.limit {
+            // ORDER BY + LIMIT k: bounded-heap top-k (O(n log k), no
+            // full sort); tie handling matches the stable sort exactly.
+            Some(limit) => projected = snb_core::top_k_by(projected, limit, cmp),
+            None => projected.sort_by(cmp),
+        }
+    } else if let Some(limit) = ret.limit {
         projected.truncate(limit);
     }
     Ok(CypherResult { columns, rows: projected.into_iter().map(|(c, _)| c).collect() })

@@ -816,7 +816,7 @@ pub(crate) fn run(c: &Compiled, snap: &CsrSnapshot, params: &Params) -> Result<C
     }
     if !c.order_by.is_empty() {
         let dirs: Vec<bool> = c.order_by.iter().map(|(_, asc)| *asc).collect();
-        projected.sort_by(|(_, ka), (_, kb)| {
+        let cmp = |(_, ka): &(Vec<Value>, Vec<Value>), (_, kb): &(Vec<Value>, Vec<Value>)| {
             for (i, asc) in dirs.iter().enumerate() {
                 let ord = exec::cmp_vals(&ka[i], &kb[i]);
                 if ord != std::cmp::Ordering::Equal {
@@ -824,9 +824,14 @@ pub(crate) fn run(c: &Compiled, snap: &CsrSnapshot, params: &Params) -> Result<C
                 }
             }
             std::cmp::Ordering::Equal
-        });
-    }
-    if let Some(limit) = c.limit {
+        };
+        match c.limit {
+            // Bounded-heap top-k for ORDER BY + LIMIT; byte-identical
+            // to the stable sort + truncate it replaces.
+            Some(limit) => projected = snb_core::top_k_by(projected, limit, cmp),
+            None => projected.sort_by(cmp),
+        }
+    } else if let Some(limit) = c.limit {
         projected.truncate(limit);
     }
     Ok(CypherResult {

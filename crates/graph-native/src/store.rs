@@ -1,7 +1,6 @@
 //! Adjacency-list storage with index-free adjacency.
 
 use parking_lot::{Condvar, Mutex, RwLock, RwLockWriteGuard};
-use snb_core::ids::EDGE_LABELS;
 use snb_core::schema::edge_def;
 use snb_core::snapshot::{CsrBuilder, CsrSnapshot, EpochCell};
 use snb_core::{
@@ -31,9 +30,11 @@ impl Default for CheckpointConfig {
 }
 
 /// Local ids below this bound use the dense per-label direct index
-/// (4 MiB of `u32` per label worst-case); anything sparser falls back
-/// to the hash index.
-const DIRECT_LIMIT: u64 = 1 << 20;
+/// (64 MiB of `u32` per label worst-case, only paid up to the highest
+/// id actually inserted); anything sparser falls back to the hash
+/// index. 2^24 keeps SF-class datasets (millions of sequential ids per
+/// label) on the one-array-access path.
+const DIRECT_LIMIT: u64 = 1 << 24;
 
 /// Sentinel for "no slot" in the dense direct index.
 const NO_SLOT: u32 = u32::MAX;
@@ -136,6 +137,11 @@ impl Inner {
         let vid = Vid::new(label, local_id);
         if self.slot_ix(vid).is_some() {
             return Err(SnbError::Conflict(format!("vertex {vid} already exists")));
+        }
+        if self.slots.len() >= NO_SLOT as usize {
+            // Checked, not truncated: a silent `as u32` here would alias
+            // slot 2^32 onto slot 0 and corrupt adjacency.
+            return Err(SnbError::Capacity(format!("slot id space exhausted at {} vertices", self.slots.len())));
         }
         let ix = self.slots.len() as u32;
         let mut pm = PropertyMap::from_pairs(props);
@@ -258,6 +264,11 @@ pub(crate) struct Shared {
     /// are published in nondecreasing order.
     fold_gate: Mutex<()>,
     folds_taken: AtomicU64,
+    /// Read-lock sessions taken against `inner` by folds (one per dirty
+    /// batch). Observable via [`NativeGraphStore::fold_lock_sessions`];
+    /// the compactor-de-risk regression test asserts a large dirty set
+    /// is copied across many short sessions, not one long one.
+    fold_lock_sessions: AtomicU64,
     /// Whole-query planner toggle (`true` by default); off = every
     /// query runs through the reference interpreter, which the
     /// plan-equivalence harnesses diff against.
@@ -282,6 +293,14 @@ impl Shared {
     }
 }
 
+/// Cap on dirty/new rows copied out of the live store per `inner` read
+/// lock session during a fold. Clean rows are replayed from the old
+/// (immutable) snapshot with no lock at all, so this bounds the longest
+/// stretch a fold can hold readers' lock shares away from a writer: a
+/// million-row initial build takes ~n/FOLD_DIRTY_BATCH short sessions
+/// instead of one multi-second one that would stall the write path.
+const FOLD_DIRTY_BATCH: usize = 16_384;
+
 /// Rebuild the published CSR snapshot from the previous epoch plus the
 /// accumulated dirty set. Runs on the compactor thread (or inline via
 /// `compact_now`), never on the write path: writers only pay for the
@@ -292,6 +311,13 @@ impl Shared {
 /// `pin_snapshot`'s freshness check then refuses to serve it — so a
 /// torn fold is unobservable, it just costs one more fold later.
 fn fold_csr(shared: &Shared) {
+    fold_csr_batched(shared, FOLD_DIRTY_BATCH)
+}
+
+/// `fold_csr` with an explicit dirty-batch cap (exposed so tests can
+/// force many lock sessions on small stores).
+fn fold_csr_batched(shared: &Shared, dirty_batch: usize) {
+    let dirty_batch = dirty_batch.max(1);
     let _gate = shared.fold_gate.lock();
     let seq_now = shared.write_seq.load(Ordering::Acquire);
     if shared.csr.epoch() == Some(seq_now) {
@@ -312,31 +338,64 @@ fn fold_csr(shared: &Shared) {
     let old_n = old.as_ref().map_or(0, |o| o.n_rows());
     let mut dirty_set: FastSet<u32> = FastSet::default();
     dirty_set.extend(dirty.iter().copied().filter(|&r| (r as usize) < old_n));
+    match build_fold(shared, old.as_deref(), &dirty_set, n, old_n, seq, dirty_batch) {
+        Ok(snap) => {
+            shared.csr.store(Arc::new(snap));
+            shared.folds_taken.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            // Id/offset space exhausted: never publish a truncated CSR.
+            // The previous snapshot stays up (stale); writes themselves
+            // hit the checked-insert error long before this can trigger.
+            eprintln!("csr fold abandoned: {e}");
+        }
+    }
+    // Publish-then-notify under the state lock: a waiter that checked
+    // the epoch while holding it either saw the fresh snapshot or is
+    // already parked on the condvar, so the wakeup cannot be lost.
+    let _st = shared.fold_state.lock();
+    shared.fold_done_cv.notify_all();
+}
+
+/// Copy rows `0..n` into a fresh builder. Maximal runs of clean rows
+/// (present and unmodified in `old`) are bulk-replayed from the old
+/// snapshot — which is immutable, so no lock is held for them; dirty
+/// and new rows are read from the live store in batches of at most
+/// `dirty_batch` rows, each batch under its own short `inner` read
+/// lock session.
+fn build_fold(
+    shared: &Shared,
+    old: Option<&CsrSnapshot>,
+    dirty_set: &FastSet<u32>,
+    n: usize,
+    old_n: usize,
+    seq: u64,
+    dirty_batch: usize,
+) -> snb_core::Result<CsrSnapshot> {
+    let clean = |row: usize| (row < old_n) && !dirty_set.contains(&(row as u32));
     let mut b = CsrBuilder::new(seq, n, true);
-    {
-        let inner = shared.inner.read();
-        for row in 0..n as u32 {
-            let reuse = (row as usize) < old_n && !dirty_set.contains(&row);
-            if reuse {
-                // Unchanged since the previous epoch: copy the row out
-                // of the old CSR (Arc clones, no property deep-copies).
-                let o = old.as_ref().unwrap();
-                b.push_row(o.vid_of(row), Arc::clone(o.props_arc(row)));
-                for l in EDGE_LABELS {
-                    let (targets, eprops) = o.out_slice(row, l);
-                    for (i, &t) in targets.iter().enumerate() {
-                        b.push_out(l, t, eprops.get(i).cloned().flatten());
-                    }
-                    for &t in o.range(row, Direction::In, l) {
-                        b.push_in(l, t);
-                    }
-                }
-            } else {
+    let mut row = 0usize;
+    while row < n {
+        if clean(row) {
+            let mut end = row + 1;
+            while end < n && clean(end) {
+                end += 1;
+            }
+            // Unchanged since the previous epoch: replay the whole run
+            // out of the old CSR (Arc clones + slice copies, no lock —
+            // the old snapshot cannot change under us).
+            b.extend_rows_from(old.unwrap(), row..end)?;
+            row = end;
+        } else {
+            let inner = shared.inner.read();
+            shared.fold_lock_sessions.fetch_add(1, Ordering::Relaxed);
+            let mut copied = 0usize;
+            while row < n && copied < dirty_batch && !clean(row) {
                 // Dirty or new: read the live slot. Entries pointing at
                 // slots beyond `n` were added after the steal (edges
                 // reference only already-inserted slots), skip them.
-                let slot = inner.slot(row);
-                b.push_row(slot.vid, Arc::new(slot.props.clone()));
+                let slot = inner.slot(row as u32);
+                b.push_row(slot.vid, Arc::new(slot.props.clone()))?;
                 for e in &slot.out {
                     if (e.other as usize) < n {
                         b.push_out(e.label, e.other, e.props.as_ref().map(|p| Arc::new((**p).clone())));
@@ -347,16 +406,12 @@ fn fold_csr(shared: &Shared) {
                         b.push_in(e.label, e.other);
                     }
                 }
+                row += 1;
+                copied += 1;
             }
         }
     }
-    shared.csr.store(Arc::new(b.finish()));
-    shared.folds_taken.fetch_add(1, Ordering::Relaxed);
-    // Publish-then-notify under the state lock: a waiter that checked
-    // the epoch while holding it either saw the fresh snapshot or is
-    // already parked on the condvar, so the wakeup cannot be lost.
-    let _st = shared.fold_state.lock();
-    shared.fold_done_cv.notify_all();
+    b.finish()
 }
 
 /// Compactor thread: wait for a nudge, fold, pace, repeat.
@@ -433,6 +488,7 @@ impl NativeGraphStore {
             fold_done_cv: Condvar::new(),
             fold_gate: Mutex::new(()),
             folds_taken: AtomicU64::new(0),
+            fold_lock_sessions: AtomicU64::new(0),
             planner: AtomicBool::new(true),
             plans: RwLock::new(FastMap::default()),
         });
@@ -505,11 +561,25 @@ impl NativeGraphStore {
         self.shared.write_seq.load(Ordering::Acquire)
     }
 
+    /// Number of `inner` read-lock sessions folds have taken (one per
+    /// dirty-row batch; clean rows are replayed lock-free from the old
+    /// snapshot).
+    pub fn fold_lock_sessions(&self) -> u64 {
+        self.shared.fold_lock_sessions.load(Ordering::Relaxed)
+    }
+
     /// Fold a CSR snapshot synchronously on the calling thread. Tests
     /// and benches use this to reach a fresh epoch deterministically
     /// instead of waiting for the compactor.
     pub fn compact_now(&self) {
         fold_csr(&self.shared);
+    }
+
+    /// `compact_now` with an explicit dirty-batch cap; lets tests force
+    /// the chunked-fold path on stores far smaller than
+    /// `FOLD_DIRTY_BATCH`.
+    pub fn compact_now_batched(&self, dirty_batch: usize) {
+        fold_csr_batched(&self.shared, dirty_batch);
     }
 
     /// Block until the *background* compactor publishes a snapshot
@@ -1169,5 +1239,82 @@ mod tests {
         assert_eq!(s.edge_count(), WRITES as usize);
         assert_eq!(s.degree(a, Direction::Out, None).unwrap(), WRITES as usize);
         assert!(s.checkpoints_taken() >= (2 * WRITES) / 64 - 1);
+    }
+
+    #[test]
+    fn chunked_fold_matches_monolithic_and_caps_lock_sessions() {
+        // Build two identical stores; fold one with a tiny dirty-batch
+        // cap and the other with the default. The snapshots must agree
+        // row for row, and the capped fold must have split its live-row
+        // copy across many lock sessions instead of one.
+        const N: u64 = 200;
+        let build = || {
+            let s = NativeGraphStore::new();
+            for i in 0..N {
+                s.add_vertex(
+                    VertexLabel::Person,
+                    i,
+                    &[(PropKey::FirstName, Value::str(if i % 2 == 0 { "eva" } else { "odd" }))],
+                )
+                .unwrap();
+            }
+            for i in 0..N {
+                let a = Vid::new(VertexLabel::Person, i);
+                let b = Vid::new(VertexLabel::Person, (i + 1) % N);
+                s.add_edge(EdgeLabel::Knows, a, b, &[(PropKey::CreationDate, Value::Date(i as i64))])
+                    .unwrap();
+            }
+            s
+        };
+        let capped = build();
+        let mono = build();
+        let sessions_before = capped.fold_lock_sessions();
+        capped.compact_now_batched(16);
+        mono.compact_now();
+        // All N rows were new (nothing to reuse): at least N/16 separate
+        // read-lock sessions, so no single session spans the store.
+        assert!(
+            capped.fold_lock_sessions() - sessions_before >= (N as u64) / 16,
+            "expected many short lock sessions, got {}",
+            capped.fold_lock_sessions() - sessions_before
+        );
+        let sc = capped.pin_snapshot().expect("fresh");
+        let sm = mono.pin_snapshot().expect("fresh");
+        assert_eq!(sc.n_rows(), sm.n_rows());
+        assert_eq!(sc.edge_count(), sm.edge_count());
+        for row in 0..sc.n_rows() as u32 {
+            assert_eq!(sc.vid_of(row), sm.vid_of(row));
+            assert_eq!(sc.prop(row, PropKey::FirstName), sm.prop(row, PropKey::FirstName));
+            assert_eq!(
+                sc.range(row, Direction::Out, EdgeLabel::Knows),
+                sm.range(row, Direction::Out, EdgeLabel::Knows)
+            );
+            assert_eq!(
+                sc.range(row, Direction::In, EdgeLabel::Knows),
+                sm.range(row, Direction::In, EdgeLabel::Knows)
+            );
+        }
+
+        // Second fold: dirty a scattered subset so the capped fold
+        // interleaves lock-free clean runs with live batches, and
+        // verify the delta lands correctly.
+        for i in (0..N).step_by(37) {
+            capped
+                .set_vertex_prop(Vid::new(VertexLabel::Person, i), PropKey::LastName, Value::str("touched"))
+                .unwrap();
+            mono.set_vertex_prop(Vid::new(VertexLabel::Person, i), PropKey::LastName, Value::str("touched"))
+                .unwrap();
+        }
+        capped.compact_now_batched(2);
+        mono.compact_now();
+        let sc = capped.pin_snapshot().expect("fresh");
+        let sm = mono.pin_snapshot().expect("fresh");
+        for row in 0..sc.n_rows() as u32 {
+            assert_eq!(sc.prop(row, PropKey::LastName), sm.prop(row, PropKey::LastName));
+            assert_eq!(
+                sc.range(row, Direction::Out, EdgeLabel::Knows),
+                sm.range(row, Direction::Out, EdgeLabel::Knows)
+            );
+        }
     }
 }

@@ -393,6 +393,7 @@ pub fn encode_error(e: &SnbError) -> Vec<u8> {
         SnbError::Overloaded(m) => (6, m),
         SnbError::Codec(m) => (7, m),
         SnbError::Io(m) => (8, m),
+        SnbError::Capacity(m) => (9, m),
     };
     let mut out = Vec::with_capacity(5 + msg.len());
     out.push(tag);
@@ -424,6 +425,7 @@ pub fn decode_error(data: &[u8]) -> Result<SnbError> {
         6 => SnbError::Overloaded(msg),
         7 => SnbError::Codec(msg),
         8 => SnbError::Io(msg),
+        9 => SnbError::Capacity(msg),
         other => return Err(SnbError::Codec(format!("unknown error tag {other}"))),
     })
 }

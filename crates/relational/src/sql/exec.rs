@@ -826,7 +826,7 @@ fn exec_select_sched(
             };
             keys.push((ix, *asc));
         }
-        result.rows.sort_by(|a, b| {
+        let cmp = |a: &Vec<Value>, b: &Vec<Value>| {
             for (ix, asc) in &keys {
                 let ord = cmp_vals(&a[*ix], &b[*ix]);
                 if ord != std::cmp::Ordering::Equal {
@@ -834,9 +834,14 @@ fn exec_select_sched(
                 }
             }
             std::cmp::Ordering::Equal
-        });
-    }
-    if let Some(limit) = sel.limit {
+        };
+        match sel.limit {
+            // Bounded-heap top-k for ORDER BY + LIMIT; same rows (and
+            // tie order) as the stable sort + truncate it replaces.
+            Some(limit) => result.rows = snb_core::top_k_by(std::mem::take(&mut result.rows), limit, cmp),
+            None => result.rows.sort_by(cmp),
+        }
+    } else if let Some(limit) = sel.limit {
         result.rows.truncate(limit);
     }
     Ok(SqlResult { columns: result.cols, rows: result.rows })

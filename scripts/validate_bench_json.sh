@@ -338,6 +338,57 @@ for f in "${files[@]}"; do
       fail=1
     fi
   fi
+  # The scale section (streaming million-vertex build) appears from
+  # BENCH_10 onward; when present it must carry the build/accounting/
+  # throughput figures and clears three gates: adjacency stays under
+  # the memory-lean ceiling (64 B/edge — a pointer-heavy adjacency map
+  # blows straight through it), the complex-read operators hold
+  # conservative throughput floors at whatever size was run, and a
+  # million-person build lands within the streaming-build time bound.
+  if grep -q '"scale"' "$f"; then
+    scale_line="$(sed -n '/"scale"[[:space:]]*:/,/^  }/p' "$f")"
+    for key in persons vertices edges stream_updates chunks build_seconds \
+               ingest_updates_per_sec bytes_per_vertex bytes_per_edge resident_bytes \
+               two_hop_ops_per_sec foaf_posts_per_sec recent_messages_per_sec \
+               mutual_friends_per_sec; do
+      if ! printf '%s' "$scale_line" | grep -Eq "\"$key\"[[:space:]]*:[[:space:]]*-?[0-9]+(\.[0-9]+)?"; then
+        echo "[validate_bench_json] $f: scale section missing numeric \"$key\"" >&2
+        fail=1
+      fi
+    done
+    num_of() {
+      printf '%s' "$scale_line" | grep -Eo "\"$1\"[[:space:]]*:[[:space:]]*[0-9]+(\.[0-9]+)?" \
+        | grep -Eo '[0-9.]+$' | head -1 || true
+    }
+    bpe="$(num_of bytes_per_edge)"
+    if [ -n "$bpe" ] && ! awk -v b="$bpe" 'BEGIN { exit !(b > 0 && b <= 64.0) }'; then
+      echo "[validate_bench_json] $f: scale bytes_per_edge $bpe outside (0, 64]" >&2
+      fail=1
+    fi
+    foaf="$(num_of foaf_posts_per_sec)"
+    if [ -n "$foaf" ] && ! awk -v v="$foaf" 'BEGIN { exit !(v >= 1000) }'; then
+      echo "[validate_bench_json] $f: scale foaf_posts_per_sec $foaf below the 1000/s floor" >&2
+      fail=1
+    fi
+    rm_ps="$(num_of recent_messages_per_sec)"
+    if [ -n "$rm_ps" ] && ! awk -v v="$rm_ps" 'BEGIN { exit !(v >= 1000) }'; then
+      echo "[validate_bench_json] $f: scale recent_messages_per_sec $rm_ps below the 1000/s floor" >&2
+      fail=1
+    fi
+    mut="$(num_of mutual_friends_per_sec)"
+    if [ -n "$mut" ] && ! awk -v v="$mut" 'BEGIN { exit !(v >= 1000) }'; then
+      echo "[validate_bench_json] $f: scale mutual_friends_per_sec $mut below the 1000/s floor" >&2
+      fail=1
+    fi
+    sp="$(num_of persons)"
+    bs="$(num_of build_seconds)"
+    if [ -n "$sp" ] && [ -n "$bs" ] && [ "$sp" -ge 1000000 ] 2>/dev/null; then
+      if ! awk -v s="$bs" 'BEGIN { exit !(s <= 600) }'; then
+        echo "[validate_bench_json] $f: scale build_seconds $bs above the 600s million-person bound" >&2
+        fail=1
+      fi
+    fi
+  fi
   if [ "$fail" -eq 0 ]; then
     echo "[validate_bench_json] $f: OK"
   fi
